@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Every bench runs its experiment exactly once (``benchmark.pedantic``
+with one round -- these are minutes-long simulations, not microbenches),
+prints the paper-style table, and archives it under
+``benchmarks/results/`` so the rendered tables survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist one experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        text = result.render()
+        print()
+        print(text)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""A1 (ablation): LogDiver vs the error-log-only baseline.
+
+What application attribution adds over prior practice: per-application
+failure accounting with high precision/recall against ground truth,
+where the baseline can only count machine events.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_a1
+
+
+def test_a1_baseline_ablation(benchmark, save_result):
+    result = run_once(benchmark, run_a1)
+    save_result(result)
+    data = result.data
+    assert data["baseline_clusters"] > 0
+    assert data["app_failures"] > 0
+    # LogDiver's application-level diagnosis is trustworthy.
+    assert data["precision"] > 0.7
+    assert data["recall"] > 0.9

@@ -1,0 +1,29 @@
+"""A2 (ablation): tupling-window sensitivity.
+
+Shape: tuple counts decrease monotonically as the window grows (merging
+can only coarsen), while the final *cluster* count is far more stable
+than the tuple count -- the spatial stage absorbs most of the parameter
+sensitivity, which is why the pipeline's conclusions do not hinge on
+the exact window choice.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_a2
+
+
+def test_a2_filter_window_sweep(benchmark, save_result):
+    result = run_once(benchmark, run_a2)
+    save_result(result)
+    counts = result.data["clusters_by_window"]
+    tuples = result.data["tuples_by_window"]
+    windows = sorted(counts)
+    tuple_values = [tuples[w] for w in windows]
+    cluster_values = [counts[w] for w in windows]
+    # Temporal merging can only reduce the tuple count.
+    assert all(a >= b for a, b in zip(tuple_values, tuple_values[1:]))
+    # Cluster counts are comparatively stable across a 180x window
+    # sweep: max/min well below the tuple-count swing.
+    tuple_swing = max(tuple_values) / max(min(tuple_values), 1)
+    cluster_swing = max(cluster_values) / max(min(cluster_values), 1)
+    assert cluster_swing < tuple_swing
+    assert cluster_swing < 2.0

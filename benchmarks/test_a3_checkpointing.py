@@ -1,0 +1,22 @@
+"""A3 (ablation): checkpoint planning from measured failure rates.
+
+Shape: at larger scales the measured hazard rises, so the optimal
+checkpoint interval shrinks and the expected overhead grows -- the
+operational consequence the paper's measurements exist to inform.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_a3
+
+
+def test_a3_checkpoint_planning(benchmark, save_result):
+    result = run_once(benchmark, run_a3)
+    save_result(result)
+    plans = result.data["plans"]
+    assert len(plans) >= 2
+    scales = sorted(plans)
+    # Overheads are sane (checkpointing is viable at every scale).
+    for plan in plans.values():
+        assert 0.0 < plan.overhead_percent < 100.0
+    # Larger scale => shorter optimal interval.
+    assert plans[scales[-1]].interval_s <= plans[scales[0]].interval_s * 1.5

@@ -1,0 +1,21 @@
+"""A4 (ablation): fabric exposure model -- bounding box vs routing.
+
+Shape: the routing-aware model is at most as permissive as the bounding
+box (a job's dimension-ordered routes live inside its bounding box), so
+fabric-caused kills under "routes" do not exceed "bbox" by more than
+sampling noise.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_a4
+
+
+def test_a4_fabric_exposure_ablation(benchmark, save_result):
+    result = run_once(benchmark, run_a4)
+    save_result(result)
+    bbox = result.data["bbox"]["fabric_kills"]
+    routes = result.data["routes"]["fabric_kills"]
+    # Routing-aware exposure is sharper: fewer or equal kills (modulo
+    # the independent stochastic outcomes downstream of exposure).
+    assert routes <= bbox * 1.5 + 5
+    assert result.data["bbox"]["total_runs"] > 1000

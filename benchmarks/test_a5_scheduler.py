@@ -1,0 +1,21 @@
+"""A5 (ablation): FCFS vs EASY backfill.
+
+Shape: backfill reduces queue waits at equal workload while leaving the
+resilience headline (system-failure share) unchanged -- scheduling
+policy is orthogonal to the paper's findings.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_a5
+
+
+def test_a5_scheduler_ablation(benchmark, save_result):
+    result = run_once(benchmark, run_a5)
+    save_result(result)
+    fcfs = result.data["fcfs"]
+    backfill = result.data["backfill"]
+    # Backfill cannot make median waits worse (and usually helps).
+    assert backfill["median_wait_s"] <= fcfs["median_wait_s"] + 60.0
+    # Resilience conclusions unchanged (same ballpark share).
+    a, b = fcfs["system_failure_share"], backfill["system_failure_share"]
+    assert abs(a - b) < 0.01

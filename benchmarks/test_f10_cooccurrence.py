@@ -1,0 +1,18 @@
+"""F10: error-category co-occurrence (reconstruction).
+
+Shape: at least a few category pairs co-occur well above independence
+(storms correlate), and the matrix covers several categories.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f10
+
+
+def test_f10_cooccurrence(benchmark, save_result):
+    result = run_once(benchmark, run_f10)
+    save_result(result)
+    assert result.data["categories"] >= 4
+    pairs = result.data["pairs"]
+    if pairs:  # sparse windows may have no repeated pairs
+        _a, _b, count, lift = pairs[0]
+        assert count >= 2

@@ -1,0 +1,19 @@
+"""F11: queue waits by job size (reconstruction).
+
+Shape: capability-class jobs wait dramatically longer than small jobs
+(the machine must drain for them); small jobs mostly start immediately.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f11
+
+
+def test_f11_queue_waits(benchmark, save_result):
+    result = run_once(benchmark, run_f11)
+    save_result(result)
+    buckets = [b for b in result.data["buckets"] if b.jobs > 10]
+    assert len(buckets) >= 3
+    # Median wait at the top bucket exceeds the smallest bucket's.
+    assert buckets[-1].median_wait_s >= buckets[0].median_wait_s
+    # And their p90s are ordered the same way.
+    assert buckets[-1].p90_wait_s > buckets[0].p90_wait_s

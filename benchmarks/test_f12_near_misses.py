@@ -1,0 +1,27 @@
+"""F12: near misses -- errors that overlapped surviving runs.
+
+Shape: most error-run overlaps are benign (the reason filtering and
+careful attribution matter), and per-category kill ratios order like
+the taxonomy's lethality: node-fatal classes kill nearly always,
+storage classes rarely.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f12
+from repro.faults.taxonomy import ErrorCategory
+
+
+def test_f12_near_misses(benchmark, save_result):
+    result = run_once(benchmark, run_f12)
+    save_result(result)
+    assert 0.2 < result.data["benign_share"] < 0.95
+    by_category = result.data["by_category"]
+
+    def ratio(category):
+        ok, bad = by_category.get(category, (0, 0))
+        return bad / (ok + bad) if ok + bad else None
+
+    lethal = ratio(ErrorCategory.DRAM_UNCORRECTABLE)
+    storage = ratio(ErrorCategory.LUSTRE_OSS)
+    if lethal is not None and storage is not None:
+        assert lethal > storage

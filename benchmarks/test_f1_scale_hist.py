@@ -1,0 +1,24 @@
+"""F1: runs and node-hours by scale bucket (reconstruction).
+
+Shape: run counts are heavily skewed to small scales while node-hours
+concentrate at larger scales -- the crossover the paper's workload
+figure shows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f1
+
+
+def test_f1_scale_histogram(benchmark, save_result):
+    result = run_once(benchmark, run_f1)
+    save_result(result)
+    rows = [r for r in result.data["rows"] if r["runs"]]
+    assert len(rows) >= 5
+    total_runs = sum(r["runs"] for r in rows)
+    total_nh = sum(r["node_hours"] for r in rows)
+    small_runs = sum(r["runs"] for r in rows if r["scale_hi"] <= 256)
+    small_nh = sum(r["node_hours"] for r in rows if r["scale_hi"] <= 256)
+    # Runs skew small; node-hours skew large (the paper's crossover).
+    assert small_runs / total_runs > 0.4
+    assert small_nh / total_nh < 0.2
+    assert small_nh / total_nh < small_runs / total_runs

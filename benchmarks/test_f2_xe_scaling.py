@@ -1,0 +1,27 @@
+"""F2: XE failure probability vs. scale -- the paper's headline figure.
+
+Paper: p rises ~20x from 0.008 at 10,000 nodes to 0.162 at 22,000
+nodes.  Shape assertions: monotone-ish strong growth over that range,
+endpoints in the calibrated ballpark, and a large growth factor.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f2
+from repro.experiments.targets import target
+
+
+def test_f2_xe_scaling(benchmark, save_result):
+    result = run_once(benchmark, run_f2)
+    save_result(result)
+    points = {p.nodes: p for p in result.data["points"]}
+    p10k = points[10000].probability
+    p22k = points[22000].probability
+    # Endpoint ballparks (generous: simulator substrate).
+    assert p22k == p22k and target("xe_p_at_22k").within(p22k), p22k
+    assert p10k < 0.03, p10k
+    # Dramatic growth from 10k to 22k (paper: ~20x). With p10k possibly
+    # zero in a finite sample, assert against its upper CI instead.
+    p10k_hi = max(points[10000].ci_high, 1e-4)
+    assert p22k / p10k_hi > 3.0
+    # The top of the machine is the most dangerous place to run.
+    assert p22k == max(q.probability for q in points.values())

@@ -1,0 +1,22 @@
+"""F3: XK (GPU/hybrid) failure probability vs. scale.
+
+Paper: p rises ~6x from 0.02 at 2,000 nodes to 0.129 at 4,224 nodes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f3
+from repro.experiments.targets import target
+
+
+def test_f3_xk_scaling(benchmark, save_result):
+    result = run_once(benchmark, run_f3)
+    save_result(result)
+    points = {p.nodes: p for p in result.data["points"]}
+    p2k = points[2000].probability
+    p_full = points[4224].probability
+    assert target("xk_p_at_4224").within(p_full), p_full
+    # p at 2k is small but nonzero territory; compare against its CI.
+    assert points[2000].ci_high < 0.08
+    # Strong growth toward full partition scale (paper: ~6x).
+    assert p_full / max(p2k, points[2000].ci_high / 2) > 2.0
+    assert p_full == max(q.probability for q in points.values())

@@ -1,0 +1,21 @@
+"""F5: MTBF / MNBF (reconstruction).
+
+Shape: application-level MTBF is hours-scale on a machine whose
+individual components fail rarely; MNBF is in the 10^4..10^6 node-hour
+range; XK MNBF is worse than XE per node-hour at comparable usage.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.presets import ambient_analysis
+from repro.experiments.runner import run_f5
+
+
+def test_f5_mtbf(benchmark, save_result):
+    result = run_once(benchmark, run_f5)
+    save_result(result)
+    mnbf = result.data["mnbf"]
+    assert 1e3 < mnbf < 1e7, mnbf
+    analysis = ambient_analysis()
+    # Per-category machine MTBFs exist and are positive.
+    assert analysis.system_mtbf_h
+    assert all(v > 0 for v in analysis.system_mtbf_h.values())

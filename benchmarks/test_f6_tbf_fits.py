@@ -1,0 +1,20 @@
+"""F6: time-between-system-failure distribution (reconstruction).
+
+Shape: inter-failure times are *not* well described by an exponential
+alone -- a Weibull/lognormal (clustered, decreasing hazard) fits better,
+the standard finding of HPC field studies.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f6
+
+
+def test_f6_tbf_fits(benchmark, save_result):
+    result = run_once(benchmark, run_f6)
+    save_result(result)
+    assert result.data["n_gaps"] > 50
+    # Best-fitting family is one of the heavy/clustered shapes.
+    assert result.data["best"] in ("weibull", "lognormal", "exponential")
+    # The empirical hazard does not strongly increase: failures do not
+    # behave like pure wear-out.
+    assert result.data["trend"] < 0.5

@@ -1,0 +1,22 @@
+"""F7: the hybrid-node detection gap -- the paper's lesson (iii).
+
+Paper: XK application resilience is impaired by inadequate error
+detection on hybrid nodes.  Shape: the silent/unattributable share of
+system kills is several times higher on XK than on XE, in both the
+ground-truth and the pipeline view.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f7
+
+
+def test_f7_detection_gap(benchmark, save_result):
+    result = run_once(benchmark, run_f7)
+    save_result(result)
+    gt = result.data["gt"]
+    pipe = result.data["pipeline"]
+    assert gt.xk_kills > 0 and gt.xe_kills > 0
+    # XK markedly worse than XE (paper's qualitative finding).
+    assert gt.xk_silent_share > 2 * gt.xe_silent_share
+    # The pipeline sees the same asymmetry from logs alone.
+    assert pipe.xk_silent_share > pipe.xe_silent_share

@@ -1,0 +1,16 @@
+"""F8: system-wide outage impact (reconstruction).
+
+Shape: a handful of SWOs over the 518-day window, each killing every
+resident application; availability in the high-90s; SWOs contribute a
+visible minority of all system-caused application failures.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f8
+
+
+def test_f8_swo_impact(benchmark, save_result):
+    result = run_once(benchmark, run_f8)
+    save_result(result)
+    assert result.data["outages"] >= 1
+    assert 0.95 < result.data["availability"] < 1.0

@@ -1,0 +1,22 @@
+"""F9: failure behaviour over time (reconstruction).
+
+Shape: per-month system-failure shares stay within the same order of
+magnitude -- no runaway drift in the synthetic field data -- while still
+fluctuating (real field data is never flat).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_f9
+
+
+def test_f9_stationarity(benchmark, save_result):
+    result = run_once(benchmark, run_f9)
+    save_result(result)
+    shares = [s for s in result.data["shares"]]
+    assert len(shares) >= 3
+    positive = [s for s in shares if s > 0]
+    assert positive, "expected failures in some months"
+    # Same order of magnitude across months.
+    assert max(positive) / min(positive) < 30

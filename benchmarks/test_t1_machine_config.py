@@ -1,0 +1,16 @@
+"""T1: machine configuration table (reconstruction of the paper's
+Blue Waters summary table)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_t1
+
+
+def test_t1_machine_config(benchmark, save_result):
+    result = run_once(benchmark, run_t1)
+    save_result(result)
+    data = result.data
+    # Exact configuration facts from the paper's abstract.
+    assert data["nodes_xe"] == 22640
+    assert data["nodes_xk"] == 4224
+    assert data["torus_dims"] == (24, 24, 24)
+    assert data["gpus"] == 4224

@@ -1,0 +1,17 @@
+"""T2: data sources and volumes (reconstruction).
+
+The paper enumerates its sources (Torque, ALPS, syslogs, event logs).
+Shape assertions: the run table dominated by apsys records, an error
+stream with both classified and unclassified lines, and clusters far
+fewer than raw records.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_t2
+
+
+def test_t2_data_sources(benchmark, save_result):
+    result = run_once(benchmark, run_t2)
+    save_result(result)
+    assert result.data["runs"] > 1000
+    assert result.data["errors"] > 100

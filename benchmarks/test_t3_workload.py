@@ -1,0 +1,22 @@
+"""T3: workload characterization by application (reconstruction).
+
+Shape: a handful of petascale codes dominate node-hours while the
+misc/test tail dominates run counts -- the mix the paper describes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.presets import ambient_analysis
+from repro.core.metrics import workload_by_app
+from repro.experiments.runner import run_t3
+
+
+def test_t3_workload(benchmark, save_result):
+    result = run_once(benchmark, run_t3)
+    save_result(result)
+    rows = workload_by_app(ambient_analysis().diagnosed)
+    by_runs = sorted(rows.items(), key=lambda kv: -kv[1]["runs"])
+    by_hours = sorted(rows.items(), key=lambda kv: -kv[1]["node_hours"])
+    # The top code by node-hours is a science code, not the test tail.
+    assert by_hours[0][0] != "a.out"
+    # The test tail ("a.out") is among the most-launched binaries.
+    assert "a.out" in [cmd for cmd, _stats in by_runs[:3]]

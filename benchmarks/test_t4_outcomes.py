@@ -1,0 +1,24 @@
+"""T4: outcome categorization -- the paper's 1.53% headline.
+
+Paper: ~1.53% of application runs fail due to system problems.
+Shape: our measured share lands in the same ballpark (tolerance from
+the calibration targets), success dominates, and user failures exceed
+system failures.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.categorize import DiagnosedOutcome
+from repro.experiments.presets import ambient_analysis
+from repro.experiments.runner import run_t4
+from repro.experiments.targets import target
+
+
+def test_t4_outcomes(benchmark, save_result):
+    result = run_once(benchmark, run_t4)
+    save_result(result)
+    share = result.data["system_failure_share"]
+    assert target("system_failure_share").within(share), share
+    breakdown = ambient_analysis().breakdown
+    assert breakdown.share(DiagnosedOutcome.SUCCESS) > 0.85
+    assert breakdown.share(DiagnosedOutcome.USER) > \
+        breakdown.share(DiagnosedOutcome.UNKNOWN)

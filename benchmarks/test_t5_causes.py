@@ -1,0 +1,22 @@
+"""T5: breakdown of system-failure causes (reconstruction).
+
+Shape: software (ALPS) and node-hardware classes (MCE/DRAM/node health)
+dominate; storage and interconnect contribute; GPU categories appear
+only via XK runs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_t5
+
+
+def test_t5_causes(benchmark, save_result):
+    result = run_once(benchmark, run_t5)
+    save_result(result)
+    causes = result.data
+    assert causes, "expected a non-empty cause table"
+    # Node-hardware classes must be represented.
+    hardware = sum(causes.get(k, 0) for k in
+                   ("MCE", "DRAM_UE", "NODE_HB", "KERNEL_PANIC"))
+    assert hardware > 0
+    # ALPS software failures are a major class (launch failures).
+    assert causes.get("ALPS", 0) >= max(causes.values()) * 0.2

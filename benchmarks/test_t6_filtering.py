@@ -1,0 +1,19 @@
+"""T6: error filtering effectiveness (reconstruction of the LogDiver
+preprocessing statistics).
+
+Shape: both stages compress (raw > tuples > clusters) and the combined
+compression is substantial -- using raw records as "failures" would
+overcount by this factor.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_t6
+
+
+def test_t6_filtering(benchmark, save_result):
+    result = run_once(benchmark, run_t6)
+    save_result(result)
+    raw, tuples, clusters = (result.data["raw"], result.data["tuples"],
+                             result.data["clusters"])
+    assert raw > tuples > clusters > 0
+    assert raw / clusters > 1.5

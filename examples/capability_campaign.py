@@ -1,0 +1,56 @@
+"""Planning a capability campaign: failure probability and checkpointing.
+
+Scenario from the paper's introduction: a team wants to run a
+full-machine ("hero") simulation.  What failure probability should they
+expect at each scale, and what does that imply for their checkpoint
+interval?
+
+The script sweeps controlled capability campaigns across scales
+(reproducing the shape of the paper's Fig. F2/F3), then applies the
+Young/Daly optimal-checkpoint formula to the measured per-run MTBF.
+
+Run: ``python examples/capability_campaign.py [--quick]``
+"""
+
+import math
+import sys
+
+from repro.experiments import scaling_sweep
+from repro.machine import NodeType
+from repro.util.tables import render_table
+
+
+def optimal_checkpoint_interval_s(mtbf_s: float,
+                                  checkpoint_cost_s: float = 300.0) -> float:
+    """Young's approximation: ``sqrt(2 * C * MTBF)``."""
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    runs = 80 if quick else 300
+    for node_type, scales in ((NodeType.XE, (4000, 10000, 16000, 22000)),
+                              (NodeType.XK, (1000, 2000, 3600, 4224))):
+        points = scaling_sweep(node_type, scales, runs_per_scale=runs)
+        body = []
+        for p in points:
+            if p.probability > 0 and p.mean_walltime_h > 0:
+                # Per-run hazard -> MTBF seen by a run of this scale.
+                hazard_per_h = -math.log(1 - p.probability) / p.mean_walltime_h
+                mtbf_h = 1.0 / hazard_per_h
+                ckpt_min = optimal_checkpoint_interval_s(mtbf_h * 3600) / 60
+                mtbf_text, ckpt_text = f"{mtbf_h:.1f}", f"{ckpt_min:.0f}"
+            else:
+                mtbf_text, ckpt_text = "> window", "-"
+            body.append([str(p.nodes), f"{p.probability:.4f}",
+                         f"{p.mean_walltime_h:.2f}", mtbf_text, ckpt_text])
+        print(f"=== {node_type.value} capability campaign "
+              f"({runs} runs/scale) ===")
+        print(render_table(
+            ["nodes", "p(sys fail)", "mean run h", "run MTBF h",
+             "optimal ckpt (min)"], body))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Trace round-trip: export a campaign, replay it, get identical results.
+
+Workflow demonstrated:
+
+1. simulate a scenario;
+2. export the workload as a Standard Workload Format (SWF) trace and
+   the fault timeline as a CSV RAS trace -- both shareable artifacts;
+3. reload both and drive a *fresh* simulator with them;
+4. verify the replay reproduces the original outcome counts exactly.
+
+This is how fault campaigns become reproducible artifacts, and how
+real archived SWF traces (Parallel Workloads Archive) can replace the
+synthetic workload generator.
+
+Run: ``python examples/trace_replay.py``
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import small_scenario
+from repro.faults.traces import export_fault_trace, import_fault_trace
+from repro.machine import NodeType, build_machine
+from repro.sim import ClusterSimulator
+from repro.util.rngs import RngFactory
+from repro.workload import WorkloadGenerator
+from repro.workload.swf import export_swf, import_swf
+
+
+def main() -> None:
+    scenario = small_scenario(days=45.0, machine_scale=0.05,
+                              workload_thinning=0.008, seed=77)
+    original = scenario.run()
+    print("original :", original.summary())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        swf_path = export_swf(original, Path(tmp) / "workload.swf")
+        ras_path = export_fault_trace(original.faults, Path(tmp) / "ras.csv")
+        print(f"exported {swf_path.name} "
+              f"({sum(1 for _ in open(swf_path))} lines) and {ras_path.name}")
+
+        # Exact replay: same machine, same plans (regenerated from the
+        # same seed -- SWF import is for *foreign* traces and loses the
+        # multi-run structure), same fault trace.
+        faults = import_fault_trace(ras_path)
+        rngs = RngFactory(scenario.seed)
+        machine = build_machine(scenario.blueprint)
+        generator = WorkloadGenerator(
+            scenario.workload,
+            {NodeType.XE: machine.count(NodeType.XE),
+             NodeType.XK: machine.count(NodeType.XK)},
+            rng_factory=rngs.child("workload"))
+        plans = generator.generate(scenario.window)
+        replayed = ClusterSimulator(
+            machine, config=scenario.sim,
+            rng_factory=rngs.child("sim")).run(plans, faults, scenario.window)
+        print("replayed :", replayed.summary())
+        assert replayed.summary() == original.summary(), "replay diverged!"
+        print("replay is exact.")
+
+        # Foreign-trace mode: drive the simulator with the SWF content.
+        swf_plans = import_swf(swf_path)
+        foreign = ClusterSimulator(
+            machine, config=scenario.sim, seed=1).run(
+                swf_plans, faults, scenario.window)
+        print("SWF-driven:", foreign.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim: the sandbox's setuptools predates full PEP 660
+editable-install support, so ``pip install -e .`` goes through here."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Measuring and Understanding Extreme-Scale "
+        "Application Resilience' (DSN 2015): LogDiver pipeline plus a "
+        "Blue Waters machine/workload/fault simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

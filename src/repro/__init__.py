@@ -1,0 +1,82 @@
+"""repro: a reproduction of "Measuring and Understanding Extreme-Scale
+Application Resilience: A Field Study of 5,000,000 HPC Application Runs"
+(Di Martino, Kramer, Kalbarczyk, Iyer -- DSN 2015).
+
+The package has two halves:
+
+* a **substrate** that stands in for Blue Waters and its 518 production
+  days: a machine model (:mod:`repro.machine`), fault processes
+  (:mod:`repro.faults`), a synthetic workload (:mod:`repro.workload`),
+  a discrete-event simulator (:mod:`repro.sim`), and log writers/parsers
+  (:mod:`repro.logs`);
+* **LogDiver** (:mod:`repro.core`), the paper's analysis pipeline, which
+  consumes only the textual log bundle -- never simulator objects -- and
+  produces the paper's tables and figures.
+
+Quickstart::
+
+    from repro import small_scenario, write_bundle, read_bundle, LogDiver
+
+    result = small_scenario().run()            # ground truth
+    write_bundle(result, "bundle/")            # observable logs
+    analysis = LogDiver().analyze(read_bundle("bundle/"))
+    print(analysis.summary())
+"""
+
+from repro.core import Analysis, DiagnosedOutcome, LogDiver, LogDiverConfig
+from repro.faults import (
+    DetectionModel,
+    ErrorCategory,
+    FaultInjector,
+    FaultRates,
+    FaultTimeline,
+)
+from repro.logs import LogBundle, read_bundle, write_bundle
+from repro.machine import (
+    BLUE_WATERS,
+    Machine,
+    MachineBlueprint,
+    NodeType,
+    build_machine,
+    scaled_blueprint,
+)
+from repro.sim import (
+    ClusterSimulator,
+    Scenario,
+    SimulationResult,
+    paper_scenario,
+    small_scenario,
+)
+from repro.workload import Outcome, WorkloadConfig, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analysis",
+    "BLUE_WATERS",
+    "ClusterSimulator",
+    "DetectionModel",
+    "DiagnosedOutcome",
+    "ErrorCategory",
+    "FaultInjector",
+    "FaultRates",
+    "FaultTimeline",
+    "LogBundle",
+    "LogDiver",
+    "LogDiverConfig",
+    "Machine",
+    "MachineBlueprint",
+    "NodeType",
+    "Outcome",
+    "Scenario",
+    "SimulationResult",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "__version__",
+    "build_machine",
+    "paper_scenario",
+    "read_bundle",
+    "scaled_blueprint",
+    "small_scenario",
+    "write_bundle",
+]

@@ -1,0 +1,18 @@
+"""Downstream analyses built on measured resilience: checkpoint/restart
+planning (Young/Daly) and related what-ifs."""
+
+from repro.analysis.checkpointing import (
+    CheckpointPlan,
+    daly_interval,
+    hazard_from_probability,
+    plan_checkpointing,
+    young_interval,
+)
+
+__all__ = [
+    "CheckpointPlan",
+    "daly_interval",
+    "hazard_from_probability",
+    "plan_checkpointing",
+    "young_interval",
+]

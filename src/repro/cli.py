@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Three subcommands mirror how the tool is used at a site::
+
+    python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
+    python -m repro analyze out/bundle
+    python -m repro baseline out/bundle
+
+``simulate`` runs a scenario and writes the log bundle; ``analyze`` runs
+LogDiver over any bundle directory and prints the paper-style tables;
+``baseline`` prints the error-log-only view for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.baseline import baseline_analysis
+from repro.core.pipeline import LogDiver
+from repro.core.report import (
+    render_causes,
+    render_filtering,
+    render_mtbf,
+    render_outcomes,
+    render_scaling,
+    render_waste,
+    render_workload,
+)
+from repro.logs.bundle import read_bundle, write_bundle
+from repro.sim.scenario import paper_scenario, small_scenario
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Blue Waters resilience study reproduction (DSN'15)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a scenario and write its log bundle")
+    simulate.add_argument("output", help="bundle directory to create")
+    simulate.add_argument("--days", type=float, default=30.0,
+                          help="production days to simulate (default 30)")
+    simulate.add_argument("--thinning", type=float, default=0.02,
+                          help="workload volume factor (1.0 = full ~5M-run "
+                               "rate; default 0.02)")
+    simulate.add_argument("--seed", type=int, default=2015)
+    simulate.add_argument("--small", action="store_true",
+                          help="use a 1%%-scale machine instead of the "
+                               "full 27k-node Blue Waters")
+    simulate.add_argument("--no-benign", action="store_true",
+                          help="skip never-fatal noise events (faster, "
+                               "but filtering stats become trivial)")
+
+    analyze = sub.add_parser(
+        "analyze", help="run LogDiver over a bundle directory")
+    analyze.add_argument("bundle", help="bundle directory")
+    analyze.add_argument("--tables", default="outcomes,causes,filtering,"
+                                             "mtbf,waste,workload,scaling",
+                         help="comma list of tables to print "
+                              "(also available: users)")
+
+    baseline = sub.add_parser(
+        "baseline", help="error-log-only analysis of a bundle (prior work)")
+    baseline.add_argument("bundle", help="bundle directory")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.small:
+        scenario = small_scenario(days=args.days, seed=args.seed,
+                                  workload_thinning=args.thinning / 10)
+    else:
+        scenario = paper_scenario(days=args.days,
+                                  workload_thinning=args.thinning,
+                                  seed=args.seed,
+                                  include_benign=not args.no_benign)
+    print(f"simulating {scenario.name} "
+          f"({scenario.blueprint.total_nodes} nodes, {args.days:g} days)...")
+    start = time.time()
+    result = scenario.run()
+    print(f"ground truth: {result.summary()} [{time.time() - start:.1f}s]")
+    write_bundle(result, args.output, seed=args.seed)
+    print(f"bundle written to {args.output}")
+    return 0
+
+
+def _render_users(analysis) -> str:
+    from repro.core.users import top_waste
+    from repro.util.tables import render_table
+
+    ranked = top_waste(analysis.diagnosed, by="user", n=10)
+    body = [[g.key, str(g.runs), f"{g.node_hours:,.0f}",
+             str(g.system_failures), f"{g.failed_node_hours:,.0f}"]
+            for g in ranked]
+    return render_table(["user", "runs", "node_hours", "sys_failures",
+                         "failed_node_hours"], body)
+
+
+_TABLES = {
+    "outcomes": render_outcomes,
+    "causes": render_causes,
+    "filtering": render_filtering,
+    "mtbf": render_mtbf,
+    "waste": render_waste,
+    "workload": render_workload,
+    "users": _render_users,
+    "scaling": lambda analysis: (render_scaling(analysis, "XE")
+                                 + "\n\n" + render_scaling(analysis, "XK")),
+}
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    bundle = read_bundle(args.bundle)
+    print(f"bundle: {bundle.summary()}")
+    analysis = LogDiver().analyze(bundle)
+    wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in _TABLES]
+    if unknown:
+        print(f"unknown tables {unknown}; have {sorted(_TABLES)}")
+        return 2
+    for name in wanted:
+        print(f"\n=== {name} ===")
+        print(_TABLES[name](analysis))
+    curve = [p for p in analysis.xe_curve.nonempty() if p.runs >= 5]
+    if len(curve) >= 3:
+        from repro.util.viz import scatter_curve
+
+        print("\nXE failure probability vs scale:")
+        print(scatter_curve([p.midpoint for p in curve],
+                            [p.probability for p in curve]))
+    summary = analysis.summary()
+    print(f"\nsystem-failure share: {summary['system_failure_share']:.4f}")
+    print(f"failed node-hour share: {summary['failed_node_hour_share']:.4f}")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    bundle = read_bundle(args.bundle)
+    report = baseline_analysis(bundle)
+    print(f"raw error records      : {report.raw_records}")
+    print(f"unclassified           : {report.unclassified_records}")
+    print(f"clusters               : {report.clusters}")
+    print(f"failure-class clusters : {report.failure_class_clusters}")
+    print(f"machine MTBF           : {report.system_mtbf_hours:.1f} h")
+    for category, hours in report.mtbf_by_category_h.items():
+        print(f"  {category.value:<14} MTBF {hours:,.1f} h")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""LogDiver: the paper's core contribution.
+
+Pipeline stages: ingest (parse + classify) -> filtering (tupling +
+coalescing) -> attribution (error-run correlation) -> categorization
+(outcome taxonomy) -> metrics (failure probability vs. scale, MNBF,
+lost node-hours).  :class:`LogDiver` runs them all.
+"""
+
+from repro.core.attribution import Attribution, SpatialIndex, attribute_clusters
+from repro.core.baseline import BaselineReport, baseline_analysis
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun, categorize_runs
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import (
+    ErrorCluster,
+    ErrorTuple,
+    FilterStats,
+    filter_errors,
+    spatial_coalescing,
+    temporal_tupling,
+)
+from repro.core.ingest import (
+    ClassifiedError,
+    RunView,
+    assemble_runs,
+    classify_errors,
+)
+from repro.core.metrics import (
+    OutcomeBreakdown,
+    cause_breakdown,
+    outcome_breakdown,
+    runs_by_scale,
+    workload_by_app,
+)
+from repro.core.mtbf import (
+    FAILURE_CLASS_CATEGORIES,
+    MtbfReport,
+    application_mtbf,
+    system_mtbf_by_category,
+)
+from repro.core.pipeline import Analysis, LogDiver
+from repro.core.scaling import (
+    ScalePoint,
+    ScalingCurve,
+    failure_probability_curve,
+    fit_hazard_exponent,
+)
+from repro.core.correlation import CooccurrenceMatrix, cooccurrence
+from repro.core.nearmiss import NearMissReport, near_miss_analysis
+from repro.core.users import GroupStats, by_application, by_user, top_waste
+from repro.core.queueing import (
+    WaitBucket,
+    overall_wait_stats,
+    queue_waits_by_scale,
+)
+from repro.core.waste import (
+    WasteReport,
+    lost_node_hours_distribution,
+    waste_report,
+)
+from repro.core.windows import WindowStats, sliced_stats
+
+__all__ = [
+    "Analysis",
+    "Attribution",
+    "BaselineReport",
+    "ClassifiedError",
+    "CooccurrenceMatrix",
+    "DiagnosedOutcome",
+    "DiagnosedRun",
+    "ErrorCluster",
+    "ErrorTuple",
+    "FAILURE_CLASS_CATEGORIES",
+    "FilterStats",
+    "GroupStats",
+    "LogDiver",
+    "LogDiverConfig",
+    "MtbfReport",
+    "NearMissReport",
+    "OutcomeBreakdown",
+    "RunView",
+    "WaitBucket",
+    "ScalePoint",
+    "ScalingCurve",
+    "SpatialIndex",
+    "WasteReport",
+    "WindowStats",
+    "application_mtbf",
+    "assemble_runs",
+    "attribute_clusters",
+    "baseline_analysis",
+    "by_application",
+    "by_user",
+    "categorize_runs",
+    "cause_breakdown",
+    "classify_errors",
+    "cooccurrence",
+    "failure_probability_curve",
+    "filter_errors",
+    "fit_hazard_exponent",
+    "lost_node_hours_distribution",
+    "near_miss_analysis",
+    "outcome_breakdown",
+    "overall_wait_stats",
+    "queue_waits_by_scale",
+    "runs_by_scale",
+    "sliced_stats",
+    "spatial_coalescing",
+    "system_mtbf_by_category",
+    "temporal_tupling",
+    "top_waste",
+    "waste_report",
+    "workload_by_app",
+]

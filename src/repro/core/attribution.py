@@ -1,0 +1,198 @@
+"""Correlating error clusters with application runs.
+
+An error cluster can *explain* a run's failure when it is close in time
+(the influence window) and related in space.  The spatial rule depends
+on the category's scope:
+
+* node/GPU/blade/cabinet-scoped errors must name a component physically
+  inside the run's allocation;
+* fabric-scoped errors must sit inside the run's torus bounding box
+  (dimension-ordered routing keeps a job's traffic inside it);
+* filesystem- and system-scoped errors relate to every concurrently
+  running application.
+
+The spatial machinery (cname prefixes, nid map, torus arcs) is exactly
+what a site analyst reconstructs from ``xtprocadmin`` dumps; it uses no
+simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import ErrorCluster
+from repro.core.ingest import RunView
+from repro.errors import AnalysisError, CNameError
+from repro.faults.taxonomy import (
+    CATEGORY_SPECS,
+    FAILURE_CLASS_CATEGORIES,
+    ErrorCategory,
+    EventScope,
+)
+from repro.logs.bundle import LogBundle
+from repro.machine.cname import ComponentKind, parse_cname
+from repro.machine.topology import TorusTopology
+from repro.util.intervals import Interval, sweep_join
+
+__all__ = ["Attribution", "SpatialIndex", "attribute_clusters"]
+
+#: Scope priority when several clusters could explain one run: the most
+#: specific (most local) explanation wins.
+_SCOPE_PRIORITY = {
+    EventScope.NODE: 0, EventScope.GPU: 0, EventScope.BLADE: 1,
+    EventScope.CABINET: 2, EventScope.FABRIC: 3, EventScope.FILESYSTEM: 4,
+    EventScope.SYSTEM: 5,
+}
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One (run, cluster) causal hypothesis."""
+
+    apid: int
+    cluster_id: int
+    category: ErrorCategory
+    scope: EventScope
+
+    @property
+    def priority(self) -> int:
+        return _SCOPE_PRIORITY[self.scope]
+
+
+class SpatialIndex:
+    """Pre-computed spatial lookups from the bundle's node map."""
+
+    def __init__(self, bundle: LogBundle):
+        if not bundle.nodemap:
+            raise AnalysisError("bundle has no node map; spatial attribution "
+                                "is impossible")
+        dims = tuple(bundle.manifest.get("torus_dims", (0, 0, 0)))
+        n_vertices = int(bundle.manifest.get("torus_vertices", 0))
+        self.topology: TorusTopology | None = None
+        if n_vertices > 0 and all(d > 0 for d in dims):
+            self.topology = TorusTopology(dims=dims, n_vertices=n_vertices)
+        #: node cname text -> nid
+        self.nid_of_cname: dict[str, int] = {}
+        #: (blade cname text, gemini index) -> torus vertex
+        self.vertex_of_gemini: dict[tuple[str, int], int] = {}
+        for nid, (cname_text, _node_type, vertex) in bundle.nodemap.items():
+            self.nid_of_cname[cname_text] = nid
+            try:
+                cname = parse_cname(cname_text)
+            except CNameError:
+                continue
+            blade = str(cname.blade)
+            g = 0 if (cname.node or 0) < 2 else 1
+            self.vertex_of_gemini[(blade, g)] = vertex
+
+    # -- per-cluster component resolution ------------------------------------
+
+    def component_nids(self, component: str) -> tuple[int, ...]:
+        """nids physically inside a node/blade/cabinet/accelerator cname."""
+        try:
+            cname = parse_cname(component)
+        except CNameError:
+            return ()
+        kind = cname.kind
+        if kind is ComponentKind.ACCELERATOR:
+            cname = cname.node_name
+            kind = ComponentKind.NODE
+        if kind is ComponentKind.NODE:
+            nid = self.nid_of_cname.get(str(cname))
+            return (nid,) if nid is not None else ()
+        # Containment via delimited prefix: "c1-2" must not match
+        # "c1-22c0s0n0", so the next structural letter is appended.
+        delimiter = {ComponentKind.CABINET: "c", ComponentKind.CHASSIS: "s",
+                     ComponentKind.BLADE: "n"}.get(kind)
+        if delimiter is None:
+            return ()
+        prefix = str(cname) + delimiter
+        return tuple(nid for text, nid in self.nid_of_cname.items()
+                     if text.startswith(prefix))
+
+    def component_vertex(self, component: str) -> int | None:
+        """Torus vertex of a gemini (or node) cname, if resolvable."""
+        try:
+            cname = parse_cname(component)
+        except CNameError:
+            return None
+        if cname.kind is ComponentKind.GEMINI:
+            return self.vertex_of_gemini.get((str(cname.blade), cname.gemini or 0))
+        if cname.kind in (ComponentKind.NODE, ComponentKind.ACCELERATOR):
+            nid = self.nid_of_cname.get(str(cname.node_name))
+            if nid is None:
+                return None
+            # Derive from blade map: nodes 0,1 -> g0; 2,3 -> g1.
+            g = 0 if (cname.node or 0) < 2 else 1
+            return self.vertex_of_gemini.get((str(cname.blade), g))
+        return None
+
+    def run_arcs(self, run: RunView):
+        """Torus bounding arcs of a run's Gemini vertices (or None)."""
+        if self.topology is None or not run.gemini_vertices:
+            return None
+        return self.topology.bounding_arcs(np.asarray(run.gemini_vertices))
+
+
+def _spatially_related(cluster: ErrorCluster, run: RunView,
+                       index: SpatialIndex,
+                       run_nid_set: frozenset[int],
+                       run_arcs) -> bool:
+    scope = CATEGORY_SPECS[cluster.category].scope
+    if scope in (EventScope.FILESYSTEM, EventScope.SYSTEM):
+        return True
+    if scope is EventScope.FABRIC:
+        if index.topology is None or run_arcs is None:
+            return False
+        for component in cluster.components:
+            vertex = index.component_vertex(component)
+            if vertex is not None and index.topology.arc_contains(run_arcs, vertex):
+                return True
+        return False
+    # Component containment scopes.
+    for component in cluster.components:
+        for nid in index.component_nids(component):
+            if nid in run_nid_set:
+                return True
+    return False
+
+
+def attribute_clusters(runs: list[RunView], clusters: list[ErrorCluster],
+                       bundle: LogBundle, config: LogDiverConfig,
+                       *, failed_only: bool = True
+                       ) -> dict[int, list[Attribution]]:
+    """All causal hypotheses, keyed by apid.
+
+    ``failed_only`` restricts the join to runs that did not exit 0 --
+    attribution exists to explain failures (and it keeps the join small).
+    """
+    index = SpatialIndex(bundle)
+    candidates = [r for r in runs
+                  if not failed_only or r.exit_code != 0
+                  or r.exit_signal != 0 or r.launch_error]
+    run_items = [(Interval(r.start_s - config.influence_before_start_s,
+                           max(r.end_s, r.start_s) + 1e-6), r)
+                 for r in candidates]
+    # Benign/informational categories can never explain a failure.
+    explanatory = [c for c in clusters
+                   if c.category in FAILURE_CLASS_CATEGORIES]
+    cluster_items = [(Interval(c.start_s,
+                               c.end_s + config.influence_before_end_s + 1e-6), c)
+                     for c in explanatory]
+    nid_sets = {r.apid: frozenset(r.nids) for r in candidates}
+    arcs = {r.apid: index.run_arcs(r) for r in candidates}
+    out: dict[int, list[Attribution]] = {}
+    for run, cluster in sweep_join(run_items, cluster_items):
+        if not _spatially_related(cluster, run, index,
+                                  nid_sets[run.apid], arcs[run.apid]):
+            continue
+        out.setdefault(run.apid, []).append(Attribution(
+            apid=run.apid, cluster_id=cluster.cluster_id,
+            category=cluster.category,
+            scope=CATEGORY_SPECS[cluster.category].scope))
+    for hypotheses in out.values():
+        hypotheses.sort(key=lambda a: (a.priority, a.cluster_id))
+    return out

@@ -1,0 +1,71 @@
+"""The prior-work baseline: error-log-only analysis.
+
+Before LogDiver, resilience studies characterized *machines* from error
+logs alone: count failure events, compute MTBFs, rank categories --
+without ever asking which applications (if any) were hurt.  This module
+implements that baseline so the A1 ablation can quantify what the
+application join adds:
+
+* the baseline over-counts impact (most errors strike idle or redundant
+  resources and hurt nobody);
+* the baseline under-counts impact where detection is weak (silent GPU
+  faults never reach the logs, yet kill applications);
+* the baseline cannot produce per-application metrics at all (failure
+  probability vs. scale, lost node-hours, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import FilterStats, filter_errors
+from repro.core.ingest import classify_errors
+from repro.core.mtbf import FAILURE_CLASS_CATEGORIES, system_mtbf_by_category
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import LogBundle
+from repro.util.intervals import Interval
+from repro.util.timeutil import HOUR
+
+__all__ = ["BaselineReport", "baseline_analysis"]
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """Everything the error-log-only view can say."""
+
+    window: Interval
+    raw_records: int
+    unclassified_records: int
+    clusters: int
+    failure_class_clusters: int
+    mtbf_by_category_h: dict[ErrorCategory, float]
+    filter_stats: FilterStats
+
+    @property
+    def system_mtbf_hours(self) -> float:
+        """Machine MTBF as the baseline sees it: window over all
+        failure-class clusters."""
+        if self.failure_class_clusters == 0:
+            return float("inf")
+        return (self.window.duration / HOUR) / self.failure_class_clusters
+
+
+def baseline_analysis(bundle: LogBundle,
+                      config: LogDiverConfig | None = None) -> BaselineReport:
+    """Run the error-log-only pipeline on a bundle."""
+    config = config or LogDiverConfig()
+    errors, unclassified = classify_errors(bundle)
+    clusters, stats = filter_errors(errors, config)
+    window_lo, window_hi = bundle.manifest.get("window_s", (0.0, 0.0))
+    window = Interval(float(window_lo), float(window_hi))
+    failure_class = [c for c in clusters
+                     if c.category in FAILURE_CLASS_CATEGORIES]
+    return BaselineReport(
+        window=window,
+        raw_records=len(bundle.error_records),
+        unclassified_records=unclassified,
+        clusters=len(clusters),
+        failure_class_clusters=len(failure_class),
+        mtbf_by_category_h=system_mtbf_by_category(clusters, window),
+        filter_stats=stats)

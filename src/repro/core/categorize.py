@@ -1,0 +1,98 @@
+"""Outcome categorization: the paper's exit-status taxonomy.
+
+Every application run is assigned exactly one diagnosed outcome:
+
+* ``SUCCESS`` -- exit 0;
+* ``WALLTIME`` -- killed at the requested limit (Torque's 271);
+* ``SYSTEM`` -- a correlated error cluster (or an ALPS launch error)
+  explains the failure; carries the diagnosed error category;
+* ``UNKNOWN`` -- the run died from an external kill (nonzero signal)
+  but *no* error cluster explains it.  On hybrid nodes this bucket is
+  dominated by silently-failing GPUs -- the measurable form of the
+  paper's lesson (iii);
+* ``USER`` -- ordinary nonzero exit with no system explanation.
+
+Note the diagnosis is fallible by construction: silent faults produce
+UNKNOWN instead of SYSTEM, and a coincidental unrelated cluster can
+produce a false SYSTEM.  Comparing diagnosed against simulator ground
+truth is itself one of the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.attribution import Attribution
+from repro.core.config import LogDiverConfig
+from repro.core.ingest import RunView
+from repro.faults.taxonomy import ErrorCategory
+
+__all__ = ["DiagnosedOutcome", "DiagnosedRun", "categorize_runs"]
+
+#: Signals only an external actor (node failure, OOM-killer, operator,
+#: scheduler) delivers; a process does not SIGKILL itself.
+_EXTERNAL_KILL_SIGNALS = frozenset({9, 15})
+
+
+class DiagnosedOutcome(str, Enum):
+    """LogDiver's verdict for one run."""
+
+    SUCCESS = "success"
+    USER = "user"
+    WALLTIME = "walltime"
+    SYSTEM = "system"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not DiagnosedOutcome.SUCCESS
+
+
+@dataclass(frozen=True)
+class DiagnosedRun:
+    """A run together with its diagnosis."""
+
+    run: RunView
+    outcome: DiagnosedOutcome
+    category: ErrorCategory | None = None
+    cluster_id: int | None = None
+
+    @property
+    def apid(self) -> int:
+        return self.run.apid
+
+
+def categorize_runs(runs: list[RunView],
+                    attributions: dict[int, list[Attribution]],
+                    config: LogDiverConfig) -> list[DiagnosedRun]:
+    """Apply the outcome taxonomy to every run."""
+    diagnosed: list[DiagnosedRun] = []
+    for run in runs:
+        if run.launch_error:
+            diagnosed.append(DiagnosedRun(
+                run, DiagnosedOutcome.SYSTEM,
+                category=ErrorCategory.ALPS_SOFTWARE))
+            continue
+        if run.exit_code == 0 and run.exit_signal == 0:
+            diagnosed.append(DiagnosedRun(run, DiagnosedOutcome.SUCCESS))
+            continue
+        if run.exit_code in config.walltime_exit_codes:
+            diagnosed.append(DiagnosedRun(run, DiagnosedOutcome.WALLTIME))
+            continue
+        hypotheses = attributions.get(run.apid, [])
+        if hypotheses:
+            best = hypotheses[0]  # pre-sorted: most local scope first
+            diagnosed.append(DiagnosedRun(
+                run, DiagnosedOutcome.SYSTEM, category=best.category,
+                cluster_id=best.cluster_id))
+            continue
+        if run.exit_signal in _EXTERNAL_KILL_SIGNALS:
+            # Torn down from outside, no explaining error anywhere in
+            # the logs: the silent-failure bucket.
+            diagnosed.append(DiagnosedRun(run, DiagnosedOutcome.UNKNOWN))
+            continue
+        # Self-inflicted signals (SIGABRT, SIGBUS, SIGFPE, SIGSEGV) and
+        # plain nonzero exits are the application's own doing.
+        diagnosed.append(DiagnosedRun(run, DiagnosedOutcome.USER))
+    return diagnosed

@@ -1,0 +1,52 @@
+"""LogDiver pipeline configuration.
+
+All windows are seconds.  Defaults follow the methodology the paper
+describes: short tupling windows per component, a wider spatial window
+for cross-component storms, and an *influence window* that lets an error
+shortly preceding a run's abort be considered its cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LogDiverConfig"]
+
+
+@dataclass(frozen=True)
+class LogDiverConfig:
+    """Knobs of the analysis pipeline."""
+
+    #: Max gap between same-component/same-category records merged into
+    #: one error tuple (temporal coalescing).
+    tupling_window_s: float = 60.0
+    #: Max start-time distance for merging same-category tuples on
+    #: *different* components into one cluster (spatial coalescing).
+    spatial_window_s: float = 120.0
+    #: An error cluster can explain a run failure if it started at most
+    #: this long before the run ended ...
+    influence_before_end_s: float = 900.0
+    #: ... and no earlier than this before the run started (errors that
+    #: predate the run entirely are not its cause).
+    influence_before_start_s: float = 60.0
+    #: Exit codes treated as the walltime-limit kill.
+    walltime_exit_codes: tuple[int, ...] = (271,)
+    #: Scale buckets (node-count bin edges) used by scaling analyses.
+    xe_scale_edges: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                       1024, 2048, 4096, 8192, 10000, 13000,
+                                       16000, 19000, 22641)
+    xk_scale_edges: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                       1024, 2000, 2800, 3600, 4225)
+
+    def __post_init__(self) -> None:
+        for label, value in [("tupling_window_s", self.tupling_window_s),
+                             ("spatial_window_s", self.spatial_window_s),
+                             ("influence_before_end_s", self.influence_before_end_s),
+                             ("influence_before_start_s", self.influence_before_start_s)]:
+            if value < 0:
+                raise ConfigurationError(f"{label} must be >= 0, got {value}")
+        for edges in (self.xe_scale_edges, self.xk_scale_edges):
+            if list(edges) != sorted(set(edges)):
+                raise ConfigurationError("scale edges must be strictly increasing")

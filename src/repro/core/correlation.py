@@ -1,0 +1,98 @@
+"""Error-category co-occurrence analysis.
+
+Field studies ask which error types travel together (an MCE storm that
+precedes a node heartbeat loss, Lustre chatter around LNET failures).
+We measure co-occurrence at cluster granularity: two categories
+co-occur when clusters of both start within a correlation window.
+The result is a symmetric lift matrix: observed co-occurrence over what
+independence would predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filtering import ErrorCluster
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+from repro.util.intervals import Interval
+
+__all__ = ["CooccurrenceMatrix", "cooccurrence"]
+
+
+@dataclass(frozen=True)
+class CooccurrenceMatrix:
+    """Pairwise co-occurrence counts and lift between categories."""
+
+    categories: tuple[ErrorCategory, ...]
+    counts: np.ndarray        # (k, k) co-occurrence counts
+    lift: np.ndarray          # (k, k) observed / expected
+    window_s: float
+
+    def pair(self, a: ErrorCategory, b: ErrorCategory) -> tuple[int, float]:
+        """(count, lift) for one category pair."""
+        ia = self.categories.index(a)
+        ib = self.categories.index(b)
+        return int(self.counts[ia, ib]), float(self.lift[ia, ib])
+
+    def top_pairs(self, n: int = 10) -> list[tuple[ErrorCategory,
+                                                   ErrorCategory, int, float]]:
+        """Strongest off-diagonal pairs by lift (with count >= 2)."""
+        out = []
+        k = len(self.categories)
+        for i in range(k):
+            for j in range(i + 1, k):
+                if self.counts[i, j] >= 2:
+                    out.append((self.categories[i], self.categories[j],
+                                int(self.counts[i, j]),
+                                float(self.lift[i, j])))
+        out.sort(key=lambda row: -row[3])
+        return out[:n]
+
+
+def cooccurrence(clusters: list[ErrorCluster], window: Interval,
+                 *, correlation_window_s: float = 600.0) -> CooccurrenceMatrix:
+    """Build the co-occurrence matrix over an analysis window."""
+    if correlation_window_s <= 0:
+        raise AnalysisError("correlation window must be positive")
+    if window.duration <= 0:
+        raise AnalysisError("analysis window must have positive duration")
+    categories = tuple(sorted({c.category for c in clusters},
+                              key=lambda c: c.value))
+    if not categories:
+        raise AnalysisError("no clusters to correlate")
+    index = {c: i for i, c in enumerate(categories)}
+    k = len(categories)
+    counts = np.zeros((k, k), dtype=int)
+    per_category = np.zeros(k, dtype=int)
+    ordered = sorted(clusters, key=lambda c: c.start_s)
+    for c in ordered:
+        per_category[index[c.category]] += 1
+    # Sliding window over start times.
+    left = 0
+    for right, c in enumerate(ordered):
+        while ordered[left].start_s < c.start_s - correlation_window_s:
+            left += 1
+        for other in ordered[left:right]:
+            i, j = index[other.category], index[c.category]
+            counts[i, j] += 1
+            if i != j:
+                counts[j, i] += 1
+    # Expected pair count under independence: each category's clusters
+    # scattered uniformly; expected partners in a window of width w for
+    # a pair (i, j) is n_i * n_j * (2w / T).
+    total = window.duration
+    lift = np.zeros((k, k))
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                n = per_category[i]
+                expected = n * (n - 1) / 2 * (2 * correlation_window_s / total)
+            else:
+                expected = (per_category[i] * per_category[j]
+                            * 2 * correlation_window_s / total)
+            lift[i, j] = counts[i, j] / expected if expected > 0 else 0.0
+    return CooccurrenceMatrix(categories=categories, counts=counts,
+                              lift=lift, window_s=correlation_window_s)

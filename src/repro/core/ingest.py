@@ -1,0 +1,156 @@
+"""Ingestion: raw bundle records -> the pipeline's working tables.
+
+Two products:
+
+* :class:`ClassifiedError` -- an error-log record with a category
+  recovered from its *text* (via the regex bank) and a normalized
+  component identity;
+* :class:`RunView` -- one application run assembled from its apsys
+  start/end (or error) records, joined with the Torque job record for
+  user/queue metadata, and annotated with node type and Gemini vertices
+  through the site node map.
+
+Everything downstream (filtering, attribution, metrics) works on these
+two tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import LogBundle
+from repro.logs.messages import classify_message
+from repro.logs.records import AlpsRecord
+
+__all__ = ["ClassifiedError", "RunView", "classify_errors", "assemble_runs"]
+
+
+@dataclass(frozen=True)
+class ClassifiedError:
+    """An error record with recovered semantics."""
+
+    time_s: float
+    source: str
+    component: str
+    category: ErrorCategory
+    message: str
+
+
+@dataclass(frozen=True)
+class RunView:
+    """One application run as reconstructed from the logs."""
+
+    apid: int
+    batch_id: str
+    user: str
+    cmd: str
+    nids: tuple[int, ...]
+    start_s: float
+    end_s: float
+    exit_code: int
+    exit_signal: int
+    #: True when the run never launched (apsys 'error' record).
+    launch_error: bool
+    #: 'XE' / 'XK' / 'SERVICE' / '?' from the node map (majority type).
+    node_type: str
+    #: Gemini torus vertices under the run's nodes (sorted, unique).
+    gemini_vertices: tuple[int, ...]
+
+    @property
+    def nodes(self) -> int:
+        return len(self.nids)
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def node_hours(self) -> float:
+        return self.elapsed_s / 3600.0 * self.nodes
+
+
+def classify_errors(bundle: LogBundle,
+                    *, keep_unclassified: bool = False
+                    ) -> tuple[list[ClassifiedError], int]:
+    """Classify every error record's text.
+
+    Returns ``(classified, n_unclassified)``.  Unclassified lines are
+    dropped by default (and counted), matching how a regex bank treats
+    chatter it has no rule for.
+    """
+    classified: list[ClassifiedError] = []
+    unmatched = 0
+    for record in bundle.error_records:
+        category = classify_message(record.message)
+        if category is None:
+            unmatched += 1
+            if not keep_unclassified:
+                continue
+            category = ErrorCategory.ALPS_SOFTWARE  # conservative bucket
+        classified.append(ClassifiedError(
+            time_s=record.time_s, source=record.source,
+            component=record.component, category=category,
+            message=record.message))
+    classified.sort(key=lambda e: e.time_s)
+    return classified, unmatched
+
+
+def assemble_runs(bundle: LogBundle) -> list[RunView]:
+    """Pair apsys start/end records into runs and annotate them."""
+    starts: dict[int, AlpsRecord] = {}
+    runs: list[RunView] = []
+    user_by_job: dict[str, str] = {}
+    for torque in bundle.torque_records:
+        user_by_job[torque.job_id] = torque.user
+
+    def node_info(nids: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+        if not bundle.nodemap or not nids:
+            return "?", ()
+        types: dict[str, int] = {}
+        vertices: set[int] = set()
+        for nid in nids:
+            entry = bundle.nodemap.get(nid)
+            if entry is None:
+                continue
+            types[entry[1]] = types.get(entry[1], 0) + 1
+            vertices.add(entry[2])
+        if not types:
+            return "?", ()
+        majority = max(types.items(), key=lambda kv: kv[1])[0]
+        return majority, tuple(sorted(vertices))
+
+    for record in bundle.alps_records:
+        if record.kind == "start":
+            starts[record.apid] = record
+        elif record.kind == "error":
+            node_type, vertices = node_info(record.nids)
+            runs.append(RunView(
+                apid=record.apid, batch_id=record.batch_id,
+                user=user_by_job.get(record.batch_id, record.user),
+                cmd=record.cmd, nids=record.nids,
+                start_s=record.time_s, end_s=record.time_s,
+                exit_code=1, exit_signal=0, launch_error=True,
+                node_type=node_type, gemini_vertices=vertices))
+        elif record.kind == "end":
+            start = starts.pop(record.apid, None)
+            if start is None:
+                # End without start: truncated collection window; keep
+                # the run with a zero-length elapsed rather than lose it.
+                start = record
+            node_type, vertices = node_info(record.nids)
+            exit_code = record.exit_code if record.exit_code is not None else 0
+            exit_signal = (record.exit_signal
+                           if record.exit_signal is not None else 0)
+            runs.append(RunView(
+                apid=record.apid, batch_id=record.batch_id,
+                user=user_by_job.get(record.batch_id, record.user),
+                cmd=record.cmd, nids=record.nids,
+                start_s=start.time_s, end_s=record.time_s,
+                exit_code=exit_code, exit_signal=exit_signal,
+                launch_error=False, node_type=node_type,
+                gemini_vertices=vertices))
+    # Starts without ends are still-running (censored) at collection end;
+    # the paper excludes them, and so do we.
+    runs.sort(key=lambda r: (r.start_s, r.apid))
+    return runs

@@ -1,0 +1,116 @@
+"""Resilience metrics over diagnosed runs.
+
+These are the headline numbers of the study: outcome shares, node-hours
+by outcome, and workload characterization (runs and node-hours by
+application and by scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+
+__all__ = ["OutcomeBreakdown", "outcome_breakdown", "cause_breakdown",
+           "workload_by_app", "runs_by_scale"]
+
+
+@dataclass(frozen=True)
+class OutcomeBreakdown:
+    """Counts, shares, and node-hours per diagnosed outcome."""
+
+    counts: dict[DiagnosedOutcome, int]
+    node_hours: dict[DiagnosedOutcome, float]
+
+    @property
+    def total_runs(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_node_hours(self) -> float:
+        return sum(self.node_hours.values())
+
+    def share(self, outcome: DiagnosedOutcome) -> float:
+        """Fraction of runs with this outcome."""
+        total = self.total_runs
+        return self.counts.get(outcome, 0) / total if total else 0.0
+
+    def node_hour_share(self, outcome: DiagnosedOutcome) -> float:
+        total = self.total_node_hours
+        return self.node_hours.get(outcome, 0.0) / total if total else 0.0
+
+    @property
+    def system_failure_share(self) -> float:
+        """The paper's 1.53%: SYSTEM plus UNKNOWN (externally killed with
+        no trace -- system-related by construction of the taxonomy)."""
+        return (self.share(DiagnosedOutcome.SYSTEM)
+                + self.share(DiagnosedOutcome.UNKNOWN))
+
+    @property
+    def failed_node_hour_share(self) -> float:
+        """The paper's ~9%: node-hours consumed by runs that failed."""
+        total = self.total_node_hours
+        if not total:
+            return 0.0
+        failed = sum(nh for outcome, nh in self.node_hours.items()
+                     if outcome.is_failure)
+        return failed / total
+
+
+def outcome_breakdown(diagnosed: list[DiagnosedRun]) -> OutcomeBreakdown:
+    """Aggregate outcome counts and node-hours."""
+    if not diagnosed:
+        raise AnalysisError("no diagnosed runs to aggregate")
+    counts: dict[DiagnosedOutcome, int] = {}
+    node_hours: dict[DiagnosedOutcome, float] = {}
+    for d in diagnosed:
+        counts[d.outcome] = counts.get(d.outcome, 0) + 1
+        node_hours[d.outcome] = node_hours.get(d.outcome, 0.0) + d.run.node_hours
+    return OutcomeBreakdown(counts=counts, node_hours=node_hours)
+
+
+def cause_breakdown(diagnosed: list[DiagnosedRun]
+                    ) -> dict[ErrorCategory, int]:
+    """System failures by diagnosed error category (the T5 table)."""
+    out: dict[ErrorCategory, int] = {}
+    for d in diagnosed:
+        if d.outcome is DiagnosedOutcome.SYSTEM and d.category is not None:
+            out[d.category] = out.get(d.category, 0) + 1
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+
+def workload_by_app(diagnosed: list[DiagnosedRun]
+                    ) -> dict[str, dict[str, float]]:
+    """Runs, node-hours, and failure share per application binary."""
+    out: dict[str, dict[str, float]] = {}
+    for d in diagnosed:
+        row = out.setdefault(d.run.cmd, {"runs": 0, "node_hours": 0.0,
+                                         "system_failures": 0})
+        row["runs"] += 1
+        row["node_hours"] += d.run.node_hours
+        if d.outcome in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
+            row["system_failures"] += 1
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]["node_hours"]))
+
+
+def runs_by_scale(diagnosed: list[DiagnosedRun], edges: tuple[int, ...],
+                  *, node_type: str | None = None
+                  ) -> list[dict[str, float]]:
+    """Histogram of runs and node-hours by scale bucket (F1)."""
+    rows = []
+    selected = [d for d in diagnosed
+                if node_type is None or d.run.node_type == node_type]
+    nodes = np.asarray([d.run.nodes for d in selected])
+    node_hours = np.asarray([d.run.node_hours for d in selected])
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (nodes >= lo) & (nodes < hi)
+        rows.append({
+            "scale_lo": lo, "scale_hi": hi,
+            "runs": int(mask.sum()),
+            "node_hours": float(node_hours[mask].sum()),
+        })
+    return rows

@@ -1,0 +1,88 @@
+"""Mean time / node-hours between failures.
+
+Three related measures, all computed from logs alone:
+
+* **system MTBF by category** -- observation window divided by the
+  number of failure-class error clusters of each category (the classic
+  error-log view of machine health);
+* **application MTBF** -- total application execution hours divided by
+  the number of system-related application failures (what users feel);
+* **MNBF** (mean node-hours between failures) -- total node-hours
+  executed divided by system-related failures; the paper's scale-aware
+  resilience metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.filtering import ErrorCluster
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import (
+    FAILURE_CLASS_CATEGORIES,
+    ErrorCategory,
+)
+from repro.util.intervals import Interval
+from repro.util.timeutil import HOUR
+
+__all__ = ["MtbfReport", "system_mtbf_by_category", "application_mtbf",
+           "FAILURE_CLASS_CATEGORIES"]
+
+
+def system_mtbf_by_category(clusters: list[ErrorCluster], window: Interval
+                            ) -> dict[ErrorCategory, float]:
+    """Hours between failure-class clusters, per category.
+
+    Categories with no observed cluster are omitted (their MTBF is not
+    measurable from the window, not infinite).
+    """
+    if window.duration <= 0:
+        raise AnalysisError("MTBF window must have positive duration")
+    counts: dict[ErrorCategory, int] = {}
+    for cluster in clusters:
+        if cluster.category in FAILURE_CLASS_CATEGORIES:
+            counts[cluster.category] = counts.get(cluster.category, 0) + 1
+    hours = window.duration / HOUR
+    return {category: hours / count
+            for category, count in sorted(counts.items(),
+                                          key=lambda kv: kv[1], reverse=True)}
+
+
+@dataclass(frozen=True)
+class MtbfReport:
+    """Application-level MTBF/MNBF figures."""
+
+    total_runs: int
+    system_failures: int
+    execution_hours: float
+    node_hours: float
+
+    @property
+    def app_mtbf_hours(self) -> float:
+        """Execution hours between system-related app failures."""
+        if self.system_failures == 0:
+            return float("inf")
+        return self.execution_hours / self.system_failures
+
+    @property
+    def mnbf_node_hours(self) -> float:
+        """Node-hours of useful execution between system failures."""
+        if self.system_failures == 0:
+            return float("inf")
+        return self.node_hours / self.system_failures
+
+
+def application_mtbf(diagnosed: list[DiagnosedRun], *,
+                     node_type: str | None = None) -> MtbfReport:
+    """Application MTBF/MNBF over (optionally one node type's) runs."""
+    selected = [d for d in diagnosed
+                if node_type is None or d.run.node_type == node_type]
+    failures = sum(1 for d in selected
+                   if d.outcome in (DiagnosedOutcome.SYSTEM,
+                                    DiagnosedOutcome.UNKNOWN))
+    return MtbfReport(
+        total_runs=len(selected),
+        system_failures=failures,
+        execution_hours=sum(d.run.elapsed_s for d in selected) / HOUR,
+        node_hours=sum(d.run.node_hours for d in selected))

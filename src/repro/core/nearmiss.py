@@ -1,0 +1,83 @@
+"""Near-miss analysis: errors that touched runs which still succeeded.
+
+Most detected errors never kill anything -- corrected ECC, link replays,
+survivable Lustre hiccups.  Counting how often a *successful* run
+overlapped an error cluster quantifies two things at once:
+
+* how much benign overlap exists (the false-positive pressure on the
+  attribution stage: a failure coinciding with an unrelated cluster by
+  chance), and
+* per category, the empirical probability that spatio-temporal overlap
+  actually kills -- the observable analogue of the taxonomy's lethality.
+
+This is the F12 experiment of our reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attribution import attribute_clusters
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import ErrorCluster
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import LogBundle
+
+__all__ = ["NearMissReport", "near_miss_analysis"]
+
+
+@dataclass(frozen=True)
+class NearMissReport:
+    """Overlap outcomes per error category."""
+
+    #: category -> (overlapping successful runs, overlapping failed runs)
+    by_category: dict[ErrorCategory, tuple[int, int]]
+    total_success_overlaps: int
+    total_failure_overlaps: int
+
+    def kill_ratio(self, category: ErrorCategory) -> float:
+        """Failed / total overlapping runs for one category."""
+        ok, bad = self.by_category.get(category, (0, 0))
+        total = ok + bad
+        return bad / total if total else 0.0
+
+    @property
+    def benign_overlap_share(self) -> float:
+        """Share of all error-run overlaps that hurt nobody."""
+        total = self.total_success_overlaps + self.total_failure_overlaps
+        return self.total_success_overlaps / total if total else 0.0
+
+
+def near_miss_analysis(diagnosed: list[DiagnosedRun],
+                       clusters: list[ErrorCluster],
+                       bundle: LogBundle,
+                       config: LogDiverConfig | None = None) -> NearMissReport:
+    """Overlap every run (successful ones too) with error clusters."""
+    config = config or LogDiverConfig()
+    if not diagnosed:
+        raise AnalysisError("no diagnosed runs")
+    runs = [d.run for d in diagnosed]
+    outcome_by_apid = {d.apid: d.outcome for d in diagnosed}
+    overlaps = attribute_clusters(runs, clusters, bundle, config,
+                                  failed_only=False)
+    by_category: dict[ErrorCategory, list[int]] = {}
+    total_ok = total_bad = 0
+    for apid, hypotheses in overlaps.items():
+        outcome = outcome_by_apid[apid]
+        failed = outcome is not DiagnosedOutcome.SUCCESS
+        for hypothesis in hypotheses:
+            slot = by_category.setdefault(hypothesis.category, [0, 0])
+            if failed:
+                slot[1] += 1
+            else:
+                slot[0] += 1
+        if failed:
+            total_bad += 1
+        else:
+            total_ok += 1
+    return NearMissReport(
+        by_category={c: (ok, bad) for c, (ok, bad) in by_category.items()},
+        total_success_overlaps=total_ok,
+        total_failure_overlaps=total_bad)

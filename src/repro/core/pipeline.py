@@ -1,0 +1,118 @@
+"""The LogDiver facade: bundle in, analysis out.
+
+Usage::
+
+    from repro.core import LogDiver
+    from repro.logs import read_bundle
+
+    analysis = LogDiver().analyze(read_bundle("bundle/"))
+    print(analysis.breakdown.system_failure_share)
+    print(analysis.xe_curve.nonempty())
+
+:class:`Analysis` holds every intermediate product (classified errors,
+clusters, attributions, diagnosed runs) so notebooks and experiments can
+drill in without re-running stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attribution import Attribution, attribute_clusters
+from repro.core.categorize import DiagnosedRun, categorize_runs
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import ErrorCluster, FilterStats, filter_errors
+from repro.core.ingest import ClassifiedError, RunView, assemble_runs, classify_errors
+from repro.core.metrics import (
+    OutcomeBreakdown,
+    cause_breakdown,
+    outcome_breakdown,
+)
+from repro.core.mtbf import MtbfReport, application_mtbf, system_mtbf_by_category
+from repro.core.scaling import ScalingCurve, failure_probability_curve
+from repro.core.waste import WasteReport, waste_report
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import LogBundle
+from repro.util.intervals import Interval
+
+__all__ = ["LogDiver", "Analysis"]
+
+
+@dataclass
+class Analysis:
+    """All products of one LogDiver pass over a bundle."""
+
+    config: LogDiverConfig
+    window: Interval
+    # stage products
+    errors: list[ClassifiedError]
+    unclassified_records: int
+    clusters: list[ErrorCluster]
+    filter_stats: FilterStats
+    runs: list[RunView]
+    attributions: dict[int, list[Attribution]]
+    diagnosed: list[DiagnosedRun]
+    # headline metrics
+    breakdown: OutcomeBreakdown
+    causes: dict[ErrorCategory, int]
+    waste: WasteReport
+    mtbf_all: MtbfReport
+    mtbf_xe: MtbfReport
+    mtbf_xk: MtbfReport
+    system_mtbf_h: dict[ErrorCategory, float]
+    xe_curve: ScalingCurve
+    xk_curve: ScalingCurve
+
+    def summary(self) -> dict[str, float]:
+        """The numbers a reader compares against the paper's abstract."""
+        return {
+            "runs": float(len(self.diagnosed)),
+            "system_failure_share": self.breakdown.system_failure_share,
+            "failed_node_hour_share": self.breakdown.failed_node_hour_share,
+            "xe_curve_growth": self.xe_curve.growth_factor(),
+            "xk_curve_growth": self.xk_curve.growth_factor(),
+            "mnbf_node_hours": self.mtbf_all.mnbf_node_hours,
+        }
+
+
+class LogDiver:
+    """The end-to-end analysis pipeline (the paper's artifact)."""
+
+    def __init__(self, config: LogDiverConfig | None = None):
+        self.config = config or LogDiverConfig()
+
+    def analyze(self, bundle: LogBundle) -> Analysis:
+        """Run every stage on a bundle."""
+        config = self.config
+        errors, unclassified = classify_errors(bundle)
+        clusters, filter_stats = filter_errors(errors, config)
+        runs = assemble_runs(bundle)
+        if not runs:
+            raise AnalysisError("bundle contains no application runs")
+        attributions = attribute_clusters(runs, clusters, bundle, config)
+        diagnosed = categorize_runs(runs, attributions, config)
+        window_lo, window_hi = bundle.manifest.get("window_s", (0.0, 0.0))
+        window = Interval(float(window_lo), float(window_hi))
+        return Analysis(
+            config=config,
+            window=window,
+            errors=errors,
+            unclassified_records=unclassified,
+            clusters=clusters,
+            filter_stats=filter_stats,
+            runs=runs,
+            attributions=attributions,
+            diagnosed=diagnosed,
+            breakdown=outcome_breakdown(diagnosed),
+            causes=cause_breakdown(diagnosed),
+            waste=waste_report(diagnosed),
+            mtbf_all=application_mtbf(diagnosed),
+            mtbf_xe=application_mtbf(diagnosed, node_type="XE"),
+            mtbf_xk=application_mtbf(diagnosed, node_type="XK"),
+            system_mtbf_h=system_mtbf_by_category(clusters, window),
+            xe_curve=failure_probability_curve(
+                diagnosed, config.xe_scale_edges, node_type="XE"),
+            xk_curve=failure_probability_curve(
+                diagnosed, config.xk_scale_edges, node_type="XK"),
+        )

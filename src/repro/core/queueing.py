@@ -1,0 +1,83 @@
+"""Queue-wait analysis from the Torque accounting log.
+
+Resilience is not the only thing users feel: how long a job waits
+depends strongly on its size (capability jobs must drain the machine).
+This module aggregates queue waits by node-count bucket from Torque 'E'
+records -- the F11 figure of our reconstruction and the measurement the
+A5 scheduler ablation compares across policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.logs.records import TorqueRecord
+
+__all__ = ["WaitBucket", "queue_waits_by_scale", "overall_wait_stats"]
+
+
+@dataclass(frozen=True)
+class WaitBucket:
+    """Queue-wait statistics for one job-size bucket."""
+
+    scale_lo: int
+    scale_hi: int
+    jobs: int
+    median_wait_s: float
+    p90_wait_s: float
+    mean_wait_s: float
+
+
+def _waits(records: list[TorqueRecord]) -> list[tuple[int, float]]:
+    out = []
+    for record in records:
+        if record.kind != "E":
+            continue
+        wait = record.queue_wait_s
+        if wait is None or wait < 0:
+            continue
+        out.append((record.nodes, wait))
+    return out
+
+
+def queue_waits_by_scale(records: list[TorqueRecord],
+                         edges: tuple[int, ...] = (1, 16, 128, 1024, 4096,
+                                                   10000, 22641)
+                         ) -> list[WaitBucket]:
+    """Bucketed queue-wait statistics."""
+    waits = _waits(records)
+    if not waits:
+        raise AnalysisError("no completed jobs with queue times")
+    nodes = np.asarray([n for n, _w in waits])
+    wait_s = np.asarray([w for _n, w in waits])
+    buckets = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (nodes >= lo) & (nodes < hi)
+        selected = wait_s[mask]
+        if selected.size == 0:
+            buckets.append(WaitBucket(lo, hi, 0, 0.0, 0.0, 0.0))
+            continue
+        buckets.append(WaitBucket(
+            scale_lo=lo, scale_hi=hi, jobs=int(selected.size),
+            median_wait_s=float(np.median(selected)),
+            p90_wait_s=float(np.quantile(selected, 0.9)),
+            mean_wait_s=float(selected.mean())))
+    return buckets
+
+
+def overall_wait_stats(records: list[TorqueRecord]) -> dict[str, float]:
+    """Aggregate wait statistics across all completed jobs."""
+    waits = _waits(records)
+    if not waits:
+        raise AnalysisError("no completed jobs with queue times")
+    wait_s = np.asarray([w for _n, w in waits])
+    return {
+        "jobs": float(wait_s.size),
+        "median_wait_s": float(np.median(wait_s)),
+        "p90_wait_s": float(np.quantile(wait_s, 0.9)),
+        "mean_wait_s": float(wait_s.mean()),
+        "max_wait_s": float(wait_s.max()),
+    }

@@ -1,0 +1,111 @@
+"""Failure probability versus application scale (the F2/F3 figures).
+
+Bins runs by node count and estimates, per bin, the probability that a
+run fails for system-related reasons (diagnosed SYSTEM, plus UNKNOWN --
+externally-killed runs with no trace are system-related by taxonomy
+construction).  Wilson intervals quantify the small-bin uncertainty, and
+a log-log regression of the per-run hazard summarizes how failure
+probability grows with scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.stats.intervals import wilson_interval
+
+__all__ = ["ScalePoint", "ScalingCurve", "failure_probability_curve",
+           "fit_hazard_exponent"]
+
+_SYSTEM_OUTCOMES = (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One scale bucket of the curve."""
+
+    scale_lo: int
+    scale_hi: int
+    runs: int
+    failures: int
+    probability: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def midpoint(self) -> float:
+        return (self.scale_lo + self.scale_hi) / 2.0
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """The full curve plus its provenance."""
+
+    node_type: str
+    points: tuple[ScalePoint, ...]
+    include_launch_failures: bool
+
+    def nonempty(self) -> list[ScalePoint]:
+        return [p for p in self.points if p.runs > 0]
+
+    def growth_factor(self) -> float:
+        """p(top bucket) / p(first nonempty bucket with failures)."""
+        pts = [p for p in self.nonempty() if p.failures > 0]
+        if len(pts) < 2:
+            return float("nan")
+        return pts[-1].probability / pts[0].probability
+
+
+def failure_probability_curve(diagnosed: list[DiagnosedRun],
+                              edges: tuple[int, ...], *,
+                              node_type: str | None = None,
+                              include_launch_failures: bool = False,
+                              include_unknown: bool = True) -> ScalingCurve:
+    """Per-bucket system-failure probability.
+
+    Launch failures are excluded by default: the paper's scaling figure
+    measures *runtime* resilience, and launch errors strike before any
+    node-hours are at risk.
+    """
+    selected = []
+    for d in diagnosed:
+        if node_type is not None and d.run.node_type != node_type:
+            continue
+        if d.run.launch_error and not include_launch_failures:
+            continue
+        selected.append(d)
+    outcomes = _SYSTEM_OUTCOMES if include_unknown else (DiagnosedOutcome.SYSTEM,)
+    nodes = np.asarray([d.run.nodes for d in selected])
+    failed = np.asarray([d.outcome in outcomes for d in selected])
+    points = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (nodes >= lo) & (nodes < hi)
+        n = int(mask.sum())
+        k = int(failed[mask].sum()) if n else 0
+        p = k / n if n else 0.0
+        ci_low, ci_high = wilson_interval(k, n) if n else (0.0, 0.0)
+        points.append(ScalePoint(scale_lo=lo, scale_hi=hi, runs=n,
+                                 failures=k, probability=p,
+                                 ci_low=ci_low, ci_high=ci_high))
+    return ScalingCurve(node_type=node_type or "ALL", points=tuple(points),
+                        include_launch_failures=include_launch_failures)
+
+
+def fit_hazard_exponent(curve: ScalingCurve) -> tuple[float, float]:
+    """Fit ``log(-log(1-p)) = gamma * log(n) + c`` over nonempty buckets.
+
+    Returns ``(gamma, c)``.  ``gamma > 1`` means failure hazard grows
+    superlinearly with scale -- the paper's central scaling observation.
+    """
+    xs, ys = [], []
+    for p in curve.nonempty():
+        if 0.0 < p.probability < 1.0:
+            xs.append(np.log(p.midpoint))
+            ys.append(np.log(-np.log1p(-p.probability)))
+    if len(xs) < 2:
+        return float("nan"), float("nan")
+    gamma, c = np.polyfit(np.asarray(xs), np.asarray(ys), 1)
+    return float(gamma), float(c)

@@ -1,0 +1,92 @@
+"""Per-user and per-application resilience breakdowns.
+
+The paper slices resilience by application; operations teams also slice
+by user (who is burning node-hours on failures? whose workflow hits
+walltime limits constantly?).  Both are cheap group-bys over diagnosed
+runs, packaged here with a "top offenders" view for the site report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.errors import AnalysisError
+
+__all__ = ["GroupStats", "by_user", "by_application", "top_waste"]
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Aggregate resilience numbers for one user or application."""
+
+    key: str
+    runs: int
+    node_hours: float
+    system_failures: int
+    user_failures: int
+    walltime_kills: int
+    failed_node_hours: float
+
+    @property
+    def system_failure_share(self) -> float:
+        return self.system_failures / self.runs if self.runs else 0.0
+
+    @property
+    def failed_node_hour_share(self) -> float:
+        return (self.failed_node_hours / self.node_hours
+                if self.node_hours else 0.0)
+
+
+def _aggregate(diagnosed: list[DiagnosedRun], key_fn) -> dict[str, GroupStats]:
+    if not diagnosed:
+        raise AnalysisError("no diagnosed runs")
+    acc: dict[str, dict[str, float]] = {}
+    for d in diagnosed:
+        key = key_fn(d)
+        slot = acc.setdefault(key, {"runs": 0, "nh": 0.0, "sys": 0,
+                                    "user": 0, "wall": 0, "fnh": 0.0})
+        slot["runs"] += 1
+        slot["nh"] += d.run.node_hours
+        if d.outcome in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
+            slot["sys"] += 1
+        elif d.outcome is DiagnosedOutcome.USER:
+            slot["user"] += 1
+        elif d.outcome is DiagnosedOutcome.WALLTIME:
+            slot["wall"] += 1
+        if d.outcome.is_failure:
+            slot["fnh"] += d.run.node_hours
+    return {
+        key: GroupStats(key=key, runs=int(s["runs"]), node_hours=s["nh"],
+                        system_failures=int(s["sys"]),
+                        user_failures=int(s["user"]),
+                        walltime_kills=int(s["wall"]),
+                        failed_node_hours=s["fnh"])
+        for key, s in acc.items()
+    }
+
+
+def by_user(diagnosed: list[DiagnosedRun]) -> dict[str, GroupStats]:
+    """Resilience stats per user, sorted by node-hours descending."""
+    stats = _aggregate(diagnosed, lambda d: d.run.user)
+    return dict(sorted(stats.items(), key=lambda kv: -kv[1].node_hours))
+
+
+def by_application(diagnosed: list[DiagnosedRun]) -> dict[str, GroupStats]:
+    """Resilience stats per application binary."""
+    stats = _aggregate(diagnosed, lambda d: d.run.cmd)
+    return dict(sorted(stats.items(), key=lambda kv: -kv[1].node_hours))
+
+
+def top_waste(diagnosed: list[DiagnosedRun], *, by: str = "user",
+              n: int = 10) -> list[GroupStats]:
+    """The ``n`` groups burning the most node-hours in failed runs."""
+    if by == "user":
+        stats = by_user(diagnosed)
+    elif by == "application":
+        stats = by_application(diagnosed)
+    else:
+        raise AnalysisError(f"unknown grouping {by!r}; use 'user' or "
+                            f"'application'")
+    ranked = sorted(stats.values(), key=lambda g: -g.failed_node_hours)
+    return ranked[:n]

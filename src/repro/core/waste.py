@@ -1,0 +1,87 @@
+"""Lost work and its energy cost (the F4 analysis).
+
+The paper's lesson (i): failed applications consumed ~9% of production
+node-hours -- compute cycles and energy the system burned for nothing.
+This module computes the node-hours consumed by failed runs, their share
+of all production node-hours, the per-run loss distribution (for the
+CDF figure), and a watts-based energy proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.errors import AnalysisError
+from repro.machine.nodetypes import NODE_SPECS, NodeType
+
+__all__ = ["WasteReport", "waste_report", "lost_node_hours_distribution"]
+
+
+@dataclass(frozen=True)
+class WasteReport:
+    """Aggregate lost-work figures."""
+
+    total_node_hours: float
+    failed_node_hours: float
+    system_failed_node_hours: float
+    failed_runs: int
+    system_failed_runs: int
+    energy_mwh_failed: float
+
+    @property
+    def failed_share(self) -> float:
+        """Node-hour share of all failed runs (the ~9% headline)."""
+        if self.total_node_hours == 0:
+            return 0.0
+        return self.failed_node_hours / self.total_node_hours
+
+    @property
+    def system_failed_share(self) -> float:
+        if self.total_node_hours == 0:
+            return 0.0
+        return self.system_failed_node_hours / self.total_node_hours
+
+
+def _power_kw(node_type: str) -> float:
+    try:
+        return NODE_SPECS[NodeType(node_type)].power_watts / 1000.0
+    except ValueError:
+        return NODE_SPECS[NodeType.XE].power_watts / 1000.0
+
+
+def waste_report(diagnosed: list[DiagnosedRun]) -> WasteReport:
+    """Lost node-hours and energy across all diagnosed runs."""
+    if not diagnosed:
+        raise AnalysisError("no diagnosed runs")
+    total = failed = system_failed = energy = 0.0
+    failed_runs = system_failed_runs = 0
+    for d in diagnosed:
+        nh = d.run.node_hours
+        total += nh
+        if d.outcome.is_failure:
+            failed += nh
+            failed_runs += 1
+            energy += nh * _power_kw(d.run.node_type)
+        if d.outcome in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
+            system_failed += nh
+            system_failed_runs += 1
+    return WasteReport(total_node_hours=total, failed_node_hours=failed,
+                       system_failed_node_hours=system_failed,
+                       failed_runs=failed_runs,
+                       system_failed_runs=system_failed_runs,
+                       energy_mwh_failed=energy / 1000.0)
+
+
+def lost_node_hours_distribution(diagnosed: list[DiagnosedRun], *,
+                                 system_only: bool = True) -> np.ndarray:
+    """Per-failed-run node-hours, sorted ascending (for the CDF figure)."""
+    outcomes = ((DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN)
+                if system_only else
+                (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN,
+                 DiagnosedOutcome.USER, DiagnosedOutcome.WALLTIME))
+    losses = np.asarray([d.run.node_hours for d in diagnosed
+                         if d.outcome in outcomes], dtype=float)
+    return np.sort(losses)

@@ -1,0 +1,91 @@
+"""Time-sliced analysis: resilience metrics over calendar windows.
+
+The paper examines whether failure behaviour is stationary over the 518
+production days (hardware ages, software gets fixed, workload drifts).
+This module slices diagnosed runs and error clusters into fixed windows
+(months by default) and computes per-window outcome shares and failure
+rates -- the F9 "stability over time" figure of our reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.filtering import ErrorCluster
+from repro.core.mtbf import FAILURE_CLASS_CATEGORIES
+from repro.errors import AnalysisError
+from repro.util.intervals import Interval
+from repro.util.timeutil import DAY
+
+__all__ = ["WindowStats", "sliced_stats"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Metrics for one time slice."""
+
+    window: Interval
+    runs: int
+    system_failures: int
+    failure_clusters: int
+    node_hours: float
+
+    @property
+    def system_failure_share(self) -> float:
+        return self.system_failures / self.runs if self.runs else 0.0
+
+    @property
+    def clusters_per_day(self) -> float:
+        days = self.window.duration / DAY
+        return self.failure_clusters / days if days else 0.0
+
+
+def sliced_stats(diagnosed: list[DiagnosedRun],
+                 clusters: list[ErrorCluster],
+                 window: Interval,
+                 *, slice_days: float = 30.0) -> list[WindowStats]:
+    """Per-slice resilience statistics across ``window``.
+
+    Runs are assigned to the slice containing their *end* (when their
+    fate was decided); clusters to the slice containing their start.
+    """
+    if slice_days <= 0:
+        raise AnalysisError("slice_days must be positive")
+    if window.duration <= 0:
+        raise AnalysisError("analysis window must have positive duration")
+    n_slices = max(1, int(window.duration / (slice_days * DAY) + 0.999))
+    slices = [Interval(window.start + i * slice_days * DAY,
+                       min(window.end,
+                           window.start + (i + 1) * slice_days * DAY))
+              for i in range(n_slices)]
+
+    def slice_of(t: float) -> int | None:
+        if t < window.start or t >= window.end:
+            return None
+        return min(int((t - window.start) / (slice_days * DAY)),
+                   n_slices - 1)
+
+    runs_in = [0] * n_slices
+    failures_in = [0] * n_slices
+    hours_in = [0.0] * n_slices
+    clusters_in = [0] * n_slices
+    for d in diagnosed:
+        i = slice_of(d.run.end_s)
+        if i is None:
+            continue
+        runs_in[i] += 1
+        hours_in[i] += d.run.node_hours
+        if d.outcome in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
+            failures_in[i] += 1
+    for cluster in clusters:
+        if cluster.category not in FAILURE_CLASS_CATEGORIES:
+            continue
+        i = slice_of(cluster.start_s)
+        if i is not None:
+            clusters_in[i] += 1
+    return [WindowStats(window=slices[i], runs=runs_in[i],
+                        system_failures=failures_in[i],
+                        failure_clusters=clusters_in[i],
+                        node_hours=hours_in[i])
+            for i in range(n_slices)]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``ValueError`` from user code, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, machine, or pipeline configuration is invalid.
+
+    Raised eagerly at construction time so misconfiguration is caught
+    before an expensive simulation or analysis starts.
+    """
+
+
+class CNameError(ReproError):
+    """A Cray component name (``c0-0c0s0n0`` style) failed to parse."""
+
+
+class LogFormatError(ReproError):
+    """A log line does not match the format its parser expects.
+
+    Carries optional context so a pipeline can report *where* the bad
+    line was found.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None,
+                 lineno: int | None = None, line: str | None = None):
+        location = ""
+        if source is not None:
+            location = f" [{source}"
+            if lineno is not None:
+                location += f":{lineno}"
+            location += "]"
+        super().__init__(message + location)
+        self.source = source
+        self.lineno = lineno
+        self.line = line
+
+
+class SchedulingError(ReproError):
+    """The workload scheduler could not place a job (e.g. request exceeds
+    the partition capacity)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """A LogDiver analysis step received data it cannot process
+    (e.g. an empty run table where at least one run is required)."""

@@ -1,0 +1,60 @@
+"""Experiments: one runner per reconstructed table/figure, plus the
+calibration targets and shared presets."""
+
+from repro.experiments.accuracy import AccuracyReport, diagnosis_accuracy
+from repro.experiments.comparison import Comparison, render_comparisons
+from repro.experiments.detection import (
+    DetectionGap,
+    detection_gap_experiment,
+    ground_truth_gap,
+    pipeline_gap,
+)
+from repro.experiments.presets import (
+    AMBIENT_DAYS,
+    AMBIENT_SEED,
+    AMBIENT_THINNING,
+    ambient_analysis,
+    ambient_result,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiments.sweep import (
+    XE_SWEEP_SCALES,
+    XK_SWEEP_SCALES,
+    SweepPoint,
+    scaling_sweep,
+)
+from repro.experiments.swo_impact import SwoImpact, SwoSummary, swo_impact
+from repro.experiments.targets import PAPER_TARGETS, PaperTarget, target
+
+__all__ = [
+    "AMBIENT_DAYS",
+    "AMBIENT_SEED",
+    "AMBIENT_THINNING",
+    "AccuracyReport",
+    "Comparison",
+    "DetectionGap",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER_TARGETS",
+    "PaperTarget",
+    "SweepPoint",
+    "SwoImpact",
+    "SwoSummary",
+    "XE_SWEEP_SCALES",
+    "XK_SWEEP_SCALES",
+    "ambient_analysis",
+    "ambient_result",
+    "detection_gap_experiment",
+    "diagnosis_accuracy",
+    "ground_truth_gap",
+    "pipeline_gap",
+    "render_comparisons",
+    "run_experiment",
+    "scaling_sweep",
+    "swo_impact",
+    "target",
+]

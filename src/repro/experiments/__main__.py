@@ -1,0 +1,30 @@
+"""CLI: ``python -m repro.experiments [ids...]`` runs experiments and
+prints their paper-style tables.  With no arguments, runs everything
+(slow: the full bench sweep)."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    ids = [a.upper() for a in argv] or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; have {sorted(EXPERIMENTS)}")
+        return 2
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id)
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

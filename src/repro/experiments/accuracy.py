@@ -1,0 +1,98 @@
+"""Diagnosis accuracy: LogDiver verdicts against simulator ground truth.
+
+The original study could not validate its attribution -- nobody knows
+the true cause of a 2013 Blue Waters failure.  Our substrate does, so
+this experiment reports the confusion matrix between ground-truth
+outcomes and diagnosed outcomes, plus cause-level precision/recall for
+system failures.  It doubles as the end-to-end correctness check for
+the whole library.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+
+from repro.core.categorize import DiagnosedOutcome
+from repro.core.pipeline import Analysis, LogDiver
+from repro.logs.bundle import read_bundle, write_bundle
+from repro.sim.cluster import SimulationResult
+from repro.workload.jobs import Outcome
+
+__all__ = ["AccuracyReport", "diagnosis_accuracy"]
+
+#: Ground-truth outcome -> the diagnosed outcome(s) considered correct.
+_EXPECTED: dict[Outcome, tuple[DiagnosedOutcome, ...]] = {
+    Outcome.COMPLETED: (DiagnosedOutcome.SUCCESS,),
+    Outcome.USER_FAILURE: (DiagnosedOutcome.USER,),
+    Outcome.WALLTIME: (DiagnosedOutcome.WALLTIME,),
+    # A system kill is correctly handled when it is attributed (SYSTEM)
+    # or honestly surrendered (UNKNOWN, for silent faults).
+    Outcome.SYSTEM_FAILURE: (DiagnosedOutcome.SYSTEM,
+                             DiagnosedOutcome.UNKNOWN),
+    Outcome.LAUNCH_FAILURE: (DiagnosedOutcome.SYSTEM,),
+}
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Confusion matrix and summary rates."""
+
+    confusion: dict[tuple[str, str], int]
+    runs: int
+    #: Of ground-truth system kills, share diagnosed SYSTEM with the
+    #: *correct* error category.
+    cause_recall: float
+    #: Of runs diagnosed SYSTEM (excluding launch errors), share that
+    #: were genuinely system-killed.
+    system_precision: float
+    #: Of ground-truth system kills, share diagnosed SYSTEM or UNKNOWN.
+    system_recall: float
+
+    def rate(self, truth: str, diagnosed: str) -> float:
+        row_total = sum(v for (t, _d), v in self.confusion.items()
+                        if t == truth)
+        if row_total == 0:
+            return 0.0
+        return self.confusion.get((truth, diagnosed), 0) / row_total
+
+
+def diagnosis_accuracy(result: SimulationResult, *,
+                       analysis: Analysis | None = None,
+                       seed: int = 0) -> AccuracyReport:
+    """Compare a simulation's diagnosis against its ground truth."""
+    if analysis is None:
+        with tempfile.TemporaryDirectory() as directory:
+            write_bundle(result, directory, seed=seed)
+            analysis = LogDiver().analyze(read_bundle(directory))
+    truth = {r.apid: r for r in result.runs}
+    confusion: dict[tuple[str, str], int] = {}
+    correct_cause = 0
+    gt_system = 0
+    diag_system_true = 0
+    diag_system_total = 0
+    recovered = 0
+    for d in analysis.diagnosed:
+        gt = truth.get(d.apid)
+        if gt is None:
+            continue
+        key = (gt.outcome.value, d.outcome.value)
+        confusion[key] = confusion.get(key, 0) + 1
+        if gt.outcome is Outcome.SYSTEM_FAILURE:
+            gt_system += 1
+            if d.outcome in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
+                recovered += 1
+            if (d.outcome is DiagnosedOutcome.SYSTEM
+                    and d.category is gt.cause_category):
+                correct_cause += 1
+        if d.outcome is DiagnosedOutcome.SYSTEM and not d.run.launch_error:
+            diag_system_total += 1
+            if gt.outcome is Outcome.SYSTEM_FAILURE:
+                diag_system_true += 1
+    return AccuracyReport(
+        confusion=confusion,
+        runs=len(analysis.diagnosed),
+        cause_recall=correct_cause / gt_system if gt_system else 0.0,
+        system_precision=(diag_system_true / diag_system_total
+                          if diag_system_total else 0.0),
+        system_recall=recovered / gt_system if gt_system else 0.0)

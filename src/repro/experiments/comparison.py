@@ -1,0 +1,46 @@
+"""Paper-vs-measured comparison records used by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.targets import PaperTarget
+from repro.util.tables import render_table
+
+__all__ = ["Comparison", "render_comparisons"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One measured value next to what the paper reports."""
+
+    experiment: str
+    metric: str
+    paper_value: float | None
+    measured: float
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value in (None, 0):
+            return float("nan")
+        return self.measured / self.paper_value
+
+    @classmethod
+    def against(cls, experiment: str, target: PaperTarget,
+                measured: float, note: str = "") -> "Comparison":
+        return cls(experiment=experiment, metric=target.key,
+                   paper_value=target.value, measured=measured,
+                   note=note or target.description)
+
+
+def render_comparisons(comparisons: list[Comparison]) -> str:
+    """Fixed-width table: experiment, metric, paper, measured, ratio."""
+    body = []
+    for c in comparisons:
+        paper = "-" if c.paper_value is None else f"{c.paper_value:g}"
+        ratio = "-" if c.paper_value in (None, 0) else f"{c.ratio:.2f}x"
+        body.append([c.experiment, c.metric, paper,
+                     f"{c.measured:g}", ratio, c.note])
+    return render_table(
+        ["exp", "metric", "paper", "measured", "ratio", "note"], body)

@@ -1,0 +1,120 @@
+"""F7: the hybrid-node detection gap (the paper's lesson iii).
+
+Two measurements:
+
+1. **Ground truth** -- among system-killed runs, the fraction whose
+   killing fault was *silent* (fatal but undetected), split XE vs XK.
+   XK should be markedly worse: GPU memory/bus faults and XK node hangs
+   are poorly instrumented.
+2. **Pipeline view** -- among externally-killed runs in the logs, the
+   fraction LogDiver can only label UNKNOWN (no attributable cluster),
+   split XE vs XK.  This is what an analyst actually observes.
+
+A counterfactual run with XE-grade detection on XK nodes shows how much
+of the gap better detectors would close.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+
+from repro.core.categorize import DiagnosedOutcome
+from repro.core.pipeline import LogDiver
+from repro.faults.detection import DetectionModel
+from repro.logs.bundle import read_bundle, write_bundle
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import SimulationResult
+from repro.sim.scenario import paper_scenario
+from repro.workload.jobs import Outcome
+
+__all__ = ["DetectionGap", "ground_truth_gap", "pipeline_gap",
+           "detection_gap_experiment"]
+
+
+@dataclass(frozen=True)
+class DetectionGap:
+    """Silent/unattributed share of system kills per partition."""
+
+    label: str
+    xe_kills: int
+    xe_silent: int
+    xk_kills: int
+    xk_silent: int
+
+    @property
+    def xe_silent_share(self) -> float:
+        return self.xe_silent / self.xe_kills if self.xe_kills else 0.0
+
+    @property
+    def xk_silent_share(self) -> float:
+        return self.xk_silent / self.xk_kills if self.xk_kills else 0.0
+
+    @property
+    def gap_factor(self) -> float:
+        """How many times worse XK is than XE."""
+        if self.xe_silent_share == 0:
+            return float("inf") if self.xk_silent_share > 0 else 1.0
+        return self.xk_silent_share / self.xe_silent_share
+
+
+def ground_truth_gap(result: SimulationResult,
+                     label: str = "ground-truth") -> DetectionGap:
+    """Silent-kill shares straight from simulator ground truth."""
+    events = {e.event_id: e for e in result.faults.events}
+    counts = {NodeType.XE: [0, 0], NodeType.XK: [0, 0]}
+    for run in result.runs:
+        if run.outcome is not Outcome.SYSTEM_FAILURE:
+            continue
+        if run.node_type not in counts:
+            continue
+        counts[run.node_type][0] += 1
+        event = events.get(run.cause_event_id or -1)
+        if event is not None and event.silent:
+            counts[run.node_type][1] += 1
+    return DetectionGap(label=label,
+                        xe_kills=counts[NodeType.XE][0],
+                        xe_silent=counts[NodeType.XE][1],
+                        xk_kills=counts[NodeType.XK][0],
+                        xk_silent=counts[NodeType.XK][1])
+
+
+def pipeline_gap(result: SimulationResult, *, seed: int = 0,
+                 label: str = "pipeline") -> DetectionGap:
+    """UNKNOWN share of diagnosed external kills, via the full pipeline."""
+    with tempfile.TemporaryDirectory() as directory:
+        write_bundle(result, directory, seed=seed)
+        analysis = LogDiver().analyze(read_bundle(directory))
+    counts = {"XE": [0, 0], "XK": [0, 0]}
+    for d in analysis.diagnosed:
+        if d.outcome not in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
+            continue
+        if d.run.launch_error or d.run.node_type not in counts:
+            continue
+        counts[d.run.node_type][0] += 1
+        if d.outcome is DiagnosedOutcome.UNKNOWN:
+            counts[d.run.node_type][1] += 1
+    return DetectionGap(label=label,
+                        xe_kills=counts["XE"][0], xe_silent=counts["XE"][1],
+                        xk_kills=counts["XK"][0], xk_silent=counts["XK"][1])
+
+
+def detection_gap_experiment(*, days: float = 180.0,
+                             workload_thinning: float = 0.03,
+                             seed: int = 33,
+                             counterfactual: DetectionModel | None = None
+                             ) -> dict[str, DetectionGap]:
+    """Run default and improved-detection scenarios; return the gaps."""
+    from repro.faults.detection import XE_GRADE_XK_DETECTION
+
+    default = paper_scenario(days=days, workload_thinning=workload_thinning,
+                             seed=seed, include_benign=False).run()
+    improved_scenario = paper_scenario(
+        days=days, workload_thinning=workload_thinning, seed=seed,
+        detection=counterfactual or XE_GRADE_XK_DETECTION,
+        include_benign=False)
+    improved = improved_scenario.run()
+    return {
+        "default": ground_truth_gap(default, "default"),
+        "improved": ground_truth_gap(improved, "xe-grade-xk-detection"),
+    }

@@ -1,0 +1,564 @@
+"""One entry point per reconstructed table/figure.
+
+Each ``run_<id>`` function produces an :class:`ExperimentResult` with a
+paper-style text table and paper-vs-measured comparisons.  The benchmark
+suite calls these; ``python -m repro.experiments <id>`` prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baseline import baseline_analysis
+from repro.core.metrics import runs_by_scale
+from repro.core.report import (
+    render_causes,
+    render_filtering,
+    render_mtbf,
+    render_outcomes,
+    render_waste,
+    render_workload,
+)
+from repro.core.waste import lost_node_hours_distribution
+from repro.experiments.accuracy import diagnosis_accuracy
+from repro.experiments.comparison import Comparison, render_comparisons
+from repro.experiments.detection import ground_truth_gap
+from repro.experiments.presets import ambient_analysis, ambient_result
+from repro.experiments.sweep import scaling_sweep
+from repro.experiments.swo_impact import swo_impact
+from repro.experiments.targets import target
+from repro.machine.blueprints import BLUE_WATERS, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.stats.ecdf import quantiles
+from repro.stats.fitting import fit_all
+from repro.stats.hazard import hazard_trend
+from repro.util.tables import render_table
+from repro.util.timeutil import HOUR
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output of one experiment."""
+
+    experiment_id: str
+    title: str
+    table: str
+    comparisons: list[Comparison] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.table]
+        if self.comparisons:
+            parts += ["", "paper vs measured:",
+                      render_comparisons(self.comparisons)]
+        return "\n".join(parts)
+
+
+# -- tables -------------------------------------------------------------------
+
+def run_t1() -> ExperimentResult:
+    """T1: machine configuration."""
+    machine = build_machine(BLUE_WATERS)
+    summary = machine.summary()
+    body = [[key, str(value)] for key, value in summary.items()]
+    comparisons = [
+        Comparison.against("T1", target("machine_xe_nodes"),
+                           float(summary["nodes_xe"])),
+        Comparison.against("T1", target("machine_xk_nodes"),
+                           float(summary["nodes_xk"])),
+    ]
+    return ExperimentResult("T1", "machine configuration",
+                            render_table(["item", "value"], body),
+                            comparisons, data=dict(summary))
+
+
+def run_t2() -> ExperimentResult:
+    """T2: data sources and volumes."""
+    analysis = ambient_analysis()
+    runs = len(analysis.runs)
+    body = [
+        ["apsys (application runs)", str(runs)],
+        ["torque (job records)", str(2 * len({r.batch_id for r in analysis.runs}))],
+        ["error records (classified)", str(len(analysis.errors))],
+        ["error records (unclassified)", str(analysis.unclassified_records)],
+        ["error clusters after filtering", str(len(analysis.clusters))],
+    ]
+    return ExperimentResult("T2", "data sources and volumes",
+                            render_table(["source", "records"], body),
+                            data={"runs": runs,
+                                  "errors": len(analysis.errors)})
+
+
+def run_t3() -> ExperimentResult:
+    """T3: workload characterization by application."""
+    analysis = ambient_analysis()
+    return ExperimentResult("T3", "workload characterization",
+                            render_workload(analysis),
+                            data={"runs": len(analysis.diagnosed)})
+
+
+def run_t4() -> ExperimentResult:
+    """T4: outcome categorization (the 1.53% headline)."""
+    analysis = ambient_analysis()
+    share = analysis.breakdown.system_failure_share
+    comparisons = [Comparison.against(
+        "T4", target("system_failure_share"), share)]
+    return ExperimentResult("T4", "run outcome categorization",
+                            render_outcomes(analysis), comparisons,
+                            data={"system_failure_share": share})
+
+
+def run_t5() -> ExperimentResult:
+    """T5: system failures by cause category."""
+    analysis = ambient_analysis()
+    return ExperimentResult("T5", "system-failure cause breakdown",
+                            render_causes(analysis),
+                            data={k.value: v for k, v in analysis.causes.items()})
+
+
+def run_t6() -> ExperimentResult:
+    """T6: filtering compression."""
+    analysis = ambient_analysis()
+    stats = analysis.filter_stats
+    return ExperimentResult("T6", "error filtering effectiveness",
+                            render_filtering(analysis),
+                            data={"raw": stats.raw_records,
+                                  "tuples": stats.tuples,
+                                  "clusters": stats.clusters})
+
+
+# -- figures ---------------------------------------------------------------
+
+def run_f1() -> ExperimentResult:
+    """F1: runs and node-hours by scale bucket."""
+    analysis = ambient_analysis()
+    rows = runs_by_scale(analysis.diagnosed, analysis.config.xe_scale_edges,
+                         node_type="XE")
+    body = [[f"{r['scale_lo']}-{r['scale_hi'] - 1}", str(r["runs"]),
+             f"{r['node_hours']:,.0f}"] for r in rows if r["runs"]]
+    return ExperimentResult("F1", "XE runs and node-hours by scale",
+                            render_table(["nodes", "runs", "node_hours"],
+                                         body),
+                            data={"rows": rows})
+
+
+def _sweep_result(experiment_id: str, node_type: NodeType,
+                  runs_per_scale: int) -> ExperimentResult:
+    points = scaling_sweep(node_type, runs_per_scale=runs_per_scale)
+    body = [[str(p.nodes), str(p.runs), str(p.failures),
+             f"{p.probability:.4f}",
+             f"[{p.ci_low:.4f}, {p.ci_high:.4f}]",
+             f"{p.mean_walltime_h:.2f}"] for p in points]
+    table = render_table(
+        [f"{node_type.value} nodes", "runs", "failures", "p(sys fail)",
+         "95% CI", "mean_t_h"], body)
+    by_scale = {p.nodes: p for p in points}
+    comparisons: list[Comparison] = []
+    if node_type is NodeType.XE:
+        comparisons = [
+            Comparison.against("F2", target("xe_p_at_10k"),
+                               by_scale[10000].probability),
+            Comparison.against("F2", target("xe_p_at_22k"),
+                               by_scale[22000].probability),
+        ]
+        title = "XE failure probability vs. scale"
+    else:
+        comparisons = [
+            Comparison.against("F3", target("xk_p_at_2k"),
+                               by_scale[2000].probability),
+            Comparison.against("F3", target("xk_p_at_4224"),
+                               by_scale[4224].probability),
+        ]
+        title = "XK failure probability vs. scale"
+    return ExperimentResult(experiment_id, title, table, comparisons,
+                            data={"points": points})
+
+
+def run_f2(runs_per_scale: int = 400) -> ExperimentResult:
+    """F2: XE failure probability vs. scale (controlled sweep)."""
+    return _sweep_result("F2", NodeType.XE, runs_per_scale)
+
+
+def run_f3(runs_per_scale: int = 400) -> ExperimentResult:
+    """F3: XK failure probability vs. scale (controlled sweep)."""
+    return _sweep_result("F3", NodeType.XK, runs_per_scale)
+
+
+def run_f4() -> ExperimentResult:
+    """F4: lost node-hours (the ~9% headline) and the loss CDF."""
+    analysis = ambient_analysis()
+    losses = lost_node_hours_distribution(analysis.diagnosed,
+                                          system_only=False)
+    qs = quantiles(losses, (0.5, 0.9, 0.99)) if losses.size else {}
+    table = render_waste(analysis)
+    if qs:
+        table += "\n\nper-failed-run node-hours quantiles:\n" + render_table(
+            ["quantile", "node_hours"],
+            [[f"p{int(q * 100)}", f"{v:,.1f}"] for q, v in qs.items()])
+    comparisons = [Comparison.against(
+        "F4", target("failed_node_hour_share"),
+        analysis.breakdown.failed_node_hour_share)]
+    return ExperimentResult("F4", "lost node-hours", table, comparisons,
+                            data={"share": analysis.breakdown.failed_node_hour_share})
+
+
+def run_f5() -> ExperimentResult:
+    """F5: MTBF / MNBF."""
+    analysis = ambient_analysis()
+    return ExperimentResult("F5", "MTBF and MNBF", render_mtbf(analysis),
+                            data={"mnbf": analysis.mtbf_all.mnbf_node_hours})
+
+
+def run_f6() -> ExperimentResult:
+    """F6: time-between-system-failure distribution fits."""
+    analysis = ambient_analysis()
+    times = sorted(d.run.end_s for d in analysis.diagnosed
+                   if d.outcome.value in ("system", "unknown")
+                   and not d.run.launch_error)
+    gaps = np.diff(np.asarray(times))
+    gaps = gaps[gaps > 0]
+    fits = fit_all(gaps / HOUR)
+    trend = hazard_trend(gaps / HOUR)
+    body = [[fit.family, fit.describe()] for fit in fits]
+    table = render_table(["family", "fit"], body)
+    table += f"\n\nempirical hazard trend (Spearman rho): {trend:+.3f}"
+    table += "\n(negative = clustered failures, the expected field shape)"
+    return ExperimentResult("F6", "inter-failure time fits", table,
+                            data={"best": fits[0].family, "trend": trend,
+                                  "n_gaps": int(gaps.size)})
+
+
+def run_f7() -> ExperimentResult:
+    """F7: XK detection gap (ground truth and pipeline views)."""
+    from repro.core.categorize import DiagnosedOutcome
+    from repro.experiments.detection import DetectionGap
+
+    result = ambient_result()
+    analysis = ambient_analysis()
+    gt = ground_truth_gap(result)
+    counts = {"XE": [0, 0], "XK": [0, 0]}
+    for d in analysis.diagnosed:
+        if d.outcome not in (DiagnosedOutcome.SYSTEM,
+                             DiagnosedOutcome.UNKNOWN):
+            continue
+        if d.run.launch_error or d.run.node_type not in counts:
+            continue
+        counts[d.run.node_type][0] += 1
+        if d.outcome is DiagnosedOutcome.UNKNOWN:
+            counts[d.run.node_type][1] += 1
+    pipe = DetectionGap(label="pipeline",
+                        xe_kills=counts["XE"][0], xe_silent=counts["XE"][1],
+                        xk_kills=counts["XK"][0], xk_silent=counts["XK"][1])
+    body = [
+        ["ground truth", f"{gt.xe_silent_share:.3f}",
+         f"{gt.xk_silent_share:.3f}", f"{gt.gap_factor:.1f}x"],
+        ["pipeline (UNKNOWN share)", f"{pipe.xe_silent_share:.3f}",
+         f"{pipe.xk_silent_share:.3f}", f"{pipe.gap_factor:.1f}x"],
+    ]
+    table = render_table(["view", "XE silent share", "XK silent share",
+                          "XK/XE"], body)
+    return ExperimentResult("F7", "hybrid-node detection gap", table,
+                            data={"gt": gt, "pipeline": pipe,
+                                  "analysis_unknown": analysis.breakdown.counts})
+
+
+def run_f8() -> ExperimentResult:
+    """F8: system-wide outage impact.
+
+    SWOs are roughly bimonthly, so this experiment needs the full
+    518-day window (benign noise events are skipped -- they cannot
+    change outcomes and swo_impact works from ground truth).
+    """
+    result = ambient_result(days=518.0, thinning=0.01,
+                            include_benign=False)
+    summary = swo_impact(result)
+    body = [[str(o.event_id), f"{o.time_s / 86400:.1f}",
+             f"{o.downtime_h:.1f}", str(o.runs_killed),
+             f"{o.node_hours_lost:,.0f}"] for o in summary.outages]
+    table = render_table(["swo", "day", "downtime_h", "runs_killed",
+                          "nh_lost"], body)
+    table += (f"\n\navailability: {summary.availability:.4f}   "
+              f"SWO share of system failures: "
+              f"{summary.swo_share_of_system_failures:.3f}")
+    return ExperimentResult("F8", "system-wide outage impact", table,
+                            data={"availability": summary.availability,
+                                  "outages": len(summary.outages)})
+
+
+def run_f9() -> ExperimentResult:
+    """F9: stability of failure behaviour over time (stationarity)."""
+    from repro.core.windows import sliced_stats
+
+    analysis = ambient_analysis()
+    stats = sliced_stats(analysis.diagnosed, analysis.clusters,
+                         analysis.window, slice_days=30.0)
+    body = [[f"{int(s.window.start / 86400)}-{int(s.window.end / 86400)}",
+             str(s.runs), str(s.system_failures),
+             f"{s.system_failure_share:.4f}",
+             str(s.failure_clusters), f"{s.clusters_per_day:.2f}"]
+            for s in stats]
+    shares = [s.system_failure_share for s in stats if s.runs > 100]
+    table = render_table(["days", "runs", "sys_failures", "share",
+                          "clusters", "clusters/day"], body)
+    return ExperimentResult("F9", "failure behaviour over time", table,
+                            data={"shares": shares,
+                                  "slices": len(stats)})
+
+
+def run_f10() -> ExperimentResult:
+    """F10: error-category co-occurrence (lift matrix highlights)."""
+    from repro.core.correlation import cooccurrence
+
+    analysis = ambient_analysis()
+    matrix = cooccurrence(analysis.clusters, analysis.window,
+                          correlation_window_s=600.0)
+    body = [[a.value, b.value, str(count), f"{lift:.1f}x"]
+            for a, b, count, lift in matrix.top_pairs(12)]
+    table = render_table(["category A", "category B", "co-occurrences",
+                          "lift"], body)
+    return ExperimentResult("F10", "error-category co-occurrence", table,
+                            data={"pairs": matrix.top_pairs(12),
+                                  "categories": len(matrix.categories)})
+
+
+def run_f11() -> ExperimentResult:
+    """F11: queue waits by job size (from the Torque log)."""
+    from repro.core.queueing import overall_wait_stats, queue_waits_by_scale
+    from repro.experiments.presets import ambient_bundle
+
+    bundle = ambient_bundle()
+    buckets = queue_waits_by_scale(bundle.torque_records)
+    overall = overall_wait_stats(bundle.torque_records)
+    body = [[f"{b.scale_lo}-{b.scale_hi - 1}", str(b.jobs),
+             f"{b.median_wait_s / 60:.1f}", f"{b.p90_wait_s / 60:.1f}",
+             f"{b.mean_wait_s / 60:.1f}"]
+            for b in buckets if b.jobs]
+    table = render_table(["nodes", "jobs", "median wait min",
+                          "p90 wait min", "mean wait min"], body)
+    table += (f"\n\noverall: median "
+              f"{overall['median_wait_s'] / 60:.1f} min, p90 "
+              f"{overall['p90_wait_s'] / 60:.1f} min over "
+              f"{overall['jobs']:.0f} jobs")
+    return ExperimentResult("F11", "queue waits by job size", table,
+                            data={"buckets": buckets, "overall": overall})
+
+
+def run_f12() -> ExperimentResult:
+    """F12: near misses -- error overlap with successful runs."""
+    from repro.core.nearmiss import near_miss_analysis
+    from repro.experiments.presets import ambient_bundle
+
+    analysis = ambient_analysis()
+    report = near_miss_analysis(analysis.diagnosed, analysis.clusters,
+                                ambient_bundle(), analysis.config)
+    body = []
+    for category, (ok, bad) in sorted(report.by_category.items(),
+                                      key=lambda kv: -(kv[1][0] + kv[1][1])):
+        body.append([category.value, str(ok), str(bad),
+                     f"{report.kill_ratio(category):.3f}"])
+    table = render_table(["category", "overlap w/ success",
+                          "overlap w/ failure", "kill ratio"], body)
+    table += (f"\n\nbenign-overlap share of all error-run overlaps: "
+              f"{report.benign_overlap_share:.3f}")
+    return ExperimentResult("F12", "near misses (survived errors)", table,
+                            data={"benign_share": report.benign_overlap_share,
+                                  "by_category": report.by_category})
+
+
+# -- ablations -------------------------------------------------------------
+
+def run_a1() -> ExperimentResult:
+    """A1: LogDiver vs the error-log-only baseline."""
+    from repro.experiments.presets import ambient_bundle
+
+    result = ambient_result()
+    analysis = ambient_analysis()
+    base = baseline_analysis(ambient_bundle())
+    acc = diagnosis_accuracy(result, analysis=analysis)
+    app_failures = analysis.mtbf_all.system_failures
+    body = [
+        ["failure events (baseline clusters)", str(base.failure_class_clusters)],
+        ["application failures (LogDiver)", str(app_failures)],
+        ["baseline machine MTBF (h)", f"{base.system_mtbf_hours:.1f}"],
+        ["LogDiver app MTBF (h)", f"{analysis.mtbf_all.app_mtbf_hours:.1f}"],
+        ["LogDiver system precision", f"{acc.system_precision:.3f}"],
+        ["LogDiver system recall", f"{acc.system_recall:.3f}"],
+        ["LogDiver cause recall", f"{acc.cause_recall:.3f}"],
+    ]
+    return ExperimentResult(
+        "A1", "application attribution vs error-log-only baseline",
+        render_table(["metric", "value"], body),
+        data={"baseline_clusters": base.failure_class_clusters,
+              "app_failures": app_failures,
+              "precision": acc.system_precision,
+              "recall": acc.system_recall})
+
+
+def run_a2() -> ExperimentResult:
+    """A2: tupling-window sensitivity sweep."""
+    from repro.core.config import LogDiverConfig
+    from repro.core.filtering import filter_errors
+    from repro.core.ingest import classify_errors
+    from repro.experiments.presets import ambient_bundle
+
+    errors, _ = classify_errors(ambient_bundle())
+    body = []
+    counts = {}
+    tuple_counts = {}
+    for window in (5.0, 30.0, 60.0, 120.0, 300.0, 900.0):
+        config = LogDiverConfig(tupling_window_s=window)
+        clusters, stats = filter_errors(errors, config)
+        counts[window] = stats.clusters
+        tuple_counts[window] = stats.tuples
+        body.append([f"{window:g}", str(stats.tuples), str(stats.clusters),
+                     f"{stats.total_ratio:.2f}x"])
+    return ExperimentResult(
+        "A2", "tupling-window sensitivity",
+        render_table(["window_s", "tuples", "clusters", "compression"], body),
+        data={"clusters_by_window": counts,
+              "tuples_by_window": tuple_counts})
+
+
+def run_a3() -> ExperimentResult:
+    """A3: checkpoint planning from measured failure rates (what the
+    measurements buy a capability user)."""
+    from repro.analysis.checkpointing import (
+        hazard_from_probability,
+        plan_checkpointing,
+    )
+    from repro.experiments.sweep import scaling_sweep
+
+    points = scaling_sweep(NodeType.XE, scales=(16000, 19000, 22000),
+                           runs_per_scale=200)
+    body = []
+    plans = {}
+    for p in points:
+        if p.probability <= 0 or p.mean_walltime_h <= 0:
+            continue
+        hazard = hazard_from_probability(p.probability, p.mean_walltime_h)
+        mtbf_s = 3600.0 / hazard
+        plan = plan_checkpointing(mtbf_s, checkpoint_cost_s=300.0)
+        plans[p.nodes] = plan
+        body.append([str(p.nodes), f"{p.probability:.3f}",
+                     f"{mtbf_s / 3600:.1f}",
+                     f"{plan.interval_s / 60:.0f}",
+                     f"{plan.overhead_percent:.1f}%"])
+    table = render_table(["nodes", "p(fail)", "run MTBF h",
+                          "ckpt interval min", "expected overhead"], body)
+    return ExperimentResult("A3", "checkpoint planning from measured rates",
+                            table, data={"plans": plans})
+
+
+def run_a4() -> ExperimentResult:
+    """A4: fabric-exposure model ablation (bounding box vs routing).
+
+    The bbox model is the pipeline-facing approximation; the routing
+    model is sharper ground truth.  Compare fabric-caused kill counts
+    under identical fault timelines.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.sim.cluster import SimConfig
+    from repro.sim.scenario import paper_scenario
+
+    kills = {}
+    base = paper_scenario(days=120.0, workload_thinning=0.02, seed=404,
+                          include_benign=False)
+    for model in ("bbox", "routes"):
+        scenario = dc_replace(base, sim=SimConfig(
+            fabric_exposure_model=model))
+        result = scenario.run()
+        fabric_kills = sum(
+            1 for r in result.runs
+            if r.cause_category is not None
+            and r.cause_category.value.startswith("GEMINI"))
+        kills[model] = {"fabric_kills": fabric_kills,
+                        "total_runs": len(result.runs)}
+    body = [[model, str(stats["fabric_kills"]), str(stats["total_runs"])]
+            for model, stats in kills.items()]
+    table = render_table(["exposure model", "fabric kills", "runs"], body)
+    return ExperimentResult("A4", "fabric exposure model ablation", table,
+                            data=kills)
+
+
+def run_a5() -> ExperimentResult:
+    """A5: scheduler policy ablation (FCFS vs EASY backfill).
+
+    Backfill should cut median queue waits without changing resilience
+    conclusions (failure shares stay put).
+    """
+    import tempfile
+    from dataclasses import replace as dc_replace
+
+    from repro.core.queueing import overall_wait_stats
+    from repro.logs.bundle import read_bundle, write_bundle
+    from repro.sim.cluster import SimConfig
+    from repro.sim.scenario import paper_scenario
+
+    # Enough volume for queues to form behind capability heads.
+    base = paper_scenario(days=30.0, workload_thinning=0.08, seed=505,
+                          include_benign=False)
+    stats = {}
+    for policy in ("fcfs", "backfill"):
+        scenario = dc_replace(base, sim=SimConfig(scheduler_policy=policy))
+        result = scenario.run()
+        with tempfile.TemporaryDirectory() as directory:
+            write_bundle(result, directory, seed=505)
+            bundle = read_bundle(directory)
+        waits = overall_wait_stats(bundle.torque_records)
+        failures = sum(1 for r in result.runs
+                       if r.outcome.is_system_caused)
+        stats[policy] = {
+            "median_wait_s": waits["median_wait_s"],
+            "p90_wait_s": waits["p90_wait_s"],
+            "system_failure_share": failures / max(len(result.runs), 1),
+            "runs": len(result.runs),
+        }
+    body = [[policy, f"{s['median_wait_s'] / 60:.1f}",
+             f"{s['p90_wait_s'] / 60:.1f}",
+             f"{s['system_failure_share']:.4f}", str(s["runs"])]
+            for policy, s in stats.items()]
+    table = render_table(["policy", "median wait min", "p90 wait min",
+                          "sys-failure share", "runs"], body)
+    return ExperimentResult("A5", "scheduler policy ablation", table,
+                            data=stats)
+
+
+def run_a6() -> ExperimentResult:
+    """A6: seed robustness -- headline metrics across independent seeds."""
+    from repro.sim.scenario import paper_scenario
+
+    shares = {}
+    for seed in (11, 22, 33):
+        result = paper_scenario(days=60.0, workload_thinning=0.02,
+                                seed=seed, include_benign=False).run()
+        system = sum(1 for r in result.runs if r.outcome.is_system_caused)
+        shares[seed] = system / max(len(result.runs), 1)
+    body = [[str(seed), f"{share:.4f}"] for seed, share in shares.items()]
+    table = render_table(["seed", "system-failure share"], body)
+    return ExperimentResult("A6", "seed robustness of the headline share",
+                            table, data={"shares": shares})
+
+
+EXPERIMENTS = {
+    "T1": run_t1, "T2": run_t2, "T3": run_t3, "T4": run_t4, "T5": run_t5,
+    "T6": run_t6, "F1": run_f1, "F2": run_f2, "F3": run_f3, "F4": run_f4,
+    "F5": run_f5, "F6": run_f6, "F7": run_f7, "F8": run_f8, "F9": run_f9,
+    "F10": run_f10, "F11": run_f11, "F12": run_f12,
+    "A1": run_a1, "A2": run_a2, "A3": run_a3, "A4": run_a4, "A5": run_a5,
+    "A6": run_a6,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (T1..T6, F1..F8, A1..A2)."""
+    try:
+        fn = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"have {sorted(EXPERIMENTS)}") from None
+    return fn()

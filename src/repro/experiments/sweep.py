@@ -1,0 +1,121 @@
+"""Stratified scaling sweeps for the F2/F3 figures.
+
+The paper bins ~5M ambient runs by scale; at full-scale buckets it still
+has thousands of samples.  Our thinned ambient workloads leave those
+buckets starved, so the scaling figures use a *controlled* sweep: for
+each target scale we simulate a campaign of capability runs of exactly
+that scale (with the calibrated capability walltime distribution) on the
+full machine under the standard fault processes, and estimate the
+failure probability directly.
+
+This mirrors how a site would measure the curve prospectively, and uses
+ground-truth outcomes -- the experiment characterizes the *machine*, not
+the diagnosis pipeline (the pipeline's fidelity is measured separately
+by the accuracy experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.injector import DEFAULT_RATES, FaultInjector, FaultRates
+from repro.machine.blueprints import BLUE_WATERS, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import ClusterSimulator, SimConfig
+from repro.stats.intervals import wilson_interval
+from repro.util.intervals import Interval
+from repro.util.rngs import RngFactory
+from repro.workload.apps import AppArchetype, archetype_by_name
+from repro.workload.distributions import sample_capability_walltime
+from repro.workload.jobs import AppRunPlan, JobPlan, Outcome
+
+__all__ = ["SweepPoint", "scaling_sweep", "XE_SWEEP_SCALES",
+           "XK_SWEEP_SCALES"]
+
+#: The scales the paper's figures span.
+XE_SWEEP_SCALES: tuple[int, ...] = (1000, 4000, 10000, 13000, 16000,
+                                    19000, 22000)
+XK_SWEEP_SCALES: tuple[int, ...] = (500, 1000, 2000, 2800, 3600, 4224)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measured failure probability at one controlled scale."""
+
+    node_type: str
+    nodes: int
+    runs: int
+    failures: int
+    probability: float
+    ci_low: float
+    ci_high: float
+    mean_walltime_h: float
+
+
+def _campaign_plans(archetype: AppArchetype, nodes: int, partition: int,
+                    runs: int, rng: np.random.Generator) -> list[JobPlan]:
+    """Back-to-back single-aprun capability jobs of fixed scale."""
+    plans = []
+    submit = 0.0
+    for i in range(runs):
+        duration = sample_capability_walltime(archetype, nodes, partition, rng)
+        plan = AppRunPlan(app_name=archetype.name,
+                          natural_duration_s=duration, user_fails=False,
+                          comm_intensity=archetype.comm_intensity,
+                          io_intensity=archetype.io_intensity,
+                          checkpoint_interval_s=archetype.checkpoint_interval_s)
+        plans.append(JobPlan(job_id=i + 1, user="sweep",
+                             submit_time=submit, node_type=archetype.node_type,
+                             nodes=nodes, walltime_s=duration * 1.5,
+                             runs=(plan,)))
+        submit += 1.0  # FCFS serializes the campaign
+    return plans
+
+
+def scaling_sweep(node_type: NodeType, scales: tuple[int, ...] | None = None,
+                  *, runs_per_scale: int = 150, seed: int = 11,
+                  rates: FaultRates | None = None,
+                  archetype_name: str | None = None) -> list[SweepPoint]:
+    """Measure p(system failure) at each controlled scale."""
+    if scales is None:
+        scales = (XE_SWEEP_SCALES if node_type is NodeType.XE
+                  else XK_SWEEP_SCALES)
+    archetype = archetype_by_name(
+        archetype_name or ("NAMD" if node_type is NodeType.XE else "QMCPACK"))
+    machine = build_machine(BLUE_WATERS)
+    partition = machine.count(node_type)
+    points = []
+    for scale_index, nodes in enumerate(scales):
+        rngs = RngFactory(seed + scale_index)
+        rng = rngs.get("sweep/walltimes")
+        plans = _campaign_plans(archetype, min(nodes, partition), partition,
+                                runs_per_scale, rng)
+        # Window long enough for the serialized campaign plus generous
+        # slack: repairs and outages stretch the campaign, and runs that
+        # spill past the fault window would face no faults (biasing the
+        # estimate down).
+        total = sum(p.runs[0].natural_duration_s for p in plans)
+        window = Interval(0.0, total * 2.0 + 7 * 86400.0)
+        injector = FaultInjector(machine, rates or DEFAULT_RATES,
+                                 rng_factory=rngs.child("faults"))
+        faults = injector.generate(window, include_benign=False)
+        # Launch failures are runtime-resilience noise here; disable them
+        # so the sweep isolates the in-flight failure probability.
+        simulator = ClusterSimulator(
+            machine, config=SimConfig(launch_failure_prob=0.0),
+            rng_factory=rngs.child("sim"))
+        result = simulator.run(plans, faults, window)
+        failures = sum(1 for r in result.runs
+                       if r.outcome is Outcome.SYSTEM_FAILURE)
+        n = len(result.runs)
+        p = failures / n if n else 0.0
+        ci_low, ci_high = wilson_interval(failures, n)
+        mean_walltime = (np.mean([r.elapsed_s for r in result.runs]) / 3600.0
+                         if result.runs else 0.0)
+        points.append(SweepPoint(
+            node_type=node_type.value, nodes=nodes, runs=n,
+            failures=failures, probability=p, ci_low=ci_low,
+            ci_high=ci_high, mean_walltime_h=float(mean_walltime)))
+    return points

@@ -1,0 +1,76 @@
+"""F8: impact of system-wide outages on applications.
+
+Per SWO: how many runs it killed, the node-hours destroyed, and the
+downtime.  Aggregate: what share of all system-caused application
+failures SWOs account for, and machine availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.swo import availability, swo_events
+from repro.faults.taxonomy import ErrorCategory
+from repro.sim.cluster import SimulationResult
+from repro.workload.jobs import Outcome
+
+__all__ = ["SwoImpact", "SwoSummary", "swo_impact"]
+
+
+@dataclass(frozen=True)
+class SwoImpact:
+    """One outage's application impact."""
+
+    event_id: int
+    time_s: float
+    downtime_h: float
+    runs_killed: int
+    node_hours_lost: float
+
+
+@dataclass(frozen=True)
+class SwoSummary:
+    """Aggregate outage impact over a scenario."""
+
+    outages: tuple[SwoImpact, ...]
+    availability: float
+    total_system_failures: int
+
+    @property
+    def runs_killed(self) -> int:
+        return sum(o.runs_killed for o in self.outages)
+
+    @property
+    def swo_share_of_system_failures(self) -> float:
+        if self.total_system_failures == 0:
+            return 0.0
+        return self.runs_killed / self.total_system_failures
+
+    @property
+    def mean_runs_killed(self) -> float:
+        if not self.outages:
+            return 0.0
+        return self.runs_killed / len(self.outages)
+
+
+def swo_impact(result: SimulationResult) -> SwoSummary:
+    """Compute per-outage and aggregate impact from ground truth."""
+    kills: dict[int, list] = {}
+    total_system = 0
+    for run in result.runs:
+        if run.outcome is not Outcome.SYSTEM_FAILURE:
+            continue
+        total_system += 1
+        if run.cause_category is ErrorCategory.SWO and run.cause_event_id is not None:
+            kills.setdefault(run.cause_event_id, []).append(run)
+    impacts = []
+    for event in swo_events(result.faults):
+        killed = kills.get(event.event_id, [])
+        impacts.append(SwoImpact(
+            event_id=event.event_id, time_s=event.time,
+            downtime_h=event.repair_s / 3600.0,
+            runs_killed=len(killed),
+            node_hours_lost=sum(r.lost_node_hours for r in killed)))
+    return SwoSummary(outages=tuple(impacts),
+                      availability=availability(result.faults, result.window),
+                      total_system_failures=total_system)

@@ -1,0 +1,65 @@
+"""The paper's reported numbers (from its abstract) as typed targets.
+
+Only the values the available text actually states are encoded here;
+every other table/figure is reconstructed and compared on *shape* (who
+wins, direction, rough factor) rather than on a stated number.  See
+DESIGN.md for the source-text caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperTarget", "PAPER_TARGETS", "target"]
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One number the paper states, with tolerance for comparison."""
+
+    key: str
+    value: float
+    #: Acceptable relative deviation for "same ballpark" (generous: our
+    #: substrate is a simulator, not the authors' testbed).
+    rel_tol: float
+    description: str
+
+    def within(self, measured: float) -> bool:
+        if self.value == 0:
+            return abs(measured) <= self.rel_tol
+        return abs(measured - self.value) / abs(self.value) <= self.rel_tol
+
+
+PAPER_TARGETS: tuple[PaperTarget, ...] = (
+    PaperTarget("total_runs", 5_000_000, 0.2,
+                "application runs in 518 production days (full volume)"),
+    PaperTarget("system_failure_share", 0.0153, 0.5,
+                "share of runs failing due to system problems"),
+    PaperTarget("failed_node_hour_share", 0.09, 0.6,
+                "share of production node-hours consumed by failed runs"),
+    PaperTarget("xe_p_at_10k", 0.008, 1.0,
+                "XE failure probability at ~10,000 nodes"),
+    PaperTarget("xe_p_at_22k", 0.162, 0.5,
+                "XE failure probability at ~22,000 nodes"),
+    PaperTarget("xe_growth_10k_to_22k", 20.0, 0.6,
+                "XE failure-probability growth factor 10k -> 22k nodes"),
+    PaperTarget("xk_p_at_2k", 0.02, 1.0,
+                "XK failure probability at ~2,000 nodes"),
+    PaperTarget("xk_p_at_4224", 0.129, 0.5,
+                "XK failure probability at 4,224 nodes"),
+    PaperTarget("xk_growth_2k_to_4224", 6.0, 0.7,
+                "XK failure-probability growth factor 2k -> 4,224 nodes"),
+    PaperTarget("machine_xe_nodes", 22640, 0.0,
+                "XE (CPU) compute nodes"),
+    PaperTarget("machine_xk_nodes", 4224, 0.0,
+                "XK (CPU+GPU) compute nodes"),
+    PaperTarget("production_days", 518, 0.0,
+                "measured production days"),
+)
+
+_BY_KEY = {t.key: t for t in PAPER_TARGETS}
+
+
+def target(key: str) -> PaperTarget:
+    """Look up a target by key."""
+    return _BY_KEY[key]

@@ -1,0 +1,58 @@
+"""Fault substrate: taxonomy, arrival processes, injection, propagation,
+detection, and system-wide outages."""
+
+from repro.faults.detection import (
+    PERFECT_DETECTION,
+    XE_GRADE_XK_DETECTION,
+    DetectionModel,
+)
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.injector import DEFAULT_RATES, FaultInjector, FaultRates
+from repro.faults.processes import (
+    ClusterProcess,
+    DiurnalPoissonProcess,
+    PoissonProcess,
+    RenewalProcess,
+)
+from repro.faults.maintenance import MaintenanceSchedule, downtime_budget
+from repro.faults.propagation import PropagationModel, Symptom
+from repro.faults.swo import availability, outage_windows, swo_events
+from repro.faults.traces import export_fault_trace, import_fault_trace
+from repro.faults.taxonomy import (
+    CATEGORY_SPECS,
+    CategorySpec,
+    ErrorCategory,
+    EventScope,
+    LogSource,
+    categories_for_node_type,
+)
+
+__all__ = [
+    "CATEGORY_SPECS",
+    "CategorySpec",
+    "ClusterProcess",
+    "DEFAULT_RATES",
+    "DetectionModel",
+    "DiurnalPoissonProcess",
+    "ErrorCategory",
+    "EventScope",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRates",
+    "FaultTimeline",
+    "LogSource",
+    "MaintenanceSchedule",
+    "PERFECT_DETECTION",
+    "PoissonProcess",
+    "PropagationModel",
+    "RenewalProcess",
+    "Symptom",
+    "XE_GRADE_XK_DETECTION",
+    "availability",
+    "categories_for_node_type",
+    "downtime_budget",
+    "export_fault_trace",
+    "import_fault_trace",
+    "outage_windows",
+    "swo_events",
+]

@@ -1,0 +1,74 @@
+"""Error-detection model.
+
+Whether a fault event is *detected* determines whether it ever reaches a
+log -- and therefore whether LogDiver can attribute the resulting
+application failure to a system cause.  Default coverage comes from the
+taxonomy (XK nodes have weaker coverage for GPU and node-health
+categories); this module lets experiments override coverage, e.g. the
+"what if XK nodes had XE-grade detection" ablation behind the paper's
+lesson (iii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory
+from repro.machine.nodetypes import NodeType
+
+__all__ = ["DetectionModel", "PERFECT_DETECTION", "XE_GRADE_XK_DETECTION"]
+
+
+@dataclass(frozen=True)
+class DetectionModel:
+    """Detection coverage: taxonomy defaults plus optional overrides.
+
+    ``overrides`` maps ``(category, node_type)`` to a probability; a
+    ``(category, None)`` key overrides the category for every node type.
+    """
+
+    overrides: dict[tuple[ErrorCategory, NodeType | None], float] = field(
+        default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, p in self.overrides.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"detection override {key} outside [0,1]: {p}")
+
+    def probability(self, category: ErrorCategory,
+                    node_type: NodeType) -> float:
+        """P(an event of ``category`` on ``node_type`` is detected)."""
+        if (category, node_type) in self.overrides:
+            return self.overrides[(category, node_type)]
+        if (category, None) in self.overrides:
+            return self.overrides[(category, None)]
+        return CATEGORY_SPECS[category].detection_for(node_type)
+
+    def with_xk_like_xe(self) -> "DetectionModel":
+        """XK nodes inherit XE detection for CPU/node-health categories,
+        and GPU categories get the best observed hardware coverage.
+
+        This is the counterfactual used by the detection-gap ablation:
+        how much of the XK attribution gap closes with better detectors?
+        """
+        best = max(spec.detection_for(NodeType.XE)
+                   for spec in CATEGORY_SPECS.values())
+        new: dict[tuple[ErrorCategory, NodeType | None], float] = dict(self.overrides)
+        for category, spec in CATEGORY_SPECS.items():
+            xe = spec.detection_for(NodeType.XE)
+            xk = spec.detection_for(NodeType.XK)
+            if xe > xk:
+                new[(category, NodeType.XK)] = xe
+            elif xk < best and category in (ErrorCategory.GPU_DBE,
+                                            ErrorCategory.GPU_XID,
+                                            ErrorCategory.GPU_SXM_POWER):
+                new[(category, NodeType.XK)] = best
+        return DetectionModel(overrides=new)
+
+
+#: Every event detected -- upper bound for attribution quality.
+PERFECT_DETECTION = DetectionModel(
+    overrides={(category, None): 1.0 for category in ErrorCategory})
+
+#: The lesson-(iii) counterfactual.
+XE_GRADE_XK_DETECTION = DetectionModel().with_xk_like_xe()

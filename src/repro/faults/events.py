@@ -1,0 +1,98 @@
+"""Ground-truth fault events.
+
+A :class:`FaultEvent` is what *actually happened* in the simulated
+machine -- before detection, logging, filtering, or attribution.  The
+simulator uses fault events to decide application outcomes; the log
+layer renders the *detected* subset into raw log text; analyses can then
+compare LogDiver's diagnosis against this ground truth (something the
+paper's authors could not do, and one of the reasons a simulator is the
+right substitute substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.faults.taxonomy import CATEGORY_SPECS, CategorySpec, ErrorCategory, EventScope
+
+__all__ = ["FaultEvent", "FaultTimeline"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One ground-truth fault occurrence."""
+
+    event_id: int
+    time: float
+    category: ErrorCategory
+    #: cname text of the component (or Lustre server name, or "system").
+    component: str
+    #: Node ids directly taken out / corrupted (node/gpu/blade/cabinet
+    #: scopes). Empty for fabric/filesystem/system scopes, whose victim
+    #: set depends on which applications are exposed at event time.
+    node_ids: tuple[int, ...] = ()
+    #: Torus vertex of the epicenter for fabric-scoped events.
+    fabric_vertex: int | None = None
+    #: Whether this instance is fatal to exposed applications.
+    fatal: bool = False
+    #: Whether the system's detectors caught it (=> it appears in logs).
+    detected: bool = True
+    #: Downtime of the affected hardware, seconds (0 if none).
+    repair_s: float = 0.0
+
+    @property
+    def spec(self) -> CategorySpec:
+        return CATEGORY_SPECS[self.category]
+
+    @property
+    def scope(self) -> EventScope:
+        return self.spec.scope
+
+    @property
+    def silent(self) -> bool:
+        """Fatal but undetected: kills applications without a trace."""
+        return self.fatal and not self.detected
+
+
+@dataclass
+class FaultTimeline:
+    """All fault events of a scenario, sorted by time."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.time, e.event_id))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def fatal_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.fatal]
+
+    def detected_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.detected]
+
+    def by_category(self) -> dict[ErrorCategory, list[FaultEvent]]:
+        out: dict[ErrorCategory, list[FaultEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.category, []).append(event)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "events": len(self.events),
+            "fatal": sum(1 for e in self.events if e.fatal),
+            "detected": sum(1 for e in self.events if e.detected),
+            "silent_fatal": sum(1 for e in self.events if e.silent),
+        }
+
+    @staticmethod
+    def merge(timelines: Sequence["FaultTimeline"]) -> "FaultTimeline":
+        events: list[FaultEvent] = []
+        for tl in timelines:
+            events.extend(tl.events)
+        return FaultTimeline(events=events)

@@ -1,0 +1,74 @@
+"""Scheduled (planned) maintenance windows.
+
+Production systems take regular preventive-maintenance (PM) outages.
+Unlike SWOs these are *announced*: the scheduler stops starting jobs
+that could not finish before the window (a drain reservation), so PM
+destroys no application work -- it only costs capacity.  Distinguishing
+planned from unplanned downtime is a standard piece of availability
+accounting reproduced by the F11 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.intervals import Interval, total_covered
+from repro.util.timeutil import DAY, HOUR
+
+__all__ = ["MaintenanceSchedule", "downtime_budget"]
+
+
+@dataclass(frozen=True)
+class MaintenanceSchedule:
+    """Periodic PM windows: every ``period_days``, ``duration_h`` long."""
+
+    period_days: float = 28.0
+    duration_h: float = 8.0
+    #: Offset of the first window from the scenario start, days.
+    first_after_days: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.period_days <= 0:
+            raise ConfigurationError("maintenance period must be positive")
+        if self.duration_h < 0:
+            raise ConfigurationError("maintenance duration must be >= 0")
+        if self.duration_h * HOUR >= self.period_days * DAY:
+            raise ConfigurationError(
+                "maintenance windows may not overlap each other")
+
+    def windows(self, horizon: Interval) -> list[Interval]:
+        """All PM windows intersecting ``horizon`` (clamped to it)."""
+        out: list[Interval] = []
+        start = horizon.start + self.first_after_days * DAY
+        while start < horizon.end:
+            window = Interval(start, start + self.duration_h * HOUR)
+            clamped = window.clamp(horizon)
+            if clamped is not None:
+                out.append(clamped)
+            start += self.period_days * DAY
+        return out
+
+    def next_window_after(self, t: float, horizon: Interval) -> Interval | None:
+        """The first PM window starting at or after instant ``t``."""
+        for window in self.windows(horizon):
+            if window.start >= t:
+                return window
+        return None
+
+
+def downtime_budget(planned: list[Interval], unplanned: list[Interval],
+                    horizon: Interval) -> dict[str, float]:
+    """Decompose downtime into planned/unplanned shares of the horizon."""
+    if horizon.duration <= 0:
+        raise ConfigurationError("horizon must have positive duration")
+    planned_s = total_covered([w for w in (p.clamp(horizon) for p in planned)
+                               if w is not None])
+    unplanned_s = total_covered([w for w in (u.clamp(horizon)
+                                             for u in unplanned)
+                                 if w is not None])
+    return {
+        "planned_share": planned_s / horizon.duration,
+        "unplanned_share": unplanned_s / horizon.duration,
+        "availability": 1.0 - (planned_s + unplanned_s) / horizon.duration,
+    }

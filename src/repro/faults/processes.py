@@ -1,0 +1,192 @@
+"""Stochastic arrival processes for fault events.
+
+Field studies consistently find that HPC error inter-arrivals are *not*
+exponential: they show burstiness (error storms) and time-varying
+hazard.  The injector therefore composes three building blocks:
+
+* :class:`PoissonProcess` -- memoryless baseline;
+* :class:`RenewalProcess` -- Weibull/lognormal inter-arrivals (ageing or
+  infant-mortality hazard);
+* :class:`ClusterProcess` -- a Neyman-Scott cluster process: parent
+  arrivals each spawn a correlated burst of offspring (error storms).
+
+All processes generate event *times* within a window; what the events
+mean (category, location, lethality) is the injector's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.intervals import Interval
+
+__all__ = ["ArrivalProcess", "PoissonProcess", "RenewalProcess",
+           "ClusterProcess", "DiurnalPoissonProcess"]
+
+
+class ArrivalProcess(Protocol):
+    """Anything that can sample event times within a window."""
+
+    def sample(self, rng: np.random.Generator, window: Interval) -> np.ndarray:
+        """Sorted event times (seconds) falling inside ``window``."""
+        ...
+
+    def mean_rate(self) -> float:
+        """Long-run events per second (for capacity planning/calibration)."""
+        ...
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Homogeneous Poisson process with ``rate`` events/second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {self.rate}")
+
+    def sample(self, rng: np.random.Generator, window: Interval) -> np.ndarray:
+        expected = self.rate * window.duration
+        if expected == 0:
+            return np.empty(0)
+        count = rng.poisson(expected)
+        times = rng.uniform(window.start, window.end, size=count)
+        return np.sort(times)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class RenewalProcess:
+    """Renewal process with Weibull or lognormal inter-arrival times.
+
+    ``shape < 1`` Weibull gives a decreasing hazard (clustering /
+    infant mortality); ``shape > 1`` an increasing hazard (wear-out).
+    ``mean_interarrival`` fixes the scale so the long-run rate is
+    ``1/mean_interarrival`` regardless of shape.
+    """
+
+    mean_interarrival: float
+    shape: float = 0.7
+    family: str = "weibull"  # or "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival <= 0:
+            raise ConfigurationError("mean_interarrival must be positive")
+        if self.shape <= 0:
+            raise ConfigurationError("shape must be positive")
+        if self.family not in ("weibull", "lognormal"):
+            raise ConfigurationError(f"unknown family {self.family!r}")
+
+    def _draw_gaps(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.family == "weibull":
+            from scipy.special import gamma as gamma_fn
+            scale = self.mean_interarrival / gamma_fn(1.0 + 1.0 / self.shape)
+            return scale * rng.weibull(self.shape, size=n)
+        # lognormal: shape is sigma; fix mu so the mean matches.
+        sigma = self.shape
+        mu = np.log(self.mean_interarrival) - sigma ** 2 / 2.0
+        return rng.lognormal(mu, sigma, size=n)
+
+    def sample(self, rng: np.random.Generator, window: Interval) -> np.ndarray:
+        duration = window.duration
+        if duration == 0:
+            return np.empty(0)
+        # Random start phase approximates equilibrium; then accumulate
+        # gaps in chunks until the window is covered.
+        times: list[float] = []
+        t = window.start - float(self._draw_gaps(rng, 1)[0]) * rng.random()
+        expected = max(8, int(duration / self.mean_interarrival * 1.5) + 8)
+        while t < window.end:
+            gaps = self._draw_gaps(rng, expected)
+            for gap in gaps:
+                t += float(gap)
+                if t >= window.end:
+                    break
+                if t >= window.start:
+                    times.append(t)
+        return np.asarray(times)
+
+    def mean_rate(self) -> float:
+        return 1.0 / self.mean_interarrival
+
+
+@dataclass(frozen=True)
+class ClusterProcess:
+    """Neyman-Scott cluster process (error storms).
+
+    Parents arrive as a Poisson process; each parent spawns
+    ``1 + Poisson(burst_mean - 1)`` offspring spread exponentially with
+    mean ``burst_spread`` seconds after the parent.  The *parent itself*
+    is included as the first event of its storm.
+    """
+
+    parent_rate: float
+    burst_mean: float = 4.0
+    burst_spread: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.parent_rate < 0:
+            raise ConfigurationError("parent_rate must be >= 0")
+        if self.burst_mean < 1.0:
+            raise ConfigurationError("burst_mean must be >= 1")
+        if self.burst_spread <= 0:
+            raise ConfigurationError("burst_spread must be positive")
+
+    def sample(self, rng: np.random.Generator, window: Interval) -> np.ndarray:
+        parents = PoissonProcess(self.parent_rate).sample(rng, window)
+        if len(parents) == 0:
+            return parents
+        all_times = [parents]
+        offspring_counts = rng.poisson(self.burst_mean - 1.0, size=len(parents))
+        for parent, count in zip(parents, offspring_counts):
+            if count == 0:
+                continue
+            offsets = rng.exponential(self.burst_spread, size=count)
+            children = parent + offsets
+            all_times.append(children[children < window.end])
+        return np.sort(np.concatenate(all_times))
+
+    def mean_rate(self) -> float:
+        return self.parent_rate * self.burst_mean
+
+
+@dataclass(frozen=True)
+class DiurnalPoissonProcess:
+    """Poisson process whose rate swings sinusoidally over the day.
+
+    Models the mild diurnal pattern of software/load-induced errors:
+    ``rate(t) = base_rate * (1 + amplitude*sin(2*pi*t/day + phase))``.
+    Sampled by thinning a homogeneous process at the peak rate.
+    """
+
+    base_rate: float
+    amplitude: float = 0.3
+    phase: float = 0.0
+    period: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0:
+            raise ConfigurationError("base_rate must be >= 0")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+
+    def sample(self, rng: np.random.Generator, window: Interval) -> np.ndarray:
+        peak = self.base_rate * (1.0 + self.amplitude)
+        candidates = PoissonProcess(peak).sample(rng, window)
+        if len(candidates) == 0:
+            return candidates
+        rate = self.base_rate * (
+            1.0 + self.amplitude * np.sin(2 * np.pi * candidates / self.period
+                                          + self.phase))
+        keep = rng.random(len(candidates)) < rate / peak
+        return candidates[keep]
+
+    def mean_rate(self) -> float:
+        return self.base_rate

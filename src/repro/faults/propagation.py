@@ -1,0 +1,135 @@
+"""Error propagation: one fault, many log records.
+
+A single root-cause fault never produces a single log line on a real
+Cray: an uncorrectable DRAM error produces an MCE record, a console
+backtrace, and an HSS heartbeat complaint; a Gemini link failure
+produces a storm of routing messages from every neighbouring router; a
+Lustre failover floods client nodes with reconnect messages.  LogDiver's
+temporal/spatial coalescing exists precisely to undo this expansion, so
+the simulator must produce it.
+
+This module expands each *detected* :class:`FaultEvent` into a list of
+:class:`Symptom` records: (time, component, category, kind) tuples that
+the log writers render as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.events import FaultEvent
+from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory, EventScope
+from repro.machine.cname import CName, parse_cname
+from repro.machine.components import Machine
+from repro.util.rngs import RngFactory
+
+__all__ = ["Symptom", "PropagationModel"]
+
+
+@dataclass(frozen=True)
+class Symptom:
+    """One log-worthy manifestation of a fault event."""
+
+    time: float
+    component: str
+    category: ErrorCategory
+    event_id: int            # ground-truth provenance
+    #: 0 is the root record; higher kinds are secondary symptom styles,
+    #: letting the writers vary message text within a storm.
+    kind: int = 0
+
+
+class PropagationModel:
+    """Expands detected fault events into symptom storms."""
+
+    def __init__(self, machine: Machine, *,
+                 rng_factory: RngFactory | None = None, seed: int = 0,
+                 storm_spread_s: float = 90.0):
+        self.machine = machine
+        self._rng = (rng_factory or RngFactory(seed)).get("propagation")
+        self.storm_spread_s = storm_spread_s
+
+    # -- neighbour selection -------------------------------------------------
+
+    def _witnesses(self, event: FaultEvent, count: int) -> list[str]:
+        """Components that report secondary symptoms for ``event``."""
+        if count <= 0:
+            return []
+        scope = event.spec.scope
+        rng = self._rng
+        if scope is EventScope.FABRIC and event.fabric_vertex is not None:
+            # Neighbouring Gemini routers complain about the lost link.
+            vertices = [event.fabric_vertex]
+            frontier = self.machine.topology.neighbors(event.fabric_vertex)
+            vertices.extend(frontier)
+            picks = rng.choice(len(vertices), size=count, replace=True)
+            out = []
+            for p in picks:
+                vertex = vertices[int(p)]
+                blade = self.machine.blades[vertex // 2]
+                gem = CName(blade.name.col, blade.name.row, blade.name.chassis,
+                            blade.name.slot, gemini=vertex % 2)
+                out.append(str(gem))
+            return out
+        if scope is EventScope.FILESYSTEM:
+            # Random client compute nodes log reconnects.
+            pool = self.machine.compute_node_ids()
+            picks = rng.choice(pool, size=count, replace=True)
+            return [str(self.machine.node(int(p)).name) for p in picks]
+        if scope is EventScope.SYSTEM:
+            pool = self.machine.compute_node_ids()
+            picks = rng.choice(pool, size=count, replace=True)
+            return [str(self.machine.node(int(p)).name) for p in picks]
+        if scope is EventScope.CABINET:
+            # Nodes inside the cabinet all complain.
+            if event.node_ids:
+                picks = rng.choice(len(event.node_ids), size=count, replace=True)
+                return [str(self.machine.node(event.node_ids[int(p)]).name)
+                        for p in picks]
+        # NODE / GPU / BLADE scopes: the component itself (and for
+        # blades, sibling nodes) repeats variations of the message.
+        try:
+            base = parse_cname(event.component)
+        except Exception:
+            return [event.component] * count
+        if base.kind.value in ("node", "accelerator"):
+            return [event.component] * count
+        nodes = self.machine.nodes_under(base)
+        if not nodes:
+            return [event.component] * count
+        picks = rng.choice(len(nodes), size=count, replace=True)
+        return [str(nodes[int(p)].name) for p in picks]
+
+    # -- expansion ----------------------------------------------------------------
+
+    def expand(self, event: FaultEvent) -> list[Symptom]:
+        """Symptoms for one event (empty when undetected)."""
+        if not event.detected:
+            return []
+        spec = CATEGORY_SPECS[event.category]
+        root = Symptom(time=event.time, component=event.component,
+                       category=event.category, event_id=event.event_id,
+                       kind=0)
+        extra = int(self._rng.poisson(max(0.0, spec.burst_mean - 1.0)))
+        if extra == 0:
+            return [root]
+        offsets = np.sort(self._rng.exponential(self.storm_spread_s, size=extra))
+        witnesses = self._witnesses(event, extra)
+        kinds = self._rng.integers(1, 4, size=extra)
+        symptoms = [root]
+        for offset, witness, kind in zip(offsets, witnesses, kinds):
+            symptoms.append(Symptom(
+                time=event.time + float(offset), component=witness,
+                category=event.category, event_id=event.event_id,
+                kind=int(kind)))
+        return symptoms
+
+    def expand_all(self, events: list[FaultEvent]) -> list[Symptom]:
+        """Symptoms for every detected event, sorted by time."""
+        out: list[Symptom] = []
+        for event in events:
+            out.extend(self.expand(event))
+        out.sort(key=lambda s: (s.time, s.event_id, s.kind))
+        return out

@@ -1,0 +1,41 @@
+"""System-wide outages (SWOs) and machine availability.
+
+An SWO takes the whole machine down: every resident application run is
+killed, the scheduler drains, and production resumes after the repair
+time.  The paper analyses both how many SWOs occurred and how much
+application work they destroyed; these helpers extract outage windows
+from a fault timeline and compute availability.
+"""
+
+from __future__ import annotations
+
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.taxonomy import ErrorCategory
+from repro.util.intervals import Interval, merge_intervals, total_covered
+
+__all__ = ["outage_windows", "availability", "swo_events"]
+
+
+def swo_events(timeline: FaultTimeline) -> list[FaultEvent]:
+    """All system-wide outage events, in time order."""
+    return [e for e in timeline if e.category is ErrorCategory.SWO]
+
+
+def outage_windows(timeline: FaultTimeline) -> list[Interval]:
+    """Downtime intervals implied by SWO events (merged if overlapping)."""
+    windows = [Interval(e.time, e.time + max(e.repair_s, 1.0))
+               for e in swo_events(timeline)]
+    return merge_intervals(windows)
+
+
+def availability(timeline: FaultTimeline, window: Interval) -> float:
+    """Fraction of ``window`` during which the machine was up.
+
+    Only system-wide outages count as machine downtime; individual node
+    repairs do not take the machine down.
+    """
+    if window.duration <= 0:
+        raise ValueError("availability window must have positive duration")
+    down = [w for w in (o.clamp(window) for o in outage_windows(timeline))
+            if w is not None]
+    return 1.0 - total_covered(down) / window.duration

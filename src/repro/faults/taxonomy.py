@@ -1,0 +1,232 @@
+"""Error/failure taxonomy.
+
+The paper categorizes system problems affecting applications into a
+hardware/software taxonomy derived from Blue Waters' logs.  This module
+is the reconstruction the whole library shares: the fault injector
+generates events *of these categories*, the log writers render them in
+the per-source text formats, and LogDiver's attribution stage maps log
+text back onto the same categories -- closing the loop so that
+ground-truth vs. diagnosed comparisons are meaningful.
+
+Each category carries:
+
+* ``scope`` -- the blast radius of a fatal instance (one node, a blade,
+  a cabinet, a torus region, the file system, or the whole system);
+* ``base_lethality`` -- probability that an instance is *fatal* to an
+  application exposed to it (most logged errors are survivable noise:
+  corrected ECC, link replays, ...);
+* ``detection`` -- per-node-type probability that an instance is
+  detected (and therefore logged).  The paper's lesson (iii) is that
+  hybrid XK nodes have materially weaker detection, so XK coverage is
+  lower for the GPU and node-health categories;
+* ``source`` -- which log stream records the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.machine.nodetypes import NodeType
+
+__all__ = ["ErrorCategory", "EventScope", "LogSource", "CategorySpec",
+           "CATEGORY_SPECS", "FAILURE_CLASS_CATEGORIES",
+           "categories_for_node_type"]
+
+
+class EventScope(str, Enum):
+    """Blast radius of a fatal error instance."""
+
+    NODE = "node"            # the node it occurred on
+    GPU = "gpu"              # the accelerator of one XK node
+    BLADE = "blade"          # all four nodes of a blade (e.g. mezzanine)
+    CABINET = "cabinet"      # power/cooling: all ~96 nodes of a cabinet
+    FABRIC = "fabric"        # a torus region around a Gemini/link
+    FILESYSTEM = "filesystem"  # apps doing I/O against the failed server
+    SYSTEM = "system"        # system-wide outage
+
+
+class LogSource(str, Enum):
+    """Which raw log stream an event of a category is written to."""
+
+    SYSLOG = "syslog"
+    HWERR = "hwerrlog"
+    CONSOLE = "console"
+    APSYS = "apsys"
+    TORQUE = "torque"
+
+
+class ErrorCategory(str, Enum):
+    """System error/failure categories (reconstruction of the paper's)."""
+
+    # CPU / memory (XE and XK alike)
+    MCE = "MCE"                      # machine-check exception (CPU)
+    DRAM_UNCORRECTABLE = "DRAM_UE"   # uncorrectable DRAM ECC
+    DRAM_CORRECTABLE = "DRAM_CE"     # corrected DRAM ECC (noise, never fatal)
+    KERNEL_PANIC = "KERNEL_PANIC"    # node OS panic
+    NODE_HEARTBEAT = "NODE_HB"       # node stopped responding to HSS heartbeat
+    # GPU (XK only)
+    GPU_DBE = "GPU_DBE"              # GDDR5 double-bit error
+    GPU_XID = "GPU_XID"              # NVIDIA XID (bus off, firmware, ...)
+    GPU_SXM_POWER = "GPU_PWR"        # GPU module power fault
+    # Interconnect
+    GEMINI_LINK = "GEMINI_LINK"      # HSN link failure (triggers reroute)
+    GEMINI_ROUTER = "GEMINI_ROUTER"  # Gemini ASIC failure
+    HSN_THROTTLE = "HSN_THROTTLE"    # congestion/throttle event (noise)
+    # Storage
+    LUSTRE_OSS = "LUSTRE_OSS"        # object storage server failure/failover
+    LUSTRE_MDS = "LUSTRE_MDS"        # metadata server failure
+    LUSTRE_LBUG = "LUSTRE_LBUG"      # Lustre software bug assertion
+    LNET_ROUTER = "LNET"             # LNET router (service node) failure
+    # Facility / software
+    CABINET_POWER = "CAB_POWER"      # cabinet blower/power supply
+    ALPS_SOFTWARE = "ALPS"           # placement/launch subsystem error
+    SWO = "SWO"                      # system-wide outage
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Static behaviour of one error category."""
+
+    category: ErrorCategory
+    scope: EventScope
+    source: LogSource
+    #: P(an instance is fatal to an exposed application).
+    base_lethality: float
+    #: P(instance is detected/logged), per node type of the component
+    #: it occurs on.  Fabric/storage/system events use the XE figure.
+    detection: dict[NodeType, float]
+    #: Mean symptom-burst size when detected (log records per event).
+    burst_mean: float
+    #: Mean repair / downtime in seconds for fatal instances that take
+    #: hardware out of service (0 = no downtime modelled).
+    mean_repair_s: float
+    #: Human-readable description (used in reports).
+    description: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_lethality <= 1.0:
+            raise ValueError(f"{self.category}: lethality outside [0,1]")
+        for node_type, p in self.detection.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{self.category}: detection[{node_type}] outside [0,1]")
+
+    def detection_for(self, node_type: NodeType) -> float:
+        return self.detection.get(node_type, self.detection[NodeType.XE])
+
+
+def _uniform(p: float) -> dict[NodeType, float]:
+    return {NodeType.XE: p, NodeType.XK: p, NodeType.SERVICE: p}
+
+
+#: The taxonomy.  Detection gaps on XK mirror the paper's lesson (iii):
+#: GPU memory/bus problems and XK node hangs frequently manifest as
+#: application aborts with no attributable system error record.
+CATEGORY_SPECS: dict[ErrorCategory, CategorySpec] = {spec.category: spec for spec in [
+    CategorySpec(ErrorCategory.MCE, EventScope.NODE, LogSource.HWERR,
+                 base_lethality=0.9,
+                 detection={NodeType.XE: 0.97, NodeType.XK: 0.75,
+                            NodeType.SERVICE: 0.97},
+                 burst_mean=3.0, mean_repair_s=4 * 3600,
+                 description="CPU machine-check exception"),
+    CategorySpec(ErrorCategory.DRAM_UNCORRECTABLE, EventScope.NODE, LogSource.HWERR,
+                 base_lethality=0.95,
+                 detection={NodeType.XE: 0.96, NodeType.XK: 0.72,
+                            NodeType.SERVICE: 0.96},
+                 burst_mean=2.0, mean_repair_s=6 * 3600,
+                 description="uncorrectable DRAM ECC error"),
+    CategorySpec(ErrorCategory.DRAM_CORRECTABLE, EventScope.NODE, LogSource.HWERR,
+                 base_lethality=0.0, detection=_uniform(0.99),
+                 burst_mean=1.2, mean_repair_s=0.0,
+                 description="corrected DRAM ECC (informational)"),
+    CategorySpec(ErrorCategory.KERNEL_PANIC, EventScope.NODE, LogSource.CONSOLE,
+                 base_lethality=1.0,
+                 detection={NodeType.XE: 0.95, NodeType.XK: 0.65,
+                            NodeType.SERVICE: 0.95},
+                 burst_mean=8.0, mean_repair_s=3 * 3600,
+                 description="compute-node kernel panic"),
+    CategorySpec(ErrorCategory.NODE_HEARTBEAT, EventScope.NODE, LogSource.CONSOLE,
+                 base_lethality=1.0,
+                 detection={NodeType.XE: 0.92, NodeType.XK: 0.60,
+                            NodeType.SERVICE: 0.92},
+                 burst_mean=2.0, mean_repair_s=5 * 3600,
+                 description="node heartbeat fault (hang/crash)"),
+    CategorySpec(ErrorCategory.GPU_DBE, EventScope.GPU, LogSource.SYSLOG,
+                 base_lethality=0.98,
+                 detection={NodeType.XE: 0.0, NodeType.XK: 0.45,
+                            NodeType.SERVICE: 0.0},
+                 burst_mean=2.0, mean_repair_s=2 * 3600,
+                 description="GPU GDDR5 double-bit error"),
+    CategorySpec(ErrorCategory.GPU_XID, EventScope.GPU, LogSource.SYSLOG,
+                 base_lethality=0.85,
+                 detection={NodeType.XE: 0.0, NodeType.XK: 0.42,
+                            NodeType.SERVICE: 0.0},
+                 burst_mean=3.0, mean_repair_s=90 * 60,
+                 description="GPU driver XID error (bus off, firmware)"),
+    CategorySpec(ErrorCategory.GPU_SXM_POWER, EventScope.GPU, LogSource.HWERR,
+                 base_lethality=1.0,
+                 detection={NodeType.XE: 0.0, NodeType.XK: 0.60,
+                            NodeType.SERVICE: 0.0},
+                 burst_mean=2.0, mean_repair_s=8 * 3600,
+                 description="GPU module power fault"),
+    CategorySpec(ErrorCategory.GEMINI_LINK, EventScope.FABRIC, LogSource.HWERR,
+                 base_lethality=0.35, detection=_uniform(0.95),
+                 burst_mean=12.0, mean_repair_s=30 * 60,
+                 description="Gemini HSN link failure + route reconfiguration"),
+    CategorySpec(ErrorCategory.GEMINI_ROUTER, EventScope.FABRIC, LogSource.HWERR,
+                 base_lethality=0.65, detection=_uniform(0.96),
+                 burst_mean=20.0, mean_repair_s=2 * 3600,
+                 description="Gemini router ASIC failure"),
+    CategorySpec(ErrorCategory.HSN_THROTTLE, EventScope.FABRIC, LogSource.SYSLOG,
+                 base_lethality=0.0, detection=_uniform(0.99),
+                 burst_mean=6.0, mean_repair_s=0.0,
+                 description="HSN congestion / throttle (informational)"),
+    CategorySpec(ErrorCategory.LUSTRE_OSS, EventScope.FILESYSTEM, LogSource.SYSLOG,
+                 base_lethality=0.30, detection=_uniform(0.97),
+                 burst_mean=15.0, mean_repair_s=45 * 60,
+                 description="Lustre OSS failure / failover"),
+    CategorySpec(ErrorCategory.LUSTRE_MDS, EventScope.FILESYSTEM, LogSource.SYSLOG,
+                 base_lethality=0.55, detection=_uniform(0.98),
+                 burst_mean=25.0, mean_repair_s=60 * 60,
+                 description="Lustre MDS failure / failover"),
+    CategorySpec(ErrorCategory.LUSTRE_LBUG, EventScope.FILESYSTEM, LogSource.SYSLOG,
+                 base_lethality=0.45, detection=_uniform(0.97),
+                 burst_mean=10.0, mean_repair_s=30 * 60,
+                 description="Lustre LBUG assertion"),
+    CategorySpec(ErrorCategory.LNET_ROUTER, EventScope.FILESYSTEM, LogSource.SYSLOG,
+                 base_lethality=0.25, detection=_uniform(0.95),
+                 burst_mean=8.0, mean_repair_s=40 * 60,
+                 description="LNET router (service node) failure"),
+    CategorySpec(ErrorCategory.CABINET_POWER, EventScope.CABINET, LogSource.HWERR,
+                 base_lethality=0.9, detection=_uniform(0.99),
+                 burst_mean=30.0, mean_repair_s=3 * 3600,
+                 description="cabinet power/cooling fault"),
+    CategorySpec(ErrorCategory.ALPS_SOFTWARE, EventScope.NODE, LogSource.APSYS,
+                 base_lethality=0.8, detection=_uniform(0.9),
+                 burst_mean=2.0, mean_repair_s=0.0,
+                 description="ALPS launch/placement software error"),
+    CategorySpec(ErrorCategory.SWO, EventScope.SYSTEM, LogSource.CONSOLE,
+                 base_lethality=1.0, detection=_uniform(1.0),
+                 burst_mean=50.0, mean_repair_s=5 * 3600,
+                 description="system-wide outage"),
+]}
+
+
+#: Categories whose clusters count as machine failures; benign noise
+#: (corrected ECC, congestion throttles) is informational and can never
+#: explain an application failure.
+FAILURE_CLASS_CATEGORIES: tuple[ErrorCategory, ...] = tuple(
+    category for category, spec in CATEGORY_SPECS.items()
+    if spec.base_lethality > 0.0)
+
+
+#: Categories whose events originate *on* a node of a given type.
+def categories_for_node_type(node_type: NodeType) -> list[ErrorCategory]:
+    """Node-scoped categories applicable to a node type."""
+    node_cats = [ErrorCategory.MCE, ErrorCategory.DRAM_UNCORRECTABLE,
+                 ErrorCategory.DRAM_CORRECTABLE, ErrorCategory.KERNEL_PANIC,
+                 ErrorCategory.NODE_HEARTBEAT]
+    if node_type.has_gpu:
+        node_cats += [ErrorCategory.GPU_DBE, ErrorCategory.GPU_XID,
+                      ErrorCategory.GPU_SXM_POWER]
+    return node_cats

@@ -1,0 +1,76 @@
+"""RAS event trace export/import (CSV).
+
+A :class:`FaultTimeline` can be flattened to a CSV trace and replayed
+later -- so fault campaigns are shareable artifacts, and externally
+produced RAS traces (converted to the same schema) can drive the
+simulator instead of the stochastic injector.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import LogFormatError
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.taxonomy import ErrorCategory
+
+__all__ = ["export_fault_trace", "import_fault_trace"]
+
+_FIELDS = ["event_id", "time_s", "category", "component", "node_ids",
+           "fabric_vertex", "fatal", "detected", "repair_s"]
+
+
+def export_fault_trace(timeline: FaultTimeline, path: str | Path) -> Path:
+    """Write a timeline as a CSV trace; returns the path."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for event in timeline:
+            writer.writerow({
+                "event_id": event.event_id,
+                "time_s": repr(event.time),
+                "category": event.category.value,
+                "component": event.component,
+                "node_ids": ";".join(str(n) for n in event.node_ids),
+                "fabric_vertex": ("" if event.fabric_vertex is None
+                                  else event.fabric_vertex),
+                "fatal": int(event.fatal),
+                "detected": int(event.detected),
+                "repair_s": repr(event.repair_s),
+            })
+    return path
+
+
+def import_fault_trace(path: str | Path) -> FaultTimeline:
+    """Read a CSV trace back into a timeline."""
+    path = Path(path)
+    events: list[FaultEvent] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise LogFormatError(
+                f"fault trace missing columns: {sorted(missing)}")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                node_ids = tuple(int(n) for n in row["node_ids"].split(";")
+                                 if n != "")
+                events.append(FaultEvent(
+                    event_id=int(row["event_id"]),
+                    time=float(row["time_s"]),
+                    category=ErrorCategory(row["category"]),
+                    component=row["component"],
+                    node_ids=node_ids,
+                    fabric_vertex=(int(row["fabric_vertex"])
+                                   if row["fabric_vertex"] != "" else None),
+                    fatal=bool(int(row["fatal"])),
+                    detected=bool(int(row["detected"])),
+                    repair_s=float(row["repair_s"]),
+                ))
+            except (ValueError, KeyError) as bad:
+                raise LogFormatError(f"bad fault-trace row: {bad}",
+                                     source="fault-trace",
+                                     lineno=lineno) from None
+    return FaultTimeline(events=events)

@@ -1,0 +1,55 @@
+"""Log substrate: message vocabulary, per-source writers/parsers, and
+directory bundles connecting simulator output to LogDiver input."""
+
+from repro.logs.alps import alps_run_lines, parse_alps, parse_alps_line
+from repro.logs.bundle import BUNDLE_FILES, LogBundle, read_bundle, write_bundle
+from repro.logs.errorlogs import (
+    parse_console_line,
+    parse_hwerr_line,
+    parse_stream,
+    parse_syslog_line,
+    write_console_line,
+    write_hwerr_line,
+    write_stream,
+    write_syslog_line,
+)
+from repro.logs.messages import classify_message, render_message
+from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
+from repro.logs.torque import (
+    format_walltime,
+    parse_torque,
+    parse_torque_line,
+    parse_walltime,
+    torque_job_lines,
+)
+
+__all__ = [
+    "AlpsRecord",
+    "BUNDLE_FILES",
+    "ErrorLogRecord",
+    "LogBundle",
+    "TorqueRecord",
+    "alps_run_lines",
+    "classify_message",
+    "decode_nids",
+    "encode_nids",
+    "format_walltime",
+    "parse_alps",
+    "parse_alps_line",
+    "parse_console_line",
+    "parse_hwerr_line",
+    "parse_stream",
+    "parse_syslog_line",
+    "parse_torque",
+    "parse_torque_line",
+    "parse_walltime",
+    "read_bundle",
+    "render_message",
+    "torque_job_lines",
+    "write_bundle",
+    "write_console_line",
+    "write_hwerr_line",
+    "write_stream",
+    "write_syslog_line",
+]

@@ -1,0 +1,118 @@
+"""ALPS (Application Level Placement Scheduler) apsys-log writer/parser.
+
+The apsys log is the paper's source of truth for *application runs*:
+each ``aprun`` produces a start record and an end record carrying the
+``apid``, the owning batch job, the placed node list, and the exit
+code/signal.  Launch failures produce an error record instead.
+
+Format (ISO timestamp, key=value)::
+
+    2013-04-01T00:00:02 apsys apid=7 kind=start batch_id=3.bw \
+user=user0001 cmd=namd2 nids=0-127
+
+    2013-04-01T04:00:02 apsys apid=7 kind=end batch_id=3.bw \
+user=user0001 cmd=namd2 nids=0-127 exit_code=0 exit_signal=0
+
+    2013-04-01T00:00:02 apsys apid=9 kind=error batch_id=4.bw \
+user=user0002 cmd=vpic nids=128-255 msg="apsched: placement error ..."
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Iterable, Iterator
+
+from repro.errors import LogFormatError
+from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.records import AlpsRecord
+from repro.util.timeutil import Epoch
+from repro.workload.jobs import AppRunRecord, Outcome
+
+__all__ = ["alps_run_lines", "parse_alps_line", "parse_alps", "APP_COMMANDS"]
+
+_LINE_RE = re.compile(
+    r"^(?P<ts>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}) apsys (?P<payload>.*)$")
+
+#: Binary names per application archetype (cosmetic; appears in logs).
+APP_COMMANDS = {
+    "NAMD": "namd2", "CHROMA": "chroma", "VPIC": "vpic", "PSDNS": "psdns",
+    "CESM": "cesm.exe", "AWP-ODC": "awp-odc", "XE-MISC": "a.out",
+    "AMBER-GPU": "pmemd.cuda", "NAMD-GPU": "namd2_cuda",
+    "QMCPACK": "qmcpack", "XK-MISC": "a.out",
+}
+
+#: Signal implied by a nonzero exit "code" above 128 (128+signal).
+def _split_exit(exit_code: int) -> tuple[int, int]:
+    if 128 < exit_code < 160:
+        return 0, exit_code - 128
+    return exit_code, 0
+
+
+def alps_run_lines(run: AppRunRecord, epoch: Epoch) -> list[str]:
+    """The apsys lines for one application run (1 or 2 lines)."""
+    batch = f"{run.job_id}.bw"
+    cmd = APP_COMMANDS.get(run.app_name, run.app_name.lower())
+    nids = encode_nids(run.node_ids)
+    base = f"batch_id={batch} user=u{run.job_id % 997:03d} cmd={cmd} nids={nids}"
+    if run.outcome is Outcome.LAUNCH_FAILURE:
+        msg = "apsched: placement error: claim exceeds reservation"
+        return [(f"{epoch.format_iso(run.start)} apsys apid={run.apid} "
+                 f"kind=error {base} msg={shlex.quote(msg)}")]
+    code, signal = _split_exit(run.exit_code)
+    start = (f"{epoch.format_iso(run.start)} apsys apid={run.apid} "
+             f"kind=start {base}")
+    end = (f"{epoch.format_iso(run.end)} apsys apid={run.apid} "
+           f"kind=end {base} exit_code={code} exit_signal={signal}")
+    return [start, end]
+
+
+def parse_alps_line(line: str, epoch: Epoch) -> AlpsRecord:
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise LogFormatError("unparseable apsys line", line=line)
+    fields: dict[str, str] = {}
+    try:
+        tokens = shlex.split(match["payload"])
+    except ValueError as bad:
+        raise LogFormatError(f"apsys payload malformed: {bad}", line=line)
+    for token in tokens:
+        key, _, value = token.partition("=")
+        fields[key] = value
+    try:
+        kind = fields["kind"]
+        record = AlpsRecord(
+            time_s=epoch.parse_iso(match["ts"]),
+            kind=kind,
+            apid=int(fields["apid"]),
+            batch_id=fields["batch_id"],
+            user=fields.get("user", ""),
+            cmd=fields.get("cmd", ""),
+            nids=decode_nids(fields.get("nids", "")),
+            exit_code=(int(fields["exit_code"])
+                       if "exit_code" in fields else None),
+            exit_signal=(int(fields["exit_signal"])
+                         if "exit_signal" in fields else None),
+            message=fields.get("msg", ""),
+        )
+    except KeyError as missing:
+        raise LogFormatError(f"apsys payload missing {missing}", line=line)
+    except ValueError as bad:
+        raise LogFormatError(f"apsys payload malformed: {bad}", line=line)
+    if record.kind not in ("start", "end", "error"):
+        raise LogFormatError(f"unknown apsys kind {record.kind!r}", line=line)
+    return record
+
+
+def parse_alps(lines: Iterable[str], epoch: Epoch,
+               *, strict: bool = True) -> Iterator[AlpsRecord]:
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        try:
+            yield parse_alps_line(line, epoch)
+        except LogFormatError:
+            if strict:
+                raise LogFormatError("bad apsys line", source="apsys",
+                                     lineno=lineno, line=line)

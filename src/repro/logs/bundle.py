@@ -1,0 +1,189 @@
+"""Log bundles: the on-disk interface between simulator and LogDiver.
+
+A bundle is a directory holding exactly what a site's log collector
+would hand an analyst:
+
+* ``syslog.log``, ``hwerr.log``, ``console.log`` -- error-bearing text
+  streams (detected fault symptoms only; silent faults leave no trace);
+* ``torque.log`` -- job accounting;
+* ``apsys.log`` -- application-run (aprun) records;
+* ``manifest.json`` -- collection metadata (epoch, window, machine
+  summary).  Real studies get this from site documentation.
+
+LogDiver reads bundles; it never sees simulator objects.  That boundary
+is what makes the reproduction honest: everything downstream works from
+text (plus the manifest), exactly like the original tool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.errors import LogFormatError
+from repro.faults.propagation import PropagationModel, Symptom
+from repro.faults.taxonomy import CATEGORY_SPECS, LogSource
+from repro.logs.alps import alps_run_lines, parse_alps
+from repro.logs.errorlogs import parse_stream, write_stream
+from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
+from repro.logs.torque import parse_torque, torque_job_lines
+from repro.sim.cluster import SimulationResult
+from repro.util.rngs import RngFactory
+from repro.util.timeutil import Epoch
+
+__all__ = ["LogBundle", "write_bundle", "read_bundle", "BUNDLE_FILES"]
+
+BUNDLE_FILES = ("syslog.log", "hwerr.log", "console.log",
+                "torque.log", "apsys.log", "nodemap.txt", "manifest.json")
+
+_STREAM_FILES = {LogSource.SYSLOG: "syslog.log",
+                 LogSource.HWERR: "hwerr.log",
+                 LogSource.CONSOLE: "console.log"}
+
+
+@dataclass
+class LogBundle:
+    """Parsed contents of a bundle directory."""
+
+    directory: Path
+    epoch: Epoch
+    manifest: dict
+    error_records: list[ErrorLogRecord] = field(default_factory=list)
+    torque_records: list[TorqueRecord] = field(default_factory=list)
+    alps_records: list[AlpsRecord] = field(default_factory=list)
+    #: nid -> (cname text, node type text, gemini vertex), from the
+    #: site's ``xtprocadmin``-style dump.
+    nodemap: dict[int, tuple[str, str, int]] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "error_records": len(self.error_records),
+            "torque_records": len(self.torque_records),
+            "alps_records": len(self.alps_records),
+            "nodes": len(self.nodemap),
+        }
+
+
+def _route_symptoms(symptoms: list[Symptom]) -> dict[str, list[Symptom]]:
+    routed: dict[str, list[Symptom]] = {name: [] for name in _STREAM_FILES.values()}
+    for symptom in symptoms:
+        source = CATEGORY_SPECS[symptom.category].source
+        filename = _STREAM_FILES.get(source, "syslog.log")
+        routed[filename].append(symptom)
+    return routed
+
+
+def write_bundle(result: SimulationResult, directory: str | Path, *,
+                 epoch: Epoch | None = None, seed: int = 0) -> Path:
+    """Render a simulation's observable side into a bundle directory.
+
+    Symptom storms are expanded here (propagation is part of how the
+    machine *logs*, not of how it fails), so the same SimulationResult
+    always produces the same bundle for a given seed.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    epoch = epoch or Epoch()
+
+    propagation = PropagationModel(result.machine,
+                                   rng_factory=RngFactory(seed).child("logs"))
+    symptoms = propagation.expand_all(result.faults.events)
+    for filename, routed in _route_symptoms(symptoms).items():
+        source = filename.split(".")[0]
+        source = {"syslog": "syslog", "hwerr": "hwerrlog",
+                  "console": "console"}[source]
+        with open(directory / filename, "w") as handle:
+            for line in write_stream(source, routed, epoch):
+                handle.write(line + "\n")
+
+    torque_lines: list[tuple[float, str]] = []
+    for job in result.jobs:
+        start_line, end_line = torque_job_lines(job, epoch)
+        torque_lines.append((job.start_time, start_line))
+        torque_lines.append((job.end_time, end_line))
+    torque_lines.sort(key=lambda pair: pair[0])
+    with open(directory / "torque.log", "w") as handle:
+        for _, line in torque_lines:
+            handle.write(line + "\n")
+
+    alps_lines: list[tuple[float, str]] = []
+    for run in result.runs:
+        lines = alps_run_lines(run, epoch)
+        alps_lines.append((run.start, lines[0]))
+        if len(lines) > 1:
+            alps_lines.append((run.end, lines[1]))
+    alps_lines.sort(key=lambda pair: pair[0])
+    with open(directory / "apsys.log", "w") as handle:
+        for _, line in alps_lines:
+            handle.write(line + "\n")
+
+    # The site configuration dump analysts get alongside the logs:
+    # nid, cname, node type, and the Gemini torus vertex of each node.
+    with open(directory / "nodemap.txt", "w") as handle:
+        for node in result.machine.nodes:
+            handle.write(f"{node.nid} {node.name} {node.node_type.value} "
+                         f"gemini={node.gemini_vertex}\n")
+
+    manifest = {
+        "format": "repro-logbundle/1",
+        "torus_dims": list(result.machine.topology.dims),
+        "torus_vertices": result.machine.topology.n_vertices,
+        "epoch_start": epoch.start.isoformat(),
+        "window_s": [result.window.start, result.window.end],
+        "machine": {k: list(v) if isinstance(v, tuple) else v
+                    for k, v in result.machine.summary().items()},
+        "counts": {"jobs": len(result.jobs), "runs": len(result.runs),
+                   "symptoms": len(symptoms)},
+    }
+    with open(directory / "manifest.json", "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return directory
+
+
+def read_bundle(directory: str | Path, *, strict: bool = True) -> LogBundle:
+    """Parse a bundle directory back into structured records."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise LogFormatError(f"no manifest.json in {directory}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    epoch = Epoch(start=datetime.fromisoformat(manifest["epoch_start"]))
+    if epoch.start.tzinfo is None:
+        epoch = Epoch(start=epoch.start.replace(tzinfo=timezone.utc))
+
+    bundle = LogBundle(directory=directory, epoch=epoch, manifest=manifest)
+    for filename, source in [("syslog.log", "syslog"),
+                             ("hwerr.log", "hwerrlog"),
+                             ("console.log", "console")]:
+        path = directory / filename
+        if not path.exists():
+            continue
+        with open(path) as handle:
+            bundle.error_records.extend(
+                parse_stream(source, handle, epoch, strict=strict))
+    torque_path = directory / "torque.log"
+    if torque_path.exists():
+        with open(torque_path) as handle:
+            bundle.torque_records.extend(
+                parse_torque(handle, epoch, strict=strict))
+    alps_path = directory / "apsys.log"
+    if alps_path.exists():
+        with open(alps_path) as handle:
+            bundle.alps_records.extend(parse_alps(handle, epoch, strict=strict))
+    nodemap_path = directory / "nodemap.txt"
+    if nodemap_path.exists():
+        with open(nodemap_path) as handle:
+            for line in handle:
+                parts = line.split()
+                if len(parts) != 4 or not parts[0].startswith("nid"):
+                    if strict:
+                        raise LogFormatError("bad nodemap line", line=line)
+                    continue
+                nid = int(parts[0][3:])
+                vertex = int(parts[3].partition("=")[2])
+                bundle.nodemap[nid] = (parts[1], parts[2], vertex)
+    bundle.error_records.sort(key=lambda r: r.time_s)
+    return bundle

@@ -1,0 +1,160 @@
+"""Writers and parsers for the three error-bearing log streams.
+
+Formats (styled on the corresponding Blue Waters sources):
+
+* **syslog** (RFC3164-ish)::
+
+      Apr  1 00:00:02 c3-7c1s4n2 kernel: NVRM: Xid (c3-7c1s4n2a0): 48, ...
+
+* **hwerrlog** (Cray hardware error log, pipe-separated)::
+
+      2013-04-01T00:00:02|c3-7c1s4g1|HWERR[c3-7c1s4g1]: LCB lane(s) failed ...
+
+* **console** (xtconsole)::
+
+      [2013-04-01 00:00:02] c3-7c1s4n2 Kernel panic - not syncing: ...
+
+Each writer turns a :class:`~repro.faults.propagation.Symptom` into a
+text line; each parser performs the inverse into a *dumb*
+:class:`~repro.logs.records.ErrorLogRecord` (no category semantics).
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime, timezone
+from typing import Iterable, Iterator
+
+from repro.errors import LogFormatError
+from repro.faults.propagation import Symptom
+from repro.logs.messages import render_message
+from repro.logs.records import ErrorLogRecord
+from repro.util.timeutil import Epoch
+
+__all__ = [
+    "write_syslog_line", "parse_syslog_line",
+    "write_hwerr_line", "parse_hwerr_line",
+    "write_console_line", "parse_console_line",
+    "write_stream", "parse_stream",
+]
+
+_SYSLOG_RE = re.compile(
+    r"^(?P<ts>[A-Z][a-z]{2} [ \d]\d \d{2}:\d{2}:\d{2}) "
+    r"(?P<host>\S+) kernel: (?P<msg>.*)$")
+_HWERR_RE = re.compile(
+    r"^(?P<ts>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2})\|(?P<comp>[^|]+)\|(?P<msg>.*)$")
+_CONSOLE_RE = re.compile(
+    r"^\[(?P<ts>\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2})\] (?P<comp>\S+) (?P<msg>.*)$")
+
+
+def _message_for(symptom: Symptom) -> str:
+    # Salt the varying fields with the provenance id so re-rendering a
+    # bundle is byte-identical.
+    return render_message(symptom.category, symptom.kind, symptom.component,
+                          salt=symptom.event_id * 7 + symptom.kind)
+
+
+# -- syslog ------------------------------------------------------------------
+
+def write_syslog_line(symptom: Symptom, epoch: Epoch) -> str:
+    host = symptom.component.split("a")[0] if "a" in symptom.component else symptom.component
+    return (f"{epoch.format_syslog(symptom.time)} {host} kernel: "
+            f"{_message_for(symptom)}")
+
+
+def parse_syslog_line(line: str, epoch: Epoch, *,
+                      year_hint: int | None = None) -> ErrorLogRecord:
+    match = _SYSLOG_RE.match(line)
+    if match is None:
+        raise LogFormatError("unparseable syslog line", line=line)
+    try:
+        time_s = epoch.parse_syslog(match["ts"], year_hint=year_hint)
+    except ValueError as bad:
+        raise LogFormatError(f"bad syslog timestamp: {bad}", line=line)
+    return ErrorLogRecord(time_s=time_s, source="syslog",
+                          component=match["host"], message=match["msg"])
+
+
+# -- hwerrlog -----------------------------------------------------------------
+
+def write_hwerr_line(symptom: Symptom, epoch: Epoch) -> str:
+    return (f"{epoch.format_iso(symptom.time)}|{symptom.component}|"
+            f"{_message_for(symptom)}")
+
+
+def parse_hwerr_line(line: str, epoch: Epoch) -> ErrorLogRecord:
+    match = _HWERR_RE.match(line)
+    if match is None:
+        raise LogFormatError("unparseable hwerr line", line=line)
+    try:
+        time_s = epoch.parse_iso(match["ts"])
+    except ValueError as bad:
+        raise LogFormatError(f"bad hwerr timestamp: {bad}", line=line)
+    return ErrorLogRecord(time_s=time_s,
+                          source="hwerrlog", component=match["comp"],
+                          message=match["msg"])
+
+
+# -- console -------------------------------------------------------------------
+
+def write_console_line(symptom: Symptom, epoch: Epoch) -> str:
+    stamp = epoch.to_datetime(symptom.time).strftime("%Y-%m-%d %H:%M:%S")
+    return f"[{stamp}] {symptom.component} {_message_for(symptom)}"
+
+
+def parse_console_line(line: str, epoch: Epoch) -> ErrorLogRecord:
+    match = _CONSOLE_RE.match(line)
+    if match is None:
+        raise LogFormatError("unparseable console line", line=line)
+    try:
+        moment = datetime.strptime(match["ts"], "%Y-%m-%d %H:%M:%S")
+    except ValueError as bad:
+        raise LogFormatError(f"bad console timestamp: {bad}", line=line)
+    time_s = epoch.to_seconds(moment.replace(tzinfo=timezone.utc))
+    return ErrorLogRecord(time_s=time_s, source="console",
+                          component=match["comp"], message=match["msg"])
+
+
+# -- stream helpers -----------------------------------------------------------
+
+_WRITERS = {"syslog": write_syslog_line, "hwerrlog": write_hwerr_line,
+            "console": write_console_line}
+_PARSERS = {"syslog": parse_syslog_line, "hwerrlog": parse_hwerr_line,
+            "console": parse_console_line}
+
+
+def write_stream(source: str, symptoms: Iterable[Symptom],
+                 epoch: Epoch) -> Iterator[str]:
+    """Render symptoms destined for one stream, in input order."""
+    try:
+        writer = _WRITERS[source]
+    except KeyError:
+        raise LogFormatError(f"unknown error-log stream {source!r}") from None
+    for symptom in symptoms:
+        yield writer(symptom, epoch)
+
+
+def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
+                 *, strict: bool = True) -> Iterator[ErrorLogRecord]:
+    """Parse one stream's lines.
+
+    ``strict=False`` skips unparseable lines instead of raising --
+    real pipelines must tolerate corrupt log text.
+    """
+    try:
+        parser = _PARSERS[source]
+    except KeyError:
+        raise LogFormatError(f"unknown error-log stream {source!r}") from None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        try:
+            if source == "syslog":
+                yield parser(line, epoch)
+            else:
+                yield parser(line, epoch)
+        except LogFormatError:
+            if strict:
+                raise LogFormatError(f"bad line in {source}",
+                                     source=source, lineno=lineno, line=line)

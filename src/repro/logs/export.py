@@ -1,0 +1,87 @@
+"""Export diagnosed results for downstream tooling (CSV / JSONL).
+
+Analysts rarely stop at the built-in tables; these exporters dump the
+pipeline's per-run diagnoses and error clusters in formats spreadsheet
+and notebook tools ingest directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.categorize import DiagnosedRun
+from repro.core.filtering import ErrorCluster
+
+__all__ = ["export_runs_csv", "export_runs_jsonl", "export_clusters_csv"]
+
+_RUN_FIELDS = ["apid", "batch_id", "user", "cmd", "node_type", "nodes",
+               "start_s", "end_s", "elapsed_s", "node_hours", "exit_code",
+               "exit_signal", "outcome", "category", "cluster_id"]
+
+
+def _run_row(d: DiagnosedRun) -> dict:
+    return {
+        "apid": d.run.apid,
+        "batch_id": d.run.batch_id,
+        "user": d.run.user,
+        "cmd": d.run.cmd,
+        "node_type": d.run.node_type,
+        "nodes": d.run.nodes,
+        "start_s": d.run.start_s,
+        "end_s": d.run.end_s,
+        "elapsed_s": d.run.elapsed_s,
+        "node_hours": round(d.run.node_hours, 4),
+        "exit_code": d.run.exit_code,
+        "exit_signal": d.run.exit_signal,
+        "outcome": d.outcome.value,
+        "category": d.category.value if d.category else "",
+        "cluster_id": d.cluster_id if d.cluster_id is not None else "",
+    }
+
+
+def export_runs_csv(diagnosed: Iterable[DiagnosedRun],
+                    path: str | Path) -> Path:
+    """Write one CSV row per diagnosed run; returns the path."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_RUN_FIELDS)
+        writer.writeheader()
+        for d in diagnosed:
+            writer.writerow(_run_row(d))
+    return path
+
+
+def export_runs_jsonl(diagnosed: Iterable[DiagnosedRun],
+                      path: str | Path) -> Path:
+    """Write one JSON object per line per diagnosed run."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        for d in diagnosed:
+            handle.write(json.dumps(_run_row(d), sort_keys=True) + "\n")
+    return path
+
+
+def export_clusters_csv(clusters: Iterable[ErrorCluster],
+                        path: str | Path) -> Path:
+    """Write one CSV row per error cluster."""
+    path = Path(path)
+    fields = ["cluster_id", "category", "start_s", "end_s", "duration_s",
+              "components", "component_count", "record_count"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for c in clusters:
+            writer.writerow({
+                "cluster_id": c.cluster_id,
+                "category": c.category.value,
+                "start_s": c.start_s,
+                "end_s": c.end_s,
+                "duration_s": c.end_s - c.start_s,
+                "components": ";".join(c.components),
+                "component_count": c.component_count,
+                "record_count": c.record_count,
+            })
+    return path

@@ -1,0 +1,188 @@
+"""Message text: the vocabulary of the simulated logs.
+
+Every error category renders as one of a few message *templates* styled
+on real Cray XE/XK log text (machine-check banners, NVIDIA Xid lines,
+Gemini link-inquiry storms, Lustre console chatter).  The writers pick a
+template by the symptom's ``kind``; LogDiver's attribution stage
+classifies raw text back to a category with the regex bank below.
+
+Both directions live in this module so they cannot drift apart -- but
+note the asymmetry: the *writer* knows the ground-truth category, while
+the *classifier* only sees text.  Classification is exercised end-to-end
+in tests (template -> text -> category round-trip).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.faults.taxonomy import ErrorCategory
+
+__all__ = ["render_message", "classify_message", "CLASSIFIER_PATTERNS",
+           "TEMPLATES"]
+
+#: (category, kind) -> printf-style template.  ``{c}`` is the component
+#: cname, ``{n}`` a small varying integer the writers fill in.
+TEMPLATES: dict[ErrorCategory, tuple[str, ...]] = {
+    ErrorCategory.MCE: (
+        "HWERR[{c}]: MACHINE CHECK bank {n} status 0xb200000000070f0f",
+        "Machine Check Exception on {c}: CPU {n} BANK {n}",
+        "mce: [Hardware Error]: Machine check events logged on {c}",
+        "HWERR[{c}]: MCE decode: DRAM channel {n} parity",
+    ),
+    ErrorCategory.DRAM_UNCORRECTABLE: (
+        "HWERR[{c}]: uncorrectable (fatal) memory error at DIMM {n}",
+        "EDAC amd64 MC{n}: UE page 0x0, offset 0x0, grain 0 on {c}",
+        "HWERR[{c}]: UE DRAM ECC error detected on memory controller {n}",
+        "kernel: EDAC MC{n}: UE row {n}, channel {n} ({c})",
+    ),
+    ErrorCategory.DRAM_CORRECTABLE: (
+        "EDAC amd64 MC{n}: CE page 0x{n}f, syndrome 0x{n}a on {c}",
+        "HWERR[{c}]: correctable DRAM ECC error DIMM {n} (threshold ok)",
+        "kernel: EDAC MC{n}: CE row {n}, channel {n} ({c})",
+        "HWERR[{c}]: corrected memory error, scrubber engaged",
+    ),
+    ErrorCategory.KERNEL_PANIC: (
+        "Kernel panic - not syncing: Fatal exception on {c}",
+        "LBUG-free Oops: {n} [#1] SMP on {c}",
+        "BUG: unable to handle kernel paging request on {c}",
+        "Kernel panic - not syncing: softlockup: hung tasks on {c}",
+    ),
+    ErrorCategory.NODE_HEARTBEAT: (
+        "ec_node_failed: heartbeat fault on {c}",
+        "HSS: node {c} stopped responding to heartbeat ({n} missed)",
+        "node_health: {c} marked admindown (heartbeat timeout)",
+        "ec_heartbeat_stop: component {c} heartbeat lost",
+    ),
+    ErrorCategory.GPU_DBE: (
+        "NVRM: Xid ({c}): 48, Double Bit ECC Error detected",
+        "GPU {c}: double-bit ECC error in GDDR5, page retired",
+        "NVRM: Xid ({c}): 48, DBE address 0x{n}c0 framebuffer",
+        "nvidia: GPU {c} DBE error counter incremented to {n}",
+    ),
+    ErrorCategory.GPU_XID: (
+        "NVRM: Xid ({c}): 62, internal micro-controller halt",
+        "NVRM: Xid ({c}): 79, GPU has fallen off the bus",
+        "NVRM: Xid ({c}): 13, Graphics Exception on GPC {n}",
+        "NVRM: Xid ({c}): 32, invalid or corrupted push buffer stream",
+    ),
+    ErrorCategory.GPU_SXM_POWER: (
+        "HWERR[{c}]: accelerator power fault, VRM {n} over-temperature",
+        "GPU {c}: SXM power rail fault detected, module disabled",
+        "HWERR[{c}]: accel module power {n}W out of range",
+        "nvidia-smi: GPU {c} lost (power brake assertion)",
+    ),
+    ErrorCategory.GEMINI_LINK: (
+        "HWERR[{c}]: LCB lane(s) failed: mask 0x{n}f, link inactive",
+        "ec_l0_link_failed: {c} link {n} down, initiating reroute",
+        "Gemini LCB {c}: channel failed, quiescing network",
+        "ntwatch: {c} HSN link {n} degraded, rerouting traffic",
+    ),
+    ErrorCategory.GEMINI_ROUTER: (
+        "HWERR[{c}]: Gemini ASIC fatal error, netwatch intervention",
+        "ec_rtr_failed: router {c} declared dead after {n} retries",
+        "Gemini {c}: ORB RAM scrub failure, ASIC offline",
+        "ntwatch: router {c} unresponsive, initiating warm swap",
+    ),
+    ErrorCategory.HSN_THROTTLE: (
+        "ntwatch: congestion protection engaged on {c} ({n}% util)",
+        "Gemini {c}: throttle event, injection bandwidth limited",
+        "HSN: {c} congestion abated after {n}s",
+        "ntwatch: {c} output queue stall, transient",
+    ),
+    ErrorCategory.LUSTRE_OSS: (
+        "LustreError: {c}: OST write operation failed with -{n}",
+        "Lustre: {c} failover pair activated, client reconnect",
+        "LustreError: {n}:0:(ost_handler.c) {c} bulk IO timeout",
+        "Lustre: {c}: Connection restored to service (took {n}s)",
+    ),
+    ErrorCategory.LUSTRE_MDS: (
+        "LustreError: MDS {c}: metadata operation stalled {n}s",
+        "Lustre: MDT0000 on {c} failing over, suspending mdt ops",
+        "LustreError: {n}:0:(mdt_handler.c) {c} service thread hung",
+        "Lustre: {c}: MDT recovery completed after {n} clients evicted",
+    ),
+    ErrorCategory.LUSTRE_LBUG: (
+        "LustreError: {n}:0:(osc_request.c:{n}:osc_release()) LBUG on {c}",
+        "LBUG hit on {c}: ASSERTION(inode != NULL) failed",
+        "LustreError: {c} LBUG: dumping log to /tmp/lustre-log.{n}",
+        "Lustre: {c} thread entered LBUG, node requires reboot",
+    ),
+    ErrorCategory.LNET_ROUTER: (
+        "LNet: {c}: router down, asymmetrical route detected",
+        "LNetError: {n}-0: {c} gnilnd peer error, connection reset",
+        "LNet: route to o2ib via {c} marked down",
+        "LNetError: {c}: no route to peer, I/O suspended",
+    ),
+    ErrorCategory.CABINET_POWER: (
+        "ec_cab_power: cabinet {c} power supply fault, bus {n}",
+        "HSS: {c} blower failure detected, emergency powerdown armed",
+        "ec_env_alert: cabinet {c} VFD over-temperature ({n} C)",
+        "HSS: {c} rectifier {n} offline, cabinet on reduced power",
+    ),
+    ErrorCategory.ALPS_SOFTWARE: (
+        "apsched: placement error for {c}: claim exceeds reservation",
+        "apsys: apinit launch failed on {c}: NID not in ALPS state",
+        "apsched: {c} reservation conflict, retry {n} failed",
+        "apmgr: downed node event for {c} during launch",
+    ),
+    ErrorCategory.SWO: (
+        "*** SYSTEM WIDE OUTAGE declared by operations ({c}) ***",
+        "HSS: emergency shutdown initiated, all services stopping",
+        "xtcli: shutdown broadcast to all partitions ({n} cabinets)",
+        "operations: system entering maintenance after critical event",
+    ),
+}
+
+#: Regexes that recover the category from raw text.  Order matters:
+#: first match wins, so the most specific patterns come first.
+CLASSIFIER_PATTERNS: tuple[tuple[re.Pattern[str], ErrorCategory], ...] = tuple(
+    (re.compile(pattern), category) for pattern, category in [
+        (r"Xid .*: 48|double-bit ECC|DBE (?:address|error)", ErrorCategory.GPU_DBE),
+        (r"accel(?:erator)? (?:module )?power|SXM power|power brake",
+         ErrorCategory.GPU_SXM_POWER),
+        (r"NVRM: Xid|nvidia-smi: GPU .* lost", ErrorCategory.GPU_XID),
+        (r"MACHINE CHECK|Machine [Cc]heck|mce:|MCE decode", ErrorCategory.MCE),
+        (r"uncorrectable .*memory|UE (?:page|row|DRAM)", ErrorCategory.DRAM_UNCORRECTABLE),
+        (r"correct(?:able|ed) (?:DRAM|memory)|CE (?:page|row)", ErrorCategory.DRAM_CORRECTABLE),
+        (r"Kernel panic|Oops:|unable to handle kernel", ErrorCategory.KERNEL_PANIC),
+        (r"heartbeat (?:fault|timeout|lost)|stopped responding to heartbeat|"
+         r"ec_heartbeat_stop", ErrorCategory.NODE_HEARTBEAT),
+        (r"LCB lane|link .*down.*reroute|HSN link|link_failed|"
+         r"channel failed, quiescing", ErrorCategory.GEMINI_LINK),
+        (r"ASIC (?:fatal|offline)|router .*(?:dead|unresponsive)|"
+         r"ec_rtr_failed|warm swap", ErrorCategory.GEMINI_ROUTER),
+        (r"congestion|throttle event|output queue stall", ErrorCategory.HSN_THROTTLE),
+        (r"LBUG", ErrorCategory.LUSTRE_LBUG),
+        (r"MDS|MDT|mdt_", ErrorCategory.LUSTRE_MDS),
+        (r"OST|ost_handler|bulk IO|failover pair", ErrorCategory.LUSTRE_OSS),
+        (r"LNet|gnilnd|no route to peer", ErrorCategory.LNET_ROUTER),
+        (r"cab_power|blower failure|rectifier|VFD over-temperature",
+         ErrorCategory.CABINET_POWER),
+        (r"apsched|apsys|apinit|apmgr", ErrorCategory.ALPS_SOFTWARE),
+        (r"SYSTEM WIDE OUTAGE|emergency shutdown|shutdown broadcast|"
+         r"entering maintenance", ErrorCategory.SWO),
+        # Generic Lustre chatter that escaped the specific patterns.
+        (r"Lustre", ErrorCategory.LUSTRE_OSS),
+    ]
+)
+
+
+def render_message(category: ErrorCategory, kind: int, component: str,
+                   salt: int) -> str:
+    """Instantiate a template for one symptom.
+
+    ``salt`` fills the varying integer fields deterministically (derived
+    from the event id by callers, so re-rendering is reproducible).
+    """
+    templates = TEMPLATES[category]
+    template = templates[kind % len(templates)]
+    return template.replace("{c}", component).replace("{n}", str(salt % 97))
+
+
+def classify_message(message: str) -> ErrorCategory | None:
+    """Best-effort category from raw text; None when unrecognized."""
+    for pattern, category in CLASSIFIER_PATTERNS:
+        if pattern.search(message):
+            return category
+    return None

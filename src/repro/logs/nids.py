@@ -1,0 +1,65 @@
+"""Compact node-id list encoding (``0-127,256,300-310``).
+
+ALPS logs identify a run's placement as a node-id range list.  Full-
+machine runs would otherwise print 22k numbers per line; the range
+encoding is both realistic and keeps synthetic logs small.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import LogFormatError
+
+__all__ = ["encode_nids", "decode_nids"]
+
+
+def encode_nids(node_ids: Iterable[int]) -> str:
+    """Render sorted node ids as a comma-separated range list.
+
+    >>> encode_nids([0, 1, 2, 3, 7, 9, 10])
+    '0-3,7,9-10'
+    >>> encode_nids([])
+    ''
+    """
+    ids = sorted(set(int(n) for n in node_ids))
+    if not ids:
+        return ""
+    parts: list[str] = []
+    lo = prev = ids[0]
+    for n in ids[1:]:
+        if n == prev + 1:
+            prev = n
+            continue
+        parts.append(f"{lo}-{prev}" if prev > lo else str(lo))
+        lo = prev = n
+    parts.append(f"{lo}-{prev}" if prev > lo else str(lo))
+    return ",".join(parts)
+
+
+def decode_nids(text: str) -> tuple[int, ...]:
+    """Inverse of :func:`encode_nids`.
+
+    >>> decode_nids('0-3,7,9-10')
+    (0, 1, 2, 3, 7, 9, 10)
+    """
+    text = text.strip()
+    if not text:
+        return ()
+    out: list[int] = []
+    for part in text.split(","):
+        if "-" in part:
+            lo_text, _, hi_text = part.partition("-")
+            try:
+                lo, hi = int(lo_text), int(hi_text)
+            except ValueError:
+                raise LogFormatError(f"bad nid range {part!r}") from None
+            if hi < lo:
+                raise LogFormatError(f"inverted nid range {part!r}")
+            out.extend(range(lo, hi + 1))
+        else:
+            try:
+                out.append(int(part))
+            except ValueError:
+                raise LogFormatError(f"bad nid {part!r}") from None
+    return tuple(out)

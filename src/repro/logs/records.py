@@ -1,0 +1,72 @@
+"""Structured forms of parsed log lines.
+
+Parsers produce these; LogDiver's ingestion consumes them.  They are
+deliberately "dumb": a :class:`SyslogRecord` knows its timestamp, the
+component that logged it, and the raw message text -- *not* the error
+category; recovering semantics from text is the pipeline's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ErrorLogRecord", "TorqueRecord", "AlpsRecord"]
+
+
+@dataclass(frozen=True)
+class ErrorLogRecord:
+    """One line from an error-bearing stream (syslog / hwerr / console).
+
+    ``source`` names the stream it came from ('syslog', 'hwerrlog',
+    'console'); ``component`` is the cname-or-server text the line
+    attributes itself to.
+    """
+
+    time_s: float
+    source: str
+    component: str
+    message: str
+
+
+@dataclass(frozen=True)
+class TorqueRecord:
+    """One Torque accounting record (job start 'S' or end 'E')."""
+
+    time_s: float
+    kind: str               # 'S' or 'E'
+    job_id: str             # e.g. '12345.bw'
+    user: str
+    queue: str
+    nodes: int
+    exec_host_nids: tuple[int, ...]
+    start_s: float
+    end_s: float | None     # None on 'S' records
+    walltime_req_s: float
+    exit_status: int | None  # None on 'S' records
+    #: Submission (queue-entry) time; lets analysts compute queue waits.
+    qtime_s: float | None = None
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.qtime_s is None:
+            return None
+        return self.start_s - self.qtime_s
+
+
+@dataclass(frozen=True)
+class AlpsRecord:
+    """One ALPS apsys record for an application run.
+
+    ``kind`` is 'start', 'end', or 'error' (launch failure).
+    """
+
+    time_s: float
+    kind: str
+    apid: int
+    batch_id: str
+    user: str
+    cmd: str
+    nids: tuple[int, ...]
+    exit_code: int | None = None
+    exit_signal: int | None = None
+    message: str = ""

@@ -1,0 +1,125 @@
+"""Torque/Moab accounting-log writer and parser.
+
+Format (one record per line, semicolon-separated, key=value payload)::
+
+    04/01/2013 12:00:00;S;12345.bw;user=user0042 queue=normal \
+Resource_List.nodes=128 Resource_List.walltime=04:00:00 start=1364817600 \
+exec_host=0-127
+
+    04/01/2013 16:00:00;E;12345.bw;user=user0042 queue=normal \
+Resource_List.nodes=128 Resource_List.walltime=04:00:00 start=... end=... \
+exec_host=0-127 Exit_status=0
+
+Timestamps inside the payload are epoch-absolute simulation seconds
+(mirroring Torque's Unix-time fields); the record timestamp is
+formatted wall-clock text like the real log.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.errors import LogFormatError
+from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.records import TorqueRecord
+from repro.util.timeutil import Epoch
+from repro.workload.jobs import JobRecord
+
+__all__ = ["torque_job_lines", "parse_torque_line", "parse_torque",
+           "format_walltime", "parse_walltime"]
+
+_LINE_RE = re.compile(
+    r"^(?P<ts>\d{2}/\d{2}/\d{4} \d{2}:\d{2}:\d{2});(?P<kind>[SE]);"
+    r"(?P<jobid>[^;]+);(?P<payload>.*)$")
+
+
+def format_walltime(seconds: float) -> str:
+    """``HH:MM:SS`` with unbounded hours (Torque style)."""
+    whole = int(round(seconds))
+    hours, rem = divmod(whole, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def parse_walltime(text: str) -> float:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise LogFormatError(f"bad walltime {text!r}")
+    try:
+        hours, minutes, secs = (int(p) for p in parts)
+    except ValueError:
+        raise LogFormatError(f"bad walltime {text!r}") from None
+    return float(hours * 3600 + minutes * 60 + secs)
+
+
+def _payload(job: JobRecord, *, with_end: bool) -> str:
+    fields = [
+        f"user={job.user}",
+        "queue=normal",
+        f"Resource_List.nodes={job.nodes}",
+        f"Resource_List.walltime={format_walltime(job.walltime_s)}",
+        f"qtime={job.submit_time:.0f}",
+        f"start={job.start_time:.0f}",
+    ]
+    if with_end:
+        fields.append(f"end={job.end_time:.0f}")
+    fields.append(f"exec_host={encode_nids(job.node_ids)}")
+    if with_end:
+        fields.append(f"Exit_status={job.exit_status}")
+    return " ".join(fields)
+
+
+def torque_job_lines(job: JobRecord, epoch: Epoch) -> tuple[str, str]:
+    """The 'S' and 'E' accounting lines for one job."""
+    job_id = f"{job.job_id}.bw"
+    start_line = (f"{epoch.format_torque(job.start_time)};S;{job_id};"
+                  f"{_payload(job, with_end=False)}")
+    end_line = (f"{epoch.format_torque(job.end_time)};E;{job_id};"
+                f"{_payload(job, with_end=True)}")
+    return start_line, end_line
+
+
+def parse_torque_line(line: str, epoch: Epoch) -> TorqueRecord:
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise LogFormatError("unparseable torque line", line=line)
+    payload: dict[str, str] = {}
+    for token in match["payload"].split():
+        key, _, value = token.partition("=")
+        payload[key] = value
+    try:
+        record = TorqueRecord(
+            time_s=epoch.parse_torque(match["ts"]),
+            kind=match["kind"],
+            job_id=match["jobid"],
+            user=payload["user"],
+            queue=payload.get("queue", ""),
+            nodes=int(payload["Resource_List.nodes"]),
+            exec_host_nids=decode_nids(payload.get("exec_host", "")),
+            start_s=float(payload["start"]),
+            end_s=float(payload["end"]) if "end" in payload else None,
+            walltime_req_s=parse_walltime(payload["Resource_List.walltime"]),
+            exit_status=(int(payload["Exit_status"])
+                         if "Exit_status" in payload else None),
+            qtime_s=float(payload["qtime"]) if "qtime" in payload else None,
+        )
+    except KeyError as missing:
+        raise LogFormatError(f"torque payload missing {missing}", line=line)
+    except ValueError as bad:
+        raise LogFormatError(f"torque payload malformed: {bad}", line=line)
+    return record
+
+
+def parse_torque(lines: Iterable[str], epoch: Epoch,
+                 *, strict: bool = True) -> Iterator[TorqueRecord]:
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        try:
+            yield parse_torque_line(line, epoch)
+        except LogFormatError:
+            if strict:
+                raise LogFormatError("bad torque line", source="torque",
+                                     lineno=lineno, line=line)

@@ -1,0 +1,34 @@
+"""Machine model: Cray cnames, node types, torus topology, blueprints."""
+
+from repro.machine.allocation import Allocation, NodeAllocator
+from repro.machine.blueprints import (
+    BLUE_WATERS,
+    MachineBlueprint,
+    build_machine,
+    scaled_blueprint,
+)
+from repro.machine.cname import CName, ComponentKind, format_cname, parse_cname
+from repro.machine.components import Blade, Machine, Node
+from repro.machine.nodetypes import NODE_SPECS, NodeSpec, NodeType
+from repro.machine.topology import TorusTopology, dims_for
+
+__all__ = [
+    "BLUE_WATERS",
+    "Allocation",
+    "Blade",
+    "CName",
+    "ComponentKind",
+    "Machine",
+    "MachineBlueprint",
+    "NODE_SPECS",
+    "Node",
+    "NodeAllocator",
+    "NodeSpec",
+    "NodeType",
+    "TorusTopology",
+    "build_machine",
+    "dims_for",
+    "format_cname",
+    "parse_cname",
+    "scaled_blueprint",
+]

@@ -1,0 +1,130 @@
+"""Node allocation bookkeeping for the workload scheduler.
+
+Tracks which nodes of each partition (XE / XK) are free, allocated, or
+down, and hands out allocations in *packing order* (blade-contiguous
+first), which mirrors how ALPS places apruns and keeps allocation
+footprints physically compact -- important because the fabric-exposure
+failure model depends on the torus footprint of each allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.machine.components import Machine
+from repro.machine.nodetypes import NodeType
+
+__all__ = ["Allocation", "NodeAllocator"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A set of nodes granted to one application run."""
+
+    node_ids: tuple[int, ...]
+    node_type: NodeType
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+
+class NodeAllocator:
+    """Free-list allocator over a machine's compute partitions."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._free: dict[NodeType, list[int]] = {}
+        self._down: set[int] = set()
+        self._allocated: set[int] = set()
+        for node_type in (NodeType.XE, NodeType.XK):
+            # Reverse order so list.pop() hands out the *lowest* ids
+            # first (packing order along the torus).
+            ids = machine.node_ids(node_type).tolist()
+            self._free[node_type] = list(reversed(ids))
+
+    # -- capacity queries ---------------------------------------------------
+
+    def capacity(self, node_type: NodeType) -> int:
+        """Total nodes of a type, up or down."""
+        return self.machine.count(node_type)
+
+    def available(self, node_type: NodeType) -> int:
+        return len(self._free[node_type])
+
+    def in_use(self) -> int:
+        return len(self._allocated)
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    def is_allocated(self, node_id: int) -> bool:
+        return node_id in self._allocated
+
+    # -- allocate / release ---------------------------------------------------
+
+    def allocate(self, node_type: NodeType, count: int) -> Allocation:
+        """Grant ``count`` nodes of ``node_type``.
+
+        Raises :class:`SchedulingError` when the request exceeds what is
+        currently free; the scheduler is expected to queue and retry.
+        """
+        if count <= 0:
+            raise SchedulingError(f"allocation size must be positive, got {count}")
+        free = self._free[node_type]
+        if count > len(free):
+            raise SchedulingError(
+                f"requested {count} {node_type.value} nodes, only "
+                f"{len(free)} free")
+        granted = [free.pop() for _ in range(count)]
+        self._allocated.update(granted)
+        return Allocation(node_ids=tuple(sorted(granted)), node_type=node_type)
+
+    def release(self, allocation: Allocation) -> None:
+        """Return an allocation's nodes to the free list.
+
+        Nodes that were marked down while allocated stay out of the pool
+        until :meth:`mark_up`.
+        """
+        for node_id in allocation.node_ids:
+            if node_id not in self._allocated:
+                raise SchedulingError(f"releasing node {node_id} that is not allocated")
+            self._allocated.discard(node_id)
+            if node_id not in self._down:
+                self._free[allocation.node_type].append(node_id)
+
+    # -- node health ---------------------------------------------------------
+
+    def mark_down(self, node_id: int) -> None:
+        """Take a node out of service (it may currently be allocated)."""
+        if node_id in self._down:
+            return
+        self._down.add(node_id)
+        node_type = self.machine.node(node_id).node_type
+        if node_type in self._free:
+            try:
+                self._free[node_type].remove(node_id)
+            except ValueError:
+                pass  # allocated or service node; nothing to remove
+
+    def mark_up(self, node_id: int) -> None:
+        """Return a repaired node to service."""
+        if node_id not in self._down:
+            return
+        self._down.discard(node_id)
+        node_type = self.machine.node(node_id).node_type
+        if node_type in self._free and node_id not in self._allocated:
+            self._free[node_type].append(node_id)
+
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(self._down)
+
+    # -- footprint -------------------------------------------------------------
+
+    def fabric_exposure(self, allocation: Allocation) -> float:
+        """Torus fabric exposure of an allocation (see TorusTopology)."""
+        vertices = np.unique(
+            self.machine.gemini_vertices[np.asarray(allocation.node_ids)])
+        return self.machine.topology.fabric_exposure(vertices)

@@ -1,0 +1,155 @@
+"""Machine blueprints: describing and building Blue Waters (or a scaled
+replica of it).
+
+The full machine matches the paper's Table-1-style configuration:
+22,640 XE nodes, 4,224 XK nodes, plus service nodes, on a 3-D Gemini
+torus, backed by a Lustre/Sonexion storage system.  Experiments that do
+not need the full machine build a proportionally *scaled* replica --
+same XE:XK ratio, same blade/cabinet packaging, smaller torus -- so the
+shape of every analysis is preserved while tests stay fast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.machine.cname import CName
+from repro.machine.components import (
+    BLADES_PER_CHASSIS,
+    CABINET_COLUMNS,
+    CHASSIS_PER_CABINET,
+    GEMINI_PER_BLADE,
+    NODES_PER_BLADE,
+    Blade,
+    Machine,
+    Node,
+)
+from repro.machine.nodetypes import NodeType
+from repro.machine.topology import TorusTopology
+
+__all__ = ["MachineBlueprint", "BLUE_WATERS", "build_machine", "scaled_blueprint"]
+
+
+@dataclass(frozen=True)
+class MachineBlueprint:
+    """Node counts and storage sizing for a machine to build.
+
+    Counts are expressed in *blades* internally (nodes come in fours);
+    the constructor accepts node counts and rounds **up** to whole
+    blades, so a blueprint never under-provisions a request.
+    """
+
+    n_xe: int
+    n_xk: int
+    n_service: int
+    n_lustre_oss: int = 144
+    n_lustre_mds: int = 3
+
+    def __post_init__(self) -> None:
+        for label, count in [("n_xe", self.n_xe), ("n_xk", self.n_xk),
+                             ("n_service", self.n_service)]:
+            if count < 0:
+                raise ConfigurationError(f"{label} must be >= 0, got {count}")
+        if self.n_xe + self.n_xk == 0:
+            raise ConfigurationError("blueprint has no compute nodes")
+
+    @property
+    def xe_blades(self) -> int:
+        return -(-self.n_xe // NODES_PER_BLADE)
+
+    @property
+    def xk_blades(self) -> int:
+        return -(-self.n_xk // NODES_PER_BLADE)
+
+    @property
+    def service_blades(self) -> int:
+        return -(-self.n_service // NODES_PER_BLADE)
+
+    @property
+    def total_blades(self) -> int:
+        return self.xe_blades + self.xk_blades + self.service_blades
+
+    @property
+    def total_nodes(self) -> int:
+        return self.total_blades * NODES_PER_BLADE
+
+
+#: The production Blue Waters configuration measured by the paper.
+BLUE_WATERS = MachineBlueprint(n_xe=22640, n_xk=4224, n_service=512)
+
+
+def scaled_blueprint(factor: float,
+                     base: MachineBlueprint = BLUE_WATERS) -> MachineBlueprint:
+    """A blueprint shrunk (or grown) by ``factor`` with ratios preserved.
+
+    At least one blade of each populated type survives scaling, so a
+    1/1000-scale machine still has XE, XK and service nodes.
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"scale factor must be positive, got {factor}")
+
+    def scale(count: int) -> int:
+        if count == 0:
+            return 0
+        return max(NODES_PER_BLADE, int(round(count * factor)))
+
+    return replace(
+        base,
+        n_xe=scale(base.n_xe),
+        n_xk=scale(base.n_xk),
+        n_service=scale(base.n_service),
+        n_lustre_oss=max(1, int(round(base.n_lustre_oss * factor))),
+        n_lustre_mds=max(1, min(base.n_lustre_mds,
+                                int(math.ceil(base.n_lustre_mds * factor)))),
+    )
+
+
+def build_machine(blueprint: MachineBlueprint = BLUE_WATERS) -> Machine:
+    """Assemble a :class:`Machine` from a blueprint.
+
+    Blades are laid out cabinet by cabinet -- XE first, then XK, then
+    service -- mirroring how Blue Waters groups its XK cabinets into a
+    contiguous block.  Gemini torus vertices follow blade order, so
+    physically adjacent blades are torus neighbours.
+    """
+    blade_types = (
+        [NodeType.XE] * blueprint.xe_blades
+        + [NodeType.XK] * blueprint.xk_blades
+        + [NodeType.SERVICE] * blueprint.service_blades
+    )
+    nodes: list[Node] = []
+    blades: list[Blade] = []
+    n_vertices = len(blade_types) * GEMINI_PER_BLADE
+    topology = TorusTopology.fitting(n_vertices)
+
+    for blade_index, node_type in enumerate(blade_types):
+        cabinet = blade_index // (CHASSIS_PER_CABINET * BLADES_PER_CHASSIS)
+        within = blade_index % (CHASSIS_PER_CABINET * BLADES_PER_CHASSIS)
+        chassis = within // BLADES_PER_CHASSIS
+        slot = within % BLADES_PER_CHASSIS
+        col = cabinet % CABINET_COLUMNS
+        row = cabinet // CABINET_COLUMNS
+        blade_name = CName(col=col, row=row, chassis=chassis, slot=slot)
+        gemini = (blade_index * GEMINI_PER_BLADE,
+                  blade_index * GEMINI_PER_BLADE + 1)
+        node_ids = []
+        for local in range(NODES_PER_BLADE):
+            node_id = len(nodes)
+            name = CName(col=col, row=row, chassis=chassis, slot=slot, node=local)
+            # Nodes 0,1 hang off Gemini g0; nodes 2,3 off g1.
+            vertex = gemini[0] if local < 2 else gemini[1]
+            nodes.append(Node(node_id=node_id, name=name,
+                              node_type=node_type, gemini_vertex=vertex))
+            node_ids.append(node_id)
+        blades.append(Blade(blade_id=blade_index, name=blade_name,
+                            node_type=node_type, node_ids=tuple(node_ids),
+                            gemini_vertices=gemini))
+
+    lustre = tuple(
+        [f"oss{i:04d}" for i in range(blueprint.n_lustre_oss)]
+        + [f"mds{i:02d}" for i in range(blueprint.n_lustre_mds)]
+    )
+    return Machine(nodes=nodes, blades=blades, topology=topology,
+                   lustre_servers=lustre)

@@ -1,0 +1,207 @@
+"""Cray physical component names (``cname``).
+
+Cray XE/XK systems identify every field-replaceable unit with a
+hierarchical *cname*::
+
+    c3-7          cabinet in column 3, row 7
+    c3-7c1        chassis 1 (0..2) of that cabinet
+    c3-7c1s4      blade (slot) 4 (0..7) of that chassis
+    c3-7c1s4n2    node 2 (0..3) of that blade
+    c3-7c1s4g1    Gemini router ASIC 1 (0..1) of that blade
+    c3-7c1s4n2a0  accelerator (GPU) 0 of that node
+
+LogDiver keys every error record by cname, and the spatial-coalescing
+stage reasons about cname prefixes (same blade / same chassis / same
+cabinet), so parsing and prefix logic live here as the single source of
+truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import CNameError
+
+__all__ = ["CName", "ComponentKind", "parse_cname", "format_cname"]
+
+
+class ComponentKind(str, Enum):
+    """Granularity of a component in the cname hierarchy."""
+
+    SYSTEM = "system"
+    CABINET = "cabinet"
+    CHASSIS = "chassis"
+    BLADE = "blade"
+    NODE = "node"
+    GEMINI = "gemini"
+    ACCELERATOR = "accelerator"
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; SYSTEM is 0, NODE/GEMINI are 4, ACCELERATOR 5."""
+        return _DEPTH[self]
+
+
+_DEPTH = {
+    ComponentKind.SYSTEM: 0,
+    ComponentKind.CABINET: 1,
+    ComponentKind.CHASSIS: 2,
+    ComponentKind.BLADE: 3,
+    ComponentKind.NODE: 4,
+    ComponentKind.GEMINI: 4,
+    ComponentKind.ACCELERATOR: 5,
+}
+
+_CNAME_RE = re.compile(
+    r"^c(?P<col>\d+)-(?P<row>\d+)"
+    r"(?:c(?P<chassis>[0-2])"
+    r"(?:s(?P<slot>[0-7])"
+    r"(?:(?:n(?P<node>[0-3])(?:a(?P<acc>\d))?)|g(?P<gemini>[01]))?"
+    r")?)?$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class CName:
+    """A parsed cname.  Fields beyond the component's depth are ``None``."""
+
+    col: int
+    row: int
+    chassis: int | None = None
+    slot: int | None = None
+    node: int | None = None
+    gemini: int | None = None
+    accelerator: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node is not None and self.gemini is not None:
+            raise CNameError(f"cname cannot be both node and gemini: {self!r}")
+        if self.accelerator is not None and self.node is None:
+            raise CNameError(f"accelerator requires a node: {self!r}")
+        chain = [self.chassis, self.slot, self.node if self.gemini is None else self.gemini]
+        seen_none = False
+        for part in chain:
+            if part is None:
+                seen_none = True
+            elif seen_none:
+                raise CNameError(f"cname has a gap in its hierarchy: {self!r}")
+
+    @property
+    def kind(self) -> ComponentKind:
+        if self.accelerator is not None:
+            return ComponentKind.ACCELERATOR
+        if self.gemini is not None:
+            return ComponentKind.GEMINI
+        if self.node is not None:
+            return ComponentKind.NODE
+        if self.slot is not None:
+            return ComponentKind.BLADE
+        if self.chassis is not None:
+            return ComponentKind.CHASSIS
+        return ComponentKind.CABINET
+
+    # -- hierarchy navigation ---------------------------------------------
+
+    @property
+    def cabinet(self) -> "CName":
+        return CName(self.col, self.row)
+
+    @property
+    def chassis_name(self) -> "CName":
+        if self.chassis is None:
+            raise CNameError(f"{self} has no chassis component")
+        return CName(self.col, self.row, self.chassis)
+
+    @property
+    def blade(self) -> "CName":
+        if self.slot is None:
+            raise CNameError(f"{self} has no blade component")
+        return CName(self.col, self.row, self.chassis, self.slot)
+
+    @property
+    def node_name(self) -> "CName":
+        if self.node is None:
+            raise CNameError(f"{self} has no node component")
+        return CName(self.col, self.row, self.chassis, self.slot, self.node)
+
+    def parent(self) -> "CName | None":
+        """The enclosing component, or None for a cabinet."""
+        kind = self.kind
+        if kind is ComponentKind.ACCELERATOR:
+            return self.node_name
+        if kind in (ComponentKind.NODE, ComponentKind.GEMINI):
+            return self.blade
+        if kind is ComponentKind.BLADE:
+            return self.chassis_name
+        if kind is ComponentKind.CHASSIS:
+            return self.cabinet
+        return None
+
+    def ancestor(self, kind: ComponentKind) -> "CName":
+        """The enclosing component of the given kind (may be self)."""
+        if kind.depth > self.kind.depth:
+            raise CNameError(f"{self} ({self.kind.value}) has no {kind.value}")
+        current: CName | None = self
+        while current is not None and current.kind is not kind:
+            current = current.parent()
+        if current is None:
+            raise CNameError(f"{self} has no {kind.value} ancestor")
+        return current
+
+    def same_blade(self, other: "CName") -> bool:
+        return (self.col, self.row, self.chassis, self.slot) == \
+               (other.col, other.row, other.chassis, other.slot) and self.slot is not None
+
+    def same_cabinet(self, other: "CName") -> bool:
+        return (self.col, self.row) == (other.col, other.row)
+
+    # -- text ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return format_cname(self)
+
+
+def format_cname(name: CName) -> str:
+    """Render a :class:`CName` in Cray text form."""
+    text = f"c{name.col}-{name.row}"
+    if name.chassis is not None:
+        text += f"c{name.chassis}"
+    if name.slot is not None:
+        text += f"s{name.slot}"
+    if name.gemini is not None:
+        text += f"g{name.gemini}"
+    elif name.node is not None:
+        text += f"n{name.node}"
+        if name.accelerator is not None:
+            text += f"a{name.accelerator}"
+    return text
+
+
+def parse_cname(text: str) -> CName:
+    """Parse Cray text form into a :class:`CName`.
+
+    >>> parse_cname("c3-7c1s4n2").kind.value
+    'node'
+    >>> str(parse_cname("c3-7c1s4g1"))
+    'c3-7c1s4g1'
+    """
+    match = _CNAME_RE.match(text.strip())
+    if match is None:
+        raise CNameError(f"not a valid cname: {text!r}")
+    groups = match.groupdict()
+
+    def opt(key: str) -> int | None:
+        value = groups[key]
+        return None if value is None else int(value)
+
+    return CName(
+        col=int(groups["col"]),
+        row=int(groups["row"]),
+        chassis=opt("chassis"),
+        slot=opt("slot"),
+        node=opt("node"),
+        gemini=opt("gemini"),
+        accelerator=opt("acc"),
+    )

@@ -1,0 +1,212 @@
+"""Machine component model: nodes, blades, and the assembled machine.
+
+The :class:`Machine` is an immutable description of the hardware that
+both the simulator and (indirectly, through log text) the LogDiver
+pipeline reason about.  It is intentionally light-weight: per-node data
+lives in parallel numpy arrays so that 27k-node machines and million-run
+workloads stay cheap to process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.cname import CName, ComponentKind, parse_cname
+from repro.machine.nodetypes import NODE_SPECS, NodeSpec, NodeType
+from repro.machine.topology import TorusTopology
+
+__all__ = ["Node", "Blade", "Machine"]
+
+#: Nodes per blade / blades per chassis / chassis per cabinet on XE/XK gear.
+NODES_PER_BLADE = 4
+BLADES_PER_CHASSIS = 8
+CHASSIS_PER_CABINET = 3
+GEMINI_PER_BLADE = 2
+
+#: Cabinet grid width used when assigning cabinet col-row positions.
+CABINET_COLUMNS = 16
+
+
+@dataclass(frozen=True)
+class Node:
+    """One compute or service node."""
+
+    node_id: int
+    name: CName
+    node_type: NodeType
+    #: Torus vertex of the Gemini ASIC this node hangs off.
+    gemini_vertex: int
+
+    @property
+    def spec(self) -> NodeSpec:
+        return NODE_SPECS[self.node_type]
+
+    @property
+    def nid(self) -> str:
+        """Cray numeric node id string as it appears in logs (``nid00042``)."""
+        return f"nid{self.node_id:05d}"
+
+    def __str__(self) -> str:
+        return f"{self.nid}({self.name}, {self.node_type.value})"
+
+
+@dataclass(frozen=True)
+class Blade:
+    """One blade: four nodes and two Gemini ASICs."""
+
+    blade_id: int
+    name: CName
+    node_type: NodeType
+    node_ids: tuple[int, ...]
+    gemini_vertices: tuple[int, int]
+
+
+class Machine:
+    """An assembled machine: nodes, blades, torus, external file system.
+
+    Construct via :func:`repro.machine.blueprints.build_machine`; direct
+    construction is for tests that need tiny hand-built machines.
+    """
+
+    def __init__(self, nodes: list[Node], blades: list[Blade],
+                 topology: TorusTopology,
+                 lustre_servers: tuple[str, ...] = ()):
+        if not nodes:
+            raise ConfigurationError("a machine needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if ids != list(range(len(nodes))):
+            raise ConfigurationError("node ids must be dense 0..n-1 in order")
+        self.nodes = nodes
+        self.blades = blades
+        self.topology = topology
+        self.lustre_servers = lustre_servers
+        self._by_name = {str(n.name): n for n in nodes}
+        if len(self._by_name) != len(nodes):
+            raise ConfigurationError("duplicate node cnames in machine")
+
+    # -- vectorized views ---------------------------------------------------
+
+    @cached_property
+    def node_type_codes(self) -> np.ndarray:
+        """Per-node small-int code: 0=XE, 1=XK, 2=SERVICE."""
+        order = [NodeType.XE, NodeType.XK, NodeType.SERVICE]
+        code = {t: i for i, t in enumerate(order)}
+        return np.asarray([code[n.node_type] for n in self.nodes], dtype=np.int8)
+
+    @cached_property
+    def gemini_vertices(self) -> np.ndarray:
+        """Per-node torus vertex of its Gemini ASIC."""
+        return np.asarray([n.gemini_vertex for n in self.nodes], dtype=np.int32)
+
+    # -- lookups ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def node_by_name(self, name: str | CName) -> Node:
+        key = str(name) if isinstance(name, CName) else str(parse_cname(name))
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise ConfigurationError(f"no node named {key} in machine") from None
+
+    @cached_property
+    def _ids_by_type(self) -> dict[NodeType, np.ndarray]:
+        buckets: dict[NodeType, list[int]] = {t: [] for t in NodeType}
+        for node in self.nodes:
+            buckets[node.node_type].append(node.node_id)
+        return {t: np.asarray(ids, dtype=np.int64)
+                for t, ids in buckets.items()}
+
+    def node_ids(self, node_type: NodeType | None = None) -> np.ndarray:
+        """Dense ids of all nodes, optionally filtered by type.
+
+        Cached per type: the scheduler asks on every decision.
+        """
+        if node_type is None:
+            return np.arange(len(self.nodes))
+        return self._ids_by_type[node_type]
+
+    def count(self, node_type: NodeType) -> int:
+        return int(self._ids_by_type[node_type].size)
+
+    @cached_property
+    def _compute_ids(self) -> np.ndarray:
+        return np.concatenate([self._ids_by_type[NodeType.XE],
+                               self._ids_by_type[NodeType.XK]])
+
+    def compute_node_ids(self) -> np.ndarray:
+        return self._compute_ids
+
+    def blades_of_type(self, node_type: NodeType) -> list[Blade]:
+        return [b for b in self.blades if b.node_type is node_type]
+
+    def components(self, kind: ComponentKind) -> Iterator[CName]:
+        """Distinct component cnames of one kind present in the machine."""
+        seen: set[CName] = set()
+        for node in self.nodes:
+            if kind is ComponentKind.NODE:
+                name = node.name
+            elif kind is ComponentKind.ACCELERATOR:
+                if not node.node_type.has_gpu:
+                    continue
+                name = CName(node.name.col, node.name.row, node.name.chassis,
+                             node.name.slot, node.name.node, accelerator=0)
+            else:
+                name = node.name.ancestor(kind)
+            if name not in seen:
+                seen.add(name)
+                yield name
+
+    def nodes_under(self, component: CName) -> list[Node]:
+        """All nodes physically inside the given component.
+
+        Used by fault propagation: a blade failure takes down the four
+        nodes under the blade's cname, a cabinet power event all 96.
+        """
+        kind = component.kind
+        if kind is ComponentKind.ACCELERATOR:
+            kind = ComponentKind.NODE
+            component = component.node_name
+        out = []
+        for node in self.nodes:
+            if kind is ComponentKind.NODE:
+                match = node.name == component
+            else:
+                match = node.name.ancestor(kind) == component
+            if match:
+                out.append(node)
+        return out
+
+    def nodes_on_gemini(self, vertex: int) -> list[Node]:
+        return [n for n in self.nodes if n.gemini_vertex == vertex]
+
+    # -- summary ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, int | tuple[int, int, int]]:
+        """Counts used by the T1 machine-configuration table."""
+        return {
+            "nodes_total": len(self.nodes),
+            "nodes_xe": self.count(NodeType.XE),
+            "nodes_xk": self.count(NodeType.XK),
+            "nodes_service": self.count(NodeType.SERVICE),
+            "blades": len(self.blades),
+            "cabinets": len({(n.name.col, n.name.row) for n in self.nodes}),
+            "gemini_routers": int(self.topology.n_vertices),
+            "torus_dims": self.topology.dims,
+            "lustre_servers": len(self.lustre_servers),
+            "gpus": self.count(NodeType.XK),
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (f"Machine(XE={s['nodes_xe']}, XK={s['nodes_xk']}, "
+                f"service={s['nodes_service']}, torus={s['torus_dims']})")

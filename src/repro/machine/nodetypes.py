@@ -1,0 +1,75 @@
+"""Node types of a Cray XE6/XK7 hybrid system.
+
+Blue Waters mixes three kinds of nodes:
+
+* **XE** compute nodes -- two AMD 6276 "Interlagos" sockets, 64 GB RAM;
+* **XK** hybrid compute nodes -- one Interlagos socket plus one NVIDIA
+  K20X GPU with 6 GB GDDR5;
+* **service** nodes -- I/O, login, LNET routers (not available to user
+  applications but still fail and still log errors).
+
+The type determines which fault processes attach to a node (GPU faults
+only exist on XK), the error-detection coverage (the paper's key finding
+is that detection on hybrid nodes is weaker), and which scheduler
+partition the node belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["NodeType", "NodeSpec", "NODE_SPECS"]
+
+
+class NodeType(str, Enum):
+    """Partition-relevant classification of a node."""
+
+    XE = "XE"
+    XK = "XK"
+    SERVICE = "SERVICE"
+
+    @property
+    def is_compute(self) -> bool:
+        return self is not NodeType.SERVICE
+
+    @property
+    def has_gpu(self) -> bool:
+        return self is NodeType.XK
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one node of a given type."""
+
+    node_type: NodeType
+    cpu_sockets: int
+    cores: int
+    dram_gb: int
+    gpus: int
+    gpu_mem_gb: int
+    #: Nominal power draw in watts, used only for the energy-cost proxy
+    #: in the lost-work analysis (paper lesson i: wasted energy).
+    power_watts: float
+
+    @property
+    def description(self) -> str:
+        base = (f"{self.node_type.value}: {self.cpu_sockets} socket(s), "
+                f"{self.cores} cores, {self.dram_gb} GB DRAM")
+        if self.gpus:
+            base += f", {self.gpus} GPU ({self.gpu_mem_gb} GB GDDR5)"
+        return base
+
+
+#: Specs mirroring the Blue Waters hardware described in the paper.
+NODE_SPECS: dict[NodeType, NodeSpec] = {
+    NodeType.XE: NodeSpec(
+        node_type=NodeType.XE, cpu_sockets=2, cores=32, dram_gb=64,
+        gpus=0, gpu_mem_gb=0, power_watts=350.0),
+    NodeType.XK: NodeSpec(
+        node_type=NodeType.XK, cpu_sockets=1, cores=16, dram_gb=32,
+        gpus=1, gpu_mem_gb=6, power_watts=420.0),
+    NodeType.SERVICE: NodeSpec(
+        node_type=NodeType.SERVICE, cpu_sockets=1, cores=8, dram_gb=16,
+        gpus=0, gpu_mem_gb=0, power_watts=200.0),
+}

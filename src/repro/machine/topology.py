@@ -1,0 +1,198 @@
+"""Gemini 3-D torus topology.
+
+Each Cray XE/XK blade carries two Gemini router ASICs; each Gemini
+serves two nodes and occupies one vertex of a 3-D torus.  Blue Waters'
+production torus is 24x24x24.  The topology matters to resilience in two
+ways the simulator reproduces:
+
+* a Gemini or link failure takes down (or degrades) the *nodes behind
+  it* and can require a route reconfiguration that stalls traffic
+  system-wide;
+* a large allocation spans a large convex region of the torus, so its
+  exposure to fabric faults grows faster than its node count -- one of
+  the mechanisms behind the paper's superlinear failure-probability
+  scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TorusTopology", "dims_for"]
+
+
+def dims_for(count: int) -> tuple[int, int, int]:
+    """Choose torus dimensions (x, y, z) holding at least ``count`` vertices.
+
+    Prefers near-cubic shapes, mimicking how real installations grow.
+
+    >>> dims_for(13824)
+    (24, 24, 24)
+    """
+    if count <= 0:
+        raise ConfigurationError(f"torus must hold at least 1 vertex, got {count}")
+    x = max(1, round(count ** (1.0 / 3.0)))
+    while True:
+        y = max(1, round((count / x) ** 0.5))
+        while x * y * max(1, -(-count // (x * y))) < count:
+            y += 1
+        z = -(-count // (x * y))
+        if x * y * z >= count:
+            return (x, y, z)
+        x += 1
+
+
+@dataclass(frozen=True)
+class TorusTopology:
+    """A 3-D torus with ``n_vertices`` occupied Gemini positions.
+
+    Vertices are dense integers ``0..n_vertices-1`` laid out in
+    x-major/y/z order (matching physical cabling order, so consecutive
+    blades are torus neighbours).  The torus may be larger than the
+    occupied vertex count (partially populated last plane).
+    """
+
+    dims: tuple[int, int, int]
+    n_vertices: int
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = self.dims
+        if nx <= 0 or ny <= 0 or nz <= 0:
+            raise ConfigurationError(f"bad torus dims {self.dims}")
+        if self.n_vertices > nx * ny * nz:
+            raise ConfigurationError(
+                f"{self.n_vertices} vertices exceed torus capacity {nx * ny * nz}")
+        if self.n_vertices <= 0:
+            raise ConfigurationError("torus needs at least one occupied vertex")
+
+    @classmethod
+    def fitting(cls, n_vertices: int) -> "TorusTopology":
+        return cls(dims=dims_for(n_vertices), n_vertices=n_vertices)
+
+    # -- coordinates -------------------------------------------------------
+
+    @cached_property
+    def coords(self) -> np.ndarray:
+        """``(n_vertices, 3)`` integer coordinates of each vertex."""
+        nx, ny, _ = self.dims
+        idx = np.arange(self.n_vertices)
+        x = idx % nx
+        y = (idx // nx) % ny
+        z = idx // (nx * ny)
+        return np.stack([x, y, z], axis=1)
+
+    def coord_of(self, vertex: int) -> tuple[int, int, int]:
+        if not 0 <= vertex < self.n_vertices:
+            raise IndexError(f"vertex {vertex} out of range 0..{self.n_vertices - 1}")
+        x, y, z = self.coords[vertex]
+        return (int(x), int(y), int(z))
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop count between two vertices on the torus."""
+        ca, cb = self.coords[a], self.coords[b]
+        total = 0
+        for axis in range(3):
+            d = abs(int(ca[axis]) - int(cb[axis]))
+            total += min(d, self.dims[axis] - d)
+        return total
+
+    # -- allocation footprint ------------------------------------------------
+
+    def bounding_arcs(self, vertices: Sequence[int] | np.ndarray
+                      ) -> tuple[tuple[int, int], tuple[int, int], tuple[int, int]]:
+        """Per-axis ``(start, length)`` of the smallest torus-aware
+        bounding box covering the vertex set.
+
+        For each axis the shortest circular arc covering all coordinates
+        is used, so a set wrapping around the torus is not charged the
+        full dimension.  A coordinate ``c`` lies inside the axis arc iff
+        ``(c - start) % dim < length``.
+        """
+        verts = np.asarray(vertices, dtype=int)
+        if verts.size == 0:
+            return ((0, 0), (0, 0), (0, 0))
+        coords = self.coords[verts]
+        arcs = []
+        for axis in range(3):
+            size = self.dims[axis]
+            present = np.unique(coords[:, axis])
+            if len(present) == size:
+                arcs.append((0, size))
+                continue
+            # Largest gap between consecutive occupied coords (circular);
+            # the arc is the complement of that gap.
+            extended = np.concatenate([present, present[:1] + size])
+            gaps = np.diff(extended)
+            g = int(np.argmax(gaps))
+            start = int(extended[g + 1] % size)
+            length = int(size - gaps.max() + 1)
+            arcs.append((start, length))
+        return tuple(arcs)  # type: ignore[return-value]
+
+    def arc_contains(self, arcs: Sequence[tuple[int, int]], vertex: int) -> bool:
+        """True if ``vertex`` falls inside a bounding box from
+        :meth:`bounding_arcs`."""
+        coord = self.coords[vertex]
+        for axis in range(3):
+            start, length = arcs[axis]
+            if (int(coord[axis]) - start) % self.dims[axis] >= length:
+                return False
+        return True
+
+    def bounding_extent(self, vertices: Sequence[int] | np.ndarray) -> tuple[int, int, int]:
+        """Axis extents of the smallest torus-aware bounding box."""
+        arcs = self.bounding_arcs(vertices)
+        return (arcs[0][1], arcs[1][1], arcs[2][1])
+
+    def footprint_volume(self, vertices: Sequence[int] | np.ndarray) -> int:
+        """Volume of the torus-aware bounding box of the vertex set.
+
+        A proxy for "how much fabric this allocation's traffic crosses":
+        Gemini routing is dimension-ordered, so messages stay inside the
+        bounding box, and any link failure within it can affect the job.
+        """
+        ex, ey, ez = self.bounding_extent(vertices)
+        return ex * ey * ez
+
+    def fabric_exposure(self, vertices: Sequence[int] | np.ndarray) -> float:
+        """Fraction of the torus the allocation's traffic is exposed to (0..1]."""
+        capacity = self.dims[0] * self.dims[1] * self.dims[2]
+        return self.footprint_volume(vertices) / capacity
+
+    # -- link graph ------------------------------------------------------------
+
+    def neighbors(self, vertex: int) -> list[int]:
+        """Occupied torus neighbours of a vertex (up to 6)."""
+        x, y, z = self.coord_of(vertex)
+        nx, ny, nz = self.dims
+        out = []
+        for axis, (cx, cy, cz) in enumerate([(1, 0, 0), (0, 1, 0), (0, 0, 1)]):
+            for sign in (1, -1):
+                px = (x + sign * cx) % nx
+                py = (y + sign * cy) % ny
+                pz = (z + sign * cz) % nz
+                idx = px + nx * (py + ny * pz)
+                if idx < self.n_vertices and idx != vertex:
+                    out.append(int(idx))
+        return sorted(set(out))
+
+    def link_graph(self):
+        """The occupied-vertex adjacency as a :mod:`networkx` graph.
+
+        Built lazily because most analyses never need the full graph.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_vertices))
+        for v in range(self.n_vertices):
+            for w in self.neighbors(v):
+                if w > v:
+                    graph.add_edge(v, w)
+        return graph

@@ -1,0 +1,25 @@
+"""Discrete-event cluster simulation: engine, outcome mapping, scenarios."""
+
+from repro.sim.cluster import ClusterSimulator, SimConfig, SimulationResult
+from repro.sim.engine import EventQueue
+from repro.sim.outcomes import (
+    LAUNCH_FAILURE_EXIT,
+    SIGKILL_EXIT,
+    WALLTIME_EXIT,
+    exit_code_for,
+)
+from repro.sim.scenario import Scenario, paper_scenario, small_scenario
+
+__all__ = [
+    "ClusterSimulator",
+    "EventQueue",
+    "LAUNCH_FAILURE_EXIT",
+    "SIGKILL_EXIT",
+    "Scenario",
+    "SimConfig",
+    "SimulationResult",
+    "WALLTIME_EXIT",
+    "exit_code_for",
+    "paper_scenario",
+    "small_scenario",
+]

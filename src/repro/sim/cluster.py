@@ -1,0 +1,506 @@
+"""The cluster simulator: machine + workload + faults -> ground truth.
+
+A discrete-event simulation advances through job submissions, run
+starts/ends, and fault events.  Its product is the *ground truth* of the
+scenario: one :class:`AppRunRecord` per application run with its true
+outcome and true cause.  The log layer then renders the (imperfectly
+detected) observable side of the same story, and LogDiver tries to
+recover the truth from the logs alone.
+
+Failure semantics (per event scope):
+
+* ``NODE``/``GPU``/``BLADE``/``CABINET`` -- a fatal event kills the run
+  resident on the affected node(s) and takes the hardware down for its
+  repair time;
+* ``FABRIC`` -- a fatal Gemini event kills each exposed run (the
+  epicenter lies in the run's torus bounding box) with probability equal
+  to the run's communication intensity;
+* ``FILESYSTEM`` -- a fatal Lustre/LNET event kills each active run with
+  probability equal to its I/O intensity;
+* ``SYSTEM`` -- an SWO kills every active run and idles the machine for
+  the repair time.
+
+A system-killed aprun tears down its whole job (the remaining planned
+runs never execute), matching how batch scripts die with their nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.taxonomy import ErrorCategory, EventScope
+from repro.machine.allocation import Allocation, NodeAllocator
+from repro.machine.components import Machine
+from repro.machine.nodetypes import NodeType
+from repro.sim.engine import EventQueue
+from repro.sim.outcomes import exit_code_for
+from repro.util.intervals import Interval
+from repro.util.rngs import RngFactory
+from repro.workload.checkpoint import preserved_work_s
+from repro.workload.jobs import (
+    AppRunPlan,
+    AppRunRecord,
+    JobPlan,
+    JobRecord,
+    Outcome,
+)
+from repro.workload.scheduler import BackfillQueue, FcfsQueue
+
+__all__ = ["SimConfig", "ClusterSimulator", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Behavioural knobs of the simulation itself."""
+
+    #: Probability an aprun fails at launch (ALPS/placement software).
+    launch_failure_prob: float = 0.008
+    #: Probability the job script continues after a run's user failure.
+    continue_after_user_failure: float = 0.3
+    #: Gap between consecutive apruns of one job, seconds.
+    inter_run_gap_s: float = 30.0
+    #: How fabric-fault exposure is decided: "bbox" (torus bounding box,
+    #: the default approximation) or "routes" (dimension-ordered routing
+    #: link sets -- sharper, costlier; the A4 ablation compares them).
+    fabric_exposure_model: str = "bbox"
+    #: Queue policy: "fcfs" (head-of-line blocking) or "backfill"
+    #: (EASY backfill with a head reservation; the A5 ablation).
+    scheduler_policy: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        for label, p in [("launch_failure_prob", self.launch_failure_prob),
+                         ("continue_after_user_failure",
+                          self.continue_after_user_failure)]:
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{label} outside [0,1]: {p}")
+        if self.fabric_exposure_model not in ("bbox", "routes"):
+            raise ConfigurationError(
+                f"unknown fabric exposure model "
+                f"{self.fabric_exposure_model!r}")
+        if self.scheduler_policy not in ("fcfs", "backfill"):
+            raise ConfigurationError(
+                f"unknown scheduler policy {self.scheduler_policy!r}")
+
+
+class _ActiveRun:
+    """Mutable state of an in-flight application run."""
+
+    __slots__ = ("apid", "plan", "start", "end_handle", "natural_outcome")
+
+    def __init__(self, apid: int, plan: AppRunPlan, start: float,
+                 end_handle: int, natural_outcome: Outcome):
+        self.apid = apid
+        self.plan = plan
+        self.start = start
+        self.end_handle = end_handle
+        self.natural_outcome = natural_outcome
+
+
+class _ActiveJob:
+    """Mutable state of a job holding an allocation."""
+
+    __slots__ = ("plan", "allocation", "arcs", "links", "start_time",
+                 "run_index", "current", "apids", "walltime_handle",
+                 "last_exit")
+
+    def __init__(self, plan: JobPlan, allocation: Allocation,
+                 arcs, start_time: float, walltime_handle: int,
+                 links=None):
+        self.plan = plan
+        self.allocation = allocation
+        self.arcs = arcs
+        self.links = links  # frozenset[Link] under the "routes" model
+        self.start_time = start_time
+        self.run_index = 0
+        self.current: _ActiveRun | None = None
+        self.apids: list[int] = []
+        self.walltime_handle = walltime_handle
+        self.last_exit = 0
+
+
+@dataclass
+class SimulationResult:
+    """Everything the simulation produced, plus its inputs for reference."""
+
+    machine: Machine
+    window: Interval
+    faults: FaultTimeline
+    runs: list[AppRunRecord] = field(default_factory=list)
+    jobs: list[JobRecord] = field(default_factory=list)
+    #: Jobs still queued when the simulation drained (never started).
+    unstarted_jobs: list[JobPlan] = field(default_factory=list)
+
+    def summary(self) -> dict[str, float]:
+        outcomes: dict[str, int] = {}
+        for run in self.runs:
+            outcomes[run.outcome.value] = outcomes.get(run.outcome.value, 0) + 1
+        return {
+            "runs": len(self.runs),
+            "jobs": len(self.jobs),
+            "unstarted_jobs": len(self.unstarted_jobs),
+            **{f"runs_{k}": v for k, v in sorted(outcomes.items())},
+        }
+
+
+class ClusterSimulator:
+    """Runs one scenario to its ground truth."""
+
+    def __init__(self, machine: Machine, *, config: SimConfig | None = None,
+                 rng_factory: RngFactory | None = None, seed: int = 0):
+        self.machine = machine
+        self.config = config or SimConfig()
+        rngs = rng_factory or RngFactory(seed)
+        self._rng = rngs.get("sim/cluster")
+        self._eq = EventQueue()
+        self._allocator = NodeAllocator(machine)
+        if self.config.scheduler_policy == "backfill":
+            self._queue: FcfsQueue | BackfillQueue = BackfillQueue(
+                self._allocator)
+        else:
+            self._queue = FcfsQueue(self._allocator)
+        self._active_jobs: dict[int, _ActiveJob] = {}
+        self._job_of_node: dict[int, int] = {}
+        self._runs: list[AppRunRecord] = []
+        self._jobs: list[JobRecord] = []
+        self._next_apid = 1
+        self._down_until = float("-inf")
+        self._maintenance: list[Interval] = []
+
+    # -- public -----------------------------------------------------------
+
+    def run(self, plans: list[JobPlan], faults: FaultTimeline,
+            window: Interval,
+            maintenance: list[Interval] | None = None) -> SimulationResult:
+        """Simulate ``plans`` against ``faults`` over ``window``.
+
+        ``maintenance`` lists announced PM windows: the scheduler drains
+        for them (no job starts if it could not finish before the next
+        window) and starts nothing while one is open, so planned
+        downtime destroys no work.
+
+        The event queue is drained completely, so jobs submitted near the
+        window's end run to completion (they simply face no new faults
+        after the window closes -- a small, documented censoring bias).
+        """
+        self._maintenance = sorted(maintenance or [],
+                                   key=lambda iv: iv.start)
+        for pm in self._maintenance:
+            # Wake the scheduler when a PM window closes.
+            self._eq.schedule(pm.end, self._on_system_up)
+        for plan in plans:
+            if plan.submit_time < window.start:
+                raise SimulationError(
+                    f"job {plan.job_id} submitted before the window")
+            self._eq.schedule(plan.submit_time,
+                              lambda p=plan: self._on_submit(p))
+        for event in faults:
+            # Only events that can change an outcome enter the DES;
+            # benign noise (corrected ECC, throttles, ...) exists purely
+            # in the logs and is handled by the log layer.
+            if event.fatal or event.scope is EventScope.SYSTEM:
+                self._eq.schedule(event.time,
+                                  lambda e=event: self._on_fault(e))
+        self._eq.run()
+        unstarted = []
+        for node_type in (NodeType.XE, NodeType.XK):
+            while self._queue.queued(node_type):
+                unstarted.append(self._queue.pop(node_type))
+        self._runs.sort(key=lambda r: (r.start, r.apid))
+        self._jobs.sort(key=lambda j: (j.start_time, j.job_id))
+        return SimulationResult(machine=self.machine, window=window,
+                                faults=faults, runs=self._runs,
+                                jobs=self._jobs, unstarted_jobs=unstarted)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _on_submit(self, plan: JobPlan) -> None:
+        self._queue.submit(plan)
+        self._try_start(plan.node_type)
+
+    def _blocked_by_maintenance(self, walltime_s: float) -> bool:
+        """True when a job of this walltime cannot start now: a PM
+        window is open, or the job would still be running when the next
+        one opens (drain reservation)."""
+        now = self._eq.now
+        for pm in self._maintenance:
+            if pm.end <= now:
+                continue
+            if pm.contains(now):
+                return True
+            return now + walltime_s > pm.start
+        return False
+
+    def _try_start(self, node_type: NodeType) -> None:
+        if self._eq.now < self._down_until:
+            return
+        if isinstance(self._queue, BackfillQueue):
+            self._try_start_backfill(node_type)
+            return
+        while True:
+            head = self._queue.startable(node_type)
+            if head is None:
+                return
+            if self._blocked_by_maintenance(head.walltime_s):
+                return
+            self._queue.pop(node_type)
+            self._start_job(head)
+
+    def _try_start_backfill(self, node_type: NodeType) -> None:
+        now = self._eq.now
+        pm_start: float | None = None
+        for pm in self._maintenance:
+            if pm.end <= now:
+                continue
+            if pm.contains(now):
+                return  # window open: nothing starts
+            pm_start = pm.start
+            break
+        while True:
+            running = [(job.start_time + job.plan.walltime_s,
+                        len(job.allocation))
+                       for job in self._active_jobs.values()
+                       if job.plan.node_type is node_type]
+            plan = self._queue.select(node_type, now=now, running=running,
+                                      pm_start=pm_start)
+            if plan is None:
+                return
+            self._queue.remove(plan)
+            self._start_job(plan)
+
+    def _start_job(self, plan: JobPlan) -> None:
+        nodes = min(plan.nodes, self._allocator.capacity(plan.node_type))
+        allocation = self._allocator.allocate(plan.node_type, nodes)
+        vertices = np.unique(
+            self.machine.gemini_vertices[np.asarray(allocation.node_ids)])
+        arcs = self.machine.topology.bounding_arcs(vertices)
+        links = None
+        if self.config.fabric_exposure_model == "routes":
+            from repro.machine.routing import job_link_set
+
+            links = job_link_set(self.machine.topology, vertices,
+                                 rng=self._rng)
+        handle = self._eq.schedule(self._eq.now + plan.walltime_s,
+                                   lambda j=plan.job_id: self._on_walltime(j))
+        job = _ActiveJob(plan, allocation, arcs, self._eq.now, handle,
+                         links=links)
+        self._active_jobs[plan.job_id] = job
+        for node_id in allocation.node_ids:
+            self._job_of_node[node_id] = plan.job_id
+        self._start_next_run(job)
+
+    # -- run lifecycle ---------------------------------------------------------
+
+    def _start_next_run(self, job: _ActiveJob) -> None:
+        if job.run_index >= len(job.plan.runs):
+            self._end_job(job)
+            return
+        plan = job.plan.runs[job.run_index]
+        job.run_index += 1
+        apid = self._next_apid
+        self._next_apid += 1
+        job.apids.append(apid)
+        now = self._eq.now
+        if self._rng.random() < self.config.launch_failure_prob:
+            record = AppRunRecord(
+                apid=apid, job_id=job.plan.job_id, app_name=plan.app_name,
+                node_type=job.plan.node_type,
+                node_ids=job.allocation.node_ids, start=now, end=now,
+                outcome=Outcome.LAUNCH_FAILURE,
+                exit_code=exit_code_for(Outcome.LAUNCH_FAILURE, self._rng),
+                cause_category=ErrorCategory.ALPS_SOFTWARE,
+                io_intensity=plan.io_intensity,
+                comm_intensity=plan.comm_intensity)
+            self._runs.append(record)
+            job.last_exit = record.exit_code
+            # The batch script usually retries/continues after a launch
+            # failure; move on to the next planned run.
+            self._eq.schedule_after(self.config.inter_run_gap_s,
+                                    lambda j=job: self._continue_job(j))
+            return
+        if plan.user_fails:
+            duration = plan.natural_duration_s * plan.user_failure_frac
+            natural_outcome = Outcome.USER_FAILURE
+        else:
+            duration = plan.natural_duration_s
+            natural_outcome = Outcome.COMPLETED
+        handle = self._eq.schedule(
+            now + duration, lambda j=job, a=apid: self._on_run_end(j, a))
+        job.current = _ActiveRun(apid, plan, now, handle, natural_outcome)
+
+    def _continue_job(self, job: _ActiveJob) -> None:
+        if job.plan.job_id not in self._active_jobs:
+            return  # job was torn down in the gap
+        self._start_next_run(job)
+
+    def _record_run(self, job: _ActiveJob, run: _ActiveRun, end: float,
+                    outcome: Outcome, *, cause: FaultEvent | None = None,
+                    cause_category: ErrorCategory | None = None) -> None:
+        elapsed = end - run.start
+        if outcome is Outcome.COMPLETED:
+            checkpointed = elapsed
+        else:
+            checkpointed = preserved_work_s(elapsed,
+                                            run.plan.checkpoint_interval_s)
+        record = AppRunRecord(
+            apid=run.apid, job_id=job.plan.job_id,
+            app_name=run.plan.app_name, node_type=job.plan.node_type,
+            node_ids=job.allocation.node_ids, start=run.start, end=end,
+            outcome=outcome, exit_code=exit_code_for(outcome, self._rng),
+            cause_event_id=cause.event_id if cause else None,
+            cause_category=(cause.category if cause else cause_category),
+            checkpointed_s=checkpointed,
+            io_intensity=run.plan.io_intensity,
+            comm_intensity=run.plan.comm_intensity)
+        self._runs.append(record)
+        job.last_exit = record.exit_code
+
+    def _on_run_end(self, job: _ActiveJob, apid: int) -> None:
+        run = job.current
+        if run is None or run.apid != apid:
+            return  # stale callback after a kill
+        self._record_run(job, run, self._eq.now, run.natural_outcome)
+        job.current = None
+        if (run.natural_outcome is Outcome.USER_FAILURE
+                and self._rng.random()
+                >= self.config.continue_after_user_failure):
+            self._end_job(job)
+            return
+        if job.run_index >= len(job.plan.runs):
+            self._end_job(job)
+            return
+        self._eq.schedule_after(self.config.inter_run_gap_s,
+                                lambda j=job: self._continue_job(j))
+
+    def _on_walltime(self, job_id: int) -> None:
+        job = self._active_jobs.get(job_id)
+        if job is None:
+            return
+        if job.current is not None:
+            run = job.current
+            self._eq.cancel(run.end_handle)
+            self._record_run(job, run, self._eq.now, Outcome.WALLTIME)
+            job.current = None
+        self._end_job(job)
+
+    def _end_job(self, job: _ActiveJob) -> None:
+        job_id = job.plan.job_id
+        if job_id not in self._active_jobs:
+            return
+        del self._active_jobs[job_id]
+        self._eq.cancel(job.walltime_handle)
+        for node_id in job.allocation.node_ids:
+            self._job_of_node.pop(node_id, None)
+        self._allocator.release(job.allocation)
+        self._jobs.append(JobRecord(
+            job_id=job_id, user=job.plan.user,
+            node_type=job.plan.node_type,
+            node_ids=job.allocation.node_ids,
+            submit_time=job.plan.submit_time, start_time=job.start_time,
+            end_time=self._eq.now, walltime_s=job.plan.walltime_s,
+            exit_status=job.last_exit, apids=tuple(job.apids)))
+        self._try_start(job.plan.node_type)
+
+    # -- faults ----------------------------------------------------------------
+
+    def _kill_job(self, job: _ActiveJob, event: FaultEvent) -> None:
+        """System event tears the job down (current run killed if any)."""
+        if job.current is not None:
+            run = job.current
+            self._eq.cancel(run.end_handle)
+            self._record_run(job, run, self._eq.now, Outcome.SYSTEM_FAILURE,
+                             cause=event)
+            job.current = None
+        self._end_job(job)
+
+    def _on_fault(self, event: FaultEvent) -> None:
+        scope = event.scope
+        if scope is EventScope.SYSTEM:
+            self._on_swo(event)
+            return
+        if not event.fatal:
+            return
+        if scope in (EventScope.NODE, EventScope.GPU, EventScope.BLADE,
+                     EventScope.CABINET):
+            victims: set[int] = set()
+            for node_id in event.node_ids:
+                job_id = self._job_of_node.get(node_id)
+                if job_id is not None:
+                    victims.add(job_id)
+                if event.repair_s > 0:
+                    self._allocator.mark_down(node_id)
+                    self._eq.schedule_after(
+                        event.repair_s,
+                        lambda n=node_id: self._on_repair(n))
+            for job_id in victims:
+                job = self._active_jobs.get(job_id)
+                if job is not None:
+                    self._kill_job(job, event)
+        elif scope is EventScope.FABRIC:
+            if event.fabric_vertex is None:
+                return
+            # Router failures also take down the nodes behind the ASIC.
+            for node_id in event.node_ids:
+                if event.repair_s > 0:
+                    self._allocator.mark_down(node_id)
+                    self._eq.schedule_after(
+                        event.repair_s, lambda n=node_id: self._on_repair(n))
+            exposed = []
+            for job in list(self._active_jobs.values()):
+                direct = any(self._job_of_node.get(n) == job.plan.job_id
+                             for n in event.node_ids)
+                touches = self._fabric_touches(job, event.fabric_vertex)
+                if direct or (touches and job.current is not None):
+                    exposed.append((job, direct))
+            for job, direct in exposed:
+                comm = (job.current.plan.comm_intensity
+                        if job.current is not None else 1.0)
+                if direct or self._rng.random() < comm:
+                    self._kill_job(job, event)
+        elif scope is EventScope.FILESYSTEM:
+            for job in list(self._active_jobs.values()):
+                run = job.current
+                if run is None:
+                    continue
+                if self._rng.random() < run.plan.io_intensity:
+                    self._kill_job(job, event)
+
+    def _fabric_touches(self, job: _ActiveJob, vertex: int) -> bool:
+        """Exposure of one job to a fabric fault at ``vertex``."""
+        if self.config.fabric_exposure_model == "routes":
+            if job.links is None:
+                return False
+            from repro.machine.routing import Link
+
+            topology = self.machine.topology
+            coords = list(topology.coord_of(vertex))
+            nx, ny, _nz = topology.dims
+            for axis in range(3):
+                if Link(vertex=vertex, axis=axis) in job.links:
+                    return True
+                before = list(coords)
+                before[axis] = (before[axis] - 1) % topology.dims[axis]
+                neighbour = before[0] + nx * (before[1] + ny * before[2])
+                if Link(vertex=neighbour, axis=axis) in job.links:
+                    return True
+            return False
+        return self.machine.topology.arc_contains(job.arcs, vertex)
+
+    def _on_swo(self, event: FaultEvent) -> None:
+        for job in list(self._active_jobs.values()):
+            self._kill_job(job, event)
+        self._down_until = self._eq.now + max(event.repair_s, 60.0)
+        self._eq.schedule(self._down_until, self._on_system_up)
+
+    def _on_system_up(self) -> None:
+        for node_type in (NodeType.XE, NodeType.XK):
+            self._try_start(node_type)
+
+    def _on_repair(self, node_id: int) -> None:
+        self._allocator.mark_up(node_id)
+        node_type = self.machine.node(node_id).node_type
+        if node_type.is_compute:
+            self._try_start(node_type)

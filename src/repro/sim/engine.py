@@ -1,0 +1,73 @@
+"""A minimal discrete-event simulation engine.
+
+The cluster simulator needs nothing fancy: a clock, a priority queue of
+timestamped callbacks, and deterministic tie-breaking.  Events scheduled
+at equal times fire in scheduling order (a monotone sequence number
+breaks ties), which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Timestamped-callback priority queue with a monotone clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now = start
+        self._cancelled: set[int] = set()
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute ``time``; returns a handle.
+
+        Scheduling in the past (before the current clock) is an error --
+        it would silently reorder causality.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self.now}")
+        handle = next(self._seq)
+        heapq.heappush(self._heap, (time, handle, callback))
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> int:
+        return self.schedule(self.now + delay, callback)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled callback (lazy removal)."""
+        self._cancelled.add(handle)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: float | None = None) -> int:
+        """Dispatch events in time order.
+
+        Stops when the queue drains, or -- if ``until`` is given -- when
+        the next event lies strictly beyond it (the clock is then
+        advanced to ``until``).  Returns the number of dispatched events.
+        """
+        dispatched = 0
+        while self._heap:
+            time, handle, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self.now = time
+            callback()
+            dispatched += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return dispatched

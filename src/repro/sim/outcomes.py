@@ -1,0 +1,43 @@
+"""Mapping ground-truth outcomes to the exit codes logs actually show.
+
+Log-visible exit codes are deliberately *lossy*: a run killed by a node
+failure and a run killed by ``kill -9`` both exit 137.  LogDiver must
+recover the distinction by correlating error logs -- reproducing the
+paper's core methodological point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.jobs import Outcome
+
+__all__ = ["exit_code_for", "SIGKILL_EXIT", "WALLTIME_EXIT",
+           "LAUNCH_FAILURE_EXIT"]
+
+#: 128 + SIGKILL: what ALPS reports when the system tears a run down.
+SIGKILL_EXIT = 137
+#: Torque's 256 + SIGTERM convention for walltime kills.
+WALLTIME_EXIT = 271
+#: ALPS launch/placement failure.
+LAUNCH_FAILURE_EXIT = 1
+
+#: Plausible user-failure exit codes and their relative frequency:
+#: plain error returns, assertions (SIGABRT), segfaults, MPI aborts.
+_USER_CODES = np.array([1, 2, 134, 139, 255])
+_USER_WEIGHTS = np.array([0.40, 0.10, 0.18, 0.22, 0.10])
+
+
+def exit_code_for(outcome: Outcome, rng: np.random.Generator) -> int:
+    """Exit code an application run with ``outcome`` reports in logs."""
+    if outcome is Outcome.COMPLETED:
+        return 0
+    if outcome is Outcome.WALLTIME:
+        return WALLTIME_EXIT
+    if outcome is Outcome.SYSTEM_FAILURE:
+        return SIGKILL_EXIT
+    if outcome is Outcome.LAUNCH_FAILURE:
+        return LAUNCH_FAILURE_EXIT
+    if outcome is Outcome.USER_FAILURE:
+        return int(rng.choice(_USER_CODES, p=_USER_WEIGHTS))
+    raise ValueError(f"unhandled outcome {outcome}")

@@ -1,0 +1,30 @@
+"""Statistics helpers: ECDFs, CIs, distribution fits, hazard estimation."""
+
+from repro.stats.ecdf import ecdf, quantiles, survival
+from repro.stats.fitting import DistFit, best_fit, fit_all, fit_distribution
+from repro.stats.hazard import empirical_hazard, hazard_trend
+from repro.stats.intervals import bootstrap_mean_interval, wilson_interval
+from repro.stats.trend import (
+    TrendReport,
+    crow_amsaa_beta,
+    laplace_test,
+    trend_report,
+)
+
+__all__ = [
+    "DistFit",
+    "TrendReport",
+    "best_fit",
+    "bootstrap_mean_interval",
+    "ecdf",
+    "empirical_hazard",
+    "fit_all",
+    "crow_amsaa_beta",
+    "fit_distribution",
+    "hazard_trend",
+    "laplace_test",
+    "quantiles",
+    "survival",
+    "trend_report",
+    "wilson_interval",
+]

@@ -1,0 +1,37 @@
+"""Empirical distribution helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ecdf", "quantiles", "survival"]
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities.
+
+    >>> xs, ps = ecdf(np.array([3.0, 1.0, 2.0]))
+    >>> list(xs), [round(p, 3) for p in ps]
+    ([1.0, 2.0, 3.0], [0.333, 0.667, 1.0])
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("ecdf of an empty sample")
+    xs = np.sort(values)
+    ps = np.arange(1, xs.size + 1) / xs.size
+    return xs, ps
+
+
+def survival(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical survival function ``P(X > x)`` at each sorted value."""
+    xs, ps = ecdf(values)
+    return xs, 1.0 - ps
+
+
+def quantiles(values: np.ndarray,
+              qs: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict[float, float]:
+    """Selected quantiles as a dict."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("quantiles of an empty sample")
+    return {q: float(np.quantile(values, q)) for q in qs}

@@ -1,0 +1,87 @@
+"""Distribution fitting for inter-failure times (the F6 analysis).
+
+Field studies routinely ask whether times between failures are
+exponential (memoryless) or better described by Weibull (clustered /
+ageing) or lognormal shapes.  This module fits all three by maximum
+likelihood, scores them with log-likelihood and a Kolmogorov-Smirnov
+statistic, and picks a winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["DistFit", "fit_distribution", "fit_all", "best_fit"]
+
+_FAMILIES = ("exponential", "weibull", "lognormal")
+
+
+@dataclass(frozen=True)
+class DistFit:
+    """One fitted family with its goodness-of-fit scores."""
+
+    family: str
+    params: tuple[float, ...]
+    log_likelihood: float
+    ks_statistic: float
+    ks_pvalue: float
+
+    def describe(self) -> str:
+        names = {
+            "exponential": ("scale",),
+            "weibull": ("shape", "scale"),
+            "lognormal": ("sigma", "scale"),
+        }[self.family]
+        rendered = ", ".join(f"{n}={v:.4g}" for n, v in zip(names, self.params))
+        return (f"{self.family}({rendered}) "
+                f"logL={self.log_likelihood:.1f} KS={self.ks_statistic:.3f}")
+
+
+def _frozen(family: str, params: tuple[float, ...]):
+    if family == "exponential":
+        return sps.expon(scale=params[0])
+    if family == "weibull":
+        return sps.weibull_min(params[0], scale=params[1])
+    if family == "lognormal":
+        return sps.lognorm(params[0], scale=params[1])
+    raise ValueError(f"unknown family {family!r}")
+
+
+def fit_distribution(samples: np.ndarray, family: str) -> DistFit:
+    """MLE fit of one family to positive samples."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 3:
+        raise ValueError("need at least 3 samples to fit")
+    if np.any(samples <= 0):
+        raise ValueError("inter-failure times must be positive")
+    if family == "exponential":
+        params = (float(samples.mean()),)
+    elif family == "weibull":
+        shape, _loc, scale = sps.weibull_min.fit(samples, floc=0.0)
+        params = (float(shape), float(scale))
+    elif family == "lognormal":
+        sigma, _loc, scale = sps.lognorm.fit(samples, floc=0.0)
+        params = (float(sigma), float(scale))
+    else:
+        raise ValueError(f"unknown family {family!r}")
+    frozen = _frozen(family, params)
+    log_likelihood = float(np.sum(frozen.logpdf(samples)))
+    ks = sps.kstest(samples, frozen.cdf)
+    return DistFit(family=family, params=params,
+                   log_likelihood=log_likelihood,
+                   ks_statistic=float(ks.statistic),
+                   ks_pvalue=float(ks.pvalue))
+
+
+def fit_all(samples: np.ndarray) -> list[DistFit]:
+    """Fit every family; sorted best-first by KS statistic."""
+    fits = [fit_distribution(samples, family) for family in _FAMILIES]
+    return sorted(fits, key=lambda f: f.ks_statistic)
+
+
+def best_fit(samples: np.ndarray) -> DistFit:
+    """The family with the smallest KS distance."""
+    return fit_all(samples)[0]

@@ -1,0 +1,52 @@
+"""Confidence intervals for proportions and bootstrap means."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["wilson_interval", "bootstrap_mean_interval"]
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because scale buckets often
+    hold few runs and probabilities near zero.
+
+    >>> lo, hi = wilson_interval(0, 100)
+    >>> lo == 0.0 and 0.0 < hi < 0.05
+    True
+    """
+    if trials < 0:
+        raise ValueError(f"negative trial count: {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    if trials == 0:
+        return (0.0, 1.0)
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * np.sqrt(p * (1 - p) / trials
+                                   + z * z / (4 * trials * trials))
+    lo = 0.0 if successes == 0 else max(0.0, float(center - margin))
+    hi = 1.0 if successes == trials else min(1.0, float(center + margin))
+    return (lo, hi)
+
+
+def bootstrap_mean_interval(values: np.ndarray, *, confidence: float = 0.95,
+                            n_resamples: int = 2000,
+                            seed: int = 0) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, values.size, size=(n_resamples, values.size))
+    means = values[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))

@@ -1,0 +1,44 @@
+"""Shared utilities: time, intervals, RNG substreams, columnar tables."""
+
+from repro.util.intervals import (
+    Interval,
+    IntervalIndex,
+    merge_intervals,
+    sweep_join,
+    total_covered,
+)
+from repro.util.rngs import RngFactory, substream
+from repro.util.tables import Table, render_table
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    PAPER_WINDOW_DAYS,
+    PAPER_WINDOW_SECONDS,
+    Epoch,
+    format_duration,
+    seconds_to_node_hours,
+)
+from repro.util.viz import bar_chart, cdf_plot, scatter_curve, sparkline
+
+__all__ = [
+    "DAY",
+    "HOUR",
+    "PAPER_WINDOW_DAYS",
+    "PAPER_WINDOW_SECONDS",
+    "Epoch",
+    "Interval",
+    "IntervalIndex",
+    "RngFactory",
+    "Table",
+    "bar_chart",
+    "cdf_plot",
+    "format_duration",
+    "scatter_curve",
+    "sparkline",
+    "merge_intervals",
+    "render_table",
+    "seconds_to_node_hours",
+    "substream",
+    "sweep_join",
+    "total_covered",
+]

@@ -1,0 +1,212 @@
+"""A small columnar table: the library's pandas stand-in.
+
+LogDiver's analyses are joins and group-bys over a few hundred thousand
+records.  pandas is not available in this environment, so this module
+provides the minimal columnar container the pipeline needs:
+
+* construction from rows (dicts/dataclasses) or columns,
+* vectorized access as numpy arrays,
+* ``where`` filtering with a boolean mask or predicate,
+* ``group_by`` returning sub-tables,
+* sorted output and fixed-width text rendering for reports.
+
+It deliberately does *not* try to be general: no indexes, no NaN
+semantics, no type coercion beyond numpy's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Table", "render_table"]
+
+
+class Table:
+    """An ordered collection of equal-length named columns."""
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]]):
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            arr = values if isinstance(values, np.ndarray) else np.asarray(values, dtype=object if _needs_object(values) else None)
+            if length is None:
+                length = len(arr)
+            elif len(arr) != length:
+                raise ValueError(
+                    f"column {name!r} has length {len(arr)}, expected {length}")
+            self._columns[name] = arr
+        self._length = length or 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Any],
+                  fields: Sequence[str] | None = None) -> "Table":
+        """Build from dicts or dataclass instances.
+
+        ``fields`` restricts/orders the columns; by default the fields of
+        the first row are used (all rows must share them).
+        """
+        rows = list(rows)
+        if not rows:
+            return cls({name: [] for name in (fields or [])})
+        first = rows[0]
+        if fields is None:
+            if dataclasses.is_dataclass(first):
+                fields = [f.name for f in dataclasses.fields(first)]
+            elif isinstance(first, Mapping):
+                fields = list(first.keys())
+            else:
+                raise TypeError(
+                    f"cannot infer fields from row type {type(first).__name__}")
+        getter: Callable[[Any, str], Any]
+        if dataclasses.is_dataclass(first):
+            getter = getattr
+        else:
+            getter = lambda row, name: row[name]  # noqa: E731
+        return cls({name: [getter(row, name) for row in rows] for name in fields})
+
+    @classmethod
+    def empty(cls, fields: Sequence[str]) -> "Table":
+        return cls({name: [] for name in fields})
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {list(self._columns)}") from None
+
+    @property
+    def fields(self) -> list[str]:
+        return list(self._columns)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts (copy; mutation does not affect the table)."""
+        names = self.fields
+        for i in range(self._length):
+            yield {name: self._columns[name][i] for name in names}
+
+    def row(self, i: int) -> dict[str, Any]:
+        return {name: col[i] for name, col in self._columns.items()}
+
+    # -- transforms ----------------------------------------------------------
+
+    def where(self, mask_or_pred: np.ndarray | Callable[[dict[str, Any]], bool]) -> "Table":
+        """Rows selected by a boolean mask (vectorized) or a row predicate."""
+        if callable(mask_or_pred):
+            mask = np.fromiter((bool(mask_or_pred(r)) for r in self.rows()),
+                               dtype=bool, count=self._length)
+        else:
+            mask = np.asarray(mask_or_pred, dtype=bool)
+            if len(mask) != self._length:
+                raise ValueError(
+                    f"mask length {len(mask)} != table length {self._length}")
+        return Table({name: col[mask] for name, col in self._columns.items()})
+
+    def select(self, *names: str) -> "Table":
+        return Table({name: self[name] for name in names})
+
+    def with_column(self, name: str, values: Sequence[Any]) -> "Table":
+        columns = dict(self._columns)
+        columns[name] = values
+        return Table(columns)
+
+    def sort_by(self, *names: str, reverse: bool = False) -> "Table":
+        """Stable multi-key sort (last key is most significant? no --
+        first name is the primary key, numpy lexsort semantics handled
+        internally)."""
+        if not names:
+            return self
+        # np.lexsort uses the *last* key as primary; reverse the list.
+        keys = [self._columns[name] for name in reversed(names)]
+        order = np.lexsort([_sortable(k) for k in keys])
+        if reverse:
+            order = order[::-1]
+        return Table({name: col[order] for name, col in self._columns.items()})
+
+    def group_by(self, key: str | Callable[[dict[str, Any]], Hashable]
+                 ) -> dict[Hashable, "Table"]:
+        """Partition rows into sub-tables keyed by a column or function."""
+        buckets: dict[Hashable, list[int]] = {}
+        if callable(key):
+            for i, row in enumerate(self.rows()):
+                buckets.setdefault(key(row), []).append(i)
+        else:
+            col = self[key]
+            for i in range(self._length):
+                buckets.setdefault(col[i], []).append(i)
+        return {
+            k: Table({name: col[np.asarray(idx, dtype=int)]
+                      for name, col in self._columns.items()})
+            for k, idx in buckets.items()
+        }
+
+    def concat(self, other: "Table") -> "Table":
+        if self.fields != other.fields:
+            raise ValueError(
+                f"field mismatch: {self.fields} vs {other.fields}")
+        return Table({
+            name: np.concatenate([_as1d(self[name]), _as1d(other[name])])
+            for name in self.fields
+        })
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, *, max_rows: int | None = None,
+               floatfmt: str = "{:.4g}") -> str:
+        """Fixed-width text rendering (used by the report module)."""
+        rows = list(self.rows())
+        if max_rows is not None and len(rows) > max_rows:
+            rows = rows[:max_rows]
+        body = [[_fmt(row[name], floatfmt) for name in self.fields] for row in rows]
+        return render_table(self.fields, body)
+
+
+def render_table(header: Sequence[str], body: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width ASCII table with a header rule."""
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(header)), rule, *(line(list(r)) for r in body)])
+
+
+def _fmt(value: Any, floatfmt: str) -> str:
+    if isinstance(value, (float, np.floating)):
+        return floatfmt.format(float(value))
+    return str(value)
+
+
+def _needs_object(values: Sequence[Any]) -> bool:
+    """Use object dtype for mixed / non-scalar payloads (tuples, lists)."""
+    for v in values:
+        if isinstance(v, (tuple, list, set, frozenset, dict)):
+            return True
+        return False
+    return False
+
+
+def _as1d(arr: np.ndarray) -> np.ndarray:
+    return arr if arr.ndim == 1 else arr.reshape(-1)
+
+
+def _sortable(arr: np.ndarray) -> np.ndarray:
+    """lexsort cannot handle object arrays of mixed types; map to strings."""
+    if arr.dtype == object:
+        return np.asarray([str(v) for v in arr])
+    return arr

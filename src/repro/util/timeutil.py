@@ -1,0 +1,126 @@
+"""Time representation and formatting helpers.
+
+The simulator and the analysis pipeline use a single convention:
+
+* **Simulation time** is a ``float`` number of *seconds* since the
+  scenario epoch (``t=0`` is the first production instant).
+* **Wall-clock time** only appears when rendering or parsing log text.
+  Conversion goes through :class:`Epoch`, which pins simulation second 0
+  to an absolute UTC datetime.
+
+Keeping the internal representation a plain float makes interval
+arithmetic, numpy vectorization, and determinism trivial; the epoch is a
+presentation concern owned by the log writers/parsers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+
+#: Seconds in one hour / one day, used throughout the metric code.
+HOUR = 3600.0
+DAY = 86400.0
+
+#: Blue Waters entered full production in early 2013; the paper measures
+#: the first 518 production days.  The exact date does not matter for any
+#: metric, only for log cosmetics.
+DEFAULT_EPOCH_UTC = datetime(2013, 4, 1, 0, 0, 0, tzinfo=timezone.utc)
+
+#: Length of the paper's measurement window, in seconds.
+PAPER_WINDOW_DAYS = 518
+PAPER_WINDOW_SECONDS = PAPER_WINDOW_DAYS * DAY
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """Pins simulation second 0 to an absolute UTC instant.
+
+    >>> e = Epoch()
+    >>> e.to_datetime(0.0).isoformat()
+    '2013-04-01T00:00:00+00:00'
+    >>> e.to_seconds(e.to_datetime(12345.5))
+    12345.5
+    """
+
+    start: datetime = DEFAULT_EPOCH_UTC
+
+    def __post_init__(self) -> None:
+        if self.start.tzinfo is None:
+            raise ValueError("Epoch start must be timezone-aware (UTC)")
+
+    def to_datetime(self, seconds: float) -> datetime:
+        """Convert simulation seconds to an absolute UTC datetime."""
+        return self.start + timedelta(seconds=seconds)
+
+    def to_seconds(self, moment: datetime) -> float:
+        """Convert an absolute datetime back to simulation seconds."""
+        return (moment - self.start).total_seconds()
+
+    # -- log text formats -------------------------------------------------
+
+    def format_syslog(self, seconds: float) -> str:
+        """RFC3164-style timestamp (``Apr  1 00:00:00``) used by syslog."""
+        moment = self.to_datetime(seconds)
+        # %e is not portable; build the day field by hand.
+        day = f"{moment.day:2d}"
+        return moment.strftime("%b ") + day + moment.strftime(" %H:%M:%S")
+
+    def format_iso(self, seconds: float) -> str:
+        """ISO-8601 timestamp with second resolution (Cray event logs)."""
+        return self.to_datetime(seconds).strftime("%Y-%m-%dT%H:%M:%S")
+
+    def format_torque(self, seconds: float) -> str:
+        """Torque accounting-log timestamp (``04/01/2013 00:00:00``)."""
+        return self.to_datetime(seconds).strftime("%m/%d/%Y %H:%M:%S")
+
+    def parse_iso(self, text: str) -> float:
+        """Inverse of :meth:`format_iso`."""
+        moment = datetime.strptime(text, "%Y-%m-%dT%H:%M:%S")
+        return self.to_seconds(moment.replace(tzinfo=timezone.utc))
+
+    def parse_torque(self, text: str) -> float:
+        """Inverse of :meth:`format_torque`."""
+        moment = datetime.strptime(text, "%m/%d/%Y %H:%M:%S")
+        return self.to_seconds(moment.replace(tzinfo=timezone.utc))
+
+    def parse_syslog(self, text: str, *, year_hint: int | None = None) -> float:
+        """Inverse of :meth:`format_syslog`.
+
+        Syslog timestamps carry no year.  ``year_hint`` supplies it; by
+        default the epoch's own year is assumed and, if the resulting
+        instant would precede the epoch, the following year is used
+        (handles windows that cross New Year once, which covers the
+        518-day study period split across at most two year boundaries
+        only approximately -- callers that need exact years should pass
+        ``year_hint``).
+        """
+        year = year_hint if year_hint is not None else self.start.year
+        moment = datetime.strptime(f"{year} {text}", "%Y %b %d %H:%M:%S")
+        moment = moment.replace(tzinfo=timezone.utc)
+        seconds = self.to_seconds(moment)
+        if seconds < 0 and year_hint is None:
+            moment = moment.replace(year=year + 1)
+            seconds = self.to_seconds(moment)
+        return seconds
+
+
+def seconds_to_node_hours(seconds: float, nodes: int) -> float:
+    """Node-hours consumed by ``nodes`` nodes for ``seconds`` seconds."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if nodes < 0:
+        raise ValueError(f"negative node count: {nodes}")
+    return seconds / HOUR * nodes
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'2d 03:04:05'`` or ``'00:10:02'``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    whole = int(round(seconds))
+    days, rem = divmod(whole, int(DAY))
+    hours, rem = divmod(rem, 3600)
+    minutes, secs = divmod(rem, 60)
+    clock = f"{hours:02d}:{minutes:02d}:{secs:02d}"
+    return f"{days}d {clock}" if days else clock

@@ -1,0 +1,106 @@
+"""Terminal visualization: ASCII bar charts, sparklines, and CDF plots.
+
+The CLI and examples run where matplotlib may not exist; these helpers
+render the study's figures as text, the way ops tooling does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "sparkline", "cdf_plot", "scatter_curve"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline (empty string for no data).
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], *,
+              width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart with right-aligned values.
+
+    >>> print(bar_chart(["a", "b"], [1, 2], width=4))
+    a  ██    1
+    b  ████  2
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    vals = [float(v) for v in values]
+    peak = max(max(vals), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    value_texts = [f"{v:g}{unit}" for v in vals]
+    value_w = max(len(t) for t in value_texts)
+    lines = []
+    for label, v, vt in zip(labels, vals, value_texts):
+        bar = "█" * max(0, int(round(v / peak * width)))
+        lines.append(f"{str(label).ljust(label_w)}  {bar.ljust(width)}  "
+                     f"{vt.rjust(value_w)}".rstrip())
+    return "\n".join(lines)
+
+
+def cdf_plot(values: Sequence[float], *, width: int = 50, height: int = 10,
+             label: str = "") -> str:
+    """A coarse ASCII empirical-CDF plot (log-x when the range is wide)."""
+    vals = sorted(float(v) for v in values if v > 0)
+    if len(vals) < 2:
+        raise ValueError("need at least 2 positive values")
+    lo, hi = vals[0], vals[-1]
+    log_x = hi / lo > 100
+    def to_x(v: float) -> int:
+        if log_x:
+            frac = (math.log(v) - math.log(lo)) / (math.log(hi) - math.log(lo))
+        else:
+            frac = (v - lo) / (hi - lo)
+        return min(width - 1, int(frac * width))
+    grid = [[" "] * width for _ in range(height)]
+    n = len(vals)
+    for i, v in enumerate(vals):
+        p = (i + 1) / n
+        row = height - 1 - min(height - 1, int(p * height))
+        grid[row][to_x(v)] = "•"
+    lines = ["".join(row) for row in grid]
+    axis = ("log " if log_x else "") + f"x: {lo:.3g} .. {hi:.3g}"
+    header = f"CDF {label}".rstrip()
+    return "\n".join([header, *lines, "-" * width, axis])
+
+
+def scatter_curve(xs: Sequence[float], ys: Sequence[float], *,
+                  width: int = 50, height: int = 12,
+                  label: str = "") -> str:
+    """ASCII scatter of a curve (e.g. failure probability vs. scale)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        fx = 0.0 if x_hi == x_lo else (x - x_lo) / (x_hi - x_lo)
+        fy = 0.0 if y_hi == y_lo else (y - y_lo) / (y_hi - y_lo)
+        col = min(width - 1, int(fx * (width - 1)))
+        row = height - 1 - min(height - 1, int(fy * (height - 1)))
+        grid[row][col] = "o"
+    lines = ["".join(row) for row in grid]
+    header = label
+    footer = f"x: {x_lo:g}..{x_hi:g}   y: {y_lo:g}..{y_hi:g}"
+    return "\n".join(([header] if header else []) + lines
+                     + ["-" * width, footer])

@@ -1,0 +1,44 @@
+"""Workload substrate: application archetypes, jobs/runs, generator,
+scheduler, and checkpoint accounting."""
+
+from repro.workload.apps import DEFAULT_MIX, AppArchetype, archetype_by_name
+from repro.workload.checkpoint import lost_work_s, preserved_work_s
+from repro.workload.distributions import (
+    capability_scale,
+    sample_runs_per_job,
+    sample_scale,
+    sample_walltime,
+)
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.jobs import (
+    AppRunPlan,
+    AppRunRecord,
+    JobPlan,
+    JobRecord,
+    Outcome,
+)
+from repro.workload.scheduler import BackfillQueue, FcfsQueue
+from repro.workload.swf import export_swf, import_swf
+
+__all__ = [
+    "AppArchetype",
+    "AppRunPlan",
+    "AppRunRecord",
+    "BackfillQueue",
+    "DEFAULT_MIX",
+    "FcfsQueue",
+    "JobPlan",
+    "JobRecord",
+    "Outcome",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "archetype_by_name",
+    "capability_scale",
+    "export_swf",
+    "import_swf",
+    "lost_work_s",
+    "preserved_work_s",
+    "sample_runs_per_job",
+    "sample_scale",
+    "sample_walltime",
+]

@@ -1,0 +1,192 @@
+"""Application archetypes and the science-field mix.
+
+Blue Waters' workload mixes a small number of dominant petascale codes
+(NAMD, Chroma/MILC lattice QCD, VPIC, PSDNS, AMBER, CESM, AWP-ODC, ...)
+with a long tail of smaller jobs.  Each archetype captures what matters
+to resilience measurement:
+
+* which partition it runs on (XE, XK, or both),
+* its node-count distribution (log-normal body with an explicit
+  *capability-run* mixture component near full scale -- the paper's
+  scaling figures need real mass at 10k..22k XE and 2k..4.2k XK nodes),
+* its walltime distribution and how walltime grows with scale (full-
+  machine capability runs are long; mid-scale runs are often short
+  debug/test launches),
+* I/O intensity (exposure to Lustre failures),
+* checkpoint interval (bounds lost work),
+* intrinsic user-failure probability (bugs, aborts, bad inputs -- the
+  paper's dominant *non*-system failure class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.nodetypes import NodeType
+
+__all__ = ["AppArchetype", "DEFAULT_MIX", "archetype_by_name"]
+
+
+@dataclass(frozen=True)
+class AppArchetype:
+    """Statistical description of one application family."""
+
+    name: str
+    field: str
+    node_type: NodeType
+    #: Share of all application runs launched by this archetype.
+    run_share: float
+    #: Log-normal body of the node-count distribution.
+    scale_median: float
+    scale_sigma: float
+    #: Hard bounds on node count (1 .. partition size at build time).
+    scale_min: int
+    scale_max: int
+    #: Probability that a run is a *capability* run drawn near full scale.
+    capability_prob: float
+    #: Walltime model for *body* (non-capability) runs: median seconds at
+    #: the scale median, log-normal sigma, and the exponent linking median
+    #: walltime to scale for runs ABOVE the scale median
+    #: (t_med(n) = walltime_median * (n / scale_median) ** walltime_scale_exp,
+    #: flat below the median).  Ensemble codes strong-scale: more nodes
+    #: finish the same member faster, so their exponent is negative --
+    #: mid-scale runs are short.  This is one of the two mechanisms behind
+    #: the paper's superlinear failure-probability growth with scale.
+    walltime_median_s: float
+    walltime_sigma: float
+    walltime_scale_exp: float
+    #: Fraction of torus/fabric traffic sensitivity (0..1 multiplier on
+    #: fabric lethality; communication-heavy codes are higher).
+    comm_intensity: float
+    #: Probability a Lustre failure during the run affects it (0..1).
+    io_intensity: float
+    #: Seconds between application-level checkpoints (0 = no checkpoints).
+    checkpoint_interval_s: float
+    #: Probability that the run fails for user reasons (bug, bad input,
+    #: abort); independent of any system event.
+    user_failure_prob: float
+    #: Capability ("hero") runs are single long apruns: median walltime
+    #: at FULL partition scale, an exponent shrinking it for partial-
+    #: machine capability runs (t = median * frac**exp), and a log-normal
+    #: sigma.  The second mechanism behind superlinear failure scaling.
+    capability_walltime_s: float = 3.5 * 3600.0
+    capability_walltime_exp: float = 2.9
+    capability_walltime_sigma: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not 0 < self.run_share <= 1:
+            raise ConfigurationError(f"{self.name}: run_share outside (0,1]")
+        if self.scale_min < 1 or self.scale_max < self.scale_min:
+            raise ConfigurationError(f"{self.name}: bad scale bounds")
+        for label, p in [("capability_prob", self.capability_prob),
+                         ("comm_intensity", self.comm_intensity),
+                         ("io_intensity", self.io_intensity),
+                         ("user_failure_prob", self.user_failure_prob)]:
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{self.name}: {label} outside [0,1]")
+        if self.walltime_median_s <= 0:
+            raise ConfigurationError(f"{self.name}: walltime must be positive")
+
+
+#: A workload mix loosely shaped on the NSF petascale portfolio the
+#: paper describes.  Shares sum to 1.  XK archetypes give the GPU
+#: partition its own scaling story.
+DEFAULT_MIX: tuple[AppArchetype, ...] = (
+    AppArchetype(
+        name="NAMD", field="molecular dynamics", node_type=NodeType.XE,
+        run_share=0.16, scale_median=256, scale_sigma=1.3,
+        scale_min=1, scale_max=8192, capability_prob=0.006,
+        walltime_median_s=2.5 * 3600, walltime_sigma=1.0,
+        walltime_scale_exp=-0.45, comm_intensity=0.8, io_intensity=0.25,
+        checkpoint_interval_s=3600, user_failure_prob=0.022),
+    AppArchetype(
+        name="CHROMA", field="lattice QCD", node_type=NodeType.XE,
+        run_share=0.14, scale_median=512, scale_sigma=1.1,
+        scale_min=8, scale_max=8192, capability_prob=0.005,
+        walltime_median_s=3 * 3600, walltime_sigma=0.9,
+        walltime_scale_exp=-0.5, comm_intensity=0.9, io_intensity=0.2,
+        checkpoint_interval_s=2 * 3600, user_failure_prob=0.020),
+    AppArchetype(
+        name="VPIC", field="plasma physics", node_type=NodeType.XE,
+        run_share=0.06, scale_median=1024, scale_sigma=1.2,
+        scale_min=16, scale_max=8192, capability_prob=0.010,
+        walltime_median_s=2.5 * 3600, walltime_sigma=0.8,
+        walltime_scale_exp=-0.4, comm_intensity=0.85, io_intensity=0.45,
+        checkpoint_interval_s=2 * 3600, user_failure_prob=0.025),
+    AppArchetype(
+        name="PSDNS", field="turbulence", node_type=NodeType.XE,
+        run_share=0.05, scale_median=2048, scale_sigma=1.0,
+        scale_min=64, scale_max=8192, capability_prob=0.012,
+        walltime_median_s=3 * 3600, walltime_sigma=0.8,
+        walltime_scale_exp=-0.35, comm_intensity=0.95, io_intensity=0.5,
+        checkpoint_interval_s=3 * 3600, user_failure_prob=0.022),
+    AppArchetype(
+        name="CESM", field="climate", node_type=NodeType.XE,
+        run_share=0.07, scale_median=384, scale_sigma=0.9,
+        scale_min=16, scale_max=4096, capability_prob=0.0,
+        walltime_median_s=4.5 * 3600, walltime_sigma=0.7,
+        walltime_scale_exp=0.1, comm_intensity=0.6, io_intensity=0.6,
+        checkpoint_interval_s=3600, user_failure_prob=0.02),
+    AppArchetype(
+        name="AWP-ODC", field="seismology", node_type=NodeType.XE,
+        run_share=0.04, scale_median=1500, scale_sigma=1.0,
+        scale_min=32, scale_max=8192, capability_prob=0.008,
+        walltime_median_s=3 * 3600, walltime_sigma=0.9,
+        walltime_scale_exp=-0.4, comm_intensity=0.8, io_intensity=0.4,
+        checkpoint_interval_s=2 * 3600, user_failure_prob=0.023),
+    AppArchetype(
+        name="XE-MISC", field="misc/test", node_type=NodeType.XE,
+        run_share=0.30, scale_median=24, scale_sigma=1.6,
+        scale_min=1, scale_max=10000, capability_prob=0.0,
+        walltime_median_s=15 * 60, walltime_sigma=1.4,
+        walltime_scale_exp=0.15, comm_intensity=0.4, io_intensity=0.25,
+        checkpoint_interval_s=0, user_failure_prob=0.05),
+    AppArchetype(
+        name="AMBER-GPU", field="molecular dynamics", node_type=NodeType.XK,
+        run_share=0.07, scale_median=48, scale_sigma=1.3,
+        scale_min=1, scale_max=1024, capability_prob=0.008,
+        walltime_median_s=3 * 3600, walltime_sigma=1.0,
+        walltime_scale_exp=-0.3, comm_intensity=0.5, io_intensity=0.2,
+        checkpoint_interval_s=3600, user_failure_prob=0.012,
+        capability_walltime_s=8 * 3600.0,
+        capability_walltime_exp=1.6, capability_walltime_sigma=0.45),
+    AppArchetype(
+        name="NAMD-GPU", field="molecular dynamics", node_type=NodeType.XK,
+        run_share=0.05, scale_median=128, scale_sigma=1.2,
+        scale_min=1, scale_max=2000, capability_prob=0.012,
+        walltime_median_s=2.5 * 3600, walltime_sigma=0.9,
+        walltime_scale_exp=-0.4, comm_intensity=0.7, io_intensity=0.25,
+        checkpoint_interval_s=3600, user_failure_prob=0.012,
+        capability_walltime_s=8 * 3600.0,
+        capability_walltime_exp=1.6, capability_walltime_sigma=0.45),
+    AppArchetype(
+        name="QMCPACK", field="materials", node_type=NodeType.XK,
+        run_share=0.03, scale_median=256, scale_sigma=1.1,
+        scale_min=8, scale_max=2000, capability_prob=0.020,
+        walltime_median_s=4 * 3600, walltime_sigma=0.8,
+        walltime_scale_exp=-0.45, comm_intensity=0.75, io_intensity=0.35,
+        checkpoint_interval_s=2 * 3600, user_failure_prob=0.012,
+        capability_walltime_s=8 * 3600.0,
+        capability_walltime_exp=1.6, capability_walltime_sigma=0.45),
+    AppArchetype(
+        name="XK-MISC", field="misc/test", node_type=NodeType.XK,
+        run_share=0.03, scale_median=8, scale_sigma=1.5,
+        scale_min=1, scale_max=2000, capability_prob=0.0,
+        walltime_median_s=12 * 60, walltime_sigma=1.4,
+        walltime_scale_exp=0.15, comm_intensity=0.3, io_intensity=0.2,
+        checkpoint_interval_s=0, user_failure_prob=0.05),
+)
+
+_total_share = sum(a.run_share for a in DEFAULT_MIX)
+assert abs(_total_share - 1.0) < 1e-9, f"mix shares sum to {_total_share}"
+
+
+def archetype_by_name(name: str,
+                      mix: tuple[AppArchetype, ...] = DEFAULT_MIX) -> AppArchetype:
+    """Look up an archetype in a mix by its name."""
+    for archetype in mix:
+        if archetype.name == name:
+            return archetype
+    raise ConfigurationError(
+        f"no archetype named {name!r}; have {[a.name for a in mix]}")

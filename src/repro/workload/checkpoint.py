@@ -1,0 +1,38 @@
+"""Checkpoint accounting.
+
+Applications that checkpoint lose only the work since their last
+checkpoint when the system kills them; applications that do not lose
+everything.  The paper's lost-work analysis (and our F4 bench) needs
+both the raw node-hours consumed by failed runs and the
+checkpoint-adjusted loss.
+"""
+
+from __future__ import annotations
+
+__all__ = ["preserved_work_s", "lost_work_s"]
+
+
+def preserved_work_s(elapsed_s: float, checkpoint_interval_s: float) -> float:
+    """Seconds of work preserved by the most recent checkpoint.
+
+    With no checkpointing (interval <= 0) nothing is preserved.  A
+    checkpoint completes at every multiple of the interval, so the
+    preserved amount is the last completed multiple.
+
+    >>> preserved_work_s(3700.0, 3600.0)
+    3600.0
+    >>> preserved_work_s(3500.0, 3600.0)
+    0.0
+    >>> preserved_work_s(7300.0, 0.0)
+    0.0
+    """
+    if elapsed_s < 0:
+        raise ValueError(f"negative elapsed time: {elapsed_s}")
+    if checkpoint_interval_s <= 0:
+        return 0.0
+    return float(int(elapsed_s / checkpoint_interval_s) * checkpoint_interval_s)
+
+
+def lost_work_s(elapsed_s: float, checkpoint_interval_s: float) -> float:
+    """Seconds of work destroyed when a run is killed at ``elapsed_s``."""
+    return elapsed_s - preserved_work_s(elapsed_s, checkpoint_interval_s)

@@ -1,0 +1,86 @@
+"""Samplers for workload quantities (scale, walltime, run counts).
+
+All samplers are pure functions of an explicit numpy Generator so the
+generator layer stays deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.apps import AppArchetype
+
+__all__ = ["sample_scale", "sample_walltime", "sample_capability_walltime",
+           "sample_runs_per_job", "capability_scale"]
+
+
+def sample_scale(archetype: AppArchetype, rng: np.random.Generator,
+                 partition_size: int, *, capability: bool = False) -> int:
+    """Node count for one run of ``archetype``.
+
+    ``capability=True`` draws near full partition scale; otherwise a
+    log-normal body clipped to the archetype's bounds and the partition.
+    """
+    if capability:
+        # Capability campaigns target the machine, not the archetype's
+        # day-to-day operating range.
+        return capability_scale(rng, partition_size)
+    hi = min(archetype.scale_max, partition_size)
+    lo = min(archetype.scale_min, hi)
+    mu = np.log(archetype.scale_median)
+    n = int(round(float(rng.lognormal(mu, archetype.scale_sigma))))
+    return int(np.clip(n, lo, hi))
+
+
+def capability_scale(rng: np.random.Generator, partition_size: int) -> int:
+    """Scale of a capability run: 40%..100% of the partition.
+
+    Real capability campaigns cluster at round fractions of the machine
+    (half, three-quarters, full); a flat mixture over those plus jitter
+    keeps the top scale buckets populated for the scaling figures.
+    """
+    anchors = np.array([0.45, 0.6, 0.75, 0.9, 1.0])
+    frac = float(rng.choice(anchors))
+    jitter = 1.0 - float(rng.uniform(0.0, 0.04))
+    return max(1, int(partition_size * frac * jitter))
+
+
+def sample_walltime(archetype: AppArchetype, nodes: int,
+                    rng: np.random.Generator) -> float:
+    """Natural runtime (seconds) for a *body* run of ``nodes`` nodes.
+
+    The walltime-vs-scale power law applies only above the archetype's
+    median scale (strong-scaling codes get *shorter* there, exponent
+    negative); below the median the distribution is flat.  A log-normal
+    spread models the usual runtime variability.  The result is clipped
+    to [60 s, 48 h] -- Blue Waters' scheduling limits.
+    """
+    ratio = max(float(nodes), archetype.scale_median) / archetype.scale_median
+    median = archetype.walltime_median_s * ratio ** archetype.walltime_scale_exp
+    t = float(rng.lognormal(np.log(median), archetype.walltime_sigma))
+    return float(np.clip(t, 60.0, 48 * 3600.0))
+
+
+def sample_capability_walltime(archetype: AppArchetype, nodes: int,
+                               partition_size: int,
+                               rng: np.random.Generator) -> float:
+    """Natural runtime for a capability ("hero") run.
+
+    Full-partition heroes run the archetype's capability median; partial
+    capability runs shrink with the machine fraction as
+    ``median * frac**capability_walltime_exp``.
+    """
+    frac = min(1.0, max(nodes, 1) / max(partition_size, 1))
+    median = archetype.capability_walltime_s * frac ** archetype.capability_walltime_exp
+    t = float(rng.lognormal(np.log(median), archetype.capability_walltime_sigma))
+    return float(np.clip(t, 600.0, 48 * 3600.0))
+
+
+def sample_runs_per_job(rng: np.random.Generator, mean_extra: float = 1.5) -> int:
+    """Number of apruns in one job: ``1 + Geometric``-ish.
+
+    The paper counts ~5M runs against far fewer jobs; a shifted Poisson
+    with mean ``1 + mean_extra`` reproduces a realistic runs-per-job
+    ratio (~2.5) while keeping most jobs small.
+    """
+    return 1 + int(rng.poisson(mean_extra))

@@ -1,0 +1,157 @@
+"""Job and application-run records.
+
+Terminology follows the paper:
+
+* a **job** is what the user submits to Torque/Moab; it owns a node
+  allocation for its whole lifetime;
+* an **application run** (ALPS ``apid``) is one compiled-program launch
+  (``aprun``) inside a job.  A job commonly launches several runs in
+  sequence (parameter sweeps, restarts).  The paper's unit of analysis
+  -- and ours -- is the application run.
+
+Two families of records exist:
+
+* *plans* (:class:`JobPlan`, :class:`AppRunPlan`): what the user intends
+  -- produced by the workload generator, before the machine has its say;
+* *records* (:class:`JobRecord`, :class:`AppRunRecord`): what actually
+  happened -- produced by the simulator, including the ground-truth
+  outcome that logs only imperfectly reflect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.faults.taxonomy import ErrorCategory
+from repro.machine.nodetypes import NodeType
+from repro.util.timeutil import HOUR
+
+__all__ = ["Outcome", "JobPlan", "AppRunPlan", "AppRunRecord", "JobRecord"]
+
+
+class Outcome(str, Enum):
+    """Ground-truth fate of an application run."""
+
+    COMPLETED = "completed"
+    USER_FAILURE = "user_failure"      # bug / bad input / user abort
+    WALLTIME = "walltime"              # killed at the requested limit
+    SYSTEM_FAILURE = "system_failure"  # killed by a system error/failure
+    LAUNCH_FAILURE = "launch_failure"  # never started (ALPS/placement)
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not Outcome.COMPLETED
+
+    @property
+    def is_system_caused(self) -> bool:
+        return self in (Outcome.SYSTEM_FAILURE, Outcome.LAUNCH_FAILURE)
+
+
+@dataclass(frozen=True)
+class AppRunPlan:
+    """One intended application launch inside a job."""
+
+    app_name: str
+    #: Natural runtime if nothing goes wrong, seconds.
+    natural_duration_s: float
+    #: True when the user's own code would fail this run.
+    user_fails: bool
+    #: Point (fraction of natural duration) at which the user failure
+    #: manifests; irrelevant when ``user_fails`` is False.
+    user_failure_frac: float = 1.0
+    #: Application properties sampled once per run.
+    comm_intensity: float = 0.5
+    io_intensity: float = 0.3
+    checkpoint_interval_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """One intended job submission."""
+
+    job_id: int
+    user: str
+    submit_time: float
+    node_type: NodeType
+    nodes: int
+    #: Requested walltime for the whole job, seconds.
+    walltime_s: float
+    runs: tuple[AppRunPlan, ...]
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"job {self.job_id}: needs >= 1 node")
+        if self.walltime_s <= 0:
+            raise ValueError(f"job {self.job_id}: walltime must be positive")
+        if not self.runs:
+            raise ValueError(f"job {self.job_id}: needs at least one run")
+
+
+@dataclass(frozen=True)
+class AppRunRecord:
+    """Ground truth for one executed (or launch-failed) application run."""
+
+    apid: int
+    job_id: int
+    app_name: str
+    node_type: NodeType
+    node_ids: tuple[int, ...]
+    start: float
+    end: float
+    outcome: Outcome
+    exit_code: int
+    #: Ground-truth cause for system failures (None otherwise).
+    cause_event_id: int | None = None
+    cause_category: ErrorCategory | None = None
+    #: Seconds of work preserved by the last checkpoint before a kill
+    #: (equals elapsed time when the run completed or never checkpointed).
+    checkpointed_s: float = 0.0
+    io_intensity: float = 0.3
+    comm_intensity: float = 0.5
+
+    @property
+    def nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end - self.start
+
+    @property
+    def node_hours(self) -> float:
+        """Node-hours consumed by this run."""
+        return self.elapsed_s / HOUR * self.nodes
+
+    @property
+    def lost_node_hours(self) -> float:
+        """Node-hours of work destroyed (elapsed minus checkpointed work)
+        when the run failed; zero for completed runs."""
+        if self.outcome is Outcome.COMPLETED:
+            return 0.0
+        preserved = min(self.checkpointed_s, self.elapsed_s)
+        return (self.elapsed_s - preserved) / HOUR * self.nodes
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Ground truth for one completed job."""
+
+    job_id: int
+    user: str
+    node_type: NodeType
+    node_ids: tuple[int, ...]
+    submit_time: float
+    start_time: float
+    end_time: float
+    walltime_s: float
+    exit_status: int
+    apids: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_time - self.submit_time

@@ -1,0 +1,137 @@
+"""Standard Workload Format (SWF) import/export.
+
+SWF is the lingua franca of the Parallel Workloads Archive: one job per
+line, 18 whitespace-separated fields, ``;`` comment headers.  Supporting
+it means (a) our synthetic workloads can feed any external scheduler
+simulator, and (b) *real* archived traces can drive our cluster
+simulator in place of the synthetic generator -- the closest available
+stand-in for Blue Waters' proprietary Torque logs.
+
+Field mapping (SWF index -> meaning used here):
+
+==  ==========================  =======================================
+1   job number                  job_id
+2   submit time (s)             submit_time
+3   wait time (s)               queue wait (export only; -1 on import)
+4   run time (s)                natural duration of the single run
+5   allocated processors        nodes (1 node == 1 "processor" here)
+8   requested processors        nodes
+9   requested time (s)          walltime_s
+11  status                      1 completed / 0 failed / 5 cancelled
+12  user id                     numeric user
+==  ==========================  =======================================
+
+Unused fields are written as ``-1`` per the SWF convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import LogFormatError
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import SimulationResult
+from repro.workload.jobs import AppRunPlan, JobPlan
+
+__all__ = ["export_swf", "import_swf", "swf_line_for_job"]
+
+_N_FIELDS = 18
+
+
+def swf_line_for_job(job, runs_by_apid) -> str:
+    """One SWF record for a completed job."""
+    runtime = max(0.0, job.end_time - job.start_time)
+    wait = max(0.0, job.queue_wait_s)
+    # SWF status: 1 = completed OK, 0 = failed.
+    status = 1 if job.exit_status == 0 else 0
+    user_num = abs(hash(job.user)) % 100000
+    fields = [
+        job.job_id,                # 1 job number
+        int(job.submit_time),      # 2 submit
+        int(wait),                 # 3 wait
+        int(runtime),              # 4 run time
+        job.nodes,                 # 5 allocated processors
+        -1,                        # 6 average CPU time
+        -1,                        # 7 used memory
+        job.nodes,                 # 8 requested processors
+        int(job.walltime_s),       # 9 requested time
+        -1,                        # 10 requested memory
+        status,                    # 11 status
+        user_num,                  # 12 user id
+        -1,                        # 13 group id
+        -1,                        # 14 executable number
+        1,                         # 15 queue number
+        1 if job.node_type is NodeType.XE else 2,  # 16 partition
+        -1,                        # 17 preceding job
+        -1,                        # 18 think time
+    ]
+    return " ".join(str(f) for f in fields)
+
+
+def export_swf(result: SimulationResult, path: str | Path, *,
+               comment: str = "repro synthetic Blue Waters workload") -> Path:
+    """Write a simulation's jobs as an SWF trace file."""
+    path = Path(path)
+    runs_by_apid = {r.apid: r for r in result.runs}
+    with open(path, "w") as handle:
+        handle.write(f"; {comment}\n")
+        handle.write(f"; MaxNodes: {len(result.machine)}\n")
+        handle.write(f"; UnixStartTime: 0\n")
+        for job in sorted(result.jobs, key=lambda j: j.submit_time):
+            handle.write(swf_line_for_job(job, runs_by_apid) + "\n")
+    return path
+
+
+def _parse_line(line: str, lineno: int) -> JobPlan | None:
+    parts = line.split()
+    if len(parts) < 11:
+        raise LogFormatError("SWF record has too few fields",
+                             source="swf", lineno=lineno, line=line)
+    try:
+        job_id = int(parts[0])
+        submit = float(parts[1])
+        runtime = float(parts[3])
+        procs = int(parts[4])
+        req_procs = int(parts[7])
+        req_time = float(parts[8])
+        partition = int(parts[15]) if len(parts) >= 16 else 1
+        user = int(parts[11]) if len(parts) >= 12 else -1
+    except ValueError:
+        raise LogFormatError("SWF record has malformed fields",
+                             source="swf", lineno=lineno, line=line) from None
+    nodes = max(procs if procs > 0 else req_procs, 1)
+    if runtime <= 0:
+        return None  # cancelled-before-start records carry no work
+    walltime = req_time if req_time > 0 else runtime * 1.5
+    run = AppRunPlan(app_name=f"swf-exe", natural_duration_s=runtime,
+                     user_fails=False)
+    node_type = NodeType.XK if partition == 2 else NodeType.XE
+    return JobPlan(job_id=job_id, user=f"user{max(user, 0):05d}",
+                   submit_time=max(submit, 0.0), node_type=node_type,
+                   nodes=nodes, walltime_s=max(walltime, runtime),
+                   runs=(run,))
+
+
+def import_swf(path: str | Path, *, strict: bool = True) -> list[JobPlan]:
+    """Read an SWF trace into job plans for the cluster simulator.
+
+    Each SWF job becomes a single-run job plan; runtimes become natural
+    durations (the simulator may still cut them short with faults).
+    """
+    path = Path(path)
+    plans: list[JobPlan] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(";") or line.startswith("#"):
+                continue
+            try:
+                plan = _parse_line(line, lineno)
+            except LogFormatError:
+                if strict:
+                    raise
+                continue
+            if plan is not None:
+                plans.append(plan)
+    plans.sort(key=lambda p: p.submit_time)
+    return plans

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Expensive artifacts (a simulated scenario, its log bundle, its analysis)
+are session-scoped: many test modules read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LogDiver, read_bundle, write_bundle
+from repro.machine import MachineBlueprint, build_machine
+from repro.sim import Scenario, small_scenario
+from repro.workload import WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_machine():
+    """A 2-cabinet machine: 144 XE + 24 XK + 24 service nodes."""
+    return build_machine(MachineBlueprint(n_xe=144, n_xk=24, n_service=24))
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A busy small scenario: 5% machine, 90 days, elevated workload.
+
+    Sized so every outcome class and several error categories actually
+    occur, while the whole thing simulates in a few seconds.
+    """
+    return small_scenario(days=90.0, machine_scale=0.05,
+                          workload_thinning=0.01, seed=20150622)
+
+
+@pytest.fixture(scope="session")
+def sim_result(scenario):
+    return scenario.run()
+
+
+@pytest.fixture(scope="session")
+def bundle_dir(sim_result, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bundle")
+    write_bundle(sim_result, directory, seed=1)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def bundle(bundle_dir):
+    return read_bundle(bundle_dir)
+
+
+@pytest.fixture(scope="session")
+def analysis(bundle):
+    return LogDiver().analyze(bundle)

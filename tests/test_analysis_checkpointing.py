@@ -1,0 +1,87 @@
+"""Tests for the checkpoint/restart planning module."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.checkpointing import (
+    daly_interval,
+    hazard_from_probability,
+    plan_checkpointing,
+    young_interval,
+)
+from repro.errors import AnalysisError
+
+
+class TestHazard:
+    def test_inversion(self):
+        hazard = hazard_from_probability(0.162, 4.0)
+        assert 1 - math.exp(-hazard * 4.0) == pytest.approx(0.162)
+
+    def test_zero_probability(self):
+        assert hazard_from_probability(0.0, 10.0) == 0.0
+
+    def test_bounds(self):
+        with pytest.raises(AnalysisError):
+            hazard_from_probability(1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            hazard_from_probability(0.5, 0.0)
+
+
+class TestIntervals:
+    def test_young_formula(self):
+        assert young_interval(10000.0, 50.0) == pytest.approx(
+            math.sqrt(2 * 50 * 10000))
+
+    def test_daly_close_to_young_for_small_cost(self):
+        mtbf = 100_000.0
+        young = young_interval(mtbf, 10.0)
+        daly = daly_interval(mtbf, 10.0)
+        assert daly == pytest.approx(young, rel=0.1)
+
+    def test_daly_degenerate_regime(self):
+        # Checkpoint cost comparable to MTBF: clamp, don't explode.
+        assert daly_interval(100.0, 300.0) == 100.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(AnalysisError):
+            young_interval(0.0, 10.0)
+        with pytest.raises(AnalysisError):
+            daly_interval(100.0, 0.0)
+
+    @given(st.floats(1e3, 1e7), st.floats(1.0, 600.0))
+    @settings(max_examples=50, deadline=None)
+    def test_young_scaling_property(self, mtbf, cost):
+        # Interval grows with both MTBF and cost, sublinearly.
+        base = young_interval(mtbf, cost)
+        assert young_interval(4 * mtbf, cost) == pytest.approx(2 * base)
+        assert young_interval(mtbf, 4 * cost) == pytest.approx(2 * base)
+
+
+class TestPlan:
+    def test_optimal_near_minimum(self):
+        """The default (Daly) interval beats nearby alternatives."""
+        mtbf = 50_000.0
+        cost = 300.0
+        optimal = plan_checkpointing(mtbf, cost)
+        worse_short = plan_checkpointing(mtbf, cost,
+                                         interval_s=optimal.interval_s / 4)
+        worse_long = plan_checkpointing(mtbf, cost,
+                                        interval_s=optimal.interval_s * 4)
+        assert optimal.expected_inflation <= worse_short.expected_inflation
+        assert optimal.expected_inflation <= worse_long.expected_inflation
+
+    def test_inflation_above_one(self):
+        plan = plan_checkpointing(100_000.0, 300.0)
+        assert plan.expected_inflation > 1.0
+        assert plan.overhead_percent > 0.0
+
+    def test_reliable_machine_low_overhead(self):
+        reliable = plan_checkpointing(1e7, 300.0)
+        flaky = plan_checkpointing(1e4, 300.0)
+        assert reliable.overhead_percent < flaky.overhead_percent
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(AnalysisError):
+            plan_checkpointing(1000.0, 10.0, interval_s=-5.0)

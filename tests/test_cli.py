@@ -1,0 +1,47 @@
+"""Tests for the command-line interface (in-process, no subprocess)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateAnalyze:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "bundle"
+        code = main(["simulate", str(path), "--small", "--days", "20",
+                     "--seed", "3"])
+        assert code == 0
+        return path
+
+    def test_simulate_writes_bundle(self, bundle_path):
+        assert (bundle_path / "manifest.json").exists()
+        assert (bundle_path / "apsys.log").exists()
+
+    def test_analyze_runs(self, bundle_path, capsys):
+        code = main(["analyze", str(bundle_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "system-failure share" in out
+        assert "outcome" in out
+
+    def test_analyze_selected_tables(self, bundle_path, capsys):
+        code = main(["analyze", str(bundle_path), "--tables", "outcomes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "=== outcomes ===" in out
+        assert "=== causes ===" not in out
+
+    def test_analyze_unknown_table(self, bundle_path, capsys):
+        code = main(["analyze", str(bundle_path), "--tables", "nope"])
+        assert code == 2
+
+    def test_baseline_runs(self, bundle_path, capsys):
+        code = main(["baseline", str(bundle_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "machine MTBF" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

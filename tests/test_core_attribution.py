@@ -1,0 +1,195 @@
+"""Tests for error-run attribution and outcome categorization."""
+
+import pytest
+
+from repro.core.attribution import SpatialIndex, attribute_clusters
+from repro.core.categorize import DiagnosedOutcome, categorize_runs
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import ErrorCluster
+from repro.core.ingest import RunView
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import LogBundle
+from repro.util.timeutil import Epoch
+
+#: Two blades of XE nodes plus one XK node, vertices 0..2.
+NODEMAP = {
+    0: ("c0-0c0s0n0", "XE", 0), 1: ("c0-0c0s0n1", "XE", 0),
+    2: ("c0-0c0s0n2", "XE", 1), 3: ("c0-0c0s0n3", "XE", 1),
+    4: ("c0-0c0s1n0", "XE", 2), 5: ("c0-0c0s1n1", "XE", 2),
+    6: ("c0-0c0s1n2", "XK", 3), 7: ("c0-0c0s1n3", "XK", 3),
+}
+
+MANIFEST = {"torus_dims": [2, 2, 1], "torus_vertices": 4,
+            "window_s": [0.0, 100000.0]}
+
+CONFIG = LogDiverConfig()
+
+
+def make_bundle():
+    return LogBundle(directory=None, epoch=Epoch(), manifest=MANIFEST,
+                     nodemap=dict(NODEMAP))
+
+
+def run(apid, nids, start, end, *, exit_code=0, exit_signal=0,
+        launch_error=False):
+    vertices = tuple(sorted({NODEMAP[n][2] for n in nids if n in NODEMAP}))
+    types = [NODEMAP[n][1] for n in nids if n in NODEMAP]
+    majority = max(set(types), key=types.count) if types else "?"
+    return RunView(apid=apid, batch_id="1.bw", user="u", cmd="app",
+                   nids=tuple(nids), start_s=start, end_s=end,
+                   exit_code=exit_code, exit_signal=exit_signal,
+                   launch_error=launch_error, node_type=majority,
+                   gemini_vertices=vertices)
+
+
+def cluster(cluster_id, category, components, start, end):
+    return ErrorCluster(cluster_id=cluster_id, category=category,
+                        start_s=start, end_s=end,
+                        components=tuple(components), record_count=1)
+
+
+class TestSpatialIndex:
+    def test_node_resolution(self):
+        index = SpatialIndex(make_bundle())
+        assert index.component_nids("c0-0c0s0n0") == (0,)
+
+    def test_accelerator_maps_to_node(self):
+        index = SpatialIndex(make_bundle())
+        assert index.component_nids("c0-0c0s1n2a0") == (6,)
+
+    def test_blade_resolution(self):
+        index = SpatialIndex(make_bundle())
+        assert sorted(index.component_nids("c0-0c0s0")) == [0, 1, 2, 3]
+
+    def test_cabinet_prefix_no_false_match(self):
+        nodemap = dict(NODEMAP)
+        nodemap[8] = ("c0-01c0s0n0", "XE", 3)  # cabinet col 0, row 1? no: c0-01
+        bundle = LogBundle(directory=None, epoch=Epoch(), manifest=MANIFEST,
+                           nodemap=nodemap)
+        index = SpatialIndex(bundle)
+        # Cabinet c0-0 must not match node in cabinet c0-01.
+        assert 8 not in index.component_nids("c0-0")
+
+    def test_gemini_vertex(self):
+        index = SpatialIndex(make_bundle())
+        assert index.component_vertex("c0-0c0s0g0") == 0
+        assert index.component_vertex("c0-0c0s0g1") == 1
+
+    def test_unknown_component_empty(self):
+        index = SpatialIndex(make_bundle())
+        assert index.component_nids("oss0001") == ()
+        assert index.component_vertex("garbage") is None
+
+    def test_no_nodemap_rejected(self):
+        from repro.errors import AnalysisError
+
+        empty = LogBundle(directory=None, epoch=Epoch(), manifest=MANIFEST)
+        with pytest.raises(AnalysisError):
+            SpatialIndex(empty)
+
+
+class TestAttribution:
+    def test_node_error_attributed_to_resident_failed_run(self):
+        runs = [run(1, (0, 1), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.MCE, ["c0-0c0s0n0"],
+                            990.0, 995.0)]
+        out = attribute_clusters(runs, clusters, make_bundle(), CONFIG)
+        assert 1 in out
+        assert out[1][0].category is ErrorCategory.MCE
+
+    def test_node_error_elsewhere_not_attributed(self):
+        runs = [run(1, (4, 5), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.MCE, ["c0-0c0s0n0"],
+                            990.0, 995.0)]
+        assert attribute_clusters(runs, clusters, make_bundle(), CONFIG) == {}
+
+    def test_error_after_run_end_not_attributed(self):
+        runs = [run(1, (0, 1), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.MCE, ["c0-0c0s0n0"],
+                            2000.0, 2005.0)]
+        assert attribute_clusters(runs, clusters, make_bundle(), CONFIG) == {}
+
+    def test_error_slightly_before_run_end_attributed(self):
+        # Error at t=995 can explain a run that died at t=1000 even if
+        # its log record window closed first.
+        runs = [run(1, (0, 1), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.NODE_HEARTBEAT, ["c0-0c0s0n0"],
+                            900.0, 905.0)]
+        out = attribute_clusters(runs, clusters, make_bundle(), CONFIG)
+        assert 1 in out
+
+    def test_successful_runs_skipped_by_default(self):
+        runs = [run(1, (0, 1), 0.0, 1000.0)]  # exit 0
+        clusters = [cluster(0, ErrorCategory.MCE, ["c0-0c0s0n0"],
+                            500.0, 505.0)]
+        assert attribute_clusters(runs, clusters, make_bundle(), CONFIG) == {}
+
+    def test_filesystem_error_is_global(self):
+        runs = [run(1, (4, 5), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.LUSTRE_MDS, ["mds00"],
+                            500.0, 505.0)]
+        out = attribute_clusters(runs, clusters, make_bundle(), CONFIG)
+        assert 1 in out
+
+    def test_fabric_error_requires_footprint(self):
+        # Run on vertices {0,1}; torus 2x2x1. Epicenter vertex 0: inside.
+        runs = [run(1, (0, 1, 2, 3), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.GEMINI_LINK, ["c0-0c0s0g0"],
+                            500.0, 505.0)]
+        out = attribute_clusters(runs, clusters, make_bundle(), CONFIG)
+        assert 1 in out
+
+    def test_benign_categories_never_explain(self):
+        runs = [run(1, (0, 1), 0.0, 1000.0, exit_signal=9)]
+        clusters = [cluster(0, ErrorCategory.DRAM_CORRECTABLE,
+                            ["c0-0c0s0n0"], 500.0, 505.0)]
+        assert attribute_clusters(runs, clusters, make_bundle(), CONFIG) == {}
+
+    def test_most_local_scope_wins(self):
+        runs = [run(1, (0, 1), 0.0, 1000.0, exit_signal=9)]
+        clusters = [
+            cluster(0, ErrorCategory.LUSTRE_MDS, ["mds00"], 500.0, 505.0),
+            cluster(1, ErrorCategory.MCE, ["c0-0c0s0n0"], 500.0, 505.0),
+        ]
+        out = attribute_clusters(runs, clusters, make_bundle(), CONFIG)
+        assert out[1][0].category is ErrorCategory.MCE
+
+
+class TestCategorize:
+    def diagnose(self, the_run, clusters=()):
+        attributions = attribute_clusters([the_run], list(clusters),
+                                          make_bundle(), CONFIG)
+        return categorize_runs([the_run], attributions, CONFIG)[0]
+
+    def test_success(self):
+        assert self.diagnose(run(1, (0,), 0, 100)).outcome is \
+            DiagnosedOutcome.SUCCESS
+
+    def test_walltime(self):
+        d = self.diagnose(run(1, (0,), 0, 100, exit_code=271))
+        assert d.outcome is DiagnosedOutcome.WALLTIME
+
+    def test_launch_error(self):
+        d = self.diagnose(run(1, (0,), 0, 0, exit_code=1, launch_error=True))
+        assert d.outcome is DiagnosedOutcome.SYSTEM
+        assert d.category is ErrorCategory.ALPS_SOFTWARE
+
+    def test_plain_nonzero_exit_is_user(self):
+        d = self.diagnose(run(1, (0,), 0, 100, exit_code=1))
+        assert d.outcome is DiagnosedOutcome.USER
+
+    def test_segfault_is_user(self):
+        d = self.diagnose(run(1, (0,), 0, 100, exit_signal=11))
+        assert d.outcome is DiagnosedOutcome.USER
+
+    def test_sigkill_without_explanation_is_unknown(self):
+        d = self.diagnose(run(1, (0,), 0, 100, exit_signal=9))
+        assert d.outcome is DiagnosedOutcome.UNKNOWN
+
+    def test_sigkill_with_explanation_is_system(self):
+        the_run = run(1, (0, 1), 0.0, 1000.0, exit_signal=9)
+        clusters = [cluster(0, ErrorCategory.MCE, ["c0-0c0s0n0"], 990.0, 995.0)]
+        d = self.diagnose(the_run, clusters)
+        assert d.outcome is DiagnosedOutcome.SYSTEM
+        assert d.category is ErrorCategory.MCE
+        assert d.cluster_id == 0

@@ -1,0 +1,128 @@
+"""Tests for temporal tupling and spatial coalescing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import (
+    filter_errors,
+    spatial_coalescing,
+    temporal_tupling,
+)
+from repro.core.ingest import ClassifiedError
+from repro.faults.taxonomy import ErrorCategory
+
+
+def err(time, component="c0-0c0s0n0", category=ErrorCategory.MCE):
+    return ClassifiedError(time_s=float(time), source="hwerrlog",
+                           component=component, category=category,
+                           message="x")
+
+
+class TestTupling:
+    def test_burst_merges(self):
+        errors = [err(0), err(10), err(20)]
+        tuples = temporal_tupling(errors, window_s=60.0)
+        assert len(tuples) == 1
+        assert tuples[0].count == 3
+        assert tuples[0].start_s == 0 and tuples[0].end_s == 20
+
+    def test_gap_splits(self):
+        errors = [err(0), err(10), err(200)]
+        tuples = temporal_tupling(errors, window_s=60.0)
+        assert [t.count for t in tuples] == [2, 1]
+
+    def test_chaining_within_window(self):
+        # Each gap is 50 < 60, total span 150 > 60: still one tuple.
+        errors = [err(0), err(50), err(100), err(150)]
+        tuples = temporal_tupling(errors, window_s=60.0)
+        assert len(tuples) == 1
+
+    def test_different_components_never_merge(self):
+        errors = [err(0, "c0-0c0s0n0"), err(1, "c0-0c0s0n1")]
+        assert len(temporal_tupling(errors, 60.0)) == 2
+
+    def test_different_categories_never_merge(self):
+        errors = [err(0), err(1, category=ErrorCategory.DRAM_UNCORRECTABLE)]
+        assert len(temporal_tupling(errors, 60.0)) == 2
+
+    def test_empty(self):
+        assert temporal_tupling([], 60.0) == []
+
+    @given(st.lists(st.floats(0, 10000, allow_nan=False), min_size=1,
+                    max_size=60),
+           st.floats(0.1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_conserved(self, times, window):
+        errors = [err(t) for t in times]
+        tuples = temporal_tupling(errors, window)
+        assert sum(t.count for t in tuples) == len(errors)
+
+    @given(st.lists(st.floats(0, 10000, allow_nan=False), min_size=2,
+                    max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_inter_tuple_gaps_exceed_window(self, times):
+        window = 50.0
+        tuples = sorted(temporal_tupling([err(t) for t in times], window),
+                        key=lambda t: t.start_s)
+        for a, b in zip(tuples, tuples[1:]):
+            assert b.start_s - a.end_s > window
+
+
+class TestCoalescing:
+    def test_storm_across_components_merges(self):
+        errors = [err(0, "c0-0c0s0g0", ErrorCategory.GEMINI_LINK),
+                  err(30, "c0-0c0s1g0", ErrorCategory.GEMINI_LINK),
+                  err(60, "c0-0c0s2g1", ErrorCategory.GEMINI_LINK)]
+        tuples = temporal_tupling(errors, 60.0)
+        clusters = spatial_coalescing(tuples, 120.0)
+        assert len(clusters) == 1
+        assert clusters[0].component_count == 3
+        assert clusters[0].record_count == 3
+
+    def test_distant_storms_stay_apart(self):
+        errors = [err(0, "a", ErrorCategory.GEMINI_LINK),
+                  err(10000, "b", ErrorCategory.GEMINI_LINK)]
+        clusters = spatial_coalescing(temporal_tupling(errors, 60.0), 120.0)
+        assert len(clusters) == 2
+
+    def test_categories_never_mix(self):
+        errors = [err(0, "a", ErrorCategory.MCE),
+                  err(1, "b", ErrorCategory.GEMINI_LINK)]
+        clusters = spatial_coalescing(temporal_tupling(errors, 60.0), 120.0)
+        assert len(clusters) == 2
+
+    def test_cluster_ids_chronological(self):
+        errors = [err(5000, "a"), err(0, "b"), err(10000, "c")]
+        clusters = spatial_coalescing(temporal_tupling(errors, 60.0), 120.0)
+        assert [c.cluster_id for c in clusters] == [0, 1, 2]
+        starts = [c.start_s for c in clusters]
+        assert starts == sorted(starts)
+
+    @given(st.lists(
+        st.tuples(st.floats(0, 50000, allow_nan=False),
+                  st.sampled_from(["a", "b", "c"]),
+                  st.sampled_from([ErrorCategory.MCE,
+                                   ErrorCategory.GEMINI_LINK])),
+        min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_records_conserved_through_both_stages(self, specs):
+        errors = [err(t, comp, cat) for t, comp, cat in specs]
+        tuples = temporal_tupling(errors, 60.0)
+        clusters = spatial_coalescing(tuples, 120.0)
+        assert sum(c.record_count for c in clusters) == len(errors)
+        assert len(clusters) <= len(tuples) <= len(errors)
+
+
+class TestFilterErrors:
+    def test_stats_consistent(self):
+        errors = [err(i * 10) for i in range(20)]
+        clusters, stats = filter_errors(errors, LogDiverConfig())
+        assert stats.raw_records == 20
+        assert stats.clusters == len(clusters)
+        assert stats.total_ratio >= 1.0
+
+    def test_empty_stats(self):
+        clusters, stats = filter_errors([], LogDiverConfig())
+        assert clusters == []
+        assert stats.tupling_ratio == 0.0

@@ -1,0 +1,140 @@
+"""Tests for ingestion: classification and run assembly."""
+
+import pytest
+
+from repro.core.ingest import assemble_runs, classify_errors
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import LogBundle
+from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
+from repro.util.timeutil import Epoch
+
+
+def make_bundle(alps=(), torque=(), errors=(), nodemap=None):
+    return LogBundle(directory=None, epoch=Epoch(), manifest={},
+                     error_records=list(errors),
+                     torque_records=list(torque),
+                     alps_records=list(alps),
+                     nodemap=nodemap or {})
+
+
+def alps(apid, kind, t, nids=(0, 1), exit_code=None, exit_signal=None,
+         batch="1.bw"):
+    return AlpsRecord(time_s=t, kind=kind, apid=apid, batch_id=batch,
+                      user="u", cmd="app", nids=tuple(nids),
+                      exit_code=exit_code, exit_signal=exit_signal)
+
+
+NODEMAP = {0: ("c0-0c0s0n0", "XE", 0), 1: ("c0-0c0s0n1", "XE", 0),
+           2: ("c0-0c0s0n2", "XK", 1)}
+
+
+class TestClassify:
+    def test_recognized_text(self):
+        records = [ErrorLogRecord(10.0, "syslog", "c0-0c0s0n0",
+                                  "Kernel panic - not syncing: x")]
+        classified, unmatched = classify_errors(make_bundle(errors=records))
+        assert unmatched == 0
+        assert classified[0].category is ErrorCategory.KERNEL_PANIC
+
+    def test_unrecognized_dropped_and_counted(self):
+        records = [ErrorLogRecord(10.0, "syslog", "c0-0c0s0n0", "blah blah")]
+        classified, unmatched = classify_errors(make_bundle(errors=records))
+        assert classified == []
+        assert unmatched == 1
+
+    def test_output_sorted(self):
+        records = [
+            ErrorLogRecord(20.0, "syslog", "a", "Kernel panic - x"),
+            ErrorLogRecord(10.0, "syslog", "b", "Kernel panic - y"),
+        ]
+        classified, _ = classify_errors(make_bundle(errors=records))
+        assert [e.time_s for e in classified] == [10.0, 20.0]
+
+
+class TestAssembleRuns:
+    def test_start_end_paired(self):
+        bundle = make_bundle(
+            alps=[alps(1, "start", 100.0),
+                  alps(1, "end", 4000.0, exit_code=0, exit_signal=0)],
+            nodemap=NODEMAP)
+        runs = assemble_runs(bundle)
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.start_s == 100.0 and run.end_s == 4000.0
+        assert run.exit_code == 0 and not run.launch_error
+        assert run.node_type == "XE"
+        assert run.gemini_vertices == (0,)
+
+    def test_error_record_is_launch_failure(self):
+        bundle = make_bundle(alps=[alps(2, "error", 100.0)], nodemap=NODEMAP)
+        runs = assemble_runs(bundle)
+        assert runs[0].launch_error
+        assert runs[0].elapsed_s == 0.0
+
+    def test_start_without_end_censored_out(self):
+        bundle = make_bundle(alps=[alps(3, "start", 100.0)], nodemap=NODEMAP)
+        assert assemble_runs(bundle) == []
+
+    def test_end_without_start_kept(self):
+        bundle = make_bundle(
+            alps=[alps(4, "end", 900.0, exit_code=0, exit_signal=0)],
+            nodemap=NODEMAP)
+        runs = assemble_runs(bundle)
+        assert len(runs) == 1
+        assert runs[0].elapsed_s == 0.0
+
+    def test_user_joined_from_torque(self):
+        torque = TorqueRecord(time_s=0.0, kind="S", job_id="1.bw",
+                              user="alice", queue="normal", nodes=2,
+                              exec_host_nids=(0, 1), start_s=0.0, end_s=None,
+                              walltime_req_s=3600.0, exit_status=None)
+        bundle = make_bundle(
+            alps=[alps(1, "start", 10.0),
+                  alps(1, "end", 20.0, exit_code=0, exit_signal=0)],
+            torque=[torque], nodemap=NODEMAP)
+        assert assemble_runs(bundle)[0].user == "alice"
+
+    def test_majority_node_type(self):
+        bundle = make_bundle(
+            alps=[alps(1, "start", 10.0, nids=(0, 1, 2)),
+                  alps(1, "end", 20.0, nids=(0, 1, 2), exit_code=0,
+                       exit_signal=0)],
+            nodemap=NODEMAP)
+        assert assemble_runs(bundle)[0].node_type == "XE"
+
+    def test_unknown_nids_tolerated(self):
+        bundle = make_bundle(
+            alps=[alps(1, "start", 10.0, nids=(99,)),
+                  alps(1, "end", 20.0, nids=(99,), exit_code=0,
+                       exit_signal=0)],
+            nodemap=NODEMAP)
+        run = assemble_runs(bundle)[0]
+        assert run.node_type == "?"
+
+    def test_node_hours(self):
+        bundle = make_bundle(
+            alps=[alps(1, "start", 0.0),
+                  alps(1, "end", 7200.0, exit_code=0, exit_signal=0)],
+            nodemap=NODEMAP)
+        assert assemble_runs(bundle)[0].node_hours == pytest.approx(4.0)
+
+
+class TestAgainstSessionBundle:
+    def test_every_simulated_completed_run_assembled(self, sim_result, bundle):
+        from repro.workload.jobs import Outcome
+
+        runs = assemble_runs(bundle)
+        by_apid = {r.apid: r for r in runs}
+        for truth in sim_result.runs:
+            assert truth.apid in by_apid
+            view = by_apid[truth.apid]
+            assert view.nodes == truth.nodes
+            assert view.start_s == pytest.approx(truth.start, abs=1.0)
+            assert view.end_s == pytest.approx(truth.end, abs=1.0)
+            assert view.launch_error == (truth.outcome is Outcome.LAUNCH_FAILURE)
+
+    def test_node_types_recovered(self, sim_result, bundle):
+        runs = assemble_runs(bundle)
+        truth = {r.apid: r.node_type.value for r in sim_result.runs}
+        for view in runs:
+            assert view.node_type == truth[view.apid]

@@ -1,0 +1,214 @@
+"""Tests for metrics, scaling curves, MTBF, and waste over hand-built
+diagnosed runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.filtering import ErrorCluster
+from repro.core.ingest import RunView
+from repro.core.metrics import (
+    cause_breakdown,
+    outcome_breakdown,
+    runs_by_scale,
+    workload_by_app,
+)
+from repro.core.mtbf import application_mtbf, system_mtbf_by_category
+from repro.core.scaling import failure_probability_curve, fit_hazard_exponent
+from repro.core.waste import lost_node_hours_distribution, waste_report
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+from repro.util.intervals import Interval
+
+
+def view(apid, *, nodes=4, hours=1.0, node_type="XE", cmd="app",
+         launch_error=False):
+    return RunView(apid=apid, batch_id="1.bw", user="u", cmd=cmd,
+                   nids=tuple(range(nodes)), start_s=0.0,
+                   end_s=hours * 3600.0, exit_code=0, exit_signal=0,
+                   launch_error=launch_error, node_type=node_type,
+                   gemini_vertices=())
+
+
+def diag(apid, outcome, *, category=None, **kwargs):
+    return DiagnosedRun(run=view(apid, **kwargs), outcome=outcome,
+                        category=category)
+
+
+@pytest.fixture
+def sample():
+    return [
+        diag(1, DiagnosedOutcome.SUCCESS, nodes=10, hours=2.0),
+        diag(2, DiagnosedOutcome.SUCCESS, nodes=10, hours=2.0),
+        diag(3, DiagnosedOutcome.USER, nodes=2, hours=1.0),
+        diag(4, DiagnosedOutcome.SYSTEM, category=ErrorCategory.MCE,
+             nodes=100, hours=3.0),
+        diag(5, DiagnosedOutcome.UNKNOWN, nodes=50, hours=1.0,
+             node_type="XK"),
+        diag(6, DiagnosedOutcome.WALLTIME, nodes=4, hours=10.0),
+    ]
+
+
+class TestBreakdown:
+    def test_counts(self, sample):
+        b = outcome_breakdown(sample)
+        assert b.total_runs == 6
+        assert b.counts[DiagnosedOutcome.SUCCESS] == 2
+
+    def test_shares_sum_to_one(self, sample):
+        b = outcome_breakdown(sample)
+        assert sum(b.share(o) for o in DiagnosedOutcome) == pytest.approx(1.0)
+
+    def test_system_failure_share_includes_unknown(self, sample):
+        b = outcome_breakdown(sample)
+        assert b.system_failure_share == pytest.approx(2 / 6)
+
+    def test_node_hours(self, sample):
+        b = outcome_breakdown(sample)
+        assert b.node_hours[DiagnosedOutcome.SYSTEM] == pytest.approx(300.0)
+
+    def test_failed_node_hour_share(self, sample):
+        b = outcome_breakdown(sample)
+        total = 20 + 20 + 2 + 300 + 50 + 40
+        failed = 2 + 300 + 50 + 40
+        assert b.failed_node_hour_share == pytest.approx(failed / total)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            outcome_breakdown([])
+
+
+class TestCausesAndWorkload:
+    def test_cause_breakdown(self, sample):
+        causes = cause_breakdown(sample)
+        assert causes == {ErrorCategory.MCE: 1}
+
+    def test_workload_by_app_sorted_by_node_hours(self, sample):
+        rows = workload_by_app(sample)
+        node_hours = [row["node_hours"] for row in rows.values()]
+        assert node_hours == sorted(node_hours, reverse=True)
+
+    def test_runs_by_scale(self, sample):
+        rows = runs_by_scale(sample, (1, 10, 100, 1000))
+        assert sum(r["runs"] for r in rows) == len(
+            [d for d in sample if d.run.node_type in ("XE", "XK")])
+
+    def test_runs_by_scale_filters_node_type(self, sample):
+        rows = runs_by_scale(sample, (1, 1000), node_type="XK")
+        assert sum(r["runs"] for r in rows) == 1
+
+
+class TestScalingCurve:
+    def make_diagnosed(self):
+        out = []
+        apid = 0
+        # 100 small runs, 2 fail; 50 big runs, 10 fail.
+        for _ in range(98):
+            apid += 1
+            out.append(diag(apid, DiagnosedOutcome.SUCCESS, nodes=10))
+        for _ in range(2):
+            apid += 1
+            out.append(diag(apid, DiagnosedOutcome.SYSTEM,
+                            category=ErrorCategory.MCE, nodes=10))
+        for _ in range(40):
+            apid += 1
+            out.append(diag(apid, DiagnosedOutcome.SUCCESS, nodes=1000))
+        for _ in range(10):
+            apid += 1
+            out.append(diag(apid, DiagnosedOutcome.UNKNOWN, nodes=1000))
+        return out
+
+    def test_probabilities(self):
+        curve = failure_probability_curve(self.make_diagnosed(),
+                                          (1, 100, 10000), node_type="XE")
+        points = curve.nonempty()
+        assert points[0].probability == pytest.approx(0.02)
+        assert points[1].probability == pytest.approx(0.2)
+
+    def test_unknown_excluded_when_asked(self):
+        curve = failure_probability_curve(self.make_diagnosed(),
+                                          (1, 100, 10000), node_type="XE",
+                                          include_unknown=False)
+        assert curve.nonempty()[1].probability == 0.0
+
+    def test_launch_failures_excluded_by_default(self):
+        diagnosed = [diag(1, DiagnosedOutcome.SYSTEM,
+                          category=ErrorCategory.ALPS_SOFTWARE,
+                          launch_error=True),
+                     diag(2, DiagnosedOutcome.SUCCESS)]
+        curve = failure_probability_curve(diagnosed, (1, 100))
+        assert curve.points[0].runs == 1
+
+    def test_ci_brackets_estimate(self):
+        curve = failure_probability_curve(self.make_diagnosed(),
+                                          (1, 100, 10000))
+        for point in curve.nonempty():
+            assert point.ci_low <= point.probability <= point.ci_high
+
+    def test_growth_factor(self):
+        curve = failure_probability_curve(self.make_diagnosed(),
+                                          (1, 100, 10000))
+        assert curve.growth_factor() == pytest.approx(10.0)
+
+    def test_hazard_exponent_positive_for_growing_curve(self):
+        curve = failure_probability_curve(self.make_diagnosed(),
+                                          (1, 100, 10000))
+        gamma, _c = fit_hazard_exponent(curve)
+        assert gamma > 0
+
+
+class TestMtbf:
+    def test_application_mtbf(self, sample):
+        report = application_mtbf(sample)
+        assert report.system_failures == 2
+        assert report.app_mtbf_hours == pytest.approx(19.0 / 2)
+
+    def test_mnbf(self, sample):
+        report = application_mtbf(sample)
+        assert report.mnbf_node_hours == pytest.approx(432.0 / 2)
+
+    def test_no_failures_infinite(self):
+        report = application_mtbf([diag(1, DiagnosedOutcome.SUCCESS)])
+        assert report.app_mtbf_hours == float("inf")
+
+    def test_node_type_filter(self, sample):
+        report = application_mtbf(sample, node_type="XK")
+        assert report.total_runs == 1
+        assert report.system_failures == 1
+
+    def test_system_mtbf_by_category(self):
+        clusters = [
+            ErrorCluster(0, ErrorCategory.MCE, 0.0, 1.0, ("a",), 1),
+            ErrorCluster(1, ErrorCategory.MCE, 10.0, 11.0, ("b",), 1),
+            ErrorCluster(2, ErrorCategory.DRAM_CORRECTABLE, 5.0, 6.0,
+                         ("c",), 1),
+        ]
+        mtbf = system_mtbf_by_category(clusters, Interval(0, 72000.0))
+        assert mtbf[ErrorCategory.MCE] == pytest.approx(10.0)
+        assert ErrorCategory.DRAM_CORRECTABLE not in mtbf
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            system_mtbf_by_category([], Interval(5, 5))
+
+
+class TestWaste:
+    def test_report(self, sample):
+        report = waste_report(sample)
+        assert report.failed_runs == 4
+        assert report.system_failed_runs == 2
+        assert report.failed_share == pytest.approx(392.0 / 432.0)
+        assert report.energy_mwh_failed > 0
+
+    def test_distribution_sorted(self, sample):
+        losses = lost_node_hours_distribution(sample, system_only=False)
+        assert list(losses) == sorted(losses)
+        assert len(losses) == 4
+
+    def test_system_only_distribution(self, sample):
+        losses = lost_node_hours_distribution(sample, system_only=True)
+        assert len(losses) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            waste_report([])

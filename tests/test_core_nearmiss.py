@@ -1,0 +1,46 @@
+"""Tests for the near-miss analysis."""
+
+import pytest
+
+from repro.core.nearmiss import near_miss_analysis
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+
+
+class TestNearMiss:
+    def test_report_shape(self, analysis, bundle):
+        report = near_miss_analysis(analysis.diagnosed, analysis.clusters,
+                                    bundle, analysis.config)
+        assert 0.0 <= report.benign_overlap_share <= 1.0
+        for ok, bad in report.by_category.values():
+            assert ok >= 0 and bad >= 0
+
+    def test_kill_ratio_bounds(self, analysis, bundle):
+        report = near_miss_analysis(analysis.diagnosed, analysis.clusters,
+                                    bundle, analysis.config)
+        for category in report.by_category:
+            assert 0.0 <= report.kill_ratio(category) <= 1.0
+
+    def test_unknown_category_zero(self, analysis, bundle):
+        report = near_miss_analysis(analysis.diagnosed, analysis.clusters,
+                                    bundle, analysis.config)
+        assert report.kill_ratio(ErrorCategory.SWO) >= 0.0  # tolerant lookup
+
+    def test_attributed_failures_counted(self, analysis, bundle):
+        """Every diagnosed SYSTEM run with a cluster must appear as a
+        failure overlap for its category."""
+        report = near_miss_analysis(analysis.diagnosed, analysis.clusters,
+                                    bundle, analysis.config)
+        from repro.core.categorize import DiagnosedOutcome
+
+        attributed = [d for d in analysis.diagnosed
+                      if d.outcome is DiagnosedOutcome.SYSTEM
+                      and d.cluster_id is not None]
+        if attributed:
+            total_failure_overlaps = sum(
+                bad for _ok, bad in report.by_category.values())
+            assert total_failure_overlaps >= len(attributed) * 0.5
+
+    def test_empty_rejected(self, bundle):
+        with pytest.raises(AnalysisError):
+            near_miss_analysis([], [], bundle)

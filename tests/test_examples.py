@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts run end-to-end (in-process)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys, monkeypatch):
+        module = load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "outcome categorization" in out
+        assert "system-failure share" in out
+
+    def test_capability_campaign_quick(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["capability_campaign.py", "--quick"])
+        module = load("capability_campaign")
+        module.main()
+        out = capsys.readouterr().out
+        assert "XE capability campaign" in out
+        assert "XK capability campaign" in out
+
+    def test_optimal_checkpoint_helper(self):
+        module = load("capability_campaign")
+        # sqrt(2 * 300 * 36000) = 4648s
+        assert module.optimal_checkpoint_interval_s(36000.0) == \
+            pytest.approx(4648.0, rel=0.01)

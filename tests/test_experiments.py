@@ -1,0 +1,122 @@
+"""Tests for the experiments layer: targets, comparisons, sweeps,
+accuracy, detection gap, SWO impact."""
+
+import pytest
+
+from repro.experiments.accuracy import diagnosis_accuracy
+from repro.experiments.comparison import Comparison, render_comparisons
+from repro.experiments.detection import ground_truth_gap, pipeline_gap
+from repro.experiments.sweep import scaling_sweep
+from repro.experiments.swo_impact import swo_impact
+from repro.experiments.targets import PAPER_TARGETS, target
+from repro.faults.taxonomy import ErrorCategory
+from repro.machine.nodetypes import NodeType
+
+
+class TestTargets:
+    def test_headline_targets_present(self):
+        assert target("system_failure_share").value == 0.0153
+        assert target("xe_p_at_22k").value == 0.162
+        assert target("xk_p_at_4224").value == 0.129
+
+    def test_within_tolerance(self):
+        t = target("system_failure_share")
+        assert t.within(0.0153)
+        assert t.within(0.012)
+        assert not t.within(0.06)
+
+    def test_unique_keys(self):
+        keys = [t.key for t in PAPER_TARGETS]
+        assert len(keys) == len(set(keys))
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            target("nope")
+
+
+class TestComparison:
+    def test_ratio(self):
+        c = Comparison("T4", "x", paper_value=0.02, measured=0.01)
+        assert c.ratio == pytest.approx(0.5)
+
+    def test_ratio_without_paper_value(self):
+        c = Comparison("T4", "x", paper_value=None, measured=0.01)
+        assert c.ratio != c.ratio  # NaN
+
+    def test_against_builder(self):
+        c = Comparison.against("T4", target("system_failure_share"), 0.014)
+        assert c.paper_value == 0.0153
+
+    def test_render(self):
+        text = render_comparisons([
+            Comparison("T4", "share", 0.0153, 0.014, "note")])
+        assert "T4" in text and "0.0153" in text
+
+
+class TestScalingSweepSmall:
+    def test_sweep_shape(self):
+        points = scaling_sweep(NodeType.XK, scales=(500, 4224),
+                               runs_per_scale=40, seed=2)
+        assert [p.nodes for p in points] == [500, 4224]
+        for p in points:
+            assert p.runs == 40
+            assert 0.0 <= p.ci_low <= p.probability <= p.ci_high <= 1.0
+
+    def test_sweep_grows_with_scale(self):
+        points = scaling_sweep(NodeType.XK, scales=(500, 4224),
+                               runs_per_scale=60, seed=3)
+        assert points[-1].probability > points[0].probability
+
+    def test_sweep_deterministic(self):
+        a = scaling_sweep(NodeType.XK, scales=(2000,), runs_per_scale=30,
+                          seed=5)
+        b = scaling_sweep(NodeType.XK, scales=(2000,), runs_per_scale=30,
+                          seed=5)
+        assert a == b
+
+
+class TestAccuracy:
+    def test_accuracy_report(self, sim_result, analysis):
+        report = diagnosis_accuracy(sim_result, analysis=analysis)
+        assert report.runs == len(sim_result.runs)
+        assert 0.0 <= report.system_precision <= 1.0
+        assert 0.0 <= report.system_recall <= 1.0
+        # Success diagnoses must be near-perfect.
+        assert report.rate("completed", "success") > 0.99
+
+    def test_confusion_counts_total(self, sim_result, analysis):
+        report = diagnosis_accuracy(sim_result, analysis=analysis)
+        assert sum(report.confusion.values()) == len(sim_result.runs)
+
+    def test_system_recall_high(self, sim_result, analysis):
+        report = diagnosis_accuracy(sim_result, analysis=analysis)
+        assert report.system_recall >= 0.9
+
+
+class TestDetectionGap:
+    def test_ground_truth_gap_counts(self, sim_result):
+        gap = ground_truth_gap(sim_result)
+        assert gap.xe_silent <= gap.xe_kills
+        assert gap.xk_silent <= gap.xk_kills
+
+    def test_pipeline_gap_counts(self, sim_result, analysis):
+        # Reuse the session analysis via a fresh bundle is expensive;
+        # the pipeline gap writes its own temp bundle.
+        gap = pipeline_gap(sim_result, seed=1)
+        assert gap.xe_silent <= gap.xe_kills
+        assert gap.xk_silent <= gap.xk_kills
+
+
+class TestSwoImpact:
+    def test_summary_consistent(self, sim_result):
+        summary = swo_impact(sim_result)
+        swo_runs = sum(1 for r in sim_result.runs
+                       if r.cause_category is ErrorCategory.SWO)
+        assert summary.runs_killed == swo_runs
+        assert 0.0 < summary.availability <= 1.0
+
+    def test_per_outage_kill_counts(self, sim_result):
+        summary = swo_impact(sim_result)
+        for outage in summary.outages:
+            assert outage.runs_killed >= 0
+            assert outage.downtime_h >= 0

@@ -1,0 +1,168 @@
+"""Tests for the fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.detection import PERFECT_DETECTION, DetectionModel
+from repro.faults.injector import DEFAULT_RATES, FaultInjector, FaultRates
+from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory, EventScope
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.cname import parse_cname
+from repro.util.intervals import Interval
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return build_machine(MachineBlueprint(n_xe=192, n_xk=48, n_service=8))
+
+
+@pytest.fixture(scope="module")
+def timeline(machine):
+    injector = FaultInjector(machine, seed=5)
+    return injector.generate(Interval(0, 365 * DAY))
+
+
+class TestGeneration:
+    def test_sorted_by_time(self, timeline):
+        times = [e.time for e in timeline]
+        assert times == sorted(times)
+
+    def test_event_ids_unique(self, timeline):
+        ids = [e.event_id for e in timeline]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self, machine):
+        a = FaultInjector(machine, seed=5).generate(Interval(0, 30 * DAY))
+        b = FaultInjector(machine, seed=5).generate(Interval(0, 30 * DAY))
+        assert [(e.time, e.category, e.component) for e in a] == \
+               [(e.time, e.category, e.component) for e in b]
+
+    def test_seed_changes_timeline(self, machine):
+        a = FaultInjector(machine, seed=5).generate(Interval(0, 30 * DAY))
+        b = FaultInjector(machine, seed=6).generate(Interval(0, 30 * DAY))
+        assert [e.time for e in a] != [e.time for e in b]
+
+    def test_gpu_events_only_on_xk(self, machine, timeline):
+        for event in timeline:
+            if event.category in (ErrorCategory.GPU_DBE, ErrorCategory.GPU_XID,
+                                  ErrorCategory.GPU_SXM_POWER):
+                node = machine.node(event.node_ids[0])
+                assert node.node_type.has_gpu
+                assert event.component.endswith("a0")
+
+    def test_node_events_carry_one_node(self, timeline):
+        for event in timeline:
+            if event.scope is EventScope.NODE:
+                assert len(event.node_ids) == 1
+
+    def test_fabric_events_have_epicenter(self, machine, timeline):
+        fabric = [e for e in timeline if e.scope is EventScope.FABRIC]
+        assert fabric, "expected some fabric events in a year"
+        for event in fabric:
+            assert event.fabric_vertex is not None
+            assert 0 <= event.fabric_vertex < machine.topology.n_vertices
+            assert parse_cname(event.component).kind.value == "gemini"
+
+    def test_router_failures_take_down_their_nodes(self, machine, timeline):
+        routers = [e for e in timeline
+                   if e.category is ErrorCategory.GEMINI_ROUTER]
+        for event in routers:
+            for node_id in event.node_ids:
+                assert machine.node(node_id).gemini_vertex == event.fabric_vertex
+
+    def test_cabinet_events_cover_cabinet(self, machine, timeline):
+        cabinets = [e for e in timeline
+                    if e.category is ErrorCategory.CABINET_POWER]
+        for event in cabinets:
+            cab = parse_cname(event.component)
+            for node_id in event.node_ids:
+                assert machine.node(node_id).name.same_cabinet(cab)
+
+    def test_filesystem_components_are_servers(self, machine, timeline):
+        for event in timeline:
+            if event.category in (ErrorCategory.LUSTRE_OSS,
+                                  ErrorCategory.LUSTRE_MDS):
+                assert event.component in machine.lustre_servers
+
+    def test_benign_never_fatal(self, timeline):
+        for event in timeline:
+            if event.category in (ErrorCategory.DRAM_CORRECTABLE,
+                                  ErrorCategory.HSN_THROTTLE):
+                assert not event.fatal
+
+    def test_fatal_hardware_events_have_repair(self, timeline):
+        for event in timeline:
+            if event.fatal and event.spec.mean_repair_s > 0:
+                assert event.repair_s > 0
+
+    def test_include_benign_false_strips_noise(self, machine):
+        injector = FaultInjector(machine, seed=5)
+        lean = injector.generate(Interval(0, 90 * DAY), include_benign=False)
+        categories = {e.category for e in lean}
+        assert ErrorCategory.DRAM_CORRECTABLE not in categories
+        assert ErrorCategory.HSN_THROTTLE not in categories
+
+    def test_lean_keeps_lethal_events(self, machine):
+        full = FaultInjector(machine, seed=5).generate(Interval(0, 90 * DAY))
+        lean = FaultInjector(machine, seed=5).generate(
+            Interval(0, 90 * DAY), include_benign=False)
+        fatal_full = {(e.time, e.category) for e in full if e.fatal}
+        fatal_lean = {(e.time, e.category) for e in lean if e.fatal}
+        assert fatal_full == fatal_lean
+
+
+class TestRates:
+    def test_node_event_volume_matches_rate(self, machine):
+        rate = DEFAULT_RATES.node[ErrorCategory.DRAM_CORRECTABLE]
+        window = Interval(0, 365 * DAY)
+        timeline = FaultInjector(machine, seed=9).generate(window)
+        count = sum(1 for e in timeline
+                    if e.category is ErrorCategory.DRAM_CORRECTABLE)
+        expected = rate * len(machine) * window.duration / 3600.0
+        assert abs(count - expected) < 0.5 * expected + 20
+
+    def test_scaled_rates(self):
+        doubled = DEFAULT_RATES.scaled(2.0)
+        assert doubled.node[ErrorCategory.MCE] == pytest.approx(
+            2 * DEFAULT_RATES.node[ErrorCategory.MCE])
+
+    def test_scaled_selected_categories(self):
+        only_mce = DEFAULT_RATES.scaled(0.0, categories={ErrorCategory.MCE})
+        assert only_mce.node[ErrorCategory.MCE] == 0.0
+        assert only_mce.node[ErrorCategory.DRAM_UNCORRECTABLE] == \
+            DEFAULT_RATES.node[ErrorCategory.DRAM_UNCORRECTABLE]
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRates(node={ErrorCategory.MCE: -1.0})
+
+    def test_bad_burstiness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRates(burstiness=1.5)
+
+
+class TestDetectionIntegration:
+    def test_perfect_detection_no_silent_faults(self, machine):
+        injector = FaultInjector(machine, seed=7,
+                                 detection=PERFECT_DETECTION)
+        timeline = injector.generate(Interval(0, 365 * DAY))
+        assert all(e.detected for e in timeline)
+
+    def test_zero_detection_all_silent(self, machine):
+        blind = DetectionModel(overrides={(c, None): 0.0
+                                          for c in ErrorCategory})
+        injector = FaultInjector(machine, seed=7, detection=blind)
+        timeline = injector.generate(Interval(0, 180 * DAY))
+        assert timeline.events
+        assert not any(e.detected for e in timeline)
+
+    def test_default_has_silent_gpu_kills(self, machine):
+        injector = FaultInjector(machine, seed=13)
+        timeline = injector.generate(Interval(0, 10 * 365 * DAY))
+        gpu_fatal = [e for e in timeline if e.fatal and e.category in
+                     (ErrorCategory.GPU_DBE, ErrorCategory.GPU_XID)]
+        assert gpu_fatal
+        silent = [e for e in gpu_fatal if not e.detected]
+        assert silent, "GPU faults should sometimes go undetected"

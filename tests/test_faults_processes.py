@@ -1,0 +1,139 @@
+"""Statistical tests for fault arrival processes.
+
+Rates are checked against generous tolerances (processes are random,
+tests must not flake); structural properties (sortedness, window
+containment) are exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.processes import (
+    ClusterProcess,
+    DiurnalPoissonProcess,
+    PoissonProcess,
+    RenewalProcess,
+)
+from repro.util.intervals import Interval
+
+WINDOW = Interval(0.0, 1_000_000.0)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPoisson:
+    def test_mean_rate_matches(self):
+        process = PoissonProcess(rate=1e-3)
+        times = process.sample(rng(), WINDOW)
+        expected = process.mean_rate() * WINDOW.duration
+        assert abs(len(times) - expected) < 5 * np.sqrt(expected)
+
+    def test_times_sorted_and_inside(self):
+        times = PoissonProcess(1e-4).sample(rng(), WINDOW)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= WINDOW.start) & (times < WINDOW.end))
+
+    def test_zero_rate_empty(self):
+        assert len(PoissonProcess(0.0).sample(rng(), WINDOW)) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(-1.0)
+
+    def test_empty_window(self):
+        assert len(PoissonProcess(1.0).sample(rng(), Interval(5, 5))) == 0
+
+
+class TestRenewal:
+    @pytest.mark.parametrize("family,shape", [
+        ("weibull", 0.7), ("weibull", 1.5), ("lognormal", 1.0)])
+    def test_long_run_rate(self, family, shape):
+        process = RenewalProcess(mean_interarrival=500.0, shape=shape,
+                                 family=family)
+        times = process.sample(rng(1), WINDOW)
+        expected = WINDOW.duration / 500.0
+        assert abs(len(times) - expected) < 0.25 * expected + 50
+
+    def test_sorted_inside_window(self):
+        times = RenewalProcess(1000.0).sample(rng(2), WINDOW)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= WINDOW.start) & (times < WINDOW.end))
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RenewalProcess(1.0, family="gamma")
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RenewalProcess(0.0)
+
+    def test_weibull_clustering_shape(self):
+        """shape < 1 produces more small gaps than exponential."""
+        clustered = RenewalProcess(500.0, shape=0.5).sample(rng(3), WINDOW)
+        memoryless = PoissonProcess(1 / 500.0).sample(rng(3), WINDOW)
+        small = lambda t: np.mean(np.diff(t) < 50.0)  # noqa: E731
+        assert small(clustered) > small(memoryless)
+
+
+class TestCluster:
+    def test_mean_rate_includes_offspring(self):
+        process = ClusterProcess(parent_rate=1e-4, burst_mean=5.0)
+        assert process.mean_rate() == pytest.approx(5e-4)
+
+    def test_volume_matches_mean_rate(self):
+        process = ClusterProcess(parent_rate=5e-5, burst_mean=6.0,
+                                 burst_spread=60.0)
+        times = process.sample(rng(4), WINDOW)
+        expected = process.mean_rate() * WINDOW.duration
+        assert abs(len(times) - expected) < 0.3 * expected + 50
+
+    def test_burstiness_visible(self):
+        """Cluster process has heavier short-gap mass than Poisson of the
+        same total rate."""
+        total_rate = 3e-4
+        cluster = ClusterProcess(parent_rate=total_rate / 6, burst_mean=6.0,
+                                 burst_spread=30.0).sample(rng(5), WINDOW)
+        poisson = PoissonProcess(total_rate).sample(rng(5), WINDOW)
+        frac = lambda t: np.mean(np.diff(t) < 10.0)  # noqa: E731
+        assert frac(cluster) > 2 * frac(poisson)
+
+    def test_offspring_inside_window(self):
+        times = ClusterProcess(1e-4, 8.0, 120.0).sample(rng(6), WINDOW)
+        assert np.all(times < WINDOW.end)
+
+    def test_burst_mean_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterProcess(1.0, burst_mean=0.5)
+
+
+class TestDiurnal:
+    def test_amplitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonProcess(1.0, amplitude=1.0)
+
+    def test_volume(self):
+        process = DiurnalPoissonProcess(base_rate=1e-3, amplitude=0.4)
+        times = process.sample(rng(7), WINDOW)
+        expected = 1e-3 * WINDOW.duration
+        assert abs(len(times) - expected) < 5 * np.sqrt(expected) + 20
+
+    def test_diurnal_pattern_present(self):
+        process = DiurnalPoissonProcess(base_rate=5e-3, amplitude=0.8,
+                                        phase=0.0)
+        times = process.sample(rng(8), WINDOW)
+        phases = (times % 86400.0) / 86400.0
+        # Peak quarter (phase ~0.25 of the sine) vs trough quarter.
+        peak = np.mean((phases > 0.125) & (phases < 0.375))
+        trough = np.mean((phases > 0.625) & (phases < 0.875))
+        assert peak > trough
+
+    @given(st.floats(0.0, 0.9), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_always_sorted(self, amplitude, seed):
+        process = DiurnalPoissonProcess(base_rate=1e-4, amplitude=amplitude)
+        times = process.sample(rng(seed), Interval(0, 100000))
+        assert np.all(np.diff(times) >= 0)

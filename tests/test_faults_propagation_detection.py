@@ -1,0 +1,168 @@
+"""Tests for symptom propagation, the detection model, and SWO helpers."""
+
+import pytest
+
+from repro.faults.detection import (
+    PERFECT_DETECTION,
+    XE_GRADE_XK_DETECTION,
+    DetectionModel,
+)
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.injector import FaultInjector
+from repro.faults.propagation import PropagationModel
+from repro.faults.swo import availability, outage_windows, swo_events
+from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.util.intervals import Interval
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return build_machine(MachineBlueprint(n_xe=96, n_xk=24, n_service=4))
+
+
+def make_event(category, component, *, event_id=0, time=100.0, detected=True,
+               fatal=True, node_ids=(), fabric_vertex=None, repair_s=0.0):
+    return FaultEvent(event_id=event_id, time=time, category=category,
+                      component=component, node_ids=node_ids,
+                      fabric_vertex=fabric_vertex, fatal=fatal,
+                      detected=detected, repair_s=repair_s)
+
+
+class TestPropagation:
+    def test_undetected_leaves_no_trace(self, machine):
+        model = PropagationModel(machine, seed=1)
+        event = make_event(ErrorCategory.MCE, "c0-0c0s0n0", detected=False)
+        assert model.expand(event) == []
+
+    def test_root_symptom_first(self, machine):
+        model = PropagationModel(machine, seed=1)
+        event = make_event(ErrorCategory.MCE, "c0-0c0s0n0")
+        symptoms = model.expand(event)
+        assert symptoms[0].kind == 0
+        assert symptoms[0].component == "c0-0c0s0n0"
+        assert symptoms[0].time == event.time
+
+    def test_symptoms_not_before_root(self, machine):
+        model = PropagationModel(machine, seed=2)
+        event = make_event(ErrorCategory.GEMINI_LINK, "c0-0c0s0g0",
+                           fabric_vertex=0)
+        for symptom in model.expand(event):
+            assert symptom.time >= event.time
+
+    def test_fabric_witnesses_are_neighbour_geminis(self, machine):
+        model = PropagationModel(machine, seed=3)
+        event = make_event(ErrorCategory.GEMINI_LINK, "c0-0c0s0g0",
+                           fabric_vertex=0)
+        symptoms = model.expand(event)
+        vertices = {0} | set(machine.topology.neighbors(0))
+        for symptom in symptoms[1:]:
+            # Witness must be the epicenter or a torus neighbour.
+            blade_index = int(symptom.component.split("s")[1][0])  # crude
+            assert symptom.component.count("g") == 1
+
+    def test_storm_sizes_follow_burst_mean(self, machine):
+        model = PropagationModel(machine, seed=4)
+        sizes = []
+        for i in range(300):
+            event = make_event(ErrorCategory.SWO, "system", event_id=i)
+            sizes.append(len(model.expand(event)))
+        mean = sum(sizes) / len(sizes)
+        expected = CATEGORY_SPECS[ErrorCategory.SWO].burst_mean
+        assert abs(mean - expected) < 0.2 * expected
+
+    def test_expand_all_sorted(self, machine):
+        injector = FaultInjector(machine, seed=5)
+        timeline = injector.generate(Interval(0, 120 * DAY))
+        symptoms = PropagationModel(machine, seed=5).expand_all(timeline.events)
+        times = [s.time for s in symptoms]
+        assert times == sorted(times)
+
+    def test_provenance_preserved(self, machine):
+        model = PropagationModel(machine, seed=6)
+        event = make_event(ErrorCategory.LUSTRE_MDS, "mds00", event_id=99)
+        for symptom in model.expand(event):
+            assert symptom.event_id == 99
+
+
+class TestDetectionModel:
+    def test_default_uses_taxonomy(self):
+        model = DetectionModel()
+        spec = CATEGORY_SPECS[ErrorCategory.MCE]
+        assert model.probability(ErrorCategory.MCE, NodeType.XK) == \
+            spec.detection_for(NodeType.XK)
+
+    def test_specific_override_wins(self):
+        model = DetectionModel(overrides={
+            (ErrorCategory.MCE, NodeType.XK): 0.5,
+            (ErrorCategory.MCE, None): 0.1})
+        assert model.probability(ErrorCategory.MCE, NodeType.XK) == 0.5
+        assert model.probability(ErrorCategory.MCE, NodeType.XE) == 0.1
+
+    def test_perfect_detection(self):
+        for category in ErrorCategory:
+            for node_type in NodeType:
+                assert PERFECT_DETECTION.probability(category, node_type) == 1.0
+
+    def test_out_of_range_override_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionModel(overrides={(ErrorCategory.MCE, None): 1.5})
+
+    def test_xe_grade_xk_closes_cpu_gap(self):
+        model = XE_GRADE_XK_DETECTION
+        for category in (ErrorCategory.MCE, ErrorCategory.KERNEL_PANIC,
+                         ErrorCategory.NODE_HEARTBEAT):
+            spec = CATEGORY_SPECS[category]
+            assert model.probability(category, NodeType.XK) == \
+                spec.detection_for(NodeType.XE)
+
+    def test_xe_grade_xk_raises_gpu_coverage(self):
+        model = XE_GRADE_XK_DETECTION
+        for category in (ErrorCategory.GPU_DBE, ErrorCategory.GPU_XID):
+            assert model.probability(category, NodeType.XK) > \
+                CATEGORY_SPECS[category].detection_for(NodeType.XK)
+
+
+class TestSwoHelpers:
+    def make_timeline(self):
+        events = [
+            make_event(ErrorCategory.SWO, "system", event_id=1, time=1000.0,
+                       repair_s=3600.0),
+            make_event(ErrorCategory.MCE, "c0-0c0s0n0", event_id=2,
+                       time=2000.0),
+            make_event(ErrorCategory.SWO, "system", event_id=3, time=50000.0,
+                       repair_s=1800.0),
+        ]
+        return FaultTimeline(events=events)
+
+    def test_swo_events_selected(self):
+        assert [e.event_id for e in swo_events(self.make_timeline())] == [1, 3]
+
+    def test_outage_windows(self):
+        windows = outage_windows(self.make_timeline())
+        assert len(windows) == 2
+        assert windows[0].duration == 3600.0
+
+    def test_availability(self):
+        window = Interval(0.0, 100_000.0)
+        a = availability(self.make_timeline(), window)
+        assert a == pytest.approx(1.0 - 5400.0 / 100_000.0)
+
+    def test_availability_empty_timeline(self):
+        assert availability(FaultTimeline(events=[]), Interval(0, 10)) == 1.0
+
+    def test_availability_bad_window(self):
+        with pytest.raises(ValueError):
+            availability(FaultTimeline(events=[]), Interval(5, 5))
+
+    def test_timeline_summary(self):
+        summary = self.make_timeline().summary()
+        assert summary["events"] == 3
+        assert summary["fatal"] == 3
+
+    def test_timeline_merge(self):
+        a = self.make_timeline()
+        merged = FaultTimeline.merge([a, FaultTimeline(events=[])])
+        assert len(merged) == len(a)

@@ -1,0 +1,89 @@
+"""Tests for the error taxonomy."""
+
+import pytest
+
+from repro.faults.taxonomy import (
+    CATEGORY_SPECS,
+    FAILURE_CLASS_CATEGORIES,
+    CategorySpec,
+    ErrorCategory,
+    EventScope,
+    LogSource,
+    categories_for_node_type,
+)
+from repro.machine.nodetypes import NodeType
+
+
+class TestSpecs:
+    def test_every_category_has_a_spec(self):
+        assert set(CATEGORY_SPECS) == set(ErrorCategory)
+
+    def test_lethality_in_range(self):
+        for spec in CATEGORY_SPECS.values():
+            assert 0.0 <= spec.base_lethality <= 1.0
+
+    def test_detection_in_range(self):
+        for spec in CATEGORY_SPECS.values():
+            for node_type in NodeType:
+                assert 0.0 <= spec.detection_for(node_type) <= 1.0
+
+    def test_benign_categories_exist(self):
+        benign = {c for c, s in CATEGORY_SPECS.items()
+                  if s.base_lethality == 0.0}
+        assert ErrorCategory.DRAM_CORRECTABLE in benign
+        assert ErrorCategory.HSN_THROTTLE in benign
+
+    def test_failure_class_excludes_benign(self):
+        assert ErrorCategory.DRAM_CORRECTABLE not in FAILURE_CLASS_CATEGORIES
+        assert ErrorCategory.MCE in FAILURE_CLASS_CATEGORIES
+
+    def test_swo_is_system_scoped_and_certain(self):
+        spec = CATEGORY_SPECS[ErrorCategory.SWO]
+        assert spec.scope is EventScope.SYSTEM
+        assert spec.base_lethality == 1.0
+        assert spec.detection_for(NodeType.XE) == 1.0
+
+    def test_xk_detection_gap_encoded(self):
+        """The paper's lesson (iii): XK coverage weaker where it matters."""
+        for category in (ErrorCategory.MCE, ErrorCategory.KERNEL_PANIC,
+                         ErrorCategory.NODE_HEARTBEAT):
+            spec = CATEGORY_SPECS[category]
+            assert spec.detection_for(NodeType.XK) < spec.detection_for(NodeType.XE)
+
+    def test_gpu_categories_undetectable_on_xe(self):
+        for category in (ErrorCategory.GPU_DBE, ErrorCategory.GPU_XID):
+            assert CATEGORY_SPECS[category].detection_for(NodeType.XE) == 0.0
+
+    def test_gpu_detection_imperfect_on_xk(self):
+        for category in (ErrorCategory.GPU_DBE, ErrorCategory.GPU_XID):
+            assert CATEGORY_SPECS[category].detection_for(NodeType.XK) < 0.9
+
+    def test_invalid_lethality_rejected(self):
+        with pytest.raises(ValueError):
+            CategorySpec(ErrorCategory.MCE, EventScope.NODE, LogSource.HWERR,
+                         base_lethality=1.5, detection={NodeType.XE: 1.0},
+                         burst_mean=1.0, mean_repair_s=0.0, description="x")
+
+    def test_invalid_detection_rejected(self):
+        with pytest.raises(ValueError):
+            CategorySpec(ErrorCategory.MCE, EventScope.NODE, LogSource.HWERR,
+                         base_lethality=0.5, detection={NodeType.XE: -0.1},
+                         burst_mean=1.0, mean_repair_s=0.0, description="x")
+
+    def test_detection_for_falls_back_to_xe(self):
+        spec = CategorySpec(ErrorCategory.MCE, EventScope.NODE, LogSource.HWERR,
+                            base_lethality=0.5, detection={NodeType.XE: 0.7},
+                            burst_mean=1.0, mean_repair_s=0.0, description="x")
+        assert spec.detection_for(NodeType.XK) == 0.7
+
+
+class TestNodeCategories:
+    def test_xe_has_no_gpu_categories(self):
+        cats = categories_for_node_type(NodeType.XE)
+        assert ErrorCategory.GPU_DBE not in cats
+        assert ErrorCategory.MCE in cats
+
+    def test_xk_has_gpu_categories(self):
+        cats = categories_for_node_type(NodeType.XK)
+        assert ErrorCategory.GPU_DBE in cats
+        assert ErrorCategory.MCE in cats

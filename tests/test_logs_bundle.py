@@ -1,0 +1,81 @@
+"""Tests for the log bundle round-trip (the simulator/pipeline boundary)."""
+
+import json
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.logs.bundle import BUNDLE_FILES, read_bundle, write_bundle
+from repro.workload.jobs import Outcome
+
+
+class TestWrite:
+    def test_all_files_present(self, bundle_dir):
+        for name in BUNDLE_FILES:
+            assert (bundle_dir / name).exists(), name
+
+    def test_manifest_contents(self, bundle_dir):
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        assert manifest["format"] == "repro-logbundle/1"
+        assert manifest["machine"]["nodes_xe"] > 0
+        assert len(manifest["torus_dims"]) == 3
+        assert manifest["counts"]["runs"] > 0
+
+    def test_nodemap_covers_machine(self, sim_result, bundle_dir):
+        lines = (bundle_dir / "nodemap.txt").read_text().splitlines()
+        assert len(lines) == len(sim_result.machine)
+
+    def test_deterministic_bytes(self, sim_result, tmp_path):
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        write_bundle(sim_result, a_dir, seed=1)
+        write_bundle(sim_result, b_dir, seed=1)
+        for name in BUNDLE_FILES:
+            assert (a_dir / name).read_bytes() == (b_dir / name).read_bytes()
+
+
+class TestRead:
+    def test_counts_match_ground_truth(self, sim_result, bundle):
+        # Two torque records per job; at most two alps records per run.
+        assert len(bundle.torque_records) == 2 * len(sim_result.jobs)
+        launch_failures = sum(1 for r in sim_result.runs
+                              if r.outcome is Outcome.LAUNCH_FAILURE)
+        expected_alps = 2 * (len(sim_result.runs) - launch_failures) \
+            + launch_failures
+        assert len(bundle.alps_records) == expected_alps
+
+    def test_error_records_only_for_detected(self, sim_result, bundle):
+        detected = sum(1 for e in sim_result.faults.events if e.detected)
+        # Propagation can only amplify, never invent categories; at least
+        # one record per detected event.
+        assert len(bundle.error_records) >= detected
+
+    def test_error_records_sorted(self, bundle):
+        times = [r.time_s for r in bundle.error_records]
+        assert times == sorted(times)
+
+    def test_nodemap_parsed(self, sim_result, bundle):
+        assert len(bundle.nodemap) == len(sim_result.machine)
+        cname, node_type, vertex = bundle.nodemap[0]
+        assert node_type in ("XE", "XK", "SERVICE")
+        assert vertex >= 0
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(LogFormatError):
+            read_bundle(tmp_path)
+
+    def test_lenient_mode_tolerates_corruption(self, bundle_dir, tmp_path):
+        import shutil
+
+        corrupt = tmp_path / "corrupt"
+        shutil.copytree(bundle_dir, corrupt)
+        with open(corrupt / "syslog.log", "a") as handle:
+            handle.write("THIS IS NOT A SYSLOG LINE\n")
+        with pytest.raises(LogFormatError):
+            read_bundle(corrupt)
+        bundle = read_bundle(corrupt, strict=False)
+        assert bundle.error_records
+
+    def test_summary_keys(self, bundle):
+        summary = bundle.summary()
+        assert set(summary) == {"error_records", "torque_records",
+                                "alps_records", "nodes"}

@@ -1,0 +1,49 @@
+"""Tests for CSV/JSONL exporters."""
+
+import csv
+import json
+
+from repro.logs.export import (
+    export_clusters_csv,
+    export_runs_csv,
+    export_runs_jsonl,
+)
+
+
+class TestExportRuns:
+    def test_csv_roundtrip(self, analysis, tmp_path):
+        path = export_runs_csv(analysis.diagnosed, tmp_path / "runs.csv")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(analysis.diagnosed)
+        first = rows[0]
+        assert first["outcome"] in ("success", "user", "walltime", "system",
+                                    "unknown")
+        assert int(first["nodes"]) >= 1
+
+    def test_jsonl_roundtrip(self, analysis, tmp_path):
+        path = export_runs_jsonl(analysis.diagnosed, tmp_path / "runs.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(analysis.diagnosed)
+        record = json.loads(lines[0])
+        assert "apid" in record and "outcome" in record
+
+    def test_csv_and_jsonl_agree(self, analysis, tmp_path):
+        csv_path = export_runs_csv(analysis.diagnosed, tmp_path / "a.csv")
+        jsonl_path = export_runs_jsonl(analysis.diagnosed, tmp_path / "a.jsonl")
+        with open(csv_path) as handle:
+            csv_apids = [int(r["apid"]) for r in csv.DictReader(handle)]
+        jsonl_apids = [json.loads(line)["apid"]
+                       for line in jsonl_path.read_text().splitlines()]
+        assert csv_apids == jsonl_apids
+
+
+class TestExportClusters:
+    def test_cluster_csv(self, analysis, tmp_path):
+        path = export_clusters_csv(analysis.clusters, tmp_path / "c.csv")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(analysis.clusters)
+        if rows:
+            assert int(rows[0]["record_count"]) >= 1
+            assert float(rows[0]["duration_s"]) >= 0

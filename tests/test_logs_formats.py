@@ -1,0 +1,191 @@
+"""Tests for the per-source log writers and parsers (round-trips)."""
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.faults.propagation import Symptom
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.alps import alps_run_lines, parse_alps_line
+from repro.logs.errorlogs import (
+    parse_console_line,
+    parse_hwerr_line,
+    parse_stream,
+    parse_syslog_line,
+    write_console_line,
+    write_hwerr_line,
+    write_syslog_line,
+)
+from repro.logs.torque import (
+    format_walltime,
+    parse_torque_line,
+    parse_walltime,
+    torque_job_lines,
+)
+from repro.machine.nodetypes import NodeType
+from repro.util.timeutil import Epoch
+from repro.workload.jobs import AppRunRecord, JobRecord, Outcome
+
+EPOCH = Epoch()
+
+
+def symptom(category=ErrorCategory.MCE, component="c1-2c0s3n1", time=12345.0,
+            kind=0):
+    return Symptom(time=time, component=component, category=category,
+                   event_id=7, kind=kind)
+
+
+class TestErrorLogRoundTrips:
+    def test_syslog(self):
+        line = write_syslog_line(symptom(), EPOCH)
+        record = parse_syslog_line(line, EPOCH)
+        assert record.time_s == 12345.0
+        assert record.component == "c1-2c0s3n1"
+        assert record.source == "syslog"
+
+    def test_syslog_gpu_component_maps_to_host(self):
+        line = write_syslog_line(
+            symptom(ErrorCategory.GPU_DBE, "c1-2c0s3n1a0"), EPOCH)
+        record = parse_syslog_line(line, EPOCH)
+        # The syslog host is the node; the GPU id stays in the message.
+        assert record.component == "c1-2c0s3n1"
+        assert "c1-2c0s3n1a0" in record.message
+
+    def test_hwerr(self):
+        line = write_hwerr_line(symptom(ErrorCategory.GEMINI_LINK,
+                                        "c1-2c0s3g0"), EPOCH)
+        record = parse_hwerr_line(line, EPOCH)
+        assert record.component == "c1-2c0s3g0"
+        assert record.source == "hwerrlog"
+        assert record.time_s == 12345.0
+
+    def test_console(self):
+        line = write_console_line(symptom(ErrorCategory.KERNEL_PANIC), EPOCH)
+        record = parse_console_line(line, EPOCH)
+        assert record.source == "console"
+        assert "panic" in record.message.lower() or "Oops" in record.message \
+            or "BUG" in record.message
+
+    @pytest.mark.parametrize("parser", [parse_syslog_line, parse_hwerr_line,
+                                        parse_console_line])
+    def test_garbage_rejected(self, parser):
+        with pytest.raises(LogFormatError):
+            parser("complete garbage", EPOCH)
+
+    def test_parse_stream_strict_raises_with_location(self):
+        with pytest.raises(LogFormatError, match="hwerrlog:2"):
+            list(parse_stream("hwerrlog",
+                              [write_hwerr_line(symptom(), EPOCH), "junk"],
+                              EPOCH))
+
+    def test_parse_stream_lenient_skips(self):
+        records = list(parse_stream(
+            "hwerrlog", ["junk", write_hwerr_line(symptom(), EPOCH), ""],
+            EPOCH, strict=False))
+        assert len(records) == 1
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(LogFormatError):
+            list(parse_stream("nope", [], EPOCH))
+
+
+class TestTorque:
+    def make_job(self):
+        return JobRecord(job_id=42, user="user0007", node_type=NodeType.XE,
+                         node_ids=tuple(range(8)), submit_time=100.0,
+                         start_time=200.0, end_time=7400.0,
+                         walltime_s=14400.0, exit_status=0,
+                         apids=(1, 2))
+
+    def test_roundtrip_end_record(self):
+        _start, end = torque_job_lines(self.make_job(), EPOCH)
+        record = parse_torque_line(end, EPOCH)
+        assert record.kind == "E"
+        assert record.job_id == "42.bw"
+        assert record.user == "user0007"
+        assert record.nodes == 8
+        assert record.exec_host_nids == tuple(range(8))
+        assert record.exit_status == 0
+        assert record.end_s == 7400.0
+
+    def test_start_record_has_no_exit(self):
+        start, _end = torque_job_lines(self.make_job(), EPOCH)
+        record = parse_torque_line(start, EPOCH)
+        assert record.kind == "S"
+        assert record.exit_status is None
+        assert record.end_s is None
+
+    def test_walltime_text_roundtrip(self):
+        for seconds in (0.0, 59.0, 3600.0, 48 * 3600.0, 100 * 3600.0 + 61):
+            assert parse_walltime(format_walltime(seconds)) == round(seconds)
+
+    def test_bad_walltime(self):
+        with pytest.raises(LogFormatError):
+            parse_walltime("12:00")
+
+    def test_garbage_line(self):
+        with pytest.raises(LogFormatError):
+            parse_torque_line("not a torque line", EPOCH)
+
+    def test_missing_field(self):
+        line = "04/01/2013 00:03:20;E;1.bw;user=u"
+        with pytest.raises(LogFormatError):
+            parse_torque_line(line, EPOCH)
+
+
+class TestAlps:
+    def make_run(self, outcome=Outcome.COMPLETED, exit_code=0):
+        return AppRunRecord(apid=9, job_id=3, app_name="NAMD",
+                            node_type=NodeType.XE,
+                            node_ids=tuple(range(128)), start=500.0,
+                            end=4100.0, outcome=outcome, exit_code=exit_code)
+
+    def test_roundtrip_completed(self):
+        start_line, end_line = alps_run_lines(self.make_run(), EPOCH)
+        start = parse_alps_line(start_line, EPOCH)
+        end = parse_alps_line(end_line, EPOCH)
+        assert start.kind == "start" and end.kind == "end"
+        assert start.apid == end.apid == 9
+        assert end.exit_code == 0 and end.exit_signal == 0
+        assert end.nids == tuple(range(128))
+        assert start.cmd == "namd2"
+
+    def test_system_kill_shows_signal(self):
+        run = self.make_run(Outcome.SYSTEM_FAILURE, exit_code=137)
+        _start, end_line = alps_run_lines(run, EPOCH)
+        end = parse_alps_line(end_line, EPOCH)
+        assert end.exit_code == 0
+        assert end.exit_signal == 9
+
+    def test_user_segfault_shows_signal(self):
+        run = self.make_run(Outcome.USER_FAILURE, exit_code=139)
+        _start, end_line = alps_run_lines(run, EPOCH)
+        end = parse_alps_line(end_line, EPOCH)
+        assert end.exit_signal == 11
+
+    def test_walltime_kill_code_preserved(self):
+        run = self.make_run(Outcome.WALLTIME, exit_code=271)
+        _start, end_line = alps_run_lines(run, EPOCH)
+        end = parse_alps_line(end_line, EPOCH)
+        assert end.exit_code == 271
+        assert end.exit_signal == 0
+
+    def test_launch_failure_single_error_line(self):
+        run = AppRunRecord(apid=9, job_id=3, app_name="VPIC",
+                           node_type=NodeType.XE, node_ids=(0, 1),
+                           start=500.0, end=500.0,
+                           outcome=Outcome.LAUNCH_FAILURE, exit_code=1)
+        lines = alps_run_lines(run, EPOCH)
+        assert len(lines) == 1
+        record = parse_alps_line(lines[0], EPOCH)
+        assert record.kind == "error"
+        assert "placement error" in record.message
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LogFormatError):
+            parse_alps_line("garbage", EPOCH)
+
+    def test_bad_kind_rejected(self):
+        line = ("2013-04-01T00:08:20 apsys apid=9 kind=banana batch_id=3.bw "
+                "user=u cmd=x nids=0")
+        with pytest.raises(LogFormatError):
+            parse_alps_line(line, EPOCH)

@@ -1,0 +1,64 @@
+"""Fuzz tests: parsers must fail *predictably* on arbitrary text.
+
+Strict parsers raise :class:`LogFormatError` (never anything else);
+lenient stream parsing never raises at all.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LogFormatError
+from repro.logs.alps import parse_alps, parse_alps_line
+from repro.logs.errorlogs import parse_stream, parse_syslog_line
+from repro.logs.torque import parse_torque, parse_torque_line
+from repro.util.timeutil import Epoch
+
+EPOCH = Epoch()
+
+text_lines = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",),
+                           blacklist_characters="\n\r"),
+    max_size=200)
+
+
+class TestFuzz:
+    @given(text_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_syslog_line_raises_only_logformaterror(self, line):
+        try:
+            parse_syslog_line(line, EPOCH)
+        except LogFormatError:
+            pass
+
+    @given(text_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_torque_line_raises_only_logformaterror(self, line):
+        try:
+            parse_torque_line(line, EPOCH)
+        except LogFormatError:
+            pass
+
+    @given(text_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_alps_line_raises_only_logformaterror(self, line):
+        try:
+            parse_alps_line(line, EPOCH)
+        except LogFormatError:
+            pass
+
+    @given(st.lists(text_lines, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_lenient_streams_never_raise(self, lines):
+        for source in ("syslog", "hwerrlog", "console"):
+            list(parse_stream(source, lines, EPOCH, strict=False))
+        list(parse_torque(lines, EPOCH, strict=False))
+        list(parse_alps(lines, EPOCH, strict=False))
+
+    def test_near_miss_syslog(self):
+        # Right shape, wrong month name: rejected, not crashed.
+        with pytest.raises(LogFormatError):
+            parse_syslog_line("Xyz  1 00:00:00 host kernel: msg", EPOCH)
+
+    def test_near_miss_torque_timestamp(self):
+        with pytest.raises(LogFormatError):
+            parse_torque_line("99/99/2013 00:00:00;E;1.bw;user=u", EPOCH)

@@ -1,0 +1,74 @@
+"""Tests for nid-list encoding and the message vocabulary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LogFormatError
+from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory
+from repro.logs.messages import TEMPLATES, classify_message, render_message
+from repro.logs.nids import decode_nids, encode_nids
+
+
+class TestNids:
+    def test_basic_roundtrip(self):
+        ids = (0, 1, 2, 3, 7, 9, 10)
+        assert decode_nids(encode_nids(ids)) == ids
+
+    def test_empty(self):
+        assert encode_nids([]) == ""
+        assert decode_nids("") == ()
+
+    def test_single(self):
+        assert encode_nids([5]) == "5"
+
+    def test_compactness(self):
+        text = encode_nids(range(10000))
+        assert text == "0-9999"
+
+    def test_duplicates_collapsed(self):
+        assert decode_nids(encode_nids([3, 3, 3])) == (3,)
+
+    def test_unsorted_input(self):
+        assert decode_nids(encode_nids([9, 1, 5])) == (1, 5, 9)
+
+    @pytest.mark.parametrize("bad", ["x", "1-", "-3", "5-2", "1,,2", "1-2-3"])
+    def test_bad_text_rejected(self, bad):
+        with pytest.raises(LogFormatError):
+            decode_nids(bad)
+
+    @given(st.sets(st.integers(0, 50000), max_size=200))
+    def test_roundtrip_property(self, ids):
+        assert set(decode_nids(encode_nids(ids))) == ids
+
+
+class TestMessages:
+    def test_every_category_has_templates(self):
+        assert set(TEMPLATES) == set(ErrorCategory)
+        assert all(len(templates) >= 2 for templates in TEMPLATES.values())
+
+    @pytest.mark.parametrize("category", list(ErrorCategory))
+    def test_classifier_roundtrip_all_kinds(self, category):
+        """Every rendered template classifies back to its category."""
+        for kind in range(len(TEMPLATES[category])):
+            message = render_message(category, kind, "c1-2c0s3n1", salt=kind)
+            recovered = classify_message(message)
+            assert recovered is category, (
+                f"{category} kind {kind}: {message!r} -> {recovered}")
+
+    def test_unrecognized_text_is_none(self):
+        assert classify_message("hello world, nothing to see") is None
+
+    def test_render_deterministic(self):
+        a = render_message(ErrorCategory.MCE, 0, "c0-0c0s0n0", salt=7)
+        b = render_message(ErrorCategory.MCE, 0, "c0-0c0s0n0", salt=7)
+        assert a == b
+
+    def test_component_embedded(self):
+        message = render_message(ErrorCategory.GPU_DBE, 0, "c9-9c1s2n3a0",
+                                 salt=1)
+        assert "c9-9c1s2n3a0" in message
+
+    def test_kind_wraps(self):
+        # Kind beyond the template list wraps around rather than failing.
+        message = render_message(ErrorCategory.MCE, 99, "c0-0c0s0n0", salt=1)
+        assert classify_message(message) is ErrorCategory.MCE

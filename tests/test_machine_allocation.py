@@ -1,0 +1,117 @@
+"""Tests for the node allocator."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.machine.allocation import NodeAllocator
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.nodetypes import NodeType
+
+
+@pytest.fixture
+def machine():
+    return build_machine(MachineBlueprint(n_xe=64, n_xk=16, n_service=4))
+
+
+@pytest.fixture
+def allocator(machine):
+    return NodeAllocator(machine)
+
+
+class TestAllocate:
+    def test_basic_allocation(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 8)
+        assert len(alloc) == 8
+        assert allocator.available(NodeType.XE) == 56
+
+    def test_packing_order(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 8)
+        assert list(alloc.node_ids) == sorted(alloc.node_ids)
+        # First allocation takes the lowest ids (blade-contiguous).
+        assert alloc.node_ids[0] == min(
+            allocator.machine.node_ids(NodeType.XE))
+
+    def test_oversubscription_rejected(self, allocator):
+        with pytest.raises(SchedulingError):
+            allocator.allocate(NodeType.XE, 65)
+
+    def test_zero_rejected(self, allocator):
+        with pytest.raises(SchedulingError):
+            allocator.allocate(NodeType.XE, 0)
+
+    def test_partitions_independent(self, allocator):
+        allocator.allocate(NodeType.XE, 64)
+        alloc = allocator.allocate(NodeType.XK, 16)
+        assert len(alloc) == 16
+
+    def test_release_returns_nodes(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 10)
+        allocator.release(alloc)
+        assert allocator.available(NodeType.XE) == 64
+
+    def test_double_release_rejected(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 2)
+        allocator.release(alloc)
+        with pytest.raises(SchedulingError):
+            allocator.release(alloc)
+
+    def test_in_use_tracking(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 5)
+        assert allocator.in_use() == 5
+        allocator.release(alloc)
+        assert allocator.in_use() == 0
+
+
+class TestDownNodes:
+    def test_mark_down_removes_from_pool(self, allocator):
+        free_node = allocator.machine.node_ids(NodeType.XE)[0]
+        allocator.mark_down(int(free_node))
+        assert allocator.available(NodeType.XE) == 63
+        assert allocator.is_down(int(free_node))
+
+    def test_mark_down_idempotent(self, allocator):
+        node = int(allocator.machine.node_ids(NodeType.XE)[0])
+        allocator.mark_down(node)
+        allocator.mark_down(node)
+        assert allocator.available(NodeType.XE) == 63
+
+    def test_mark_up_restores(self, allocator):
+        node = int(allocator.machine.node_ids(NodeType.XE)[0])
+        allocator.mark_down(node)
+        allocator.mark_up(node)
+        assert allocator.available(NodeType.XE) == 64
+        assert not allocator.is_down(node)
+
+    def test_down_while_allocated_stays_out_after_release(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 4)
+        victim = alloc.node_ids[0]
+        allocator.mark_down(victim)
+        allocator.release(alloc)
+        assert allocator.available(NodeType.XE) == 63
+        allocator.mark_up(victim)
+        assert allocator.available(NodeType.XE) == 64
+
+    def test_mark_up_while_allocated_not_freed(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 4)
+        victim = alloc.node_ids[0]
+        allocator.mark_down(victim)
+        allocator.mark_up(victim)
+        # Node is allocated: must not re-enter the free pool.
+        assert allocator.available(NodeType.XE) == 60
+
+    def test_service_node_down_tolerated(self, allocator):
+        service = int(allocator.machine.node_ids(NodeType.SERVICE)[0])
+        allocator.mark_down(service)
+        allocator.mark_up(service)
+
+
+class TestExposure:
+    def test_small_allocation_small_exposure(self, allocator):
+        small = allocator.allocate(NodeType.XE, 4)
+        large = allocator.allocate(NodeType.XE, 60)
+        assert (allocator.fabric_exposure(small)
+                <= allocator.fabric_exposure(large))
+
+    def test_exposure_in_unit_range(self, allocator):
+        alloc = allocator.allocate(NodeType.XE, 16)
+        assert 0.0 < allocator.fabric_exposure(alloc) <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for Cray cname parsing/formatting, including round-trip
+property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CNameError
+from repro.machine.cname import CName, ComponentKind, format_cname, parse_cname
+
+
+class TestParse:
+    @pytest.mark.parametrize("text,kind", [
+        ("c0-0", ComponentKind.CABINET),
+        ("c3-7c1", ComponentKind.CHASSIS),
+        ("c3-7c1s4", ComponentKind.BLADE),
+        ("c3-7c1s4n2", ComponentKind.NODE),
+        ("c3-7c1s4g1", ComponentKind.GEMINI),
+        ("c3-7c1s4n2a0", ComponentKind.ACCELERATOR),
+    ])
+    def test_kinds(self, text, kind):
+        assert parse_cname(text).kind is kind
+
+    @pytest.mark.parametrize("bad", [
+        "", "c", "c1", "c1-", "x3-7", "c3-7c9", "c3-7c1s9", "c3-7c1s4n7",
+        "c3-7c1s4g5", "c3-7s4", "c3-7c1s4n2a0x", "nid00123",
+    ])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(CNameError):
+            parse_cname(bad)
+
+    def test_whitespace_tolerated(self):
+        assert parse_cname("  c0-0c0s0n0 ").node == 0
+
+
+class TestInvariants:
+    def test_node_and_gemini_exclusive(self):
+        with pytest.raises(CNameError):
+            CName(0, 0, 0, 0, node=1, gemini=1)
+
+    def test_accelerator_requires_node(self):
+        with pytest.raises(CNameError):
+            CName(0, 0, 0, 0, accelerator=0)
+
+    def test_gap_in_hierarchy_rejected(self):
+        with pytest.raises(CNameError):
+            CName(0, 0, chassis=None, slot=3)
+
+
+class TestNavigation:
+    def test_parents_chain(self):
+        node = parse_cname("c3-7c1s4n2")
+        assert str(node.parent()) == "c3-7c1s4"
+        assert str(node.parent().parent()) == "c3-7c1"
+        assert str(node.parent().parent().parent()) == "c3-7"
+        assert node.parent().parent().parent().parent() is None
+
+    def test_ancestor(self):
+        acc = parse_cname("c3-7c1s4n2a0")
+        assert acc.ancestor(ComponentKind.CABINET) == CName(3, 7)
+        assert str(acc.ancestor(ComponentKind.BLADE)) == "c3-7c1s4"
+
+    def test_ancestor_below_self_rejected(self):
+        with pytest.raises(CNameError):
+            parse_cname("c3-7").ancestor(ComponentKind.NODE)
+
+    def test_same_blade(self):
+        a = parse_cname("c3-7c1s4n0")
+        b = parse_cname("c3-7c1s4g1")
+        c = parse_cname("c3-7c1s5n0")
+        assert a.same_blade(b)
+        assert not a.same_blade(c)
+
+    def test_same_cabinet(self):
+        assert parse_cname("c3-7c0").same_cabinet(parse_cname("c3-7c2s1n1"))
+        assert not parse_cname("c3-7").same_cabinet(parse_cname("c3-8"))
+
+
+@st.composite
+def cnames(draw):
+    col = draw(st.integers(0, 31))
+    row = draw(st.integers(0, 31))
+    depth = draw(st.integers(0, 4))
+    chassis = draw(st.integers(0, 2)) if depth >= 1 else None
+    slot = draw(st.integers(0, 7)) if depth >= 2 else None
+    node = gemini = acc = None
+    if depth >= 3:
+        if draw(st.booleans()):
+            node = draw(st.integers(0, 3))
+            if depth >= 4:
+                acc = 0
+        else:
+            gemini = draw(st.integers(0, 1))
+    return CName(col, row, chassis, slot, node, gemini, acc)
+
+
+class TestRoundTrip:
+    @given(cnames())
+    def test_format_parse_roundtrip(self, cname):
+        assert parse_cname(format_cname(cname)) == cname
+
+    @given(cnames())
+    def test_str_matches_format(self, cname):
+        assert str(cname) == format_cname(cname)
+
+    @given(cnames())
+    def test_depth_consistent(self, cname):
+        parent = cname.parent()
+        if parent is not None:
+            assert parent.kind.depth <= cname.kind.depth

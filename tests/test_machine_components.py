@@ -1,0 +1,131 @@
+"""Tests for machine assembly: components, blueprints, node lookups."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.blueprints import (
+    BLUE_WATERS,
+    MachineBlueprint,
+    build_machine,
+    scaled_blueprint,
+)
+from repro.machine.cname import ComponentKind, parse_cname
+from repro.machine.nodetypes import NODE_SPECS, NodeType
+
+
+class TestBlueprint:
+    def test_blue_waters_counts(self):
+        assert BLUE_WATERS.n_xe == 22640
+        assert BLUE_WATERS.n_xk == 4224
+
+    def test_rounds_up_to_blades(self):
+        bp = MachineBlueprint(n_xe=5, n_xk=0, n_service=0)
+        assert bp.xe_blades == 2
+        assert bp.total_nodes == 8
+
+    def test_no_compute_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineBlueprint(n_xe=0, n_xk=0, n_service=8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineBlueprint(n_xe=-4, n_xk=0, n_service=0)
+
+    def test_scaled_preserves_types(self):
+        bp = scaled_blueprint(0.001)
+        assert bp.n_xe >= 4 and bp.n_xk >= 4 and bp.n_service >= 4
+
+    def test_scaled_ratios_roughly_preserved(self):
+        bp = scaled_blueprint(0.1)
+        ratio = bp.n_xe / bp.n_xk
+        assert ratio == pytest.approx(22640 / 4224, rel=0.05)
+
+    def test_scale_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaled_blueprint(0.0)
+
+
+class TestBuildMachine:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return build_machine(MachineBlueprint(n_xe=96, n_xk=48, n_service=8))
+
+    def test_counts(self, machine):
+        assert machine.count(NodeType.XE) == 96
+        assert machine.count(NodeType.XK) == 48
+        assert machine.count(NodeType.SERVICE) == 8
+
+    def test_node_ids_dense(self, machine):
+        assert [n.node_id for n in machine.nodes] == list(range(len(machine)))
+
+    def test_unique_cnames(self, machine):
+        names = {str(n.name) for n in machine.nodes}
+        assert len(names) == len(machine)
+
+    def test_node_by_name(self, machine):
+        node = machine.nodes[17]
+        assert machine.node_by_name(str(node.name)) is node
+
+    def test_node_by_name_unknown(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.node_by_name("c30-30c0s0n0")
+
+    def test_blades_homogeneous(self, machine):
+        for blade in machine.blades:
+            types = {machine.node(i).node_type for i in blade.node_ids}
+            assert types == {blade.node_type}
+
+    def test_gemini_pairing(self, machine):
+        for blade in machine.blades:
+            g0, g1 = blade.gemini_vertices
+            assert machine.node(blade.node_ids[0]).gemini_vertex == g0
+            assert machine.node(blade.node_ids[3]).gemini_vertex == g1
+
+    def test_nodes_on_gemini(self, machine):
+        blade = machine.blades[0]
+        on_g0 = machine.nodes_on_gemini(blade.gemini_vertices[0])
+        assert {n.node_id for n in on_g0} == set(blade.node_ids[:2])
+
+    def test_components_enumeration(self, machine):
+        blades = list(machine.components(ComponentKind.BLADE))
+        assert len(blades) == len(machine.blades)
+        gpus = list(machine.components(ComponentKind.ACCELERATOR))
+        assert len(gpus) == machine.count(NodeType.XK)
+
+    def test_nodes_under_blade(self, machine):
+        blade = machine.blades[3]
+        under = machine.nodes_under(blade.name)
+        assert {n.node_id for n in under} == set(blade.node_ids)
+
+    def test_nodes_under_cabinet(self, machine):
+        cabinet = parse_cname("c0-0")
+        under = machine.nodes_under(cabinet)
+        assert 0 < len(under) <= 96
+
+    def test_summary_keys(self, machine):
+        summary = machine.summary()
+        assert summary["nodes_total"] == len(machine)
+        assert summary["gpus"] == machine.count(NodeType.XK)
+
+    def test_nid_format(self, machine):
+        assert machine.node(7).nid == "nid00007"
+
+    def test_vector_views(self, machine):
+        assert machine.node_type_codes.shape == (len(machine),)
+        assert machine.gemini_vertices.shape == (len(machine),)
+
+
+class TestNodeSpecs:
+    def test_xk_has_gpu(self):
+        assert NodeType.XK.has_gpu
+        assert not NodeType.XE.has_gpu
+
+    def test_service_not_compute(self):
+        assert not NodeType.SERVICE.is_compute
+
+    def test_specs_cover_all_types(self):
+        assert set(NODE_SPECS) == set(NodeType)
+
+    def test_description_mentions_gpu(self):
+        assert "GPU" in NODE_SPECS[NodeType.XK].description
+        assert "GPU" not in NODE_SPECS[NodeType.XE].description

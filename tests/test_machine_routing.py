@@ -1,0 +1,110 @@
+"""Tests for dimension-ordered torus routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.routing import (
+    Link,
+    job_link_set,
+    link_exposure,
+    route,
+    route_links,
+)
+from repro.machine.topology import TorusTopology
+
+TORUS = TorusTopology(dims=(6, 6, 6), n_vertices=216)
+
+
+class TestRoute:
+    def test_self_route_trivial(self):
+        assert route(TORUS, 7, 7) == [7]
+
+    def test_route_endpoints(self):
+        path = route(TORUS, 0, 215)
+        assert path[0] == 0
+        assert path[-1] == 215
+
+    def test_route_length_is_distance(self):
+        for src, dst in [(0, 1), (0, 215), (13, 99), (100, 101)]:
+            path = route(TORUS, src, dst)
+            assert len(path) - 1 == TORUS.distance(src, dst)
+
+    def test_consecutive_hops_adjacent(self):
+        path = route(TORUS, 3, 187)
+        for a, b in zip(path, path[1:]):
+            ca, cb = TORUS.coords[a], TORUS.coords[b]
+            diff = sum(min(abs(int(x) - int(y)),
+                           TORUS.dims[i] - abs(int(x) - int(y)))
+                       for i, (x, y) in enumerate(zip(ca, cb)))
+            assert diff == 1
+
+    def test_dimension_order(self):
+        # X changes first, then Y, then Z.
+        path = route(TORUS, 0, 0 + 2 + 6 * 2 + 36 * 2)  # (2,2,2)
+        xs = [int(TORUS.coords[v][0]) for v in path]
+        # Once X reaches its target it never changes again.
+        settled = xs.index(2)
+        assert all(x == 2 for x in xs[settled:])
+
+    def test_wraps_shorter_way(self):
+        # From x=0 to x=5 on a 6-ring: one hop backwards.
+        src, dst = 0, 5
+        assert len(route(TORUS, src, dst)) == 2
+
+    @given(st.integers(0, 215), st.integers(0, 215))
+    @settings(max_examples=80, deadline=None)
+    def test_route_length_property(self, src, dst):
+        assert len(route(TORUS, src, dst)) - 1 == TORUS.distance(src, dst)
+
+
+class TestRouteLinks:
+    def test_link_count_matches_hops(self):
+        links = route_links(TORUS, 3, 187)
+        assert len(links) == TORUS.distance(3, 187)
+
+    def test_reverse_route_same_links(self):
+        # Same shorter arcs both ways (no ties on odd splits).
+        forward = set(route_links(TORUS, 1, 3))
+        backward = set(route_links(TORUS, 3, 1))
+        assert forward == backward
+
+    def test_link_axis_validation(self):
+        with pytest.raises(ValueError):
+            Link(vertex=0, axis=5)
+
+
+class TestJobLinkSet:
+    def test_single_vertex_empty(self):
+        assert job_link_set(TORUS, [5]) == frozenset()
+
+    def test_pair_exact(self):
+        links = job_link_set(TORUS, [0, 3])
+        assert links == frozenset(route_links(TORUS, 0, 3))
+
+    def test_sampled_superset_of_pairwise_subset(self):
+        vertices = list(range(0, 216, 5))
+        sampled = job_link_set(TORUS, vertices, max_pairs=400,
+                               rng=np.random.default_rng(1))
+        # Any specific pair's links should mostly be covered.
+        some = route_links(TORUS, vertices[0], vertices[1])
+        assert len(sampled) > len(some)
+
+    def test_compact_block_fewer_links_than_spread(self):
+        compact = job_link_set(TORUS, [0, 1, 2, 3])
+        spread = job_link_set(TORUS, [0, 50, 120, 200])
+        assert len(compact) < len(spread)
+
+
+class TestLinkExposure:
+    def test_on_path_exposed(self):
+        # Job spanning x=0..3 at y=z=0; failure at x=2 (on the path).
+        assert link_exposure(TORUS, [0, 3], 2)
+
+    def test_far_away_not_exposed(self):
+        # Failure deep in another plane.
+        far = 5 + 6 * 5 + 36 * 5
+        assert not link_exposure(TORUS, [0, 1], far)
+
+    def test_single_vertex_never_exposed(self):
+        assert not link_exposure(TORUS, [0], 1)

@@ -1,0 +1,129 @@
+"""Tests for the Gemini torus topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import TorusTopology, dims_for
+
+
+class TestDimsFor:
+    def test_blue_waters_cube(self):
+        assert dims_for(13824) == (24, 24, 24)
+
+    def test_capacity_always_sufficient(self):
+        for count in (1, 2, 7, 100, 1000, 13688):
+            x, y, z = dims_for(count)
+            assert x * y * z >= count
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dims_for(0)
+
+    @given(st.integers(1, 30000))
+    def test_near_cubic(self, count):
+        x, y, z = dims_for(count)
+        assert x * y * z >= count
+        # Not absurdly elongated.
+        assert max(x, y, z) <= 4 * max(1, round(count ** (1 / 3))) + 4
+
+
+class TestTopology:
+    @pytest.fixture
+    def torus(self):
+        return TorusTopology(dims=(4, 4, 4), n_vertices=60)
+
+    def test_coords_shape(self, torus):
+        assert torus.coords.shape == (60, 3)
+
+    def test_coord_of_origin(self, torus):
+        assert torus.coord_of(0) == (0, 0, 0)
+
+    def test_coord_of_out_of_range(self, torus):
+        with pytest.raises(IndexError):
+            torus.coord_of(60)
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TorusTopology(dims=(2, 2, 2), n_vertices=9)
+
+    def test_distance_self_zero(self, torus):
+        assert torus.distance(5, 5) == 0
+
+    def test_distance_symmetric(self, torus):
+        assert torus.distance(3, 17) == torus.distance(17, 3)
+
+    def test_distance_wraps(self):
+        torus = TorusTopology(dims=(4, 1, 1), n_vertices=4)
+        # 0 and 3 are adjacent around the ring.
+        assert torus.distance(0, 3) == 1
+
+    def test_neighbors_adjacent(self, torus):
+        for neighbor in torus.neighbors(10):
+            assert torus.distance(10, neighbor) == 1
+
+    def test_neighbors_count_at_most_six(self, torus):
+        assert len(torus.neighbors(0)) <= 6
+
+    def test_link_graph_connected(self):
+        torus = TorusTopology(dims=(3, 3, 3), n_vertices=27)
+        import networkx as nx
+
+        assert nx.is_connected(torus.link_graph())
+
+
+class TestBoundingArcs:
+    @pytest.fixture
+    def torus(self):
+        return TorusTopology(dims=(6, 6, 6), n_vertices=216)
+
+    def test_empty_set(self, torus):
+        assert torus.bounding_extent([]) == (0, 0, 0)
+
+    def test_single_vertex(self, torus):
+        assert torus.bounding_extent([0]) == (1, 1, 1)
+
+    def test_compact_block(self, torus):
+        # Vertices 0..5 occupy x=0..5 at y=z=0.
+        assert torus.bounding_extent(list(range(6))) == (6, 1, 1)
+
+    def test_wraparound_not_overcharged(self, torus):
+        # x = 0 and x = 5 are adjacent on the ring: extent 2, not 6.
+        a = 0                      # (0,0,0)
+        b = 5                      # (5,0,0)
+        assert torus.bounding_extent([a, b])[0] == 2
+
+    def test_arc_contains_members(self, torus):
+        vertices = [0, 1, 7, 43]
+        arcs = torus.bounding_arcs(vertices)
+        for v in vertices:
+            assert torus.arc_contains(arcs, v)
+
+    def test_footprint_volume_monotone(self, torus):
+        small = torus.footprint_volume([0, 1])
+        large = torus.footprint_volume([0, 1, 100, 200])
+        assert small <= large
+
+    def test_fabric_exposure_bounds(self, torus):
+        assert 0.0 < torus.fabric_exposure([0]) <= 1.0
+        assert torus.fabric_exposure(list(range(216))) == 1.0
+
+    @given(st.lists(st.integers(0, 215), min_size=1, max_size=30))
+    def test_all_members_inside_arcs(self, vertices):
+        torus = TorusTopology(dims=(6, 6, 6), n_vertices=216)
+        arcs = torus.bounding_arcs(vertices)
+        for v in vertices:
+            assert torus.arc_contains(arcs, v)
+
+    @given(st.lists(st.integers(0, 215), min_size=1, max_size=20))
+    def test_extent_at_most_dims(self, vertices):
+        torus = TorusTopology(dims=(6, 6, 6), n_vertices=216)
+        extent = torus.bounding_extent(vertices)
+        assert all(1 <= e <= 6 for e in extent)
+
+    @given(st.lists(st.integers(0, 215), min_size=1, max_size=20))
+    def test_volume_at_least_vertex_count(self, vertices):
+        torus = TorusTopology(dims=(6, 6, 6), n_vertices=216)
+        unique = len(set(vertices))
+        assert torus.footprint_volume(vertices) >= unique

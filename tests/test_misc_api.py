@@ -1,0 +1,105 @@
+"""Miscellaneous API contract tests: error types, registries, renderers."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CNameError,
+    ConfigurationError,
+    LogFormatError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, CNameError, LogFormatError,
+                    SchedulingError, SimulationError, AnalysisError):
+            assert issubclass(exc, ReproError)
+
+    def test_log_format_error_location(self):
+        err = LogFormatError("bad line", source="syslog", lineno=17,
+                             line="x")
+        assert "syslog:17" in str(err)
+        assert err.lineno == 17
+
+    def test_log_format_error_without_location(self):
+        assert str(LogFormatError("oops")) == "oops"
+
+
+class TestExperimentRegistry:
+    def test_all_design_ids_present(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        expected = {f"T{i}" for i in range(1, 7)} \
+            | {f"F{i}" for i in range(1, 13)} \
+            | {f"A{i}" for i in range(1, 7)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_raises(self):
+        from repro.experiments.runner import run_experiment
+
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("T99")
+
+    def test_every_runner_documented(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        for fn in EXPERIMENTS.values():
+            assert fn.__doc__, fn.__name__
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core
+        import repro.faults
+        import repro.logs
+        import repro.machine
+        import repro.sim
+        import repro.stats
+        import repro.util
+        import repro.workload
+
+        for module in (repro.core, repro.faults, repro.logs, repro.machine,
+                       repro.sim, repro.stats, repro.util, repro.workload):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, \
+                    f"{module.__name__}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestRenderersMisc:
+    def test_render_scaling_min_scale(self, analysis):
+        from repro.core.report import render_scaling
+
+        full = render_scaling(analysis, "XE")
+        trimmed = render_scaling(analysis, "XE", min_scale=64)
+        assert len(trimmed.splitlines()) <= len(full.splitlines())
+
+    def test_render_workload_top(self, analysis):
+        from repro.core.report import render_workload
+
+        short = render_workload(analysis, top=2)
+        assert len(short.splitlines()) <= 4
+
+    def test_experiment_result_render(self):
+        from repro.experiments.comparison import Comparison
+        from repro.experiments.runner import ExperimentResult
+
+        result = ExperimentResult("T0", "demo", "a  b\n-  -\n1  2",
+                                  [Comparison("T0", "m", 1.0, 0.9)])
+        text = result.render()
+        assert "== T0: demo ==" in text
+        assert "paper vs measured" in text

@@ -1,0 +1,56 @@
+"""Tests for scenario-level options: maintenance wiring, benign-event
+switch, experiments CLI."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.maintenance import MaintenanceSchedule
+from repro.faults.taxonomy import ErrorCategory
+from repro.sim.scenario import small_scenario
+
+
+class TestScenarioOptions:
+    def test_maintenance_wired_through(self):
+        base = small_scenario(days=40.0, machine_scale=0.02,
+                              workload_thinning=0.01, seed=9)
+        with_pm = replace(base, maintenance=MaintenanceSchedule(
+            period_days=10, duration_h=8, first_after_days=5))
+        result = with_pm.run()
+        # Nothing starts inside any PM window.
+        windows = with_pm.maintenance.windows(with_pm.window)
+        for job in result.jobs:
+            for pm in windows:
+                assert not pm.contains(job.start_time)
+
+    def test_include_benign_false_strips_noise_categories(self):
+        lean = small_scenario(days=30.0, machine_scale=0.05,
+                              workload_thinning=0.005, seed=4)
+        lean = replace(lean, include_benign_faults=False)
+        result = lean.run()
+        categories = {e.category for e in result.faults.events}
+        assert ErrorCategory.DRAM_CORRECTABLE not in categories
+
+    def test_benign_switch_does_not_change_outcomes(self):
+        base = small_scenario(days=30.0, machine_scale=0.05,
+                              workload_thinning=0.005, seed=4)
+        with_noise = base.run()
+        without_noise = replace(base, include_benign_faults=False).run()
+        assert [(r.apid, r.outcome) for r in with_noise.runs] == \
+               [(r.apid, r.outcome) for r in without_noise.runs]
+
+
+class TestExperimentsCli:
+    def test_unknown_id(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_runs_t1(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["T1"]) == 0
+        out = capsys.readouterr().out
+        assert "machine configuration" in out
+        assert "22640" in out

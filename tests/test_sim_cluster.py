@@ -1,0 +1,269 @@
+"""Tests for the cluster simulator: invariants and targeted fault
+semantics using hand-built plans and fault timelines."""
+
+import pytest
+
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.taxonomy import ErrorCategory
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import ClusterSimulator, SimConfig
+from repro.util.intervals import Interval
+from repro.workload.jobs import AppRunPlan, JobPlan, Outcome
+
+WINDOW = Interval(0.0, 30 * 86400.0)
+
+
+@pytest.fixture
+def machine():
+    return build_machine(MachineBlueprint(n_xe=32, n_xk=8, n_service=0))
+
+
+def job(job_id, *, nodes=4, submit=0.0, durations=(3600.0,), walltime=None,
+        node_type=NodeType.XE, user_fails_at=None, io=0.0, comm=0.0,
+        checkpoint=0.0):
+    runs = []
+    for i, duration in enumerate(durations):
+        fails = user_fails_at is not None and i == user_fails_at
+        runs.append(AppRunPlan(app_name="app", natural_duration_s=duration,
+                               user_fails=fails, user_failure_frac=0.5,
+                               comm_intensity=comm, io_intensity=io,
+                               checkpoint_interval_s=checkpoint))
+    total = sum(durations)
+    return JobPlan(job_id=job_id, user="u", submit_time=submit,
+                   node_type=node_type, nodes=nodes,
+                   walltime_s=walltime if walltime is not None else total * 2,
+                   runs=tuple(runs))
+
+
+def simulate(machine, plans, events=(), config=None, seed=0):
+    sim = ClusterSimulator(machine, config=config or SimConfig(
+        launch_failure_prob=0.0), seed=seed)
+    return sim.run(plans, FaultTimeline(events=list(events)), WINDOW)
+
+
+def node_event(machine, node_id, *, time, category=ErrorCategory.KERNEL_PANIC,
+               fatal=True, repair=3600.0, event_id=0):
+    return FaultEvent(event_id=event_id, time=time, category=category,
+                      component=str(machine.node(node_id).name),
+                      node_ids=(node_id,), fatal=fatal, detected=True,
+                      repair_s=repair if fatal else 0.0)
+
+
+class TestHappyPath:
+    def test_single_run_completes(self, machine):
+        result = simulate(machine, [job(1)])
+        assert len(result.runs) == 1
+        run = result.runs[0]
+        assert run.outcome is Outcome.COMPLETED
+        assert run.exit_code == 0
+        assert run.elapsed_s == pytest.approx(3600.0)
+        assert run.nodes == 4
+
+    def test_multi_run_job_sequential(self, machine):
+        result = simulate(machine, [job(1, durations=(100.0, 200.0, 300.0))])
+        assert len(result.runs) == 3
+        for earlier, later in zip(result.runs, result.runs[1:]):
+            assert later.start >= earlier.end
+
+    def test_job_record_produced(self, machine):
+        result = simulate(machine, [job(1)])
+        assert len(result.jobs) == 1
+        record = result.jobs[0]
+        assert record.exit_status == 0
+        assert len(record.apids) == 1
+
+    def test_fcfs_queueing(self, machine):
+        # Two 20-node jobs cannot run together on 32 XE nodes.
+        plans = [job(1, nodes=20, submit=0.0), job(2, nodes=20, submit=1.0)]
+        result = simulate(machine, plans)
+        first, second = sorted(result.jobs, key=lambda j: j.job_id)
+        assert second.start_time >= first.end_time
+
+    def test_parallel_when_capacity_allows(self, machine):
+        plans = [job(1, nodes=8, submit=0.0), job(2, nodes=8, submit=1.0)]
+        result = simulate(machine, plans)
+        first, second = sorted(result.jobs, key=lambda j: j.job_id)
+        assert second.start_time < first.end_time
+
+    def test_allocations_disjoint_while_concurrent(self, machine):
+        plans = [job(i, nodes=8, submit=0.0) for i in range(1, 5)]
+        result = simulate(machine, plans)
+        seen = {}
+        for record in result.jobs:
+            for other in result.jobs:
+                if other.job_id == record.job_id:
+                    continue
+                overlap_time = not (record.end_time <= other.start_time
+                                    or other.end_time <= record.start_time)
+                if overlap_time:
+                    assert not (set(record.node_ids) & set(other.node_ids))
+
+
+class TestUserOutcomes:
+    def test_user_failure(self, machine):
+        result = simulate(machine, [job(1, user_fails_at=0)])
+        run = result.runs[0]
+        assert run.outcome is Outcome.USER_FAILURE
+        assert run.exit_code != 0
+        assert run.elapsed_s == pytest.approx(1800.0)  # fails halfway
+
+    def test_walltime_kill(self, machine):
+        result = simulate(machine, [job(1, durations=(7200.0,),
+                                        walltime=3600.0)])
+        run = result.runs[0]
+        assert run.outcome is Outcome.WALLTIME
+        assert run.elapsed_s == pytest.approx(3600.0)
+        assert run.exit_code == 271
+
+    def test_walltime_kills_later_runs_of_job(self, machine):
+        result = simulate(machine, [job(1, durations=(1000.0, 7200.0),
+                                        walltime=2000.0)])
+        assert [r.outcome for r in result.runs] == \
+            [Outcome.COMPLETED, Outcome.WALLTIME]
+
+    def test_launch_failures_occur_at_configured_rate(self, machine):
+        plans = [job(i, nodes=1, durations=(60.0,)) for i in range(1, 301)]
+        sim = ClusterSimulator(machine,
+                               config=SimConfig(launch_failure_prob=0.2),
+                               seed=3)
+        result = sim.run(plans, FaultTimeline(events=[]), WINDOW)
+        launch_failed = [r for r in result.runs
+                         if r.outcome is Outcome.LAUNCH_FAILURE]
+        frac = len(launch_failed) / len(result.runs)
+        assert 0.1 < frac < 0.3
+        for run in launch_failed:
+            assert run.cause_category is ErrorCategory.ALPS_SOFTWARE
+            assert run.elapsed_s == 0.0
+
+
+class TestFaultSemantics:
+    def test_node_fault_kills_resident_run(self, machine):
+        event = node_event(machine, node_id=0, time=1000.0)
+        result = simulate(machine, [job(1, nodes=4)], [event])
+        run = result.runs[0]
+        assert run.outcome is Outcome.SYSTEM_FAILURE
+        assert run.cause_event_id == 0
+        assert run.cause_category is ErrorCategory.KERNEL_PANIC
+        assert run.end == pytest.approx(1000.0)
+
+    def test_node_fault_elsewhere_harmless(self, machine):
+        event = node_event(machine, node_id=31, time=1000.0)
+        result = simulate(machine, [job(1, nodes=4)], [event])
+        assert result.runs[0].outcome is Outcome.COMPLETED
+
+    def test_nonfatal_event_harmless(self, machine):
+        event = node_event(machine, node_id=0, time=1000.0, fatal=False)
+        result = simulate(machine, [job(1, nodes=4)], [event])
+        assert result.runs[0].outcome is Outcome.COMPLETED
+
+    def test_system_kill_aborts_rest_of_job(self, machine):
+        event = node_event(machine, node_id=0, time=1000.0)
+        result = simulate(machine, [job(1, durations=(3600.0, 3600.0))],
+                          [event])
+        assert len(result.runs) == 1  # second run never launched
+
+    def test_killed_node_unavailable_until_repair(self, machine):
+        # Job A dies at t=1000 (node 0 down for 10000 s). Job B needs all
+        # 32 nodes, so it can only start after the repair.
+        event = node_event(machine, node_id=0, time=1000.0, repair=10000.0)
+        plans = [job(1, nodes=32, submit=0.0, durations=(3600.0,)),
+                 job(2, nodes=32, submit=10.0, durations=(60.0,))]
+        result = simulate(machine, plans, [event])
+        second = [j for j in result.jobs if j.job_id == 2][0]
+        assert second.start_time >= 11000.0
+
+    def test_swo_kills_everything(self, machine):
+        swo = FaultEvent(event_id=9, time=500.0, category=ErrorCategory.SWO,
+                         component="system", fatal=True, detected=True,
+                         repair_s=7200.0)
+        plans = [job(1, nodes=8), job(2, nodes=8, submit=1.0)]
+        result = simulate(machine, plans, [swo])
+        for run in result.runs:
+            assert run.outcome is Outcome.SYSTEM_FAILURE
+            assert run.cause_category is ErrorCategory.SWO
+
+    def test_no_starts_during_swo_downtime(self, machine):
+        swo = FaultEvent(event_id=9, time=500.0, category=ErrorCategory.SWO,
+                         component="system", fatal=True, detected=True,
+                         repair_s=7200.0)
+        plans = [job(1, nodes=8), job(2, nodes=8, submit=600.0)]
+        result = simulate(machine, plans, [swo])
+        second = [j for j in result.jobs if j.job_id == 2][0]
+        assert second.start_time >= 500.0 + 7200.0
+
+    def test_filesystem_fault_gated_by_io_intensity(self, machine):
+        fs = FaultEvent(event_id=1, time=1000.0,
+                        category=ErrorCategory.LUSTRE_MDS, component="mds00",
+                        fatal=True, detected=True)
+        heavy = simulate(machine, [job(1, io=1.0)], [fs])
+        light = simulate(machine, [job(1, io=0.0)], [fs])
+        assert heavy.runs[0].outcome is Outcome.SYSTEM_FAILURE
+        assert light.runs[0].outcome is Outcome.COMPLETED
+
+    def test_fabric_fault_inside_footprint_kills(self, machine):
+        plans = [job(1, nodes=32, comm=1.0)]
+        # Epicenter on the first node's Gemini: inside the footprint.
+        vertex = machine.node(0).gemini_vertex
+        fabric = FaultEvent(event_id=2, time=1000.0,
+                            category=ErrorCategory.GEMINI_LINK,
+                            component="c0-0c0s0g0", fabric_vertex=vertex,
+                            fatal=True, detected=True)
+        result = simulate(machine, plans, [fabric])
+        assert result.runs[0].outcome is Outcome.SYSTEM_FAILURE
+
+    def test_fabric_fault_zero_comm_spares(self, machine):
+        vertex = machine.node(0).gemini_vertex
+        fabric = FaultEvent(event_id=2, time=1000.0,
+                            category=ErrorCategory.GEMINI_LINK,
+                            component="c0-0c0s0g0", fabric_vertex=vertex,
+                            fatal=True, detected=True)
+        result = simulate(machine, [job(1, nodes=32, comm=0.0)], [fabric])
+        assert result.runs[0].outcome is Outcome.COMPLETED
+
+    def test_checkpoint_preserves_work(self, machine):
+        event = node_event(machine, node_id=0, time=7000.0)
+        result = simulate(machine, [job(1, durations=(8000.0,),
+                                        checkpoint=3600.0)], [event])
+        run = result.runs[0]
+        assert run.outcome is Outcome.SYSTEM_FAILURE
+        assert run.checkpointed_s == pytest.approx(3600.0)
+        # Lost work = elapsed - checkpointed.
+        assert run.lost_node_hours == pytest.approx((7000 - 3600) / 3600 * 4)
+
+    def test_fault_between_runs_takes_node_down(self, machine):
+        # Fault strikes in the 30 s gap between two runs of a job: the
+        # job is torn down without a second run record.
+        event = node_event(machine, node_id=0, time=3610.0)
+        result = simulate(machine, [job(1, durations=(3600.0, 3600.0))],
+                          [event])
+        outcomes = [r.outcome for r in result.runs]
+        assert outcomes[0] is Outcome.COMPLETED
+        assert len(result.runs) <= 2
+
+
+class TestResultInvariants:
+    def test_runs_sorted(self, machine):
+        plans = [job(i, nodes=2, submit=float(i)) for i in range(1, 10)]
+        result = simulate(machine, plans)
+        starts = [r.start for r in result.runs]
+        assert starts == sorted(starts)
+
+    def test_apids_unique(self, machine):
+        plans = [job(i, nodes=2, durations=(60.0, 60.0)) for i in range(1, 10)]
+        result = simulate(machine, plans)
+        apids = [r.apid for r in result.runs]
+        assert len(set(apids)) == len(apids)
+
+    def test_summary_counts(self, machine):
+        result = simulate(machine, [job(1), job(2, submit=1.0)])
+        summary = result.summary()
+        assert summary["runs"] == 2
+        assert summary["jobs"] == 2
+
+    def test_submit_before_window_rejected(self, machine):
+        from repro.errors import SimulationError
+        sim = ClusterSimulator(machine, seed=0)
+        bad = job(1, submit=-5.0)
+        with pytest.raises(SimulationError):
+            sim.run([bad], FaultTimeline(events=[]), WINDOW)

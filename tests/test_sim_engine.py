@@ -1,0 +1,120 @@
+"""Tests for the DES engine and exit-code mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventQueue
+from repro.sim.outcomes import (
+    LAUNCH_FAILURE_EXIT,
+    SIGKILL_EXIT,
+    WALLTIME_EXIT,
+    exit_code_for,
+)
+from repro.workload.jobs import Outcome
+
+
+class TestEventQueue:
+    def test_dispatch_order(self):
+        eq = EventQueue()
+        log = []
+        eq.schedule(5.0, lambda: log.append("b"))
+        eq.schedule(1.0, lambda: log.append("a"))
+        eq.schedule(9.0, lambda: log.append("c"))
+        eq.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        eq = EventQueue()
+        log = []
+        for label in "abc":
+            eq.schedule(1.0, lambda l=label: log.append(l))
+        eq.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        eq = EventQueue()
+        seen = []
+        eq.schedule(3.0, lambda: seen.append(eq.now))
+        eq.run()
+        assert seen == [3.0]
+        assert eq.now == 3.0
+
+    def test_schedule_in_past_rejected(self):
+        eq = EventQueue()
+        eq.schedule(5.0, lambda: eq.schedule(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            eq.run()
+
+    def test_schedule_after(self):
+        eq = EventQueue()
+        fired = []
+        eq.schedule(2.0, lambda: eq.schedule_after(3.0,
+                                                   lambda: fired.append(eq.now)))
+        eq.run()
+        assert fired == [5.0]
+
+    def test_cancel(self):
+        eq = EventQueue()
+        fired = []
+        handle = eq.schedule(1.0, lambda: fired.append("x"))
+        eq.cancel(handle)
+        eq.run()
+        assert fired == []
+
+    def test_run_until(self):
+        eq = EventQueue()
+        fired = []
+        eq.schedule(1.0, lambda: fired.append(1))
+        eq.schedule(10.0, lambda: fired.append(10))
+        dispatched = eq.run(until=5.0)
+        assert dispatched == 1
+        assert eq.now == 5.0
+        eq.run()
+        assert fired == [1, 10]
+
+    def test_events_scheduled_during_run(self):
+        eq = EventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            eq.schedule(eq.now + 1, lambda: log.append("second"))
+
+        eq.schedule(0.0, first)
+        eq.run()
+        assert log == ["first", "second"]
+
+    def test_len(self):
+        eq = EventQueue()
+        eq.schedule(1.0, lambda: None)
+        assert len(eq) == 1
+
+
+class TestExitCodes:
+    def rng(self):
+        return np.random.default_rng(0)
+
+    def test_completed_zero(self):
+        assert exit_code_for(Outcome.COMPLETED, self.rng()) == 0
+
+    def test_walltime(self):
+        assert exit_code_for(Outcome.WALLTIME, self.rng()) == WALLTIME_EXIT
+
+    def test_system_kill(self):
+        assert exit_code_for(Outcome.SYSTEM_FAILURE, self.rng()) == SIGKILL_EXIT
+
+    def test_launch_failure(self):
+        assert exit_code_for(Outcome.LAUNCH_FAILURE, self.rng()) == \
+            LAUNCH_FAILURE_EXIT
+
+    def test_user_codes_plausible(self):
+        rng = self.rng()
+        codes = {exit_code_for(Outcome.USER_FAILURE, rng) for _ in range(200)}
+        assert codes <= {1, 2, 134, 139, 255}
+        assert len(codes) > 2
+
+    def test_user_codes_nonzero(self):
+        rng = self.rng()
+        assert all(exit_code_for(Outcome.USER_FAILURE, rng) != 0
+                   for _ in range(50))

@@ -1,0 +1,183 @@
+"""Tests for maintenance windows, the backfill policy, and queue-wait
+analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.events import FaultTimeline
+from repro.faults.maintenance import MaintenanceSchedule, downtime_budget
+from repro.machine.allocation import NodeAllocator
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import ClusterSimulator, SimConfig
+from repro.util.intervals import Interval
+from repro.util.timeutil import DAY, HOUR
+from repro.workload.jobs import AppRunPlan, JobPlan
+from repro.workload.scheduler import BackfillQueue
+
+WINDOW = Interval(0.0, 60 * DAY)
+
+
+def job(job_id, *, nodes=4, submit=0.0, duration=3600.0, walltime=None):
+    return JobPlan(job_id=job_id, user="u", submit_time=submit,
+                   node_type=NodeType.XE, nodes=nodes,
+                   walltime_s=walltime if walltime is not None
+                   else duration * 1.5,
+                   runs=(AppRunPlan("app", duration, False),))
+
+
+@pytest.fixture
+def machine():
+    return build_machine(MachineBlueprint(n_xe=32, n_xk=8, n_service=0))
+
+
+class TestMaintenanceSchedule:
+    def test_windows_periodic(self):
+        schedule = MaintenanceSchedule(period_days=28, duration_h=8,
+                                       first_after_days=14)
+        windows = schedule.windows(Interval(0, 90 * DAY))
+        assert len(windows) == 3
+        assert windows[0].start == 14 * DAY
+        assert windows[0].duration == 8 * HOUR
+
+    def test_windows_clamped_to_horizon(self):
+        schedule = MaintenanceSchedule(period_days=28, duration_h=8,
+                                       first_after_days=27.9)
+        windows = schedule.windows(Interval(0, 28 * DAY))
+        assert windows[0].end == 28 * DAY
+
+    def test_next_window_after(self):
+        schedule = MaintenanceSchedule(first_after_days=10)
+        nxt = schedule.next_window_after(11 * DAY, Interval(0, 90 * DAY))
+        assert nxt.start == 38 * DAY
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaintenanceSchedule(period_days=0.1, duration_h=8)
+
+    def test_downtime_budget(self):
+        budget = downtime_budget(
+            planned=[Interval(0, HOUR)],
+            unplanned=[Interval(10 * HOUR, 12 * HOUR)],
+            horizon=Interval(0, 100 * HOUR))
+        assert budget["planned_share"] == pytest.approx(0.01)
+        assert budget["unplanned_share"] == pytest.approx(0.02)
+        assert budget["availability"] == pytest.approx(0.97)
+
+
+class TestMaintenanceInSim:
+    def test_nothing_starts_during_pm(self, machine):
+        sim = ClusterSimulator(machine,
+                               config=SimConfig(launch_failure_prob=0.0))
+        pm = [Interval(1000.0, 5000.0)]
+        plans = [job(1, submit=1500.0, duration=600.0)]
+        result = sim.run(plans, FaultTimeline(events=[]), WINDOW,
+                         maintenance=pm)
+        assert result.jobs[0].start_time >= 5000.0
+
+    def test_drain_before_pm(self, machine):
+        sim = ClusterSimulator(machine,
+                               config=SimConfig(launch_failure_prob=0.0))
+        pm = [Interval(10_000.0, 20_000.0)]
+        # Submitted at t=0 but would run into the window.
+        plans = [job(1, submit=0.0, duration=9000.0, walltime=15_000.0)]
+        result = sim.run(plans, FaultTimeline(events=[]), WINDOW,
+                         maintenance=pm)
+        assert result.jobs[0].start_time >= 20_000.0
+
+    def test_short_job_runs_before_pm(self, machine):
+        sim = ClusterSimulator(machine,
+                               config=SimConfig(launch_failure_prob=0.0))
+        pm = [Interval(10_000.0, 20_000.0)]
+        plans = [job(1, submit=0.0, duration=600.0, walltime=900.0)]
+        result = sim.run(plans, FaultTimeline(events=[]), WINDOW,
+                         maintenance=pm)
+        assert result.jobs[0].start_time < 10_000.0
+
+    def test_pm_destroys_no_work(self, machine):
+        from repro.workload.jobs import Outcome
+
+        sim = ClusterSimulator(machine,
+                               config=SimConfig(launch_failure_prob=0.0))
+        pm = [Interval(5_000.0, 10_000.0)]
+        plans = [job(i, submit=float(i * 10), duration=3000.0,
+                     walltime=4000.0) for i in range(1, 20)]
+        result = sim.run(plans, FaultTimeline(events=[]), WINDOW,
+                         maintenance=pm)
+        assert all(r.outcome is Outcome.COMPLETED for r in result.runs)
+
+
+class TestBackfillPolicy:
+    def make_queue(self, machine):
+        return BackfillQueue(NodeAllocator(machine))
+
+    def test_head_starts_when_it_fits(self, machine):
+        queue = self.make_queue(machine)
+        queue.submit(job(1, nodes=8))
+        selected = queue.select(NodeType.XE, now=0.0, running=[])
+        assert selected.job_id == 1
+
+    def test_small_job_backfills_behind_blocked_head(self, machine):
+        allocator = NodeAllocator(machine)
+        allocator.allocate(NodeType.XE, 24)  # 8 free
+        queue = BackfillQueue(allocator)
+        queue.submit(job(1, nodes=16, walltime=3600.0))   # blocked head
+        queue.submit(job(2, nodes=4, duration=100.0, walltime=100.0))
+        running = [(7200.0, 24)]
+        selected = queue.select(NodeType.XE, now=0.0, running=running)
+        assert selected.job_id == 2  # ends (t=100) before shadow (t=7200)
+
+    def test_backfill_must_not_delay_head(self, machine):
+        allocator = NodeAllocator(machine)
+        allocator.allocate(NodeType.XE, 28)  # 4 free
+        queue = BackfillQueue(allocator)
+        queue.submit(job(1, nodes=30, walltime=3600.0))  # blocked head
+        # Fits now (4 <= 4 free) but runs past the shadow and exceeds
+        # the 2 spare nodes the head would leave: would delay the head.
+        queue.submit(job(2, nodes=4, duration=90_000.0, walltime=90_000.0))
+        running = [(7200.0, 28)]
+        assert queue.select(NodeType.XE, now=0.0, running=running) is None
+
+    def test_spare_node_backfill(self, machine):
+        allocator = NodeAllocator(machine)
+        allocator.allocate(NodeType.XE, 24)  # 8 free
+        queue = BackfillQueue(allocator)
+        queue.submit(job(1, nodes=16, walltime=3600.0))
+        # Long walltime but needs <= extra (24+8-16=16...) nodes: at the
+        # shadow, 32 free minus head's 16 leaves 16 spare; 4 <= 16.
+        queue.submit(job(2, nodes=4, duration=90_000.0, walltime=90_000.0))
+        running = [(7200.0, 24)]
+        selected = queue.select(NodeType.XE, now=0.0, running=running)
+        assert selected.job_id == 2
+
+    def test_pm_blocks_candidates(self, machine):
+        queue = self.make_queue(machine)
+        queue.submit(job(1, nodes=8, walltime=7200.0))
+        assert queue.select(NodeType.XE, now=0.0, running=[],
+                            pm_start=3600.0) is None
+
+    def test_backfill_in_simulator_reduces_waits(self, machine):
+        # Head job blocks FCFS; a small job behind it can backfill into
+        # the two nodes the first job leaves free.
+        plans = [job(1, nodes=30, submit=0.0, duration=3600.0),
+                 job(2, nodes=32, submit=1.0, duration=3600.0),
+                 job(3, nodes=2, submit=2.0, duration=60.0, walltime=100.0)]
+        waits = {}
+        for policy in ("fcfs", "backfill"):
+            sim = ClusterSimulator(machine, config=SimConfig(
+                launch_failure_prob=0.0, scheduler_policy=policy))
+            result = sim.run(plans, FaultTimeline(events=[]), WINDOW)
+            job3 = [j for j in result.jobs if j.job_id == 3][0]
+            waits[policy] = job3.queue_wait_s
+        assert waits["backfill"] < waits["fcfs"]
+
+
+class TestQueueingAnalysis:
+    def test_waits_from_torque_records(self, bundle):
+        from repro.core.queueing import overall_wait_stats, queue_waits_by_scale
+
+        stats = overall_wait_stats(bundle.torque_records)
+        assert stats["jobs"] > 0
+        assert stats["median_wait_s"] >= 0
+        buckets = queue_waits_by_scale(bundle.torque_records)
+        assert sum(b.jobs for b in buckets) == stats["jobs"]

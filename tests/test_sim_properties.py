@@ -1,0 +1,134 @@
+"""Property-based tests of simulator invariants with random workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.events import FaultEvent, FaultTimeline
+from repro.faults.taxonomy import ErrorCategory
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import ClusterSimulator, SimConfig
+from repro.util.intervals import Interval
+from repro.workload.jobs import AppRunPlan, JobPlan, Outcome
+
+MACHINE = build_machine(MachineBlueprint(n_xe=64, n_xk=16, n_service=0))
+WINDOW = Interval(0.0, 10 * 86400.0)
+
+
+@st.composite
+def job_plans(draw):
+    n_jobs = draw(st.integers(1, 15))
+    plans = []
+    for i in range(n_jobs):
+        node_type = draw(st.sampled_from([NodeType.XE, NodeType.XK]))
+        cap = 64 if node_type is NodeType.XE else 16
+        nodes = draw(st.integers(1, cap))
+        n_runs = draw(st.integers(1, 3))
+        runs = tuple(
+            AppRunPlan(app_name="app",
+                       natural_duration_s=draw(st.floats(60.0, 20000.0)),
+                       user_fails=draw(st.booleans()),
+                       user_failure_frac=draw(st.floats(0.01, 1.0)),
+                       checkpoint_interval_s=draw(
+                           st.sampled_from([0.0, 3600.0])))
+            for _ in range(n_runs))
+        total = sum(r.natural_duration_s for r in runs)
+        walltime = total * draw(st.floats(0.3, 2.0))
+        plans.append(JobPlan(job_id=i + 1, user="u",
+                             submit_time=draw(st.floats(0.0, 400000.0)),
+                             node_type=node_type, nodes=nodes,
+                             walltime_s=max(walltime, 60.0), runs=runs))
+    return plans
+
+
+@st.composite
+def fault_events(draw):
+    n = draw(st.integers(0, 6))
+    events = []
+    for i in range(n):
+        node_id = draw(st.integers(0, 79))
+        fatal = draw(st.booleans())
+        events.append(FaultEvent(
+            event_id=i, time=draw(st.floats(0.0, 500000.0)),
+            category=ErrorCategory.KERNEL_PANIC,
+            component=str(MACHINE.node(node_id).name),
+            node_ids=(node_id,), fatal=fatal, detected=True,
+            repair_s=draw(st.floats(60.0, 7200.0)) if fatal else 0.0))
+    return events
+
+
+def simulate(plans, events, policy="fcfs"):
+    sim = ClusterSimulator(MACHINE, config=SimConfig(
+        launch_failure_prob=0.0, scheduler_policy=policy), seed=1)
+    return sim.run(plans, FaultTimeline(events=events), WINDOW)
+
+
+class TestInvariants:
+    @given(job_plans(), fault_events())
+    @settings(max_examples=40, deadline=None)
+    def test_every_job_accounted(self, plans, events):
+        result = simulate(plans, events)
+        finished = {j.job_id for j in result.jobs}
+        unstarted = {p.job_id for p in result.unstarted_jobs}
+        assert finished | unstarted == {p.job_id for p in plans}
+        assert not finished & unstarted
+
+    @given(job_plans(), fault_events())
+    @settings(max_examples=40, deadline=None)
+    def test_no_node_double_booking(self, plans, events):
+        result = simulate(plans, events)
+        for a in result.jobs:
+            for b in result.jobs:
+                if a.job_id >= b.job_id:
+                    continue
+                overlap = (a.start_time < b.end_time
+                           and b.start_time < a.end_time)
+                if overlap:
+                    assert not set(a.node_ids) & set(b.node_ids)
+
+    @given(job_plans(), fault_events())
+    @settings(max_examples=40, deadline=None)
+    def test_run_time_bounds(self, plans, events):
+        result = simulate(plans, events)
+        by_id = {p.job_id: p for p in plans}
+        for run in result.runs:
+            plan = by_id[run.job_id]
+            assert run.start >= plan.submit_time
+            assert run.end >= run.start
+            # A run never outlives its job's walltime by more than jitter.
+            job = [j for j in result.jobs if j.job_id == run.job_id][0]
+            assert run.end <= job.end_time + 1e-6
+
+    @given(job_plans())
+    @settings(max_examples=40, deadline=None)
+    def test_no_faults_no_system_failures(self, plans):
+        result = simulate(plans, [])
+        for run in result.runs:
+            assert run.outcome in (Outcome.COMPLETED, Outcome.USER_FAILURE,
+                                   Outcome.WALLTIME)
+
+    @given(job_plans(), fault_events())
+    @settings(max_examples=30, deadline=None)
+    def test_backfill_same_accounting(self, plans, events):
+        """Backfill may reorder, but jobs and runs stay accounted."""
+        fcfs = simulate(plans, events, policy="fcfs")
+        backfill = simulate(plans, events, policy="backfill")
+        assert (len(backfill.jobs) + len(backfill.unstarted_jobs)
+                == len(fcfs.jobs) + len(fcfs.unstarted_jobs))
+
+    @given(job_plans(), fault_events())
+    @settings(max_examples=30, deadline=None)
+    def test_checkpoint_never_exceeds_elapsed(self, plans, events):
+        result = simulate(plans, events)
+        for run in result.runs:
+            assert run.checkpointed_s <= run.elapsed_s + 1e-6
+
+    @given(job_plans(), fault_events())
+    @settings(max_examples=30, deadline=None)
+    def test_node_hours_non_negative_and_finite(self, plans, events):
+        result = simulate(plans, events)
+        for run in result.runs:
+            assert np.isfinite(run.node_hours)
+            assert run.node_hours >= 0.0
+            assert run.lost_node_hours >= -1e-9

@@ -1,0 +1,89 @@
+"""Scenario-level tests: the session fixtures plus reproducibility."""
+
+import pytest
+
+from repro.sim.scenario import Scenario, paper_scenario, small_scenario
+from repro.workload.jobs import Outcome
+
+
+class TestScenarioConfig:
+    def test_small_scenario_builds(self):
+        scenario = small_scenario()
+        assert scenario.window.duration == 30 * 86400.0
+
+    def test_with_seed(self):
+        scenario = small_scenario().with_seed(99)
+        assert scenario.seed == 99
+
+    def test_paper_scenario_full_machine(self):
+        scenario = paper_scenario(days=1.0)
+        assert scenario.blueprint.n_xe == 22640
+
+
+class TestScenarioRun:
+    def test_reproducible(self):
+        a = small_scenario(days=10.0, seed=4).run()
+        b = small_scenario(days=10.0, seed=4).run()
+        assert [(r.apid, r.start, r.end, r.outcome) for r in a.runs] == \
+               [(r.apid, r.start, r.end, r.outcome) for r in b.runs]
+
+    def test_seed_matters(self):
+        a = small_scenario(days=10.0, seed=4).run()
+        b = small_scenario(days=10.0, seed=5).run()
+        assert [(r.apid, r.start) for r in a.runs] != \
+               [(r.apid, r.start) for r in b.runs]
+
+
+class TestGroundTruthInvariants:
+    """Invariants over the busy session-scoped scenario result."""
+
+    def test_runs_exist(self, sim_result):
+        assert len(sim_result.runs) > 200
+
+    def test_all_outcome_kinds_occur(self, sim_result):
+        outcomes = {r.outcome for r in sim_result.runs}
+        assert Outcome.COMPLETED in outcomes
+        assert Outcome.USER_FAILURE in outcomes
+        assert Outcome.SYSTEM_FAILURE in outcomes
+
+    def test_time_ordering_within_runs(self, sim_result):
+        for run in sim_result.runs:
+            assert run.end >= run.start >= 0.0
+
+    def test_system_failures_have_causes(self, sim_result):
+        for run in sim_result.runs:
+            if run.outcome is Outcome.SYSTEM_FAILURE:
+                assert run.cause_category is not None
+                assert run.cause_event_id is not None
+
+    def test_cause_events_exist_and_are_fatal(self, sim_result):
+        events = {e.event_id: e for e in sim_result.faults.events}
+        for run in sim_result.runs:
+            if run.outcome is Outcome.SYSTEM_FAILURE:
+                event = events[run.cause_event_id]
+                assert event.fatal
+                assert event.time <= run.end + 1e-6
+
+    def test_completed_runs_not_cut_short(self, sim_result):
+        for run in sim_result.runs:
+            if run.outcome is Outcome.COMPLETED:
+                assert run.elapsed_s > 0
+
+    def test_job_apids_match_runs(self, sim_result):
+        run_apids = {r.apid for r in sim_result.runs}
+        for job in sim_result.jobs:
+            for apid in job.apids:
+                assert apid in run_apids
+
+    def test_runs_fit_inside_their_jobs(self, sim_result):
+        jobs = {j.job_id: j for j in sim_result.jobs}
+        for run in sim_result.runs:
+            job = jobs.get(run.job_id)
+            if job is None:
+                continue
+            assert run.start >= job.start_time - 1e-6
+            assert run.end <= job.end_time + 1e-6
+            assert set(run.node_ids) <= set(job.node_ids)
+
+    def test_node_hours_positive_total(self, sim_result):
+        assert sum(r.node_hours for r in sim_result.runs) > 0

@@ -1,0 +1,158 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.ecdf import ecdf, quantiles, survival
+from repro.stats.fitting import best_fit, fit_all, fit_distribution
+from repro.stats.hazard import empirical_hazard, hazard_trend
+from repro.stats.intervals import bootstrap_mean_interval, wilson_interval
+
+
+class TestWilson:
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.05
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == 1.0
+        assert 0.95 < lo < 1.0
+
+    def test_contains_point_estimate(self):
+        for k, n in [(1, 10), (5, 50), (30, 60), (99, 100)]:
+            lo, hi = wilson_interval(k, n)
+            assert lo <= k / n <= hi
+
+    def test_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(5, 50)
+        lo2, hi2 = wilson_interval(50, 500)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_property(self, k, n):
+        if k > n:
+            return
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_wider_at_higher_confidence(self):
+        lo95, hi95 = wilson_interval(10, 100, confidence=0.95)
+        lo99, hi99 = wilson_interval(10, 100, confidence=0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+
+class TestBootstrap:
+    def test_contains_mean_usually(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(5.0, size=200)
+        lo, hi = bootstrap_mean_interval(values, seed=1)
+        assert lo < values.mean() < hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval(np.array([]))
+
+
+class TestEcdf:
+    def test_basic(self):
+        xs, ps = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+
+    def test_survival_complements(self):
+        xs, s = survival(np.array([1.0, 2.0, 3.0, 4.0]))
+        _xs, ps = ecdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(s + ps, 1.0)
+
+    def test_quantiles(self):
+        qs = quantiles(np.arange(101.0), (0.5,))
+        assert qs[0.5] == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+
+class TestFitting:
+    def exponential_sample(self, n=800):
+        return np.random.default_rng(3).exponential(10.0, size=n)
+
+    def weibull_sample(self, n=800, shape=0.5):
+        rng = np.random.default_rng(4)
+        return 10.0 * rng.weibull(shape, size=n)
+
+    def test_exponential_recovers_scale(self):
+        fit = fit_distribution(self.exponential_sample(), "exponential")
+        assert fit.params[0] == pytest.approx(10.0, rel=0.15)
+
+    def test_weibull_recovers_shape(self):
+        fit = fit_distribution(self.weibull_sample(), "weibull")
+        assert fit.params[0] == pytest.approx(0.5, rel=0.2)
+
+    def test_best_fit_picks_weibull_for_clustered(self):
+        fits = fit_all(self.weibull_sample())
+        assert fits[0].family in ("weibull", "lognormal")
+        by_family = {f.family: f for f in fits}
+        assert by_family["weibull"].ks_statistic < \
+            by_family["exponential"].ks_statistic
+
+    def test_best_fit_ok_with_exponential_data(self):
+        fit = best_fit(self.exponential_sample())
+        # Exponential is a Weibull(shape=1); either may win, but the
+        # exponential must not be strongly rejected.
+        exp_fit = fit_distribution(self.exponential_sample(), "exponential")
+        assert exp_fit.ks_pvalue > 0.01
+
+    def test_describe_mentions_family(self):
+        fit = fit_distribution(self.exponential_sample(), "exponential")
+        assert "exponential" in fit.describe()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_distribution(np.array([1.0, -1.0, 2.0, 3.0]), "weibull")
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ValueError):
+            fit_distribution(np.array([1.0, 2.0]), "exponential")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            fit_distribution(self.exponential_sample(), "cauchy")
+
+
+class TestHazard:
+    def test_exponential_flat_trend(self):
+        samples = np.random.default_rng(5).exponential(10.0, size=3000)
+        assert abs(hazard_trend(samples)) < 0.5
+
+    def test_clustered_decreasing_trend(self):
+        rng = np.random.default_rng(6)
+        samples = 10.0 * rng.weibull(0.4, size=3000)
+        assert hazard_trend(samples) < -0.3
+
+    def test_wearout_increasing_trend(self):
+        rng = np.random.default_rng(7)
+        samples = 10.0 * rng.weibull(3.0, size=3000)
+        assert hazard_trend(samples) > 0.3
+
+    def test_hazard_positive(self):
+        samples = np.random.default_rng(8).exponential(10.0, size=500)
+        _mids, rates = empirical_hazard(samples)
+        assert np.all(rates >= 0)
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_hazard(np.array([1.0, 2.0]))

@@ -1,0 +1,90 @@
+"""Tests for reliability trend statistics (Laplace, Crow/AMSAA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.trend import crow_amsaa_beta, laplace_test, trend_report
+
+
+class TestLaplace:
+    def test_symmetric_times_zero(self):
+        assert laplace_test(np.array([10.0, 50.0, 90.0]), 100.0) == \
+            pytest.approx(0.0)
+
+    def test_early_events_negative(self):
+        times = np.linspace(1, 20, 50)  # all in the first fifth
+        assert laplace_test(times, 100.0) < -3
+
+    def test_late_events_positive(self):
+        times = np.linspace(80, 99, 50)
+        assert laplace_test(times, 100.0) > 3
+
+    def test_poisson_usually_insignificant(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(40):
+            times = np.sort(rng.uniform(0, 1000, size=60))
+            if abs(laplace_test(times, 1000.0)) < 1.96:
+                hits += 1
+        assert hits >= 32  # ~95% nominally
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_test(np.array([]), 10.0)
+
+    def test_out_of_window_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_test(np.array([11.0]), 10.0)
+
+    @given(st.lists(st.floats(0.01, 99.9), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_score_finite(self, times):
+        score = laplace_test(np.asarray(times), 100.0)
+        assert np.isfinite(score)
+
+
+class TestCrowAmsaa:
+    def test_hpp_beta_near_one(self):
+        rng = np.random.default_rng(2)
+        betas = [crow_amsaa_beta(np.sort(rng.uniform(0, 1000, size=200)),
+                                 1000.0) for _ in range(20)]
+        assert np.median(betas) == pytest.approx(1.0, abs=0.2)
+
+    def test_wearout_beta_above_one(self):
+        # Power-law process with beta=2: t_i = T * sqrt(u_i).
+        rng = np.random.default_rng(3)
+        times = 1000.0 * np.sqrt(rng.uniform(0, 1, size=300))
+        assert crow_amsaa_beta(times, 1000.0) > 1.5
+
+    def test_growth_beta_below_one(self):
+        rng = np.random.default_rng(4)
+        times = 1000.0 * rng.uniform(0, 1, size=300) ** 2  # beta = 0.5
+        assert crow_amsaa_beta(times, 1000.0) < 0.7
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            crow_amsaa_beta(np.array([0.0, 5.0]), 10.0)
+
+
+class TestReport:
+    def test_verdicts(self):
+        early = trend_report(np.linspace(1, 10, 40), 100.0)
+        late = trend_report(np.linspace(90, 99, 40), 100.0)
+        flat = trend_report(np.array([25.0, 50.0, 75.0]), 100.0)
+        assert early.verdict == "improving"
+        assert late.verdict == "deteriorating"
+        assert flat.verdict == "stationary"
+
+    def test_on_simulated_failures(self, sim_result, scenario):
+        """Our synthetic field has no drift: the trend should rarely be
+        extreme (the injector is stationary by construction)."""
+        from repro.workload.jobs import Outcome
+
+        times = np.sort([r.end for r in sim_result.runs
+                         if r.outcome is Outcome.SYSTEM_FAILURE
+                         and r.end <= scenario.window.end])
+        if times.size >= 5:
+            report = trend_report(times, scenario.window.end)
+            assert abs(report.laplace_score) < 4.0
+            assert 0.2 < report.beta < 5.0

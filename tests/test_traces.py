@@ -1,0 +1,117 @@
+"""Tests for SWF workload traces and RAS fault traces (round-trips and
+replay)."""
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.faults.traces import export_fault_trace, import_fault_trace
+from repro.machine.nodetypes import NodeType
+from repro.sim.cluster import ClusterSimulator, SimConfig
+from repro.workload.swf import export_swf, import_swf
+
+
+class TestFaultTraceRoundTrip:
+    def test_roundtrip_identical(self, sim_result, tmp_path):
+        path = export_fault_trace(sim_result.faults, tmp_path / "faults.csv")
+        replayed = import_fault_trace(path)
+        assert len(replayed) == len(sim_result.faults)
+        for a, b in zip(sim_result.faults, replayed):
+            assert a == b
+
+    def test_replay_reproduces_outcomes(self, scenario, sim_result, tmp_path):
+        """Driving a fresh simulator with the exported trace and the same
+        workload reproduces the ground truth exactly."""
+        from repro.machine.blueprints import build_machine
+        from repro.util.rngs import RngFactory
+        from repro.workload.generator import WorkloadGenerator
+
+        path = export_fault_trace(sim_result.faults, tmp_path / "faults.csv")
+        faults = import_fault_trace(path)
+        rngs = RngFactory(scenario.seed)
+        machine = build_machine(scenario.blueprint)
+        generator = WorkloadGenerator(
+            scenario.workload,
+            {NodeType.XE: machine.count(NodeType.XE),
+             NodeType.XK: machine.count(NodeType.XK)},
+            rng_factory=rngs.child("workload"))
+        plans = generator.generate(scenario.window)
+        simulator = ClusterSimulator(machine, config=scenario.sim,
+                                     rng_factory=rngs.child("sim"))
+        replayed = simulator.run(plans, faults, scenario.window)
+        assert [(r.apid, r.outcome, round(r.end, 3)) for r in replayed.runs] \
+            == [(r.apid, r.outcome, round(r.end, 3)) for r in sim_result.runs]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("event_id,time_s\n1,2\n")
+        with pytest.raises(LogFormatError):
+            import_fault_trace(bad)
+
+    def test_malformed_row_rejected(self, sim_result, tmp_path):
+        path = export_fault_trace(sim_result.faults, tmp_path / "faults.csv")
+        text = path.read_text().splitlines()
+        text.append(text[-1].replace(text[-1].split(",")[0], "not-an-int", 1))
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(LogFormatError):
+            import_fault_trace(path)
+
+
+class TestSwf:
+    def test_export_shape(self, sim_result, tmp_path):
+        path = export_swf(sim_result, tmp_path / "trace.swf")
+        lines = [l for l in path.read_text().splitlines()
+                 if l and not l.startswith(";")]
+        assert len(lines) == len(sim_result.jobs)
+        assert all(len(l.split()) == 18 for l in lines)
+
+    def test_import_roundtrip_volume(self, sim_result, tmp_path):
+        path = export_swf(sim_result, tmp_path / "trace.swf")
+        plans = import_swf(path)
+        # Jobs with zero runtime (killed at start) are dropped.
+        assert 0 < len(plans) <= len(sim_result.jobs)
+        assert all(p.nodes >= 1 for p in plans)
+        submits = [p.submit_time for p in plans]
+        assert submits == sorted(submits)
+
+    def test_import_preserves_partitions(self, sim_result, tmp_path):
+        path = export_swf(sim_result, tmp_path / "trace.swf")
+        plans = import_swf(path)
+        exported_xk = sum(1 for j in sim_result.jobs
+                          if j.node_type is NodeType.XK
+                          and j.end_time > j.start_time)
+        imported_xk = sum(1 for p in plans if p.node_type is NodeType.XK)
+        assert imported_xk == exported_xk
+
+    def test_imported_trace_drives_simulator(self, sim_result, tmp_path,
+                                             tiny_machine):
+        from repro.faults.events import FaultTimeline
+        from repro.util.intervals import Interval
+
+        path = export_swf(sim_result, tmp_path / "trace.swf")
+        plans = import_swf(path)[:50]
+        # Clamp to the tiny machine's capacity for a fast smoke replay.
+        sim = ClusterSimulator(tiny_machine,
+                               config=SimConfig(launch_failure_prob=0.0))
+        window = Interval(0.0, max(p.submit_time for p in plans) + 1e6)
+        result = sim.run(plans, FaultTimeline(events=[]), window)
+        assert len(result.runs) == len(plans)
+
+    def test_comment_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("; header\n\n"
+                        "1 0 -1 100 4 -1 -1 4 200 -1 1 7 -1 -1 1 1 -1 -1\n")
+        plans = import_swf(path)
+        assert len(plans) == 1
+        assert plans[0].nodes == 4
+
+    def test_zero_runtime_dropped(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("1 0 -1 0 4 -1 -1 4 200 -1 5 7 -1 -1 1 1 -1 -1\n")
+        assert import_swf(path) == []
+
+    def test_malformed_rejected_strict(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(LogFormatError):
+            import_swf(path)
+        assert import_swf(path, strict=False) == []

@@ -1,0 +1,137 @@
+"""Tests for repro.util.intervals, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import (
+    Interval,
+    IntervalIndex,
+    merge_intervals,
+    sweep_join,
+    total_covered,
+)
+
+
+def ivs(max_value: float = 1000.0):
+    """Strategy producing a valid interval."""
+    return st.tuples(
+        st.floats(0, max_value, allow_nan=False),
+        st.floats(0, max_value, allow_nan=False),
+    ).map(lambda p: Interval(min(p), max(p)))
+
+
+class TestInterval:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_contains_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert not iv.contains(2.0)
+
+    def test_abutting_do_not_overlap(self):
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_overlap_symmetric(self):
+        a, b = Interval(0, 5), Interval(4, 6)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_union_span(self):
+        assert Interval(0, 1).union_span(Interval(5, 6)) == Interval(0, 6)
+
+    def test_padded(self):
+        assert Interval(5, 6).padded(1) == Interval(4, 7)
+        assert Interval(5, 6).padded(1, 2) == Interval(4, 8)
+
+    def test_shifted(self):
+        assert Interval(1, 2).shifted(10) == Interval(11, 12)
+
+    @given(ivs(), ivs())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+    @given(ivs(), ivs())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert inter.start >= max(a.start, b.start)
+            assert inter.end <= min(a.end, b.end)
+
+
+class TestMerge:
+    def test_merge_overlapping(self):
+        merged = merge_intervals([Interval(0, 2), Interval(1, 3)])
+        assert merged == [Interval(0, 3)]
+
+    def test_merge_with_gap(self):
+        merged = merge_intervals([Interval(0, 1), Interval(2, 3)], gap=1.0)
+        assert merged == [Interval(0, 3)]
+
+    def test_merge_keeps_disjoint(self):
+        merged = merge_intervals([Interval(0, 1), Interval(5, 6)])
+        assert len(merged) == 2
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            merge_intervals([], gap=-1)
+
+    @given(st.lists(ivs(), max_size=30))
+    def test_merged_are_sorted_and_disjoint(self, intervals):
+        merged = merge_intervals(intervals)
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.start
+
+    @given(st.lists(ivs(), max_size=30))
+    def test_total_covered_bounds(self, intervals):
+        covered = total_covered(intervals)
+        raw = sum(iv.duration for iv in intervals)
+        assert 0.0 <= covered <= raw + 1e-9
+
+
+class TestIntervalIndex:
+    def test_overlap_query(self):
+        items = [(Interval(i, i + 2), i) for i in range(0, 20, 3)]
+        index = IntervalIndex(items)
+        hits = set(index.payloads_overlapping(Interval(4, 8)))
+        brute = {p for iv, p in items if iv.overlaps(Interval(4, 8))}
+        assert hits == brute
+
+    def test_stabbing(self):
+        index = IntervalIndex([(Interval(0, 10), "a"), (Interval(5, 6), "b")])
+        assert {p for _iv, p in index.stabbing(5.5)} == {"a", "b"}
+        assert {p for _iv, p in index.stabbing(8.0)} == {"a"}
+
+    def test_len(self):
+        assert len(IntervalIndex([])) == 0
+
+    @given(st.lists(ivs(100), max_size=40), ivs(100))
+    def test_index_matches_brute_force(self, items, query):
+        pairs = [(iv, i) for i, iv in enumerate(items)]
+        index = IntervalIndex(pairs)
+        got = sorted(p for _iv, p in index.overlapping(query))
+        brute = sorted(i for i, iv in enumerate(items) if iv.overlaps(query))
+        assert got == brute
+
+
+class TestSweepJoin:
+    def test_basic_pairs(self):
+        left = [(Interval(0, 5), "l0"), (Interval(10, 12), "l1")]
+        right = [(Interval(4, 11), "r0"), (Interval(20, 21), "r1")]
+        pairs = set(sweep_join(left, right))
+        assert pairs == {("l0", "r0"), ("l1", "r0")}
+
+    @given(st.lists(ivs(50), max_size=25), st.lists(ivs(50), max_size=25))
+    def test_join_matches_brute_force(self, lefts, rights):
+        left = [(iv, f"l{i}") for i, iv in enumerate(lefts)]
+        right = [(iv, f"r{i}") for i, iv in enumerate(rights)]
+        got = set(sweep_join(left, right))
+        brute = {(lp, rp) for liv, lp in left for riv, rp in right
+                 if liv.overlaps(riv)}
+        assert got == brute

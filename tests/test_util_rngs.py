@@ -1,0 +1,64 @@
+"""Tests for deterministic RNG substreams."""
+
+import pytest
+
+from repro.util.rngs import RngFactory, substream
+
+
+class TestSubstream:
+    def test_same_seed_same_name_identical(self):
+        a = substream(7, "x").random(5)
+        b = substream(7, "x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        a = substream(7, "x").random(5)
+        b = substream(7, "y").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = substream(7, "x").random(5)
+        b = substream(8, "x").random(5)
+        assert list(a) != list(b)
+
+    def test_unicode_names_ok(self):
+        assert substream(1, "fautes/mémoire").random() is not None
+
+
+class TestRngFactory:
+    def test_get_returns_fresh_stream(self):
+        factory = RngFactory(3)
+        first = factory.get("a").random(3)
+        second = factory.get("a").random(3)
+        assert list(first) == list(second)
+
+    def test_issued_names_tracked(self):
+        factory = RngFactory(3)
+        factory.get("a")
+        factory.get("b")
+        assert factory.issued_names == ["a", "b"]
+
+    def test_child_namespacing(self):
+        factory = RngFactory(3)
+        scoped = factory.child("faults")
+        direct = factory.get("faults/mce").random(4)
+        via_child = scoped.get("mce").random(4)
+        assert list(direct) == list(via_child)
+
+    def test_nested_children(self):
+        factory = RngFactory(3)
+        deep = factory.child("a").child("b")
+        assert list(deep.get("c").random(2)) == list(
+            factory.get("a/b/c").random(2))
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("not-a-seed")  # type: ignore[arg-type]
+
+    def test_insensitive_to_issue_order(self):
+        f1 = RngFactory(9)
+        f1.get("first")
+        late = f1.get("second").random(3)
+        f2 = RngFactory(9)
+        early = f2.get("second").random(3)
+        assert list(late) == list(early)

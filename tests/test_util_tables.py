@@ -1,0 +1,122 @@
+"""Tests for the columnar Table utility."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.util.tables import Table, render_table
+
+
+@dataclass
+class Row:
+    name: str
+    value: int
+
+
+class TestConstruction:
+    def test_from_columns(self):
+        t = Table({"a": [1, 2, 3], "b": ["x", "y", "z"]})
+        assert len(t) == 3
+        assert t.fields == ["a", "b"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_from_dataclass_rows(self):
+        t = Table.from_rows([Row("x", 1), Row("y", 2)])
+        assert list(t["name"]) == ["x", "y"]
+
+    def test_from_dict_rows(self):
+        t = Table.from_rows([{"a": 1}, {"a": 2}])
+        assert list(t["a"]) == [1, 2]
+
+    def test_from_empty_rows_with_fields(self):
+        t = Table.from_rows([], fields=["a", "b"])
+        assert len(t) == 0
+        assert t.fields == ["a", "b"]
+
+    def test_unknown_column_keyerror_lists_available(self):
+        t = Table({"a": [1]})
+        with pytest.raises(KeyError, match="available"):
+            t["nope"]
+
+
+class TestTransforms:
+    @pytest.fixture
+    def table(self):
+        return Table({"k": ["a", "b", "a", "c"], "v": [3, 1, 2, 4]})
+
+    def test_where_mask(self, table):
+        out = table.where(np.asarray([True, False, True, False]))
+        assert list(out["v"]) == [3, 2]
+
+    def test_where_predicate(self, table):
+        out = table.where(lambda row: row["v"] >= 3)
+        assert list(out["k"]) == ["a", "c"]
+
+    def test_where_bad_mask_length(self, table):
+        with pytest.raises(ValueError):
+            table.where(np.asarray([True]))
+
+    def test_select(self, table):
+        assert table.select("v").fields == ["v"]
+
+    def test_with_column(self, table):
+        out = table.with_column("w", [0, 0, 0, 0])
+        assert "w" in out
+        assert "w" not in table  # original untouched
+
+    def test_sort_by(self, table):
+        out = table.sort_by("v")
+        assert list(out["v"]) == [1, 2, 3, 4]
+
+    def test_sort_by_reverse(self, table):
+        out = table.sort_by("v", reverse=True)
+        assert list(out["v"]) == [4, 3, 2, 1]
+
+    def test_sort_multi_key_primary_first(self):
+        t = Table({"a": [1, 0, 1, 0], "b": [2, 1, 1, 2]})
+        out = t.sort_by("a", "b")
+        assert list(zip(out["a"], out["b"])) == [(0, 1), (0, 2), (1, 1), (1, 2)]
+
+    def test_group_by_column(self, table):
+        groups = table.group_by("k")
+        assert set(groups) == {"a", "b", "c"}
+        assert list(groups["a"]["v"]) == [3, 2]
+
+    def test_group_by_function(self, table):
+        groups = table.group_by(lambda row: row["v"] % 2)
+        assert sorted(groups) == [0, 1]
+
+    def test_concat(self, table):
+        out = table.concat(table)
+        assert len(out) == 8
+
+    def test_concat_field_mismatch(self, table):
+        with pytest.raises(ValueError):
+            table.concat(Table({"x": [1]}))
+
+    def test_rows_roundtrip(self, table):
+        rows = list(table.rows())
+        rebuilt = Table.from_rows(rows)
+        assert list(rebuilt["v"]) == list(table["v"])
+
+
+class TestRender:
+    def test_render_aligns_columns(self):
+        text = render_table(["name", "v"], [["alpha", "1"], ["b", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_table_render_max_rows(self):
+        t = Table({"a": list(range(100))})
+        text = t.render(max_rows=5)
+        assert len(text.splitlines()) == 7
+
+    def test_float_formatting(self):
+        t = Table({"x": [1.23456789]})
+        assert "1.235" in t.render()

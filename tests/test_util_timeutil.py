@@ -1,0 +1,93 @@
+"""Tests for repro.util.timeutil."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    PAPER_WINDOW_SECONDS,
+    Epoch,
+    format_duration,
+    seconds_to_node_hours,
+)
+
+
+class TestEpoch:
+    def test_roundtrip_datetime(self):
+        epoch = Epoch()
+        assert epoch.to_seconds(epoch.to_datetime(12345.5)) == 12345.5
+
+    def test_default_epoch_is_utc_2013(self):
+        epoch = Epoch()
+        moment = epoch.to_datetime(0.0)
+        assert moment.year == 2013
+        assert moment.tzinfo is not None
+
+    def test_naive_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            Epoch(start=datetime(2013, 4, 1))
+
+    def test_custom_epoch(self):
+        start = datetime(2020, 1, 1, tzinfo=timezone.utc)
+        epoch = Epoch(start=start)
+        assert epoch.to_datetime(DAY).day == 2
+
+    def test_format_iso_roundtrip(self):
+        epoch = Epoch()
+        for seconds in (0.0, 3600.0, 86399.0, 40 * DAY):
+            assert epoch.parse_iso(epoch.format_iso(seconds)) == seconds
+
+    def test_format_torque_roundtrip(self):
+        epoch = Epoch()
+        for seconds in (0.0, 12 * HOUR, 517 * DAY):
+            assert epoch.parse_torque(epoch.format_torque(seconds)) == seconds
+
+    def test_format_syslog_shape(self):
+        text = Epoch().format_syslog(0.0)
+        assert text == "Apr  1 00:00:00"
+
+    def test_syslog_single_digit_day_padding(self):
+        # Day 1..9 renders with a leading space (RFC3164).
+        text = Epoch().format_syslog(2 * DAY)
+        assert text.startswith("Apr  3")
+
+    def test_parse_syslog_roundtrip(self):
+        epoch = Epoch()
+        for seconds in (0.0, 90061.0, 200 * DAY + 3661):
+            text = epoch.format_syslog(seconds)
+            assert epoch.parse_syslog(text) == seconds
+
+    def test_parse_syslog_year_rollover(self):
+        epoch = Epoch()
+        # 300 days after 2013-04-01 is January 2014; without a year hint
+        # the parser must land after the epoch, not 90 days before it.
+        seconds = 300 * DAY
+        text = epoch.format_syslog(seconds)
+        assert epoch.parse_syslog(text) == seconds
+
+
+class TestHelpers:
+    def test_seconds_to_node_hours(self):
+        assert seconds_to_node_hours(3600.0, 10) == 10.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_node_hours(-1.0, 1)
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_node_hours(1.0, -1)
+
+    def test_format_duration_clock(self):
+        assert format_duration(602) == "00:10:02"
+
+    def test_format_duration_days(self):
+        assert format_duration(2 * DAY + 3 * HOUR + 4 * 60 + 5) == "2d 03:04:05"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-60) == "-00:01:00"
+
+    def test_paper_window(self):
+        assert PAPER_WINDOW_SECONDS == 518 * DAY

@@ -1,0 +1,77 @@
+"""Tests for ASCII visualization helpers."""
+
+import pytest
+
+from repro.util.viz import bar_chart, cdf_plot, scatter_curve, sparkline
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(17))) == 17
+
+
+class TestBarChart:
+    def test_alignment(self):
+        chart = bar_chart(["aa", "b"], [2.0, 4.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].startswith("aa")
+        assert "████" in lines[1]
+        assert "██" in lines[0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_zero_values_ok(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in chart
+
+    def test_unit_suffix(self):
+        assert "5h" in bar_chart(["a"], [5.0], unit="h")
+
+
+class TestCdfPlot:
+    def test_shape(self):
+        plot = cdf_plot([1, 2, 3, 4, 5], width=20, height=5)
+        lines = plot.splitlines()
+        assert len(lines) == 5 + 3  # header + grid + rule + axis
+        assert "•" in plot
+
+    def test_log_scale_for_wide_range(self):
+        plot = cdf_plot([1, 10, 100, 10000])
+        assert "log x" in plot
+
+    def test_linear_for_narrow_range(self):
+        plot = cdf_plot([1, 2, 3])
+        assert "log" not in plot
+
+    def test_too_few_values(self):
+        with pytest.raises(ValueError):
+            cdf_plot([1.0])
+
+
+class TestScatterCurve:
+    def test_contains_points(self):
+        plot = scatter_curve([1, 2, 3], [1, 4, 9], label="p vs n")
+        assert "o" in plot
+        assert "p vs n" in plot
+
+    def test_bounds_in_footer(self):
+        plot = scatter_curve([0, 10], [0.0, 0.5])
+        assert "x: 0..10" in plot
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_curve([1], [1, 2])

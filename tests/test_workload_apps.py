@@ -1,0 +1,143 @@
+"""Tests for application archetypes and samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.nodetypes import NodeType
+from repro.workload.apps import DEFAULT_MIX, AppArchetype, archetype_by_name
+from repro.workload.distributions import (
+    capability_scale,
+    sample_capability_walltime,
+    sample_runs_per_job,
+    sample_scale,
+    sample_walltime,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestMix:
+    def test_shares_sum_to_one(self):
+        assert sum(a.run_share for a in DEFAULT_MIX) == pytest.approx(1.0)
+
+    def test_both_partitions_present(self):
+        types = {a.node_type for a in DEFAULT_MIX}
+        assert types == {NodeType.XE, NodeType.XK}
+
+    def test_lookup_by_name(self):
+        assert archetype_by_name("NAMD").field == "molecular dynamics"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            archetype_by_name("DOOM")
+
+    def test_some_capability_archetypes(self):
+        assert any(a.capability_prob > 0 for a in DEFAULT_MIX)
+
+    def test_ensemble_codes_strong_scale(self):
+        """The calibrated mechanism: big ensemble members run shorter."""
+        assert archetype_by_name("CHROMA").walltime_scale_exp < 0
+
+    def test_validation_rejects_bad_share(self):
+        with pytest.raises(ConfigurationError):
+            AppArchetype(name="X", field="f", node_type=NodeType.XE,
+                         run_share=0.0, scale_median=8, scale_sigma=1.0,
+                         scale_min=1, scale_max=8, capability_prob=0.0,
+                         walltime_median_s=60, walltime_sigma=1.0,
+                         walltime_scale_exp=0.0, comm_intensity=0.5,
+                         io_intensity=0.5, checkpoint_interval_s=0,
+                         user_failure_prob=0.0)
+
+    def test_validation_rejects_inverted_scale_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AppArchetype(name="X", field="f", node_type=NodeType.XE,
+                         run_share=0.1, scale_median=8, scale_sigma=1.0,
+                         scale_min=10, scale_max=5, capability_prob=0.0,
+                         walltime_median_s=60, walltime_sigma=1.0,
+                         walltime_scale_exp=0.0, comm_intensity=0.5,
+                         io_intensity=0.5, checkpoint_interval_s=0,
+                         user_failure_prob=0.0)
+
+
+class TestScaleSampling:
+    def test_within_bounds(self):
+        archetype = archetype_by_name("NAMD")
+        for seed in range(50):
+            n = sample_scale(archetype, rng(seed), partition_size=22640)
+            assert archetype.scale_min <= n <= archetype.scale_max
+
+    def test_partition_caps(self):
+        archetype = archetype_by_name("NAMD")
+        for seed in range(50):
+            assert sample_scale(archetype, rng(seed), partition_size=64) <= 64
+
+    def test_capability_near_full_scale(self):
+        for seed in range(50):
+            n = sample_scale(archetype_by_name("NAMD"), rng(seed),
+                             partition_size=22640, capability=True)
+            assert n >= 0.4 * 22640
+
+    def test_capability_scale_anchors(self):
+        scales = {capability_scale(rng(s), 10000) for s in range(200)}
+        assert max(scales) > 9500      # full-machine runs occur
+        assert min(scales) >= 4000     # never below 40%
+
+    def test_median_roughly_respected(self):
+        archetype = archetype_by_name("CHROMA")
+        samples = [sample_scale(archetype, rng(s), 22640) for s in range(400)]
+        median = np.median(samples)
+        assert archetype.scale_median / 3 < median < archetype.scale_median * 3
+
+
+class TestWalltimeSampling:
+    def test_positive_and_capped(self):
+        archetype = archetype_by_name("NAMD")
+        for seed in range(100):
+            t = sample_walltime(archetype, 256, rng(seed))
+            assert 60.0 <= t <= 48 * 3600.0
+
+    def test_strong_scaling_shortens_big_runs(self):
+        archetype = archetype_by_name("CHROMA")  # negative exponent
+        small = np.median([sample_walltime(archetype, archetype.scale_median,
+                                           rng(s)) for s in range(300)])
+        big = np.median([sample_walltime(archetype, 8192, rng(s))
+                         for s in range(300)])
+        assert big < small
+
+    def test_flat_below_median(self):
+        archetype = archetype_by_name("CHROMA")
+        at_median = np.median([sample_walltime(archetype, 512, rng(s))
+                               for s in range(300)])
+        below = np.median([sample_walltime(archetype, 8, rng(s))
+                           for s in range(300)])
+        assert below == pytest.approx(at_median, rel=0.3)
+
+    def test_capability_walltime_grows_with_fraction(self):
+        archetype = archetype_by_name("NAMD")
+        half = np.median([sample_capability_walltime(archetype, 11000, 22640,
+                                                     rng(s))
+                          for s in range(300)])
+        full = np.median([sample_capability_walltime(archetype, 22640, 22640,
+                                                     rng(s))
+                          for s in range(300)])
+        assert full > 2 * half
+
+    @given(st.integers(1, 22640), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_capability_walltime_always_valid(self, nodes, seed):
+        archetype = archetype_by_name("NAMD")
+        t = sample_capability_walltime(archetype, nodes, 22640, rng(seed))
+        assert 600.0 <= t <= 48 * 3600.0
+
+
+class TestRunsPerJob:
+    def test_at_least_one(self):
+        assert all(sample_runs_per_job(rng(s)) >= 1 for s in range(100))
+
+    def test_mean_matches(self):
+        samples = [sample_runs_per_job(rng(s), 1.5) for s in range(2000)]
+        assert np.mean(samples) == pytest.approx(2.5, rel=0.1)

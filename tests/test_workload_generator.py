@@ -1,0 +1,206 @@
+"""Tests for job/run records, the workload generator, scheduler queue,
+and checkpoint accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.allocation import NodeAllocator
+from repro.machine.blueprints import MachineBlueprint, build_machine
+from repro.machine.nodetypes import NodeType
+from repro.util.intervals import Interval
+from repro.util.timeutil import DAY
+from repro.workload.checkpoint import lost_work_s, preserved_work_s
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.jobs import AppRunPlan, AppRunRecord, JobPlan, Outcome
+from repro.workload.scheduler import FcfsQueue
+
+PARTITIONS = {NodeType.XE: 22640, NodeType.XK: 4224}
+
+
+def make_generator(seed=0, **kwargs):
+    config = WorkloadConfig(**kwargs) if kwargs else WorkloadConfig()
+    return WorkloadGenerator(config, PARTITIONS, seed=seed)
+
+
+class TestConfig:
+    def test_default_valid(self):
+        WorkloadConfig()
+
+    def test_thinned_scales_rate(self):
+        thin = WorkloadConfig().thinned(0.1)
+        assert thin.jobs_per_day == pytest.approx(386.0)
+
+    def test_thinned_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig().thinned(0.0)
+
+    def test_bad_mix_rejected(self):
+        from repro.workload.apps import DEFAULT_MIX
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(mix=DEFAULT_MIX[:3])  # shares don't sum to 1
+
+    def test_missing_partition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(WorkloadConfig(), {NodeType.XE: 100})
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def plans(self):
+        return make_generator(seed=3).generate(Interval(0, 7 * DAY))
+
+    def test_volume_close_to_expected(self, plans):
+        expected = WorkloadConfig().jobs_per_day * 7
+        assert abs(len(plans) - expected) < 0.1 * expected
+
+    def test_submit_times_sorted_inside_window(self, plans):
+        times = [p.submit_time for p in plans]
+        assert times == sorted(times)
+        assert all(0 <= t < 7 * DAY for t in times)
+
+    def test_job_ids_unique(self, plans):
+        ids = [p.job_id for p in plans]
+        assert len(set(ids)) == len(ids)
+
+    def test_nodes_within_partition(self, plans):
+        for plan in plans:
+            assert 1 <= plan.nodes <= PARTITIONS[plan.node_type]
+
+    def test_every_job_has_runs(self, plans):
+        assert all(plan.runs for plan in plans)
+
+    def test_walltime_positive(self, plans):
+        assert all(plan.walltime_s > 0 for plan in plans)
+
+    def test_some_underestimates(self, plans):
+        """A few percent of jobs request less walltime than their work."""
+        under = [p for p in plans
+                 if p.walltime_s < sum(r.natural_duration_s for r in p.runs)]
+        frac = len(under) / len(plans)
+        assert 0.01 < frac < 0.15
+
+    def test_both_partitions_used(self, plans):
+        types = {p.node_type for p in plans}
+        assert types == {NodeType.XE, NodeType.XK}
+
+    def test_deterministic(self):
+        a = make_generator(seed=3).generate(Interval(0, DAY))
+        b = make_generator(seed=3).generate(Interval(0, DAY))
+        assert [(p.submit_time, p.nodes) for p in a] == \
+               [(p.submit_time, p.nodes) for p in b]
+
+    def test_capability_jobs_single_run(self):
+        plans = make_generator(seed=5).generate(Interval(0, 30 * DAY))
+        # XE body scale is capped at 10k nodes, so any XE job above half
+        # the partition is a hero job.
+        heroes = [p for p in plans if p.node_type is NodeType.XE
+                  and p.nodes >= 0.5 * PARTITIONS[NodeType.XE]]
+        assert heroes, "30 days should include XE capability jobs"
+        assert all(len(p.runs) == 1 for p in heroes)
+
+    def test_expected_runs_estimate(self):
+        generator = make_generator()
+        estimate = generator.expected_runs(Interval(0, 30 * DAY))
+        plans = generator.generate(Interval(0, 30 * DAY))
+        actual = sum(len(p.runs) for p in plans)
+        assert abs(actual - estimate) < 0.2 * estimate
+
+
+class TestRecords:
+    def test_job_plan_validation(self):
+        with pytest.raises(ValueError):
+            JobPlan(job_id=1, user="u", submit_time=0.0,
+                    node_type=NodeType.XE, nodes=0, walltime_s=60,
+                    runs=(AppRunPlan("x", 60.0, False),))
+
+    def test_job_plan_needs_runs(self):
+        with pytest.raises(ValueError):
+            JobPlan(job_id=1, user="u", submit_time=0.0,
+                    node_type=NodeType.XE, nodes=1, walltime_s=60, runs=())
+
+    def test_run_record_node_hours(self):
+        record = AppRunRecord(apid=1, job_id=1, app_name="x",
+                              node_type=NodeType.XE, node_ids=(0, 1, 2, 3),
+                              start=0.0, end=3600.0,
+                              outcome=Outcome.COMPLETED, exit_code=0)
+        assert record.node_hours == 4.0
+        assert record.lost_node_hours == 0.0
+
+    def test_run_record_lost_hours_with_checkpoint(self):
+        record = AppRunRecord(apid=1, job_id=1, app_name="x",
+                              node_type=NodeType.XE, node_ids=(0, 1),
+                              start=0.0, end=7200.0,
+                              outcome=Outcome.SYSTEM_FAILURE, exit_code=137,
+                              checkpointed_s=3600.0)
+        assert record.lost_node_hours == pytest.approx(2.0)
+
+    def test_outcome_flags(self):
+        assert Outcome.SYSTEM_FAILURE.is_failure
+        assert Outcome.SYSTEM_FAILURE.is_system_caused
+        assert Outcome.USER_FAILURE.is_failure
+        assert not Outcome.USER_FAILURE.is_system_caused
+        assert not Outcome.COMPLETED.is_failure
+
+
+class TestCheckpointAccounting:
+    def test_preserved_multiples(self):
+        assert preserved_work_s(3700.0, 3600.0) == 3600.0
+        assert preserved_work_s(7300.0, 3600.0) == 7200.0
+
+    def test_no_checkpointing(self):
+        assert preserved_work_s(7300.0, 0.0) == 0.0
+
+    def test_lost_plus_preserved_is_elapsed(self):
+        for elapsed in (0.0, 100.0, 3599.0, 3600.0, 10000.0):
+            total = preserved_work_s(elapsed, 3600.0) + lost_work_s(elapsed, 3600.0)
+            assert total == pytest.approx(elapsed)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            preserved_work_s(-1.0, 60.0)
+
+
+class TestFcfsQueue:
+    @pytest.fixture
+    def setup(self):
+        machine = build_machine(MachineBlueprint(n_xe=32, n_xk=8, n_service=0))
+        allocator = NodeAllocator(machine)
+        return machine, allocator, FcfsQueue(allocator)
+
+    def plan(self, job_id, nodes, node_type=NodeType.XE):
+        return JobPlan(job_id=job_id, user="u", submit_time=0.0,
+                       node_type=node_type, nodes=nodes, walltime_s=60,
+                       runs=(AppRunPlan("x", 30.0, False),))
+
+    def test_startable_when_fits(self, setup):
+        _machine, _allocator, queue = setup
+        queue.submit(self.plan(1, 8))
+        assert queue.startable(NodeType.XE).job_id == 1
+
+    def test_head_of_line_blocks(self, setup):
+        _machine, allocator, queue = setup
+        allocator.allocate(NodeType.XE, 30)
+        queue.submit(self.plan(1, 16))   # does not fit (2 free)
+        queue.submit(self.plan(2, 2))    # would fit, but behind the head
+        assert queue.startable(NodeType.XE) is None
+
+    def test_oversized_head_clamped_to_capacity(self, setup):
+        _machine, _allocator, queue = setup
+        queue.submit(self.plan(1, 99999))
+        # Fits once clamped to the partition size.
+        assert queue.startable(NodeType.XE) is not None
+
+    def test_queued_counts(self, setup):
+        _machine, _allocator, queue = setup
+        queue.submit(self.plan(1, 4))
+        queue.submit(self.plan(2, 4, NodeType.XK))
+        assert queue.queued() == 2
+        assert queue.queued(NodeType.XK) == 1
+
+    def test_pop_order(self, setup):
+        _machine, _allocator, queue = setup
+        queue.submit(self.plan(1, 4))
+        queue.submit(self.plan(2, 4))
+        assert queue.pop(NodeType.XE).job_id == 1
+        assert queue.pop(NodeType.XE).job_id == 2
