@@ -33,3 +33,21 @@ def save_result():
 def run_once(benchmark, fn):
     """Run an experiment exactly once under the benchmark clock."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Report what the persistent result cache did for this session.
+
+    Presets route through :mod:`repro.campaign.cache`, so a warm bench
+    session skips simulation entirely -- the counters make that visible
+    instead of leaving a mysteriously fast run.
+    """
+    from repro.campaign.cache import get_cache
+
+    cache = get_cache()
+    stats = cache.stats.as_dict()
+    if any(stats.values()):
+        terminalreporter.write_line(
+            f"[repro cache] hits={stats['hits']} misses={stats['misses']} "
+            f"stores={stats['stores']} errors={stats['errors']} "
+            f"dir={cache.directory} (REPRO_NO_CACHE=1 disables)")

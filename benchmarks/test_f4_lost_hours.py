@@ -19,8 +19,6 @@ def test_f4_lost_node_hours(benchmark, save_result):
     assert 0.03 < share < 0.20, share
     analysis = ambient_analysis()
     # Heavy tail: the top decile of failed runs dominates the loss.
-    import numpy as np
-
     from repro.core.waste import lost_node_hours_distribution
 
     losses = lost_node_hours_distribution(analysis.diagnosed,

@@ -5,7 +5,6 @@ magnitude -- no runaway drift in the synthetic field data -- while still
 fluctuating (real field data is never flat).
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments.runner import run_f9

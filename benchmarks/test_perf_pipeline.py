@@ -1,0 +1,121 @@
+"""Pipeline perf trajectory: stage timings + cache behaviour.
+
+Runs the ambient scenario end to end once -- simulate, write the text
+bundle, re-parse it, analyze -- timing every stage (including LogDiver's
+internal stages via ``analyze(timings=...)``), then exercises the
+result cache on the parsed bundle to quantify what a warm start saves.
+The machine-readable record lands in ``benchmarks/results/
+BENCH_pipeline.json`` so the stage trajectory is diffable across
+commits.
+
+``REPRO_PERF_DAYS`` shrinks the window for quick local runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.campaign.cache import ResultCache, cache_key
+from repro.core.attribution import SpatialIndex
+from repro.core.pipeline import LogDiver
+from repro.logs.bundle import read_bundle, write_bundle
+from repro.sim.scenario import paper_scenario
+
+DAYS = float(os.environ.get("REPRO_PERF_DAYS", "120"))
+THINNING = 0.02
+SEED = 2015
+
+
+def _run_pipeline() -> dict:
+    stages: dict[str, float] = {}
+
+    def timed(name, fn):
+        start = time.perf_counter()
+        out = fn()
+        stages[name] = round(time.perf_counter() - start, 3)
+        return out
+
+    result = timed("simulate", lambda: paper_scenario(
+        days=DAYS, workload_thinning=THINNING, seed=SEED).run())
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_dir = Path(tmp) / "bundle"
+        timed("write_bundle",
+              lambda: write_bundle(result, bundle_dir, seed=SEED))
+        bundle = timed("read_bundle", lambda: read_bundle(bundle_dir))
+
+        logdiver_stages: dict[str, float] = {}
+        analysis = timed("analyze", lambda: LogDiver().analyze(
+            bundle, timings=logdiver_stages))
+
+        # What does a warm start save?  Persist the two cached
+        # artifacts and read them back: a bundle hit replaces the whole
+        # simulate+write+read chain, and an analysis hit (what a warm
+        # ``python -m repro.experiments T4`` takes) replaces everything.
+        cache = ResultCache(Path(tmp) / "cache", enabled=True)
+        bundle_key = cache_key("perf_bundle", {"days": DAYS, "seed": SEED})
+        analysis_key = cache_key("perf_analysis", {"days": DAYS,
+                                                   "seed": SEED})
+        timed("cache_store_bundle", lambda: cache.store(bundle_key, bundle))
+        found_b, _ = timed("cache_load_bundle",
+                           lambda: cache.load(bundle_key))
+        timed("cache_store_analysis",
+              lambda: cache.store(analysis_key, analysis))
+        found_a, _ = timed("cache_load_analysis",
+                           lambda: cache.load(analysis_key))
+        assert found_b and found_a
+        cache_stats = cache.stats.as_dict()
+
+        # Attribution spatial lookups: every cluster component against
+        # the prefix index (historically an O(nodemap) scan per pair).
+        components = sorted({c for cluster in analysis.clusters
+                             for c in cluster.components})
+        index = SpatialIndex(bundle)
+        start = time.perf_counter()
+        for component in components:
+            index.component_nids(component)
+        lookup_s = time.perf_counter() - start
+
+    return {
+        "schema": "bench-pipeline/1",
+        "scenario": {"days": DAYS, "thinning": THINNING, "seed": SEED},
+        "runs": len(analysis.diagnosed),
+        "error_records": len(analysis.errors),
+        "clusters": len(analysis.clusters),
+        "stages_s": stages,
+        "logdiver_stages_s": {k: round(v, 3)
+                              for k, v in logdiver_stages.items()},
+        "cache": cache_stats,
+        "attribution_lookup": {
+            "distinct_components": len(components),
+            "cold_lookup_s": round(lookup_s, 4),
+        },
+    }
+
+
+def test_perf_pipeline(benchmark):
+    payload = benchmark.pedantic(_run_pipeline, rounds=1, iterations=1)
+    stages = payload["stages_s"]
+    # Sanity: the stage clocks measured real work and sum coherently.
+    assert all(v >= 0.0 for v in stages.values())
+    assert payload["runs"] > 0 and payload["clusters"] > 0
+    assert set(payload["logdiver_stages_s"]) == {
+        "classify", "filter", "assemble", "attribute", "categorize",
+        "metrics"}
+    # A cache hit must beat the cold chain it replaces: the bundle load
+    # vs simulate+write+read, the analysis load vs the whole pipeline.
+    cold_bundle = (stages["simulate"] + stages["write_bundle"]
+                   + stages["read_bundle"])
+    assert stages["cache_load_bundle"] < cold_bundle
+    assert stages["cache_load_analysis"] < cold_bundle + stages["analyze"]
+    assert payload["cache"] == {"hits": 2, "misses": 0, "stores": 2,
+                                "errors": 0}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_pipeline.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))

@@ -1,0 +1,29 @@
+"""Campaign engine: parallel fan-out plus a persistent result cache.
+
+Large-N experiment campaigns (scaling sweeps, ablation variants,
+multi-seed replications) decompose into *independent work units* whose
+randomness is already isolated by named :class:`~repro.util.rngs.RngFactory`
+substreams.  This package exploits that twice:
+
+* :mod:`repro.campaign.engine` fans units across a ``spawn``-based
+  process pool with results returned in submission order, so parallel
+  campaigns are byte-identical to serial ones;
+* :mod:`repro.campaign.cache` keys finished results by a SHA-256 of the
+  canonicalized configuration (plus seed and a code-version salt) and
+  persists them on disk, so repeated CLI runs and benchmark sessions
+  skip simulation entirely.
+"""
+
+from repro.campaign.cache import (
+    ResultCache,
+    cache_key,
+    canonical_params,
+    configure_cache,
+    get_cache,
+)
+from repro.campaign.engine import configure_engine, resolve_jobs, run_campaign
+
+__all__ = [
+    "ResultCache", "cache_key", "canonical_params", "configure_cache",
+    "get_cache", "configure_engine", "resolve_jobs", "run_campaign",
+]

@@ -1,0 +1,199 @@
+"""Persistent, content-addressed cache for campaign results.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) as
+pickle files named by a SHA-256 key over:
+
+* a *kind* tag (``"ambient_result"``, ``"ambient_analysis"``, ...),
+* the canonicalized parameters (dicts sorted, tuples listified,
+  integer-valued floats collapsed to ints so ``days=120`` and
+  ``days=120.0`` share an entry),
+* a *code-version salt* (package version + schema tag) so stale entries
+  from older pipeline code never leak into new runs.
+
+The cache is strictly an optimization: a corrupted or truncated entry is
+treated as a miss and recomputed, never raised.  ``REPRO_NO_CACHE=1``
+(or :func:`configure_cache` / the CLI ``--no-cache`` flag) disables it
+wholesale.  Hit/miss/store counters are kept per-process so benchmarks
+and the CLI can report what the cache actually did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import repro
+
+__all__ = ["CacheStats", "ResultCache", "cache_key", "canonical_params",
+           "configure_cache", "get_cache", "default_cache_dir",
+           "CACHE_SCHEMA", "code_salt"]
+
+#: Bump when a change invalidates previously cached results wholesale
+#: (serialization layout, pipeline semantics, ...).
+CACHE_SCHEMA = "repro-cache/1"
+
+
+def code_salt() -> str:
+    """The default code-version salt baked into every cache key."""
+    return f"{CACHE_SCHEMA}:{getattr(repro, '__version__', '0')}"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _env_disabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0")
+
+
+def canonical_params(value: Any) -> Any:
+    """Canonicalize a parameter tree for hashing *and* memo keys.
+
+    Floats that carry an integral value collapse to ints (``120.0`` and
+    ``120`` must not alias to different keys), tuples become lists, and
+    dict keys are stringified so the JSON dump is deterministic.  Bools
+    are preserved (a bool is an int subclass but ``True`` and ``1`` are
+    different knob settings only in name -- JSON keeps them distinct).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return int(value) if value.is_integer() else value
+    if isinstance(value, (list, tuple)):
+        return [canonical_params(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical_params(v) for k, v in sorted(value.items())}
+    if hasattr(value, "value") and isinstance(getattr(value, "value"), str):
+        return value.value  # str-valued enums (NodeType, ErrorCategory, ...)
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for a "
+                    f"cache key: {value!r}")
+
+
+def cache_key(kind: str, params: dict[str, Any], *,
+              salt: str | None = None) -> str:
+    """SHA-256 key for one (kind, params) unit under a code salt."""
+    payload = {"kind": kind, "params": canonical_params(params),
+               "salt": salt if salt is not None else code_salt()}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Per-process counters of what the disk cache actually did."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.errors = 0
+
+
+class ResultCache:
+    """Content-addressed pickle store with corruption fallback."""
+
+    def __init__(self, directory: Path | None = None, *,
+                 enabled: bool | None = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.enabled = (not _env_disabled()) if enabled is None else enabled
+        self.stats = CacheStats()
+
+    # -- low-level entry access ---------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / "objects" / f"{key}.pkl"
+
+    def load(self, key: str) -> tuple[bool, Any]:
+        """``(found, value)``; any unreadable entry counts as a miss."""
+        if not self.enabled:
+            return False, None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # Truncated write, pickle from an incompatible code version,
+            # bit rot: recompute rather than crash the experiment.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist one entry (best effort, never raises)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.stores += 1
+
+    # -- the one call sites use ---------------------------------------------
+
+    def get_or_compute(self, kind: str, params: dict[str, Any],
+                       compute: Callable[[], Any], *,
+                       salt: str | None = None) -> Any:
+        """Return the cached value for (kind, params), computing on miss."""
+        key = cache_key(kind, params, salt=salt)
+        found, value = self.load(key)
+        if found:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+
+_cache: ResultCache | None = None
+
+
+def get_cache() -> ResultCache:
+    """The process-wide cache (created on first use)."""
+    global _cache
+    if _cache is None:
+        _cache = ResultCache()
+    return _cache
+
+
+def configure_cache(*, enabled: bool | None = None,
+                    directory: str | Path | None = None) -> ResultCache:
+    """Reconfigure the process-wide cache (CLI flags, tests)."""
+    global _cache
+    current = get_cache()
+    _cache = ResultCache(
+        Path(directory) if directory is not None else current.directory,
+        enabled=current.enabled if enabled is None else enabled)
+    return _cache

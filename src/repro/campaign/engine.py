@@ -1,0 +1,81 @@
+"""Deterministic parallel fan-out of independent campaign units.
+
+A *unit* is one call of a module-level function with picklable keyword
+arguments and a picklable return value -- a sweep scale point, one
+ablation variant, one seed of a replication.  Units must derive all
+randomness from their own arguments (the repository convention: a
+:class:`~repro.util.rngs.RngFactory` seeded per unit), which makes the
+pool embarrassingly parallel *and* byte-identical to the serial loop:
+results are returned in submission order, and each worker executes
+exactly the code the serial path would.
+
+The ``spawn`` start method is used deliberately: workers import fresh
+interpreters, so no state leaks from the parent (fork would copy loaded
+caches and RNG state and hide ordering bugs).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["configure_engine", "resolve_jobs", "run_campaign"]
+
+#: Process-wide default set by the CLI's ``--jobs`` (None = env / serial).
+_default_jobs: int | None = None
+
+
+def configure_engine(*, jobs: int | None = None) -> None:
+    """Set the process-wide default worker count (CLI ``--jobs``).
+
+    ``jobs=0`` means "all cores" (resolved by :func:`resolve_jobs`);
+    ``None`` clears the override.
+    """
+    global _default_jobs
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit arg > CLI/config > $REPRO_JOBS > 1.
+
+    ``jobs=0`` (or ``REPRO_JOBS=0``) means "all cores".
+    """
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_campaign(fn: Callable[..., Any],
+                 units: Sequence[dict[str, Any]], *,
+                 jobs: int | None = None) -> list[Any]:
+    """Run ``fn(**unit)`` for every unit, preserving unit order.
+
+    With an effective worker count of 1 (the default) this is a plain
+    serial loop -- the parallel path runs the very same function, so the
+    two are interchangeable and the determinism tests assert exactly
+    that.
+    """
+    units = list(units)
+    workers = min(resolve_jobs(jobs), len(units)) if units else 1
+    if workers <= 1:
+        return [fn(**unit) for unit in units]
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=context) as pool:
+        futures = [pool.submit(fn, **unit) for unit in units]
+        return [future.result() for future in futures]

@@ -63,7 +63,15 @@ class Attribution:
 
 
 class SpatialIndex:
-    """Pre-computed spatial lookups from the bundle's node map."""
+    """Pre-computed spatial lookups from the bundle's node map.
+
+    All containment structure is indexed once here: beyond the plain
+    cname->nid map, every node is bucketed under its cabinet, chassis,
+    and blade *delimited prefixes*, so :meth:`component_nids` is a dict
+    lookup instead of an O(nodemap) scan per (cluster, component) pair
+    -- the historical attribution hot spot.  Per-component results are
+    memoized because storms name the same components repeatedly.
+    """
 
     def __init__(self, bundle: LogBundle):
         if not bundle.nodemap:
@@ -78,6 +86,11 @@ class SpatialIndex:
         self.nid_of_cname: dict[str, int] = {}
         #: (blade cname text, gemini index) -> torus vertex
         self.vertex_of_gemini: dict[tuple[str, int], int] = {}
+        #: delimited containment prefix ("c1-2c", "c1-2c0s", "c1-2c0s3n")
+        #: -> nids under it, in nodemap order.
+        self._nids_by_prefix: dict[str, list[int]] = {}
+        self._nids_memo: dict[str, tuple[int, ...]] = {}
+        self._vertex_memo: dict[str, int | None] = {}
         for nid, (cname_text, _node_type, vertex) in bundle.nodemap.items():
             self.nid_of_cname[cname_text] = nid
             try:
@@ -87,11 +100,30 @@ class SpatialIndex:
             blade = str(cname.blade)
             g = 0 if (cname.node or 0) < 2 else 1
             self.vertex_of_gemini[(blade, g)] = vertex
+            prefixes = []
+            if cname.chassis is not None:
+                prefixes.append(f"c{cname.col}-{cname.row}c")
+                if cname.slot is not None:
+                    prefixes.append(f"{prefixes[0]}{cname.chassis}s")
+                    prefixes.append(f"{prefixes[1]}{cname.slot}n")
+            for prefix in prefixes:
+                # The startswith guard keeps gemini texts ("...s3g1") out
+                # of the blade bucket, matching the old linear scan.
+                if cname_text.startswith(prefix):
+                    self._nids_by_prefix.setdefault(prefix, []).append(nid)
 
     # -- per-cluster component resolution ------------------------------------
 
     def component_nids(self, component: str) -> tuple[int, ...]:
         """nids physically inside a node/blade/cabinet/accelerator cname."""
+        cached = self._nids_memo.get(component)
+        if cached is not None:
+            return cached
+        resolved = self._resolve_component_nids(component)
+        self._nids_memo[component] = resolved
+        return resolved
+
+    def _resolve_component_nids(self, component: str) -> tuple[int, ...]:
         try:
             cname = parse_cname(component)
         except CNameError:
@@ -110,11 +142,17 @@ class SpatialIndex:
         if delimiter is None:
             return ()
         prefix = str(cname) + delimiter
-        return tuple(nid for text, nid in self.nid_of_cname.items()
-                     if text.startswith(prefix))
+        return tuple(self._nids_by_prefix.get(prefix, ()))
 
     def component_vertex(self, component: str) -> int | None:
         """Torus vertex of a gemini (or node) cname, if resolvable."""
+        if component in self._vertex_memo:
+            return self._vertex_memo[component]
+        vertex = self._resolve_component_vertex(component)
+        self._vertex_memo[component] = vertex
+        return vertex
+
+    def _resolve_component_vertex(self, component: str) -> int | None:
         try:
             cname = parse_cname(component)
         except CNameError:

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import LogDiverConfig
 from repro.core.ingest import ClassifiedError
 from repro.faults.taxonomy import ErrorCategory
@@ -89,25 +91,26 @@ class FilterStats:
 
 def temporal_tupling(errors: list[ClassifiedError],
                      window_s: float) -> list[ErrorTuple]:
-    """Merge same-(component, category) records separated by <= window."""
-    by_key: dict[tuple[str, ErrorCategory], list[ClassifiedError]] = {}
+    """Merge same-(component, category) records separated by <= window.
+
+    Per-group burst boundaries come from one vectorized ``np.diff`` over
+    the sorted timestamps (a gap > window starts a new tuple), replacing
+    the old record-at-a-time scan; the produced tuples are identical.
+    """
+    by_key: dict[tuple[str, ErrorCategory], list[float]] = {}
     for error in errors:
-        by_key.setdefault((error.component, error.category), []).append(error)
+        by_key.setdefault((error.component, error.category),
+                          []).append(error.time_s)
     tuples: list[ErrorTuple] = []
-    for (component, category), records in by_key.items():
-        records.sort(key=lambda e: e.time_s)
-        run_start = records[0].time_s
-        last = records[0].time_s
-        count = 1
-        for record in records[1:]:
-            if record.time_s - last <= window_s:
-                last = record.time_s
-                count += 1
-                continue
-            tuples.append(ErrorTuple(component, category, run_start, last, count))
-            run_start = last = record.time_s
-            count = 1
-        tuples.append(ErrorTuple(component, category, run_start, last, count))
+    for (component, category), raw_times in by_key.items():
+        times = np.sort(np.asarray(raw_times, dtype=np.float64))
+        breaks = np.flatnonzero(np.diff(times) > window_s)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [times.size - 1]))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            tuples.append(ErrorTuple(component, category,
+                                     float(times[s]), float(times[e]),
+                                     e - s + 1))
     tuples.sort(key=lambda t: (t.start_s, t.component))
     return tuples
 

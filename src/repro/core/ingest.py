@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.faults.taxonomy import ErrorCategory
 from repro.logs.bundle import LogBundle
-from repro.logs.messages import classify_message
+from repro.logs.messages import classify_message_by_source
 from repro.logs.records import AlpsRecord
 
 __all__ = ["ClassifiedError", "RunView", "classify_errors", "assemble_runs"]
@@ -77,12 +79,14 @@ def classify_errors(bundle: LogBundle,
 
     Returns ``(classified, n_unclassified)``.  Unclassified lines are
     dropped by default (and counted), matching how a regex bank treats
-    chatter it has no rule for.
+    chatter it has no rule for.  Classification dispatches on the
+    record's stream (stream routing narrows the candidate patterns; see
+    :func:`repro.logs.messages.classify_message_by_source`).
     """
     classified: list[ClassifiedError] = []
     unmatched = 0
     for record in bundle.error_records:
-        category = classify_message(record.message)
+        category = classify_message_by_source(record.source, record.message)
         if category is None:
             unmatched += 1
             if not keep_unclassified:
@@ -104,21 +108,48 @@ def assemble_runs(bundle: LogBundle) -> list[RunView]:
     for torque in bundle.torque_records:
         user_by_job[torque.job_id] = torque.user
 
+    # Dense nid-indexed arrays make per-run annotation a vectorized
+    # gather instead of a Python dict loop per nid -- with full-machine
+    # runs (20k+ nids each) this was the measured top cost of the whole
+    # analyze pass.
+    nodemap = bundle.nodemap
+    if nodemap:
+        max_nid = max(nodemap)
+        type_names: list[str] = []
+        type_code_of: dict[str, int] = {}
+        type_codes = np.full(max_nid + 1, -1, dtype=np.int32)
+        vertex_of_nid = np.full(max_nid + 1, -1, dtype=np.int64)
+        for nid, (_cname, type_name, vertex) in nodemap.items():
+            code = type_code_of.get(type_name)
+            if code is None:
+                code = len(type_names)
+                type_code_of[type_name] = code
+                type_names.append(type_name)
+            type_codes[nid] = code
+            vertex_of_nid[nid] = vertex
+
     def node_info(nids: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
-        if not bundle.nodemap or not nids:
+        if not nodemap or not nids:
             return "?", ()
-        types: dict[str, int] = {}
-        vertices: set[int] = set()
-        for nid in nids:
-            entry = bundle.nodemap.get(nid)
-            if entry is None:
-                continue
-            types[entry[1]] = types.get(entry[1], 0) + 1
-            vertices.add(entry[2])
-        if not types:
+        idx = np.asarray(nids, dtype=np.int64)
+        idx = idx[(idx >= 0) & (idx <= max_nid)]
+        codes = type_codes[idx] if idx.size else np.empty(0, dtype=np.int32)
+        known = codes >= 0
+        if not known.any():
             return "?", ()
-        majority = max(types.items(), key=lambda kv: kv[1])[0]
-        return majority, tuple(sorted(vertices))
+        codes = codes[known]
+        counts = np.bincount(codes, minlength=len(type_names))
+        winners = np.flatnonzero(counts == counts.max())
+        if winners.size == 1:
+            majority = type_names[int(winners[0])]
+        else:
+            # Tie: the old dict-based loop returned the type that first
+            # appeared in nid order; preserve that exactly.
+            winner_set = set(winners.tolist())
+            majority = next(type_names[c] for c in codes.tolist()
+                            if c in winner_set)
+        vertices = np.unique(vertex_of_nid[idx][known])
+        return majority, tuple(int(v) for v in vertices)
 
     for record in bundle.alps_records:
         if record.kind == "start":

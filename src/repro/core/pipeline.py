@@ -35,6 +35,7 @@ from repro.errors import AnalysisError
 from repro.faults.taxonomy import ErrorCategory
 from repro.logs.bundle import LogBundle
 from repro.util.intervals import Interval
+from repro.util.timing import StageTimer
 
 __all__ = ["LogDiver", "Analysis"]
 
@@ -82,37 +83,51 @@ class LogDiver:
     def __init__(self, config: LogDiverConfig | None = None):
         self.config = config or LogDiverConfig()
 
-    def analyze(self, bundle: LogBundle) -> Analysis:
-        """Run every stage on a bundle."""
+    def analyze(self, bundle: LogBundle, *,
+                timings: dict[str, float] | None = None) -> Analysis:
+        """Run every stage on a bundle.
+
+        Pass a dict as ``timings`` to collect per-stage wall-clock
+        seconds (keys ``classify``/``filter``/``assemble``/
+        ``attribute``/``categorize``/``metrics``) -- the perf benchmark
+        uses this to track the pipeline's stage trajectory.
+        """
         config = self.config
-        errors, unclassified = classify_errors(bundle)
-        clusters, filter_stats = filter_errors(errors, config)
-        runs = assemble_runs(bundle)
+        timer = StageTimer(timings)
+        with timer.stage("classify"):
+            errors, unclassified = classify_errors(bundle)
+        with timer.stage("filter"):
+            clusters, filter_stats = filter_errors(errors, config)
+        with timer.stage("assemble"):
+            runs = assemble_runs(bundle)
         if not runs:
             raise AnalysisError("bundle contains no application runs")
-        attributions = attribute_clusters(runs, clusters, bundle, config)
-        diagnosed = categorize_runs(runs, attributions, config)
+        with timer.stage("attribute"):
+            attributions = attribute_clusters(runs, clusters, bundle, config)
+        with timer.stage("categorize"):
+            diagnosed = categorize_runs(runs, attributions, config)
         window_lo, window_hi = bundle.manifest.get("window_s", (0.0, 0.0))
         window = Interval(float(window_lo), float(window_hi))
-        return Analysis(
-            config=config,
-            window=window,
-            errors=errors,
-            unclassified_records=unclassified,
-            clusters=clusters,
-            filter_stats=filter_stats,
-            runs=runs,
-            attributions=attributions,
-            diagnosed=diagnosed,
-            breakdown=outcome_breakdown(diagnosed),
-            causes=cause_breakdown(diagnosed),
-            waste=waste_report(diagnosed),
-            mtbf_all=application_mtbf(diagnosed),
-            mtbf_xe=application_mtbf(diagnosed, node_type="XE"),
-            mtbf_xk=application_mtbf(diagnosed, node_type="XK"),
-            system_mtbf_h=system_mtbf_by_category(clusters, window),
-            xe_curve=failure_probability_curve(
-                diagnosed, config.xe_scale_edges, node_type="XE"),
-            xk_curve=failure_probability_curve(
-                diagnosed, config.xk_scale_edges, node_type="XK"),
-        )
+        with timer.stage("metrics"):
+            return Analysis(
+                config=config,
+                window=window,
+                errors=errors,
+                unclassified_records=unclassified,
+                clusters=clusters,
+                filter_stats=filter_stats,
+                runs=runs,
+                attributions=attributions,
+                diagnosed=diagnosed,
+                breakdown=outcome_breakdown(diagnosed),
+                causes=cause_breakdown(diagnosed),
+                waste=waste_report(diagnosed),
+                mtbf_all=application_mtbf(diagnosed),
+                mtbf_xe=application_mtbf(diagnosed, node_type="XE"),
+                mtbf_xk=application_mtbf(diagnosed, node_type="XK"),
+                system_mtbf_h=system_mtbf_by_category(clusters, window),
+                xe_curve=failure_probability_curve(
+                    diagnosed, config.xe_scale_edges, node_type="XE"),
+                xk_curve=failure_probability_curve(
+                    diagnosed, config.xk_scale_edges, node_type="XK"),
+            )

@@ -1,20 +1,52 @@
 """CLI: ``python -m repro.experiments [ids...]`` runs experiments and
-prints their paper-style tables.  With no arguments, runs everything
-(slow: the full bench sweep)."""
+prints their paper-style tables.  With no ids, runs everything (slow:
+the full bench sweep).
+
+``--jobs N`` fans independent campaign units (sweep scale points,
+ablation variants, seed replications) across N worker processes;
+``--no-cache`` bypasses the persistent result cache under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``)."""
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
+from repro.campaign.cache import configure_cache, get_cache
+from repro.campaign.engine import configure_engine
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 
 def main(argv: list[str]) -> int:
-    ids = [a.upper() for a in argv] or sorted(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run reconstructed tables/figures/ablations.")
+    parser.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (default: all), e.g. T4 F2 A6")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for campaign fan-out "
+                             "(0 = all cores; default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="override the cache location "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    configure_engine(jobs=args.jobs)
+    if args.no_cache:
+        configure_cache(enabled=False)
+    if args.cache_dir:
+        configure_cache(directory=args.cache_dir)
+
+    ids = [a.upper() for a in args.ids] or sorted(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {unknown}; have {sorted(EXPERIMENTS)}")
+        print(f"unknown experiment(s): {unknown}; "
+              f"have {sorted(EXPERIMENTS)}")
         return 2
     for experiment_id in ids:
         start = time.time()
@@ -23,6 +55,12 @@ def main(argv: list[str]) -> int:
         print(result.render())
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")
         print()
+    cache = get_cache()
+    if cache.enabled:
+        stats = cache.stats.as_dict()
+        print(f"[cache] hits={stats['hits']} misses={stats['misses']} "
+              f"stores={stats['stores']} errors={stats['errors']} "
+              f"dir={cache.directory}")
     return 0
 
 

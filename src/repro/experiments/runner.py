@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.engine import run_campaign
 from repro.core.baseline import baseline_analysis
 from repro.core.metrics import runs_by_scale
 from repro.core.report import (
@@ -453,6 +454,24 @@ def run_a3() -> ExperimentResult:
                             table, data={"plans": plans})
 
 
+def _a4_fabric_kills(model: str) -> dict:
+    """One A4 variant: fabric kill counts under one exposure model."""
+    from dataclasses import replace as dc_replace
+
+    from repro.sim.cluster import SimConfig
+    from repro.sim.scenario import paper_scenario
+
+    base = paper_scenario(days=120.0, workload_thinning=0.02, seed=404,
+                          include_benign=False)
+    scenario = dc_replace(base, sim=SimConfig(fabric_exposure_model=model))
+    result = scenario.run()
+    fabric_kills = sum(
+        1 for r in result.runs
+        if r.cause_category is not None
+        and r.cause_category.value.startswith("GEMINI"))
+    return {"fabric_kills": fabric_kills, "total_runs": len(result.runs)}
+
+
 def run_a4() -> ExperimentResult:
     """A4: fabric-exposure model ablation (bounding box vs routing).
 
@@ -460,24 +479,10 @@ def run_a4() -> ExperimentResult:
     model is sharper ground truth.  Compare fabric-caused kill counts
     under identical fault timelines.
     """
-    from dataclasses import replace as dc_replace
-
-    from repro.sim.cluster import SimConfig
-    from repro.sim.scenario import paper_scenario
-
-    kills = {}
-    base = paper_scenario(days=120.0, workload_thinning=0.02, seed=404,
-                          include_benign=False)
-    for model in ("bbox", "routes"):
-        scenario = dc_replace(base, sim=SimConfig(
-            fabric_exposure_model=model))
-        result = scenario.run()
-        fabric_kills = sum(
-            1 for r in result.runs
-            if r.cause_category is not None
-            and r.cause_category.value.startswith("GEMINI"))
-        kills[model] = {"fabric_kills": fabric_kills,
-                        "total_runs": len(result.runs)}
+    models = ("bbox", "routes")
+    results = run_campaign(_a4_fabric_kills,
+                           [dict(model=model) for model in models])
+    kills = dict(zip(models, results))
     body = [[model, str(stats["fabric_kills"]), str(stats["total_runs"])]
             for model, stats in kills.items()]
     table = render_table(["exposure model", "fabric kills", "runs"], body)
@@ -485,12 +490,8 @@ def run_a4() -> ExperimentResult:
                             data=kills)
 
 
-def run_a5() -> ExperimentResult:
-    """A5: scheduler policy ablation (FCFS vs EASY backfill).
-
-    Backfill should cut median queue waits without changing resilience
-    conclusions (failure shares stay put).
-    """
+def _a5_policy_stats(policy: str) -> dict:
+    """One A5 variant: queue waits and failure share under one policy."""
     import tempfile
     from dataclasses import replace as dc_replace
 
@@ -502,22 +503,31 @@ def run_a5() -> ExperimentResult:
     # Enough volume for queues to form behind capability heads.
     base = paper_scenario(days=30.0, workload_thinning=0.08, seed=505,
                           include_benign=False)
-    stats = {}
-    for policy in ("fcfs", "backfill"):
-        scenario = dc_replace(base, sim=SimConfig(scheduler_policy=policy))
-        result = scenario.run()
-        with tempfile.TemporaryDirectory() as directory:
-            write_bundle(result, directory, seed=505)
-            bundle = read_bundle(directory)
-        waits = overall_wait_stats(bundle.torque_records)
-        failures = sum(1 for r in result.runs
-                       if r.outcome.is_system_caused)
-        stats[policy] = {
-            "median_wait_s": waits["median_wait_s"],
-            "p90_wait_s": waits["p90_wait_s"],
-            "system_failure_share": failures / max(len(result.runs), 1),
-            "runs": len(result.runs),
-        }
+    scenario = dc_replace(base, sim=SimConfig(scheduler_policy=policy))
+    result = scenario.run()
+    with tempfile.TemporaryDirectory() as directory:
+        write_bundle(result, directory, seed=505)
+        bundle = read_bundle(directory)
+    waits = overall_wait_stats(bundle.torque_records)
+    failures = sum(1 for r in result.runs if r.outcome.is_system_caused)
+    return {
+        "median_wait_s": waits["median_wait_s"],
+        "p90_wait_s": waits["p90_wait_s"],
+        "system_failure_share": failures / max(len(result.runs), 1),
+        "runs": len(result.runs),
+    }
+
+
+def run_a5() -> ExperimentResult:
+    """A5: scheduler policy ablation (FCFS vs EASY backfill).
+
+    Backfill should cut median queue waits without changing resilience
+    conclusions (failure shares stay put).
+    """
+    policies = ("fcfs", "backfill")
+    results = run_campaign(_a5_policy_stats,
+                           [dict(policy=policy) for policy in policies])
+    stats = dict(zip(policies, results))
     body = [[policy, f"{s['median_wait_s'] / 60:.1f}",
              f"{s['p90_wait_s'] / 60:.1f}",
              f"{s['system_failure_share']:.4f}", str(s["runs"])]
@@ -528,16 +538,22 @@ def run_a5() -> ExperimentResult:
                             data=stats)
 
 
-def run_a6() -> ExperimentResult:
-    """A6: seed robustness -- headline metrics across independent seeds."""
+def _a6_seed_share(seed: int) -> float:
+    """One A6 replication: the headline share under one root seed."""
     from repro.sim.scenario import paper_scenario
 
-    shares = {}
-    for seed in (11, 22, 33):
-        result = paper_scenario(days=60.0, workload_thinning=0.02,
-                                seed=seed, include_benign=False).run()
-        system = sum(1 for r in result.runs if r.outcome.is_system_caused)
-        shares[seed] = system / max(len(result.runs), 1)
+    result = paper_scenario(days=60.0, workload_thinning=0.02,
+                            seed=seed, include_benign=False).run()
+    system = sum(1 for r in result.runs if r.outcome.is_system_caused)
+    return system / max(len(result.runs), 1)
+
+
+def run_a6() -> ExperimentResult:
+    """A6: seed robustness -- headline metrics across independent seeds."""
+    seeds = (11, 22, 33)
+    results = run_campaign(_a6_seed_share,
+                           [dict(seed=seed) for seed in seeds])
+    shares = dict(zip(seeds, results))
     body = [[str(seed), f"{share:.4f}"] for seed, share in shares.items()]
     table = render_table(["seed", "system-failure share"], body)
     return ExperimentResult("A6", "seed robustness of the headline share",
@@ -555,10 +571,11 @@ EXPERIMENTS = {
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id (T1..T6, F1..F8, A1..A2)."""
+    """Run one experiment by id (any key of :data:`EXPERIMENTS`)."""
     try:
         fn = EXPERIMENTS[experiment_id.upper()]
     except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; "
-                       f"have {sorted(EXPERIMENTS)}") from None
+                       f"have: {known}") from None
     return fn()

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign.engine import run_campaign
 from repro.faults.injector import DEFAULT_RATES, FaultInjector, FaultRates
 from repro.machine.blueprints import BLUE_WATERS, build_machine
 from repro.machine.nodetypes import NodeType
@@ -31,8 +32,8 @@ from repro.workload.apps import AppArchetype, archetype_by_name
 from repro.workload.distributions import sample_capability_walltime
 from repro.workload.jobs import AppRunPlan, JobPlan, Outcome
 
-__all__ = ["SweepPoint", "scaling_sweep", "XE_SWEEP_SCALES",
-           "XK_SWEEP_SCALES"]
+__all__ = ["SweepPoint", "scaling_sweep", "sweep_point",
+           "XE_SWEEP_SCALES", "XK_SWEEP_SCALES"]
 
 #: The scales the paper's figures span.
 XE_SWEEP_SCALES: tuple[int, ...] = (1000, 4000, 10000, 13000, 16000,
@@ -74,48 +75,69 @@ def _campaign_plans(archetype: AppArchetype, nodes: int, partition: int,
     return plans
 
 
-def scaling_sweep(node_type: NodeType, scales: tuple[int, ...] | None = None,
-                  *, runs_per_scale: int = 150, seed: int = 11,
-                  rates: FaultRates | None = None,
-                  archetype_name: str | None = None) -> list[SweepPoint]:
-    """Measure p(system failure) at each controlled scale."""
-    if scales is None:
-        scales = (XE_SWEEP_SCALES if node_type is NodeType.XE
-                  else XK_SWEEP_SCALES)
+def sweep_point(node_type: NodeType, nodes: int, scale_index: int,
+                runs_per_scale: int, seed: int,
+                rates: FaultRates | None = None,
+                archetype_name: str | None = None) -> SweepPoint:
+    """Measure p(system failure) at one controlled scale.
+
+    Randomness derives only from ``seed + scale_index`` via named
+    substreams, so points are independent work units: the campaign
+    engine fans them across processes and gets byte-identical results
+    to the serial loop.
+    """
     archetype = archetype_by_name(
         archetype_name or ("NAMD" if node_type is NodeType.XE else "QMCPACK"))
     machine = build_machine(BLUE_WATERS)
     partition = machine.count(node_type)
-    points = []
-    for scale_index, nodes in enumerate(scales):
-        rngs = RngFactory(seed + scale_index)
-        rng = rngs.get("sweep/walltimes")
-        plans = _campaign_plans(archetype, min(nodes, partition), partition,
-                                runs_per_scale, rng)
-        # Window long enough for the serialized campaign plus generous
-        # slack: repairs and outages stretch the campaign, and runs that
-        # spill past the fault window would face no faults (biasing the
-        # estimate down).
-        total = sum(p.runs[0].natural_duration_s for p in plans)
-        window = Interval(0.0, total * 2.0 + 7 * 86400.0)
-        injector = FaultInjector(machine, rates or DEFAULT_RATES,
-                                 rng_factory=rngs.child("faults"))
-        faults = injector.generate(window, include_benign=False)
-        # Launch failures are runtime-resilience noise here; disable them
-        # so the sweep isolates the in-flight failure probability.
-        simulator = ClusterSimulator(
-            machine, config=SimConfig(launch_failure_prob=0.0),
-            rng_factory=rngs.child("sim"))
-        result = simulator.run(plans, faults, window)
-        failures = sum(1 for r in result.runs
-                       if r.outcome is Outcome.SYSTEM_FAILURE)
-        n = len(result.runs)
-        p = failures / n if n else 0.0
-        ci_low, ci_high = wilson_interval(failures, n)
-        mean_walltime = (np.mean([r.elapsed_s for r in result.runs]) / 3600.0
-                         if result.runs else 0.0)
-        points.append(SweepPoint(
-            node_type=node_type.value, nodes=nodes, runs=n,
-            failures=failures, probability=p, ci_low=ci_low,
-            ci_high=ci_high, mean_walltime_h=float(mean_walltime)))
-    return points
+    rngs = RngFactory(seed + scale_index)
+    rng = rngs.get("sweep/walltimes")
+    plans = _campaign_plans(archetype, min(nodes, partition), partition,
+                            runs_per_scale, rng)
+    # Window long enough for the serialized campaign plus generous
+    # slack: repairs and outages stretch the campaign, and runs that
+    # spill past the fault window would face no faults (biasing the
+    # estimate down).
+    total = sum(p.runs[0].natural_duration_s for p in plans)
+    window = Interval(0.0, total * 2.0 + 7 * 86400.0)
+    injector = FaultInjector(machine, rates or DEFAULT_RATES,
+                             rng_factory=rngs.child("faults"))
+    faults = injector.generate(window, include_benign=False)
+    # Launch failures are runtime-resilience noise here; disable them
+    # so the sweep isolates the in-flight failure probability.
+    simulator = ClusterSimulator(
+        machine, config=SimConfig(launch_failure_prob=0.0),
+        rng_factory=rngs.child("sim"))
+    result = simulator.run(plans, faults, window)
+    failures = sum(1 for r in result.runs
+                   if r.outcome is Outcome.SYSTEM_FAILURE)
+    n = len(result.runs)
+    p = failures / n if n else 0.0
+    ci_low, ci_high = wilson_interval(failures, n)
+    mean_walltime = (np.mean([r.elapsed_s for r in result.runs]) / 3600.0
+                     if result.runs else 0.0)
+    return SweepPoint(
+        node_type=node_type.value, nodes=nodes, runs=n,
+        failures=failures, probability=p, ci_low=ci_low,
+        ci_high=ci_high, mean_walltime_h=float(mean_walltime))
+
+
+def scaling_sweep(node_type: NodeType, scales: tuple[int, ...] | None = None,
+                  *, runs_per_scale: int = 150, seed: int = 11,
+                  rates: FaultRates | None = None,
+                  archetype_name: str | None = None,
+                  jobs: int | None = None) -> list[SweepPoint]:
+    """Measure p(system failure) at each controlled scale.
+
+    ``jobs`` fans scale points across a process pool (None defers to the
+    CLI ``--jobs`` / ``$REPRO_JOBS`` default, which is serial); the
+    point list is identical either way.
+    """
+    if scales is None:
+        scales = (XE_SWEEP_SCALES if node_type is NodeType.XE
+                  else XK_SWEEP_SCALES)
+    units = [dict(node_type=node_type, nodes=nodes, scale_index=scale_index,
+                  runs_per_scale=runs_per_scale, seed=seed, rates=rates,
+                  archetype_name=archetype_name)
+             for scale_index, nodes in enumerate(scales)]
+    return run_campaign(sweep_point, units, jobs=jobs)

@@ -1,0 +1,34 @@
+"""Lightweight stage timing for pipelines and benchmarks.
+
+A :class:`StageTimer` records wall-clock seconds per named stage into a
+plain dict (``None`` sink = zero-overhead no-op), so callers like the
+perf benchmark can ask :meth:`LogDiver.analyze` for a stage breakdown
+without a profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates per-stage wall-clock durations into ``sink``."""
+
+    def __init__(self, sink: dict[str, float] | None = None):
+        self.sink = sink
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        if self.sink is None:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sink[name] = self.sink.get(name, 0.0) + elapsed

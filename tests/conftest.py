@@ -11,7 +11,6 @@ import pytest
 from repro import LogDiver, read_bundle, write_bundle
 from repro.machine import MachineBlueprint, build_machine
 from repro.sim import Scenario, small_scenario
-from repro.workload import WorkloadConfig
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,211 @@
+"""Campaign engine + persistent cache: determinism and fallback.
+
+The contracts under test are the ones the experiments rely on:
+
+* ``run_campaign`` over a process pool returns exactly what the serial
+  loop returns, in the same order (per-unit seeding makes units
+  independent);
+* the disk cache keys on canonicalized config + seed + code salt, so
+  equivalent arguments share an entry and any semantic change misses;
+* a corrupted cache entry is a *miss* (recompute), never a crash.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.campaign import cache as cache_module
+from repro.campaign.cache import (
+    ResultCache,
+    cache_key,
+    canonical_params,
+    configure_cache,
+)
+from repro.campaign.engine import configure_engine, resolve_jobs, run_campaign
+from repro.experiments import presets
+from repro.experiments.sweep import scaling_sweep
+from repro.machine.nodetypes import NodeType
+from repro.util.rngs import RngFactory
+
+
+def _seeded_unit(value: int, seed: int) -> tuple[int, int]:
+    """Module-level so spawn workers can pickle it."""
+    rng = RngFactory(seed + value).get("test/unit")
+    return value, int(rng.integers(0, 1_000_000))
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    """Point the process-wide cache at a throwaway directory."""
+    previous = cache_module._cache
+    cache = configure_cache(directory=tmp_path, enabled=True)
+    cache.stats.reset()
+    presets.clear_memo()
+    yield cache
+    cache_module._cache = previous
+    presets.clear_memo()
+
+
+class TestCanonicalParams:
+    def test_integer_valued_float_collapses(self):
+        assert canonical_params(120.0) == 120
+        assert isinstance(canonical_params(120.0), int)
+
+    def test_fractional_float_survives(self):
+        assert canonical_params(0.02) == 0.02
+
+    def test_bool_is_not_an_int(self):
+        assert canonical_params(True) is True
+        # dict equality says True == 1; the serialized keys must not.
+        assert (cache_key("k", {"flag": True})
+                != cache_key("k", {"flag": 1}))
+
+    def test_tuples_listify_and_dicts_sort(self):
+        assert canonical_params((1, 2.0)) == [1, 2]
+        assert (list(canonical_params({"b": 1, "a": 2}))
+                == ["a", "b"])
+
+    def test_enum_uses_value(self):
+        assert canonical_params(NodeType.XE) == NodeType.XE.value
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_params(object())
+
+
+class TestCacheKey:
+    def test_float_alias_shares_key(self):
+        assert (cache_key("k", {"days": 120})
+                == cache_key("k", {"days": 120.0}))
+
+    def test_config_changes_key(self):
+        base = cache_key("k", {"days": 120, "seed": 1})
+        assert cache_key("k", {"days": 90, "seed": 1}) != base
+
+    def test_seed_changes_key(self):
+        base = cache_key("k", {"days": 120, "seed": 1})
+        assert cache_key("k", {"days": 120, "seed": 2}) != base
+
+    def test_kind_changes_key(self):
+        assert cache_key("a", {"x": 1}) != cache_key("b", {"x": 1})
+
+    def test_salt_changes_key(self):
+        params = {"x": 1}
+        assert (cache_key("k", params, salt="v1")
+                != cache_key("k", params, salt="v2"))
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        calls = []
+        value = cache.get_or_compute("kind", {"x": 1},
+                                     lambda: calls.append(1) or 41)
+        again = cache.get_or_compute("kind", {"x": 1},
+                                     lambda: calls.append(1) or 42)
+        assert value == 41 and again == 41
+        assert len(calls) == 1
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "errors": 0}
+
+    def test_disabled_cache_always_computes(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        assert cache.get_or_compute("kind", {}, lambda: 1) == 1
+        assert cache.get_or_compute("kind", {}, lambda: 2) == 2
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.get_or_compute("kind", {"x": 1}, lambda: {"answer": 17})
+        (entry,) = list(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"not a pickle at all")
+        value = cache.get_or_compute("kind", {"x": 1},
+                                     lambda: {"answer": 17})
+        assert value == {"answer": 17}
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 2  # cold miss + corruption miss
+        # The bad entry was replaced by a good one.
+        found, reread = cache.load(cache_key("kind", {"x": 1}))
+        assert found and reread == {"answer": 17}
+
+    def test_values_survive_a_new_cache_instance(self, tmp_path):
+        ResultCache(tmp_path, enabled=True).get_or_compute(
+            "kind", {"x": 1}, lambda: [1, 2, 3])
+        fresh = ResultCache(tmp_path, enabled=True)
+        found, value = fresh.load(cache_key("kind", {"x": 1}))
+        assert found and value == [1, 2, 3]
+
+
+class TestEngine:
+    def test_serial_matches_parallel(self):
+        units = [dict(value=v, seed=123) for v in range(8)]
+        serial = run_campaign(_seeded_unit, units, jobs=1)
+        parallel = run_campaign(_seeded_unit, units, jobs=4)
+        assert serial == parallel
+        # Submission order is preserved, not completion order.
+        assert [v for v, _ in parallel] == list(range(8))
+
+    def test_empty_units(self):
+        assert run_campaign(_seeded_unit, [], jobs=4) == []
+
+    def test_resolve_jobs_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        configure_engine(jobs=None)
+        try:
+            assert resolve_jobs() == 1
+            monkeypatch.setenv("REPRO_JOBS", "3")
+            assert resolve_jobs() == 3
+            configure_engine(jobs=2)
+            assert resolve_jobs() == 2  # configured beats env
+            assert resolve_jobs(5) == 5  # explicit beats both
+            assert resolve_jobs(0) >= 1  # 0 = all cores
+        finally:
+            configure_engine(jobs=None)
+
+    def test_configure_rejects_negative(self):
+        with pytest.raises(ValueError):
+            configure_engine(jobs=-1)
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_identical_to_serial(self):
+        kwargs = dict(scales=(500, 1000), runs_per_scale=6, seed=5)
+        serial = scaling_sweep(NodeType.XK, jobs=1, **kwargs)
+        parallel = scaling_sweep(NodeType.XK, jobs=2, **kwargs)
+        assert serial == parallel  # dataclass equality, field for field
+
+
+def _same_summary(a: dict[str, float], b: dict[str, float]) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all((math.isnan(v) and math.isnan(b[k])) or v == b[k]
+               for k, v in a.items())
+
+
+class TestPresetCaching:
+    DAYS, THINNING, SEED = 1.5, 0.002, 977
+
+    def test_warm_analysis_identical(self, isolated_cache):
+        cold = presets.ambient_analysis(days=self.DAYS,
+                                        thinning=self.THINNING,
+                                        seed=self.SEED)
+        assert isolated_cache.stats.hits == 0
+        assert isolated_cache.stats.stores > 0
+        # Drop the in-process memo so the next call must go to disk.
+        presets.clear_memo()
+        warm = presets.ambient_analysis(days=self.DAYS,
+                                        thinning=self.THINNING,
+                                        seed=self.SEED)
+        assert isolated_cache.stats.hits > 0
+        assert _same_summary(cold.summary(), warm.summary())
+        assert len(warm.diagnosed) == len(cold.diagnosed)
+
+    def test_different_seed_is_a_miss(self, isolated_cache):
+        presets.ambient_result(days=self.DAYS, thinning=self.THINNING,
+                               seed=self.SEED)
+        stores_before = isolated_cache.stats.stores
+        presets.ambient_result(days=self.DAYS, thinning=self.THINNING,
+                               seed=self.SEED + 1)
+        assert isolated_cache.stats.stores > stores_before

@@ -88,6 +88,57 @@ class TestSpatialIndex:
             SpatialIndex(empty)
 
 
+class TestPrefixIndexEquivalence:
+    """The prefix buckets must reproduce the delimited linear scan."""
+
+    @staticmethod
+    def naive_nids(bundle, component):
+        """The historical O(nodemap) reference implementation."""
+        from repro.errors import CNameError
+        from repro.machine.cname import ComponentKind, parse_cname
+
+        try:
+            cname = parse_cname(component)
+        except CNameError:
+            return ()
+        kind = cname.kind
+        if kind is ComponentKind.ACCELERATOR:
+            cname, kind = cname.node_name, ComponentKind.NODE
+        if kind is ComponentKind.NODE:
+            for nid, (text, _t, _v) in bundle.nodemap.items():
+                if text == str(cname):
+                    return (nid,)
+            return ()
+        delimiter = {ComponentKind.CABINET: "c", ComponentKind.CHASSIS: "s",
+                     ComponentKind.BLADE: "n"}.get(kind)
+        if delimiter is None:
+            return ()
+        prefix = str(cname) + delimiter
+        return tuple(nid for nid, (text, _t, _v) in bundle.nodemap.items()
+                     if text.startswith(prefix))
+
+    def test_matches_naive_scan_on_real_nodemap(self, bundle):
+        from repro.machine.cname import parse_cname
+
+        index = SpatialIndex(bundle)
+        components = set()
+        for text, _node_type, _vertex in list(bundle.nodemap.values())[:80]:
+            cname = parse_cname(text)
+            components.update({
+                text, f"{text}a0", str(cname.blade), f"{cname.blade}g1",
+                str(cname.chassis_name), str(cname.cabinet)})
+        components.update({"oss0001", "c999-9c0s0n0", "c999-9"})
+        assert len(components) > 20
+        for component in sorted(components):
+            assert (index.component_nids(component)
+                    == self.naive_nids(bundle, component)), component
+
+    def test_lookups_are_memoized(self):
+        index = SpatialIndex(make_bundle())
+        first = index.component_nids("c0-0c0s0")
+        assert index.component_nids("c0-0c0s0") is first
+
+
 class TestAttribution:
     def test_node_error_attributed_to_resident_failed_run(self):
         runs = [run(1, (0, 1), 0.0, 1000.0, exit_signal=9)]

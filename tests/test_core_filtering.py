@@ -1,6 +1,5 @@
 """Tests for temporal tupling and spatial coalescing."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.config import LogDiverConfig

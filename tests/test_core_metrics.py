@@ -1,7 +1,6 @@
 """Tests for metrics, scaling curves, MTBF, and waste over hand-built
 diagnosed runs."""
 
-import numpy as np
 import pytest
 
 from repro.core.categorize import DiagnosedOutcome, DiagnosedRun

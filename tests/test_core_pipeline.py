@@ -6,7 +6,6 @@ import pytest
 from repro.core.baseline import baseline_analysis
 from repro.core.categorize import DiagnosedOutcome
 from repro.core.config import LogDiverConfig
-from repro.core.pipeline import LogDiver
 from repro.core.report import (
     render_causes,
     render_filtering,

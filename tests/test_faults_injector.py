@@ -1,12 +1,11 @@
 """Tests for the fault injector."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.faults.detection import PERFECT_DETECTION, DetectionModel
 from repro.faults.injector import DEFAULT_RATES, FaultInjector, FaultRates
-from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory, EventScope
+from repro.faults.taxonomy import ErrorCategory, EventScope
 from repro.machine.blueprints import MachineBlueprint, build_machine
 from repro.machine.cname import parse_cname
 from repro.util.intervals import Interval

@@ -57,10 +57,9 @@ class TestPropagation:
         event = make_event(ErrorCategory.GEMINI_LINK, "c0-0c0s0g0",
                            fabric_vertex=0)
         symptoms = model.expand(event)
-        vertices = {0} | set(machine.topology.neighbors(0))
         for symptom in symptoms[1:]:
-            # Witness must be the epicenter or a torus neighbour.
-            blade_index = int(symptom.component.split("s")[1][0])  # crude
+            # Witness components must be well-formed gemini cnames.
+            int(symptom.component.split("s")[1][0])  # crude format check
             assert symptom.component.count("g") == 1
 
     def test_storm_sizes_follow_burst_mean(self, machine):

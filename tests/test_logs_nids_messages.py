@@ -5,7 +5,12 @@ from hypothesis import given, strategies as st
 
 from repro.errors import LogFormatError
 from repro.faults.taxonomy import CATEGORY_SPECS, ErrorCategory
-from repro.logs.messages import TEMPLATES, classify_message, render_message
+from repro.logs.messages import (
+    TEMPLATES,
+    classify_message,
+    classify_message_by_source,
+    render_message,
+)
 from repro.logs.nids import decode_nids, encode_nids
 
 
@@ -72,3 +77,30 @@ class TestMessages:
         # Kind beyond the template list wraps around rather than failing.
         message = render_message(ErrorCategory.MCE, 99, "c0-0c0s0n0", salt=1)
         assert classify_message(message) is ErrorCategory.MCE
+
+
+class TestStreamClassifier:
+    """The stream-dispatched fast path must agree with the global scan
+    for every message on the stream the bundle writer routes it to --
+    that pair is exactly what :func:`classify_errors` ever asks for."""
+
+    @pytest.mark.parametrize("category", list(ErrorCategory))
+    def test_equivalent_on_the_writer_stream(self, category):
+        source = CATEGORY_SPECS[category].source
+        stream = {"syslog": "syslog", "hwerrlog": "hwerrlog",
+                  "console": "console"}.get(source.value, "syslog")
+        for kind in range(len(TEMPLATES[category])):
+            for salt in range(3):
+                message = render_message(category, kind, "c1-2c0s3n1",
+                                         salt=salt)
+                expected = classify_message(message)
+                got = classify_message_by_source(stream, message)
+                assert got is expected, (
+                    f"{category} kind {kind} via {stream}: "
+                    f"{got} != {expected} for {message!r}")
+
+    def test_unknown_source_falls_back(self):
+        message = render_message(ErrorCategory.MCE, 0, "c0-0c0s0n0", salt=1)
+        assert (classify_message_by_source("weird-stream", message)
+                is classify_message(message))
+        assert classify_message_by_source("syslog", "nothing here") is None

@@ -1,6 +1,5 @@
 """Tests for the Gemini torus topology."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

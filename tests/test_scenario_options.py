@@ -3,7 +3,6 @@ switch, experiments CLI."""
 
 from dataclasses import replace
 
-import pytest
 
 from repro.faults.maintenance import MaintenanceSchedule
 from repro.faults.taxonomy import ErrorCategory

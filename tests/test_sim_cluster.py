@@ -89,7 +89,6 @@ class TestHappyPath:
     def test_allocations_disjoint_while_concurrent(self, machine):
         plans = [job(i, nodes=8, submit=0.0) for i in range(1, 5)]
         result = simulate(machine, plans)
-        seen = {}
         for record in result.jobs:
             for other in result.jobs:
                 if other.job_id == record.job_id:

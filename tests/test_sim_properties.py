@@ -1,7 +1,6 @@
 """Property-based tests of simulator invariants with random workloads."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.faults.events import FaultEvent, FaultTimeline

@@ -1,8 +1,7 @@
 """Scenario-level tests: the session fixtures plus reproducibility."""
 
-import pytest
 
-from repro.sim.scenario import Scenario, paper_scenario, small_scenario
+from repro.sim.scenario import paper_scenario, small_scenario
 from repro.workload.jobs import Outcome
 
 

@@ -110,7 +110,7 @@ class TestFitting:
             by_family["exponential"].ks_statistic
 
     def test_best_fit_ok_with_exponential_data(self):
-        fit = best_fit(self.exponential_sample())
+        best_fit(self.exponential_sample())
         # Exponential is a Weibull(shape=1); either may win, but the
         # exponential must not be strongly rejected.
         exp_fit = fit_distribution(self.exponential_sample(), "exponential")

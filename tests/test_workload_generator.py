@@ -1,7 +1,6 @@
 """Tests for job/run records, the workload generator, scheduler queue,
 and checkpoint accounting."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
