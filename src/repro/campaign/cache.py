@@ -36,7 +36,8 @@ __all__ = ["CacheStats", "ResultCache", "cache_key", "canonical_params",
 
 #: Bump when a change invalidates previously cached results wholesale
 #: (serialization layout, pipeline semantics, ...).
-CACHE_SCHEMA = "repro-cache/1"
+#: /2: Analysis grew the ``ingest`` field (lenient-ingest quarantine).
+CACHE_SCHEMA = "repro-cache/2"
 
 
 def code_salt() -> str:

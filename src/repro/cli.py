@@ -1,19 +1,24 @@
 """Command-line interface.
 
-Three subcommands mirror how the tool is used at a site::
+Four subcommands mirror how the tool is used at a site::
 
     python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
     python -m repro analyze out/bundle
     python -m repro baseline out/bundle
+    python -m repro validate
 
 ``simulate`` runs a scenario and writes the log bundle; ``analyze`` runs
-LogDiver over any bundle directory and prints the paper-style tables;
-``baseline`` prints the error-log-only view for comparison.
+LogDiver over any bundle directory and prints the paper-style tables
+(``--lenient`` quarantines malformed records instead of aborting);
+``baseline`` prints the error-log-only view for comparison; ``validate``
+runs the calibration oracle, the golden-snapshot check, and a seeded
+log-corruption sweep over the validation preset.
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 import time
 
 from repro.core.baseline import baseline_analysis
@@ -62,10 +67,37 @@ def _build_parser() -> argparse.ArgumentParser:
                                              "mtbf,waste,workload,scaling",
                          help="comma list of tables to print "
                               "(also available: users)")
+    analyze.add_argument("--lenient", action="store_true",
+                         help="quarantine malformed records (reported) "
+                              "instead of aborting on the first one")
 
     baseline = sub.add_parser(
         "baseline", help="error-log-only analysis of a bundle (prior work)")
     baseline.add_argument("bundle", help="bundle directory")
+
+    validate = sub.add_parser(
+        "validate", help="calibration oracle + golden snapshots + "
+                         "corruption-degradation sweep")
+    validate.add_argument("--rates", default="0.005,0.01,0.02",
+                          help="comma list of corruption rates to sweep "
+                               "(a clean rate-0 anchor is always added)")
+    validate.add_argument("--corruption-seed", type=int, default=42,
+                          help="seed for the corruption injector")
+    validate.add_argument("--drift-gate-pp", type=float, default=0.3,
+                          help="max allowed |system_failure_share| drift "
+                               "at 1%% corruption, in percentage points")
+    validate.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                          help="worker processes for the sweep "
+                               "(0 = all cores)")
+    validate.add_argument("--no-cache", action="store_true",
+                          help="bypass the persistent result cache")
+    validate.add_argument("--skip-goldens", action="store_true",
+                          help="skip the golden-snapshot comparison")
+    validate.add_argument("--skip-degradation", action="store_true",
+                          help="skip the corruption sweep")
+    validate.add_argument("--update-goldens", action="store_true",
+                          help="regenerate the stored snapshots instead "
+                               "of comparing against them")
     return parser
 
 
@@ -114,8 +146,10 @@ _TABLES = {
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    bundle = read_bundle(args.bundle)
+    bundle = read_bundle(args.bundle, strict=not args.lenient)
     print(f"bundle: {bundle.summary()}")
+    if args.lenient:
+        print(bundle.ingest_report.render())
     analysis = LogDiver().analyze(bundle)
     wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
     unknown = [name for name in wanted if name not in _TABLES]
@@ -151,6 +185,78 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.campaign.cache import configure_cache
+    from repro.campaign.engine import configure_engine
+    from repro.experiments.presets import ambient_result
+    from repro.validation.degradation import degradation_curve
+    from repro.validation.goldens import (
+        VALIDATION_DAYS,
+        VALIDATION_SEED,
+        VALIDATION_THINNING,
+        check_goldens,
+        update_goldens,
+        validation_analysis,
+    )
+    from repro.validation.oracle import check_summary
+
+    configure_engine(jobs=args.jobs)
+    if args.no_cache:
+        configure_cache(enabled=False)
+    try:
+        rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    except ValueError:
+        print(f"bad --rates value {args.rates!r}")
+        return 2
+
+    failed = False
+    print(f"validation preset: {VALIDATION_DAYS:g} days, "
+          f"thinning {VALIDATION_THINNING:g}, seed {VALIDATION_SEED}")
+    start = time.time()
+    analysis = validation_analysis()
+    print(f"analysis ready in {time.time() - start:.1f}s "
+          f"({len(analysis.diagnosed)} runs)\n")
+
+    print("=== calibration oracle (paper-abstract bands) ===")
+    oracle = check_summary(analysis.summary())
+    print(oracle.render())
+    failed |= not oracle.passed
+
+    if args.update_goldens:
+        print("\n=== golden snapshots (regenerating) ===")
+        for path in update_goldens(analysis=analysis):
+            print(f"wrote {path}")
+    elif not args.skip_goldens:
+        print("\n=== golden snapshots (T1-T6) ===")
+        goldens = check_goldens(analysis=analysis)
+        print(goldens.render())
+        failed |= not goldens.passed
+
+    if not args.skip_degradation:
+        print("\n=== corruption degradation sweep (lenient ingest) ===")
+        result = ambient_result(days=VALIDATION_DAYS,
+                                thinning=VALIDATION_THINNING,
+                                seed=VALIDATION_SEED)
+        with tempfile.TemporaryDirectory() as clean_dir:
+            write_bundle(result, clean_dir, seed=VALIDATION_SEED)
+            curve = degradation_curve(clean_dir, rates,
+                                      seed=args.corruption_seed,
+                                      jobs=args.jobs)
+        print(curve.render())
+        gate_rate = 0.01 if any(abs(r - 0.01) < 1e-12 for r in rates) \
+            else max(rates)
+        drift_pp = abs(curve.drift_at(gate_rate,
+                                      "system_failure_share")) * 100
+        ok = drift_pp <= args.drift_gate_pp
+        print(f"\nsystem_failure_share drift at {gate_rate:.1%} corruption: "
+              f"{drift_pp:.3f}pp (gate {args.drift_gate_pp:g}pp) "
+              f"-> {'ok' if ok else 'FAIL'}")
+        failed |= not ok
+
+    print(f"\nvalidate: {'FAIL' if failed else 'PASS'}")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -160,6 +266,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyze(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

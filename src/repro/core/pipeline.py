@@ -34,6 +34,7 @@ from repro.core.waste import WasteReport, waste_report
 from repro.errors import AnalysisError
 from repro.faults.taxonomy import ErrorCategory
 from repro.logs.bundle import LogBundle
+from repro.logs.quarantine import IngestReport
 from repro.util.intervals import Interval
 from repro.util.timing import StageTimer
 
@@ -46,6 +47,10 @@ class Analysis:
 
     config: LogDiverConfig
     window: Interval
+    #: What lenient ingest quarantined while parsing the bundle (empty
+    #: for a strict parse); carried so downstream consumers can weigh
+    #: the headline numbers against what the parsers had to discard.
+    ingest: IngestReport
     # stage products
     errors: list[ClassifiedError]
     unclassified_records: int
@@ -112,6 +117,7 @@ class LogDiver:
             return Analysis(
                 config=config,
                 window=window,
+                ingest=bundle.ingest_report,
                 errors=errors,
                 unclassified_records=unclassified,
                 clusters=clusters,

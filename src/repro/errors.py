@@ -25,15 +25,24 @@ class CNameError(ReproError):
     """A Cray component name (``c0-0c0s0n0`` style) failed to parse."""
 
 
-class LogFormatError(ReproError):
-    """A log line does not match the format its parser expects.
+class ParseError(ReproError):
+    """A log record failed to parse.
 
-    Carries optional context so a pipeline can report *where* the bad
-    line was found.
+    Every malformed Torque/ALPS/syslog/hwerr/console/nodemap line raises
+    this (never a bare ``ValueError``/``IndexError``/``KeyError``).  It
+    carries the context the lenient ingest path needs to quarantine the
+    line: the *stream* it came from, the 1-based *line number*, the raw
+    *line* text, and a short *defect* tag (``"unparseable"``,
+    ``"bad-timestamp"``, ``"malformed-payload"``, ...) that the
+    :class:`~repro.logs.quarantine.IngestReport` aggregates on.
     """
 
+    #: Defect tag used when the raiser did not classify the failure.
+    DEFAULT_DEFECT = "unparseable"
+
     def __init__(self, message: str, *, source: str | None = None,
-                 lineno: int | None = None, line: str | None = None):
+                 lineno: int | None = None, line: str | None = None,
+                 defect: str | None = None):
         location = ""
         if source is not None:
             location = f" [{source}"
@@ -44,6 +53,15 @@ class LogFormatError(ReproError):
         self.source = source
         self.lineno = lineno
         self.line = line
+        self.defect = defect or self.DEFAULT_DEFECT
+
+
+class LogFormatError(ParseError):
+    """A log line does not match the format its parser expects.
+
+    Subclass of :class:`ParseError`; kept as the concrete type the
+    line-level parsers raise (and the name older call sites catch).
+    """
 
 
 class SchedulingError(ReproError):

@@ -1,6 +1,11 @@
 """Fault substrate: taxonomy, arrival processes, injection, propagation,
 detection, and system-wide outages."""
 
+from repro.faults.corruptor import (
+    CorruptionConfig,
+    CorruptionReport,
+    corrupt_bundle,
+)
 from repro.faults.detection import (
     PERFECT_DETECTION,
     XE_GRADE_XK_DETECTION,
@@ -31,6 +36,8 @@ __all__ = [
     "CATEGORY_SPECS",
     "CategorySpec",
     "ClusterProcess",
+    "CorruptionConfig",
+    "CorruptionReport",
     "DEFAULT_RATES",
     "DetectionModel",
     "DiurnalPoissonProcess",
@@ -50,6 +57,7 @@ __all__ = [
     "XE_GRADE_XK_DETECTION",
     "availability",
     "categories_for_node_type",
+    "corrupt_bundle",
     "downtime_budget",
     "export_fault_trace",
     "import_fault_trace",

@@ -1,0 +1,266 @@
+"""Seeded log-corruption injector for serialized bundles.
+
+Fault injection into the *analysis pipeline itself*: take a pristine
+bundle directory and produce a damaged copy exhibiting the defects real
+log collectors produce -- truncated lines, garbled fields, duplicated
+and reordered records, dropped apsys exit records, and clock skew.
+Every mutation is drawn from a named deterministic substream
+(:mod:`repro.util.rngs`), so a given ``(bundle, config, seed)`` always
+yields byte-identical damage; the validation suite uses this to measure
+how far each headline metric drifts as the corruption rate rises.
+
+Defect semantics:
+
+* ``truncate`` -- the line is cut mid-record (collector died mid-write);
+* ``garble``   -- a span of the line is overwritten with noise (bit rot,
+  interleaved writes from two sources);
+* ``duplicate``-- the line appears twice (at-least-once log shipping);
+* ``reorder``  -- the line swaps places with its successor (merge of
+  interleaved streams with skewed buffering);
+* ``drop``     -- the line is lost; on ``apsys.log`` the drop targets
+  ``kind=end`` records specifically, the paper's worst case (a run with
+  no exit record cannot be categorized);
+* ``skew``     -- the timestamp shifts by up to ``skew_max_s`` seconds
+  while staying parseable: damage that ingest *cannot* quarantine and
+  the analysis must absorb.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rngs import substream
+
+__all__ = ["CorruptionConfig", "CorruptionReport", "corrupt_bundle",
+           "corrupt_lines", "DEFECT_KINDS"]
+
+#: The defect vocabulary, in the order rates are drawn.
+DEFECT_KINDS = ("truncate", "garble", "duplicate", "reorder", "drop", "skew")
+
+#: Log streams the injector mutates (manifest.json is collection
+#: metadata, not a log stream, and stays pristine).
+CORRUPTIBLE_FILES = ("syslog.log", "hwerr.log", "console.log",
+                     "torque.log", "apsys.log", "nodemap.txt")
+
+_GARBLE_ALPHABET = string.ascii_letters + string.digits + "#@!?~^|"
+
+#: Timestamp shapes the skew defect knows how to shift, tried in order.
+_TS_PATTERNS: tuple[tuple[re.Pattern, str], ...] = (
+    (re.compile(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}"), "%Y-%m-%dT%H:%M:%S"),
+    (re.compile(r"\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}"), "%Y-%m-%d %H:%M:%S"),
+    (re.compile(r"\d{2}/\d{2}/\d{4} \d{2}:\d{2}:\d{2}"), "%m/%d/%Y %H:%M:%S"),
+)
+_SYSLOG_TS_RE = re.compile(r"^([A-Z][a-z]{2} [ \d]\d) (\d{2}:\d{2}:\d{2})")
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    """Per-line probability of each defect kind.
+
+    Rates are independent per-line probabilities; their sum is the
+    overall corruption rate and must stay below 1.
+    """
+
+    truncate_rate: float = 0.0
+    garble_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    drop_rate: float = 0.0
+    skew_rate: float = 0.0
+    #: Maximum absolute clock skew, in seconds.
+    skew_max_s: float = 120.0
+    #: Which bundle files to damage.
+    files: tuple[str, ...] = field(default=CORRUPTIBLE_FILES)
+
+    def __post_init__(self) -> None:
+        for name, rate in self.rates().items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name}_rate must be in [0, 1], got {rate}")
+        if self.total_rate > 1.0:
+            raise ConfigurationError(
+                f"defect rates sum to {self.total_rate:.3f} > 1")
+        if self.skew_max_s < 0:
+            raise ConfigurationError(
+                f"skew_max_s must be >= 0, got {self.skew_max_s}")
+
+    def rates(self) -> dict[str, float]:
+        return {kind: getattr(self, f"{kind}_rate") for kind in DEFECT_KINDS}
+
+    @property
+    def total_rate(self) -> float:
+        return sum(self.rates().values())
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides) -> "CorruptionConfig":
+        """Spread an overall corruption ``rate`` evenly over all defects.
+
+        ``CorruptionConfig.uniform(0.01)`` damages ~1% of lines, each
+        victim suffering one defect kind chosen uniformly.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        share = rate / len(DEFECT_KINDS)
+        values = {f"{kind}_rate": share for kind in DEFECT_KINDS}
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclass
+class CorruptionReport:
+    """What the injector actually did, per file and defect."""
+
+    seed: int
+    #: filename -> defect kind -> number of lines mutated.
+    by_file: dict[str, dict[str, int]] = field(default_factory=dict)
+    lines_seen: int = 0
+    lines_written: int = 0
+
+    def count(self, filename: str, kind: str) -> None:
+        per_file = self.by_file.setdefault(filename, {})
+        per_file[kind] = per_file.get(kind, 0) + 1
+
+    @property
+    def total_mutations(self) -> int:
+        return sum(sum(kinds.values()) for kinds in self.by_file.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "lines_seen": self.lines_seen,
+            "lines_written": self.lines_written,
+            "total_mutations": self.total_mutations,
+            "by_file": {name: dict(sorted(kinds.items()))
+                        for name, kinds in sorted(self.by_file.items())},
+        }
+
+
+def _truncate(line: str, rng: np.random.Generator) -> str:
+    if len(line) < 2:
+        return ""
+    return line[:int(rng.integers(1, len(line)))]
+
+
+def _garble(line: str, rng: np.random.Generator) -> str:
+    if not line:
+        return line
+    start = int(rng.integers(0, len(line)))
+    span = int(rng.integers(1, max(2, len(line) // 4)))
+    noise = "".join(
+        _GARBLE_ALPHABET[int(i)]
+        for i in rng.integers(0, len(_GARBLE_ALPHABET), size=span))
+    return line[:start] + noise + line[start + span:]
+
+
+def _skew(line: str, rng: np.random.Generator, max_s: float) -> str:
+    """Shift the first recognizable timestamp, keeping it parseable."""
+    delta = timedelta(seconds=float(rng.uniform(-max_s, max_s)))
+    match = _SYSLOG_TS_RE.match(line)
+    if match is not None:
+        # Syslog stamps carry no year; borrow one so arithmetic works.
+        text = f"2013 {match.group(1)} {match.group(2)}"
+        moment = datetime.strptime(text, "%Y %b %d %H:%M:%S") + delta
+        day = f"{moment.day:2d}"
+        stamp = moment.strftime("%b ") + day + moment.strftime(" %H:%M:%S")
+        return stamp + line[match.end():]
+    for pattern, fmt in _TS_PATTERNS:
+        match = pattern.search(line)
+        if match is None:
+            continue
+        try:
+            moment = datetime.strptime(match.group(0), fmt) + delta
+        except ValueError:
+            continue
+        return line[:match.start()] + moment.strftime(fmt) + line[match.end():]
+    return line
+
+
+def _pick_defect(config: CorruptionConfig,
+                 rng: np.random.Generator) -> str | None:
+    """Draw at most one defect for a line, honoring per-defect rates."""
+    u = float(rng.random())
+    acc = 0.0
+    for kind, rate in config.rates().items():
+        acc += rate
+        if u < acc:
+            return kind
+    return None
+
+
+def corrupt_lines(filename: str, lines: list[str],
+                  config: CorruptionConfig, rng: np.random.Generator,
+                  report: CorruptionReport) -> list[str]:
+    """Apply seeded defects to one file's lines."""
+    out: list[str] = []
+    drop_ends_only = filename == "apsys.log"
+    for line in lines:
+        report.lines_seen += 1
+        kind = _pick_defect(config, rng)
+        if kind is None:
+            out.append(line)
+            continue
+        if kind == "truncate":
+            out.append(_truncate(line, rng))
+        elif kind == "garble":
+            out.append(_garble(line, rng))
+        elif kind == "duplicate":
+            out.extend((line, line))
+        elif kind == "reorder":
+            # Swap with the previous surviving line (a one-slot buffer).
+            if out:
+                out.insert(len(out) - 1, line)
+            else:
+                out.append(line)
+        elif kind == "drop":
+            # The paper's nastiest defect: a run whose exit record is
+            # gone.  On apsys, only end records are eligible; a draw on
+            # any other line leaves it intact (and uncounted).
+            if drop_ends_only and " kind=end " not in line:
+                out.append(line)
+                continue
+        elif kind == "skew":
+            out.append(_skew(line, rng, config.skew_max_s))
+        report.count(filename, kind)
+    report.lines_written += len(out)
+    return out
+
+
+def corrupt_bundle(source: str | Path, destination: str | Path,
+                   config: CorruptionConfig, *,
+                   seed: int = 0) -> CorruptionReport:
+    """Write a damaged copy of a bundle directory.
+
+    Files outside ``config.files`` (always including ``manifest.json``)
+    are copied through byte-for-byte.  Deterministic: damage depends
+    only on the input text, the config, and the seed -- each file draws
+    from its own named substream, so adding a stream never perturbs the
+    damage in another.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    if not source.is_dir():
+        raise ConfigurationError(f"not a bundle directory: {source}")
+    if destination.resolve() == source.resolve():
+        raise ConfigurationError("refusing to corrupt a bundle in place")
+    destination.mkdir(parents=True, exist_ok=True)
+
+    report = CorruptionReport(seed=seed)
+    for path in sorted(source.iterdir()):
+        if not path.is_file():
+            continue
+        target = destination / path.name
+        if path.name not in config.files:
+            target.write_bytes(path.read_bytes())
+            continue
+        rng = substream(seed, f"corruptor/{path.name}")
+        lines = path.read_text().splitlines()
+        damaged = corrupt_lines(path.name, lines, config, rng, report)
+        target.write_text("".join(line + "\n" for line in damaged))
+    return report

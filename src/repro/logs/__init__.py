@@ -15,6 +15,7 @@ from repro.logs.errorlogs import (
 )
 from repro.logs.messages import classify_message, render_message
 from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.quarantine import IngestReport, QuarantinedLine
 from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
 from repro.logs.torque import (
     format_walltime,
@@ -28,7 +29,9 @@ __all__ = [
     "AlpsRecord",
     "BUNDLE_FILES",
     "ErrorLogRecord",
+    "IngestReport",
     "LogBundle",
+    "QuarantinedLine",
     "TorqueRecord",
     "alps_run_lines",
     "classify_message",

@@ -25,6 +25,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import LogFormatError
 from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.quarantine import IngestReport
 from repro.logs.records import AlpsRecord
 from repro.util.timeutil import Epoch
 from repro.workload.jobs import AppRunRecord, Outcome
@@ -75,14 +76,20 @@ def parse_alps_line(line: str, epoch: Epoch) -> AlpsRecord:
     try:
         tokens = shlex.split(match["payload"])
     except ValueError as bad:
-        raise LogFormatError(f"apsys payload malformed: {bad}", line=line)
+        raise LogFormatError(f"apsys payload malformed: {bad}", line=line,
+                             defect="malformed-payload") from None
     for token in tokens:
         key, _, value = token.partition("=")
         fields[key] = value
     try:
+        time_s = epoch.parse_iso(match["ts"])
+    except ValueError as bad:
+        raise LogFormatError(f"bad apsys timestamp: {bad}", line=line,
+                             defect="bad-timestamp") from None
+    try:
         kind = fields["kind"]
         record = AlpsRecord(
-            time_s=epoch.parse_iso(match["ts"]),
+            time_s=time_s,
             kind=kind,
             apid=int(fields["apid"]),
             batch_id=fields["batch_id"],
@@ -96,23 +103,37 @@ def parse_alps_line(line: str, epoch: Epoch) -> AlpsRecord:
             message=fields.get("msg", ""),
         )
     except KeyError as missing:
-        raise LogFormatError(f"apsys payload missing {missing}", line=line)
+        raise LogFormatError(f"apsys payload missing {missing}", line=line,
+                             defect="missing-field") from None
+    except LogFormatError as bad:
+        raise LogFormatError(f"apsys payload malformed: {bad}", line=line,
+                             defect=bad.defect) from bad
     except ValueError as bad:
-        raise LogFormatError(f"apsys payload malformed: {bad}", line=line)
+        raise LogFormatError(f"apsys payload malformed: {bad}", line=line,
+                             defect="malformed-payload") from None
     if record.kind not in ("start", "end", "error"):
-        raise LogFormatError(f"unknown apsys kind {record.kind!r}", line=line)
+        raise LogFormatError(f"unknown apsys kind {record.kind!r}", line=line,
+                             defect="unknown-kind")
     return record
 
 
 def parse_alps(lines: Iterable[str], epoch: Epoch,
-               *, strict: bool = True) -> Iterator[AlpsRecord]:
+               *, strict: bool = True,
+               report: IngestReport | None = None) -> Iterator[AlpsRecord]:
     for lineno, line in enumerate(lines, start=1):
         line = line.rstrip("\n")
         if not line.strip():
             continue
         try:
-            yield parse_alps_line(line, epoch)
-        except LogFormatError:
+            record = parse_alps_line(line, epoch)
+        except LogFormatError as bad:
             if strict:
-                raise LogFormatError("bad apsys line", source="apsys",
-                                     lineno=lineno, line=line)
+                raise LogFormatError(f"bad apsys line: {bad}",
+                                     source="apsys", lineno=lineno,
+                                     line=line, defect=bad.defect) from bad
+            if report is not None:
+                report.record_quarantined("apsys", lineno, line, bad)
+            continue
+        if report is not None:
+            report.record_parsed("apsys")
+        yield record

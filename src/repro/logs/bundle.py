@@ -22,11 +22,12 @@ from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.errors import LogFormatError
+from repro.errors import LogFormatError, ParseError
 from repro.faults.propagation import PropagationModel, Symptom
 from repro.faults.taxonomy import CATEGORY_SPECS, LogSource
 from repro.logs.alps import alps_run_lines, parse_alps
 from repro.logs.errorlogs import parse_stream, write_stream
+from repro.logs.quarantine import IngestReport
 from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
 from repro.logs.torque import parse_torque, torque_job_lines
 from repro.sim.cluster import SimulationResult
@@ -56,6 +57,8 @@ class LogBundle:
     #: nid -> (cname text, node type text, gemini vertex), from the
     #: site's ``xtprocadmin``-style dump.
     nodemap: dict[int, tuple[str, str, int]] = field(default_factory=dict)
+    #: What lenient ingest quarantined (empty after a strict parse).
+    ingest_report: IngestReport = field(default_factory=IngestReport)
 
     def summary(self) -> dict[str, int]:
         return {
@@ -142,19 +145,51 @@ def write_bundle(result: SimulationResult, directory: str | Path, *,
     return directory
 
 
+def _parse_nodemap_line(line: str) -> tuple[int, tuple[str, str, int]]:
+    parts = line.split()
+    if len(parts) != 4 or not parts[0].startswith("nid"):
+        raise LogFormatError("bad nodemap line", line=line,
+                             defect="bad-nodemap")
+    try:
+        nid = int(parts[0][3:])
+        vertex = int(parts[3].partition("=")[2])
+    except ValueError:
+        raise LogFormatError("bad nodemap line", line=line,
+                             defect="bad-nodemap") from None
+    return nid, (parts[1], parts[2], vertex)
+
+
 def read_bundle(directory: str | Path, *, strict: bool = True) -> LogBundle:
-    """Parse a bundle directory back into structured records."""
+    """Parse a bundle directory back into structured records.
+
+    ``strict=True`` (the default) fails fast on the first malformed
+    record -- the right behavior for synthetic bundles, which should be
+    pristine.  ``strict=False`` is *lenient* ingest: every unparseable
+    record is quarantined into ``bundle.ingest_report`` (counted per
+    stream and defect) and the analysis proceeds on what survived, which
+    is how the tool must behave on real field logs.
+    """
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
         raise LogFormatError(f"no manifest.json in {directory}")
-    with open(manifest_path) as handle:
-        manifest = json.load(handle)
-    epoch = Epoch(start=datetime.fromisoformat(manifest["epoch_start"]))
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        epoch = Epoch(start=datetime.fromisoformat(manifest["epoch_start"]))
+    except ParseError:
+        raise
+    except (ValueError, KeyError, TypeError) as bad:
+        # The manifest is tiny, hand-curated metadata: there is no
+        # meaningful partial recovery, so even lenient mode fails here.
+        raise LogFormatError(f"bad manifest.json: {bad}",
+                             source="manifest") from bad
     if epoch.start.tzinfo is None:
         epoch = Epoch(start=epoch.start.replace(tzinfo=timezone.utc))
 
-    bundle = LogBundle(directory=directory, epoch=epoch, manifest=manifest)
+    report = IngestReport()
+    bundle = LogBundle(directory=directory, epoch=epoch, manifest=manifest,
+                       ingest_report=report)
     for filename, source in [("syslog.log", "syslog"),
                              ("hwerr.log", "hwerrlog"),
                              ("console.log", "console")]:
@@ -163,27 +198,36 @@ def read_bundle(directory: str | Path, *, strict: bool = True) -> LogBundle:
             continue
         with open(path) as handle:
             bundle.error_records.extend(
-                parse_stream(source, handle, epoch, strict=strict))
+                parse_stream(source, handle, epoch, strict=strict,
+                             report=report))
     torque_path = directory / "torque.log"
     if torque_path.exists():
         with open(torque_path) as handle:
             bundle.torque_records.extend(
-                parse_torque(handle, epoch, strict=strict))
+                parse_torque(handle, epoch, strict=strict, report=report))
     alps_path = directory / "apsys.log"
     if alps_path.exists():
         with open(alps_path) as handle:
-            bundle.alps_records.extend(parse_alps(handle, epoch, strict=strict))
+            bundle.alps_records.extend(
+                parse_alps(handle, epoch, strict=strict, report=report))
     nodemap_path = directory / "nodemap.txt"
     if nodemap_path.exists():
         with open(nodemap_path) as handle:
-            for line in handle:
-                parts = line.split()
-                if len(parts) != 4 or not parts[0].startswith("nid"):
-                    if strict:
-                        raise LogFormatError("bad nodemap line", line=line)
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
                     continue
-                nid = int(parts[0][3:])
-                vertex = int(parts[3].partition("=")[2])
-                bundle.nodemap[nid] = (parts[1], parts[2], vertex)
+                try:
+                    nid, info = _parse_nodemap_line(line)
+                except LogFormatError as bad:
+                    if strict:
+                        raise LogFormatError(
+                            f"bad nodemap line: {bad}", source="nodemap",
+                            lineno=lineno, line=line,
+                            defect=bad.defect) from bad
+                    report.record_quarantined("nodemap", lineno,
+                                              line.rstrip("\n"), bad)
+                    continue
+                report.record_parsed("nodemap")
+                bundle.nodemap[nid] = info
     bundle.error_records.sort(key=lambda r: r.time_s)
     return bundle

@@ -28,6 +28,7 @@ from typing import Iterable, Iterator
 from repro.errors import LogFormatError
 from repro.faults.propagation import Symptom
 from repro.logs.messages import render_message
+from repro.logs.quarantine import IngestReport
 from repro.logs.records import ErrorLogRecord
 from repro.util.timeutil import Epoch
 
@@ -70,7 +71,8 @@ def parse_syslog_line(line: str, epoch: Epoch, *,
     try:
         time_s = epoch.parse_syslog(match["ts"], year_hint=year_hint)
     except ValueError as bad:
-        raise LogFormatError(f"bad syslog timestamp: {bad}", line=line)
+        raise LogFormatError(f"bad syslog timestamp: {bad}", line=line,
+                             defect="bad-timestamp")
     return ErrorLogRecord(time_s=time_s, source="syslog",
                           component=match["host"], message=match["msg"])
 
@@ -89,7 +91,8 @@ def parse_hwerr_line(line: str, epoch: Epoch) -> ErrorLogRecord:
     try:
         time_s = epoch.parse_iso(match["ts"])
     except ValueError as bad:
-        raise LogFormatError(f"bad hwerr timestamp: {bad}", line=line)
+        raise LogFormatError(f"bad hwerr timestamp: {bad}", line=line,
+                             defect="bad-timestamp")
     return ErrorLogRecord(time_s=time_s,
                           source="hwerrlog", component=match["comp"],
                           message=match["msg"])
@@ -109,7 +112,8 @@ def parse_console_line(line: str, epoch: Epoch) -> ErrorLogRecord:
     try:
         moment = datetime.strptime(match["ts"], "%Y-%m-%d %H:%M:%S")
     except ValueError as bad:
-        raise LogFormatError(f"bad console timestamp: {bad}", line=line)
+        raise LogFormatError(f"bad console timestamp: {bad}", line=line,
+                             defect="bad-timestamp")
     time_s = epoch.to_seconds(moment.replace(tzinfo=timezone.utc))
     return ErrorLogRecord(time_s=time_s, source="console",
                           component=match["comp"], message=match["msg"])
@@ -135,11 +139,15 @@ def write_stream(source: str, symptoms: Iterable[Symptom],
 
 
 def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
-                 *, strict: bool = True) -> Iterator[ErrorLogRecord]:
+                 *, strict: bool = True,
+                 report: IngestReport | None = None
+                 ) -> Iterator[ErrorLogRecord]:
     """Parse one stream's lines.
 
-    ``strict=False`` skips unparseable lines instead of raising --
-    real pipelines must tolerate corrupt log text.
+    ``strict=False`` quarantines unparseable lines instead of raising --
+    real pipelines must tolerate corrupt log text.  Pass an
+    :class:`~repro.logs.quarantine.IngestReport` to account for what was
+    kept and what was dropped (and why).
     """
     try:
         parser = _PARSERS[source]
@@ -150,11 +158,15 @@ def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
         if not line.strip():
             continue
         try:
-            if source == "syslog":
-                yield parser(line, epoch)
-            else:
-                yield parser(line, epoch)
-        except LogFormatError:
+            record = parser(line, epoch)
+        except LogFormatError as bad:
             if strict:
-                raise LogFormatError(f"bad line in {source}",
-                                     source=source, lineno=lineno, line=line)
+                raise LogFormatError(f"bad line in {source}: {bad}",
+                                     source=source, lineno=lineno, line=line,
+                                     defect=bad.defect) from bad
+            if report is not None:
+                report.record_quarantined(source, lineno, line, bad)
+            continue
+        if report is not None:
+            report.record_parsed(source)
+        yield record

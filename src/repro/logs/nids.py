@@ -53,13 +53,16 @@ def decode_nids(text: str) -> tuple[int, ...]:
             try:
                 lo, hi = int(lo_text), int(hi_text)
             except ValueError:
-                raise LogFormatError(f"bad nid range {part!r}") from None
+                raise LogFormatError(f"bad nid range {part!r}",
+                                     defect="bad-nids") from None
             if hi < lo:
-                raise LogFormatError(f"inverted nid range {part!r}")
+                raise LogFormatError(f"inverted nid range {part!r}",
+                                     defect="bad-nids")
             out.extend(range(lo, hi + 1))
         else:
             try:
                 out.append(int(part))
             except ValueError:
-                raise LogFormatError(f"bad nid {part!r}") from None
+                raise LogFormatError(f"bad nid {part!r}",
+                                     defect="bad-nids") from None
     return tuple(out)

@@ -1,0 +1,112 @@
+"""Quarantine accounting for lenient ingest.
+
+Field logs are messy: truncated syslog lines, interleaved streams,
+half-written records at collection boundaries.  Strict parsing (the
+default) fails fast on the first defect so synthetic bundles stay
+honest; *lenient* parsing quarantines each unparseable record instead of
+aborting and tallies what was lost, so an analyst can judge whether the
+surviving data still supports the headline numbers.
+
+:class:`IngestReport` is that tally: counts per stream, counts per
+``stream:defect`` pair, and a bounded sample of the quarantined lines
+for spot inspection.  The report is attached to the
+:class:`~repro.logs.bundle.LogBundle` a lenient ``read_bundle`` returns
+and surfaced by ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+
+__all__ = ["IngestReport", "QuarantinedLine"]
+
+#: How many raw quarantined lines the report keeps for inspection.
+_SAMPLE_CAP = 20
+
+
+@dataclass(frozen=True)
+class QuarantinedLine:
+    """One record the lenient parser refused, with provenance."""
+
+    source: str
+    lineno: int
+    defect: str
+    reason: str
+    line: str
+
+
+@dataclass
+class IngestReport:
+    """What lenient ingest kept and what it quarantined."""
+
+    #: Records successfully parsed, per stream.
+    parsed: dict[str, int] = field(default_factory=dict)
+    #: Records quarantined, per stream.
+    quarantined: dict[str, int] = field(default_factory=dict)
+    #: Records quarantined, per ``"stream:defect"`` pair.
+    defects: dict[str, int] = field(default_factory=dict)
+    #: First few quarantined lines, capped at a small sample.
+    samples: list[QuarantinedLine] = field(default_factory=list)
+
+    @property
+    def total_parsed(self) -> int:
+        return sum(self.parsed.values())
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(self.quarantined.values())
+
+    @property
+    def quarantine_share(self) -> float:
+        """Quarantined fraction of all non-blank records seen."""
+        seen = self.total_parsed + self.total_quarantined
+        return self.total_quarantined / seen if seen else 0.0
+
+    def record_parsed(self, source: str, count: int = 1) -> None:
+        self.parsed[source] = self.parsed.get(source, 0) + count
+
+    def record_quarantined(self, source: str, lineno: int, line: str,
+                           error: ParseError) -> None:
+        self.quarantined[source] = self.quarantined.get(source, 0) + 1
+        key = f"{source}:{error.defect}"
+        self.defects[key] = self.defects.get(key, 0) + 1
+        if len(self.samples) < _SAMPLE_CAP:
+            self.samples.append(QuarantinedLine(
+                source=source, lineno=lineno, defect=error.defect,
+                reason=str(error), line=line))
+
+    def merge(self, other: "IngestReport") -> None:
+        """Fold another report's counts into this one."""
+        for source, count in other.parsed.items():
+            self.record_parsed(source, count)
+        for source, count in other.quarantined.items():
+            self.quarantined[source] = self.quarantined.get(source, 0) + count
+        for key, count in other.defects.items():
+            self.defects[key] = self.defects.get(key, 0) + count
+        room = _SAMPLE_CAP - len(self.samples)
+        if room > 0:
+            self.samples.extend(other.samples[:room])
+
+    def as_dict(self) -> dict:
+        """JSON-able view (counts only; samples are for humans)."""
+        return {
+            "parsed": dict(sorted(self.parsed.items())),
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "defects": dict(sorted(self.defects.items())),
+            "total_parsed": self.total_parsed,
+            "total_quarantined": self.total_quarantined,
+        }
+
+    def render(self) -> str:
+        """Short human-readable summary."""
+        if not self.total_quarantined:
+            return (f"ingest: {self.total_parsed} records parsed, "
+                    f"0 quarantined")
+        lines = [f"ingest: {self.total_parsed} records parsed, "
+                 f"{self.total_quarantined} quarantined "
+                 f"({100 * self.quarantine_share:.2f}%)"]
+        for key, count in sorted(self.defects.items()):
+            lines.append(f"  {key}: {count}")
+        return "\n".join(lines)

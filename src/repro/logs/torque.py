@@ -22,6 +22,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import LogFormatError
 from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.quarantine import IngestReport
 from repro.logs.records import TorqueRecord
 from repro.util.timeutil import Epoch
 from repro.workload.jobs import JobRecord
@@ -45,11 +46,12 @@ def format_walltime(seconds: float) -> str:
 def parse_walltime(text: str) -> float:
     parts = text.split(":")
     if len(parts) != 3:
-        raise LogFormatError(f"bad walltime {text!r}")
+        raise LogFormatError(f"bad walltime {text!r}", defect="bad-walltime")
     try:
         hours, minutes, secs = (int(p) for p in parts)
     except ValueError:
-        raise LogFormatError(f"bad walltime {text!r}") from None
+        raise LogFormatError(f"bad walltime {text!r}",
+                             defect="bad-walltime") from None
     return float(hours * 3600 + minutes * 60 + secs)
 
 
@@ -89,8 +91,13 @@ def parse_torque_line(line: str, epoch: Epoch) -> TorqueRecord:
         key, _, value = token.partition("=")
         payload[key] = value
     try:
+        time_s = epoch.parse_torque(match["ts"])
+    except ValueError as bad:
+        raise LogFormatError(f"bad torque timestamp: {bad}", line=line,
+                             defect="bad-timestamp") from None
+    try:
         record = TorqueRecord(
-            time_s=epoch.parse_torque(match["ts"]),
+            time_s=time_s,
             kind=match["kind"],
             job_id=match["jobid"],
             user=payload["user"],
@@ -105,21 +112,35 @@ def parse_torque_line(line: str, epoch: Epoch) -> TorqueRecord:
             qtime_s=float(payload["qtime"]) if "qtime" in payload else None,
         )
     except KeyError as missing:
-        raise LogFormatError(f"torque payload missing {missing}", line=line)
+        raise LogFormatError(f"torque payload missing {missing}", line=line,
+                             defect="missing-field") from None
+    except LogFormatError as bad:
+        raise LogFormatError(f"torque payload malformed: {bad}", line=line,
+                             defect=bad.defect) from bad
     except ValueError as bad:
-        raise LogFormatError(f"torque payload malformed: {bad}", line=line)
+        raise LogFormatError(f"torque payload malformed: {bad}", line=line,
+                             defect="malformed-payload") from None
     return record
 
 
 def parse_torque(lines: Iterable[str], epoch: Epoch,
-                 *, strict: bool = True) -> Iterator[TorqueRecord]:
+                 *, strict: bool = True,
+                 report: IngestReport | None = None
+                 ) -> Iterator[TorqueRecord]:
     for lineno, line in enumerate(lines, start=1):
         line = line.rstrip("\n")
         if not line.strip():
             continue
         try:
-            yield parse_torque_line(line, epoch)
-        except LogFormatError:
+            record = parse_torque_line(line, epoch)
+        except LogFormatError as bad:
             if strict:
-                raise LogFormatError("bad torque line", source="torque",
-                                     lineno=lineno, line=line)
+                raise LogFormatError(f"bad torque line: {bad}",
+                                     source="torque", lineno=lineno,
+                                     line=line, defect=bad.defect) from bad
+            if report is not None:
+                report.record_quarantined("torque", lineno, line, bad)
+            continue
+        if report is not None:
+            report.record_parsed("torque")
+        yield record

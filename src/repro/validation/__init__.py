@@ -1,0 +1,68 @@
+"""Validation subsystem: calibration oracle, golden snapshots, and
+corruption-degradation curves.
+
+Three answers to "can we trust the pipeline's output?":
+
+* the **oracle** (:mod:`repro.validation.oracle`) checks an analysis
+  summary against the paper abstract's bands;
+* the **goldens** (:mod:`repro.validation.goldens`) pin the T1-T6
+  preset outputs as canonical JSON so perf refactors are provably
+  output-preserving;
+* the **degradation curves** (:mod:`repro.validation.degradation`)
+  measure how far each headline metric drifts as seeded log corruption
+  rises, with lenient ingest quarantining what cannot be parsed.
+
+``python -m repro validate`` runs all three; ``python -m
+repro.validation --update-goldens`` regenerates the snapshots after a
+deliberate output change.
+"""
+
+from repro.validation.degradation import (
+    DEFAULT_RATES,
+    DegradationPoint,
+    DegradationReport,
+    degradation_curve,
+)
+from repro.validation.goldens import (
+    GOLDEN_IDS,
+    VALIDATION_DAYS,
+    VALIDATION_SEED,
+    VALIDATION_THINNING,
+    GoldenEntry,
+    GoldenReport,
+    canonical_json,
+    check_goldens,
+    compute_snapshot,
+    update_goldens,
+    validation_analysis,
+)
+from repro.validation.oracle import (
+    DEFAULT_BANDS,
+    OracleBand,
+    OracleCheck,
+    OracleReport,
+    check_summary,
+)
+
+__all__ = [
+    "DEFAULT_BANDS",
+    "DEFAULT_RATES",
+    "DegradationPoint",
+    "DegradationReport",
+    "GOLDEN_IDS",
+    "GoldenEntry",
+    "GoldenReport",
+    "OracleBand",
+    "OracleCheck",
+    "OracleReport",
+    "VALIDATION_DAYS",
+    "VALIDATION_SEED",
+    "VALIDATION_THINNING",
+    "canonical_json",
+    "check_goldens",
+    "check_summary",
+    "compute_snapshot",
+    "degradation_curve",
+    "update_goldens",
+    "validation_analysis",
+]

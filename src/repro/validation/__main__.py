@@ -1,0 +1,66 @@
+"""CLI: golden-snapshot maintenance.
+
+``python -m repro.validation`` checks the stored goldens against fresh
+snapshots (exit 1 on drift); ``--update-goldens`` regenerates them --
+the deliberate, reviewable act that accompanies an intended output
+change.  The full validation suite (oracle + goldens + corruption
+sweep) lives under ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.cache import configure_cache
+from repro.campaign.engine import configure_engine
+from repro.validation.goldens import (
+    GOLDEN_IDS,
+    check_goldens,
+    update_goldens,
+    validation_analysis,
+)
+from repro.validation.oracle import check_summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validation",
+        description="Check or regenerate the golden snapshots.")
+    parser.add_argument("--update-goldens", action="store_true",
+                        help="rewrite the stored snapshots from a fresh "
+                             "run of the validation preset")
+    parser.add_argument("--ids", nargs="*", metavar="ID", default=None,
+                        help=f"subset of presets (default: all of "
+                             f"{' '.join(GOLDEN_IDS)})")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes (0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+    args = parser.parse_args(argv)
+
+    configure_engine(jobs=args.jobs)
+    if args.no_cache:
+        configure_cache(enabled=False)
+
+    ids = tuple(i.upper() for i in args.ids) if args.ids else GOLDEN_IDS
+    unknown = [i for i in ids if i not in GOLDEN_IDS]
+    if unknown:
+        print(f"unknown preset(s) {unknown}; have {list(GOLDEN_IDS)}")
+        return 2
+
+    analysis = validation_analysis()
+    oracle = check_summary(analysis.summary())
+    print(oracle.render())
+    print()
+    if args.update_goldens:
+        for path in update_goldens(ids, analysis=analysis):
+            print(f"wrote {path}")
+        return 0
+    report = check_goldens(ids, analysis=analysis)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

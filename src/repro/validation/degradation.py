@@ -1,0 +1,123 @@
+"""Degradation curves: headline metrics vs. injected corruption rate.
+
+For each corruption rate, damage a pristine bundle with the seeded
+injector (:mod:`repro.faults.corruptor`), re-ingest it *leniently*, run
+the full LogDiver pipeline, and record how far each headline metric
+drifted from the clean run.  The points are independent campaign units,
+so the sweep fans out across worker processes exactly like every other
+experiment (``--jobs``).
+
+The acceptance bar the validate command enforces: at 1% injected
+corruption the pipeline must complete without crashing and hold
+``system_failure_share`` within a small absolute tolerance (default
+0.3 percentage points) of the clean run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+
+from repro.campaign.engine import run_campaign
+from repro.core.pipeline import LogDiver
+from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
+from repro.logs.bundle import read_bundle
+from repro.util.tables import render_table
+
+__all__ = ["DegradationPoint", "DegradationReport", "degradation_curve",
+           "DEFAULT_RATES"]
+
+#: Default sweep: clean baseline plus three escalating damage levels.
+DEFAULT_RATES = (0.0, 0.005, 0.01, 0.02)
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One corruption rate's outcome."""
+
+    rate: float
+    summary: dict[str, float]
+    quarantined: int
+    parsed: int
+    mutations: int
+
+    def drift(self, clean: dict[str, float], key: str) -> float:
+        return self.summary[key] - clean[key]
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """The whole sweep, anchored at the clean (rate 0) point."""
+
+    points: tuple[DegradationPoint, ...]
+
+    @property
+    def clean(self) -> DegradationPoint:
+        return self.points[0]
+
+    def max_abs_drift(self, key: str) -> float:
+        clean = self.clean.summary
+        return max(abs(p.drift(clean, key)) for p in self.points)
+
+    def drift_at(self, rate: float, key: str) -> float:
+        """Signed drift of ``key`` at the point closest to ``rate``."""
+        point = min(self.points, key=lambda p: abs(p.rate - rate))
+        return point.drift(self.clean.summary, key)
+
+    def render(self) -> str:
+        clean = self.clean.summary
+        body = []
+        for p in self.points:
+            body.append([
+                f"{p.rate:.3%}",
+                str(p.mutations),
+                str(p.quarantined),
+                f"{p.summary['runs']:.0f}",
+                f"{p.summary['system_failure_share']:.4f}",
+                f"{p.drift(clean, 'system_failure_share') * 100:+.3f}pp",
+                f"{p.summary['failed_node_hour_share']:.4f}",
+                f"{p.drift(clean, 'failed_node_hour_share') * 100:+.3f}pp",
+            ])
+        return render_table(
+            ["corruption", "mutations", "quarantined", "runs",
+             "sys_share", "drift", "nh_share", "drift "], body)
+
+
+def _degradation_unit(*, bundle_dir: str, rate: float, seed: int) -> dict:
+    """One sweep point (module-level so spawn workers can pickle it)."""
+    if rate <= 0.0:
+        bundle = read_bundle(bundle_dir, strict=False)
+        mutations = 0
+    else:
+        with tempfile.TemporaryDirectory() as damaged_dir:
+            report = corrupt_bundle(bundle_dir, damaged_dir,
+                                    CorruptionConfig.uniform(rate),
+                                    seed=seed)
+            mutations = report.total_mutations
+            bundle = read_bundle(damaged_dir, strict=False)
+    analysis = LogDiver().analyze(bundle)
+    return {
+        "rate": rate,
+        "summary": analysis.summary(),
+        "quarantined": bundle.ingest_report.total_quarantined,
+        "parsed": bundle.ingest_report.total_parsed,
+        "mutations": mutations,
+    }
+
+
+def degradation_curve(bundle_dir, rates=DEFAULT_RATES, *,
+                      seed: int = 0,
+                      jobs: int | None = None) -> DegradationReport:
+    """Sweep corruption rates over one pristine bundle directory.
+
+    A clean (rate 0) point is always included as the anchor; the rest of
+    the sweep runs through the campaign engine, one unit per rate.
+    """
+    swept = sorted({float(r) for r in rates} | {0.0})
+    units = [dict(bundle_dir=str(bundle_dir), rate=rate, seed=seed)
+             for rate in swept]
+    results = run_campaign(_degradation_unit, units, jobs=jobs)
+    points = tuple(DegradationPoint(
+        rate=r["rate"], summary=r["summary"], quarantined=r["quarantined"],
+        parsed=r["parsed"], mutations=r["mutations"]) for r in results)
+    return DegradationReport(points=points)

@@ -1,0 +1,248 @@
+"""Golden snapshots: canonical JSON summaries of the T1-T6 presets.
+
+Every perf PR (parallel fan-out, caching, vectorized hot paths) claims
+to be output-preserving; the goldens make that claim checkable.  Each
+snapshot is the canonical JSON rendering of one T1-T6 preset computed
+on the *validation preset* scenario -- the full Blue Waters machine with
+a thinned 30-day workload, big enough that every table is populated and
+small enough to regenerate in seconds.
+
+Drift fails ``python -m repro validate`` (and CI) until the goldens are
+deliberately regenerated with ``python -m repro.validation
+--update-goldens`` -- that command is the reviewable act of saying "the
+output was *supposed* to change".
+
+Canonical JSON: sorted keys, compact separators, floats rounded to 10
+significant digits (full binary precision would make the snapshots
+hostage to BLAS/numpy build differences across machines without making
+them any more protective).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.categorize import DiagnosedOutcome
+from repro.core.metrics import workload_by_app
+from repro.core.pipeline import Analysis
+from repro.experiments.presets import ambient_analysis
+from repro.machine.blueprints import BLUE_WATERS, build_machine
+from repro.util.tables import render_table
+
+__all__ = ["GOLDEN_IDS", "VALIDATION_DAYS", "VALIDATION_THINNING",
+           "VALIDATION_SEED", "GoldenEntry", "GoldenReport",
+           "canonical_json", "compute_snapshot", "validation_analysis",
+           "golden_dir", "check_goldens", "update_goldens"]
+
+#: The validation preset: full machine, 30 thinned production days.
+#: Chosen so the whole suite (simulate + analyze + corruption sweep)
+#: stays interactive while every outcome class and table is populated.
+VALIDATION_DAYS = 30.0
+VALIDATION_THINNING = 0.01
+VALIDATION_SEED = 7
+
+GOLDEN_IDS = ("T1", "T2", "T3", "T4", "T5", "T6")
+
+_SIGNIFICANT_DIGITS = 10
+
+
+def golden_dir() -> Path:
+    """Where the snapshot files live (shipped with the package)."""
+    return Path(__file__).parent / "goldens"
+
+
+def validation_analysis() -> Analysis:
+    """The validation preset's full analysis (memoized + disk-cached)."""
+    return ambient_analysis(days=VALIDATION_DAYS,
+                            thinning=VALIDATION_THINNING,
+                            seed=VALIDATION_SEED)
+
+
+def _round_floats(value):
+    """Round floats to a stable number of significant digits."""
+    if isinstance(value, bool) or value is None or isinstance(value,
+                                                              (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.{_SIGNIFICANT_DIGITS}g}")
+    if isinstance(value, (list, tuple)):
+        return [_round_floats(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _round_floats(v) for k, v in value.items()}
+    if hasattr(value, "value") and isinstance(getattr(value, "value"), str):
+        return value.value  # str-valued enums
+    raise TypeError(f"snapshot value is not JSON-able: {value!r}")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON text for a snapshot dict."""
+    return json.dumps(_round_floats(obj), sort_keys=True, indent=1)
+
+
+# -- per-preset snapshot builders --------------------------------------------
+
+def _snap_t1(_: Analysis) -> dict:
+    summary = build_machine(BLUE_WATERS).summary()
+    return {k: list(v) if isinstance(v, tuple) else v
+            for k, v in summary.items()}
+
+
+def _snap_t2(analysis: Analysis) -> dict:
+    return {
+        "runs": len(analysis.runs),
+        "torque_records": 2 * len({r.batch_id for r in analysis.runs}),
+        "errors_classified": len(analysis.errors),
+        "errors_unclassified": analysis.unclassified_records,
+        "clusters": len(analysis.clusters),
+    }
+
+
+def _snap_t3(analysis: Analysis) -> dict:
+    rows = workload_by_app(analysis.diagnosed)
+    return {cmd: {"runs": int(stats["runs"]),
+                  "node_hours": stats["node_hours"],
+                  "system_failures": int(stats["system_failures"])}
+            for cmd, stats in list(rows.items())[:12]}
+
+
+def _snap_t4(analysis: Analysis) -> dict:
+    b = analysis.breakdown
+    per_outcome = {
+        outcome.value: {
+            "runs": b.counts.get(outcome, 0),
+            "share": b.share(outcome),
+            "node_hours": b.node_hours.get(outcome, 0.0),
+            "node_hour_share": b.node_hour_share(outcome),
+        }
+        for outcome in DiagnosedOutcome
+    }
+    return {
+        "outcomes": per_outcome,
+        "total_runs": b.total_runs,
+        "total_node_hours": b.total_node_hours,
+        "system_failure_share": b.system_failure_share,
+        "failed_node_hour_share": b.failed_node_hour_share,
+    }
+
+
+def _snap_t5(analysis: Analysis) -> dict:
+    return {category.value: count
+            for category, count in analysis.causes.items()}
+
+
+def _snap_t6(analysis: Analysis) -> dict:
+    s = analysis.filter_stats
+    return {
+        "raw_records": s.raw_records,
+        "tuples": s.tuples,
+        "clusters": s.clusters,
+        "tupling_ratio": s.tupling_ratio,
+        "coalescing_ratio": s.coalescing_ratio,
+        "total_ratio": s.total_ratio,
+        "unclassified_dropped": analysis.unclassified_records,
+    }
+
+
+_SNAPSHOTS = {"T1": _snap_t1, "T2": _snap_t2, "T3": _snap_t3,
+              "T4": _snap_t4, "T5": _snap_t5, "T6": _snap_t6}
+
+
+def compute_snapshot(preset_id: str, analysis: Analysis | None = None
+                     ) -> dict:
+    """Compute one preset's snapshot dict (validation preset by default)."""
+    try:
+        builder = _SNAPSHOTS[preset_id.upper()]
+    except KeyError:
+        raise KeyError(f"unknown golden preset {preset_id!r}; "
+                       f"have {list(GOLDEN_IDS)}") from None
+    if analysis is None:
+        analysis = validation_analysis()
+    return builder(analysis)
+
+
+# -- store --------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GoldenEntry:
+    """One preset's comparison against its stored snapshot."""
+
+    preset_id: str
+    status: str  # "ok" | "drift" | "missing"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class GoldenReport:
+    """All golden comparisons for one run."""
+
+    entries: tuple[GoldenEntry, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(e.ok for e in self.entries)
+
+    def render(self) -> str:
+        body = [[e.preset_id, e.status, e.detail or "-"]
+                for e in self.entries]
+        table = render_table(["preset", "status", "detail"], body)
+        verdict = "PASS" if self.passed else (
+            "FAIL (regenerate deliberately with "
+            "`python -m repro.validation --update-goldens`)")
+        return table + f"\n\ngolden verdict: {verdict}"
+
+
+def _first_diff(stored: str, fresh: str) -> str:
+    """A one-line locator for the first differing snapshot line."""
+    for lineno, (a, b) in enumerate(zip(stored.splitlines(),
+                                        fresh.splitlines()), start=1):
+        if a != b:
+            return (f"line {lineno}: stored {a.strip()!r} "
+                    f"!= fresh {b.strip()!r}")
+    return "snapshots differ in length"
+
+
+def update_goldens(ids: tuple[str, ...] = GOLDEN_IDS, *,
+                   directory: Path | None = None,
+                   analysis: Analysis | None = None) -> list[Path]:
+    """(Re)write golden snapshot files; returns the paths written."""
+    directory = directory or golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    if analysis is None:
+        analysis = validation_analysis()
+    written = []
+    for preset_id in ids:
+        path = directory / f"{preset_id.upper()}.json"
+        path.write_text(
+            canonical_json(compute_snapshot(preset_id, analysis)) + "\n")
+        written.append(path)
+    return written
+
+
+def check_goldens(ids: tuple[str, ...] = GOLDEN_IDS, *,
+                  directory: Path | None = None,
+                  analysis: Analysis | None = None) -> GoldenReport:
+    """Compare fresh snapshots against the stored goldens."""
+    directory = directory or golden_dir()
+    if analysis is None:
+        analysis = validation_analysis()
+    entries = []
+    for preset_id in ids:
+        path = directory / f"{preset_id.upper()}.json"
+        fresh = canonical_json(compute_snapshot(preset_id, analysis)) + "\n"
+        if not path.exists():
+            entries.append(GoldenEntry(preset_id, "missing",
+                                       f"no snapshot at {path.name}"))
+            continue
+        stored = path.read_text()
+        if stored == fresh:
+            entries.append(GoldenEntry(preset_id, "ok"))
+        else:
+            entries.append(GoldenEntry(preset_id, "drift",
+                                       _first_diff(stored, fresh)))
+    return GoldenReport(entries=tuple(entries))

@@ -1,0 +1,128 @@
+"""Calibration oracle: is an analysis summary inside the paper's bands?
+
+The oracle turns the abstract's reported numbers (via
+:mod:`repro.experiments.targets`) into acceptance *bands* and checks an
+:meth:`Analysis.summary() <repro.core.pipeline.Analysis.summary>`
+against them.  Two severities:
+
+* **required** bands gate ``python -m repro validate`` (and CI): the
+  headline shares the whole reproduction stands on;
+* **advisory** bands are reported but never fail the run.  The scaling
+  growth factors live here: the abstract's ~20x/~6x come from the
+  controlled F2/F3 sweeps, while an ambient bundle's bucketed curve is
+  small-sample noisy -- flagging that noise as failure would punish the
+  wrong thing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.targets import target
+from repro.util.tables import render_table
+
+__all__ = ["OracleBand", "OracleCheck", "OracleReport", "DEFAULT_BANDS",
+           "check_summary"]
+
+
+@dataclass(frozen=True)
+class OracleBand:
+    """Acceptance interval for one summary metric."""
+
+    key: str
+    lo: float
+    hi: float
+    required: bool
+    description: str
+
+    def check(self, measured: float | None) -> "OracleCheck":
+        ok = (measured is not None and math.isfinite(measured)
+              and self.lo <= measured <= self.hi)
+        return OracleCheck(band=self, measured=measured, ok=ok)
+
+    @classmethod
+    def from_target(cls, summary_key: str, target_key: str, *,
+                    required: bool,
+                    rel_tol: float | None = None) -> "OracleBand":
+        """Band around a paper-abstract target value."""
+        spec = target(target_key)
+        tol = spec.rel_tol if rel_tol is None else rel_tol
+        return cls(key=summary_key,
+                   lo=spec.value * (1.0 - tol),
+                   hi=spec.value * (1.0 + tol),
+                   required=required,
+                   description=spec.description)
+
+
+@dataclass(frozen=True)
+class OracleCheck:
+    """One band's verdict on a measured value."""
+
+    band: OracleBand
+    measured: float | None
+    ok: bool
+
+    @property
+    def status(self) -> str:
+        if self.ok:
+            return "ok"
+        return "FAIL" if self.band.required else "off-band (advisory)"
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """All band verdicts for one summary."""
+
+    checks: tuple[OracleCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every *required* band holds."""
+        return all(c.ok for c in self.checks if c.band.required)
+
+    @property
+    def failures(self) -> list[OracleCheck]:
+        return [c for c in self.checks if c.band.required and not c.ok]
+
+    def render(self) -> str:
+        body = []
+        for c in self.checks:
+            measured = ("n/a" if c.measured is None
+                        or not math.isfinite(c.measured)
+                        else f"{c.measured:.4f}")
+            body.append([
+                c.band.key, measured,
+                f"[{c.band.lo:.4f}, {c.band.hi:.4f}]",
+                "required" if c.band.required else "advisory",
+                c.status,
+            ])
+        table = render_table(
+            ["metric", "measured", "band", "severity", "status"], body)
+        verdict = "PASS" if self.passed else "FAIL"
+        return table + f"\n\noracle verdict: {verdict}"
+
+
+#: Bands a clean synthetic bundle of the validation preset must satisfy.
+DEFAULT_BANDS: tuple[OracleBand, ...] = (
+    OracleBand.from_target("system_failure_share", "system_failure_share",
+                           required=True),
+    OracleBand.from_target("failed_node_hour_share",
+                           "failed_node_hour_share", required=True),
+    OracleBand("runs", 100.0, float("inf"), True,
+               "enough runs for the shares to be meaningful"),
+    OracleBand("mnbf_node_hours", 1.0, float("inf"), True,
+               "mean node-hours between failures is positive and finite"),
+    OracleBand.from_target("xe_curve_growth", "xe_growth_10k_to_22k",
+                           required=False, rel_tol=0.9),
+    OracleBand.from_target("xk_curve_growth", "xk_growth_2k_to_4224",
+                           required=False, rel_tol=0.9),
+)
+
+
+def check_summary(summary: dict[str, float], *,
+                  bands: tuple[OracleBand, ...] = DEFAULT_BANDS
+                  ) -> OracleReport:
+    """Check one ``Analysis.summary()`` dict against the oracle bands."""
+    return OracleReport(checks=tuple(
+        band.check(summary.get(band.key)) for band in bands))

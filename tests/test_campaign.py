@@ -28,12 +28,22 @@ from repro.experiments import presets
 from repro.experiments.sweep import scaling_sweep
 from repro.machine.nodetypes import NodeType
 from repro.util.rngs import RngFactory
+from repro.validation.goldens import canonical_json
 
 
 def _seeded_unit(value: int, seed: int) -> tuple[int, int]:
     """Module-level so spawn workers can pickle it."""
     rng = RngFactory(seed + value).get("test/unit")
     return value, int(rng.integers(0, 1_000_000))
+
+
+def _caching_unit(value: int, seed: int) -> tuple[int, bool]:
+    """A unit that goes through the worker's process-wide cache."""
+    cache = cache_module.get_cache()
+    result = cache.get_or_compute("campaign-test",
+                                  {"value": value, "seed": seed},
+                                  lambda: value * seed)
+    return result, cache.enabled
 
 
 @pytest.fixture()
@@ -66,6 +76,11 @@ class TestCanonicalParams:
         assert canonical_params((1, 2.0)) == [1, 2]
         assert (list(canonical_params({"b": 1, "a": 2}))
                 == ["a", "b"])
+
+    def test_aliasing_reaches_into_nested_structures(self):
+        # 30 vs 30.0 must collapse even deep inside lists/tuples/dicts.
+        assert (cache_key("k", {"cfg": {"days": [30, 2.0], "w": (1.0,)}})
+                == cache_key("k", {"cfg": {"days": [30.0, 2], "w": [1]}}))
 
     def test_enum_uses_value(self):
         assert canonical_params(NodeType.XE) == NodeType.XE.value
@@ -137,6 +152,29 @@ class TestResultCache:
         found, value = fresh.load(cache_key("kind", {"x": 1}))
         assert found and value == [1, 2, 3]
 
+    def test_partially_written_entry_is_a_miss(self, tmp_path):
+        # A torn write (process killed mid-store) leaves a prefix of a
+        # valid pickle: must recompute and replace, never crash.
+        cache = ResultCache(tmp_path, enabled=True)
+        payload = list(range(1000))
+        cache.get_or_compute("kind", {"x": 1}, lambda: payload)
+        (entry,) = list(tmp_path.rglob("*.pkl"))
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[:len(blob) // 2])
+        value = cache.get_or_compute("kind", {"x": 1}, lambda: payload)
+        assert value == payload
+        assert cache.stats.errors == 1
+        found, reread = cache.load(cache_key("kind", {"x": 1}))
+        assert found and reread == payload
+
+    def test_truncated_to_empty_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.get_or_compute("kind", {"x": 1}, lambda: 7)
+        (entry,) = list(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"")
+        assert cache.get_or_compute("kind", {"x": 1}, lambda: 7) == 7
+        assert cache.stats.errors == 1
+
 
 class TestEngine:
     def test_serial_matches_parallel(self):
@@ -177,6 +215,28 @@ class TestParallelSweep:
         assert serial == parallel  # dataclass equality, field for field
 
 
+class TestNoCacheBypassUnderParallelEngine:
+    """REPRO_NO_CACHE must disable caching inside spawn workers too."""
+
+    UNITS = [dict(value=v, seed=3) for v in range(4)]
+
+    def test_env_bypass_reaches_workers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        results = run_campaign(_caching_unit, self.UNITS, jobs=2)
+        assert [r[0] for r in results] == [v * 3 for v in range(4)]
+        # Every worker saw a disabled cache and nothing hit the disk.
+        assert all(enabled is False for _, enabled in results)
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_without_bypass_workers_do_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        results = run_campaign(_caching_unit, self.UNITS, jobs=2)
+        assert all(enabled is True for _, enabled in results)
+        assert len(list(tmp_path.rglob("*.pkl"))) == len(self.UNITS)
+
+
 def _same_summary(a: dict[str, float], b: dict[str, float]) -> bool:
     if a.keys() != b.keys():
         return False
@@ -209,3 +269,15 @@ class TestPresetCaching:
         presets.ambient_result(days=self.DAYS, thinning=self.THINNING,
                                seed=self.SEED + 1)
         assert isolated_cache.stats.stores > stores_before
+
+    def test_cold_and_warm_summaries_byte_identical(self, isolated_cache):
+        """The goldens' own serialization sees no cold/warm difference."""
+        cold = presets.ambient_analysis(days=self.DAYS,
+                                        thinning=self.THINNING,
+                                        seed=self.SEED).summary()
+        presets.clear_memo()
+        warm = presets.ambient_analysis(days=self.DAYS,
+                                        thinning=self.THINNING,
+                                        seed=self.SEED).summary()
+        assert isolated_cache.stats.hits > 0
+        assert canonical_json(cold) == canonical_json(warm)

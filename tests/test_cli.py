@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
 
 
 class TestSimulateAnalyze:
@@ -42,6 +43,25 @@ class TestSimulateAnalyze:
         assert code == 0
         assert "machine MTBF" in out
 
+    def test_analyze_lenient_survives_corruption(self, bundle_path,
+                                                 tmp_path, capsys):
+        damaged = tmp_path / "damaged"
+        corrupt_bundle(bundle_path, damaged, CorruptionConfig.uniform(0.05),
+                       seed=17)
+        code = main(["analyze", str(damaged), "--lenient",
+                     "--tables", "outcomes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ingest:" in out
+        assert "quarantined" in out
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestValidate:
+    def test_bad_rates_rejected_early(self, capsys):
+        code = main(["validate", "--rates", "nope"])
+        assert code == 2
+        assert "bad --rates" in capsys.readouterr().out

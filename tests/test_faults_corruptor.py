@@ -1,0 +1,192 @@
+"""Corruption injector: determinism, per-defect behavior, config checks.
+
+The injector exists so the validation suite can *measure* resilience of
+the ingest path; these tests pin down the properties that measurement
+relies on -- same (bundle, config, seed) means byte-identical damage,
+each defect does exactly what its name says, and the manifest is never
+touched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.corruptor import (
+    CORRUPTIBLE_FILES,
+    DEFECT_KINDS,
+    CorruptionConfig,
+    CorruptionReport,
+    corrupt_bundle,
+    corrupt_lines,
+)
+from repro.logs.alps import parse_alps_line
+from repro.logs.bundle import read_bundle
+from repro.logs.torque import parse_torque_line
+from repro.util.rngs import substream
+from repro.util.timeutil import Epoch
+
+EPOCH = Epoch()
+
+_APSYS_LINES = [
+    "2013-04-01T00:00:02 apsys apid=7 kind=start batch_id=3.bw "
+    "user=user0001 cmd=namd2 nids=0-127",
+    "2013-04-01T04:00:02 apsys apid=7 kind=end batch_id=3.bw "
+    "user=user0001 cmd=namd2 nids=0-127 exit_code=0 exit_signal=0",
+    "2013-04-01T05:00:02 apsys apid=9 kind=start batch_id=4.bw "
+    "user=user0002 cmd=vpic nids=128-255",
+    "2013-04-01T06:00:02 apsys apid=9 kind=end batch_id=4.bw "
+    "user=user0002 cmd=vpic nids=128-255 exit_code=1 exit_signal=0",
+]
+
+_TORQUE_LINE = (
+    "04/01/2013 12:00:00;S;12345.bw;user=user0042 queue=normal "
+    "Resource_List.nodes=128 Resource_List.walltime=04:00:00 "
+    "qtime=1364816000 start=1364817600 exec_host=0-127")
+
+
+def _run(filename: str, lines: list[str], config: CorruptionConfig,
+         seed: int = 0) -> tuple[list[str], CorruptionReport]:
+    report = CorruptionReport(seed=seed)
+    rng = substream(seed, f"test/{filename}")
+    return corrupt_lines(filename, list(lines), config, rng, report), report
+
+
+class TestConfig:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(garble_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(drop_rate=-0.1)
+
+    def test_rates_summing_past_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(truncate_rate=0.6, garble_rate=0.6)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(skew_max_s=-1.0)
+
+    def test_uniform_splits_evenly(self):
+        config = CorruptionConfig.uniform(0.06)
+        assert config.total_rate == pytest.approx(0.06)
+        assert all(rate == pytest.approx(0.01)
+                   for rate in config.rates().values())
+
+    def test_uniform_accepts_overrides(self):
+        config = CorruptionConfig.uniform(0.06, skew_max_s=5.0)
+        assert config.skew_max_s == 5.0
+
+    def test_uniform_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig.uniform(1.5)
+
+    def test_defect_vocabulary_matches_rate_fields(self):
+        config = CorruptionConfig()
+        assert tuple(config.rates()) == DEFECT_KINDS
+
+
+class TestDefects:
+    def test_zero_rate_is_identity(self):
+        out, report = _run("apsys.log", _APSYS_LINES, CorruptionConfig())
+        assert out == _APSYS_LINES
+        assert report.total_mutations == 0
+        assert report.lines_seen == len(_APSYS_LINES)
+
+    def test_truncate_shortens_every_line(self):
+        config = CorruptionConfig(truncate_rate=1.0)
+        out, report = _run("syslog.log", _APSYS_LINES, config)
+        assert all(len(o) < len(i) for o, i in zip(out, _APSYS_LINES))
+        assert report.by_file["syslog.log"]["truncate"] == len(_APSYS_LINES)
+
+    def test_duplicate_doubles_the_file(self):
+        config = CorruptionConfig(duplicate_rate=1.0)
+        out, _ = _run("console.log", _APSYS_LINES, config)
+        assert len(out) == 2 * len(_APSYS_LINES)
+        assert out[0] == out[1] == _APSYS_LINES[0]
+
+    def test_drop_on_apsys_only_hits_end_records(self):
+        config = CorruptionConfig(drop_rate=1.0)
+        out, report = _run("apsys.log", _APSYS_LINES, config)
+        assert out == [line for line in _APSYS_LINES
+                       if " kind=end " not in line]
+        assert report.by_file["apsys.log"]["drop"] == 2
+
+    def test_drop_elsewhere_hits_any_line(self):
+        config = CorruptionConfig(drop_rate=1.0)
+        out, _ = _run("hwerr.log", _APSYS_LINES, config)
+        assert out == []
+
+    def test_skew_keeps_lines_strictly_parseable(self):
+        config = CorruptionConfig(skew_rate=1.0, skew_max_s=300.0)
+        out, _ = _run("apsys.log", _APSYS_LINES, config)
+        moved = 0
+        for skewed, original in zip(out, _APSYS_LINES):
+            record = parse_alps_line(skewed, EPOCH)  # must not raise
+            base = parse_alps_line(original, EPOCH)
+            assert abs(record.time_s - base.time_s) <= 300.0
+            moved += skewed != original
+        assert moved > 0
+
+    def test_skew_handles_torque_timestamps(self):
+        config = CorruptionConfig(skew_rate=1.0, skew_max_s=600.0)
+        out, _ = _run("torque.log", [_TORQUE_LINE] * 5, config, seed=3)
+        for line in out:
+            parse_torque_line(line, EPOCH)  # must not raise
+
+    def test_reorder_swaps_with_predecessor(self):
+        config = CorruptionConfig(reorder_rate=1.0)
+        out, _ = _run("syslog.log", ["a", "b"], config)
+        assert sorted(out) == ["a", "b"]
+
+    def test_report_as_dict_shape(self):
+        config = CorruptionConfig(garble_rate=1.0)
+        _, report = _run("syslog.log", _APSYS_LINES, config, seed=11)
+        data = report.as_dict()
+        assert data["seed"] == 11
+        assert data["total_mutations"] == len(_APSYS_LINES)
+        assert data["by_file"] == {"syslog.log": {"garble": 4}}
+
+
+class TestCorruptBundle:
+    CONFIG = CorruptionConfig.uniform(0.3)
+
+    def test_damage_is_deterministic(self, bundle_dir, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        report_a = corrupt_bundle(bundle_dir, a, self.CONFIG, seed=5)
+        report_b = corrupt_bundle(bundle_dir, b, self.CONFIG, seed=5)
+        assert report_a.as_dict() == report_b.as_dict()
+        for name in CORRUPTIBLE_FILES:
+            assert (a / name).read_bytes() == (b / name).read_bytes()
+
+    def test_seed_changes_the_damage(self, bundle_dir, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        corrupt_bundle(bundle_dir, a, self.CONFIG, seed=5)
+        corrupt_bundle(bundle_dir, b, self.CONFIG, seed=6)
+        assert any((a / name).read_bytes() != (b / name).read_bytes()
+                   for name in CORRUPTIBLE_FILES)
+
+    def test_manifest_is_never_touched(self, bundle_dir, tmp_path):
+        out = tmp_path / "damaged"
+        corrupt_bundle(bundle_dir, out, self.CONFIG, seed=5)
+        assert ((out / "manifest.json").read_bytes()
+                == (bundle_dir / "manifest.json").read_bytes())
+
+    def test_refuses_in_place(self, bundle_dir):
+        with pytest.raises(ConfigurationError, match="in place"):
+            corrupt_bundle(bundle_dir, bundle_dir, self.CONFIG)
+
+    def test_rejects_missing_source(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a bundle"):
+            corrupt_bundle(tmp_path / "nope", tmp_path / "out", self.CONFIG)
+
+    def test_lenient_ingest_survives_the_damage(self, bundle_dir, tmp_path):
+        out = tmp_path / "damaged"
+        report = corrupt_bundle(bundle_dir, out, self.CONFIG, seed=5)
+        assert report.total_mutations > 0
+        damaged = read_bundle(out, strict=False)
+        ingest = damaged.ingest_report
+        assert ingest.total_parsed > 0
+        # Heavy damage must actually quarantine something.
+        assert ingest.total_quarantined > 0
+        assert sum(ingest.defects.values()) == ingest.total_quarantined

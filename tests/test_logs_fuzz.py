@@ -1,16 +1,31 @@
-"""Fuzz tests: parsers must fail *predictably* on arbitrary text.
+"""Fuzz and property tests: parsers must fail *predictably*.
 
-Strict parsers raise :class:`LogFormatError` (never anything else);
-lenient stream parsing never raises at all.
+Three families of invariant:
+
+* strict parsers raise :class:`LogFormatError` (never anything else) on
+  arbitrary text, and lenient stream parsing never raises at all;
+* the nid-range codec and the cname text form round-trip exactly;
+* lenient ingest of corruptor-mutated *valid* lines never raises, and
+  the :class:`IngestReport` accounts for every non-blank line exactly
+  once (parsed XOR quarantined).
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import LogFormatError
+from repro.faults.corruptor import (
+    CorruptionConfig,
+    CorruptionReport,
+    corrupt_lines,
+)
 from repro.logs.alps import parse_alps, parse_alps_line
 from repro.logs.errorlogs import parse_stream, parse_syslog_line
+from repro.logs.nids import decode_nids, encode_nids
+from repro.logs.quarantine import IngestReport
 from repro.logs.torque import parse_torque, parse_torque_line
+from repro.machine.cname import CName, format_cname, parse_cname
+from repro.util.rngs import substream
 from repro.util.timeutil import Epoch
 
 EPOCH = Epoch()
@@ -62,3 +77,143 @@ class TestFuzz:
     def test_near_miss_torque_timestamp(self):
         with pytest.raises(LogFormatError):
             parse_torque_line("99/99/2013 00:00:00;E;1.bw;user=u", EPOCH)
+
+
+@st.composite
+def cnames(draw) -> CName:
+    """Valid cnames at every depth, node and gemini branches included."""
+    col = draw(st.integers(0, 99))
+    row = draw(st.integers(0, 99))
+    chassis = slot = node = gemini = acc = None
+    depth = draw(st.integers(0, 3))
+    if depth >= 1:
+        chassis = draw(st.integers(0, 2))
+    if depth >= 2:
+        slot = draw(st.integers(0, 7))
+    if depth >= 3:
+        if draw(st.booleans()):
+            gemini = draw(st.integers(0, 1))
+        else:
+            node = draw(st.integers(0, 3))
+            if draw(st.booleans()):
+                acc = draw(st.integers(0, 9))
+    return CName(col, row, chassis, slot, node, gemini, acc)
+
+
+class TestRoundTrips:
+    @given(st.lists(st.integers(0, 60_000), max_size=400))
+    @settings(max_examples=150, deadline=None)
+    def test_nids_round_trip(self, ids):
+        assert decode_nids(encode_nids(ids)) == tuple(sorted(set(ids)))
+
+    @given(st.lists(st.integers(0, 60_000), max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_nids_encoding_is_canonical(self, ids):
+        # Re-encoding a decoded list reproduces the text exactly.
+        text = encode_nids(ids)
+        assert encode_nids(decode_nids(text)) == text
+
+    @given(cnames())
+    @settings(max_examples=150, deadline=None)
+    def test_cname_round_trip(self, name):
+        assert parse_cname(format_cname(name)) == name
+
+    @given(cnames())
+    @settings(max_examples=60, deadline=None)
+    def test_cname_str_matches_format(self, name):
+        assert str(name) == format_cname(name)
+
+
+#: One known-good line per stream; the corruptor mutates these.
+_VALID_LINES = {
+    "syslog": [
+        "Apr  1 00:00:02 c3-7c1s4n2 kernel: NVRM: Xid (c3-7c1s4n2a0): 48",
+        "Apr  2 13:45:10 c0-0c0s0n1 kernel: LNet: critical hardware error",
+    ],
+    "hwerrlog": [
+        "2013-04-01T00:00:02|c3-7c1s4g1|HWERR[c3-7c1s4g1]: LCB lane failed",
+        "2013-04-03T08:12:59|c1-2c2s7g0|HWERR[c1-2c2s7g0]: SSID detected",
+    ],
+    "console": [
+        "[2013-04-01 00:00:02] c3-7c1s4n2 Kernel panic - not syncing: fatal",
+        "[2013-04-02 21:00:41] c0-1c1s3n0 MCE: machine check exception",
+    ],
+    "torque": [
+        "04/01/2013 12:00:00;S;12345.bw;user=user0042 queue=normal "
+        "Resource_List.nodes=128 Resource_List.walltime=04:00:00 "
+        "qtime=1364816000 start=1364817600 exec_host=0-127",
+        "04/01/2013 16:00:00;E;12345.bw;user=user0042 queue=normal "
+        "Resource_List.nodes=128 Resource_List.walltime=04:00:00 "
+        "qtime=1364816000 start=1364817600 end=1364832000 "
+        "exec_host=0-127 Exit_status=0",
+    ],
+    "apsys": [
+        "2013-04-01T00:00:02 apsys apid=7 kind=start batch_id=3.bw "
+        "user=user0001 cmd=namd2 nids=0-127",
+        "2013-04-01T04:00:02 apsys apid=7 kind=end batch_id=3.bw "
+        "user=user0001 cmd=namd2 nids=0-127 exit_code=0 exit_signal=0",
+    ],
+}
+
+_STREAM_FILENAMES = {"syslog": "syslog.log", "hwerrlog": "hwerr.log",
+                     "console": "console.log", "torque": "torque.log",
+                     "apsys": "apsys.log"}
+
+
+def _mutate(source: str, seed: int, rate: float) -> list[str]:
+    filename = _STREAM_FILENAMES[source]
+    config = CorruptionConfig.uniform(rate)
+    rng = substream(seed, f"fuzz/{filename}")
+    report = CorruptionReport(seed=seed)
+    return corrupt_lines(filename, list(_VALID_LINES[source] * 4),
+                         config, rng, report)
+
+
+class TestCorruptedLenientIngest:
+    """Lenient parsing of damaged-but-once-valid lines never crashes."""
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.05, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_error_streams_account_for_every_line(self, seed, rate):
+        for source in ("syslog", "hwerrlog", "console"):
+            mutated = _mutate(source, seed, rate)
+            report = IngestReport()
+            records = list(parse_stream(source, mutated, EPOCH,
+                                        strict=False, report=report))
+            nonblank = sum(1 for line in mutated if line.strip())
+            assert report.total_parsed == len(records)
+            assert report.total_parsed + report.total_quarantined == nonblank
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.05, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_torque_accounts_for_every_line(self, seed, rate):
+        mutated = _mutate("torque", seed, rate)
+        report = IngestReport()
+        records = list(parse_torque(mutated, EPOCH,
+                                    strict=False, report=report))
+        nonblank = sum(1 for line in mutated if line.strip())
+        assert report.total_parsed == len(records)
+        assert report.total_parsed + report.total_quarantined == nonblank
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.05, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_alps_accounts_for_every_line(self, seed, rate):
+        mutated = _mutate("apsys", seed, rate)
+        report = IngestReport()
+        records = list(parse_alps(mutated, EPOCH,
+                                  strict=False, report=report))
+        nonblank = sum(1 for line in mutated if line.strip())
+        assert report.total_parsed == len(records)
+        assert report.total_parsed + report.total_quarantined == nonblank
+
+    @given(st.lists(text_lines, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_quarantine_defects_are_labelled(self, lines):
+        report = IngestReport()
+        list(parse_stream("syslog", lines, EPOCH, strict=False,
+                          report=report))
+        # Every quarantined line carries a named defect bucket.
+        assert sum(report.defects.values()) == report.total_quarantined
+        for key in report.defects:
+            stream, _, defect = key.partition(":")
+            assert stream == "syslog" and defect

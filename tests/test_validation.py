@@ -1,0 +1,178 @@
+"""Validation subsystem: oracle bands, golden store, degradation sweep.
+
+Everything here runs on the small session-scoped ``analysis`` /
+``bundle_dir`` fixtures -- the point is the *mechanics* (band logic,
+drift detection, canonical JSON stability, sweep plumbing), not the
+paper-calibrated numbers, which ``python -m repro validate`` checks on
+the real validation preset.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.validation.degradation import degradation_curve
+from repro.validation.goldens import (
+    GOLDEN_IDS,
+    canonical_json,
+    check_goldens,
+    compute_snapshot,
+    update_goldens,
+)
+from repro.validation.oracle import (
+    DEFAULT_BANDS,
+    OracleBand,
+    check_summary,
+)
+
+#: A summary comfortably inside every default band.
+_GOOD_SUMMARY = {
+    "runs": 5000.0,
+    "system_failure_share": 0.0153,
+    "failed_node_hour_share": 0.09,
+    "mnbf_node_hours": 50_000.0,
+    "xe_curve_growth": 20.0,
+    "xk_curve_growth": 6.0,
+}
+
+
+class TestOracle:
+    def test_good_summary_passes(self):
+        report = check_summary(_GOOD_SUMMARY)
+        assert report.passed
+        assert report.failures == []
+        assert all(c.status == "ok" for c in report.checks)
+
+    def test_required_band_violation_fails(self):
+        summary = dict(_GOOD_SUMMARY, system_failure_share=0.5)
+        report = check_summary(summary)
+        assert not report.passed
+        assert [c.band.key for c in report.failures] == [
+            "system_failure_share"]
+        assert "FAIL" in report.render()
+
+    def test_advisory_violation_does_not_fail(self):
+        summary = dict(_GOOD_SUMMARY, xe_curve_growth=1e6)
+        report = check_summary(summary)
+        assert report.passed
+        assert "off-band (advisory)" in report.render()
+
+    def test_missing_metric_fails_its_band(self):
+        summary = {k: v for k, v in _GOOD_SUMMARY.items() if k != "runs"}
+        report = check_summary(summary)
+        assert not report.passed
+
+    def test_nan_is_out_of_band(self):
+        band = OracleBand("x", 0.0, 1.0, True, "test")
+        assert not band.check(math.nan).ok
+        assert not band.check(None).ok
+        assert band.check(0.5).ok
+
+    def test_band_edges_are_inclusive(self):
+        band = OracleBand("x", 1.0, 2.0, True, "test")
+        assert band.check(1.0).ok and band.check(2.0).ok
+        assert not band.check(0.999).ok
+
+    def test_default_bands_cover_the_headline_shares(self):
+        required = {b.key for b in DEFAULT_BANDS if b.required}
+        assert {"system_failure_share",
+                "failed_node_hour_share"} <= required
+        advisory = {b.key for b in DEFAULT_BANDS if not b.required}
+        assert {"xe_curve_growth", "xk_curve_growth"} <= advisory
+
+
+class TestCanonicalJson:
+    def test_sorts_keys_and_rounds_floats(self):
+        text = canonical_json({"b": 1 / 3, "a": 1})
+        data = json.loads(text)
+        assert list(data) == ["a", "b"]
+        assert data["b"] == float(f"{1 / 3:.10g}")
+
+    def test_tolerates_last_ulp_noise(self):
+        a = canonical_json({"x": 0.1 + 0.2})
+        b = canonical_json({"x": 0.3})
+        assert a == b
+
+    def test_tuples_become_lists(self):
+        assert json.loads(canonical_json({"t": (1, 2)})) == {"t": [1, 2]}
+
+    def test_non_jsonable_rejected(self):
+        with pytest.raises(TypeError, match="not JSON-able"):
+            canonical_json({"x": object()})
+
+
+class TestGoldenStore:
+    def test_unknown_preset_rejected(self, analysis):
+        with pytest.raises(KeyError, match="unknown golden preset"):
+            compute_snapshot("T9", analysis)
+
+    def test_update_then_check_round_trips(self, analysis, tmp_path):
+        written = update_goldens(directory=tmp_path, analysis=analysis)
+        assert len(written) == len(GOLDEN_IDS)
+        report = check_goldens(directory=tmp_path, analysis=analysis)
+        assert report.passed
+        assert all(e.status == "ok" for e in report.entries)
+
+    def test_drift_is_detected_and_located(self, analysis, tmp_path):
+        update_goldens(directory=tmp_path, analysis=analysis)
+        path = tmp_path / "T2.json"
+        stored = json.loads(path.read_text())
+        stored["runs"] += 1
+        path.write_text(canonical_json(stored) + "\n")
+        report = check_goldens(directory=tmp_path, analysis=analysis)
+        assert not report.passed
+        (drifted,) = [e for e in report.entries if e.status == "drift"]
+        assert drifted.preset_id == "T2"
+        assert "line" in drifted.detail
+        assert "--update-goldens" in report.render()
+
+    def test_missing_snapshot_is_reported(self, analysis, tmp_path):
+        update_goldens(directory=tmp_path, analysis=analysis)
+        (tmp_path / "T5.json").unlink()
+        report = check_goldens(directory=tmp_path, analysis=analysis)
+        assert not report.passed
+        (missing,) = [e for e in report.entries if e.status == "missing"]
+        assert missing.preset_id == "T5"
+
+    def test_snapshots_are_deterministic(self, analysis):
+        for preset_id in GOLDEN_IDS:
+            once = canonical_json(compute_snapshot(preset_id, analysis))
+            again = canonical_json(compute_snapshot(preset_id, analysis))
+            assert once == again
+
+
+class TestDegradation:
+    @pytest.fixture(scope="class")
+    def curve(self, bundle_dir):
+        return degradation_curve(bundle_dir, rates=(0.02,), seed=3, jobs=1)
+
+    def test_clean_anchor_is_always_present(self, curve):
+        assert curve.points[0].rate == 0.0
+        assert curve.points[0].mutations == 0
+        assert curve.drift_at(0.0, "system_failure_share") == 0.0
+
+    def test_corruption_point_quarantines(self, curve):
+        damaged = curve.points[-1]
+        assert damaged.rate == 0.02
+        assert damaged.mutations > 0
+        assert damaged.quarantined > 0
+        assert damaged.parsed > 0
+
+    def test_drift_accessors_agree(self, curve):
+        drift = curve.drift_at(0.02, "system_failure_share")
+        assert abs(drift) <= curve.max_abs_drift("system_failure_share")
+        assert "corruption" in curve.render()
+
+    def test_serial_and_parallel_sweeps_are_byte_identical(self, bundle_dir):
+        kwargs = dict(rates=(0.01, 0.02), seed=9)
+        serial = degradation_curve(bundle_dir, jobs=1, **kwargs)
+        parallel = degradation_curve(bundle_dir, jobs=2, **kwargs)
+        assert (canonical_json([p.summary for p in serial.points])
+                == canonical_json([p.summary for p in parallel.points]))
+        assert ([p.quarantined for p in serial.points]
+                == [p.quarantined for p in parallel.points])
+        assert ([p.mutations for p in serial.points]
+                == [p.mutations for p in parallel.points])
