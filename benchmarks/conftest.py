@@ -50,4 +50,5 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(
             f"[repro cache] hits={stats['hits']} misses={stats['misses']} "
             f"stores={stats['stores']} errors={stats['errors']} "
+            f"recomputes={stats['recomputes']} "
             f"dir={cache.directory} (REPRO_NO_CACHE=1 disables)")

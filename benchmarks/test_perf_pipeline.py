@@ -1,12 +1,14 @@
-"""Pipeline perf trajectory: stage timings + cache behaviour.
+"""Pipeline perf trajectory: stage timings, memory, cache behaviour.
 
 Runs the ambient scenario end to end once -- simulate, write the text
-bundle, re-parse it, analyze -- timing every stage (including LogDiver's
-internal stages via ``analyze(timings=...)``), then exercises the
-result cache on the parsed bundle to quantify what a warm start saves.
-The machine-readable record lands in ``benchmarks/results/
-BENCH_pipeline.json`` so the stage trajectory is diffable across
-commits.
+bundle, re-parse it, analyze -- under a :mod:`repro.obs` tracer, so the
+stage series come from the same spans ``python -m repro trace`` renders:
+wall-clock per stage, peak-RSS growth per stage, and the span-event
+count.  LogDiver's six internal stages arrive as children of the
+``analyze`` span.  The cache exercise then quantifies what a warm start
+saves.  The machine-readable record lands in ``BENCH_pipeline.json`` at
+the **repo root** on every run (and is archived under
+``benchmarks/results/``) so the trajectory is diffable across commits.
 
 ``REPRO_PERF_DAYS`` shrinks the window for quick local runs.
 """
@@ -24,11 +26,15 @@ from repro.campaign.cache import ResultCache, cache_key
 from repro.core.attribution import SpatialIndex
 from repro.core.pipeline import LogDiver
 from repro.logs.bundle import read_bundle, write_bundle
+from repro.obs import Tracer, scoped_registry, tracing
 from repro.sim.scenario import paper_scenario
 
 DAYS = float(os.environ.get("REPRO_PERF_DAYS", "120"))
 THINNING = 0.02
 SEED = 2015
+
+BENCH_SCHEMA = "bench-pipeline/2"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _run_pipeline() -> dict:
@@ -40,56 +46,77 @@ def _run_pipeline() -> dict:
         stages[name] = round(time.perf_counter() - start, 3)
         return out
 
-    result = timed("simulate", lambda: paper_scenario(
-        days=DAYS, workload_thinning=THINNING, seed=SEED).run())
-    with tempfile.TemporaryDirectory() as tmp:
-        bundle_dir = Path(tmp) / "bundle"
-        timed("write_bundle",
-              lambda: write_bundle(result, bundle_dir, seed=SEED))
-        bundle = timed("read_bundle", lambda: read_bundle(bundle_dir))
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        result = timed("simulate", lambda: paper_scenario(
+            days=DAYS, workload_thinning=THINNING, seed=SEED).run())
+        with tempfile.TemporaryDirectory() as tmp:
+            bundle_dir = Path(tmp) / "bundle"
+            timed("write_bundle",
+                  lambda: write_bundle(result, bundle_dir, seed=SEED))
+            bundle = timed("read_bundle", lambda: read_bundle(bundle_dir))
+            analysis = timed("analyze", lambda: LogDiver().analyze(bundle))
 
-        logdiver_stages: dict[str, float] = {}
-        analysis = timed("analyze", lambda: LogDiver().analyze(
-            bundle, timings=logdiver_stages))
+            # What does a warm start save?  Persist the two cached
+            # artifacts and read them back: a bundle hit replaces the
+            # whole simulate+write+read chain, and an analysis hit (what
+            # a warm ``python -m repro.experiments T4`` takes) replaces
+            # everything.
+            cache = ResultCache(Path(tmp) / "cache", enabled=True)
+            bundle_key = cache_key("perf_bundle",
+                                   {"days": DAYS, "seed": SEED})
+            analysis_key = cache_key("perf_analysis", {"days": DAYS,
+                                                       "seed": SEED})
+            timed("cache_store_bundle",
+                  lambda: cache.store(bundle_key, bundle))
+            found_b, _ = timed("cache_load_bundle",
+                               lambda: cache.load(bundle_key))
+            timed("cache_store_analysis",
+                  lambda: cache.store(analysis_key, analysis))
+            found_a, _ = timed("cache_load_analysis",
+                               lambda: cache.load(analysis_key))
+            assert found_b and found_a
+            cache_stats = cache.stats.as_dict()
 
-        # What does a warm start save?  Persist the two cached
-        # artifacts and read them back: a bundle hit replaces the whole
-        # simulate+write+read chain, and an analysis hit (what a warm
-        # ``python -m repro.experiments T4`` takes) replaces everything.
-        cache = ResultCache(Path(tmp) / "cache", enabled=True)
-        bundle_key = cache_key("perf_bundle", {"days": DAYS, "seed": SEED})
-        analysis_key = cache_key("perf_analysis", {"days": DAYS,
-                                                   "seed": SEED})
-        timed("cache_store_bundle", lambda: cache.store(bundle_key, bundle))
-        found_b, _ = timed("cache_load_bundle",
-                           lambda: cache.load(bundle_key))
-        timed("cache_store_analysis",
-              lambda: cache.store(analysis_key, analysis))
-        found_a, _ = timed("cache_load_analysis",
-                           lambda: cache.load(analysis_key))
-        assert found_b and found_a
-        cache_stats = cache.stats.as_dict()
+            # Attribution spatial lookups: every cluster component
+            # against the prefix index (historically an O(nodemap) scan
+            # per pair).
+            components = sorted({c for cluster in analysis.clusters
+                                 for c in cluster.components})
+            index = SpatialIndex(bundle)
+            start = time.perf_counter()
+            for component in components:
+                index.component_nids(component)
+            lookup_s = time.perf_counter() - start
 
-        # Attribution spatial lookups: every cluster component against
-        # the prefix index (historically an O(nodemap) scan per pair).
-        components = sorted({c for cluster in analysis.clusters
-                             for c in cluster.components})
-        index = SpatialIndex(bundle)
-        start = time.perf_counter()
-        for component in components:
-            index.component_nids(component)
-        lookup_s = time.perf_counter() - start
+    # The span tree is the source of the memory + LogDiver-stage series:
+    # simulate / write_bundle / read_bundle / analyze are root spans, the
+    # six LogDiver stages are the analyze span's children.
+    roots = {root.name: root for root in tracer.roots}
+    logdiver = {child.name: child for child in roots["analyze"].children}
+    events = tracer.events()
 
     return {
-        "schema": "bench-pipeline/1",
+        "schema": BENCH_SCHEMA,
         "scenario": {"days": DAYS, "thinning": THINNING, "seed": SEED},
         "runs": len(analysis.diagnosed),
         "error_records": len(analysis.errors),
         "clusters": len(analysis.clusters),
         "stages_s": stages,
-        "logdiver_stages_s": {k: round(v, 3)
-                              for k, v in logdiver_stages.items()},
+        "stages_rss_kb": {name: root.rss_peak_kb
+                          for name, root in roots.items()},
+        "logdiver_stages_s": {name: round(sp.duration_s, 3)
+                              for name, sp in logdiver.items()},
+        "logdiver_stages_rss_kb": {name: sp.rss_peak_kb
+                                   for name, sp in logdiver.items()},
         "cache": cache_stats,
+        "trace": {
+            "span_events": len(events),
+            "hot_stages": [[name, round(seconds, 3), count]
+                           for name, seconds, count
+                           in tracer.hot_spans(limit=5)],
+            "analyses": registry.counter_value("logdiver_analyses_total"),
+        },
         "attribution_lookup": {
             "distinct_components": len(components),
             "cold_lookup_s": round(lookup_s, 4),
@@ -106,6 +133,9 @@ def test_perf_pipeline(benchmark):
     assert set(payload["logdiver_stages_s"]) == {
         "classify", "filter", "assemble", "attribute", "categorize",
         "metrics"}
+    assert set(payload["logdiver_stages_rss_kb"]) == set(
+        payload["logdiver_stages_s"])
+    assert payload["trace"]["span_events"] > 0
     # A cache hit must beat the cold chain it replaces: the bundle load
     # vs simulate+write+read, the analysis load vs the whole pipeline.
     cold_bundle = (stages["simulate"] + stages["write_bundle"]
@@ -113,9 +143,10 @@ def test_perf_pipeline(benchmark):
     assert stages["cache_load_bundle"] < cold_bundle
     assert stages["cache_load_analysis"] < cold_bundle + stages["analyze"]
     assert payload["cache"] == {"hits": 2, "misses": 0, "stores": 2,
-                                "errors": 0}
+                                "errors": 0, "recomputes": 0}
+    text = json.dumps(payload, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_pipeline.json").write_text(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_pipeline.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    (RESULTS_DIR / "BENCH_pipeline.json").write_text(text)
     print()
     print(json.dumps(payload, indent=2))

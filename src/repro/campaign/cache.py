@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 import repro
+from repro.obs.metrics import get_registry
 
 __all__ = ["CacheStats", "ResultCache", "cache_key", "canonical_params",
            "configure_cache", "get_cache", "default_cache_dir",
@@ -90,19 +91,35 @@ def cache_key(kind: str, params: dict[str, Any], *,
 
 @dataclass
 class CacheStats:
-    """Per-process counters of what the disk cache actually did."""
+    """Per-process counters of what the disk cache actually did.
+
+    Every increment is mirrored into the active
+    :mod:`repro.obs.metrics` registry (``campaign_cache_*_total``), so
+    cache behaviour inside spawn workers travels back to the parent
+    with the unit's metric snapshot instead of dying with the worker.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    #: Misses that led to a fresh compute in ``get_or_compute`` --
+    #: including the corruption-safe recomputes that used to be
+    #: invisible (a corrupt entry counts as error + miss + recompute).
+    recomputes: int = 0
+
+    def count(self, what: str, amount: int = 1) -> None:
+        setattr(self, what, getattr(self, what) + amount)
+        get_registry().counter(f"campaign_cache_{what}_total", amount)
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "errors": self.errors}
+                "stores": self.stores, "errors": self.errors,
+                "recomputes": self.recomputes}
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.errors = 0
+        self.recomputes = 0
 
 
 class ResultCache:
@@ -128,19 +145,19 @@ class ResultCache:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.count("misses")
             return False, None
         except Exception:
             # Truncated write, pickle from an incompatible code version,
             # bit rot: recompute rather than crash the experiment.
-            self.stats.errors += 1
-            self.stats.misses += 1
+            self.stats.count("errors")
+            self.stats.count("misses")
             try:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
             return False, None
-        self.stats.hits += 1
+        self.stats.count("hits")
         return True, value
 
     def store(self, key: str, value: Any) -> None:
@@ -159,9 +176,9 @@ class ResultCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:
-            self.stats.errors += 1
+            self.stats.count("errors")
             return
-        self.stats.stores += 1
+        self.stats.count("stores")
 
     # -- the one call sites use ---------------------------------------------
 
@@ -173,6 +190,8 @@ class ResultCache:
         found, value = self.load(key)
         if found:
             return value
+        if self.enabled:
+            self.stats.count("recomputes")
         value = compute()
         self.store(key, value)
         return value

@@ -12,6 +12,15 @@ exactly the code the serial path would.
 The ``spawn`` start method is used deliberately: workers import fresh
 interpreters, so no state leaks from the parent (fork would copy loaded
 caches and RNG state and hide ordering bugs).
+
+Telemetry: every unit runs under its own tracer and a fresh metrics
+registry (:mod:`repro.obs`).  Workers ship the span tree and metric
+snapshot back alongside the result; the parent grafts the spans under
+its ``campaign`` span and folds the metrics into the active registry.
+Because metric merge is associative/commutative and span sequence
+numbers are assigned at read time, a ``--jobs 8`` run produces one
+merged trace whose structure and totals equal the serial run's
+(timestamps excluded) -- the telemetry tests pin this parity.
 """
 
 from __future__ import annotations
@@ -20,6 +29,9 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
+
+from repro.obs.metrics import get_registry, scoped_registry
+from repro.obs.tracing import Tracer, current_tracer, span, tracing
 
 __all__ = ["configure_engine", "resolve_jobs", "run_campaign"]
 
@@ -60,6 +72,23 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return max(1, jobs)
 
 
+def _traced_unit(fn: Callable[..., Any], unit: dict[str, Any],
+                 index: int) -> tuple[Any, dict[str, Any]]:
+    """Run one unit in a worker under its own tracer + fresh registry.
+
+    Module-level so spawn workers can pickle it.  The fresh registry
+    matters even though spawn workers start clean: the pool *reuses*
+    worker processes across submissions, so per-unit scoping is what
+    keeps each shipped snapshot a true delta for exactly one unit.
+    """
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        with tracer.span("unit", index=index):
+            result = fn(**unit)
+    (unit_tree,) = tracer.tree()
+    return result, {"spans": unit_tree, "metrics": registry.snapshot()}
+
+
 def run_campaign(fn: Callable[..., Any],
                  units: Sequence[dict[str, Any]], *,
                  jobs: int | None = None) -> list[Any]:
@@ -68,14 +97,37 @@ def run_campaign(fn: Callable[..., Any],
     With an effective worker count of 1 (the default) this is a plain
     serial loop -- the parallel path runs the very same function, so the
     two are interchangeable and the determinism tests assert exactly
-    that.
+    that.  Either way the whole fan-out is wrapped in a ``campaign``
+    span with one ``unit`` child per unit, and worker metric snapshots
+    merge into the caller's registry.
     """
     units = list(units)
     workers = min(resolve_jobs(jobs), len(units)) if units else 1
-    if workers <= 1:
-        return [fn(**unit) for unit in units]
-    context = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=context) as pool:
-        futures = [pool.submit(fn, **unit) for unit in units]
-        return [future.result() for future in futures]
+    registry = get_registry()
+    # The worker count is an execution detail, not work structure, so it
+    # lives in a gauge rather than a span attribute -- the span skeleton
+    # of a --jobs 8 run must equal the serial run's.
+    with span("campaign", units=len(units),
+              fn=getattr(fn, "__qualname__", str(fn))):
+        registry.counter("campaign_units_total", len(units))
+        registry.gauge("campaign_workers", workers)
+        if workers <= 1:
+            results = []
+            for index, unit in enumerate(units):
+                with span("unit", index=index):
+                    results.append(fn(**unit))
+            return results
+        context = multiprocessing.get_context("spawn")
+        tracer = current_tracer()
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = [pool.submit(_traced_unit, fn, unit, index)
+                       for index, unit in enumerate(units)]
+            results = []
+            for future in futures:
+                result, telemetry = future.result()
+                results.append(result)
+                registry.merge(telemetry["metrics"])
+                if tracer is not None:
+                    tracer.attach(telemetry["spans"])
+            return results

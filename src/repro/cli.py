@@ -1,18 +1,25 @@
 """Command-line interface.
 
-Four subcommands mirror how the tool is used at a site::
+Five subcommands mirror how the tool is used at a site::
 
     python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
     python -m repro analyze out/bundle
     python -m repro baseline out/bundle
     python -m repro validate
+    python -m repro trace small --days 5
 
 ``simulate`` runs a scenario and writes the log bundle; ``analyze`` runs
 LogDiver over any bundle directory and prints the paper-style tables
 (``--lenient`` quarantines malformed records instead of aborting);
 ``baseline`` prints the error-log-only view for comparison; ``validate``
 runs the calibration oracle, the golden-snapshot check, and a seeded
-log-corruption sweep over the validation preset.
+log-corruption sweep over the validation preset; ``trace`` runs a small
+end-to-end pass (simulate -> bundle -> ingest -> LogDiver) under the
+tracer and prints the span-tree report with per-stage time and memory.
+
+``analyze``, ``validate``, and ``trace`` accept ``--telemetry DIR`` to
+persist the run's JSONL span events, Prometheus metric exposition, and
+canonical-JSON metric dump (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -33,6 +40,13 @@ from repro.core.report import (
     render_workload,
 )
 from repro.logs.bundle import read_bundle, write_bundle
+from repro.obs import (
+    Tracer,
+    render_report,
+    scoped_registry,
+    tracing,
+    write_telemetry,
+)
 from repro.sim.scenario import paper_scenario, small_scenario
 
 __all__ = ["main"]
@@ -70,6 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--lenient", action="store_true",
                          help="quarantine malformed records (reported) "
                               "instead of aborting on the first one")
+    analyze.add_argument("--telemetry", default=None, metavar="DIR",
+                         help="write trace.jsonl / metrics.prom / "
+                              "metrics.json for this run to DIR")
 
     baseline = sub.add_parser(
         "baseline", help="error-log-only analysis of a bundle (prior work)")
@@ -98,6 +115,27 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--update-goldens", action="store_true",
                           help="regenerate the stored snapshots instead "
                                "of comparing against them")
+    validate.add_argument("--telemetry", default=None, metavar="DIR",
+                          help="write trace.jsonl / metrics.prom / "
+                               "metrics.json for this run to DIR")
+
+    trace = sub.add_parser(
+        "trace", help="run a small end-to-end pipeline under the tracer "
+                      "and print the span-tree report")
+    trace.add_argument("scenario", nargs="?", default="small",
+                       choices=("small", "paper"),
+                       help="scenario family to trace (default: small)")
+    trace.add_argument("--days", type=float, default=5.0,
+                       help="production days to simulate (default 5)")
+    trace.add_argument("--seed", type=int, default=2015)
+    trace.add_argument("--repeats", type=int, default=1, metavar="N",
+                       help="campaign units to run (N > 1 exercises the "
+                            "parallel fan-out; seeds are seed..seed+N-1)")
+    trace.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes (0 = all cores)")
+    trace.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="write trace.jsonl / metrics.prom / "
+                            "metrics.json for this run to DIR")
     return parser
 
 
@@ -257,18 +295,66 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _trace_unit(*, scenario: str, days: float, seed: int) -> dict:
+    """One traced end-to-end pass (module-level: spawn workers pickle it).
+
+    Simulate -> write bundle -> lenient re-ingest -> LogDiver, i.e. every
+    instrumented layer fires, so the resulting span tree is the map of
+    where a real run spends its time and memory.
+    """
+    if scenario == "small":
+        sc = small_scenario(days=days, seed=seed)
+    else:
+        sc = paper_scenario(days=days, seed=seed)
+    result = sc.run()
+    with tempfile.TemporaryDirectory() as bundle_dir:
+        write_bundle(result, bundle_dir, seed=seed)
+        bundle = read_bundle(bundle_dir, strict=False)
+    analysis = LogDiver().analyze(bundle)
+    return analysis.summary()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.campaign.engine import run_campaign
+
+    units = [dict(scenario=args.scenario, days=args.days,
+                  seed=args.seed + i) for i in range(args.repeats)]
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        summaries = run_campaign(_trace_unit, units, jobs=args.jobs)
+    print(render_report(tracer, registry))
+    last = summaries[-1]
+    print(f"\nsystem-failure share: {last['system_failure_share']:.4f} "
+          f"({last['runs']:.0f} runs)")
+    if args.telemetry:
+        for path in write_telemetry(args.telemetry, tracer, registry):
+            print(f"telemetry: wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "baseline": _cmd_baseline,
+    "validate": _cmd_validate,
+    "trace": _cmd_trace,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    if args.command == "baseline":
-        return _cmd_baseline(args)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    raise AssertionError(f"unhandled command {args.command}")
+    handler = _COMMANDS[args.command]
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None or args.command == "trace":
+        # trace manages its own tracer (it renders the report itself).
+        return handler(args)
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        code = handler(args)
+    for path in write_telemetry(telemetry, tracer, registry):
+        print(f"telemetry: wrote {path}")
+    return code
 
 
 if __name__ == "__main__":

@@ -35,6 +35,8 @@ from repro.errors import AnalysisError
 from repro.faults.taxonomy import ErrorCategory
 from repro.logs.bundle import LogBundle
 from repro.logs.quarantine import IngestReport
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.util.intervals import Interval
 from repro.util.timing import StageTimer
 
@@ -99,41 +101,70 @@ class LogDiver:
         """
         config = self.config
         timer = StageTimer(timings)
-        with timer.stage("classify"):
-            errors, unclassified = classify_errors(bundle)
-        with timer.stage("filter"):
-            clusters, filter_stats = filter_errors(errors, config)
-        with timer.stage("assemble"):
-            runs = assemble_runs(bundle)
-        if not runs:
-            raise AnalysisError("bundle contains no application runs")
-        with timer.stage("attribute"):
-            attributions = attribute_clusters(runs, clusters, bundle, config)
-        with timer.stage("categorize"):
-            diagnosed = categorize_runs(runs, attributions, config)
-        window_lo, window_hi = bundle.manifest.get("window_s", (0.0, 0.0))
-        window = Interval(float(window_lo), float(window_hi))
-        with timer.stage("metrics"):
-            return Analysis(
-                config=config,
-                window=window,
-                ingest=bundle.ingest_report,
-                errors=errors,
-                unclassified_records=unclassified,
-                clusters=clusters,
-                filter_stats=filter_stats,
-                runs=runs,
-                attributions=attributions,
-                diagnosed=diagnosed,
-                breakdown=outcome_breakdown(diagnosed),
-                causes=cause_breakdown(diagnosed),
-                waste=waste_report(diagnosed),
-                mtbf_all=application_mtbf(diagnosed),
-                mtbf_xe=application_mtbf(diagnosed, node_type="XE"),
-                mtbf_xk=application_mtbf(diagnosed, node_type="XK"),
-                system_mtbf_h=system_mtbf_by_category(clusters, window),
-                xe_curve=failure_probability_curve(
-                    diagnosed, config.xe_scale_edges, node_type="XE"),
-                xk_curve=failure_probability_curve(
-                    diagnosed, config.xk_scale_edges, node_type="XK"),
-            )
+        registry = get_registry()
+        with span("analyze") as analyze_span:
+            with timer.stage("classify") as sp:
+                errors, unclassified = classify_errors(bundle)
+                sp.set_attrs(records=len(bundle.error_records),
+                             classified=len(errors),
+                             unclassified=unclassified)
+            with timer.stage("filter") as sp:
+                clusters, filter_stats = filter_errors(errors, config)
+                sp.set_attrs(tuples=filter_stats.tuples,
+                             clusters=len(clusters))
+            with timer.stage("assemble") as sp:
+                runs = assemble_runs(bundle)
+                sp.set_attrs(runs=len(runs))
+            if not runs:
+                raise AnalysisError("bundle contains no application runs")
+            with timer.stage("attribute") as sp:
+                attributions = attribute_clusters(runs, clusters, bundle,
+                                                  config)
+                joins = sum(len(v) for v in attributions.values())
+                sp.set_attrs(runs_explained=len(attributions),
+                             hypotheses=joins)
+            with timer.stage("categorize") as sp:
+                diagnosed = categorize_runs(runs, attributions, config)
+                sp.set_attrs(runs=len(diagnosed))
+            window_lo, window_hi = bundle.manifest.get("window_s",
+                                                       (0.0, 0.0))
+            window = Interval(float(window_lo), float(window_hi))
+            registry.counter("logdiver_analyses_total")
+            registry.counter("logdiver_clusters_formed_total",
+                             len(clusters))
+            registry.counter("logdiver_attribution_joins_total", joins)
+            registry.counter("logdiver_unclassified_records_total",
+                             unclassified)
+            outcome_counts: dict[str, int] = {}
+            for d in diagnosed:
+                outcome_counts[d.outcome.value] = \
+                    outcome_counts.get(d.outcome.value, 0) + 1
+            for outcome, count in sorted(outcome_counts.items()):
+                registry.counter("logdiver_runs_classified_total", count,
+                                 outcome=outcome)
+            analyze_span.set_attrs(runs=len(diagnosed),
+                                   clusters=len(clusters))
+            with timer.stage("metrics"):
+                return Analysis(
+                    config=config,
+                    window=window,
+                    ingest=bundle.ingest_report,
+                    errors=errors,
+                    unclassified_records=unclassified,
+                    clusters=clusters,
+                    filter_stats=filter_stats,
+                    runs=runs,
+                    attributions=attributions,
+                    diagnosed=diagnosed,
+                    breakdown=outcome_breakdown(diagnosed),
+                    causes=cause_breakdown(diagnosed),
+                    waste=waste_report(diagnosed),
+                    mtbf_all=application_mtbf(diagnosed),
+                    mtbf_xe=application_mtbf(diagnosed, node_type="XE"),
+                    mtbf_xk=application_mtbf(diagnosed, node_type="XK"),
+                    system_mtbf_h=system_mtbf_by_category(clusters, window),
+                    xe_curve=failure_probability_curve(
+                        diagnosed, config.xe_scale_edges, node_type="XE"),
+                    xk_curve=failure_probability_curve(
+                        diagnosed, config.xk_scale_edges, node_type="XK"),
+                )

@@ -10,12 +10,14 @@ ablation variants, seed replications) across N worker processes;
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
 from repro.campaign.cache import configure_cache, get_cache
 from repro.campaign.engine import configure_engine
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.obs import Tracer, get_registry, tracing, write_telemetry
 
 
 def main(argv: list[str]) -> int:
@@ -32,6 +34,9 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="override the cache location "
                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write trace.jsonl / metrics.prom / "
+                             "metrics.json for this run to DIR")
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 0:
@@ -48,19 +53,33 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment(s): {unknown}; "
               f"have {sorted(EXPERIMENTS)}")
         return 2
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id)
-        elapsed = time.time() - start
-        print(result.render())
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
-        print()
+    tracer = Tracer() if args.telemetry else None
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(tracing(tracer))
+        for experiment_id in ids:
+            start = time.time()
+            result = run_experiment(experiment_id)
+            elapsed = time.time() - start
+            print(result.render())
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+            print()
     cache = get_cache()
     if cache.enabled:
-        stats = cache.stats.as_dict()
-        print(f"[cache] hits={stats['hits']} misses={stats['misses']} "
-              f"stores={stats['stores']} errors={stats['errors']} "
-              f"dir={cache.directory}")
+        # Read the registry, not the local CacheStats: campaign workers'
+        # cache activity merges back through the engine, so these totals
+        # cover the whole fan-out, not just the parent process.
+        registry = get_registry()
+        counts = {what: int(registry.counter_value(
+                      f"campaign_cache_{what}_total"))
+                  for what in ("hits", "misses", "stores", "errors",
+                               "recomputes")}
+        print(f"[cache] hits={counts['hits']} misses={counts['misses']} "
+              f"stores={counts['stores']} errors={counts['errors']} "
+              f"recomputes={counts['recomputes']} dir={cache.directory}")
+    if args.telemetry:
+        for path in write_telemetry(args.telemetry, tracer, get_registry()):
+            print(f"telemetry: wrote {path}")
     return 0
 
 

@@ -30,6 +30,8 @@ from repro.logs.errorlogs import parse_stream, write_stream
 from repro.logs.quarantine import IngestReport
 from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
 from repro.logs.torque import parse_torque, torque_job_lines
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.sim.cluster import SimulationResult
 from repro.util.rngs import RngFactory
 from repro.util.timeutil import Epoch
@@ -90,9 +92,18 @@ def write_bundle(result: SimulationResult, directory: str | Path, *,
     directory.mkdir(parents=True, exist_ok=True)
     epoch = epoch or Epoch()
 
-    propagation = PropagationModel(result.machine,
-                                   rng_factory=RngFactory(seed).child("logs"))
-    symptoms = propagation.expand_all(result.faults.events)
+    with span("write_bundle") as sp:
+        propagation = PropagationModel(
+            result.machine, rng_factory=RngFactory(seed).child("logs"))
+        symptoms = propagation.expand_all(result.faults.events)
+        sp.set_attrs(symptoms=len(symptoms), jobs=len(result.jobs),
+                     runs=len(result.runs))
+        _write_bundle_files(result, directory, epoch, symptoms)
+    return directory
+
+
+def _write_bundle_files(result: SimulationResult, directory: Path,
+                        epoch: Epoch, symptoms: list[Symptom]) -> None:
     for filename, routed in _route_symptoms(symptoms).items():
         source = filename.split(".")[0]
         source = {"syslog": "syslog", "hwerr": "hwerrlog",
@@ -142,7 +153,6 @@ def write_bundle(result: SimulationResult, directory: str | Path, *,
     }
     with open(directory / "manifest.json", "w") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
-    return directory
 
 
 def _parse_nodemap_line(line: str) -> tuple[int, tuple[str, str, int]]:
@@ -169,6 +179,23 @@ def read_bundle(directory: str | Path, *, strict: bool = True) -> LogBundle:
     stream and defect) and the analysis proceeds on what survived, which
     is how the tool must behave on real field logs.
     """
+    with span("read_bundle", strict=strict) as sp:
+        bundle = _parse_bundle(directory, strict)
+        report = bundle.ingest_report
+        sp.set_attrs(**bundle.summary(),
+                     quarantined=report.total_quarantined)
+        registry = get_registry()
+        for stream, count in sorted(report.parsed.items()):
+            registry.counter("ingest_records_parsed_total", count,
+                             stream=stream)
+        for key, count in sorted(report.defects.items()):
+            stream, _, defect = key.partition(":")
+            registry.counter("ingest_records_quarantined_total", count,
+                             stream=stream, defect=defect)
+        return bundle
+
+
+def _parse_bundle(directory: str | Path, strict: bool) -> LogBundle:
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():

@@ -1,0 +1,59 @@
+"""repro.obs: the dependency-free telemetry subsystem.
+
+Three pieces, threaded through every pipeline layer:
+
+* **structured tracing** (:mod:`repro.obs.tracing`) -- nested spans with
+  wall-clock and peak-RSS deltas plus key/value attributes.  The
+  simulator, bundle write/read, each LogDiver stage, the validation
+  oracle, and the campaign engine all open spans; with no tracer active
+  the instrumentation is a no-op.
+* **metrics registry** (:mod:`repro.obs.metrics`) -- process-wide
+  counters/gauges/histograms (runs per outcome, clusters formed,
+  attribution joins, cache hit/miss/recompute, quarantined records per
+  defect) with a Prometheus-style text exposition and a canonical JSON
+  dump.
+* **telemetry reports** (:mod:`repro.obs.telemetry`) -- the JSONL event
+  stream, span-tree rendering with hot-stage ranking, and the
+  ``--telemetry DIR`` persistence shared by ``trace`` / ``analyze`` /
+  ``validate``.
+
+Cross-process aggregation: :func:`repro.campaign.engine.run_campaign`
+runs every spawn-worker unit under its own tracer and a fresh registry,
+ships the span tree and metric snapshot back with the result, and merges
+both into the parent -- so a ``--jobs 8`` campaign produces exactly one
+trace whose totals equal the serial run's.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    render_report,
+    write_telemetry,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    current_tracer,
+    normalized_events,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "TELEMETRY_SCHEMA",
+    "Tracer",
+    "current_tracer",
+    "get_registry",
+    "normalized_events",
+    "render_report",
+    "scoped_registry",
+    "span",
+    "tracing",
+    "write_telemetry",
+]

@@ -1,0 +1,222 @@
+"""Process-wide metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` holds three metric families keyed by *series*
+-- a metric name plus sorted ``k="v"`` labels, rendered exactly as
+Prometheus exposition would (``logdiver_runs_total{outcome="system"}``).
+The default registry is always on: counters are a dict update, so the
+pipeline increments them unconditionally rather than behind a flag.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-able dicts;
+:meth:`MetricsRegistry.merge` folds one into a registry.  Merge is
+associative and commutative by construction -- counters and histogram
+buckets add, gauges take the max -- which is what makes cross-process
+aggregation order-independent: campaign workers ship snapshots back and
+the parent may fold them in any completion order and still match the
+serial run (the campaign tests pin this).
+
+Two expositions: :meth:`render_prometheus` (the ``text/plain; version=
+0.0.4`` format scrapers expect) and :meth:`snapshot` serialized as
+canonical JSON for the ``--telemetry`` dump.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["MetricsRegistry", "get_registry", "scoped_registry",
+           "DEFAULT_BUCKETS", "METRICS_SCHEMA"]
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Default histogram bucket upper bounds (seconds-flavoured; +Inf is
+#: implicit and always present).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   30.0, 60.0, 300.0)
+
+
+def _series(name: str, labels: dict[str, Any]) -> str:
+    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+def _base_name(series: str) -> str:
+    return series.partition("{")[0]
+
+
+def _bucket_label(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def _bucket_bound(label: str) -> float:
+    return math.inf if label == "+Inf" else float(label)
+
+
+def _sorted_buckets(buckets: dict[str, int]) -> dict[str, int]:
+    return dict(sorted(buckets.items(), key=lambda kv: _bucket_bound(kv[0])))
+
+
+def _format_value(value: float) -> str:
+    """Exposition value: integral floats as ints, the rest full repr
+    (``%g`` would silently truncate e.g. 9000.002 to 9000)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one process (or worker unit)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        #: series -> {"buckets": {label: count}, "sum": s, "count": n}
+        self._histograms: dict[str, dict[str, Any]] = {}
+
+    # -- instrumentation ----------------------------------------------------
+
+    def counter(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to a monotonically increasing counter."""
+        if amount < 0:
+            raise ValueError(f"counter {name} increment must be >= 0, "
+                             f"got {amount}")
+        key = _series(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a point-in-time value (merge takes the max across sources)."""
+        self._gauges[_series(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, *,
+                buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                **labels: Any) -> None:
+        """Record one observation into a histogram."""
+        key = _series(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = {"buckets": {_bucket_label(b): 0
+                                for b in (*buckets, math.inf)},
+                    "sum": 0.0, "count": 0}
+            self._histograms[key] = hist
+        for bound in (*buckets, math.inf):
+            if value <= bound:
+                hist["buckets"][_bucket_label(bound)] += 1
+                break
+        hist["sum"] += float(value)
+        hist["count"] += 1
+
+    # -- reads --------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self._counters.get(_series(name, labels), 0.0)
+
+    def gauge_value(self, name: str, **labels: Any) -> float | None:
+        return self._gauges.get(_series(name, labels))
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able copy of everything, sorted for canonical dumps."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                key: {"buckets": _sorted_buckets(hist["buckets"]),
+                      "sum": hist["sum"], "count": hist["count"]}
+                for key, hist in sorted(self._histograms.items())
+            },
+        }
+
+    # -- aggregation --------------------------------------------------------
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges take max.
+
+        Addition and max are associative and commutative, so folding N
+        worker snapshots gives the same totals in any order -- the
+        property that makes ``--jobs 8`` campaigns explainable.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            current = self._gauges.get(key)
+            self._gauges[key] = value if current is None \
+                else max(current, value)
+        for key, hist in snapshot.get("histograms", {}).items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                self._histograms[key] = {
+                    "buckets": dict(hist["buckets"]),
+                    "sum": hist["sum"], "count": hist["count"]}
+                continue
+            for label, count in hist["buckets"].items():
+                mine["buckets"][label] = mine["buckets"].get(label, 0) + count
+            mine["sum"] += hist["sum"]
+            mine["count"] += hist["count"]
+
+    # -- exposition ---------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (``# TYPE`` headers + samples)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def type_header(series: str, kind: str) -> None:
+            base = _base_name(series)
+            if base not in seen_types:
+                seen_types.add(base)
+                lines.append(f"# TYPE {base} {kind}")
+
+        for series, value in sorted(self._counters.items()):
+            type_header(series, "counter")
+            lines.append(f"{series} {_format_value(value)}")
+        for series, value in sorted(self._gauges.items()):
+            type_header(series, "gauge")
+            lines.append(f"{series} {_format_value(value)}")
+        for series, hist in sorted(self._histograms.items()):
+            base = _base_name(series)
+            labels = series[len(base):]  # "{...}" or ""
+            inner = labels[1:-1] if labels else ""
+            type_header(series, "histogram")
+            cumulative = 0
+            for label, count in _sorted_buckets(hist["buckets"]).items():
+                cumulative += count
+                le = f'le="{label}"'
+                joined = f"{inner},{le}" if inner else le
+                lines.append(f"{base}_bucket{{{joined}}} {cumulative}")
+            lines.append(f"{base}_sum{labels} {_format_value(hist['sum'])}")
+            lines.append(f"{base}_count{labels} {hist['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Innermost-first registry stack.  The bottom entry is the process-wide
+#: always-on registry; campaign workers push a fresh one per unit so the
+#: parent receives exactly that unit's delta even when the executor
+#: reuses the worker process.
+_registry_stack: list[MetricsRegistry] = [MetricsRegistry()]
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (the process-wide one unless scoped)."""
+    return _registry_stack[-1]
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry | None = None
+                    ) -> Iterator[MetricsRegistry]:
+    """Route all metric writes to a fresh registry for the block.
+
+    Used by campaign workers (per-unit deltas), the ``trace`` CLI (a
+    report covering exactly one invocation), and tests.
+    """
+    registry = registry or MetricsRegistry()
+    _registry_stack.append(registry)
+    try:
+        yield registry
+    finally:
+        _registry_stack.pop()

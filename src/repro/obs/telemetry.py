@@ -1,0 +1,111 @@
+"""Telemetry reports and persistence.
+
+Two consumers share this module:
+
+* the ``python -m repro trace`` report -- a nested span tree with
+  per-stage wall-clock and peak-RSS growth, a hot-stage ranking by
+  self-time, and the non-zero metric counters;
+* the ``--telemetry DIR`` flag on ``trace``/``analyze``/``validate`` --
+  persists the run's JSONL event stream (``trace.jsonl``), the
+  Prometheus exposition (``metrics.prom``), and the canonical-JSON
+  metric dump (``metrics.json``).
+
+JSONL layout (schema ``repro-telemetry/1``): a ``meta`` header line,
+one ``span`` event per span in DFS order (measurement fields
+``t_start_s``/``duration_s``/``rss_peak_kb`` alongside the deterministic
+``seq``/``parent``/``depth``/``name``/``attrs`` skeleton), and a final
+``metrics`` line carrying the registry snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = ["TELEMETRY_SCHEMA", "render_report", "render_span_tree",
+           "write_telemetry"]
+
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1000:7.1f}ms"
+
+
+def _format_rss(kb: int) -> str:
+    return f"+{kb / 1024:.1f}MB" if kb > 0 else "-"
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """The nested per-span time/memory view."""
+    lines = [f"{'span':<44} {'wall':>9} {'rss':>9}  attrs"]
+
+    def walk(sp: Span, depth: int) -> None:
+        label = "  " * depth + sp.name
+        lines.append(f"{label:<44} {_format_duration(sp.duration_s)} "
+                     f"{_format_rss(sp.rss_peak_kb):>9}  "
+                     f"{_format_attrs(sp.attrs)}".rstrip())
+        for child in sp.children:
+            walk(child, depth + 1)
+
+    for root in tracer.roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_report(tracer: Tracer, registry: MetricsRegistry | None = None,
+                  *, top: int = 5) -> str:
+    """Span tree + hot-stage ranking + non-zero counters."""
+    sections = [render_span_tree(tracer)]
+    hot = tracer.hot_spans(limit=top)
+    if hot:
+        lines = [f"hot stages (self-time, top {len(hot)}):"]
+        for rank, (name, seconds, count) in enumerate(hot, start=1):
+            times = f" x{count}" if count > 1 else ""
+            lines.append(f"  {rank}. {name:<24} "
+                         f"{_format_duration(seconds)}{times}")
+        sections.append("\n".join(lines))
+    if registry is not None:
+        snapshot = registry.snapshot()
+        counters = {k: v for k, v in snapshot["counters"].items() if v}
+        if counters:
+            lines = ["counters:"]
+            for series, value in counters.items():
+                lines.append(f"  {series} = {value:g}")
+            sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def write_telemetry(directory: str | Path, tracer: Tracer,
+                    registry: MetricsRegistry) -> list[Path]:
+    """Persist one run's telemetry under ``directory``; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    snapshot = registry.snapshot()
+
+    jsonl = directory / "trace.jsonl"
+    with open(jsonl, "w") as handle:
+        header = {"event": "meta", "schema": TELEMETRY_SCHEMA}
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in tracer.events():
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+        footer = {"event": "metrics", "metrics": snapshot}
+        handle.write(json.dumps(footer, sort_keys=True) + "\n")
+
+    prom = directory / "metrics.prom"
+    prom.write_text(registry.render_prometheus())
+
+    metrics_json = directory / "metrics.json"
+    metrics_json.write_text(
+        json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
+    return [jsonl, prom, metrics_json]

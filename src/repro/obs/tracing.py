@@ -1,0 +1,255 @@
+"""Structured tracing: nested spans with time + memory deltas.
+
+A :class:`Span` records one named unit of work -- wall-clock start,
+duration, peak-RSS growth, key/value attributes, and child spans.  A
+:class:`Tracer` owns a forest of spans; :func:`span` opens a child under
+whatever span is currently active on the innermost tracer (and is a
+cheap no-op when no tracer is active, so instrumentation can stay in
+production code paths).
+
+Determinism contract: span *structure* -- names, nesting, order,
+attributes -- depends only on the work performed, never on the clock.
+:func:`normalized_events` strips the measurement fields
+(``t_start_s``/``duration_s``/``rss_peak_kb``) so two runs of the same
+scenario compare equal event-for-event; the telemetry tests pin this.
+
+Worker span trees from campaign units arrive as plain dicts
+(:meth:`Span.to_dict` round-trips through :meth:`Span.from_dict`) and
+are grafted under the parent's campaign span by :meth:`Tracer.attach`;
+sequence numbers are assigned at *read* time by a DFS walk, so a merged
+parallel trace numbers exactly like the serial one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+try:
+    import resource
+except ImportError:  # non-POSIX: spans still trace, memory reads as 0
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["Span", "Tracer", "span", "tracing", "current_tracer",
+           "normalized_events", "MEASUREMENT_KEYS"]
+
+#: Event fields that carry measurements (vary run to run); everything
+#: else -- names, nesting, order, attributes -- must be deterministic.
+MEASUREMENT_KEYS = ("t_start_s", "duration_s", "rss_peak_kb")
+
+
+def _rss_peak_kb() -> int:
+    """Process peak RSS in KB (monotonic; 0 where unavailable)."""
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class Span:
+    """One traced unit of work, possibly with children."""
+
+    __slots__ = ("name", "attrs", "children", "t_start_s", "duration_s",
+                 "rss_peak_kb", "_clock_start", "_rss_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None):
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.children: list[Span] = []
+        self.t_start_s = 0.0
+        self.duration_s = 0.0
+        self.rss_peak_kb = 0
+        self._clock_start = 0.0
+        self._rss_start = 0
+
+    # -- lifecycle (driven by the tracer) -----------------------------------
+
+    def _begin(self) -> None:
+        self.t_start_s = time.time()
+        self._clock_start = time.perf_counter()
+        self._rss_start = _rss_peak_kb()
+
+    def _end(self) -> None:
+        self.duration_s = time.perf_counter() - self._clock_start
+        self.rss_peak_kb = _rss_peak_kb() - self._rss_start
+
+    # -- public -------------------------------------------------------------
+
+    def set_attrs(self, **attrs: Any) -> None:
+        """Attach (deterministic!) key/value attributes to this span."""
+        self.attrs.update(attrs)
+
+    @property
+    def self_duration_s(self) -> float:
+        """Wall-clock spent in this span excluding child spans."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Picklable/JSON-able tree (what spawn workers ship back)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "t_start_s": self.t_start_s,
+            "duration_s": self.duration_s,
+            "rss_peak_kb": self.rss_peak_kb,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        sp = cls(data["name"], data.get("attrs"))
+        sp.t_start_s = float(data.get("t_start_s", 0.0))
+        sp.duration_s = float(data.get("duration_s", 0.0))
+        sp.rss_peak_kb = int(data.get("rss_peak_kb", 0))
+        sp.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return sp
+
+
+class _NullSpan:
+    """The do-nothing span yielded when no tracer is active."""
+
+    __slots__ = ()
+
+    def set_attrs(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Owns a forest of spans and the currently-open stack."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        sp = Span(name, attrs)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent else self.roots).append(sp)
+        self._stack.append(sp)
+        sp._begin()
+        try:
+            yield sp
+        finally:
+            sp._end()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def attach(self, tree: dict[str, Any]) -> Span:
+        """Graft a serialized subtree (e.g. a worker's) under the
+        currently open span (or as a root)."""
+        sp = Span.from_dict(tree)
+        parent = self.current
+        (parent.children if parent else self.roots).append(sp)
+        return sp
+
+    # -- views --------------------------------------------------------------
+
+    def tree(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self.roots]
+
+    def events(self) -> list[dict[str, Any]]:
+        """Flat span events in DFS (start) order, numbered at read time.
+
+        Numbering at read time (not at span start) means a merged
+        parallel trace and the serial trace produce identical sequences.
+        """
+        events: list[dict[str, Any]] = []
+
+        def walk(sp: Span, parent: int | None, depth: int) -> None:
+            seq = len(events) + 1
+            events.append({
+                "event": "span",
+                "seq": seq,
+                "parent": parent,
+                "depth": depth,
+                "name": sp.name,
+                "attrs": dict(sp.attrs),
+                "t_start_s": sp.t_start_s,
+                "duration_s": sp.duration_s,
+                "rss_peak_kb": sp.rss_peak_kb,
+            })
+            for child in sp.children:
+                walk(child, seq, depth + 1)
+
+        for root in self.roots:
+            walk(root, None, 0)
+        return events
+
+    def hot_spans(self, limit: int = 5) -> list[tuple[str, float, int]]:
+        """``(name, total self-time, occurrences)`` ranked hottest first.
+
+        Self-time (duration minus child durations) is what ranking is
+        for: a parent that merely contains expensive children should not
+        outrank them.
+        """
+        totals: dict[str, tuple[float, int]] = {}
+
+        def walk(sp: Span) -> None:
+            seconds, count = totals.get(sp.name, (0.0, 0))
+            totals[sp.name] = (seconds + sp.self_duration_s, count + 1)
+            for child in sp.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1][0], kv[0]))
+        return [(name, seconds, count)
+                for name, (seconds, count) in ranked[:limit]]
+
+
+def normalized_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Events with the measurement fields stripped.
+
+    What remains (names, nesting, order, attributes) is the
+    deterministic skeleton two runs of the same scenario must share.
+    """
+    return [{k: v for k, v in event.items() if k not in MEASUREMENT_KEYS}
+            for event in events]
+
+
+#: Innermost-first stack of active tracers (plain stack, not a
+#: contextvar: the pipeline is single-threaded per process, and spawn
+#: workers build their own stack from scratch).
+_tracer_stack: list[Tracer] = []
+
+
+def current_tracer() -> Tracer | None:
+    """The innermost active tracer, or None (instrumentation no-ops)."""
+    return _tracer_stack[-1] if _tracer_stack else None
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Activate a tracer for the dynamic extent of the block."""
+    tracer = tracer or Tracer()
+    _tracer_stack.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _tracer_stack.pop()
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | _NullSpan]:
+    """Open a span on the active tracer (no-op without one).
+
+    This is the one call production code uses; keeping it active-tracer
+    dispatched means instrumentation costs nothing when nobody asked for
+    telemetry.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        yield _NULL_SPAN
+        return
+    with tracer.span(name, **attrs) as sp:
+        yield sp

@@ -28,6 +28,8 @@ from repro.machine.blueprints import (
     scaled_blueprint,
 )
 from repro.machine.nodetypes import NodeType
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.sim.cluster import ClusterSimulator, SimConfig, SimulationResult
 from repro.util.intervals import Interval
 from repro.util.rngs import RngFactory
@@ -66,23 +68,46 @@ class Scenario:
     def run(self) -> SimulationResult:
         """Build the machine, sample faults and workload, simulate."""
         rngs = RngFactory(self.seed)
-        machine = build_machine(self.blueprint)
-        injector = FaultInjector(machine, self.rates,
-                                 detection=self.detection,
-                                 rng_factory=rngs.child("faults"))
-        faults = injector.generate(self.window,
-                                   include_benign=self.include_benign_faults)
-        partitions = {NodeType.XE: machine.count(NodeType.XE),
-                      NodeType.XK: machine.count(NodeType.XK)}
-        generator = WorkloadGenerator(self.workload, partitions,
-                                      rng_factory=rngs.child("workload"))
-        plans = generator.generate(self.window)
-        simulator = ClusterSimulator(machine, config=self.sim,
-                                     rng_factory=rngs.child("sim"))
-        pm_windows = (self.maintenance.windows(self.window)
-                      if self.maintenance is not None else None)
-        return simulator.run(plans, faults, self.window,
-                             maintenance=pm_windows)
+        with span("simulate", scenario=self.name, days=self.days,
+                  seed=self.seed) as sim_span:
+            with span("build_machine") as sp:
+                machine = build_machine(self.blueprint)
+                sp.set_attrs(nodes=len(machine.nodes))
+            with span("inject_faults") as sp:
+                injector = FaultInjector(machine, self.rates,
+                                         detection=self.detection,
+                                         rng_factory=rngs.child("faults"))
+                faults = injector.generate(
+                    self.window,
+                    include_benign=self.include_benign_faults)
+                sp.set_attrs(events=len(faults.events))
+            with span("generate_workload") as sp:
+                partitions = {NodeType.XE: machine.count(NodeType.XE),
+                              NodeType.XK: machine.count(NodeType.XK)}
+                generator = WorkloadGenerator(
+                    self.workload, partitions,
+                    rng_factory=rngs.child("workload"))
+                plans = generator.generate(self.window)
+                sp.set_attrs(jobs=len(plans))
+            with span("des") as sp:
+                simulator = ClusterSimulator(machine, config=self.sim,
+                                             rng_factory=rngs.child("sim"))
+                pm_windows = (self.maintenance.windows(self.window)
+                              if self.maintenance is not None else None)
+                result = simulator.run(plans, faults, self.window,
+                                       maintenance=pm_windows)
+                sp.set_attrs(runs=len(result.runs), jobs=len(result.jobs),
+                             unstarted_jobs=len(result.unstarted_jobs))
+            sim_span.set_attrs(runs=len(result.runs))
+            registry = get_registry()
+            registry.counter("sim_scenarios_total")
+            outcomes: dict[str, int] = {}
+            for run in result.runs:
+                outcomes[run.outcome.value] = \
+                    outcomes.get(run.outcome.value, 0) + 1
+            for outcome, count in sorted(outcomes.items()):
+                registry.counter("sim_runs_total", count, outcome=outcome)
+            return result
 
 
 def paper_scenario(*, days: float = PAPER_WINDOW_DAYS,

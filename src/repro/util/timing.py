@@ -1,34 +1,61 @@
-"""Lightweight stage timing for pipelines and benchmarks.
+"""Lightweight stage timing -- now a thin shim over :mod:`repro.obs`.
 
-A :class:`StageTimer` records wall-clock seconds per named stage into a
-plain dict (``None`` sink = zero-overhead no-op), so callers like the
-perf benchmark can ask :meth:`LogDiver.analyze` for a stage breakdown
-without a profiler.
+:class:`StageTimer` keeps its historical contract (accumulate wall-clock
+seconds per named stage into a plain dict; ``None`` sink = no
+accounting) and additionally opens a :func:`repro.obs.tracing.span` per
+stage, so any caller timed through it shows up in the telemetry trace
+for free.
+
+The historical double-count hazard is fixed here: nested *re-entrant*
+use of the same stage name used to sum overlapping intervals (the outer
+interval already contains the inner one, so the stage total exceeded
+wall-clock).  The shim now detects re-entry and records the inner
+interval under a nested ``outer/inner`` path key instead -- the outer
+total stays a true wall-clock figure, and the nesting is still visible.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Iterator
+
+from repro.obs.tracing import span as _obs_span
 
 __all__ = ["StageTimer"]
 
 
 class StageTimer:
-    """Accumulates per-stage wall-clock durations into ``sink``."""
+    """Accumulates per-stage wall-clock durations into ``sink``.
+
+    Each ``stage`` also opens a telemetry span (a no-op without an
+    active tracer) and yields it, so callers can attach attributes::
+
+        with timer.stage("classify") as span:
+            ...
+            span.set_attrs(records=len(errors))
+    """
 
     def __init__(self, sink: dict[str, float] | None = None):
         self.sink = sink
+        self._active: list[str] = []
 
     @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        if self.sink is None:
-            yield
-            return
-        start = time.perf_counter()
+    def stage(self, name: str) -> Iterator[object]:
+        if name in self._active:
+            # Re-entrant: nest under a path key instead of double-
+            # counting the overlapping interval into the outer total.
+            start_idx = self._active.index(name)
+            key = "/".join((*self._active[start_idx:], name))
+        else:
+            key = name
+        self._active.append(name)
+        start = perf_counter()
         try:
-            yield
+            with _obs_span(name) as sp:
+                yield sp
         finally:
-            elapsed = time.perf_counter() - start
-            self.sink[name] = self.sink.get(name, 0.0) + elapsed
+            elapsed = perf_counter() - start
+            self._active.pop()
+            if self.sink is not None:
+                self.sink[key] = self.sink.get(key, 0.0) + elapsed

@@ -22,6 +22,7 @@ from repro.campaign.engine import run_campaign
 from repro.core.pipeline import LogDiver
 from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
 from repro.logs.bundle import read_bundle
+from repro.obs.tracing import span
 from repro.util.tables import render_table
 
 __all__ = ["DegradationPoint", "DegradationReport", "degradation_curve",
@@ -116,7 +117,8 @@ def degradation_curve(bundle_dir, rates=DEFAULT_RATES, *,
     swept = sorted({float(r) for r in rates} | {0.0})
     units = [dict(bundle_dir=str(bundle_dir), rate=rate, seed=seed)
              for rate in swept]
-    results = run_campaign(_degradation_unit, units, jobs=jobs)
+    with span("degradation_sweep", rates=len(swept), seed=seed):
+        results = run_campaign(_degradation_unit, units, jobs=jobs)
     points = tuple(DegradationPoint(
         rate=r["rate"], summary=r["summary"], quarantined=r["quarantined"],
         parsed=r["parsed"], mutations=r["mutations"]) for r in results)

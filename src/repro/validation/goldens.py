@@ -228,21 +228,31 @@ def check_goldens(ids: tuple[str, ...] = GOLDEN_IDS, *,
                   directory: Path | None = None,
                   analysis: Analysis | None = None) -> GoldenReport:
     """Compare fresh snapshots against the stored goldens."""
+    from repro.obs.metrics import get_registry
+    from repro.obs.tracing import span
+
     directory = directory or golden_dir()
     if analysis is None:
         analysis = validation_analysis()
     entries = []
-    for preset_id in ids:
-        path = directory / f"{preset_id.upper()}.json"
-        fresh = canonical_json(compute_snapshot(preset_id, analysis)) + "\n"
-        if not path.exists():
-            entries.append(GoldenEntry(preset_id, "missing",
-                                       f"no snapshot at {path.name}"))
-            continue
-        stored = path.read_text()
-        if stored == fresh:
-            entries.append(GoldenEntry(preset_id, "ok"))
-        else:
-            entries.append(GoldenEntry(preset_id, "drift",
-                                       _first_diff(stored, fresh)))
+    with span("validate_goldens", presets=len(ids)) as sp:
+        for preset_id in ids:
+            path = directory / f"{preset_id.upper()}.json"
+            fresh = canonical_json(
+                compute_snapshot(preset_id, analysis)) + "\n"
+            if not path.exists():
+                entries.append(GoldenEntry(preset_id, "missing",
+                                           f"no snapshot at {path.name}"))
+                continue
+            stored = path.read_text()
+            if stored == fresh:
+                entries.append(GoldenEntry(preset_id, "ok"))
+            else:
+                entries.append(GoldenEntry(preset_id, "drift",
+                                           _first_diff(stored, fresh)))
+        registry = get_registry()
+        for entry in entries:
+            registry.counter("validation_golden_checks_total",
+                             status=entry.status)
+        sp.set_attrs(passed=all(e.ok for e in entries))
     return GoldenReport(entries=tuple(entries))

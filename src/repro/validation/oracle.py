@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 
 from repro.experiments.targets import target
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.util.tables import render_table
 
 __all__ = ["OracleBand", "OracleCheck", "OracleReport", "DEFAULT_BANDS",
@@ -124,5 +126,15 @@ def check_summary(summary: dict[str, float], *,
                   bands: tuple[OracleBand, ...] = DEFAULT_BANDS
                   ) -> OracleReport:
     """Check one ``Analysis.summary()`` dict against the oracle bands."""
-    return OracleReport(checks=tuple(
-        band.check(summary.get(band.key)) for band in bands))
+    with span("validate_oracle", bands=len(bands)) as sp:
+        report = OracleReport(checks=tuple(
+            band.check(summary.get(band.key)) for band in bands))
+        registry = get_registry()
+        for check in report.checks:
+            registry.counter(
+                "validation_oracle_checks_total",
+                severity="required" if check.band.required else "advisory",
+                status="ok" if check.ok else "fail")
+        sp.set_attrs(passed=report.passed,
+                     failures=len(report.failures))
+        return report

@@ -123,7 +123,8 @@ class TestResultCache:
         assert value == 41 and again == 41
         assert len(calls) == 1
         assert cache.stats.as_dict() == {
-            "hits": 1, "misses": 1, "stores": 1, "errors": 0}
+            "hits": 1, "misses": 1, "stores": 1, "errors": 0,
+            "recomputes": 1}
 
     def test_disabled_cache_always_computes(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=False)

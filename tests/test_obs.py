@@ -1,0 +1,283 @@
+"""Unit tests for the telemetry subsystem (:mod:`repro.obs`).
+
+Covers the contracts everything else leans on:
+
+* span nesting, ordering, attributes, and the no-op path without an
+  active tracer;
+* the StageTimer re-entry fix (nested same-name stages must not sum
+  overlapping intervals into one key);
+* counter/gauge/histogram semantics and the Prometheus exposition;
+* merge associativity/commutativity -- the property that makes
+  cross-process aggregation order-independent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
+from repro.obs.tracing import (
+    MEASUREMENT_KEYS,
+    Span,
+    Tracer,
+    current_tracer,
+    normalized_events,
+    span,
+    tracing,
+)
+from repro.util.timing import StageTimer
+
+
+class TestSpans:
+    def test_nesting_and_order(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer") as outer:
+                with span("first"):
+                    pass
+                with span("second", tag="x"):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["first", "second"]
+        assert root.children[1].attrs == {"tag": "x"}
+        assert outer is root
+
+    def test_events_are_dfs_ordered_and_numbered(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+                with span("d"):
+                    pass
+        events = tracer.events()
+        assert [e["name"] for e in events] == ["a", "b", "c", "d"]
+        assert [e["seq"] for e in events] == [1, 2, 3, 4]
+        assert [e["parent"] for e in events] == [None, 1, 2, 1]
+        assert [e["depth"] for e in events] == [0, 1, 2, 1]
+
+    def test_durations_measured_and_nested(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.01)
+        (root,) = tracer.roots
+        (inner,) = root.children
+        assert inner.duration_s >= 0.01
+        assert root.duration_s >= inner.duration_s
+        assert root.self_duration_s <= root.duration_s
+
+    def test_noop_without_tracer(self):
+        assert current_tracer() is None
+        with span("anything", key="value") as sp:
+            sp.set_attrs(more="attrs")  # must not raise
+        assert current_tracer() is None
+
+    def test_attach_grafts_worker_tree(self):
+        worker = Tracer()
+        with tracing(worker):
+            with span("unit", index=3):
+                with span("analyze"):
+                    pass
+        (tree,) = worker.tree()
+
+        parent = Tracer()
+        with tracing(parent):
+            with span("campaign"):
+                parent.attach(tree)
+        (campaign,) = parent.roots
+        (unit,) = campaign.children
+        assert unit.name == "unit" and unit.attrs == {"index": 3}
+        assert [c.name for c in unit.children] == ["analyze"]
+
+    def test_to_dict_round_trip(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a", n=1):
+                with span("b"):
+                    pass
+        (tree,) = tracer.tree()
+        rebuilt = Span.from_dict(tree)
+        assert rebuilt.to_dict() == tree
+
+    def test_normalized_events_strip_measurements(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a"):
+                pass
+        (event,) = normalized_events(tracer.events())
+        assert not set(MEASUREMENT_KEYS) & set(event)
+        assert event["name"] == "a"
+
+    def test_hot_spans_rank_by_self_time(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("hot"):
+                time.sleep(0.02)
+            with tracer.span("cold"):
+                pass
+        ranked = tracer.hot_spans(limit=3)
+        assert ranked[0][0] == "hot"
+        names = [name for name, _, _ in ranked]
+        assert names.index("hot") < names.index("cold")
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        sink: dict[str, float] = {}
+        timer = StageTimer(sink)
+        with timer.stage("classify"):
+            pass
+        with timer.stage("classify"):
+            pass
+        with timer.stage("filter"):
+            pass
+        assert set(sink) == {"classify", "filter"}
+        assert sink["classify"] >= 0.0
+
+    def test_reentrant_stage_nests_instead_of_double_counting(self):
+        sink: dict[str, float] = {}
+        timer = StageTimer(sink)
+        with timer.stage("x"):
+            time.sleep(0.01)
+            with timer.stage("x"):
+                time.sleep(0.01)
+        assert set(sink) == {"x", "x/x"}
+        # The outer total is a true wall-clock figure: it contains the
+        # inner interval instead of having it summed in on top (the old
+        # behaviour collapsed both into one "x" key worth ~3x the sleep).
+        assert sink["x/x"] >= 0.01
+        assert sink["x"] >= sink["x/x"] + 0.01
+
+    def test_none_sink_is_fine(self):
+        with StageTimer(None).stage("anything"):
+            pass
+
+    def test_stage_yields_span_under_tracer(self):
+        tracer = Tracer()
+        sink: dict[str, float] = {}
+        with tracing(tracer):
+            with StageTimer(sink).stage("classify") as sp:
+                sp.set_attrs(records=7)
+        (root,) = tracer.roots
+        assert root.name == "classify"
+        assert root.attrs == {"records": 7}
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", 2, outcome="success")
+        registry.counter("runs_total", 3, outcome="success")
+        registry.counter("runs_total", outcome="system")
+        assert registry.counter_value("runs_total", outcome="success") == 5
+        assert registry.counter_value("runs_total", outcome="system") == 1
+        assert registry.counter_value("runs_total", outcome="absent") == 0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x", -1)
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", 3)
+        registry.gauge("depth", 2)
+        assert registry.gauge_value("depth") == 2
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        for value in (0.0001, 0.003, 0.003, 7.0, 1e9):
+            registry.observe("latency_s", value)
+        snap = registry.snapshot()
+        hist = snap["histograms"]["latency_s"]
+        assert hist["count"] == 5
+        assert hist["sum"] == pytest.approx(0.0001 + 0.003 + 0.003
+                                            + 7.0 + 1e9)
+        assert hist["buckets"]["0.001"] == 1
+        assert hist["buckets"]["0.005"] == 2
+        assert hist["buckets"]["10"] == 1
+        assert hist["buckets"]["+Inf"] == 1
+
+    def test_series_labels_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("c", 1, b="2", a="1")
+        assert 'c{a="1",b="2"}' in registry.snapshot()["counters"]
+
+    def test_merge_counters_and_histograms_add_gauges_max(self):
+        a = MetricsRegistry()
+        a.counter("c", 2)
+        a.gauge("g", 5)
+        a.observe("h", 0.5)
+        b = MetricsRegistry()
+        b.counter("c", 3)
+        b.gauge("g", 1)
+        b.observe("h", 9000.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 5
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["buckets"]["+Inf"] == 1
+
+    def test_merge_is_order_independent(self):
+        def worker(seed: int) -> dict:
+            registry = MetricsRegistry()
+            registry.counter("units", seed)
+            registry.gauge("peak", seed * 10)
+            # Quarter steps are binary-exact, so the histogram sum is
+            # identical regardless of fold order.
+            registry.observe("t", seed / 4)
+            return registry.snapshot()
+
+        snapshots = [worker(s) for s in (1, 2, 3, 4)]
+        forward = MetricsRegistry()
+        for snap in snapshots:
+            forward.merge(snap)
+        backward = MetricsRegistry()
+        for snap in reversed(snapshots):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("c", 7)
+        before = registry.snapshot()
+        registry.merge(MetricsRegistry().snapshot())
+        assert registry.snapshot() == before
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", 4, outcome="success")
+        registry.gauge("workers", 2)
+        registry.observe("stage_s", 0.002)
+        registry.observe("stage_s", 9000.0)
+        text = registry.render_prometheus()
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{outcome="success"} 4' in text
+        assert "# TYPE workers gauge" in text
+        assert "workers 2" in text
+        assert "# TYPE stage_s histogram" in text
+        # Buckets are cumulative and +Inf carries the total count.
+        assert 'stage_s_bucket{le="0.005"} 1' in text
+        assert 'stage_s_bucket{le="+Inf"} 2' in text
+        assert "stage_s_sum 9000.002" in text
+        assert "stage_s_count 2" in text
+        assert text.endswith("\n")
+
+    def test_scoped_registry_isolates_and_restores(self):
+        ambient = get_registry()
+        with scoped_registry() as inner:
+            get_registry().counter("scoped_only", 1)
+            assert get_registry() is inner
+        assert get_registry() is ambient
+        assert inner.counter_value("scoped_only") == 1
+        assert ambient.counter_value("scoped_only") == 0

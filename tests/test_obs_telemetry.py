@@ -1,0 +1,176 @@
+"""End-to-end telemetry tests: determinism, parallel parity, CLI.
+
+The two properties the subsystem exists to provide:
+
+* **determinism** -- two runs of the same scenario emit identical span
+  event sequences once the measurement fields are stripped;
+* **parallel parity** -- a ``--jobs 2`` campaign produces one merged
+  trace whose span skeleton and metric totals equal the serial run's
+  (the PR's acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.engine import run_campaign
+from repro.cli import main
+from repro.core.pipeline import LogDiver
+from repro.logs.bundle import read_bundle, write_bundle
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    normalized_events,
+    scoped_registry,
+    tracing,
+)
+from repro.sim.scenario import small_scenario
+
+DAYS = 10.0
+SEED = 11
+
+
+def _traced_analysis() -> tuple[Tracer, MetricsRegistry, dict]:
+    """One full pass (simulate -> bundle -> ingest -> analyze), traced."""
+    import tempfile
+
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        result = small_scenario(days=DAYS, seed=SEED).run()
+        with tempfile.TemporaryDirectory() as tmp:
+            write_bundle(result, tmp, seed=SEED)
+            bundle = read_bundle(tmp, strict=False)
+        analysis = LogDiver().analyze(bundle)
+    return tracer, registry, analysis.summary()
+
+
+class TestDeterminism:
+    def test_identical_runs_emit_identical_event_skeletons(self):
+        tracer_a, registry_a, summary_a = _traced_analysis()
+        tracer_b, registry_b, summary_b = _traced_analysis()
+        assert normalized_events(tracer_a.events()) == \
+            normalized_events(tracer_b.events())
+        assert registry_a.snapshot() == registry_b.snapshot()
+        # JSON text compare: NaN-valued metrics (empty scaling curves on
+        # tiny scenarios) must still count as equal.
+        assert json.dumps(summary_a, sort_keys=True) == \
+            json.dumps(summary_b, sort_keys=True)
+
+    def test_pipeline_spans_cover_every_layer(self):
+        tracer, registry, _ = _traced_analysis()
+        names = {e["name"] for e in tracer.events()}
+        assert {"simulate", "build_machine", "inject_faults",
+                "generate_workload", "des", "write_bundle", "read_bundle",
+                "analyze", "classify", "filter", "assemble", "attribute",
+                "categorize", "metrics"} <= names
+        counters = registry.snapshot()["counters"]
+        assert counters["sim_scenarios_total"] == 1
+        assert counters["logdiver_analyses_total"] == 1
+        assert any(k.startswith("logdiver_runs_classified_total")
+                   for k in counters)
+        assert any(k.startswith("ingest_records_parsed_total")
+                   for k in counters)
+
+
+def _campaign_unit(*, days: float, seed: int) -> dict:
+    """Module-level so the spawn pool can pickle it."""
+    import tempfile
+
+    result = small_scenario(days=days, seed=seed).run()
+    with tempfile.TemporaryDirectory() as tmp:
+        write_bundle(result, tmp, seed=seed)
+        bundle = read_bundle(tmp, strict=False)
+    return LogDiver().analyze(bundle).summary()
+
+
+def _run_units(jobs: int) -> tuple[list, Tracer, MetricsRegistry]:
+    units = [dict(days=3.0, seed=21 + i) for i in range(3)]
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        results = run_campaign(_campaign_unit, units, jobs=jobs)
+    return results, tracer, registry
+
+
+class TestParallelParity:
+    """The acceptance criterion: serial and --jobs 2 match exactly."""
+
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        return _run_units(jobs=1), _run_units(jobs=2)
+
+    def test_results_identical(self, serial_and_parallel):
+        (serial, _, _), (parallel, _, _) = serial_and_parallel
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+
+    def test_span_skeletons_identical(self, serial_and_parallel):
+        (_, serial_tracer, _), (_, parallel_tracer, _) = serial_and_parallel
+        assert normalized_events(serial_tracer.events()) == \
+            normalized_events(parallel_tracer.events())
+
+    def test_metric_totals_identical(self, serial_and_parallel):
+        (_, _, serial_reg), (_, _, parallel_reg) = serial_and_parallel
+        serial_snap = serial_reg.snapshot()
+        parallel_snap = parallel_reg.snapshot()
+        assert serial_snap["counters"] == parallel_snap["counters"]
+        assert serial_snap["histograms"] == parallel_snap["histograms"]
+
+    def test_worker_spans_attached_under_campaign(self, serial_and_parallel):
+        _, (_, parallel_tracer, _) = serial_and_parallel
+        (campaign,) = parallel_tracer.roots
+        assert campaign.name == "campaign"
+        assert [c.name for c in campaign.children] == ["unit"] * 3
+        assert [c.attrs["index"] for c in campaign.children] == [0, 1, 2]
+        for unit in campaign.children:
+            assert unit.children, "worker unit spans must carry children"
+
+
+class TestTraceCli:
+    def test_trace_prints_span_tree_and_writes_telemetry(self, tmp_path,
+                                                         capsys):
+        telemetry = tmp_path / "telemetry"
+        code = main(["trace", "small", "--days", "2",
+                     "--telemetry", str(telemetry)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulate" in out and "analyze" in out
+        assert "hot stages" in out
+        assert "system-failure share" in out
+
+        lines = (telemetry / "trace.jsonl").read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "meta"
+        assert events[0]["schema"] == "repro-telemetry/1"
+        assert events[-1]["event"] == "metrics"
+        span_events = [e for e in events if e["event"] == "span"]
+        assert {e["name"] for e in span_events} >= {"campaign", "unit",
+                                                    "simulate", "analyze"}
+        for event in span_events:
+            assert {"seq", "parent", "depth", "name", "attrs", "t_start_s",
+                    "duration_s", "rss_peak_kb"} <= set(event)
+
+        prom = (telemetry / "metrics.prom").read_text()
+        assert "# TYPE" in prom
+        assert "sim_scenarios_total 1" in prom
+
+        metrics = json.loads((telemetry / "metrics.json").read_text())
+        assert metrics["schema"] == "repro-metrics/1"
+        assert metrics["counters"]["campaign_units_total"] == 1
+
+    def test_analyze_telemetry_flag(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(["simulate", str(bundle), "--small", "--days", "5",
+                     "--seed", "3"]) == 0
+        capsys.readouterr()
+        telemetry = tmp_path / "telemetry"
+        code = main(["analyze", str(bundle), "--tables", "outcomes",
+                     "--telemetry", str(telemetry)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry: wrote" in out
+        events = [json.loads(line) for line in
+                  (telemetry / "trace.jsonl").read_text().splitlines()]
+        names = {e.get("name") for e in events}
+        assert {"read_bundle", "analyze", "classify"} <= names
