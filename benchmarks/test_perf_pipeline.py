@@ -21,10 +21,14 @@ import tempfile
 import time
 from pathlib import Path
 
+import math
+import multiprocessing
+
 from benchmarks.conftest import RESULTS_DIR
 from repro.campaign.cache import ResultCache, cache_key
 from repro.core.attribution import SpatialIndex
 from repro.core.pipeline import LogDiver
+from repro.core.sharding import rss_probe_unit
 from repro.logs.bundle import read_bundle, write_bundle
 from repro.obs import Tracer, scoped_registry, tracing
 from repro.sim.scenario import paper_scenario
@@ -33,8 +37,18 @@ DAYS = float(os.environ.get("REPRO_PERF_DAYS", "120"))
 THINNING = 0.02
 SEED = 2015
 
-BENCH_SCHEMA = "bench-pipeline/2"
+BENCH_SCHEMA = "bench-pipeline/3"
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _summaries_equal(a: dict, b: dict) -> bool:
+    """Summary equality where NaN == NaN (sparse curves yield NaN
+    growth factors on both paths)."""
+    if a.keys() != b.keys():
+        return False
+    return all((isinstance(a[k], float) and isinstance(b[k], float)
+                and math.isnan(a[k]) and math.isnan(b[k])) or a[k] == b[k]
+               for k in a)
 
 
 def _run_pipeline() -> dict:
@@ -89,6 +103,21 @@ def _run_pipeline() -> dict:
                 index.component_nids(component)
             lookup_s = time.perf_counter() - start
 
+            # Streamed vs in-memory peak RSS, each probed in its OWN
+            # fresh spawn process: ru_maxrss is monotonic per process,
+            # so sharing a process (or a reused pool worker) would make
+            # the second probe report the max of both modes.
+            def probe(mode, **kw):
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(processes=1) as pool:
+                    return pool.apply(
+                        rss_probe_unit,
+                        kwds=dict(directory=str(bundle_dir), mode=mode,
+                                  **kw))
+            rss_memory = timed("rss_probe_memory", lambda: probe("memory"))
+            rss_stream = timed("rss_probe_stream",
+                               lambda: probe("stream", shards=8))
+
     # The span tree is the source of the memory + LogDiver-stage series:
     # simulate / write_bundle / read_bundle / analyze are root spans, the
     # six LogDiver stages are the analyze span's children.
@@ -121,6 +150,14 @@ def _run_pipeline() -> dict:
             "distinct_components": len(components),
             "cold_lookup_s": round(lookup_s, 4),
         },
+        "streamed": {
+            "memory_peak_rss_kb": rss_memory["peak_rss_kb"],
+            "stream_peak_rss_kb": rss_stream["peak_rss_kb"],
+            "rss_ratio": round(rss_stream["peak_rss_kb"]
+                               / max(1, rss_memory["peak_rss_kb"]), 3),
+            "summaries_match": _summaries_equal(rss_memory["summary"],
+                                                rss_stream["summary"]),
+        },
     }
 
 
@@ -144,6 +181,14 @@ def test_perf_pipeline(benchmark):
     assert stages["cache_load_analysis"] < cold_bundle + stages["analyze"]
     assert payload["cache"] == {"hits": 2, "misses": 0, "stores": 2,
                                 "errors": 0, "recomputes": 0}
+    # The streamed path must agree exactly with in-memory and, on a
+    # bundle of this size, hold a measurably smaller working set.
+    streamed = payload["streamed"]
+    assert streamed["summaries_match"]
+    assert streamed["memory_peak_rss_kb"] > 0
+    assert streamed["stream_peak_rss_kb"] > 0
+    if payload["runs"] >= 10_000:
+        assert streamed["rss_ratio"] < 1.0
     text = json.dumps(payload, indent=2) + "\n"
     (REPO_ROOT / "BENCH_pipeline.json").write_text(text)
     RESULTS_DIR.mkdir(exist_ok=True)

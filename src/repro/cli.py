@@ -84,6 +84,21 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--lenient", action="store_true",
                          help="quarantine malformed records (reported) "
                               "instead of aborting on the first one")
+    analyze.add_argument("--stream", action="store_true",
+                         help="out-of-core analysis: process the bundle "
+                              "in time shards with bounded memory "
+                              "(identical headline numbers; per-run "
+                              "tables like workload/users unavailable)")
+    analyze.add_argument("--shards", type=int, default=8, metavar="N",
+                         help="time shards for --stream (default 8)")
+    analyze.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                         help="worker processes for --stream "
+                              "(0 = all cores; default serial)")
+    analyze.add_argument("--rss-budget-mb", type=float, default=None,
+                         metavar="MB",
+                         help="with --stream: exit 3 if any process's "
+                              "peak RSS exceeds this budget (the CI "
+                              "memory smoke uses this)")
     analyze.add_argument("--telemetry", default=None, metavar="DIR",
                          help="write trace.jsonl / metrics.prom / "
                               "metrics.json for this run to DIR")
@@ -183,7 +198,49 @@ _TABLES = {
 }
 
 
+#: Tables the streamed path cannot render (they need the full run list).
+_PER_RUN_TABLES = frozenset({"workload", "users"})
+
+
+def _cmd_analyze_stream(args: argparse.Namespace) -> int:
+    from repro.core.sharding import analyze_streamed
+
+    analysis = analyze_streamed(args.bundle, shards=args.shards,
+                                jobs=args.jobs, strict=not args.lenient)
+    print(f"streamed analyze: {analysis.n_runs} runs across "
+          f"{analysis.shards} shards "
+          f"({analysis.boundary_runs} boundary-crossing)")
+    if args.lenient:
+        print(analysis.ingest.render())
+    wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in _TABLES]
+    if unknown:
+        print(f"unknown tables {unknown}; have {sorted(_TABLES)}")
+        return 2
+    skipped = [name for name in wanted if name in _PER_RUN_TABLES]
+    if skipped:
+        print(f"(skipping per-run tables unavailable with --stream: "
+              f"{', '.join(skipped)})")
+    for name in wanted:
+        if name in _PER_RUN_TABLES:
+            continue
+        print(f"\n=== {name} ===")
+        print(_TABLES[name](analysis))
+    summary = analysis.summary()
+    print(f"\nsystem-failure share: {summary['system_failure_share']:.4f}")
+    print(f"failed node-hour share: {summary['failed_node_hour_share']:.4f}")
+    peak_mb = analysis.peak_rss_kb / 1024.0
+    print(f"peak RSS (max over parent and workers): {peak_mb:,.0f} MB")
+    if args.rss_budget_mb is not None and peak_mb > args.rss_budget_mb:
+        print(f"peak RSS {peak_mb:,.0f} MB exceeds the "
+              f"{args.rss_budget_mb:g} MB budget")
+        return 3
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _cmd_analyze_stream(args)
     bundle = read_bundle(args.bundle, strict=not args.lenient)
     print(f"bundle: {bundle.summary()}")
     if args.lenient:

@@ -15,14 +15,27 @@ from repro.core.filtering import (
     ErrorTuple,
     FilterStats,
     filter_errors,
+    merge_error_tuples,
     spatial_coalescing,
     temporal_tupling,
 )
 from repro.core.ingest import (
     ClassifiedError,
+    NodeAnnotator,
     RunView,
     assemble_runs,
+    build_run_view,
+    classify_error_records,
     classify_errors,
+)
+from repro.core.merge import (
+    CauseAccumulator,
+    CurveAccumulator,
+    MtbfAccumulator,
+    OutcomeAccumulator,
+    RunAccumulator,
+    WasteAccumulator,
+    summary_dict,
 )
 from repro.core.metrics import (
     OutcomeBreakdown,
@@ -38,6 +51,13 @@ from repro.core.mtbf import (
     system_mtbf_by_category,
 )
 from repro.core.pipeline import Analysis, LogDiver
+from repro.core.sharding import (
+    ShardPlan,
+    StreamedAnalysis,
+    analyze_streamed,
+    plan_shards,
+    rss_probe_unit,
+)
 from repro.core.scaling import (
     ScalePoint,
     ScalingCurve,
@@ -63,8 +83,10 @@ __all__ = [
     "Analysis",
     "Attribution",
     "BaselineReport",
+    "CauseAccumulator",
     "ClassifiedError",
     "CooccurrenceMatrix",
+    "CurveAccumulator",
     "DiagnosedOutcome",
     "DiagnosedRun",
     "ErrorCluster",
@@ -74,37 +96,51 @@ __all__ = [
     "GroupStats",
     "LogDiver",
     "LogDiverConfig",
+    "MtbfAccumulator",
     "MtbfReport",
     "NearMissReport",
+    "NodeAnnotator",
+    "OutcomeAccumulator",
     "OutcomeBreakdown",
+    "RunAccumulator",
     "RunView",
+    "ShardPlan",
+    "StreamedAnalysis",
     "WaitBucket",
     "ScalePoint",
     "ScalingCurve",
     "SpatialIndex",
+    "WasteAccumulator",
     "WasteReport",
     "WindowStats",
+    "analyze_streamed",
     "application_mtbf",
     "assemble_runs",
     "attribute_clusters",
     "baseline_analysis",
+    "build_run_view",
     "by_application",
     "by_user",
     "categorize_runs",
     "cause_breakdown",
+    "classify_error_records",
     "classify_errors",
     "cooccurrence",
     "failure_probability_curve",
     "filter_errors",
     "fit_hazard_exponent",
     "lost_node_hours_distribution",
+    "merge_error_tuples",
     "near_miss_analysis",
     "outcome_breakdown",
     "overall_wait_stats",
+    "plan_shards",
     "queue_waits_by_scale",
+    "rss_probe_unit",
     "runs_by_scale",
     "sliced_stats",
     "spatial_coalescing",
+    "summary_dict",
     "system_mtbf_by_category",
     "temporal_tupling",
     "top_waste",

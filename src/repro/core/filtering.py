@@ -30,7 +30,8 @@ from repro.faults.taxonomy import ErrorCategory
 from repro.util.intervals import Interval
 
 __all__ = ["ErrorTuple", "ErrorCluster", "temporal_tupling",
-           "spatial_coalescing", "filter_errors", "FilterStats"]
+           "merge_error_tuples", "spatial_coalescing", "filter_errors",
+           "FilterStats"]
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,41 @@ def temporal_tupling(errors: list[ClassifiedError],
     return tuples
 
 
+def merge_error_tuples(parts: list[list[ErrorTuple]],
+                       window_s: float) -> list[ErrorTuple]:
+    """Merge per-shard tuple lists into the global tuple list.
+
+    ``parts`` must cover disjoint, time-ordered slices of one record
+    stream (shard k holds every record with ``t`` in its window).  Then
+    for each (component, category) group the only tuples the global pass
+    would form differently are the ones abutting a shard boundary, and
+    those merge exactly when the gap between the earlier tuple's last
+    record and the later tuple's first record is at most the window --
+    the same rule :func:`temporal_tupling` applies to raw records.
+    Associative by construction, so shards can be folded in any
+    left-to-right grouping.
+    """
+    by_key: dict[tuple[str, ErrorCategory], list[ErrorTuple]] = {}
+    for part in parts:
+        for t in part:
+            by_key.setdefault((t.component, t.category), []).append(t)
+    merged: list[ErrorTuple] = []
+    for (component, category), group in by_key.items():
+        group.sort(key=lambda t: t.start_s)
+        current = group[0]
+        for t in group[1:]:
+            if t.start_s - current.end_s <= window_s:
+                current = ErrorTuple(component, category, current.start_s,
+                                     max(current.end_s, t.end_s),
+                                     current.count + t.count)
+            else:
+                merged.append(current)
+                current = t
+        merged.append(current)
+    merged.sort(key=lambda t: (t.start_s, t.component))
+    return merged
+
+
 def spatial_coalescing(tuples: list[ErrorTuple],
                        window_s: float) -> list[ErrorCluster]:
     """Merge same-category tuples that start within the window of the
@@ -141,7 +177,13 @@ def spatial_coalescing(tuples: list[ErrorTuple],
         if current:
             clusters.append(_finish(next_id, category, current))
             next_id += 1
-    clusters.sort(key=lambda c: (c.start_s, c.cluster_id))
+    # Order by content, not by formation order: two clusters of different
+    # categories can share a start time, and the per-category formation
+    # counter would then make ids depend on input grouping order.  A
+    # content key keeps ids identical whether the tuples arrived from one
+    # in-memory pass or were merged from time shards.
+    clusters.sort(key=lambda c: (c.start_s, c.end_s, c.category.value,
+                                 c.components))
     # Re-number in chronological order so ids are stable and readable.
     return [ErrorCluster(i, c.category, c.start_s, c.end_s, c.components,
                          c.record_count) for i, c in enumerate(clusters)]

@@ -25,7 +25,8 @@ from repro.logs.bundle import LogBundle
 from repro.logs.messages import classify_message_by_source
 from repro.logs.records import AlpsRecord
 
-__all__ = ["ClassifiedError", "RunView", "classify_errors", "assemble_runs"]
+__all__ = ["ClassifiedError", "RunView", "NodeAnnotator", "classify_errors",
+           "classify_error_records", "assemble_runs", "build_run_view"]
 
 
 @dataclass(frozen=True)
@@ -83,9 +84,17 @@ def classify_errors(bundle: LogBundle,
     record's stream (stream routing narrows the candidate patterns; see
     :func:`repro.logs.messages.classify_message_by_source`).
     """
+    return classify_error_records(bundle.error_records,
+                                  keep_unclassified=keep_unclassified)
+
+
+def classify_error_records(records, *, keep_unclassified: bool = False
+                           ) -> tuple[list[ClassifiedError], int]:
+    """:func:`classify_errors` over a bare record list (shard workers
+    classify their slice without ever holding a whole bundle)."""
     classified: list[ClassifiedError] = []
     unmatched = 0
-    for record in bundle.error_records:
+    for record in records:
         category = classify_message_by_source(record.source, record.message)
         if category is None:
             unmatched += 1
@@ -100,88 +109,122 @@ def classify_errors(bundle: LogBundle,
     return classified, unmatched
 
 
+class NodeAnnotator:
+    """Vectorized nid -> (node type, gemini vertices) annotation.
+
+    Dense nid-indexed arrays make per-run annotation a vectorized
+    gather instead of a Python dict loop per nid -- with full-machine
+    runs (20k+ nids each) this was the measured top cost of the whole
+    analyze pass.
+    """
+
+    def __init__(self, nodemap: dict[int, tuple[str, str, int]]):
+        self._empty = not nodemap
+        if self._empty:
+            return
+        self._max_nid = max(nodemap)
+        self._type_names: list[str] = []
+        type_code_of: dict[str, int] = {}
+        self._type_codes = np.full(self._max_nid + 1, -1, dtype=np.int32)
+        self._vertex_of_nid = np.full(self._max_nid + 1, -1, dtype=np.int64)
+        for nid, (_cname, type_name, vertex) in nodemap.items():
+            code = type_code_of.get(type_name)
+            if code is None:
+                code = len(self._type_names)
+                type_code_of[type_name] = code
+                self._type_names.append(type_name)
+            self._type_codes[nid] = code
+            self._vertex_of_nid[nid] = vertex
+
+    def info(self, nids: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+        """Majority node type and the sorted unique gemini vertices."""
+        if self._empty or not nids:
+            return "?", ()
+        idx = np.asarray(nids, dtype=np.int64)
+        idx = idx[(idx >= 0) & (idx <= self._max_nid)]
+        codes = (self._type_codes[idx] if idx.size
+                 else np.empty(0, dtype=np.int32))
+        known = codes >= 0
+        if not known.any():
+            return "?", ()
+        codes = codes[known]
+        counts = np.bincount(codes, minlength=len(self._type_names))
+        winners = np.flatnonzero(counts == counts.max())
+        if winners.size == 1:
+            majority = self._type_names[int(winners[0])]
+        else:
+            # Tie: the old dict-based loop returned the type that first
+            # appeared in nid order; preserve that exactly.
+            winner_set = set(winners.tolist())
+            majority = next(self._type_names[c] for c in codes.tolist()
+                            if c in winner_set)
+        vertices = np.unique(self._vertex_of_nid[idx][known])
+        return majority, tuple(int(v) for v in vertices)
+
+
+def build_run_view(record: AlpsRecord, start: AlpsRecord | None,
+                   user_by_job: dict[str, str],
+                   annotator: NodeAnnotator) -> RunView:
+    """One :class:`RunView` from an apsys end/error record.
+
+    ``record.kind == "error"`` builds a launch-failure run; otherwise
+    ``record`` is the end record and ``start`` its paired start (None
+    for an end whose start fell outside the collection window -- the
+    run is kept with zero elapsed, and callers count it).
+    """
+    node_type, vertices = annotator.info(record.nids)
+    user = user_by_job.get(record.batch_id, record.user)
+    if record.kind == "error":
+        return RunView(
+            apid=record.apid, batch_id=record.batch_id, user=user,
+            cmd=record.cmd, nids=record.nids,
+            start_s=record.time_s, end_s=record.time_s,
+            exit_code=1, exit_signal=0, launch_error=True,
+            node_type=node_type, gemini_vertices=vertices)
+    if start is None:
+        start = record
+    exit_code = record.exit_code if record.exit_code is not None else 0
+    exit_signal = (record.exit_signal
+                   if record.exit_signal is not None else 0)
+    return RunView(
+        apid=record.apid, batch_id=record.batch_id, user=user,
+        cmd=record.cmd, nids=record.nids,
+        start_s=start.time_s, end_s=record.time_s,
+        exit_code=exit_code, exit_signal=exit_signal,
+        launch_error=False, node_type=node_type,
+        gemini_vertices=vertices)
+
+
 def assemble_runs(bundle: LogBundle) -> list[RunView]:
-    """Pair apsys start/end records into runs and annotate them."""
+    """Pair apsys start/end records into runs and annotate them.
+
+    Window-truncation casualties are tallied on the bundle's ingest
+    report rather than silently absorbed: an end with no start is kept
+    as a zero-elapsed run (``unpaired_end_runs`` -- its real cost is
+    unknowable from the logs, which *deflates* failed-node-hour shares),
+    and a start with no end is a still-running censored run the paper
+    excludes (``censored_start_runs``).
+    """
     starts: dict[int, AlpsRecord] = {}
     runs: list[RunView] = []
     user_by_job: dict[str, str] = {}
     for torque in bundle.torque_records:
         user_by_job[torque.job_id] = torque.user
-
-    # Dense nid-indexed arrays make per-run annotation a vectorized
-    # gather instead of a Python dict loop per nid -- with full-machine
-    # runs (20k+ nids each) this was the measured top cost of the whole
-    # analyze pass.
-    nodemap = bundle.nodemap
-    if nodemap:
-        max_nid = max(nodemap)
-        type_names: list[str] = []
-        type_code_of: dict[str, int] = {}
-        type_codes = np.full(max_nid + 1, -1, dtype=np.int32)
-        vertex_of_nid = np.full(max_nid + 1, -1, dtype=np.int64)
-        for nid, (_cname, type_name, vertex) in nodemap.items():
-            code = type_code_of.get(type_name)
-            if code is None:
-                code = len(type_names)
-                type_code_of[type_name] = code
-                type_names.append(type_name)
-            type_codes[nid] = code
-            vertex_of_nid[nid] = vertex
-
-    def node_info(nids: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
-        if not nodemap or not nids:
-            return "?", ()
-        idx = np.asarray(nids, dtype=np.int64)
-        idx = idx[(idx >= 0) & (idx <= max_nid)]
-        codes = type_codes[idx] if idx.size else np.empty(0, dtype=np.int32)
-        known = codes >= 0
-        if not known.any():
-            return "?", ()
-        codes = codes[known]
-        counts = np.bincount(codes, minlength=len(type_names))
-        winners = np.flatnonzero(counts == counts.max())
-        if winners.size == 1:
-            majority = type_names[int(winners[0])]
-        else:
-            # Tie: the old dict-based loop returned the type that first
-            # appeared in nid order; preserve that exactly.
-            winner_set = set(winners.tolist())
-            majority = next(type_names[c] for c in codes.tolist()
-                            if c in winner_set)
-        vertices = np.unique(vertex_of_nid[idx][known])
-        return majority, tuple(int(v) for v in vertices)
+    annotator = NodeAnnotator(bundle.nodemap)
+    report = bundle.ingest_report
 
     for record in bundle.alps_records:
         if record.kind == "start":
             starts[record.apid] = record
         elif record.kind == "error":
-            node_type, vertices = node_info(record.nids)
-            runs.append(RunView(
-                apid=record.apid, batch_id=record.batch_id,
-                user=user_by_job.get(record.batch_id, record.user),
-                cmd=record.cmd, nids=record.nids,
-                start_s=record.time_s, end_s=record.time_s,
-                exit_code=1, exit_signal=0, launch_error=True,
-                node_type=node_type, gemini_vertices=vertices))
+            runs.append(build_run_view(record, None, user_by_job, annotator))
         elif record.kind == "end":
             start = starts.pop(record.apid, None)
             if start is None:
-                # End without start: truncated collection window; keep
-                # the run with a zero-length elapsed rather than lose it.
-                start = record
-            node_type, vertices = node_info(record.nids)
-            exit_code = record.exit_code if record.exit_code is not None else 0
-            exit_signal = (record.exit_signal
-                           if record.exit_signal is not None else 0)
-            runs.append(RunView(
-                apid=record.apid, batch_id=record.batch_id,
-                user=user_by_job.get(record.batch_id, record.user),
-                cmd=record.cmd, nids=record.nids,
-                start_s=start.time_s, end_s=record.time_s,
-                exit_code=exit_code, exit_signal=exit_signal,
-                launch_error=False, node_type=node_type,
-                gemini_vertices=vertices))
-    # Starts without ends are still-running (censored) at collection end;
-    # the paper excludes them, and so do we.
+                report.record_unpaired_end()
+            runs.append(build_run_view(record, start, user_by_job,
+                                       annotator))
+    if starts:
+        report.record_censored_start(len(starts))
     runs.sort(key=lambda r: (r.start_s, r.apid))
     return runs

@@ -1,0 +1,321 @@
+"""Mergeable partial products for sharded analysis.
+
+The streamed path (:mod:`repro.core.sharding`) computes per-shard
+partial metrics and folds them together; the in-memory metric functions
+(:mod:`repro.core.metrics`, :mod:`repro.core.waste`,
+:mod:`repro.core.mtbf`) are thin wrappers over the same accumulators, so
+the two paths share one arithmetic and produce byte-identical numbers.
+
+The exactness argument the parity tests stand on: every record timestamp
+is an integral-valued float (the log formats carry second resolution),
+so per-run ``elapsed_s`` and ``elapsed_s * nodes`` (node-seconds) are
+exact integers far below 2**53.  Sums of exact integers in float are
+exact and therefore *order-independent*; each accumulator keeps raw
+seconds / node-seconds and divides by 3600 exactly once at
+``finalize()``.  Summing per-run node-*hours* instead (an inexact value
+per run) would make the total depend on addition order and break
+shard-merge parity.
+
+Every accumulator is a plain picklable dataclass with the same contract:
+``add(diagnosed_run)`` folds in one run, ``merge(other)`` folds in
+another accumulator (associative and commutative), ``finalize()`` emits
+the corresponding report object with dict keys in one canonical order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.config import LogDiverConfig
+from repro.machine.nodetypes import NODE_SPECS, NodeType
+from repro.util.timeutil import HOUR
+
+__all__ = ["OutcomeAccumulator", "CauseAccumulator", "WasteAccumulator",
+           "MtbfAccumulator", "CurveAccumulator", "RunAccumulator",
+           "power_kw", "summary_dict"]
+
+_SYSTEM_OUTCOMES = (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN)
+
+
+def power_kw(node_type: str) -> float:
+    """Per-node power draw for the energy proxy (unknown types -> XE)."""
+    try:
+        return NODE_SPECS[NodeType(node_type)].power_watts / 1000.0
+    except ValueError:
+        return NODE_SPECS[NodeType.XE].power_watts / 1000.0
+
+
+@dataclass
+class OutcomeAccumulator:
+    """Counts and node-seconds per diagnosed outcome (the T4 table)."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    node_seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, d: DiagnosedRun) -> None:
+        key = d.outcome.value
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.node_seconds[key] = (self.node_seconds.get(key, 0.0)
+                                  + d.run.elapsed_s * d.run.nodes)
+
+    def merge(self, other: "OutcomeAccumulator") -> None:
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+        for key, ns in other.node_seconds.items():
+            self.node_seconds[key] = self.node_seconds.get(key, 0.0) + ns
+
+    def finalize(self):
+        from repro.core.metrics import OutcomeBreakdown
+        # Canonical key order (enum order): OutcomeBreakdown totals sum
+        # dict values, and float sums of the *divided* per-outcome hours
+        # are order-sensitive -- both paths must iterate identically.
+        counts = {o: self.counts[o.value] for o in DiagnosedOutcome
+                  if o.value in self.counts}
+        node_hours = {o: self.node_seconds[o.value] / HOUR
+                      for o in DiagnosedOutcome
+                      if o.value in self.node_seconds}
+        return OutcomeBreakdown(counts=counts, node_hours=node_hours)
+
+
+@dataclass
+class CauseAccumulator:
+    """System failures per diagnosed error category (the T5 table)."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, d: DiagnosedRun) -> None:
+        if d.outcome is DiagnosedOutcome.SYSTEM and d.category is not None:
+            key = d.category.value
+            self.counts[key] = self.counts.get(key, 0) + 1
+
+    def merge(self, other: "CauseAccumulator") -> None:
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+
+    def finalize(self):
+        from repro.faults.taxonomy import ErrorCategory
+        ordered = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return {ErrorCategory(key): count for key, count in ordered}
+
+
+@dataclass
+class WasteAccumulator:
+    """Lost node-seconds and the energy proxy (the F4 analysis)."""
+
+    total_ns: float = 0.0
+    failed_ns: float = 0.0
+    system_ns: float = 0.0
+    failed_runs: int = 0
+    system_failed_runs: int = 0
+    #: Failed node-seconds per node type -- energy is priced per type at
+    #: finalize so the multiply happens once, not once per run.
+    failed_ns_by_type: dict[str, float] = field(default_factory=dict)
+
+    def add(self, d: DiagnosedRun) -> None:
+        ns = d.run.elapsed_s * d.run.nodes
+        self.total_ns += ns
+        if d.outcome.is_failure:
+            self.failed_ns += ns
+            self.failed_runs += 1
+            key = d.run.node_type
+            self.failed_ns_by_type[key] = (
+                self.failed_ns_by_type.get(key, 0.0) + ns)
+        if d.outcome in _SYSTEM_OUTCOMES:
+            self.system_ns += ns
+            self.system_failed_runs += 1
+
+    def merge(self, other: "WasteAccumulator") -> None:
+        self.total_ns += other.total_ns
+        self.failed_ns += other.failed_ns
+        self.system_ns += other.system_ns
+        self.failed_runs += other.failed_runs
+        self.system_failed_runs += other.system_failed_runs
+        for key, ns in other.failed_ns_by_type.items():
+            self.failed_ns_by_type[key] = (
+                self.failed_ns_by_type.get(key, 0.0) + ns)
+
+    def finalize(self):
+        from repro.core.waste import WasteReport
+        energy = sum((ns / HOUR) * power_kw(node_type)
+                     for node_type, ns
+                     in sorted(self.failed_ns_by_type.items()))
+        return WasteReport(
+            total_node_hours=self.total_ns / HOUR,
+            failed_node_hours=self.failed_ns / HOUR,
+            system_failed_node_hours=self.system_ns / HOUR,
+            failed_runs=self.failed_runs,
+            system_failed_runs=self.system_failed_runs,
+            energy_mwh_failed=energy / 1000.0)
+
+
+@dataclass
+class MtbfAccumulator:
+    """Application MTBF/MNBF inputs, optionally for one node type."""
+
+    node_type: str | None = None
+    total_runs: int = 0
+    system_failures: int = 0
+    elapsed_seconds: float = 0.0
+    node_seconds: float = 0.0
+
+    def add(self, d: DiagnosedRun) -> None:
+        if self.node_type is not None and d.run.node_type != self.node_type:
+            return
+        self.total_runs += 1
+        if d.outcome in _SYSTEM_OUTCOMES:
+            self.system_failures += 1
+        self.elapsed_seconds += d.run.elapsed_s
+        self.node_seconds += d.run.elapsed_s * d.run.nodes
+
+    def merge(self, other: "MtbfAccumulator") -> None:
+        self.total_runs += other.total_runs
+        self.system_failures += other.system_failures
+        self.elapsed_seconds += other.elapsed_seconds
+        self.node_seconds += other.node_seconds
+
+    def finalize(self):
+        from repro.core.mtbf import MtbfReport
+        return MtbfReport(total_runs=self.total_runs,
+                          system_failures=self.system_failures,
+                          execution_hours=self.elapsed_seconds / HOUR,
+                          node_hours=self.node_seconds / HOUR)
+
+
+@dataclass
+class CurveAccumulator:
+    """Per-bucket run/failure counts for a failure-probability curve."""
+
+    edges: tuple[int, ...]
+    node_type: str | None = None
+    include_launch_failures: bool = False
+    include_unknown: bool = True
+    runs: list[int] = field(default_factory=list)
+    failures: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        buckets = max(len(self.edges) - 1, 0)
+        if not self.runs:
+            self.runs = [0] * buckets
+            self.failures = [0] * buckets
+
+    def add(self, d: DiagnosedRun) -> None:
+        run = d.run
+        if self.node_type is not None and run.node_type != self.node_type:
+            return
+        if run.launch_error and not self.include_launch_failures:
+            return
+        idx = bisect_right(self.edges, run.nodes) - 1
+        if not (0 <= idx < len(self.edges) - 1):
+            return
+        self.runs[idx] += 1
+        outcomes = (_SYSTEM_OUTCOMES if self.include_unknown
+                    else (DiagnosedOutcome.SYSTEM,))
+        if d.outcome in outcomes:
+            self.failures[idx] += 1
+
+    def merge(self, other: "CurveAccumulator") -> None:
+        for i in range(len(self.runs)):
+            self.runs[i] += other.runs[i]
+            self.failures[i] += other.failures[i]
+
+    def finalize(self):
+        from repro.core.scaling import ScalePoint, ScalingCurve
+        from repro.stats.intervals import wilson_interval
+        points = []
+        for i, (lo, hi) in enumerate(zip(self.edges[:-1], self.edges[1:])):
+            n, k = self.runs[i], self.failures[i]
+            p = k / n if n else 0.0
+            ci_low, ci_high = wilson_interval(k, n) if n else (0.0, 0.0)
+            points.append(ScalePoint(scale_lo=lo, scale_hi=hi, runs=n,
+                                     failures=k, probability=p,
+                                     ci_low=ci_low, ci_high=ci_high))
+        return ScalingCurve(
+            node_type=self.node_type or "ALL", points=tuple(points),
+            include_launch_failures=self.include_launch_failures)
+
+
+@dataclass
+class RunAccumulator:
+    """Everything the streamed path aggregates per diagnosed run.
+
+    One instance per shard worker; the parent merges them in shard order
+    (any order would give the same numbers -- see the module docstring).
+    """
+
+    outcomes: OutcomeAccumulator
+    causes: CauseAccumulator
+    waste: WasteAccumulator
+    mtbf_all: MtbfAccumulator
+    mtbf_xe: MtbfAccumulator
+    mtbf_xk: MtbfAccumulator
+    xe_curve: CurveAccumulator
+    xk_curve: CurveAccumulator
+    n_runs: int = 0
+
+    @classmethod
+    def for_config(cls, config: LogDiverConfig) -> "RunAccumulator":
+        return cls(outcomes=OutcomeAccumulator(),
+                   causes=CauseAccumulator(),
+                   waste=WasteAccumulator(),
+                   mtbf_all=MtbfAccumulator(),
+                   mtbf_xe=MtbfAccumulator(node_type="XE"),
+                   mtbf_xk=MtbfAccumulator(node_type="XK"),
+                   xe_curve=CurveAccumulator(edges=config.xe_scale_edges,
+                                             node_type="XE"),
+                   xk_curve=CurveAccumulator(edges=config.xk_scale_edges,
+                                             node_type="XK"))
+
+    def add(self, d: DiagnosedRun) -> None:
+        self.n_runs += 1
+        self.outcomes.add(d)
+        self.causes.add(d)
+        self.waste.add(d)
+        self.mtbf_all.add(d)
+        self.mtbf_xe.add(d)
+        self.mtbf_xk.add(d)
+        self.xe_curve.add(d)
+        self.xk_curve.add(d)
+
+    def merge(self, other: "RunAccumulator") -> None:
+        self.n_runs += other.n_runs
+        self.outcomes.merge(other.outcomes)
+        self.causes.merge(other.causes)
+        self.waste.merge(other.waste)
+        self.mtbf_all.merge(other.mtbf_all)
+        self.mtbf_xe.merge(other.mtbf_xe)
+        self.mtbf_xk.merge(other.mtbf_xk)
+        self.xe_curve.merge(other.xe_curve)
+        self.xk_curve.merge(other.xk_curve)
+
+
+def summary_dict(n_runs: int, breakdown, mtbf_all, xe_curve, xk_curve
+                 ) -> dict[str, float]:
+    """The abstract-comparison summary, shared by both analysis paths.
+
+    The ``*_growth_paper_anchored`` flags say whether the growth factor
+    really compares the paper's extreme buckets (see
+    :meth:`~repro.core.scaling.ScalingCurve.paper_anchored`); the
+    ``*_anchor_*`` keys surface which buckets anchored it.  The
+    validation oracle gates its advisory growth bands on the flags so it
+    only compares like with like.
+    """
+    out = {
+        "runs": float(n_runs),
+        "system_failure_share": breakdown.system_failure_share,
+        "failed_node_hour_share": breakdown.failed_node_hour_share,
+        "xe_curve_growth": xe_curve.growth_factor(),
+        "xk_curve_growth": xk_curve.growth_factor(),
+        "mnbf_node_hours": mtbf_all.mnbf_node_hours,
+    }
+    for prefix, curve in (("xe", xe_curve), ("xk", xk_curve)):
+        anchors = curve.growth_anchors()
+        nan = float("nan")
+        out[f"{prefix}_growth_anchor_lo_nodes"] = (
+            float(anchors[0].scale_lo) if anchors else nan)
+        out[f"{prefix}_growth_anchor_hi_nodes"] = (
+            float(anchors[1].scale_hi) if anchors else nan)
+        out[f"{prefix}_growth_paper_anchored"] = (
+            1.0 if curve.paper_anchored() else 0.0)
+    return out

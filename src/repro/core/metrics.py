@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.merge import CauseAccumulator, OutcomeAccumulator
 from repro.errors import AnalysisError
 from repro.faults.taxonomy import ErrorCategory
 
@@ -62,25 +63,27 @@ class OutcomeBreakdown:
 
 
 def outcome_breakdown(diagnosed: list[DiagnosedRun]) -> OutcomeBreakdown:
-    """Aggregate outcome counts and node-hours."""
+    """Aggregate outcome counts and node-hours.
+
+    Runs through :class:`~repro.core.merge.OutcomeAccumulator` so the
+    in-memory and sharded paths share one (exact node-seconds)
+    arithmetic.
+    """
     if not diagnosed:
         raise AnalysisError("no diagnosed runs to aggregate")
-    counts: dict[DiagnosedOutcome, int] = {}
-    node_hours: dict[DiagnosedOutcome, float] = {}
+    acc = OutcomeAccumulator()
     for d in diagnosed:
-        counts[d.outcome] = counts.get(d.outcome, 0) + 1
-        node_hours[d.outcome] = node_hours.get(d.outcome, 0.0) + d.run.node_hours
-    return OutcomeBreakdown(counts=counts, node_hours=node_hours)
+        acc.add(d)
+    return acc.finalize()
 
 
 def cause_breakdown(diagnosed: list[DiagnosedRun]
                     ) -> dict[ErrorCategory, int]:
     """System failures by diagnosed error category (the T5 table)."""
-    out: dict[ErrorCategory, int] = {}
+    acc = CauseAccumulator()
     for d in diagnosed:
-        if d.outcome is DiagnosedOutcome.SYSTEM and d.category is not None:
-            out[d.category] = out.get(d.category, 0) + 1
-    return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+        acc.add(d)
+    return acc.finalize()
 
 
 def workload_by_app(diagnosed: list[DiagnosedRun]

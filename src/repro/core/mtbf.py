@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.categorize import DiagnosedRun
 from repro.core.filtering import ErrorCluster
+from repro.core.merge import MtbfAccumulator
 from repro.errors import AnalysisError
 from repro.faults.taxonomy import (
     FAILURE_CLASS_CATEGORIES,
@@ -75,14 +76,13 @@ class MtbfReport:
 
 def application_mtbf(diagnosed: list[DiagnosedRun], *,
                      node_type: str | None = None) -> MtbfReport:
-    """Application MTBF/MNBF over (optionally one node type's) runs."""
-    selected = [d for d in diagnosed
-                if node_type is None or d.run.node_type == node_type]
-    failures = sum(1 for d in selected
-                   if d.outcome in (DiagnosedOutcome.SYSTEM,
-                                    DiagnosedOutcome.UNKNOWN))
-    return MtbfReport(
-        total_runs=len(selected),
-        system_failures=failures,
-        execution_hours=sum(d.run.elapsed_s for d in selected) / HOUR,
-        node_hours=sum(d.run.node_hours for d in selected))
+    """Application MTBF/MNBF over (optionally one node type's) runs.
+
+    Runs through :class:`~repro.core.merge.MtbfAccumulator` so the
+    in-memory and sharded paths share one (exact node-seconds)
+    arithmetic.
+    """
+    acc = MtbfAccumulator(node_type=node_type)
+    for d in diagnosed:
+        acc.add(d)
+    return acc.finalize()

@@ -23,6 +23,7 @@ from repro.core.categorize import DiagnosedRun, categorize_runs
 from repro.core.config import LogDiverConfig
 from repro.core.filtering import ErrorCluster, FilterStats, filter_errors
 from repro.core.ingest import ClassifiedError, RunView, assemble_runs, classify_errors
+from repro.core.merge import summary_dict
 from repro.core.metrics import (
     OutcomeBreakdown,
     cause_breakdown,
@@ -33,7 +34,7 @@ from repro.core.scaling import ScalingCurve, failure_probability_curve
 from repro.core.waste import WasteReport, waste_report
 from repro.errors import AnalysisError
 from repro.faults.taxonomy import ErrorCategory
-from repro.logs.bundle import LogBundle
+from repro.logs.bundle import LogBundle, manifest_window
 from repro.logs.quarantine import IngestReport
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
@@ -74,14 +75,8 @@ class Analysis:
 
     def summary(self) -> dict[str, float]:
         """The numbers a reader compares against the paper's abstract."""
-        return {
-            "runs": float(len(self.diagnosed)),
-            "system_failure_share": self.breakdown.system_failure_share,
-            "failed_node_hour_share": self.breakdown.failed_node_hour_share,
-            "xe_curve_growth": self.xe_curve.growth_factor(),
-            "xk_curve_growth": self.xk_curve.growth_factor(),
-            "mnbf_node_hours": self.mtbf_all.mnbf_node_hours,
-        }
+        return summary_dict(len(self.diagnosed), self.breakdown,
+                            self.mtbf_all, self.xe_curve, self.xk_curve)
 
 
 class LogDiver:
@@ -126,9 +121,11 @@ class LogDiver:
             with timer.stage("categorize") as sp:
                 diagnosed = categorize_runs(runs, attributions, config)
                 sp.set_attrs(runs=len(diagnosed))
-            window_lo, window_hi = bundle.manifest.get("window_s",
-                                                       (0.0, 0.0))
-            window = Interval(float(window_lo), float(window_hi))
+            # A manifest without a usable collection window must not
+            # poison MTBF with a zero-length one; fall back to the span
+            # the records themselves cover.
+            window = (manifest_window(bundle.manifest)
+                      or bundle.observed_window())
             registry.counter("logdiver_analyses_total")
             registry.counter("logdiver_clusters_formed_total",
                              len(clusters))

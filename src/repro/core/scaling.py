@@ -51,12 +51,50 @@ class ScalingCurve:
     def nonempty(self) -> list[ScalePoint]:
         return [p for p in self.points if p.runs > 0]
 
-    def growth_factor(self) -> float:
-        """p(top bucket) / p(first nonempty bucket with failures)."""
-        pts = [p for p in self.nonempty() if p.failures > 0]
+    def growth_anchors(self) -> tuple[ScalePoint, ScalePoint] | None:
+        """The buckets the growth factor compares: smallest and largest
+        *populated* buckets (None when fewer than two are populated).
+
+        Anchoring on populated buckets rather than buckets *with
+        failures* matters at the top of the curve: a top bucket with
+        runs but zero observed failures is evidence of low hazard, and
+        silently falling back to a lower bucket would report growth over
+        a different scale range than the one asked about.
+        """
+        pts = self.nonempty()
         if len(pts) < 2:
+            return None
+        return pts[0], pts[-1]
+
+    def growth_factor(self) -> float:
+        """p(largest populated bucket) / p(smallest populated bucket).
+
+        NaN when fewer than two buckets are populated or the low anchor
+        saw no failures (the ratio would be infinite, which is noise,
+        not growth).  :meth:`growth_anchors` says which buckets were
+        compared; :meth:`paper_anchored` says whether they are the
+        configured extremes the paper's 10k->22k / 2k->4224 comparison
+        uses.
+        """
+        anchors = self.growth_anchors()
+        if anchors is None:
             return float("nan")
-        return pts[-1].probability / pts[0].probability
+        lo, hi = anchors
+        if lo.probability <= 0.0:
+            return float("nan")
+        return hi.probability / lo.probability
+
+    def paper_anchored(self) -> bool:
+        """True when the growth factor compares the configured extreme
+        buckets (both populated, low anchor with failures) -- i.e. the
+        measured growth is like-for-like with the paper's."""
+        anchors = self.growth_anchors()
+        if anchors is None or not self.points:
+            return False
+        lo, hi = anchors
+        return (lo.scale_lo == self.points[0].scale_lo
+                and hi.scale_hi == self.points[-1].scale_hi
+                and lo.probability > 0.0)
 
 
 def failure_probability_curve(diagnosed: list[DiagnosedRun],

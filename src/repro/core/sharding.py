@@ -1,0 +1,493 @@
+"""Out-of-core, time-sharded LogDiver: million-run bundles in bounded RAM.
+
+The in-memory path (:class:`~repro.core.pipeline.LogDiver`) materializes
+every record of the bundle at once; at the paper's scale (5M runs, years
+of logs) that working set does not fit.  This module runs the same
+pipeline over *time shards*:
+
+1. the parent plans ``N`` equal time shards over the collection window
+   and makes one cheap binary pass per data file to index each shard's
+   byte range (:func:`repro.logs.bundle.index_bundle_shards`);
+2. phase-1 workers parse only their slice of the error streams,
+   classify, and temporally tuple it; the parent merges per-shard tuples
+   (:func:`~repro.core.filtering.merge_error_tuples` -- exact, because
+   only boundary-abutting tuples can differ from the global pass) and
+   coalesces clusters once, globally;
+3. phase-2 workers parse only their slice of torque/apsys, assemble the
+   runs *contained* in their shard, attribute them against a halo-
+   filtered cluster list, and fold diagnoses into mergeable accumulators
+   (:mod:`repro.core.merge`); start/end records whose partner lies in
+   another shard are exported raw and resolved by the parent;
+4. the parent merges accumulators and finalizes the same report objects
+   the in-memory path builds.
+
+Workers are fanned out through the campaign engine
+(:func:`~repro.campaign.engine.run_campaign`): ``jobs=1`` is a plain
+serial loop over shards, and any worker count produces byte-identical
+results (the accumulators are exact -- see :mod:`repro.core.merge`).
+
+**Halo correctness.**  A cluster can explain a run when it overlaps
+``[start - influence_before_start_s, end]`` (see
+:mod:`repro.core.attribution`).  A run contained in shard ``k`` has
+``start >= lo_k`` and ``end < hi_k``, so the only clusters that matter
+start at or before ``hi_k`` and end no earlier than
+``lo_k - influence_before_start_s - influence_before_end_s``.  Each
+worker receives exactly the clusters passing that test (with a one-
+second slack), carrying *global* cluster ids -- so shard-local
+attribution equals what the global join would have produced.
+
+**What the streamed path does not produce.**  Per-run tables that need
+the full run list (workload-by-app, per-user waste) and the raw
+classified-error list; everything in :meth:`StreamedAnalysis.summary`
+is exact.  One cosmetic difference: a run whose torque ``S`` record
+landed in a different shard falls back to the apsys ``user=`` field --
+no streamed product reads the user, so parity is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+try:
+    import resource
+except ImportError:  # non-POSIX: RSS probes read 0
+    resource = None  # type: ignore[assignment]
+
+from repro.campaign.engine import run_campaign
+from repro.core.attribution import attribute_clusters
+from repro.core.categorize import categorize_runs
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import (
+    ErrorCluster,
+    FilterStats,
+    merge_error_tuples,
+    spatial_coalescing,
+    temporal_tupling,
+)
+from repro.core.ingest import (
+    NodeAnnotator,
+    build_run_view,
+    classify_error_records,
+)
+from repro.core.merge import RunAccumulator, summary_dict
+from repro.core.metrics import OutcomeBreakdown
+from repro.core.mtbf import MtbfReport, system_mtbf_by_category
+from repro.core.scaling import ScalingCurve
+from repro.core.waste import WasteReport
+from repro.errors import AnalysisError
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.alps import parse_alps
+from repro.logs.bundle import (
+    LogBundle,
+    ShardSlice,
+    index_bundle_shards,
+    iter_slice_lines,
+    manifest_window,
+    parse_nodemap_file,
+    read_manifest,
+    sniff_time_range,
+)
+from repro.logs.errorlogs import parse_stream
+from repro.logs.quarantine import IngestReport
+from repro.logs.records import AlpsRecord
+from repro.logs.torque import parse_torque
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
+from repro.util.intervals import Interval
+from repro.util.timeutil import Epoch
+
+__all__ = ["ShardPlan", "plan_shards", "analyze_streamed",
+           "StreamedAnalysis", "rss_probe_unit"]
+
+#: (bundle filename, parser stream name) of the error-bearing streams,
+#: in the order the in-memory reader concatenates them.
+_ERROR_STREAMS = (("syslog.log", "syslog"), ("hwerr.log", "hwerrlog"),
+                  ("console.log", "console"))
+_RUN_FILES = ("torque.log", "apsys.log")
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KB (monotonic; 0 where unavailable).
+
+    Prefers the kernel's own high-water mark (``VmHWM`` in
+    ``/proc/self/status``): some kernels carry ``ru_maxrss`` across
+    ``exec``, which would make every fresh spawn worker report its
+    *parent's* peak and flatten the streamed-vs-in-memory comparison.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+# -- planning -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Time boundaries plus the per-file byte index of every shard."""
+
+    boundaries: tuple[float, ...]
+    slices: dict[str, tuple[ShardSlice, ...]]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.boundaries) - 1
+
+
+def plan_shards(directory: str | Path, shards: int, *,
+                manifest: dict, epoch: Epoch) -> ShardPlan:
+    """Equal time shards over the collection window, byte-indexed.
+
+    The window comes from the manifest when it carries a usable one,
+    else from a timestamp-sniffing pass over the data files (boundary
+    *placement* never affects results -- only how evenly work splits).
+    """
+    if shards < 1:
+        raise AnalysisError(f"shards must be >= 1, got {shards}")
+    window = manifest_window(manifest)
+    if window is not None:
+        lo, hi = window.start, window.end
+    else:
+        sniffed = sniff_time_range(directory, epoch=epoch)
+        lo, hi = sniffed if sniffed is not None else (0.0, 0.0)
+    step = (hi - lo) / shards if hi > lo else 0.0
+    boundaries = tuple(lo + i * step for i in range(shards)) + (hi,)
+    return ShardPlan(boundaries=boundaries,
+                     slices=index_bundle_shards(directory, boundaries,
+                                                epoch=epoch))
+
+
+def _halo_clusters(clusters: list[ErrorCluster], lo: float, hi: float,
+                   config: LogDiverConfig) -> list[ErrorCluster]:
+    """Clusters that could explain a run contained in ``[lo, hi)``."""
+    reach = (config.influence_before_start_s
+             + config.influence_before_end_s + 1.0)
+    return [c for c in clusters
+            if c.start_s <= hi + 1.0 and c.end_s >= lo - reach]
+
+
+def _observed(times: "list[float]") -> tuple[float, float] | None:
+    if not times:
+        return None
+    return min(times), max(times)
+
+
+def _merge_observed(parts: list[tuple[float, float] | None]) -> Interval:
+    lo, hi = float("inf"), float("-inf")
+    for part in parts:
+        if part is None:
+            continue
+        lo = min(lo, part[0])
+        hi = max(hi, part[1])
+    if lo > hi:
+        return Interval(0.0, 0.0)
+    return Interval(lo, hi)
+
+
+# -- shard workers (module-level: spawn workers pickle them) ------------------
+
+
+def _classify_shard_unit(*, directory: str, shard: int,
+                         slices: dict[str, ShardSlice], strict: bool,
+                         tupling_window_s: float) -> dict[str, Any]:
+    """Phase 1: parse + classify + tuple one shard's error streams."""
+    path = Path(directory)
+    _, epoch = read_manifest(path)
+    report = IngestReport()
+    with span("shard_classify", shard=shard) as sp:
+        records = []
+        for filename, source in _ERROR_STREAMS:
+            sl = slices.get(filename)
+            if sl is None:
+                continue
+            records.extend(parse_stream(
+                source, iter_slice_lines(path / filename, sl), epoch,
+                strict=strict, report=report, first_lineno=sl.lineno_lo))
+        records.sort(key=lambda r: r.time_s)
+        classified, unclassified = classify_error_records(records)
+        tuples = temporal_tupling(classified, tupling_window_s)
+        sp.set_attrs(records=len(records), classified=len(classified),
+                     tuples=len(tuples), peak_rss_kb=_peak_rss_kb())
+    return {"shard": shard, "tuples": tuples,
+            "classified": len(classified), "unclassified": unclassified,
+            "report": report,
+            "observed": _observed([r.time_s for r in records]),
+            "peak_rss_kb": _peak_rss_kb()}
+
+
+def _diagnose_shard_unit(*, directory: str, shard: int,
+                         slices: dict[str, ShardSlice], strict: bool,
+                         config: LogDiverConfig,
+                         clusters: list[ErrorCluster]) -> dict[str, Any]:
+    """Phase 2: assemble, attribute, and diagnose one shard's runs.
+
+    ``clusters`` is the halo-filtered global cluster list (global ids).
+    Start/end records whose partner lies outside the shard are returned
+    raw for the parent to pair across shards.
+    """
+    path = Path(directory)
+    manifest, epoch = read_manifest(path)
+    report = IngestReport()
+    with span("shard_diagnose", shard=shard) as sp:
+        torque_records = []
+        sl = slices.get("torque.log")
+        if sl is not None:
+            torque_records = list(parse_torque(
+                iter_slice_lines(path / "torque.log", sl), epoch,
+                strict=strict, report=report, first_lineno=sl.lineno_lo))
+        alps_records = []
+        sl = slices.get("apsys.log")
+        if sl is not None:
+            alps_records = list(parse_alps(
+                iter_slice_lines(path / "apsys.log", sl), epoch,
+                strict=strict, report=report, first_lineno=sl.lineno_lo))
+        user_by_job = {t.job_id: t.user for t in torque_records}
+        # The parent tallies the nodemap on the merged report exactly
+        # once; workers parse it silently.
+        nodemap = parse_nodemap_file(path, strict=strict, report=None)
+        annotator = NodeAnnotator(nodemap)
+
+        starts: dict[int, AlpsRecord] = {}
+        contained = []
+        open_ends: list[AlpsRecord] = []
+        for record in alps_records:
+            if record.kind == "start":
+                starts[record.apid] = record
+            elif record.kind == "error":
+                contained.append(build_run_view(record, None, user_by_job,
+                                                annotator))
+            elif record.kind == "end":
+                start = starts.pop(record.apid, None)
+                if start is None:
+                    open_ends.append(record)
+                else:
+                    contained.append(build_run_view(record, start,
+                                                    user_by_job, annotator))
+        open_starts = list(starts.values())
+        contained.sort(key=lambda r: (r.start_s, r.apid))
+
+        shell = LogBundle(directory=path, epoch=epoch, manifest=manifest,
+                          nodemap=nodemap)
+        attributions = attribute_clusters(contained, clusters, shell, config)
+        joins = sum(len(v) for v in attributions.values())
+        acc = RunAccumulator.for_config(config)
+        for diagnosed in categorize_runs(contained, attributions, config):
+            acc.add(diagnosed)
+        times = [r.time_s for r in torque_records]
+        times.extend(r.time_s for r in alps_records)
+        sp.set_attrs(runs=len(contained), joins=joins,
+                     boundary_starts=len(open_starts),
+                     boundary_ends=len(open_ends),
+                     peak_rss_kb=_peak_rss_kb())
+    return {"shard": shard, "acc": acc, "open_starts": open_starts,
+            "open_ends": open_ends, "report": report,
+            "observed": _observed(times), "n_runs": len(contained),
+            "joins": joins, "peak_rss_kb": _peak_rss_kb()}
+
+
+# -- the streamed analysis ----------------------------------------------------
+
+
+@dataclass
+class StreamedAnalysis:
+    """The sharded path's products (duck-typed for the report renderers
+    except the per-run tables -- see the module docstring)."""
+
+    config: LogDiverConfig
+    window: Interval
+    ingest: IngestReport
+    shards: int
+    n_runs: int
+    #: Runs whose start and end records fell in different shards
+    #: (resolved by the parent).
+    boundary_runs: int
+    unclassified_records: int
+    clusters: list[ErrorCluster]
+    filter_stats: FilterStats
+    breakdown: OutcomeBreakdown
+    causes: dict[ErrorCategory, int]
+    waste: WasteReport
+    mtbf_all: MtbfReport
+    mtbf_xe: MtbfReport
+    mtbf_xk: MtbfReport
+    system_mtbf_h: dict[ErrorCategory, float]
+    xe_curve: ScalingCurve
+    xk_curve: ScalingCurve
+    #: Max peak RSS (KB) across the parent and every shard worker.
+    peak_rss_kb: int
+
+    def summary(self) -> dict[str, float]:
+        """Identical keys and values to :meth:`Analysis.summary`."""
+        return summary_dict(self.n_runs, self.breakdown, self.mtbf_all,
+                            self.xe_curve, self.xk_curve)
+
+
+def analyze_streamed(directory: str | Path, *, shards: int = 8,
+                     jobs: int | None = None, strict: bool = True,
+                     config: LogDiverConfig | None = None
+                     ) -> StreamedAnalysis:
+    """Run the full LogDiver pipeline without materializing the bundle.
+
+    Produces the same headline numbers as
+    ``LogDiver(config).analyze(read_bundle(directory))`` -- the parity
+    tests assert byte-identical summaries -- while holding only one
+    shard's records (plus tuples, clusters, and accumulators) in memory
+    at a time.  ``jobs`` fans shards out through the campaign engine.
+    """
+    directory = Path(directory)
+    config = config or LogDiverConfig()
+    registry = get_registry()
+    with span("analyze_streamed", shards=shards) as top:
+        manifest, epoch = read_manifest(directory)
+        plan = plan_shards(directory, shards, manifest=manifest, epoch=epoch)
+
+        error_files = tuple(f for f, _ in _ERROR_STREAMS)
+        units = [dict(directory=str(directory), shard=k,
+                      slices={f: plan.slices[f][k] for f in error_files
+                              if f in plan.slices},
+                      strict=strict,
+                      tupling_window_s=config.tupling_window_s)
+                 for k in range(plan.n_shards)]
+        phase1 = run_campaign(_classify_shard_unit, units, jobs=jobs)
+
+        tuples = merge_error_tuples([r["tuples"] for r in phase1],
+                                    config.tupling_window_s)
+        clusters = spatial_coalescing(tuples, config.spatial_window_s)
+        filter_stats = FilterStats(
+            raw_records=sum(r["classified"] for r in phase1),
+            tuples=len(tuples), clusters=len(clusters))
+        unclassified = sum(r["unclassified"] for r in phase1)
+
+        units = []
+        for k in range(plan.n_shards):
+            lo = float("-inf") if k == 0 else plan.boundaries[k]
+            hi = (float("inf") if k == plan.n_shards - 1
+                  else plan.boundaries[k + 1])
+            units.append(dict(
+                directory=str(directory), shard=k,
+                slices={f: plan.slices[f][k] for f in _RUN_FILES
+                        if f in plan.slices},
+                strict=strict, config=config,
+                clusters=_halo_clusters(clusters, lo, hi, config)))
+        phase2 = run_campaign(_diagnose_shard_unit, units, jobs=jobs)
+
+        report = IngestReport()
+        for result in phase1:
+            report.merge(result["report"])
+        for result in phase2:
+            report.merge(result["report"])
+        nodemap = parse_nodemap_file(directory, strict=strict, report=report)
+
+        # Pair boundary-crossing runs across shards, in shard order --
+        # the same record order the in-memory assembler sees, so the
+        # unpaired/censored tallies match it exactly.
+        carried: dict[int, AlpsRecord] = {}
+        pairs: list[tuple[AlpsRecord, AlpsRecord | None]] = []
+        for result in phase2:
+            for end in result["open_ends"]:
+                start = carried.pop(end.apid, None)
+                if start is None:
+                    report.record_unpaired_end()
+                pairs.append((end, start))
+            for start in result["open_starts"]:
+                carried[start.apid] = start
+        if carried:
+            report.record_censored_start(len(carried))
+
+        annotator = NodeAnnotator(nodemap)
+        boundary_runs = [build_run_view(end, start, {}, annotator)
+                         for end, start in pairs]
+        boundary_runs.sort(key=lambda r: (r.start_s, r.apid))
+        n_runs = sum(r["n_runs"] for r in phase2) + len(boundary_runs)
+        if not n_runs:
+            raise AnalysisError("bundle contains no application runs")
+
+        shell = LogBundle(directory=directory, epoch=epoch,
+                          manifest=manifest, nodemap=nodemap)
+        battr = attribute_clusters(boundary_runs, clusters, shell, config)
+        joins = (sum(r["joins"] for r in phase2)
+                 + sum(len(v) for v in battr.values()))
+        acc = RunAccumulator.for_config(config)
+        for result in phase2:
+            acc.merge(result["acc"])
+        for diagnosed in categorize_runs(boundary_runs, battr, config):
+            acc.add(diagnosed)
+
+        window = (manifest_window(manifest)
+                  or _merge_observed([r["observed"] for r in phase1]
+                                     + [r["observed"] for r in phase2]))
+
+        # Mirror the in-memory path's telemetry counters.
+        for stream, count in sorted(report.parsed.items()):
+            registry.counter("ingest_records_parsed_total", count,
+                             stream=stream)
+        for key, count in sorted(report.defects.items()):
+            stream, _, defect = key.partition(":")
+            registry.counter("ingest_records_quarantined_total", count,
+                             stream=stream, defect=defect)
+        registry.counter("logdiver_analyses_total")
+        registry.counter("logdiver_clusters_formed_total", len(clusters))
+        registry.counter("logdiver_attribution_joins_total", joins)
+        registry.counter("logdiver_unclassified_records_total", unclassified)
+        for outcome, count in sorted(acc.outcomes.counts.items()):
+            registry.counter("logdiver_runs_classified_total", count,
+                             outcome=outcome)
+
+        peak_rss_kb = max([_peak_rss_kb()]
+                          + [r["peak_rss_kb"] for r in phase1]
+                          + [r["peak_rss_kb"] for r in phase2])
+        top.set_attrs(runs=n_runs, clusters=len(clusters),
+                      boundary_runs=len(boundary_runs),
+                      peak_rss_kb=peak_rss_kb)
+        return StreamedAnalysis(
+            config=config,
+            window=window,
+            ingest=report,
+            shards=plan.n_shards,
+            n_runs=n_runs,
+            boundary_runs=len(boundary_runs),
+            unclassified_records=unclassified,
+            clusters=clusters,
+            filter_stats=filter_stats,
+            breakdown=acc.outcomes.finalize(),
+            causes=acc.causes.finalize(),
+            waste=acc.waste.finalize(),
+            mtbf_all=acc.mtbf_all.finalize(),
+            mtbf_xe=acc.mtbf_xe.finalize(),
+            mtbf_xk=acc.mtbf_xk.finalize(),
+            system_mtbf_h=system_mtbf_by_category(clusters, window),
+            xe_curve=acc.xe_curve.finalize(),
+            xk_curve=acc.xk_curve.finalize(),
+            peak_rss_kb=peak_rss_kb)
+
+
+def rss_probe_unit(*, directory: str, mode: str, shards: int = 8,
+                   strict: bool = True) -> dict[str, Any]:
+    """One analysis pass plus its peak RSS, for memory comparisons.
+
+    Module-level so the perf benchmark and the CI memory-budget smoke
+    can run each mode in a *fresh spawn worker* -- ``ru_maxrss`` is
+    monotonic per process, so in-memory and streamed passes measured in
+    the same process would shadow each other.
+    """
+    if mode == "stream":
+        summary = analyze_streamed(directory, shards=shards, jobs=1,
+                                   strict=strict).summary()
+    elif mode == "memory":
+        from repro.core.pipeline import LogDiver
+        from repro.logs.bundle import read_bundle
+        bundle = read_bundle(directory, strict=strict)
+        summary = LogDiver().analyze(bundle).summary()
+    else:
+        raise ValueError(f"unknown rss probe mode {mode!r}")
+    return {"mode": mode, "summary": summary,
+            "peak_rss_kb": _peak_rss_kb()}

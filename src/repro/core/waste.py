@@ -14,8 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
+from repro.core.merge import WasteAccumulator
 from repro.errors import AnalysisError
-from repro.machine.nodetypes import NODE_SPECS, NodeType
 
 __all__ = ["WasteReport", "waste_report", "lost_node_hours_distribution"]
 
@@ -45,34 +45,19 @@ class WasteReport:
         return self.system_failed_node_hours / self.total_node_hours
 
 
-def _power_kw(node_type: str) -> float:
-    try:
-        return NODE_SPECS[NodeType(node_type)].power_watts / 1000.0
-    except ValueError:
-        return NODE_SPECS[NodeType.XE].power_watts / 1000.0
-
-
 def waste_report(diagnosed: list[DiagnosedRun]) -> WasteReport:
-    """Lost node-hours and energy across all diagnosed runs."""
+    """Lost node-hours and energy across all diagnosed runs.
+
+    Runs through :class:`~repro.core.merge.WasteAccumulator` so the
+    in-memory and sharded paths share one (exact node-seconds)
+    arithmetic.
+    """
     if not diagnosed:
         raise AnalysisError("no diagnosed runs")
-    total = failed = system_failed = energy = 0.0
-    failed_runs = system_failed_runs = 0
+    acc = WasteAccumulator()
     for d in diagnosed:
-        nh = d.run.node_hours
-        total += nh
-        if d.outcome.is_failure:
-            failed += nh
-            failed_runs += 1
-            energy += nh * _power_kw(d.run.node_type)
-        if d.outcome in (DiagnosedOutcome.SYSTEM, DiagnosedOutcome.UNKNOWN):
-            system_failed += nh
-            system_failed_runs += 1
-    return WasteReport(total_node_hours=total, failed_node_hours=failed,
-                       system_failed_node_hours=system_failed,
-                       failed_runs=failed_runs,
-                       system_failed_runs=system_failed_runs,
-                       energy_mwh_failed=energy / 1000.0)
+        acc.add(d)
+    return acc.finalize()
 
 
 def lost_node_hours_distribution(diagnosed: list[DiagnosedRun], *,

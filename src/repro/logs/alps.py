@@ -119,8 +119,9 @@ def parse_alps_line(line: str, epoch: Epoch) -> AlpsRecord:
 
 def parse_alps(lines: Iterable[str], epoch: Epoch,
                *, strict: bool = True,
-               report: IngestReport | None = None) -> Iterator[AlpsRecord]:
-    for lineno, line in enumerate(lines, start=1):
+               report: IngestReport | None = None,
+               first_lineno: int = 1) -> Iterator[AlpsRecord]:
+    for lineno, line in enumerate(lines, start=first_lineno):
         line = line.rstrip("\n")
         if not line.strip():
             continue

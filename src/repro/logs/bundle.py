@@ -21,6 +21,7 @@ import json
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
+from typing import Iterator
 
 from repro.errors import LogFormatError, ParseError
 from repro.faults.propagation import PropagationModel, Symptom
@@ -33,13 +34,21 @@ from repro.logs.torque import parse_torque, torque_job_lines
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
 from repro.sim.cluster import SimulationResult
+from repro.util.intervals import Interval
 from repro.util.rngs import RngFactory
 from repro.util.timeutil import Epoch
 
-__all__ = ["LogBundle", "write_bundle", "read_bundle", "BUNDLE_FILES"]
+__all__ = ["LogBundle", "write_bundle", "read_bundle", "read_manifest",
+           "manifest_window", "parse_nodemap_file", "BUNDLE_FILES",
+           "DATA_FILES", "ShardSlice", "index_bundle_shards",
+           "iter_slice_lines", "sniff_time_range"]
 
 BUNDLE_FILES = ("syslog.log", "hwerr.log", "console.log",
                 "torque.log", "apsys.log", "nodemap.txt", "manifest.json")
+
+#: The record-bearing (time-stamped) bundle files, shardable by time.
+DATA_FILES = ("syslog.log", "hwerr.log", "console.log",
+              "torque.log", "apsys.log")
 
 _STREAM_FILES = {LogSource.SYSLOG: "syslog.log",
                  LogSource.HWERR: "hwerr.log",
@@ -69,6 +78,27 @@ class LogBundle:
             "alps_records": len(self.alps_records),
             "nodes": len(self.nodemap),
         }
+
+    def observed_window(self) -> Interval:
+        """Span of all parsed record timestamps.
+
+        The fallback observation window for bundles whose manifest lacks
+        (or carries a degenerate) ``window_s`` -- real collections often
+        have no documented window, and MTBF needs *some* positive-length
+        one.
+        """
+        lo = float("inf")
+        hi = float("-inf")
+        for records in (self.error_records, self.torque_records,
+                        self.alps_records):
+            for record in records:
+                if record.time_s < lo:
+                    lo = record.time_s
+                if record.time_s > hi:
+                    hi = record.time_s
+        if lo > hi:
+            return Interval(0.0, 0.0)
+        return Interval(lo, hi)
 
 
 def _route_symptoms(symptoms: list[Symptom]) -> dict[str, list[Symptom]]:
@@ -195,7 +225,12 @@ def read_bundle(directory: str | Path, *, strict: bool = True) -> LogBundle:
         return bundle
 
 
-def _parse_bundle(directory: str | Path, strict: bool) -> LogBundle:
+def read_manifest(directory: str | Path) -> tuple[dict, Epoch]:
+    """Parse a bundle's manifest.json into (manifest, epoch).
+
+    The manifest is tiny, hand-curated metadata: there is no meaningful
+    partial recovery, so even lenient ingest fails fast here.
+    """
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
@@ -207,13 +242,65 @@ def _parse_bundle(directory: str | Path, strict: bool) -> LogBundle:
     except ParseError:
         raise
     except (ValueError, KeyError, TypeError) as bad:
-        # The manifest is tiny, hand-curated metadata: there is no
-        # meaningful partial recovery, so even lenient mode fails here.
         raise LogFormatError(f"bad manifest.json: {bad}",
                              source="manifest") from bad
     if epoch.start.tzinfo is None:
         epoch = Epoch(start=epoch.start.replace(tzinfo=timezone.utc))
+    return manifest, epoch
 
+
+def manifest_window(manifest: dict) -> Interval | None:
+    """The manifest's collection window, if present and positive-length.
+
+    Field collections often ship without a documented window (or with a
+    degenerate one); callers fall back to the observed record span --
+    see :meth:`LogBundle.observed_window`.
+    """
+    raw = manifest.get("window_s")
+    if raw is None:
+        return None
+    try:
+        lo, hi = float(raw[0]), float(raw[1])
+    except (TypeError, ValueError, IndexError):
+        return None
+    if hi <= lo:
+        return None
+    return Interval(lo, hi)
+
+
+def parse_nodemap_file(directory: str | Path, *, strict: bool = True,
+                       report: IngestReport | None = None
+                       ) -> dict[int, tuple[str, str, int]]:
+    """Parse nodemap.txt (if present) into the nid -> info dict."""
+    nodemap: dict[int, tuple[str, str, int]] = {}
+    nodemap_path = Path(directory) / "nodemap.txt"
+    if not nodemap_path.exists():
+        return nodemap
+    with open(nodemap_path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                nid, info = _parse_nodemap_line(line)
+            except LogFormatError as bad:
+                if strict:
+                    raise LogFormatError(
+                        f"bad nodemap line: {bad}", source="nodemap",
+                        lineno=lineno, line=line,
+                        defect=bad.defect) from bad
+                if report is not None:
+                    report.record_quarantined("nodemap", lineno,
+                                              line.rstrip("\n"), bad)
+                continue
+            if report is not None:
+                report.record_parsed("nodemap")
+            nodemap[nid] = info
+    return nodemap
+
+
+def _parse_bundle(directory: str | Path, strict: bool) -> LogBundle:
+    directory = Path(directory)
+    manifest, epoch = read_manifest(directory)
     report = IngestReport()
     bundle = LogBundle(directory=directory, epoch=epoch, manifest=manifest,
                        ingest_report=report)
@@ -237,24 +324,164 @@ def _parse_bundle(directory: str | Path, strict: bool) -> LogBundle:
         with open(alps_path) as handle:
             bundle.alps_records.extend(
                 parse_alps(handle, epoch, strict=strict, report=report))
-    nodemap_path = directory / "nodemap.txt"
-    if nodemap_path.exists():
-        with open(nodemap_path) as handle:
-            for lineno, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    nid, info = _parse_nodemap_line(line)
-                except LogFormatError as bad:
-                    if strict:
-                        raise LogFormatError(
-                            f"bad nodemap line: {bad}", source="nodemap",
-                            lineno=lineno, line=line,
-                            defect=bad.defect) from bad
-                    report.record_quarantined("nodemap", lineno,
-                                              line.rstrip("\n"), bad)
-                    continue
-                report.record_parsed("nodemap")
-                bundle.nodemap[nid] = info
+    bundle.nodemap = parse_nodemap_file(directory, strict=strict,
+                                        report=report)
     bundle.error_records.sort(key=lambda r: r.time_s)
     return bundle
+
+
+# -- time-sharded (out-of-core) reading ---------------------------------------
+#
+# The streamed analysis path (repro.core.sharding) never materializes a
+# whole bundle.  Instead the parent makes one cheap binary pass per data
+# file, *sniffing* only each line's leading timestamp, and records the
+# byte range (plus starting line number) of every time shard.  Workers
+# then seek to their slice and parse just those lines with the ordinary
+# parsers.  Slices are defined by byte ownership of whole lines: lines
+# whose timestamp cannot be sniffed stay with the shard being built, so
+# every byte of the file belongs to exactly one shard and nothing is
+# read twice or dropped.
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's byte range of one bundle file (whole lines)."""
+
+    byte_lo: int
+    byte_hi: int
+    #: 1-based line number of the first line in the slice, so sharded
+    #: parsing reports the same line numbers a whole-file parse would.
+    lineno_lo: int
+
+    @property
+    def n_bytes(self) -> int:
+        return self.byte_hi - self.byte_lo
+
+
+def _sniff_syslog(text: str, epoch: Epoch) -> float:
+    return epoch.parse_syslog(text[:15])
+
+
+def _sniff_iso(text: str, epoch: Epoch) -> float:
+    return epoch.parse_iso(text[:19])
+
+
+def _sniff_console(text: str, epoch: Epoch) -> float:
+    moment = datetime.strptime(text[1:20], "%Y-%m-%d %H:%M:%S")
+    return epoch.to_seconds(moment.replace(tzinfo=timezone.utc))
+
+
+def _sniff_torque(text: str, epoch: Epoch) -> float:
+    return epoch.parse_torque(text[:19])
+
+
+_SNIFFERS = {"syslog.log": _sniff_syslog, "hwerr.log": _sniff_iso,
+             "console.log": _sniff_console, "torque.log": _sniff_torque,
+             "apsys.log": _sniff_iso}
+
+
+def _sniff_time(filename: str, text: str, epoch: Epoch) -> float | None:
+    """The line's leading timestamp in simulation seconds, or None."""
+    if not text.strip():
+        return None
+    try:
+        return _SNIFFERS[filename](text, epoch)
+    except ValueError:
+        return None
+
+
+def index_bundle_shards(directory: str | Path,
+                        boundaries: tuple[float, ...], *,
+                        epoch: Epoch) -> dict[str, tuple[ShardSlice, ...]]:
+    """Byte/line shard index for every data file present in the bundle.
+
+    ``boundaries`` has ``shards + 1`` ascending entries; shard ``k``
+    owns records with time in ``[boundaries[k], boundaries[k+1])``
+    except the last shard, which also owns everything at or beyond its
+    upper boundary (so late stragglers are never dropped).  Files must
+    be time-sorted -- which every bundle this repo writes is; see the
+    module comment for what happens to unsniffable lines.
+    """
+    directory = Path(directory)
+    slices: dict[str, tuple[ShardSlice, ...]] = {}
+    with span("index_shards", shards=len(boundaries) - 1) as sp:
+        total_bytes = 0
+        for filename in DATA_FILES:
+            path = directory / filename
+            if not path.exists():
+                continue
+            slices[filename] = _index_file(path, filename, boundaries, epoch)
+            total_bytes += slices[filename][-1].byte_hi
+        sp.set_attrs(files=len(slices), indexed_bytes=total_bytes)
+    return slices
+
+
+def _index_file(path: Path, filename: str, boundaries: tuple[float, ...],
+                epoch: Epoch) -> tuple[ShardSlice, ...]:
+    n_shards = len(boundaries) - 1
+    out: list[ShardSlice] = []
+    shard = 0
+    offset = 0
+    lineno = 1
+    lo_byte, lo_line = 0, 1
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if shard < n_shards - 1:
+                text = raw.decode("utf-8", errors="replace")
+                t = _sniff_time(filename, text, epoch)
+                if t is not None:
+                    while shard < n_shards - 1 and t >= boundaries[shard + 1]:
+                        out.append(ShardSlice(lo_byte, offset, lo_line))
+                        shard += 1
+                        lo_byte, lo_line = offset, lineno
+            offset += len(raw)
+            lineno += 1
+    out.append(ShardSlice(lo_byte, offset, lo_line))
+    while len(out) < n_shards:
+        out.append(ShardSlice(offset, offset, lineno))
+    return tuple(out)
+
+
+def iter_slice_lines(path: str | Path, sl: ShardSlice) -> Iterator[str]:
+    """Yield the decoded lines of one shard slice (seek + bounded read)."""
+    if sl.byte_hi <= sl.byte_lo:
+        return
+    with open(path, "rb") as handle:
+        handle.seek(sl.byte_lo)
+        remaining = sl.n_bytes
+        while remaining > 0:
+            raw = handle.readline()
+            if not raw:
+                break
+            remaining -= len(raw)
+            yield raw.decode("utf-8", errors="replace").rstrip("\n")
+
+
+def sniff_time_range(directory: str | Path, *,
+                     epoch: Epoch) -> tuple[float, float] | None:
+    """(min, max) sniffable record time across the data files, or None.
+
+    Used to plan shard boundaries for bundles whose manifest lacks a
+    usable ``window_s`` -- the streamed analog of
+    :meth:`LogBundle.observed_window`.
+    """
+    lo = float("inf")
+    hi = float("-inf")
+    directory = Path(directory)
+    for filename in DATA_FILES:
+        path = directory / filename
+        if not path.exists():
+            continue
+        with open(path, "rb") as handle:
+            for raw in handle:
+                t = _sniff_time(filename,
+                                raw.decode("utf-8", errors="replace"), epoch)
+                if t is None:
+                    continue
+                if t < lo:
+                    lo = t
+                if t > hi:
+                    hi = t
+    if lo > hi:
+        return None
+    return lo, hi

@@ -140,20 +140,22 @@ def write_stream(source: str, symptoms: Iterable[Symptom],
 
 def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
                  *, strict: bool = True,
-                 report: IngestReport | None = None
-                 ) -> Iterator[ErrorLogRecord]:
+                 report: IngestReport | None = None,
+                 first_lineno: int = 1) -> Iterator[ErrorLogRecord]:
     """Parse one stream's lines.
 
     ``strict=False`` quarantines unparseable lines instead of raising --
     real pipelines must tolerate corrupt log text.  Pass an
     :class:`~repro.logs.quarantine.IngestReport` to account for what was
-    kept and what was dropped (and why).
+    kept and what was dropped (and why).  ``first_lineno`` is the file
+    line number of the first element of ``lines`` -- shard workers parse
+    a byte slice of the file but must report true line numbers.
     """
     try:
         parser = _PARSERS[source]
     except KeyError:
         raise LogFormatError(f"unknown error-log stream {source!r}") from None
-    for lineno, line in enumerate(lines, start=1):
+    for lineno, line in enumerate(lines, start=first_lineno):
         line = line.rstrip("\n")
         if not line.strip():
             continue

@@ -49,6 +49,13 @@ class IngestReport:
     defects: dict[str, int] = field(default_factory=dict)
     #: First few quarantined lines, capped at a small sample.
     samples: list[QuarantinedLine] = field(default_factory=list)
+    #: apsys ends with no start record (collection window truncated the
+    #: start): the run is kept with zero elapsed, so its node-hours are
+    #: under-counted -- this tally is the honesty marker for that.
+    unpaired_end_runs: int = 0
+    #: apsys starts with no end record by collection close: still
+    #: running (censored); the paper excludes them and so do we.
+    censored_start_runs: int = 0
 
     @property
     def total_parsed(self) -> int:
@@ -77,8 +84,16 @@ class IngestReport:
                 source=source, lineno=lineno, defect=error.defect,
                 reason=str(error), line=line))
 
+    def record_unpaired_end(self, count: int = 1) -> None:
+        self.unpaired_end_runs += count
+
+    def record_censored_start(self, count: int = 1) -> None:
+        self.censored_start_runs += count
+
     def merge(self, other: "IngestReport") -> None:
         """Fold another report's counts into this one."""
+        self.unpaired_end_runs += other.unpaired_end_runs
+        self.censored_start_runs += other.censored_start_runs
         for source, count in other.parsed.items():
             self.record_parsed(source, count)
         for source, count in other.quarantined.items():
@@ -97,16 +112,26 @@ class IngestReport:
             "defects": dict(sorted(self.defects.items())),
             "total_parsed": self.total_parsed,
             "total_quarantined": self.total_quarantined,
+            "unpaired_end_runs": self.unpaired_end_runs,
+            "censored_start_runs": self.censored_start_runs,
         }
 
     def render(self) -> str:
         """Short human-readable summary."""
         if not self.total_quarantined:
-            return (f"ingest: {self.total_parsed} records parsed, "
-                    f"0 quarantined")
-        lines = [f"ingest: {self.total_parsed} records parsed, "
-                 f"{self.total_quarantined} quarantined "
-                 f"({100 * self.quarantine_share:.2f}%)"]
-        for key, count in sorted(self.defects.items()):
-            lines.append(f"  {key}: {count}")
+            lines = [f"ingest: {self.total_parsed} records parsed, "
+                     f"0 quarantined"]
+        else:
+            lines = [f"ingest: {self.total_parsed} records parsed, "
+                     f"{self.total_quarantined} quarantined "
+                     f"({100 * self.quarantine_share:.2f}%)"]
+            for key, count in sorted(self.defects.items()):
+                lines.append(f"  {key}: {count}")
+        if self.unpaired_end_runs:
+            lines.append(f"  runs: {self.unpaired_end_runs} end-without-"
+                         f"start (kept with zero elapsed; node-hours "
+                         f"under-counted)")
+        if self.censored_start_runs:
+            lines.append(f"  runs: {self.censored_start_runs} "
+                         f"start-without-end (censored; excluded)")
         return "\n".join(lines)

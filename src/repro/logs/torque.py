@@ -125,9 +125,9 @@ def parse_torque_line(line: str, epoch: Epoch) -> TorqueRecord:
 
 def parse_torque(lines: Iterable[str], epoch: Epoch,
                  *, strict: bool = True,
-                 report: IngestReport | None = None
-                 ) -> Iterator[TorqueRecord]:
-    for lineno, line in enumerate(lines, start=1):
+                 report: IngestReport | None = None,
+                 first_lineno: int = 1) -> Iterator[TorqueRecord]:
+    for lineno, line in enumerate(lines, start=first_lineno):
         line = line.rstrip("\n")
         if not line.strip():
             continue

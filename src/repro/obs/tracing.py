@@ -32,11 +32,16 @@ except ImportError:  # non-POSIX: spans still trace, memory reads as 0
     resource = None  # type: ignore[assignment]
 
 __all__ = ["Span", "Tracer", "span", "tracing", "current_tracer",
-           "normalized_events", "MEASUREMENT_KEYS"]
+           "normalized_events", "MEASUREMENT_KEYS", "MEASUREMENT_ATTRS"]
 
 #: Event fields that carry measurements (vary run to run); everything
 #: else -- names, nesting, order, attributes -- must be deterministic.
 MEASUREMENT_KEYS = ("t_start_s", "duration_s", "rss_peak_kb")
+
+#: Span *attribute* names that carry measurements (the sharded-analysis
+#: spans attach per-worker peak RSS); stripped alongside the event
+#: fields so the determinism contract covers them too.
+MEASUREMENT_ATTRS = ("peak_rss_kb",)
 
 
 def _rss_peak_kb() -> int:
@@ -213,8 +218,15 @@ def normalized_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
     What remains (names, nesting, order, attributes) is the
     deterministic skeleton two runs of the same scenario must share.
     """
-    return [{k: v for k, v in event.items() if k not in MEASUREMENT_KEYS}
-            for event in events]
+    normalized = []
+    for event in events:
+        slim = {k: v for k, v in event.items() if k not in MEASUREMENT_KEYS}
+        attrs = slim.get("attrs")
+        if attrs and any(k in attrs for k in MEASUREMENT_ATTRS):
+            slim["attrs"] = {k: v for k, v in attrs.items()
+                             if k not in MEASUREMENT_ATTRS}
+        normalized.append(slim)
+    return normalized
 
 
 #: Innermost-first stack of active tracers (plain stack, not a

@@ -37,16 +37,27 @@ class OracleBand:
     hi: float
     required: bool
     description: str
+    #: Optional summary key acting as a validity flag: when present in
+    #: the summary with a value below 0.5, the band is *gated* -- not
+    #: comparable on this run, counted neither pass nor fail.  The
+    #: growth bands use the ``*_growth_paper_anchored`` flags so a curve
+    #: anchored on interior buckets is never compared against the
+    #: paper's extreme-bucket ratio.
+    gate_key: str | None = None
 
-    def check(self, measured: float | None) -> "OracleCheck":
-        ok = (measured is not None and math.isfinite(measured)
+    def check(self, measured: float | None,
+              gate: float | None = None) -> "OracleCheck":
+        gated = (self.gate_key is not None and gate is not None
+                 and gate < 0.5)
+        ok = (not gated and measured is not None
+              and math.isfinite(measured)
               and self.lo <= measured <= self.hi)
-        return OracleCheck(band=self, measured=measured, ok=ok)
+        return OracleCheck(band=self, measured=measured, ok=ok, gated=gated)
 
     @classmethod
     def from_target(cls, summary_key: str, target_key: str, *,
-                    required: bool,
-                    rel_tol: float | None = None) -> "OracleBand":
+                    required: bool, rel_tol: float | None = None,
+                    gate_key: str | None = None) -> "OracleBand":
         """Band around a paper-abstract target value."""
         spec = target(target_key)
         tol = spec.rel_tol if rel_tol is None else rel_tol
@@ -54,7 +65,8 @@ class OracleBand:
                    lo=spec.value * (1.0 - tol),
                    hi=spec.value * (1.0 + tol),
                    required=required,
-                   description=spec.description)
+                   description=spec.description,
+                   gate_key=gate_key)
 
 
 @dataclass(frozen=True)
@@ -64,9 +76,13 @@ class OracleCheck:
     band: OracleBand
     measured: float | None
     ok: bool
+    #: True when the band's gate flag said "not comparable this run".
+    gated: bool = False
 
     @property
     def status(self) -> str:
+        if self.gated:
+            return "n/a (not comparable)"
         if self.ok:
             return "ok"
         return "FAIL" if self.band.required else "off-band (advisory)"
@@ -80,12 +96,14 @@ class OracleReport:
 
     @property
     def passed(self) -> bool:
-        """True when every *required* band holds."""
-        return all(c.ok for c in self.checks if c.band.required)
+        """True when every *required*, non-gated band holds."""
+        return all(c.ok for c in self.checks
+                   if c.band.required and not c.gated)
 
     @property
     def failures(self) -> list[OracleCheck]:
-        return [c for c in self.checks if c.band.required and not c.ok]
+        return [c for c in self.checks
+                if c.band.required and not c.ok and not c.gated]
 
     def render(self) -> str:
         body = []
@@ -116,9 +134,11 @@ DEFAULT_BANDS: tuple[OracleBand, ...] = (
     OracleBand("mnbf_node_hours", 1.0, float("inf"), True,
                "mean node-hours between failures is positive and finite"),
     OracleBand.from_target("xe_curve_growth", "xe_growth_10k_to_22k",
-                           required=False, rel_tol=0.9),
+                           required=False, rel_tol=0.9,
+                           gate_key="xe_growth_paper_anchored"),
     OracleBand.from_target("xk_curve_growth", "xk_growth_2k_to_4224",
-                           required=False, rel_tol=0.9),
+                           required=False, rel_tol=0.9,
+                           gate_key="xk_growth_paper_anchored"),
 )
 
 
@@ -128,13 +148,17 @@ def check_summary(summary: dict[str, float], *,
     """Check one ``Analysis.summary()`` dict against the oracle bands."""
     with span("validate_oracle", bands=len(bands)) as sp:
         report = OracleReport(checks=tuple(
-            band.check(summary.get(band.key)) for band in bands))
+            band.check(summary.get(band.key),
+                       summary.get(band.gate_key)
+                       if band.gate_key is not None else None)
+            for band in bands))
         registry = get_registry()
         for check in report.checks:
             registry.counter(
                 "validation_oracle_checks_total",
                 severity="required" if check.band.required else "advisory",
-                status="ok" if check.ok else "fail")
+                status=("gated" if check.gated
+                        else "ok" if check.ok else "fail"))
         sp.set_attrs(passed=report.passed,
                      failures=len(report.failures))
         return report

@@ -1,0 +1,407 @@
+"""Sharded streaming analysis: parity with in-memory, boundary safety.
+
+The contract under test is exact equality, not approximation: the
+streamed path must produce byte-identical products to the in-memory
+pipeline for any shard count and any worker count, including when shard
+boundaries fall inside runs or error clusters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.core import LogDiver
+from repro.core.sharding import analyze_streamed, plan_shards
+from repro.errors import AnalysisError
+from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
+from repro.faults.propagation import Symptom
+from repro.faults.taxonomy import ErrorCategory
+from repro.logs.bundle import (
+    index_bundle_shards,
+    iter_slice_lines,
+    manifest_window,
+    read_bundle,
+    read_manifest,
+)
+from repro.logs.errorlogs import write_console_line
+from repro.logs.nids import encode_nids
+from repro.util.intervals import Interval
+from repro.util.timeutil import Epoch
+
+
+def dicts_equal(a: dict, b: dict) -> bool:
+    """Dict equality where NaN == NaN (summaries carry NaN growth
+    factors on sparse curves, and NaN != NaN defeats plain ==)."""
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        va, vb = a[key], b[key]
+        both_nan = (isinstance(va, float) and isinstance(vb, float)
+                    and math.isnan(va) and math.isnan(vb))
+        if not (both_nan or va == vb):
+            return False
+    return True
+
+
+def assert_streamed_matches(mem, streamed) -> None:
+    """Every product both paths produce must agree exactly."""
+    assert dicts_equal(streamed.summary(), mem.summary())
+    assert streamed.n_runs == len(mem.diagnosed)
+    assert streamed.breakdown == mem.breakdown
+    assert streamed.causes == mem.causes
+    assert streamed.waste == mem.waste
+    assert streamed.mtbf_all == mem.mtbf_all
+    assert streamed.mtbf_xe == mem.mtbf_xe
+    assert streamed.mtbf_xk == mem.mtbf_xk
+    assert dicts_equal(streamed.system_mtbf_h, mem.system_mtbf_h)
+    assert streamed.xe_curve == mem.xe_curve
+    assert streamed.xk_curve == mem.xk_curve
+    assert streamed.clusters == mem.clusters
+    assert streamed.filter_stats == mem.filter_stats
+    assert streamed.unclassified_records == mem.unclassified_records
+    assert streamed.window == mem.window
+    assert streamed.ingest.as_dict() == mem.ingest.as_dict()
+
+
+# -- parity on the shared session bundle -------------------------------------
+
+class TestStreamedParity:
+    def test_matches_in_memory(self, bundle_dir, analysis):
+        streamed = analyze_streamed(bundle_dir, shards=8)
+        assert_streamed_matches(analysis, streamed)
+        assert streamed.shards == 8
+
+    def test_single_shard_matches_in_memory(self, bundle_dir, analysis):
+        streamed = analyze_streamed(bundle_dir, shards=1)
+        assert_streamed_matches(analysis, streamed)
+        assert streamed.boundary_runs == 0
+
+    def test_serial_matches_parallel_workers(self, bundle_dir):
+        serial = analyze_streamed(bundle_dir, shards=6, jobs=1)
+        parallel = analyze_streamed(bundle_dir, shards=6, jobs=2)
+        assert dicts_equal(parallel.summary(), serial.summary())
+        assert parallel.breakdown == serial.breakdown
+        assert parallel.clusters == serial.clusters
+        assert parallel.ingest.as_dict() == serial.ingest.as_dict()
+        assert parallel.boundary_runs == serial.boundary_runs
+
+    def test_shard_count_does_not_change_results(self, bundle_dir):
+        few = analyze_streamed(bundle_dir, shards=2)
+        many = analyze_streamed(bundle_dir, shards=13)
+        assert dicts_equal(few.summary(), many.summary())
+        assert few.breakdown == many.breakdown
+        assert few.clusters == many.clusters
+
+    def test_lenient_parity_on_corrupted_bundle(self, bundle_dir, tmp_path):
+        # Skew/reorder defects would break the sorted-file assumption
+        # the shard index documents, so inject only line-local damage.
+        config = CorruptionConfig(truncate_rate=0.004, garble_rate=0.004,
+                                  drop_rate=0.002)
+        corrupted = tmp_path / "corrupted"
+        corrupt_bundle(bundle_dir, corrupted, config, seed=42)
+        mem = LogDiver().analyze(read_bundle(corrupted, strict=False))
+        streamed = analyze_streamed(corrupted, shards=5, strict=False)
+        assert_streamed_matches(mem, streamed)
+        assert streamed.ingest.total_quarantined > 0
+
+    def test_zero_shards_rejected(self, bundle_dir):
+        with pytest.raises(AnalysisError):
+            analyze_streamed(bundle_dir, shards=0)
+
+
+# -- the byte-offset shard index ---------------------------------------------
+
+class TestShardIndex:
+    def test_slices_cover_every_line(self, bundle_dir):
+        manifest, epoch = read_manifest(bundle_dir)
+        plan = plan_shards(bundle_dir, 7, manifest=manifest, epoch=epoch)
+        for name in ("syslog.log", "apsys.log", "torque.log"):
+            path = Path(bundle_dir) / name
+            whole = path.read_text().splitlines()
+            pieces, linenos = [], []
+            for sl in plan.slices[name]:
+                lines = list(iter_slice_lines(path, sl))
+                pieces.extend(line.rstrip("\n") for line in lines)
+                linenos.append((sl.lineno_lo, len(lines)))
+            assert pieces == whole
+            # Line numbers chain: each slice starts where the previous
+            # one ended, so quarantine reports cite true file lines.
+            expect = 1
+            for lineno_lo, count in linenos:
+                assert lineno_lo == expect
+                expect += count
+
+    def test_slices_are_contiguous_bytes(self, bundle_dir):
+        manifest, epoch = read_manifest(bundle_dir)
+        boundaries = plan_shards(bundle_dir, 4, manifest=manifest,
+                                 epoch=epoch).boundaries
+        slices = index_bundle_shards(bundle_dir, boundaries, epoch=epoch)
+        path = Path(bundle_dir) / "apsys.log"
+        offset = 0
+        for sl in slices["apsys.log"]:
+            assert sl.byte_lo == offset
+            offset = sl.byte_hi
+        assert offset == path.stat().st_size
+
+
+# -- property: boundary placement never changes the outcome -------------------
+
+def _write_bundle(directory: Path, runs, errors) -> None:
+    """A minimal hand-built bundle: 16 XE nodes, apsys runs, console
+    errors.  No manifest window -- exercises the observed-span fallback
+    on both paths."""
+    epoch = Epoch()
+    with open(directory / "nodemap.txt", "w") as handle:
+        for nid in range(16):
+            handle.write(f"nid{nid} c0-0c0s{nid // 4}n{nid % 4} XE "
+                         f"gemini={nid // 4}\n")
+    alps_lines = []
+    for apid, (start, duration, node_lo, width, code, sig) in enumerate(runs):
+        nids = encode_nids(range(node_lo, node_lo + width))
+        head = (f"apid={apid} kind={{kind}} batch_id={apid}.bw "
+                f"user=user{apid % 3:04d} cmd=a.out nids={nids}")
+        alps_lines.append(
+            (start, f"{epoch.format_iso(start)} apsys "
+             + head.format(kind="start")))
+        alps_lines.append(
+            (start + duration, f"{epoch.format_iso(start + duration)} apsys "
+             + head.format(kind="end")
+             + f" exit_code={code} exit_signal={sig}"))
+    alps_lines.sort(key=lambda pair: pair[0])
+    with open(directory / "apsys.log", "w") as handle:
+        for _, line in alps_lines:
+            handle.write(line + "\n")
+    console = sorted(
+        (time, write_console_line(
+            Symptom(time=float(time),
+                    component=f"c0-0c0s{nid // 4}n{nid % 4}",
+                    category=ErrorCategory.KERNEL_PANIC, event_id=event_id),
+            epoch))
+        for event_id, (time, nid) in enumerate(errors))
+    with open(directory / "console.log", "w") as handle:
+        for _, line in console:
+            handle.write(line + "\n")
+    manifest = {"format": "repro-logbundle/1",
+                "epoch_start": epoch.start.isoformat()}
+    with open(directory / "manifest.json", "w") as handle:
+        json.dump(manifest, handle)
+
+
+_run_strategy = st.tuples(
+    st.integers(min_value=0, max_value=30_000),     # start second
+    st.integers(min_value=60, max_value=7_200),     # duration
+    st.integers(min_value=0, max_value=12),         # first node
+    st.integers(min_value=1, max_value=4),          # width
+    st.sampled_from([0, 0, 1, 271]),                # exit code
+    st.sampled_from([0, 0, 9, 11]),                 # exit signal
+)
+_error_strategy = st.tuples(
+    st.integers(min_value=0, max_value=36_000),     # second
+    st.integers(min_value=0, max_value=15),         # nid
+)
+
+
+class TestShardBoundaryProperty:
+    @settings(deadline=None, max_examples=12)
+    @given(runs=st.lists(_run_strategy, min_size=1, max_size=10),
+           errors=st.lists(_error_strategy, max_size=8),
+           shards=st.integers(min_value=1, max_value=6))
+    def test_boundaries_never_change_outcomes(self, runs, errors, shards):
+        with tempfile.TemporaryDirectory() as raw:
+            directory = Path(raw)
+            _write_bundle(directory, runs, errors)
+            mem = LogDiver().analyze(read_bundle(directory))
+            streamed = analyze_streamed(directory, shards=shards)
+            assert streamed.breakdown.counts == mem.breakdown.counts
+            assert streamed.causes == mem.causes
+            assert streamed.n_runs == len(mem.diagnosed)
+            assert dicts_equal(streamed.summary(), mem.summary())
+            assert streamed.clusters == mem.clusters
+            assert streamed.window == mem.window
+
+
+# -- satellite a: degenerate manifest windows ---------------------------------
+
+class TestWindowFallback:
+    def test_manifest_window_parses_good_window(self):
+        assert manifest_window({"window_s": [0.0, 100.0]}) == \
+            Interval(0.0, 100.0)
+
+    @pytest.mark.parametrize("manifest", [
+        {},                                # missing entirely
+        {"window_s": None},
+        {"window_s": [0.0, 0.0]},          # degenerate: empty span
+        {"window_s": [100.0, 10.0]},       # inverted
+        {"window_s": ["x", "y"]},          # garbage
+        {"window_s": [5.0]},               # wrong arity
+    ])
+    def test_manifest_window_rejects_degenerate(self, manifest):
+        assert manifest_window(manifest) is None
+
+    def test_analysis_survives_missing_window(self):
+        """A bundle whose manifest lacks window_s used to produce a
+        zero-length window and crash system MTBF; it must now fall back
+        to the observed record span."""
+        runs = [(0, 3600, 0, 4, 0, 0), (7200, 3600, 4, 4, 1, 0)]
+        errors = [(1800, 1)]
+        with tempfile.TemporaryDirectory() as raw:
+            directory = Path(raw)
+            _write_bundle(directory, runs, errors)
+            analysis = LogDiver().analyze(read_bundle(directory))
+            assert analysis.window.end > analysis.window.start
+            assert analysis.window.start <= 0.0
+            assert analysis.window.end >= 10_800.0
+            # system MTBF is finite, not a division blow-up
+            for hours in analysis.system_mtbf_h.values():
+                assert hours > 0.0
+
+
+# -- satellite b: growth anchors surfaced -------------------------------------
+
+class TestGrowthAnchors:
+    def test_summary_surfaces_anchor_buckets(self, analysis):
+        summary = analysis.summary()
+        for prefix, curve in (("xe", analysis.xe_curve),
+                              ("xk", analysis.xk_curve)):
+            anchors = curve.growth_anchors()
+            flag = summary[f"{prefix}_growth_paper_anchored"]
+            assert flag in (0.0, 1.0)
+            if anchors is None:
+                assert math.isnan(
+                    summary[f"{prefix}_growth_anchor_lo_nodes"])
+            else:
+                lo, hi = anchors
+                assert summary[f"{prefix}_growth_anchor_lo_nodes"] == \
+                    float(lo.scale_lo)
+                assert summary[f"{prefix}_growth_anchor_hi_nodes"] == \
+                    float(hi.scale_hi)
+                assert (flag == 1.0) == curve.paper_anchored()
+
+    def test_interior_anchoring_is_not_paper_anchored(self, analysis):
+        """When the extreme buckets are empty the growth factor anchors
+        on interior buckets; paper_anchored() must say so instead of
+        letting the oracle compare apples to oranges."""
+        curve = analysis.xe_curve
+        anchors = curve.growth_anchors()
+        if anchors is None:
+            pytest.skip("curve too sparse to anchor at all")
+        lo, hi = anchors
+        full_span = (lo.scale_lo == curve.points[0].scale_lo
+                     and hi.scale_hi == curve.points[-1].scale_hi
+                     and lo.probability > 0.0)
+        assert curve.paper_anchored() == full_span
+
+
+class TestOracleGating:
+    def test_gated_band_neither_passes_nor_fails(self):
+        from repro.validation.oracle import OracleBand
+
+        band = OracleBand("xe_curve_growth", 2.0, 200.0, False,
+                          "growth", gate_key="xe_growth_paper_anchored")
+        gated = band.check(1e6, 0.0)
+        assert gated.gated and not gated.ok
+        assert gated.status == "n/a (not comparable)"
+        live = band.check(1e6, 1.0)
+        assert not live.gated and not live.ok
+        missing_gate = band.check(50.0, None)
+        assert not missing_gate.gated and missing_gate.ok
+
+    def test_report_ignores_gated_required_band(self):
+        from repro.validation.oracle import OracleBand, OracleReport
+
+        band = OracleBand("k", 0.0, 1.0, True, "d", gate_key="g")
+        report = OracleReport(checks=(band.check(99.0, 0.0),))
+        assert report.passed
+        assert report.failures == []
+        assert "n/a (not comparable)" in report.render()
+
+
+# -- satellite c: unpaired ends and censored starts ---------------------------
+
+class TestUnpairedRuns:
+    def _bundle_with_orphans(self, directory: Path) -> None:
+        epoch = Epoch()
+        with open(directory / "nodemap.txt", "w") as handle:
+            for nid in range(8):
+                handle.write(f"nid{nid} c0-0c0s{nid // 4}n{nid % 4} XE "
+                             f"gemini=0\n")
+        lines = [
+            # end without start: apid=1 ends at t=100
+            (100, "apid=1 kind=end batch_id=1.bw user=user0001 cmd=a.out "
+                  "nids=0-3 exit_code=0 exit_signal=0"),
+            # a complete run so analysis has something to diagnose
+            (200, "apid=2 kind=start batch_id=2.bw user=user0001 "
+                  "cmd=a.out nids=4-7"),
+            (800, "apid=2 kind=end batch_id=2.bw user=user0001 cmd=a.out "
+                  "nids=4-7 exit_code=0 exit_signal=0"),
+            # start without end: apid=3 never finishes (censored)
+            (900, "apid=3 kind=start batch_id=3.bw user=user0002 "
+                  "cmd=a.out nids=0-3"),
+        ]
+        with open(directory / "apsys.log", "w") as handle:
+            for time, payload in lines:
+                handle.write(f"{epoch.format_iso(time)} apsys {payload}\n")
+        manifest = {"format": "repro-logbundle/1",
+                    "epoch_start": epoch.start.isoformat(),
+                    "window_s": [0.0, 1000.0]}
+        with open(directory / "manifest.json", "w") as handle:
+            json.dump(manifest, handle)
+
+    def test_in_memory_counts_orphans(self, tmp_path):
+        self._bundle_with_orphans(tmp_path)
+        analysis = LogDiver().analyze(read_bundle(tmp_path))
+        assert analysis.ingest.unpaired_end_runs == 1
+        assert analysis.ingest.censored_start_runs == 1
+        # the unpaired end still becomes a (zero-elapsed) run; the
+        # censored start does not
+        assert len(analysis.diagnosed) == 2
+        rendered = analysis.ingest.render()
+        assert "end-without-start" in rendered and "censored" in rendered
+
+    def test_streamed_counts_orphans_identically(self, tmp_path):
+        self._bundle_with_orphans(tmp_path)
+        mem = LogDiver().analyze(read_bundle(tmp_path))
+        for shards in (1, 3):
+            streamed = analyze_streamed(tmp_path, shards=shards)
+            assert streamed.ingest.unpaired_end_runs == 1
+            assert streamed.ingest.censored_start_runs == 1
+            assert streamed.n_runs == len(mem.diagnosed)
+            assert dicts_equal(streamed.summary(), mem.summary())
+
+
+# -- the CLI entry point ------------------------------------------------------
+
+class TestStreamCli:
+    def test_stream_analyze_runs(self, bundle_dir, capsys):
+        code = main(["analyze", str(bundle_dir), "--stream",
+                     "--shards", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streamed analyze" in out
+        assert "peak RSS" in out
+
+    def test_stream_skips_per_run_tables(self, bundle_dir, capsys):
+        code = main(["analyze", str(bundle_dir), "--stream",
+                     "--shards", "2", "--tables", "workload,outcomes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipping per-run tables" in out
+        assert "workload" in out
+
+    def test_rss_budget_breach_exits_3(self, bundle_dir, capsys):
+        code = main(["analyze", str(bundle_dir), "--stream",
+                     "--shards", "2", "--rss-budget-mb", "0.001"])
+        assert code == 3
+        assert "exceeds the" in capsys.readouterr().out
+
+    def test_rss_budget_generous_passes(self, bundle_dir):
+        code = main(["analyze", str(bundle_dir), "--stream",
+                     "--shards", "2", "--rss-budget-mb", "100000"])
+        assert code == 0
