@@ -11,7 +11,11 @@ substreams.  This package exploits that twice:
 * :mod:`repro.campaign.cache` keys finished results by a SHA-256 of the
   canonicalized configuration (plus seed and a code-version salt) and
   persists them on disk, so repeated CLI runs and benchmark sessions
-  skip simulation entirely.
+  skip simulation entirely;
+* :mod:`repro.campaign.supervisor` is the fault-tolerant executor both
+  layers above opt into: per-unit timeouts with heartbeat liveness,
+  bounded retries, poison-unit quarantine, and a write-ahead journal
+  enabling resume after a crash.
 """
 
 from repro.campaign.cache import (
@@ -21,9 +25,25 @@ from repro.campaign.cache import (
     configure_cache,
     get_cache,
 )
-from repro.campaign.engine import configure_engine, resolve_jobs, run_campaign
+from repro.campaign.engine import (
+    configure_engine,
+    current_policy,
+    resolve_jobs,
+    run_campaign,
+)
+from repro.campaign.supervisor import (
+    CampaignAborted,
+    CampaignReport,
+    ExecutionAccounting,
+    SupervisorPolicy,
+    build_policy,
+    run_supervised,
+)
 
 __all__ = [
     "ResultCache", "cache_key", "canonical_params", "configure_cache",
-    "get_cache", "configure_engine", "resolve_jobs", "run_campaign",
+    "get_cache", "configure_engine", "current_policy", "resolve_jobs",
+    "run_campaign", "CampaignAborted", "CampaignReport",
+    "ExecutionAccounting", "SupervisorPolicy", "build_policy",
+    "run_supervised",
 ]

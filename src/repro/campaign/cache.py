@@ -24,6 +24,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -161,7 +162,14 @@ class ResultCache:
         return True, value
 
     def store(self, key: str, value: Any) -> None:
-        """Atomically persist one entry (best effort, never raises)."""
+        """Atomically persist one entry (best effort, never raises).
+
+        The entry is staged in a temp file *in the same directory* and
+        published with ``os.replace`` only after an fsync, so the
+        visible path always holds a complete pickle: a worker SIGKILL'd
+        mid-write leaves at most an orphaned ``*.tmp`` (reclaimed by
+        :meth:`sweep_stale`), never a torn entry under the real key.
+        """
         if not self.enabled:
             return
         path = self._path(key)
@@ -171,6 +179,8 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):
@@ -179,6 +189,31 @@ class ResultCache:
             self.stats.count("errors")
             return
         self.stats.count("stores")
+
+    def sweep_stale(self, *, max_age_s: float = 3600.0) -> int:
+        """Reclaim orphaned ``*.tmp`` staging files; returns the count.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` never
+        reaches its ``finally``, so its temp file persists.  Entries are
+        only ever published by rename, so any ``*.tmp`` older than
+        ``max_age_s`` is garbage by construction (the age guard keeps a
+        concurrent in-flight store safe).
+        """
+        objects = self.directory / "objects"
+        removed = 0
+        try:
+            candidates = list(objects.glob("*.tmp"))
+        except OSError:
+            return 0
+        cutoff = time.time() - max_age_s
+        for tmp in candidates:
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     # -- the one call sites use ---------------------------------------------
 

@@ -33,22 +33,44 @@ from typing import Any, Callable, Sequence
 from repro.obs.metrics import get_registry, scoped_registry
 from repro.obs.tracing import Tracer, current_tracer, span, tracing
 
-__all__ = ["configure_engine", "resolve_jobs", "run_campaign"]
+__all__ = ["configure_engine", "current_policy", "resolve_jobs",
+           "run_campaign"]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET: Any = object()
 
 #: Process-wide default set by the CLI's ``--jobs`` (None = env / serial).
 _default_jobs: int | None = None
 
+#: Process-wide default supervision policy set by the CLI's
+#: ``--timeout-s/--retries/--resume/--allow-partial/--chaos`` flags
+#: (a :class:`repro.campaign.supervisor.SupervisorPolicy`); ``None``
+#: means unsupervised -- the plain pool below.
+_default_policy: Any = None
 
-def configure_engine(*, jobs: int | None = None) -> None:
-    """Set the process-wide default worker count (CLI ``--jobs``).
+
+def configure_engine(*, jobs: int | None = _UNSET,
+                     policy: Any = _UNSET) -> None:
+    """Set process-wide execution defaults (CLI flags).
 
     ``jobs=0`` means "all cores" (resolved by :func:`resolve_jobs`);
-    ``None`` clears the override.
+    ``jobs=None`` clears the override.  ``policy`` installs a default
+    :class:`~repro.campaign.supervisor.SupervisorPolicy` for every
+    subsequent campaign (``None`` clears it).  Omitted keywords leave
+    the current setting untouched.
     """
-    global _default_jobs
-    if jobs is not None and jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
-    _default_jobs = jobs
+    global _default_jobs, _default_policy
+    if jobs is not _UNSET:
+        if jobs is not None and jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        _default_jobs = jobs
+    if policy is not _UNSET:
+        _default_policy = policy
+
+
+def current_policy() -> Any:
+    """The process-wide default supervision policy (or ``None``)."""
+    return _default_policy
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -91,7 +113,8 @@ def _traced_unit(fn: Callable[..., Any], unit: dict[str, Any],
 
 def run_campaign(fn: Callable[..., Any],
                  units: Sequence[dict[str, Any]], *,
-                 jobs: int | None = None) -> list[Any]:
+                 jobs: int | None = None,
+                 policy: Any = _UNSET) -> list[Any]:
     """Run ``fn(**unit)`` for every unit, preserving unit order.
 
     With an effective worker count of 1 (the default) this is a plain
@@ -100,7 +123,23 @@ def run_campaign(fn: Callable[..., Any],
     that.  Either way the whole fan-out is wrapped in a ``campaign``
     span with one ``unit`` child per unit, and worker metric snapshots
     merge into the caller's registry.
+
+    When a supervision ``policy`` is in force (passed explicitly or
+    installed via :func:`configure_engine`), execution is delegated to
+    :func:`repro.campaign.supervisor.run_supervised`: per-unit
+    timeouts, heartbeat liveness, retries, journal/resume, quarantine.
+    Units then run one *process per attempt*; ``jobs`` bounds
+    concurrency.  Quarantined units raise
+    :class:`~repro.campaign.supervisor.CampaignAborted` unless the
+    policy allows partial results, in which case their slots hold
+    ``None``.
     """
+    if policy is _UNSET:
+        policy = _default_policy
+    if policy is not None:
+        from repro.campaign.supervisor import run_supervised
+        report = run_supervised(fn, units, policy=policy, jobs=jobs)
+        return report.results
     units = list(units)
     workers = min(resolve_jobs(jobs), len(units)) if units else 1
     registry = get_registry()

@@ -1,0 +1,733 @@
+"""Supervised work-unit execution: timeouts, retries, journal, resume.
+
+The plain campaign pool (:mod:`repro.campaign.engine`) assumes workers
+are well behaved: one crashed, hung, or OOM-killed worker aborts the
+whole fan-out with nothing to show for the completed units.  This
+module is the fault-tolerant executor underneath it -- the repository's
+own answer to the paper's finding that ~1.5% of production runs die
+from system problems: the execution layer must survive the very fault
+classes it studies.
+
+Supervision model (one process **per attempt**, spawn context):
+
+* Every attempt runs in a fresh ``spawn`` process, so a SIGKILL'd or
+  wedged worker takes down exactly one attempt -- unlike a shared
+  ``ProcessPoolExecutor``, which breaks wholesale when any worker dies.
+  ``jobs`` only bounds how many attempt processes run concurrently.
+* **Liveness**: each worker touches a heartbeat file from a daemon
+  thread every ``heartbeat_s``.  The parent kills an attempt when it
+  exceeds the per-unit wall-clock ``timeout_s`` (classified ``hung``)
+  or when its heartbeat goes silent for ``stale_after_s`` (classified
+  ``stalled``).  A worker that exits on its own without shipping a
+  result is ``crashed`` (nonzero/signal exit) or ``vanished`` (exit 0);
+  one that ships an error payload is ``raised``.
+* **Retries**: a failed attempt is retried up to ``retries`` times with
+  jittered exponential backoff.  The jitter draws from a named RNG
+  substream keyed by (seed, unit, attempt), so a given schedule retries
+  identically no matter how many workers run.
+* **Quarantine**: a unit that fails ``retries + 1`` times is recorded
+  with its full attempt log instead of sinking the run.  The campaign
+  always *finishes the other units first*; only then does it raise
+  :class:`CampaignAborted` -- or, under ``allow_partial``, return a
+  report whose accounting says exactly what is missing.
+* **Journal**: every dispatch/completion is appended to a write-ahead
+  journal (``<journal root>/<campaign-key>.jsonl``, schema
+  ``repro-journal/1``, canonical JSON, fsync'd per record, torn-tail
+  tolerant like the result cache).  Unit results are committed
+  atomically next to it, so ``resume=True`` after a crash or Ctrl-C
+  reloads finished units instead of recomputing them.
+* **Teardown**: Ctrl-C (or any error) reaps every live attempt process
+  before propagating, so a supervised campaign never leaves orphan
+  spawn workers behind.
+
+Telemetry parity: worker span trees and metric snapshots are collected
+as attempts finish but grafted/merged in *unit-index order* after the
+loop drains, so a ``--jobs 8`` supervised trace equals the ``--jobs 1``
+supervised trace event for event (failed attempts appear as
+deterministic ``unit_attempt`` spans; resumed units as ``unit_resumed``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.campaign.cache import canonical_params, code_salt, default_cache_dir
+from repro.campaign.engine import resolve_jobs
+from repro.errors import CampaignError, ConfigurationError
+from repro.faults import chaos as chaos_mod
+from repro.obs.metrics import get_registry, scoped_registry
+from repro.obs.tracing import Tracer, current_tracer, span, tracing
+from repro.util.rngs import substream
+
+__all__ = ["JOURNAL_SCHEMA", "AttemptRecord", "CampaignAborted",
+           "CampaignReport", "ExecutionAccounting", "Journal",
+           "SupervisorPolicy", "UnitOutcome", "build_policy",
+           "campaign_key", "default_journal_root", "run_supervised",
+           "stop_heartbeat"]
+
+#: Bump when the journal record layout changes incompatibly.
+JOURNAL_SCHEMA = "repro-journal/1"
+
+#: Attempt statuses a supervised unit can report.
+ATTEMPT_STATUSES = ("ok", "raised", "crashed", "hung", "stalled", "vanished")
+
+
+class CampaignAborted(CampaignError):
+    """Units exhausted their retries and ``allow_partial`` was off.
+
+    Raised only after every other unit has been driven to completion,
+    so ``.report`` still carries the full partial product and the
+    journal allows a later ``resume=True`` to pick up where this run
+    stopped.
+    """
+
+    def __init__(self, report: "CampaignReport"):
+        quarantined = report.quarantined_indices
+        super().__init__(
+            f"campaign aborted: {len(quarantined)} unit(s) quarantined "
+            f"after retries: {quarantined} (journal: {report.journal_path})")
+        self.report = report
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How a supervised campaign watches, retries, and records units.
+
+    ``None`` in place of a policy means "unsupervised" -- the engine
+    falls back to the plain pool.  All knobs are deterministic inputs:
+    two runs with the same policy, units, and chaos schedule produce
+    identical results, counters, and trace skeletons.
+    """
+
+    #: Per-unit wall clock from process start; None = no timeout.
+    timeout_s: float | None = None
+    #: How often workers touch their heartbeat file.
+    heartbeat_s: float = 1.0
+    #: Silence window before a live worker is declared stalled;
+    #: None = max(10 s, 10 x heartbeat_s), generous enough that a slow
+    #: spawn import is never mistaken for a stall.
+    stale_after_s: float | None = None
+    #: Failed attempts retried per unit before quarantine.
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Seed for the jittered-backoff substreams.
+    seed: int = 0
+    #: Return partial merged products instead of raising on quarantine.
+    allow_partial: bool = False
+    #: Skip units the journal already records as done.
+    resume: bool = False
+    #: Write the write-ahead journal (result files are written always).
+    journal: bool = True
+    #: Override the journal root (default: ``<cache dir>/journal``).
+    journal_dir: str | Path | None = None
+    #: Chaos spec armed for every worker (see :mod:`repro.faults.chaos`);
+    #: None also consults ``$REPRO_CHAOS``.
+    chaos: str | None = None
+    #: Parent poll interval while attempts run.
+    poll_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.heartbeat_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}")
+        if self.stale_after_s is not None and self.stale_after_s <= 0:
+            raise ConfigurationError(
+                f"stale_after_s must be > 0, got {self.stale_after_s}")
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff must be >= 0")
+        if self.chaos is not None:
+            chaos_mod.parse_chaos(self.chaos)  # fail fast on bad specs
+
+    @property
+    def effective_stale_after_s(self) -> float:
+        if self.stale_after_s is not None:
+            return self.stale_after_s
+        return max(10.0, 10.0 * self.heartbeat_s)
+
+
+def build_policy(*, timeout_s: float | None = None,
+                 retries: int | None = None, resume: bool = False,
+                 allow_partial: bool = False, chaos: str | None = None,
+                 seed: int = 0) -> SupervisorPolicy | None:
+    """Policy from CLI flags; ``None`` when no supervision flag was set.
+
+    This is what keeps supervision opt-in: a plain ``analyze --stream``
+    keeps the exact pre-supervisor execution path.
+    """
+    if (timeout_s is None and retries is None and not resume
+            and not allow_partial and chaos is None):
+        return None
+    return SupervisorPolicy(
+        timeout_s=timeout_s,
+        retries=retries if retries is not None else 2,
+        resume=resume, allow_partial=allow_partial, chaos=chaos, seed=seed)
+
+
+# -- records ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one unit, as the supervisor classified it."""
+
+    attempt: int
+    status: str  # one of ATTEMPT_STATUSES
+    exit_code: int | None
+    duration_s: float
+    error: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"attempt": self.attempt, "status": self.status,
+                "exit_code": self.exit_code,
+                "duration_s": round(self.duration_s, 3),
+                "error": self.error}
+
+
+@dataclass
+class UnitOutcome:
+    """Final disposition of one unit: its result or its failure log."""
+
+    index: int
+    status: str  # "done" | "resumed" | "quarantined"
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class ExecutionAccounting:
+    """Completeness accounting surfaced in summaries and reports."""
+
+    units: int
+    done: int
+    resumed: int
+    retried: int
+    quarantined: int
+    attempts: int
+
+    @property
+    def complete(self) -> bool:
+        return self.done + self.resumed == self.units
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"units": self.units, "done": self.done,
+                "resumed": self.resumed, "retried": self.retried,
+                "quarantined": self.quarantined, "attempts": self.attempts,
+                "complete": self.complete}
+
+    @staticmethod
+    def merge(parts: Sequence["ExecutionAccounting"]) -> "ExecutionAccounting":
+        return ExecutionAccounting(
+            units=sum(p.units for p in parts),
+            done=sum(p.done for p in parts),
+            resumed=sum(p.resumed for p in parts),
+            retried=sum(p.retried for p in parts),
+            quarantined=sum(p.quarantined for p in parts),
+            attempts=sum(p.attempts for p in parts))
+
+
+@dataclass
+class CampaignReport:
+    """Everything a supervised campaign produced, unit-index order."""
+
+    key: str
+    journal_path: Path | None
+    outcomes: list[UnitOutcome]
+    accounting: ExecutionAccounting
+
+    @property
+    def results(self) -> list[Any]:
+        """Per-unit results (``None`` where a unit was quarantined)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def quarantined_indices(self) -> list[int]:
+        return [o.index for o in self.outcomes if o.status == "quarantined"]
+
+
+# -- campaign identity -------------------------------------------------------
+
+
+def default_journal_root() -> Path:
+    """Journal + scratch root (honors ``$REPRO_CACHE_DIR``)."""
+    return default_cache_dir() / "journal"
+
+
+def campaign_key(kind: str, units: Sequence[dict[str, Any]]) -> str:
+    """Stable identity of one campaign: kind + code salt + all units.
+
+    Canonical-JSON over :func:`canonical_params` when the units allow
+    it (same aliasing rules as cache keys); units carrying richer
+    objects (shard configs, cluster lists) fall back to a pickle
+    digest -- stable for identically constructed unit lists, which is
+    exactly the resume contract.
+    """
+    try:
+        blob = json.dumps(
+            {"kind": kind, "salt": code_salt(),
+             "units": canonical_params([dict(u) for u in units])},
+            sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except TypeError:
+        blob = b"\x00".join((
+            b"pickle", kind.encode("utf-8"), code_salt().encode("utf-8"),
+            pickle.dumps(list(units), protocol=4)))
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- write-ahead journal -----------------------------------------------------
+
+
+class Journal:
+    """Append-only canonical-JSONL record of a campaign's progress.
+
+    Each record is one fsync'd line, so a parent killed mid-append
+    leaves at most one torn tail line -- which :meth:`read` tolerates
+    (it stops at the first undecodable line, mirroring the result
+    cache's corruption stance).
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._handle = None
+
+    def open(self) -> "Journal":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "ab")
+        return self
+
+    def append(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line.encode("utf-8") + b"\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read(path: Path) -> list[dict[str, Any]]:
+        """All intact records; a torn/corrupt tail truncates, never raises."""
+        records: list[dict[str, Any]] = []
+        try:
+            with open(path, "rb") as handle:
+                for raw in handle:
+                    try:
+                        record = json.loads(raw.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        break
+                    if not isinstance(record, dict):
+                        break
+                    records.append(record)
+        except OSError:
+            return []
+        return records
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Set while an attempt runs; lets chaos ``stall`` mode silence the
+#: heartbeat from inside the unit.
+_heartbeat_stop: threading.Event | None = None
+
+
+def stop_heartbeat() -> None:
+    """Stop this worker's heartbeat thread (chaos ``stall`` mode)."""
+    if _heartbeat_stop is not None:
+        _heartbeat_stop.set()
+
+
+def _heartbeat_loop(path: str, interval: float,
+                    stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+
+def _write_payload(payload: dict[str, Any], result_path: str) -> None:
+    """Commit the attempt payload atomically (same-dir temp + rename)."""
+    directory = os.path.dirname(result_path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, result_path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _attempt_main(fn: Callable[..., Any], unit: dict[str, Any], index: int,
+                  attempt: int, result_path: str, heartbeat_path: str,
+                  heartbeat_s: float, chaos_spec: str | None) -> None:
+    """Entry point of one attempt process (module-level for spawn).
+
+    Runs the unit under its own tracer + scoped registry (same shape as
+    the plain pool's ``_traced_unit``), beating the heartbeat file from
+    a daemon thread the whole time, and ships a single atomic payload:
+    ``{ok, attempt, result|error, spans, metrics}``.  Any failure mode
+    that prevents the payload from landing -- SIGKILL, wedge, payload
+    pickling crash -- is what the parent classifies from the outside.
+    """
+    global _heartbeat_stop
+    stop = threading.Event()
+    _heartbeat_stop = stop
+    Path(heartbeat_path).touch()
+    beat = threading.Thread(target=_heartbeat_loop,
+                            args=(heartbeat_path, heartbeat_s, stop),
+                            daemon=True)
+    beat.start()
+
+    tracer = Tracer()
+    payload: dict[str, Any] = {"ok": True, "attempt": attempt}
+    with tracing(tracer), scoped_registry() as registry:
+        try:
+            with tracer.span("unit", index=index):
+                chaos_mod.inject(chaos_spec, unit=index, attempt=attempt)
+                payload["result"] = fn(**unit)
+        except BaseException as exc:  # ship *any* unit failure upward
+            payload = {"ok": False, "attempt": attempt,
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "traceback": traceback.format_exc()}
+        snapshot = registry.snapshot()
+    stop.set()
+
+    trees = tracer.tree()
+    payload["spans"] = trees[0] if trees else None
+    payload["metrics"] = snapshot
+    _write_payload(payload, result_path)
+    sys.exit(0 if payload["ok"] else 1)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass
+class _LiveAttempt:
+    process: Any
+    index: int
+    attempt: int
+    started_mono: float
+    result_path: Path
+    heartbeat_path: Path
+    #: When the worker's first heartbeat was observed -- the unit's
+    #: wall clock starts here, so spawn/import overhead never counts
+    #: against ``timeout_s``.
+    unit_started_mono: float | None = None
+    kill_reason: str | None = None
+
+
+def _load_payload(path: Path, attempt: int | None = None) -> dict | None:
+    """The attempt payload at ``path`` if intact (and attempt matches)."""
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:
+        # Missing, truncated (worker killed mid-write of the temp file
+        # never lands here, but a torn filesystem might), or version
+        # skew: treat as "no payload" and let exit status classify.
+        return None
+    if not isinstance(payload, dict) or "ok" not in payload:
+        return None
+    if attempt is not None and payload.get("attempt") != attempt:
+        return None
+    return payload
+
+
+def _classify(live: _LiveAttempt, payload: dict | None) -> tuple[str, str | None]:
+    """``(status, error)`` for a finished attempt."""
+    if payload is not None:
+        if payload["ok"]:
+            return "ok", None
+        return "raised", payload.get("error")
+    if live.kill_reason is not None:
+        return live.kill_reason, None
+    code = live.process.exitcode
+    if code == 0:
+        return "vanished", "exited 0 without shipping a result"
+    return "crashed", f"exit code {code}"
+
+
+def run_supervised(fn: Callable[..., Any],
+                   units: Sequence[dict[str, Any]], *,
+                   policy: SupervisorPolicy,
+                   jobs: int | None = None,
+                   kind: str | None = None) -> CampaignReport:
+    """Run every unit under supervision; see the module docstring.
+
+    Returns the full :class:`CampaignReport`.  Raises
+    :class:`CampaignAborted` (after finishing all other units) when a
+    unit is quarantined and ``policy.allow_partial`` is off.
+    """
+    units = list(units)
+    kind = kind or getattr(fn, "__qualname__", str(fn))
+    key = campaign_key(kind, units)
+    root = (Path(policy.journal_dir) if policy.journal_dir is not None
+            else default_journal_root())
+    scratch = root / key
+    journal_path = root / f"{key}.jsonl"
+    workers = min(resolve_jobs(jobs), len(units)) if units else 1
+    registry = get_registry()
+    chaos_spec = policy.chaos
+    if chaos_spec is None:
+        env_spec = os.environ.get(chaos_mod.CHAOS_ENV, "").strip()
+        chaos_spec = env_spec or None
+    if chaos_spec is not None:
+        chaos_mod.parse_chaos(chaos_spec)  # fail fast, before any dispatch
+    stale_after = policy.effective_stale_after_s
+
+    # -- resume: trust only journal'd done-units whose payload is intact
+    resumed: dict[int, dict[str, Any]] = {}
+    if policy.resume:
+        for record in Journal.read(journal_path):
+            if record.get("event") != "done":
+                continue
+            index = record.get("unit")
+            if not isinstance(index, int) or not (0 <= index < len(units)):
+                continue
+            payload = _load_payload(scratch / f"unit-{index}.pkl")
+            if payload is not None and payload["ok"]:
+                resumed[index] = payload
+
+    scratch.mkdir(parents=True, exist_ok=True)
+    journal = Journal(journal_path)
+    if policy.journal:
+        journal.open()
+
+    outcomes: dict[int, UnitOutcome] = {
+        index: UnitOutcome(index=index, status="resumed",
+                           result=payload.get("result"))
+        for index, payload in resumed.items()}
+    telemetry: dict[int, dict[str, Any]] = dict(resumed)
+    attempt_log: dict[int, list[AttemptRecord]] = {
+        i: [] for i in range(len(units))}
+    failed_payloads: dict[int, list[tuple[int, dict | None]]] = {
+        i: [] for i in range(len(units))}
+    counts = {"attempts": 0, "retries": 0, "timeouts": 0, "failures": 0}
+
+    with span("campaign", units=len(units), fn=kind):
+        registry.counter("campaign_units_total", len(units))
+        registry.gauge("campaign_workers", workers)
+        if resumed:
+            registry.counter("campaign_supervisor_resumed_total",
+                             len(resumed))
+        journal.append({"schema": JOURNAL_SCHEMA, "event": "begin",
+                        "key": key, "kind": kind, "units": len(units),
+                        "resumed": sorted(resumed), "ts": time.time()})
+
+        context = get_context("spawn")
+        pending: list[tuple[int, int, float]] = [
+            (index, 0, 0.0) for index in range(len(units))
+            if index not in resumed]
+        live: dict[int, _LiveAttempt] = {}
+
+        def dispatch(index: int, attempt: int) -> None:
+            result_path = scratch / f"unit-{index}.a{attempt}.res"
+            heartbeat_path = scratch / f"unit-{index}.a{attempt}.hb"
+            result_path.unlink(missing_ok=True)
+            # The *worker* creates the heartbeat file: its appearance
+            # marks "interpreter up, imports done", which is when the
+            # unit's timeout clock starts.
+            heartbeat_path.unlink(missing_ok=True)
+            journal.append({"event": "dispatch", "unit": index,
+                            "attempt": attempt, "ts": time.time()})
+            process = context.Process(
+                target=_attempt_main,
+                args=(fn, units[index], index, attempt, str(result_path),
+                      str(heartbeat_path), policy.heartbeat_s, chaos_spec),
+                daemon=True)
+            process.start()
+            counts["attempts"] += 1
+            registry.counter("campaign_supervisor_attempts_total")
+            live[index] = _LiveAttempt(
+                process=process, index=index, attempt=attempt,
+                started_mono=time.monotonic(), result_path=result_path,
+                heartbeat_path=heartbeat_path)
+
+        def settle(entry: _LiveAttempt) -> None:
+            """Classify a finished attempt; retry or conclude the unit."""
+            entry.process.join()
+            payload = _load_payload(entry.result_path, entry.attempt)
+            status, error = _classify(entry, payload)
+            duration = time.monotonic() - entry.started_mono
+            record = AttemptRecord(
+                attempt=entry.attempt, status=status,
+                exit_code=entry.process.exitcode, duration_s=duration,
+                error=error)
+            attempt_log[entry.index].append(record)
+            journal.append({"event": "attempt", "unit": entry.index,
+                            **record.as_dict(), "ts": time.time()})
+            entry.process.close()
+            entry.heartbeat_path.unlink(missing_ok=True)
+            del live[entry.index]
+
+            if status == "ok":
+                final = scratch / f"unit-{entry.index}.pkl"
+                os.replace(entry.result_path, final)
+                outcomes[entry.index] = UnitOutcome(
+                    index=entry.index, status="done",
+                    attempts=attempt_log[entry.index],
+                    result=payload["result"])
+                telemetry[entry.index] = payload
+                journal.append({"event": "done", "unit": entry.index,
+                                "attempts": entry.attempt + 1,
+                                "ts": time.time()})
+                return
+
+            counts["failures"] += 1
+            registry.counter("campaign_supervisor_failures_total")
+            if status in ("hung", "stalled"):
+                counts["timeouts"] += 1
+                registry.counter("campaign_supervisor_timeouts_total")
+            failed_payloads[entry.index].append((entry.attempt, payload))
+            entry.result_path.unlink(missing_ok=True)
+            if entry.attempt < policy.retries:
+                counts["retries"] += 1
+                registry.counter("campaign_supervisor_retries_total")
+                rng = substream(policy.seed,
+                                f"supervisor/backoff/{entry.index}/"
+                                f"{entry.attempt}")
+                delay = min(policy.backoff_cap_s,
+                            policy.backoff_base_s * 2 ** entry.attempt)
+                delay *= 0.5 + float(rng.random())
+                pending.append((entry.index, entry.attempt + 1,
+                                time.monotonic() + delay))
+            else:
+                outcomes[entry.index] = UnitOutcome(
+                    index=entry.index, status="quarantined",
+                    attempts=attempt_log[entry.index])
+                registry.counter("campaign_supervisor_quarantined_total")
+                journal.append({
+                    "event": "quarantine", "unit": entry.index,
+                    "attempts": [r.as_dict()
+                                 for r in attempt_log[entry.index]],
+                    "ts": time.time()})
+
+        try:
+            while pending or live:
+                now = time.monotonic()
+                ready = sorted(entry for entry in pending
+                               if entry[2] <= now)
+                for entry in ready:
+                    if len(live) >= workers:
+                        break
+                    pending.remove(entry)
+                    dispatch(entry[0], entry[1])
+                for entry in list(live.values()):
+                    if not entry.process.is_alive():
+                        settle(entry)
+                        continue
+                    now = time.monotonic()
+                    if entry.unit_started_mono is None:
+                        # Worker still booting: its first heartbeat
+                        # starts the unit clock.  A worker that never
+                        # comes up at all is caught by staleness.
+                        if entry.heartbeat_path.exists():
+                            entry.unit_started_mono = now
+                        elif now - entry.started_mono > stale_after:
+                            entry.kill_reason = "stalled"
+                    else:
+                        age = now - entry.unit_started_mono
+                        if (policy.timeout_s is not None
+                                and age > policy.timeout_s):
+                            entry.kill_reason = "hung"
+                        elif age > stale_after:
+                            try:
+                                hb_age = time.time() - \
+                                    entry.heartbeat_path.stat().st_mtime
+                            except OSError:
+                                hb_age = age
+                            if hb_age > stale_after:
+                                entry.kill_reason = "stalled"
+                    if entry.kill_reason is not None:
+                        entry.process.kill()
+                        settle(entry)
+                if pending or live:
+                    time.sleep(policy.poll_s)
+        finally:
+            # Teardown reaps every live attempt -- Ctrl-C or an engine
+            # bug must never leave orphan spawn workers behind.
+            for entry in live.values():
+                try:
+                    entry.process.kill()
+                    entry.process.join()
+                    entry.process.close()
+                except (OSError, ValueError):
+                    pass
+            live.clear()
+
+        # -- deterministic telemetry graft + metric merge, index order
+        tracer = current_tracer()
+        for index in range(len(units)):
+            outcome = outcomes.get(index)
+            if outcome is None:  # unreachable; defensive
+                continue
+            if outcome.status == "resumed":
+                with span("unit_resumed", index=index):
+                    pass
+                continue
+            for attempt, payload in failed_payloads[index]:
+                status = attempt_log[index][attempt].status
+                with span("unit_attempt", index=index, attempt=attempt,
+                          status=status):
+                    if (payload is not None and tracer is not None
+                            and payload.get("spans")):
+                        tracer.attach(payload["spans"])
+                if payload is not None and payload.get("metrics"):
+                    registry.merge(payload["metrics"])
+            if outcome.status == "done":
+                payload = telemetry[index]
+                if tracer is not None and payload.get("spans"):
+                    tracer.attach(payload["spans"])
+                if payload.get("metrics"):
+                    registry.merge(payload["metrics"])
+
+        ordered = [outcomes[index] for index in range(len(units))]
+        accounting = ExecutionAccounting(
+            units=len(units),
+            done=sum(1 for o in ordered if o.status == "done"),
+            resumed=sum(1 for o in ordered if o.status == "resumed"),
+            retried=counts["retries"],
+            quarantined=sum(1 for o in ordered
+                            if o.status == "quarantined"),
+            attempts=counts["attempts"])
+        journal.append({"event": "end", "ts": time.time(),
+                        **accounting.as_dict()})
+        journal.close()
+
+    report = CampaignReport(
+        key=key, journal_path=journal_path if policy.journal else None,
+        outcomes=ordered, accounting=accounting)
+    if accounting.complete:
+        # Nothing left to resume: drop the scratch payloads (the journal
+        # itself is kept as the durable record of what happened).
+        shutil.rmtree(scratch, ignore_errors=True)
+    if accounting.quarantined and not policy.allow_partial:
+        raise CampaignAborted(report)
+    return report

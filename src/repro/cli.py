@@ -52,6 +52,35 @@ from repro.sim.scenario import paper_scenario, small_scenario
 __all__ = ["main"]
 
 
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerant-execution flags shared by analyze/validate.
+
+    Any one of them switches the campaign layer to the supervised
+    executor (:mod:`repro.campaign.supervisor`); with none set the
+    plain pool runs exactly as before.
+    """
+    group = parser.add_argument_group("fault-tolerant execution")
+    group.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                       help="kill a work unit exceeding S seconds of wall "
+                            "clock and retry it (classified hung)")
+    group.add_argument("--retries", type=int, default=None, metavar="K",
+                       help="retry a failed unit up to K times with "
+                            "jittered backoff before quarantining it "
+                            "(default 2 once supervision is active)")
+    group.add_argument("--resume", action="store_true",
+                       help="skip units the campaign journal already "
+                            "records as done (after a crash or Ctrl-C)")
+    group.add_argument("--allow-partial", action="store_true",
+                       help="return merged partial results instead of "
+                            "failing when a unit exhausts its retries; "
+                            "completeness is reported and oracle "
+                            "verdicts gate to n/a")
+    group.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="arm the deterministic fault injector in "
+                            "workers, e.g. 'crash@0,hang@1:30' "
+                            "(see repro.faults.chaos)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,9 +128,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="with --stream: exit 3 if any process's "
                               "peak RSS exceeds this budget (the CI "
                               "memory smoke uses this)")
+    analyze.add_argument("--oracle", action="store_true",
+                         help="with --stream: check the merged summary "
+                              "against the paper-band oracle (verdicts "
+                              "gate to n/a on partial coverage)")
     analyze.add_argument("--telemetry", default=None, metavar="DIR",
                          help="write trace.jsonl / metrics.prom / "
                               "metrics.json for this run to DIR")
+    _add_supervision_flags(analyze)
 
     baseline = sub.add_parser(
         "baseline", help="error-log-only analysis of a bundle (prior work)")
@@ -133,6 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--telemetry", default=None, metavar="DIR",
                           help="write trace.jsonl / metrics.prom / "
                                "metrics.json for this run to DIR")
+    _add_supervision_flags(validate)
 
     trace = sub.add_parser(
         "trace", help="run a small end-to-end pipeline under the tracer "
@@ -229,6 +264,20 @@ def _cmd_analyze_stream(args: argparse.Namespace) -> int:
     summary = analysis.summary()
     print(f"\nsystem-failure share: {summary['system_failure_share']:.4f}")
     print(f"failed node-hour share: {summary['failed_node_hour_share']:.4f}")
+    if analysis.execution is not None:
+        acc = analysis.execution
+        print(f"supervised execution: {acc.done}/{acc.units} units done, "
+              f"{acc.resumed} resumed, {acc.retried} retried, "
+              f"{acc.quarantined} quarantined "
+              f"[{'complete' if acc.complete else 'PARTIAL'}]")
+    if args.oracle:
+        from repro.validation.oracle import check_summary
+
+        print("\n=== calibration oracle (paper-abstract bands) ===")
+        oracle = check_summary(summary, complete=analysis.complete)
+        print(oracle.render())
+        if not oracle.passed:
+            return 1
     peak_mb = analysis.peak_rss_kb / 1024.0
     print(f"peak RSS (max over parent and workers): {peak_mb:,.0f} MB")
     if args.rss_budget_mb is not None and peak_mb > args.rss_budget_mb:
@@ -398,20 +447,70 @@ _COMMANDS = {
 }
 
 
+def _run_handler(handler, args: argparse.Namespace) -> int:
+    """Dispatch one subcommand, mapping campaign aborts to exit 4.
+
+    A quarantined unit without ``--allow-partial`` is an *execution*
+    failure, reported with its attempt log and journal path so the
+    operator can rerun with ``--resume`` (completed units are kept).
+    """
+    from repro.campaign.supervisor import CampaignAborted
+
+    try:
+        return handler(args)
+    except CampaignAborted as exc:
+        report = exc.report
+        print(f"\ncampaign aborted: {len(report.quarantined_indices)} "
+              f"unit(s) quarantined after exhausting retries")
+        for outcome in report.outcomes:
+            if outcome.status != "quarantined":
+                continue
+            print(f"  unit {outcome.index}:")
+            for attempt in outcome.attempts:
+                detail = f" ({attempt.error})" if attempt.error else ""
+                print(f"    attempt {attempt.attempt}: "
+                      f"{attempt.status}{detail}")
+        if report.journal_path is not None:
+            print(f"journal: {report.journal_path}")
+            print("rerun with --resume to keep the completed units, or "
+                  "--allow-partial to accept a partial result")
+        return 4
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.campaign.engine import configure_engine
+    from repro.campaign.supervisor import build_policy
+    from repro.errors import ConfigurationError
+
     args = _build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
-    telemetry = getattr(args, "telemetry", None)
-    if telemetry is None or args.command == "trace":
-        # trace manages its own tracer (it renders the report itself).
-        return handler(args)
-    tracer = Tracer()
-    with tracing(tracer), scoped_registry() as registry:
-        code = handler(args)
-    for path in write_telemetry(telemetry, tracer, registry):
-        print(f"telemetry: wrote {path}")
-    return code
+    policy = None
+    if hasattr(args, "retries"):
+        try:
+            policy = build_policy(
+                timeout_s=args.timeout_s, retries=args.retries,
+                resume=args.resume, allow_partial=args.allow_partial,
+                chaos=args.chaos)
+        except ConfigurationError as exc:
+            print(f"bad supervision flags: {exc}")
+            return 2
+    if policy is not None:
+        configure_engine(policy=policy)
+    try:
+        telemetry = getattr(args, "telemetry", None)
+        if telemetry is None or args.command == "trace":
+            # trace manages its own tracer (it renders the report itself).
+            return _run_handler(handler, args)
+        tracer = Tracer()
+        with tracing(tracer), scoped_registry() as registry:
+            code = _run_handler(handler, args)
+        for path in write_telemetry(telemetry, tracer, registry):
+            print(f"telemetry: wrote {path}")
+        return code
+    finally:
+        if policy is not None:
+            configure_engine(policy=None)
 
 
 if __name__ == "__main__":

@@ -55,7 +55,7 @@ try:
 except ImportError:  # non-POSIX: RSS probes read 0
     resource = None  # type: ignore[assignment]
 
-from repro.campaign.engine import run_campaign
+from repro.campaign.engine import current_policy, run_campaign
 from repro.core.attribution import attribute_clusters
 from repro.core.categorize import categorize_runs
 from repro.core.config import LogDiverConfig
@@ -324,6 +324,15 @@ class StreamedAnalysis:
     xk_curve: ScalingCurve
     #: Max peak RSS (KB) across the parent and every shard worker.
     peak_rss_kb: int
+    #: Completeness accounting when the shards ran supervised
+    #: (:class:`repro.campaign.supervisor.ExecutionAccounting` merged
+    #: over both phases); ``None`` on the plain unsupervised path.
+    execution: Any = None
+
+    @property
+    def complete(self) -> bool:
+        """False only when supervised execution lost (quarantined) shards."""
+        return self.execution is None or self.execution.complete
 
     def summary(self) -> dict[str, float]:
         """Identical keys and values to :meth:`Analysis.summary`."""
@@ -331,10 +340,34 @@ class StreamedAnalysis:
                             self.xe_curve, self.xk_curve)
 
 
+def _merged_accounting(parts: list[Any]) -> Any:
+    """Both phases' supervised accounting folded into one (or None)."""
+    if not parts:
+        return None
+    from repro.campaign.supervisor import ExecutionAccounting
+    return ExecutionAccounting.merge(parts)
+
+
+def _run_phase(fn, units, *, jobs, policy, accounting_parts):
+    """One shard fan-out, supervised when a policy is in force.
+
+    Returns the per-unit results list -- with ``None`` holes where a
+    supervised unit was quarantined under ``allow_partial`` (the
+    supervisor raises before returning when partial results are not
+    allowed).
+    """
+    if policy is None:
+        return run_campaign(fn, units, jobs=jobs)
+    from repro.campaign.supervisor import run_supervised
+    report = run_supervised(fn, units, policy=policy, jobs=jobs)
+    accounting_parts.append(report.accounting)
+    return report.results
+
+
 def analyze_streamed(directory: str | Path, *, shards: int = 8,
                      jobs: int | None = None, strict: bool = True,
-                     config: LogDiverConfig | None = None
-                     ) -> StreamedAnalysis:
+                     config: LogDiverConfig | None = None,
+                     policy: Any = None) -> StreamedAnalysis:
     """Run the full LogDiver pipeline without materializing the bundle.
 
     Produces the same headline numbers as
@@ -342,9 +375,22 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
     tests assert byte-identical summaries -- while holding only one
     shard's records (plus tuples, clusters, and accumulators) in memory
     at a time.  ``jobs`` fans shards out through the campaign engine.
+
+    With a supervision ``policy`` (explicit, or installed process-wide
+    via :func:`~repro.campaign.engine.configure_engine`) both shard
+    phases run under :mod:`repro.campaign.supervisor` -- timeouts,
+    retries, journal/resume -- and the result carries an ``execution``
+    accounting.  Under ``allow_partial``, a shard quarantined in either
+    phase is *dropped*: its runs and error records simply do not
+    contribute, the merges stay exact over what survived, and
+    ``complete`` turns False so report consumers (the oracle above all)
+    can gate themselves.
     """
     directory = Path(directory)
     config = config or LogDiverConfig()
+    if policy is None:
+        policy = current_policy()
+    accounting_parts: list[Any] = []
     registry = get_registry()
     with span("analyze_streamed", shards=shards) as top:
         manifest, epoch = read_manifest(directory)
@@ -357,7 +403,10 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
                       strict=strict,
                       tupling_window_s=config.tupling_window_s)
                  for k in range(plan.n_shards)]
-        phase1 = run_campaign(_classify_shard_unit, units, jobs=jobs)
+        phase1 = [r for r in _run_phase(_classify_shard_unit, units,
+                                        jobs=jobs, policy=policy,
+                                        accounting_parts=accounting_parts)
+                  if r is not None]
 
         tuples = merge_error_tuples([r["tuples"] for r in phase1],
                                     config.tupling_window_s)
@@ -378,7 +427,14 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
                         if f in plan.slices},
                 strict=strict, config=config,
                 clusters=_halo_clusters(clusters, lo, hi, config)))
-        phase2 = run_campaign(_diagnose_shard_unit, units, jobs=jobs)
+        # A quarantined phase-2 shard loses only its own contained runs
+        # and open boundary records; a start carried from an earlier
+        # shard can still pair with an end in a later one, so the holes
+        # are simply skipped below.
+        phase2 = [r for r in _run_phase(_diagnose_shard_unit, units,
+                                        jobs=jobs, policy=policy,
+                                        accounting_parts=accounting_parts)
+                  if r is not None]
 
         report = IngestReport()
         for result in phase1:
@@ -467,7 +523,8 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
             system_mtbf_h=system_mtbf_by_category(clusters, window),
             xe_curve=acc.xe_curve.finalize(),
             xk_curve=acc.xk_curve.finalize(),
-            peak_rss_kb=peak_rss_kb)
+            peak_rss_kb=peak_rss_kb,
+            execution=_merged_accounting(accounting_parts))
 
 
 def rss_probe_unit(*, directory: str, mode: str, shards: int = 8,

@@ -76,3 +76,13 @@ class SimulationError(ReproError):
 class AnalysisError(ReproError):
     """A LogDiver analysis step received data it cannot process
     (e.g. an empty run table where at least one run is required)."""
+
+
+class CampaignError(ReproError):
+    """A supervised campaign could not deliver its results.
+
+    Base for execution-layer failures (as opposed to failures *of the
+    analysis itself*): quarantined units, unreadable journals, invalid
+    supervision policies.  The concrete abort carrying the partial
+    report is :class:`repro.campaign.supervisor.CampaignAborted`.
+    """

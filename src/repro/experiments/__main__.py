@@ -5,7 +5,10 @@ the full bench sweep).
 ``--jobs N`` fans independent campaign units (sweep scale points,
 ablation variants, seed replications) across N worker processes;
 ``--no-cache`` bypasses the persistent result cache under
-``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``)."""
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).  The supervision
+flags (``--timeout-s/--retries/--resume/--allow-partial/--chaos``)
+switch the fan-out to the fault-tolerant executor
+(:mod:`repro.campaign.supervisor`)."""
 
 from __future__ import annotations
 
@@ -16,6 +19,8 @@ import time
 
 from repro.campaign.cache import configure_cache, get_cache
 from repro.campaign.engine import configure_engine
+from repro.campaign.supervisor import CampaignAborted, build_policy
+from repro.errors import ConfigurationError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.obs import Tracer, get_registry, tracing, write_telemetry
 
@@ -37,11 +42,33 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--telemetry", default=None, metavar="DIR",
                         help="write trace.jsonl / metrics.prom / "
                              "metrics.json for this run to DIR")
+    parser.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                        help="kill and retry a campaign unit exceeding "
+                             "S seconds of wall clock")
+    parser.add_argument("--retries", type=int, default=None, metavar="K",
+                        help="retries per failed unit before quarantine "
+                             "(default 2 once supervision is active)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip units the campaign journal already "
+                             "records as done")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="accept partial campaign results instead of "
+                             "failing on quarantined units")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="arm the deterministic in-worker fault "
+                             "injector (see repro.faults.chaos)")
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
-    configure_engine(jobs=args.jobs)
+    try:
+        policy = build_policy(
+            timeout_s=args.timeout_s, retries=args.retries,
+            resume=args.resume, allow_partial=args.allow_partial,
+            chaos=args.chaos)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    configure_engine(jobs=args.jobs, policy=policy)
     if args.no_cache:
         configure_cache(enabled=False)
     if args.cache_dir:
@@ -54,16 +81,23 @@ def main(argv: list[str]) -> int:
               f"have {sorted(EXPERIMENTS)}")
         return 2
     tracer = Tracer() if args.telemetry else None
-    with contextlib.ExitStack() as stack:
-        if tracer is not None:
-            stack.enter_context(tracing(tracer))
-        for experiment_id in ids:
-            start = time.time()
-            result = run_experiment(experiment_id)
-            elapsed = time.time() - start
-            print(result.render())
-            print(f"[{experiment_id} completed in {elapsed:.1f}s]")
-            print()
+    try:
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(tracing(tracer))
+            for experiment_id in ids:
+                start = time.time()
+                result = run_experiment(experiment_id)
+                elapsed = time.time() - start
+                print(result.render())
+                print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+                print()
+    except CampaignAborted as exc:
+        print(f"campaign aborted: {exc}")
+        print("rerun with --resume to keep the completed units")
+        return 4
+    finally:
+        configure_engine(policy=None)
     cache = get_cache()
     if cache.enabled:
         # Read the registry, not the local CacheStats: campaign workers'

@@ -1,6 +1,15 @@
 """Fault substrate: taxonomy, arrival processes, injection, propagation,
-detection, and system-wide outages."""
+detection, and system-wide outages -- plus the two injectors that turn
+the repo's own robustness claims into tests (:mod:`~repro.faults.corruptor`
+for log data, :mod:`~repro.faults.chaos` for worker processes)."""
 
+from repro.faults.chaos import (
+    ChaosAction,
+    ChaosError,
+    ChaosSchedule,
+    inject,
+    parse_chaos,
+)
 from repro.faults.corruptor import (
     CorruptionConfig,
     CorruptionReport,
@@ -35,6 +44,9 @@ from repro.faults.taxonomy import (
 __all__ = [
     "CATEGORY_SPECS",
     "CategorySpec",
+    "ChaosAction",
+    "ChaosError",
+    "ChaosSchedule",
     "ClusterProcess",
     "CorruptionConfig",
     "CorruptionReport",
@@ -61,6 +73,8 @@ __all__ = [
     "downtime_budget",
     "export_fault_trace",
     "import_fault_trace",
+    "inject",
     "outage_windows",
+    "parse_chaos",
     "swo_events",
 ]

@@ -1,0 +1,190 @@
+"""Deterministic in-worker fault injector for supervised campaigns.
+
+Fault injection into the *execution layer itself*: where
+:mod:`repro.faults.corruptor` damages the data a pipeline reads, this
+module damages the worker processes that run it, so the supervisor
+(:mod:`repro.campaign.supervisor`) can be tested end-to-end against the
+fault classes the paper measures -- crashed applications, hung
+applications, and runaway memory -- instead of against mocks.
+
+A *chaos schedule* names exactly which ``(unit, attempt)`` pairs are
+sabotaged and how, so a given spec always injects the same faults no
+matter how many workers run or in what order units complete.  The
+supervisor arms workers either explicitly (``SupervisorPolicy.chaos``)
+or through the ``REPRO_CHAOS`` environment variable, which spawn
+workers inherit -- mirroring how ``REPRO_NO_CACHE`` reaches them.  With
+neither set, :func:`inject` is a no-op, so the hook can sit in the
+production worker path.
+
+Spec grammar (comma-separated actions)::
+
+    SPEC   := ACTION ("," ACTION)*
+    ACTION := MODE "@" TARGET ["x" TIMES] [":" PARAM]
+    MODE   := "crash" | "hang" | "raise" | "bloat" | "stall"
+    TARGET := unit index | "*"        (every unit)
+    TIMES  := attempts sabotaged, default 1 (attempts 0..TIMES-1)
+    PARAM  := mode parameter (hang/stall seconds, bloat MB)
+
+``crash@1`` SIGKILLs unit 1's first attempt; ``hang@3x2:60`` makes unit
+3's first two attempts sleep 60 s; ``bloat@*:128`` balloons every
+unit's RSS by ~128 MB.
+
+Mode semantics:
+
+* ``crash`` -- the worker SIGKILLs itself mid-unit: no result, no exit
+  handler, exactly what an OOM kill or node failure looks like.
+* ``hang``  -- the worker sleeps ``PARAM`` seconds (default 15) while
+  its heartbeat keeps beating: with a per-unit ``timeout_s`` below the
+  sleep the supervisor kills and classifies it *hung*; without one the
+  unit is merely delayed and completes normally.
+* ``stall`` -- the worker stops its heartbeat thread, then sleeps
+  (default 60 s): liveness detection, not the wall-clock timeout, must
+  catch it.
+* ``raise`` -- the unit raises :class:`ChaosError`: the clean-failure
+  path (worker ships the error and exits nonzero).
+* ``bloat`` -- the worker commits ~``PARAM`` MB (default 64) of ballast
+  before running the unit, inflating the peak-RSS telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = ["CHAOS_ENV", "CHAOS_MODES", "ChaosAction", "ChaosError",
+           "ChaosSchedule", "inject", "parse_chaos", "schedule_from_env"]
+
+#: Environment variable carrying a chaos spec into spawn workers.
+CHAOS_ENV = "REPRO_CHAOS"
+
+CHAOS_MODES = ("crash", "hang", "raise", "bloat", "stall")
+
+#: Default sleep for ``hang`` -- long enough that any practical
+#: ``timeout_s`` fires first, short enough that an *unsupervised* run
+#: armed by accident still terminates.
+DEFAULT_HANG_S = 15.0
+DEFAULT_STALL_S = 60.0
+DEFAULT_BLOAT_MB = 64.0
+
+#: Ballast kept alive for the worker's lifetime (bloat mode).
+_ballast: bytearray | None = None
+
+
+class ChaosError(ReproError):
+    """The failure injected by a ``raise`` chaos action."""
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One sabotage rule: which mode hits which unit, how many times."""
+
+    mode: str
+    unit: int | None  # None = every unit ("*")
+    times: int = 1
+    param: float | None = None
+
+    def applies(self, unit: int, attempt: int) -> bool:
+        if self.unit is not None and self.unit != unit:
+            return False
+        return attempt < self.times
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A parsed spec: the full set of sabotage rules, first match wins."""
+
+    actions: tuple[ChaosAction, ...]
+    spec: str
+
+    def action_for(self, unit: int, attempt: int) -> ChaosAction | None:
+        for action in self.actions:
+            if action.applies(unit, attempt):
+                return action
+        return None
+
+
+def _parse_action(text: str) -> ChaosAction:
+    mode, sep, rest = text.partition("@")
+    mode = mode.strip()
+    if not sep or mode not in CHAOS_MODES:
+        raise ConfigurationError(
+            f"bad chaos action {text!r}: want MODE@TARGET[xN][:PARAM] "
+            f"with MODE in {CHAOS_MODES}")
+    rest, _, param_text = rest.partition(":")
+    target, _, times_text = rest.partition("x")
+    target = target.strip()
+    try:
+        unit = None if target == "*" else int(target)
+        times = int(times_text) if times_text.strip() else 1
+        param = float(param_text) if param_text.strip() else None
+    except ValueError as exc:
+        raise ConfigurationError(f"bad chaos action {text!r}: {exc}") from exc
+    if unit is not None and unit < 0:
+        raise ConfigurationError(f"chaos unit must be >= 0 in {text!r}")
+    if times < 1:
+        raise ConfigurationError(f"chaos times must be >= 1 in {text!r}")
+    if param is not None and param < 0:
+        raise ConfigurationError(f"chaos param must be >= 0 in {text!r}")
+    return ChaosAction(mode=mode, unit=unit, times=times, param=param)
+
+
+def parse_chaos(spec: str) -> ChaosSchedule:
+    """Parse a chaos spec string (see the module docstring grammar)."""
+    actions = tuple(_parse_action(part)
+                    for part in spec.split(",") if part.strip())
+    if not actions:
+        raise ConfigurationError(f"empty chaos spec {spec!r}")
+    return ChaosSchedule(actions=actions, spec=spec)
+
+
+def schedule_from_env() -> ChaosSchedule | None:
+    """The schedule armed via ``$REPRO_CHAOS``, if any."""
+    spec = os.environ.get(CHAOS_ENV, "").strip()
+    return parse_chaos(spec) if spec else None
+
+
+def _bloat(mb: float) -> None:
+    global _ballast
+    size = int(mb * 1024 * 1024)
+    _ballast = bytearray(size)
+    # Touch every page so the allocation is committed, not just mapped.
+    for offset in range(0, size, 4096):
+        _ballast[offset] = 1
+
+
+def inject(schedule: ChaosSchedule | str | None, *, unit: int,
+           attempt: int) -> ChaosAction | None:
+    """Execute the scheduled sabotage for ``(unit, attempt)``, if any.
+
+    Called by the supervisor's worker shim at the top of every unit.
+    Returns the action taken for the non-fatal modes (``raise`` raises,
+    ``crash`` never returns); ``None`` means the attempt runs clean.
+    """
+    if schedule is None:
+        return None
+    if isinstance(schedule, str):
+        schedule = parse_chaos(schedule)
+    action = schedule.action_for(unit, attempt)
+    if action is None:
+        return None
+    if action.mode == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action.mode == "hang":
+        time.sleep(action.param if action.param is not None
+                   else DEFAULT_HANG_S)
+    elif action.mode == "stall":
+        from repro.campaign.supervisor import stop_heartbeat
+        stop_heartbeat()
+        time.sleep(action.param if action.param is not None
+                   else DEFAULT_STALL_S)
+    elif action.mode == "raise":
+        raise ChaosError(f"chaos: injected failure "
+                         f"(unit {unit}, attempt {attempt})")
+    elif action.mode == "bloat":
+        _bloat(action.param if action.param is not None
+               else DEFAULT_BLOAT_MB)
+    return action

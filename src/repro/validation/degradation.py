@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.campaign.engine import run_campaign
 from repro.core.pipeline import LogDiver
+from repro.errors import CampaignError
 from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
 from repro.logs.bundle import read_bundle
 from repro.obs.tracing import span
@@ -119,7 +120,14 @@ def degradation_curve(bundle_dir, rates=DEFAULT_RATES, *,
              for rate in swept]
     with span("degradation_sweep", rates=len(swept), seed=seed):
         results = run_campaign(_degradation_unit, units, jobs=jobs)
+    # Under a supervised --allow-partial run a quarantined sweep point
+    # arrives as None; the sweep stays meaningful without it -- unless
+    # the lost point is the clean anchor every drift is measured from.
+    if results and results[0] is None:
+        raise CampaignError(
+            "degradation sweep lost its clean (rate 0) anchor point")
     points = tuple(DegradationPoint(
         rate=r["rate"], summary=r["summary"], quarantined=r["quarantined"],
-        parsed=r["parsed"], mutations=r["mutations"]) for r in results)
+        parsed=r["parsed"], mutations=r["mutations"])
+        for r in results if r is not None)
     return DegradationReport(points=points)

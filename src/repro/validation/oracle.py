@@ -45,14 +45,15 @@ class OracleBand:
     #: paper's extreme-bucket ratio.
     gate_key: str | None = None
 
-    def check(self, measured: float | None,
-              gate: float | None = None) -> "OracleCheck":
-        gated = (self.gate_key is not None and gate is not None
-                 and gate < 0.5)
+    def check(self, measured: float | None, gate: float | None = None,
+              *, reason: str | None = None) -> "OracleCheck":
+        gated = reason is not None or (
+            self.gate_key is not None and gate is not None and gate < 0.5)
         ok = (not gated and measured is not None
               and math.isfinite(measured)
               and self.lo <= measured <= self.hi)
-        return OracleCheck(band=self, measured=measured, ok=ok, gated=gated)
+        return OracleCheck(band=self, measured=measured, ok=ok, gated=gated,
+                           reason=reason or "not comparable")
 
     @classmethod
     def from_target(cls, summary_key: str, target_key: str, *,
@@ -76,13 +77,17 @@ class OracleCheck:
     band: OracleBand
     measured: float | None
     ok: bool
-    #: True when the band's gate flag said "not comparable this run".
+    #: True when the band's gate flag said "not comparable this run" --
+    #: or when the whole summary came from a partial (quarantined-shard)
+    #: execution, in which case every band gates.
     gated: bool = False
+    #: Why the band gated (rendered in the status column).
+    reason: str = "not comparable"
 
     @property
     def status(self) -> str:
         if self.gated:
-            return "n/a (not comparable)"
+            return f"n/a ({self.reason})"
         if self.ok:
             return "ok"
         return "FAIL" if self.band.required else "off-band (advisory)"
@@ -143,14 +148,25 @@ DEFAULT_BANDS: tuple[OracleBand, ...] = (
 
 
 def check_summary(summary: dict[str, float], *,
-                  bands: tuple[OracleBand, ...] = DEFAULT_BANDS
-                  ) -> OracleReport:
-    """Check one ``Analysis.summary()`` dict against the oracle bands."""
-    with span("validate_oracle", bands=len(bands)) as sp:
+                  bands: tuple[OracleBand, ...] = DEFAULT_BANDS,
+                  complete: bool = True) -> OracleReport:
+    """Check one ``Analysis.summary()`` dict against the oracle bands.
+
+    ``complete=False`` -- the summary was merged from a *partial*
+    supervised execution (quarantined shards dropped under
+    ``--allow-partial``) -- gates **every** band to "n/a": shares and
+    MTBFs computed over a biased subset of runs must never produce a
+    pass/fail verdict against the paper.  The report then trivially
+    "passes" (nothing comparable failed) but each row says why.
+    """
+    with span("validate_oracle", bands=len(bands),
+              complete=complete) as sp:
+        reason = None if complete else "partial coverage"
         report = OracleReport(checks=tuple(
             band.check(summary.get(band.key),
                        summary.get(band.gate_key)
-                       if band.gate_key is not None else None)
+                       if band.gate_key is not None else None,
+                       reason=reason)
             for band in bands))
         registry = get_registry()
         for check in report.checks:

@@ -13,6 +13,10 @@ The contracts under test are the ones the experiments rely on:
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
+import signal
+import time
 
 import pytest
 
@@ -282,3 +286,52 @@ class TestPresetCaching:
                                         seed=self.SEED).summary()
         assert isolated_cache.stats.hits > 0
         assert canonical_json(cold) == canonical_json(warm)
+
+
+class _KillMidPickle:
+    """Pickling this object SIGKILLs the process -- a worker dying in
+    the middle of serializing a cache entry, pages already on disk."""
+
+    def __reduce__(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+        return (int, ())  # unreachable
+
+
+def _store_bomb(directory: str) -> None:
+    """Spawn target: die by SIGKILL mid-way through a cache store."""
+    cache = ResultCache(directory, enabled=True)
+    # The big list streams real bytes into the staging file before the
+    # bomb detonates, so the kill lands mid-write, not pre-write.
+    cache.store(cache_key("bomb", {"x": 1}),
+                [list(range(100_000)), _KillMidPickle()])
+
+
+class TestAtomicCacheCommit:
+    """A SIGKILL mid-store must never publish a torn entry."""
+
+    def test_sigkill_mid_store_leaves_no_torn_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        good_key = cache_key("good", {"x": 1})
+        cache.store(good_key, {"answer": 17})
+
+        context = multiprocessing.get_context("spawn")
+        process = context.Process(target=_store_bomb,
+                                  args=(str(tmp_path),))
+        process.start()
+        process.join(60)
+        assert process.exitcode == -signal.SIGKILL
+
+        # The bomb's key never became visible...
+        found, _ = cache.load(cache_key("bomb", {"x": 1}))
+        assert not found
+        # ...the pre-existing entry is untouched...
+        found, value = cache.load(good_key)
+        assert found and value == {"answer": 17}
+        # ...and the only residue is an orphaned staging file, which
+        # the age-guarded sweep reclaims without racing live stores.
+        orphans = list((tmp_path / "objects").glob("*.tmp"))
+        assert orphans
+        assert cache.sweep_stale(max_age_s=3600.0) == 0
+        time.sleep(0.05)
+        assert cache.sweep_stale(max_age_s=0.01) == len(orphans)
+        assert not list((tmp_path / "objects").glob("*.tmp"))

@@ -1,0 +1,563 @@
+"""Supervised fault-tolerant execution: retries, timeouts, resume, chaos.
+
+The contracts under test are the PR's acceptance criteria:
+
+* a seeded chaos schedule (crashes, hangs, stalls, raised errors) plus
+  retries >= failures-per-unit produces results identical to the
+  fault-free serial loop -- supervision never changes answers;
+* exhausted units are quarantined (``CampaignAborted`` unless the
+  policy allows partial results) after every other unit completes;
+* the write-ahead journal survives torn tails and drives ``resume``
+  without re-running finished units;
+* teardown reaps every spawn worker -- Ctrl-C leaves no orphans;
+* serial and ``--jobs 2`` supervised runs emit the same trace skeleton
+  and counter totals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.engine import (
+    configure_engine,
+    current_policy,
+    run_campaign,
+)
+from repro.campaign.supervisor import (
+    ATTEMPT_STATUSES,
+    JOURNAL_SCHEMA,
+    CampaignAborted,
+    ExecutionAccounting,
+    Journal,
+    SupervisorPolicy,
+    build_policy,
+    campaign_key,
+    run_supervised,
+)
+from repro.core.sharding import analyze_streamed
+from repro.errors import ConfigurationError
+from repro.faults.chaos import (
+    ChaosError,
+    inject,
+    parse_chaos,
+    schedule_from_env,
+)
+from repro.obs import Tracer, normalized_events, scoped_registry, tracing
+from repro.util.rngs import RngFactory
+
+
+def _sup_unit(value: int, seed: int) -> tuple[int, int]:
+    """Module-level so spawn attempt processes can pickle it."""
+    rng = RngFactory(seed + value).get("test/supervised-unit")
+    return value, int(rng.integers(0, 1_000_000))
+
+
+def _exit_zero_unit(value: int) -> int:
+    """A worker that dies silently *successfully*: exit 0, no payload."""
+    os._exit(0)
+
+
+def _units(n: int, seed: int = 7) -> list[dict]:
+    return [dict(value=i, seed=seed) for i in range(n)]
+
+
+def _clean(units: list[dict]) -> list:
+    return [_sup_unit(**u) for u in units]
+
+
+def _policy(journal_dir, **overrides) -> SupervisorPolicy:
+    """A test policy: fast heartbeats/backoff, journal in a tmp dir."""
+    overrides.setdefault("journal_dir", str(journal_dir))
+    overrides.setdefault("heartbeat_s", 0.2)
+    overrides.setdefault("backoff_base_s", 0.01)
+    overrides.setdefault("backoff_cap_s", 0.05)
+    return SupervisorPolicy(**overrides)
+
+
+class TestChaosSpec:
+    def test_full_grammar(self):
+        schedule = parse_chaos("crash@1,hang@3x2:60,bloat@*:128")
+        crash, hang, bloat = schedule.actions
+        assert (crash.mode, crash.unit, crash.times, crash.param) == \
+            ("crash", 1, 1, None)
+        assert (hang.mode, hang.unit, hang.times, hang.param) == \
+            ("hang", 3, 2, 60.0)
+        assert (bloat.mode, bloat.unit, bloat.times, bloat.param) == \
+            ("bloat", None, 1, 128.0)
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "crash", "nuke@1", "crash@", "crash@1.5",
+        "crash@-1", "crash@1x0", "hang@1:-5", "crash@1xtwo",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_chaos(bad)
+
+    def test_first_match_wins_and_times_window(self):
+        schedule = parse_chaos("crash@1x2,raise@*")
+        assert schedule.action_for(1, 0).mode == "crash"
+        assert schedule.action_for(1, 1).mode == "crash"
+        # Unit 1's crash budget exhausted: falls through to the
+        # wildcard, whose own window (attempt 0 only) has passed too.
+        assert schedule.action_for(1, 2) is None
+        assert schedule.action_for(0, 0).mode == "raise"
+        assert schedule.action_for(0, 1) is None
+
+    def test_schedule_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert schedule_from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "raise@0")
+        assert schedule_from_env().actions[0].mode == "raise"
+        monkeypatch.setenv("REPRO_CHAOS", "garbage")
+        with pytest.raises(ConfigurationError):
+            schedule_from_env()
+
+    def test_inject_noop_and_raise(self):
+        assert inject(None, unit=0, attempt=0) is None
+        assert inject("raise@3", unit=0, attempt=0) is None
+        with pytest.raises(ChaosError):
+            inject("raise@3", unit=3, attempt=0)
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        dict(timeout_s=0.0), dict(heartbeat_s=0.0),
+        dict(stale_after_s=-1.0), dict(retries=-1),
+        dict(backoff_base_s=-0.1), dict(chaos="nuke@1"),
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(**kwargs)
+
+    def test_effective_stale_after(self):
+        assert SupervisorPolicy().effective_stale_after_s == 10.0
+        assert SupervisorPolicy(
+            heartbeat_s=2.0).effective_stale_after_s == 20.0
+        assert SupervisorPolicy(
+            stale_after_s=3.0).effective_stale_after_s == 3.0
+
+    def test_build_policy_is_opt_in(self):
+        # No supervision flag -> no policy -> the plain pool path.
+        assert build_policy() is None
+        policy = build_policy(retries=5)
+        assert policy is not None and policy.retries == 5
+        # Any single flag activates supervision with default retries.
+        policy = build_policy(chaos="raise@0")
+        assert policy.retries == 2 and policy.chaos == "raise@0"
+        assert build_policy(resume=True).resume
+        assert build_policy(allow_partial=True).allow_partial
+
+
+class TestCampaignKey:
+    def test_stable_and_sensitive(self):
+        units = _units(3)
+        assert campaign_key("k", units) == campaign_key("k", _units(3))
+        assert campaign_key("k", units) != campaign_key("other", units)
+        assert campaign_key("k", units) != campaign_key("k", _units(2))
+
+    def test_pickle_fallback_for_rich_units(self):
+        # bytes defeat canonical JSON -> the pickle-digest fallback,
+        # which must still be stable for identically built unit lists.
+        rich = [dict(blob=b"abc", value=1)]
+        assert campaign_key("k", rich) == \
+            campaign_key("k", [dict(blob=b"abc", value=1)])
+        assert campaign_key("k", rich) != \
+            campaign_key("k", [dict(blob=b"abd", value=1)])
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path).open()
+        records = [{"event": "begin", "schema": JOURNAL_SCHEMA},
+                   {"event": "done", "unit": 0}]
+        for record in records:
+            journal.append(record)
+        journal.close()
+        assert Journal.read(path) == records
+
+    def test_torn_tail_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path).open()
+        journal.append({"event": "begin"})
+        journal.append({"event": "done", "unit": 1})
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"event": "do')  # parent died mid-append
+        assert Journal.read(path) == [
+            {"event": "begin"}, {"event": "done", "unit": 1}]
+
+    def test_non_dict_line_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"event": "begin"}\n42\n{"event": "end"}\n')
+        assert Journal.read(path) == [{"event": "begin"}]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal.read(tmp_path / "absent.jsonl") == []
+
+    def test_unjournaled_policy_writes_nothing(self, tmp_path):
+        policy = _policy(tmp_path, journal=False, retries=0)
+        report = run_supervised(_sup_unit, _units(1), policy=policy)
+        assert report.results == _clean(_units(1))
+        assert not list(tmp_path.glob("*.jsonl"))
+
+
+class TestSupervisedExecution:
+    def test_chaos_retries_match_clean_serial(self, tmp_path):
+        """Acceptance: crash + raise, retried, byte-identical results."""
+        units = _units(3)
+        policy = _policy(tmp_path, retries=1, chaos="raise@0x1,crash@1x1")
+        report = run_supervised(_sup_unit, units, policy=policy, jobs=2)
+        assert report.results == _clean(units)
+
+        statuses = {o.index: [a.status for a in o.attempts]
+                    for o in report.outcomes}
+        assert statuses == {0: ["raised", "ok"],
+                            1: ["crashed", "ok"],
+                            2: ["ok"]}
+        crashed = report.outcomes[1].attempts[0]
+        assert crashed.exit_code == -signal.SIGKILL
+        raised = report.outcomes[0].attempts[0]
+        assert "ChaosError" in raised.error
+
+        accounting = report.accounting
+        assert accounting == ExecutionAccounting(
+            units=3, done=3, resumed=0, retried=2, quarantined=0,
+            attempts=5)
+        assert accounting.complete
+
+        records = Journal.read(report.journal_path)
+        assert records[0]["schema"] == JOURNAL_SCHEMA
+        events = [r["event"] for r in records]
+        assert events[0] == "begin" and events[-1] == "end"
+        assert events.count("dispatch") == 5
+        assert events.count("done") == 3
+        assert "quarantine" not in events
+        for record in records:
+            if record["event"] == "attempt":
+                assert record["status"] in ATTEMPT_STATUSES
+        # A complete campaign reclaims its scratch dir, keeps the journal.
+        assert report.journal_path.exists()
+        assert not (tmp_path / report.key).exists()
+
+    def test_hung_and_stalled_workers_are_killed_and_retried(
+            self, tmp_path):
+        # Unit 0 sleeps past the wall clock with a live heartbeat
+        # (hung); unit 1 silences its heartbeat (stalled) -- liveness,
+        # not the timeout, must catch it.  stale_after must clear the
+        # spawn/import boot (several seconds here) yet undercut the
+        # timeout, so the stalled unit is caught by liveness first.
+        units = _units(2)
+        policy = _policy(tmp_path, retries=1, timeout_s=10.0,
+                         stale_after_s=6.0,
+                         chaos="hang@0x1:60,stall@1x1:60")
+        report = run_supervised(_sup_unit, units, policy=policy, jobs=2)
+        assert report.results == _clean(units)
+        statuses = {o.index: [a.status for a in o.attempts]
+                    for o in report.outcomes}
+        assert statuses == {0: ["hung", "ok"], 1: ["stalled", "ok"]}
+        for outcome in report.outcomes:
+            assert outcome.attempts[0].exit_code == -signal.SIGKILL
+
+    def test_silent_exit_zero_is_vanished(self, tmp_path):
+        policy = _policy(tmp_path, retries=0, allow_partial=True)
+        report = run_supervised(_exit_zero_unit, [dict(value=0)],
+                                policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status == "quarantined"
+        assert [a.status for a in outcome.attempts] == ["vanished"]
+        assert outcome.attempts[0].exit_code == 0
+        assert report.results == [None]
+
+    def test_quarantine_aborts_after_finishing_other_units(self, tmp_path):
+        units = _units(2)
+        policy = _policy(tmp_path, retries=1, chaos="crash@1x5")
+        with pytest.raises(CampaignAborted) as excinfo:
+            run_supervised(_sup_unit, units, policy=policy, jobs=2)
+        report = excinfo.value.report
+        assert "1 unit(s) quarantined" in str(excinfo.value)
+        assert report.quarantined_indices == [1]
+        # The healthy unit was still driven to completion.
+        assert report.results == [_clean(units)[0], None]
+        assert [a.status for a in report.outcomes[1].attempts] == \
+            ["crashed", "crashed"]
+        assert not report.accounting.complete
+        (quarantine,) = [r for r in Journal.read(report.journal_path)
+                         if r["event"] == "quarantine"]
+        assert quarantine["unit"] == 1
+        assert [a["status"] for a in quarantine["attempts"]] == \
+            ["crashed", "crashed"]
+
+    def test_allow_partial_returns_holes(self, tmp_path):
+        units = _units(2)
+        policy = _policy(tmp_path, retries=0, chaos="crash@1x5",
+                         allow_partial=True)
+        report = run_supervised(_sup_unit, units, policy=policy, jobs=2)
+        assert report.results == [_clean(units)[0], None]
+        assert report.accounting.quarantined == 1
+        assert not report.accounting.complete
+
+    def test_resume_skips_finished_units(self, tmp_path):
+        units = _units(3)
+        first = _policy(tmp_path, retries=0, chaos="crash@2x5")
+        with pytest.raises(CampaignAborted) as excinfo:
+            run_supervised(_sup_unit, units, policy=first, jobs=2)
+        journal_path = excinfo.value.report.journal_path
+
+        # A torn tail from a dying parent must not defeat resume.
+        with open(journal_path, "ab") as handle:
+            handle.write(b'\x00{"event": "gar')
+
+        second = _policy(tmp_path, retries=0, resume=True)
+        tracer = Tracer()
+        with tracing(tracer), scoped_registry() as registry:
+            report = run_supervised(_sup_unit, units, policy=second,
+                                    jobs=2)
+        assert report.results == _clean(units)
+        assert report.accounting.resumed == 2
+        assert report.accounting.done == 1
+        assert report.accounting.attempts == 1  # only unit 2 re-ran
+        counters = registry.snapshot()["counters"]
+        assert counters["campaign_supervisor_resumed_total"] == 2
+        names = [e["name"] for e in tracer.events()]
+        assert names.count("unit_resumed") == 2
+
+    def test_resume_without_journal_runs_everything(self, tmp_path):
+        units = _units(2)
+        policy = _policy(tmp_path, retries=0, resume=True)
+        report = run_supervised(_sup_unit, units, policy=policy)
+        assert report.results == _clean(units)
+        assert report.accounting.resumed == 0
+        assert report.accounting.done == 2
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=3, deadline=None)
+    @given(mode=st.sampled_from(["crash", "raise"]),
+           target=st.integers(min_value=0, max_value=2),
+           times=st.integers(min_value=1, max_value=2))
+    def test_chaos_with_enough_retries_matches_clean_serial(
+            self, mode, target, times):
+        """Seeded chaos + retries >= failures-per-unit never changes
+        answers -- only the attempt accounting."""
+        units = _units(3, seed=13)
+        journal_dir = tempfile.mkdtemp(prefix="repro-sup-hyp-")
+        try:
+            policy = _policy(journal_dir, retries=times,
+                             chaos=f"{mode}@{target}x{times}")
+            report = run_supervised(_sup_unit, units, policy=policy,
+                                    jobs=2)
+            assert report.results == _clean(units)
+            assert report.accounting.complete
+            assert report.accounting.retried == times
+            assert report.accounting.attempts == len(units) + times
+        finally:
+            shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+_SIGINT_DRIVER = textwrap.dedent("""\
+    import multiprocessing
+    import sys
+    import time
+
+    def slow_unit(value):
+        time.sleep(60)
+        return value
+
+    def main():
+        from repro.campaign.supervisor import (
+            SupervisorPolicy, run_supervised)
+        policy = SupervisorPolicy(retries=0, heartbeat_s=0.2,
+                                  journal_dir={journal_dir!r})
+        try:
+            run_supervised(slow_unit,
+                           [dict(value=i) for i in range(2)],
+                           policy=policy, jobs=2)
+        except KeyboardInterrupt:
+            leftovers = multiprocessing.active_children()
+            print("REAPED" if not leftovers
+                  else f"ORPHANS: {{leftovers}}", flush=True)
+            sys.exit(42)
+        sys.exit(1)
+
+    if __name__ == "__main__":
+        main()
+""")
+
+
+def _group_members(pgid: int) -> list[int]:
+    """Live pids in process group ``pgid`` (via /proc)."""
+    members = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            stat = (Path("/proc") / entry / "stat").read_text()
+        except OSError:
+            continue
+        # Field 5 (after the parenthesised comm, which may hold
+        # spaces) is the process group id.
+        fields = stat.rsplit(")", 1)[-1].split()
+        if len(fields) > 2 and int(fields[2]) == pgid:
+            members.append(int(entry))
+    return members
+
+
+class TestSigintReapsWorkers:
+    def test_interrupt_leaves_no_orphan_workers(self, tmp_path):
+        script = tmp_path / "driver.py"
+        script.write_text(_SIGINT_DRIVER.format(
+            journal_dir=str(tmp_path / "journal")))
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, start_new_session=True, env=env)
+        try:
+            # Wait for both workers to be demonstrably up: the
+            # heartbeat files only exist once the spawn interpreters
+            # finished importing and entered the unit.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if len(list((tmp_path / "journal").glob("*/*.hb"))) >= 2:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("workers never came up")
+            os.kill(proc.pid, signal.SIGINT)
+            output, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 42, output
+        assert "REAPED" in output
+        # No process in the driver's (own) process group survives it:
+        # spawn workers inherit the group, so an orphan would show here.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not _group_members(proc.pid):
+                break
+            time.sleep(0.1)
+        assert _group_members(proc.pid) == []
+
+
+def _traced_supervised(jobs: int, journal_dir: Path):
+    units = _units(3, seed=5)
+    policy = _policy(journal_dir, retries=1, chaos="raise@0x1")
+    tracer = Tracer()
+    with tracing(tracer), scoped_registry() as registry:
+        report = run_supervised(_sup_unit, units, policy=policy,
+                                jobs=jobs)
+    return report, tracer, registry
+
+
+class TestSupervisedTraceParity:
+    """Serial and --jobs 2 supervised runs are observably identical."""
+
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("sup-parity")
+        return (_traced_supervised(1, root / "serial"),
+                _traced_supervised(2, root / "parallel"))
+
+    def test_results_identical(self, serial_and_parallel):
+        (serial, _, _), (parallel, _, _) = serial_and_parallel
+        assert serial.results == parallel.results
+
+    def test_span_skeletons_identical(self, serial_and_parallel):
+        (_, serial_tracer, _), (_, parallel_tracer, _) = \
+            serial_and_parallel
+        assert normalized_events(serial_tracer.events()) == \
+            normalized_events(parallel_tracer.events())
+
+    def test_counter_totals_identical(self, serial_and_parallel):
+        # Counters only: campaign_workers is a gauge and *should*
+        # differ between 1 and 2 workers.
+        (_, _, serial_reg), (_, _, parallel_reg) = serial_and_parallel
+        assert serial_reg.snapshot()["counters"] == \
+            parallel_reg.snapshot()["counters"]
+
+    def test_failed_attempts_get_deterministic_spans(
+            self, serial_and_parallel):
+        _, (_, tracer, _) = serial_and_parallel
+        (campaign,) = tracer.roots
+        assert campaign.name == "campaign"
+        first = campaign.children[0]
+        assert first.name == "unit_attempt"
+        assert first.attrs["index"] == 0
+        assert first.attrs["status"] == "raised"
+        # The failed worker's own span tree is grafted underneath.
+        assert [c.name for c in first.children] == ["unit"]
+
+
+class TestEngineIntegration:
+    def test_run_campaign_with_explicit_policy(self, tmp_path):
+        units = _units(2)
+        policy = _policy(tmp_path, retries=1, chaos="raise@0x1")
+        results = run_campaign(_sup_unit, units, jobs=2, policy=policy)
+        assert results == _clean(units)
+        assert list(tmp_path.glob("*.jsonl"))
+
+    def test_configure_engine_installs_default_policy(self, tmp_path):
+        policy = _policy(tmp_path, retries=0)
+        configure_engine(policy=policy)
+        try:
+            assert current_policy() is policy
+            units = _units(2)
+            assert run_campaign(_sup_unit, units) == _clean(units)
+            assert list(tmp_path.glob("*.jsonl"))
+        finally:
+            configure_engine(policy=None)
+        assert current_policy() is None
+
+    def test_explicit_none_policy_overrides_global(self, tmp_path):
+        configure_engine(policy=_policy(tmp_path, retries=0))
+        try:
+            units = _units(2)
+            assert run_campaign(_sup_unit, units, policy=None) == \
+                _clean(units)
+            # The plain pool ran: no journal was ever written.
+            assert not list(tmp_path.glob("*.jsonl"))
+        finally:
+            configure_engine(policy=None)
+
+
+class TestStreamedSupervision:
+    def test_chaos_stream_matches_unsupervised(self, bundle_dir,
+                                               tmp_path):
+        plain = analyze_streamed(bundle_dir, shards=2)
+        assert plain.execution is None and plain.complete
+        policy = _policy(tmp_path, retries=2, chaos="crash@0x1")
+        supervised = analyze_streamed(bundle_dir, shards=2, jobs=2,
+                                      policy=policy)
+        assert supervised.execution is not None
+        assert supervised.complete
+        assert supervised.execution.retried >= 1
+        assert json.dumps(supervised.summary(), sort_keys=True) == \
+            json.dumps(plain.summary(), sort_keys=True)
+
+    def test_partial_stream_reports_incompleteness(self, bundle_dir,
+                                                   tmp_path):
+        policy = _policy(tmp_path, retries=0, chaos="crash@0x3",
+                         allow_partial=True)
+        supervised = analyze_streamed(bundle_dir, shards=2, jobs=2,
+                                      policy=policy)
+        assert supervised.execution is not None
+        assert supervised.execution.quarantined >= 1
+        assert not supervised.complete
