@@ -39,7 +39,9 @@ __all__ = ["CacheStats", "ResultCache", "cache_key", "canonical_params",
 #: Bump when a change invalidates previously cached results wholesale
 #: (serialization layout, pipeline semantics, ...).
 #: /2: Analysis grew the ``ingest`` field (lenient-ingest quarantine).
-CACHE_SCHEMA = "repro-cache/2"
+#: /3: the columnar sidecar (``repro-bundle/2``) replaced the pickled
+#:     bundle cache -- bundle-shaped pickles from /2 must not resurface.
+CACHE_SCHEMA = "repro-cache/3"
 
 
 def code_salt() -> str:

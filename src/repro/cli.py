@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Five subcommands mirror how the tool is used at a site::
+Six subcommands mirror how the tool is used at a site::
 
     python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
+    python -m repro convert out/bundle
     python -m repro analyze out/bundle
     python -m repro baseline out/bundle
     python -m repro validate
     python -m repro trace small --days 5
 
-``simulate`` runs a scenario and writes the log bundle; ``analyze`` runs
-LogDiver over any bundle directory and prints the paper-style tables
-(``--lenient`` quarantines malformed records instead of aborting);
+``simulate`` runs a scenario and writes the log bundle; ``convert``
+builds (or refreshes) the ``repro-bundle/2`` columnar sidecar next to a
+bundle's text logs so later reads memory-map binary columns instead of
+reparsing text; ``analyze`` runs LogDiver over any bundle directory and
+prints the paper-style tables (``--lenient`` quarantines malformed
+records instead of aborting, ``--no-columnar`` forces the text parser);
 ``baseline`` prints the error-log-only view for comparison; ``validate``
 runs the calibration oracle, the golden-snapshot check, and a seeded
 log-corruption sweep over the validation preset; ``trace`` runs a small
@@ -103,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="skip never-fatal noise events (faster, "
                                "but filtering stats become trivial)")
 
+    convert = sub.add_parser(
+        "convert", help="build the columnar sidecar (repro-bundle/2) "
+                        "for a bundle directory")
+    convert.add_argument("bundle", help="bundle directory")
+    convert.add_argument("--lenient", action="store_true",
+                         help="quarantine malformed records (recorded in "
+                              "the sidecar) instead of aborting")
+    convert.add_argument("--force", action="store_true",
+                         help="rewrite the sidecar even if a fresh one "
+                              "already exists")
+
     analyze = sub.add_parser(
         "analyze", help="run LogDiver over a bundle directory")
     analyze.add_argument("bundle", help="bundle directory")
@@ -113,6 +128,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--lenient", action="store_true",
                          help="quarantine malformed records (reported) "
                               "instead of aborting on the first one")
+    analyze.add_argument("--no-columnar", action="store_true",
+                         help="ignore any columnar sidecar and parse "
+                              "the text logs (debugging / differential "
+                              "runs)")
     analyze.add_argument("--stream", action="store_true",
                          help="out-of-core analysis: process the bundle "
                               "in time shards with bounded memory "
@@ -157,6 +176,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(0 = all cores)")
     validate.add_argument("--no-cache", action="store_true",
                           help="bypass the persistent result cache")
+    validate.add_argument("--no-columnar", action="store_true",
+                          help="ignore any columnar sidecar and parse "
+                               "text logs throughout")
     validate.add_argument("--skip-goldens", action="store_true",
                           help="skip the golden-snapshot comparison")
     validate.add_argument("--skip-degradation", action="store_true",
@@ -205,6 +227,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"ground truth: {result.summary()} [{time.time() - start:.1f}s]")
     write_bundle(result, args.output, seed=args.seed)
     print(f"bundle written to {args.output}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.logs.columnar import convert_bundle, load_sidecar
+
+    strict = not args.lenient
+    if not args.force:
+        existing = load_sidecar(args.bundle)
+        if (existing is not None and existing.fresh()
+                and existing.compatible(strict)):
+            print(f"sidecar up to date ({existing.footer['bytes']:,} bytes); "
+                  f"use --force to rewrite")
+            return 0
+    start = time.time()
+    bundle = convert_bundle(args.bundle, strict=strict)
+    elapsed = time.time() - start
+    sidecar = load_sidecar(args.bundle)
+    if sidecar is None:  # convert_bundle would have raised; belt and braces
+        print("conversion failed: sidecar not readable back")
+        return 1
+    counts = sidecar.footer["counts"]
+    errors = sum(counts["errors"].values())
+    print(f"converted {args.bundle} in {elapsed:.1f}s: "
+          f"{errors:,} error records, {counts['torque']:,} torque, "
+          f"{counts['alps']:,} alps, {counts['nodemap']:,} nodes "
+          f"-> {sidecar.footer['bytes']:,} bytes of columns")
+    if args.lenient:
+        print(bundle.ingest_report.render())
     return 0
 
 
@@ -288,6 +339,9 @@ def _cmd_analyze_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.no_columnar:
+        from repro.logs.columnar import set_columnar_enabled
+        set_columnar_enabled(False)
     if args.stream:
         return _cmd_analyze_stream(args)
     bundle = read_bundle(args.bundle, strict=not args.lenient)
@@ -347,6 +401,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     configure_engine(jobs=args.jobs)
     if args.no_cache:
         configure_cache(enabled=False)
+    if args.no_columnar:
+        from repro.logs.columnar import set_columnar_enabled
+        set_columnar_enabled(False)
     try:
         rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
     except ValueError:
@@ -440,6 +497,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "convert": _cmd_convert,
     "analyze": _cmd_analyze,
     "baseline": _cmd_baseline,
     "validate": _cmd_validate,

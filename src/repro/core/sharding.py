@@ -144,12 +144,16 @@ class ShardPlan:
 
 
 def plan_shards(directory: str | Path, shards: int, *,
-                manifest: dict, epoch: Epoch) -> ShardPlan:
+                manifest: dict, epoch: Epoch,
+                sidecar: Any = None) -> ShardPlan:
     """Equal time shards over the collection window, byte-indexed.
 
     The window comes from the manifest when it carries a usable one,
     else from a timestamp-sniffing pass over the data files (boundary
     *placement* never affects results -- only how evenly work splits).
+    With a columnar ``sidecar`` (see :mod:`repro.logs.columnar`) both
+    the time range and the byte index come from the stored per-line
+    shard index -- identical slices, no re-reading of log bodies.
     """
     if shards < 1:
         raise AnalysisError(f"shards must be >= 1, got {shards}")
@@ -157,13 +161,16 @@ def plan_shards(directory: str | Path, shards: int, *,
     if window is not None:
         lo, hi = window.start, window.end
     else:
-        sniffed = sniff_time_range(directory, epoch=epoch)
+        sniffed = (sidecar.time_range() if sidecar is not None
+                   else sniff_time_range(directory, epoch=epoch))
         lo, hi = sniffed if sniffed is not None else (0.0, 0.0)
     step = (hi - lo) / shards if hi > lo else 0.0
     boundaries = tuple(lo + i * step for i in range(shards)) + (hi,)
-    return ShardPlan(boundaries=boundaries,
-                     slices=index_bundle_shards(directory, boundaries,
-                                                epoch=epoch))
+    if sidecar is not None:
+        slices = sidecar.plan_slices(boundaries)
+    else:
+        slices = index_bundle_shards(directory, boundaries, epoch=epoch)
+    return ShardPlan(boundaries=boundaries, slices=slices)
 
 
 def _halo_clusters(clusters: list[ErrorCluster], lo: float, hi: float,
@@ -196,22 +203,52 @@ def _merge_observed(parts: list[tuple[float, float] | None]) -> Interval:
 # -- shard workers (module-level: spawn workers pickle them) ------------------
 
 
+def _worker_sidecar(path: Path, strict: bool) -> Any:
+    """The sidecar a columnar shard unit was planned against.
+
+    The parent verified it before planning; a worker that cannot get it
+    back (file mutated or sidecar deleted mid-analysis) must fail loudly
+    -- silently re-parsing text against a columnar plan could skew line
+    numbers and the ingest report.
+    """
+    from repro.logs import columnar
+    sidecar = columnar.usable_sidecar(path, strict=strict)
+    if sidecar is None:
+        raise AnalysisError(
+            f"columnar sidecar for {path} disappeared or went stale "
+            f"mid-analysis; re-run (or use --no-columnar)")
+    return sidecar
+
+
 def _classify_shard_unit(*, directory: str, shard: int,
                          slices: dict[str, ShardSlice], strict: bool,
-                         tupling_window_s: float) -> dict[str, Any]:
-    """Phase 1: parse + classify + tuple one shard's error streams."""
+                         tupling_window_s: float,
+                         columnar_rows: dict[str, tuple[int, int]] | None
+                         = None) -> dict[str, Any]:
+    """Phase 1: parse + classify + tuple one shard's error streams.
+
+    With ``columnar_rows`` (per-file row ranges planned by the parent)
+    the records come straight out of the sidecar's mmap'd columns
+    instead of a text parse -- same records, same report counts.
+    """
     path = Path(directory)
     _, epoch = read_manifest(path)
     report = IngestReport()
     with span("shard_classify", shard=shard) as sp:
         records = []
-        for filename, source in _ERROR_STREAMS:
-            sl = slices.get(filename)
-            if sl is None:
-                continue
-            records.extend(parse_stream(
-                source, iter_slice_lines(path / filename, sl), epoch,
-                strict=strict, report=report, first_lineno=sl.lineno_lo))
+        if columnar_rows is not None:
+            records, counts = _worker_sidecar(path, strict).error_slice(
+                columnar_rows)
+            for source, count in counts.items():
+                report.record_parsed(source, count)
+        else:
+            for filename, source in _ERROR_STREAMS:
+                sl = slices.get(filename)
+                if sl is None:
+                    continue
+                records.extend(parse_stream(
+                    source, iter_slice_lines(path / filename, sl), epoch,
+                    strict=strict, report=report, first_lineno=sl.lineno_lo))
         records.sort(key=lambda r: r.time_s)
         classified, unclassified = classify_error_records(records)
         tuples = temporal_tupling(classified, tupling_window_s)
@@ -227,33 +264,48 @@ def _classify_shard_unit(*, directory: str, shard: int,
 def _diagnose_shard_unit(*, directory: str, shard: int,
                          slices: dict[str, ShardSlice], strict: bool,
                          config: LogDiverConfig,
-                         clusters: list[ErrorCluster]) -> dict[str, Any]:
+                         clusters: list[ErrorCluster],
+                         columnar_rows: dict[str, tuple[int, int]] | None
+                         = None) -> dict[str, Any]:
     """Phase 2: assemble, attribute, and diagnose one shard's runs.
 
     ``clusters`` is the halo-filtered global cluster list (global ids).
     Start/end records whose partner lies outside the shard are returned
-    raw for the parent to pair across shards.
+    raw for the parent to pair across shards.  ``columnar_rows`` swaps
+    the slice parse for sidecar row ranges, like phase 1.
     """
     path = Path(directory)
     manifest, epoch = read_manifest(path)
     report = IngestReport()
     with span("shard_diagnose", shard=shard) as sp:
         torque_records = []
-        sl = slices.get("torque.log")
-        if sl is not None:
-            torque_records = list(parse_torque(
-                iter_slice_lines(path / "torque.log", sl), epoch,
-                strict=strict, report=report, first_lineno=sl.lineno_lo))
         alps_records = []
-        sl = slices.get("apsys.log")
-        if sl is not None:
-            alps_records = list(parse_alps(
-                iter_slice_lines(path / "apsys.log", sl), epoch,
-                strict=strict, report=report, first_lineno=sl.lineno_lo))
+        if columnar_rows is not None:
+            sidecar = _worker_sidecar(path, strict)
+            lo, hi = columnar_rows.get("torque.log", (0, 0))
+            torque_records = sidecar.torque_slice(lo, hi)
+            if torque_records:
+                report.record_parsed("torque", len(torque_records))
+            lo, hi = columnar_rows.get("apsys.log", (0, 0))
+            alps_records = sidecar.alps_slice(lo, hi)
+            if alps_records:
+                report.record_parsed("apsys", len(alps_records))
+            nodemap = sidecar.nodemap_dict()
+        else:
+            sl = slices.get("torque.log")
+            if sl is not None:
+                torque_records = list(parse_torque(
+                    iter_slice_lines(path / "torque.log", sl), epoch,
+                    strict=strict, report=report, first_lineno=sl.lineno_lo))
+            sl = slices.get("apsys.log")
+            if sl is not None:
+                alps_records = list(parse_alps(
+                    iter_slice_lines(path / "apsys.log", sl), epoch,
+                    strict=strict, report=report, first_lineno=sl.lineno_lo))
+            # The parent tallies the nodemap on the merged report exactly
+            # once; workers parse it silently.
+            nodemap = parse_nodemap_file(path, strict=strict, report=None)
         user_by_job = {t.job_id: t.user for t in torque_records}
-        # The parent tallies the nodemap on the merged report exactly
-        # once; workers parse it silently.
-        nodemap = parse_nodemap_file(path, strict=strict, report=None)
         annotator = NodeAnnotator(nodemap)
 
         starts: dict[int, AlpsRecord] = {}
@@ -367,7 +419,8 @@ def _run_phase(fn, units, *, jobs, policy, accounting_parts):
 def analyze_streamed(directory: str | Path, *, shards: int = 8,
                      jobs: int | None = None, strict: bool = True,
                      config: LogDiverConfig | None = None,
-                     policy: Any = None) -> StreamedAnalysis:
+                     policy: Any = None,
+                     columnar: bool = True) -> StreamedAnalysis:
     """Run the full LogDiver pipeline without materializing the bundle.
 
     Produces the same headline numbers as
@@ -385,23 +438,40 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
     contribute, the merges stay exact over what survived, and
     ``complete`` turns False so report consumers (the oracle above all)
     can gate themselves.
+
+    With a valid, fresh columnar sidecar (``repro-bundle/2``;
+    ``columnar=False`` or ``REPRO_NO_COLUMNAR=1`` opts out) shard
+    planning reads the stored per-line index instead of re-sniffing the
+    log bodies, and workers slice mmap'd columns instead of parsing
+    text -- same shards, same records, same summary.
     """
+    from repro.logs import columnar as columnar_mod
+
     directory = Path(directory)
     config = config or LogDiverConfig()
     if policy is None:
         policy = current_policy()
     accounting_parts: list[Any] = []
     registry = get_registry()
-    with span("analyze_streamed", shards=shards) as top:
+    sidecar = None
+    if columnar and columnar_mod.columnar_enabled():
+        sidecar = columnar_mod.usable_sidecar(directory, strict=strict)
+    with span("analyze_streamed", shards=shards,
+              columnar=sidecar is not None) as top:
         manifest, epoch = read_manifest(directory)
-        plan = plan_shards(directory, shards, manifest=manifest, epoch=epoch)
+        plan = plan_shards(directory, shards, manifest=manifest, epoch=epoch,
+                           sidecar=sidecar)
 
         error_files = tuple(f for f, _ in _ERROR_STREAMS)
+        error_spans = (sidecar.error_row_spans(plan.slices, plan.n_shards)
+                       if sidecar is not None else None)
         units = [dict(directory=str(directory), shard=k,
                       slices={f: plan.slices[f][k] for f in error_files
                               if f in plan.slices},
                       strict=strict,
-                      tupling_window_s=config.tupling_window_s)
+                      tupling_window_s=config.tupling_window_s,
+                      columnar_rows=(None if error_spans is None
+                                     else error_spans[k]))
                  for k in range(plan.n_shards)]
         phase1 = [r for r in _run_phase(_classify_shard_unit, units,
                                         jobs=jobs, policy=policy,
@@ -416,6 +486,10 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
             tuples=len(tuples), clusters=len(clusters))
         unclassified = sum(r["unclassified"] for r in phase1)
 
+        run_spans = None
+        if sidecar is not None:
+            run_spans = {f: sidecar.run_row_spans(f, plan.slices[f])
+                         for f in _RUN_FILES if f in plan.slices}
         units = []
         for k in range(plan.n_shards):
             lo = float("-inf") if k == 0 else plan.boundaries[k]
@@ -426,7 +500,10 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
                 slices={f: plan.slices[f][k] for f in _RUN_FILES
                         if f in plan.slices},
                 strict=strict, config=config,
-                clusters=_halo_clusters(clusters, lo, hi, config)))
+                clusters=_halo_clusters(clusters, lo, hi, config),
+                columnar_rows=(None if run_spans is None
+                               else {f: spans[k]
+                                     for f, spans in run_spans.items()})))
         # A quarantined phase-2 shard loses only its own contained runs
         # and open boundary records; a start carried from an earlier
         # shard can still pair with an end in a later one, so the holes
@@ -441,7 +518,15 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
             report.merge(result["report"])
         for result in phase2:
             report.merge(result["report"])
-        nodemap = parse_nodemap_file(directory, strict=strict, report=report)
+        if sidecar is not None:
+            # Workers accounted for every *stored* row; quarantined
+            # lines (which have no rows) and the nodemap tally come from
+            # the sidecar footer, reproducing the text-path report.
+            nodemap = sidecar.nodemap_dict()
+            report.merge(sidecar.quarantine_report())
+        else:
+            nodemap = parse_nodemap_file(directory, strict=strict,
+                                         report=report)
 
         # Pair boundary-crossing runs across shards, in shard order --
         # the same record order the in-memory assembler sees, so the
@@ -528,21 +613,35 @@ def analyze_streamed(directory: str | Path, *, shards: int = 8,
 
 
 def rss_probe_unit(*, directory: str, mode: str, shards: int = 8,
-                   strict: bool = True) -> dict[str, Any]:
+                   strict: bool = True,
+                   columnar: bool = False) -> dict[str, Any]:
     """One analysis pass plus its peak RSS, for memory comparisons.
 
     Module-level so the perf benchmark and the CI memory-budget smoke
     can run each mode in a *fresh spawn worker* -- ``ru_maxrss`` is
     monotonic per process, so in-memory and streamed passes measured in
     the same process would shadow each other.
+
+    ``mode="memory"`` forces the text parser by default (``columnar``
+    opts back in) so the benchmark's text-vs-columnar RSS comparison
+    stays honest even when a sidecar exists; ``mode="columnar"`` is the
+    in-memory pass over the sidecar fast path and requires one.
     """
     if mode == "stream":
         summary = analyze_streamed(directory, shards=shards, jobs=1,
-                                   strict=strict).summary()
-    elif mode == "memory":
+                                   strict=strict,
+                                   columnar=columnar).summary()
+    elif mode in ("memory", "columnar"):
         from repro.core.pipeline import LogDiver
         from repro.logs.bundle import read_bundle
-        bundle = read_bundle(directory, strict=strict)
+        if mode == "columnar":
+            from repro.logs.columnar import usable_sidecar
+            if usable_sidecar(directory, strict=strict) is None:
+                raise AnalysisError(
+                    f"rss probe mode 'columnar' needs a usable sidecar "
+                    f"in {directory}")
+            columnar = True
+        bundle = read_bundle(directory, strict=strict, columnar=columnar)
         summary = LogDiver().analyze(bundle).summary()
     else:
         raise ValueError(f"unknown rss probe mode {mode!r}")

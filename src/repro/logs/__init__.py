@@ -3,6 +3,13 @@ directory bundles connecting simulator output to LogDiver input."""
 
 from repro.logs.alps import alps_run_lines, parse_alps, parse_alps_line
 from repro.logs.bundle import BUNDLE_FILES, LogBundle, read_bundle, write_bundle
+from repro.logs.columnar import (
+    COLUMNAR_FORMAT,
+    Sidecar,
+    convert_bundle,
+    invalidate_sidecar,
+    usable_sidecar,
+)
 from repro.logs.errorlogs import (
     parse_console_line,
     parse_hwerr_line,
@@ -28,16 +35,20 @@ from repro.logs.torque import (
 __all__ = [
     "AlpsRecord",
     "BUNDLE_FILES",
+    "COLUMNAR_FORMAT",
     "ErrorLogRecord",
     "IngestReport",
     "LogBundle",
     "QuarantinedLine",
+    "Sidecar",
     "TorqueRecord",
     "alps_run_lines",
     "classify_message",
+    "convert_bundle",
     "decode_nids",
     "encode_nids",
     "format_walltime",
+    "invalidate_sidecar",
     "parse_alps",
     "parse_alps_line",
     "parse_console_line",
@@ -50,6 +61,7 @@ __all__ = [
     "read_bundle",
     "render_message",
     "torque_job_lines",
+    "usable_sidecar",
     "write_bundle",
     "write_console_line",
     "write_hwerr_line",

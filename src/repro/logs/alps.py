@@ -120,7 +120,8 @@ def parse_alps_line(line: str, epoch: Epoch) -> AlpsRecord:
 def parse_alps(lines: Iterable[str], epoch: Epoch,
                *, strict: bool = True,
                report: IngestReport | None = None,
-               first_lineno: int = 1) -> Iterator[AlpsRecord]:
+               first_lineno: int = 1,
+               with_lineno: bool = False) -> Iterator:
     for lineno, line in enumerate(lines, start=first_lineno):
         line = line.rstrip("\n")
         if not line.strip():
@@ -137,4 +138,4 @@ def parse_alps(lines: Iterable[str], epoch: Epoch,
             continue
         if report is not None:
             report.record_parsed("apsys")
-        yield record
+        yield (lineno, record) if with_lineno else record

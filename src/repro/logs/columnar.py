@@ -1,0 +1,917 @@
+"""Columnar bundle sidecar (``repro-bundle/2``): kill the text round-trip.
+
+The text bundle is the honest interface between simulator and LogDiver,
+but re-parsing hundreds of megabytes of log text on every read is the
+pipeline's hottest stage, and pickling whole ``LogBundle`` objects was
+measured *slower* than the reparse.  This module adds a binary sidecar
+next to the text logs -- ``<bundle>/.columnar/`` -- holding:
+
+* one ``.npy`` column file per field (timestamps, linenos, numeric
+  accounting fields, presence masks), memory-mapped on load;
+* a single **string pool** (UTF-8 blob + char offsets) shared by every
+  string-bearing column, so repeated users/queues/commands decode once;
+* node-id lists as deduplicated **range-pair segments** -- records that
+  share a placement share one segment, and reconstruction slices a
+  canonical ``list(range(max_nid + 1))`` so tuples hold pointers into a
+  shared int pool instead of millions of fresh int objects;
+* a per-line **shard index** (sniffed time + byte offset per line) for
+  every data file, so ``--stream`` shard planning never re-reads log
+  bodies;
+* a JSON **footer** carrying per-source content digests (staleness
+  guard), record counts, and the full lenient-ingest
+  :class:`~repro.logs.quarantine.IngestReport` so a sidecar load
+  reproduces exactly what a text reparse would report.
+
+**Atomicity.**  The footer is written *last* (tmp file + fsync +
+``os.replace``) and deleted *first*: a crash or SIGKILL anywhere during
+conversion leaves either the old valid footer or none at all, and a
+footer-less sidecar is simply ignored -- the bundle stays loadable via
+the text path.
+
+**Staleness.**  The footer records ``(size, mtime_ns, sha256)`` per
+source file.  A load first compares size and mtime (cheap); on mismatch
+it falls back to the full digest, so a rewritten-but-identical file does
+not invalidate the sidecar while any real edit does.
+
+**Strictness.**  A sidecar converted with ``strict=False`` that actually
+quarantined records is refused for ``strict=True`` loads: the caller
+falls back to the text parser, which raises on the first defect exactly
+as it should.  The sidecar never masks a defect a reparse would surface.
+
+Line-ending note: byte offsets in the shard index assume ``\\n``-only
+line endings, which is what every bundle writer in this repo produces
+(and what :func:`~repro.logs.bundle.iter_slice_lines` already assumes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.logs.bundle import (
+    BUNDLE_FILES,
+    DATA_FILES,
+    LogBundle,
+    ShardSlice,
+    _sniff_time,
+    parse_nodemap_file,
+    read_manifest,
+)
+from repro.logs.alps import parse_alps
+from repro.logs.errorlogs import parse_stream
+from repro.logs.quarantine import IngestReport, QuarantinedLine
+from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
+from repro.logs.torque import parse_torque
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
+from repro.util.timeutil import Epoch
+
+__all__ = ["COLUMNAR_FORMAT", "SIDECAR_DIR", "Sidecar", "convert_bundle",
+           "load_sidecar", "usable_sidecar", "load_bundle",
+           "columnar_enabled", "set_columnar_enabled", "invalidate_sidecar"]
+
+COLUMNAR_FORMAT = "repro-bundle/2"
+SIDECAR_DIR = ".columnar"
+_FOOTER = "columnar.json"
+
+#: (bundle filename, parser stream name) in the order the in-memory
+#: reader concatenates them -- error rows are stored in this file order.
+_ERROR_FILES = (("syslog.log", "syslog"), ("hwerr.log", "hwerrlog"),
+                ("console.log", "console"))
+
+_TQ_KINDS = ("S", "E")
+_AL_KINDS = ("start", "end", "error")
+
+#: Module-level kill switch (CLI ``--no-columnar``); the environment
+#: variable covers spawned workers and ad-hoc scripts.
+_disabled = False
+
+
+def columnar_enabled() -> bool:
+    """Whether the sidecar fast path is allowed at all in this process."""
+    if _disabled:
+        return False
+    return os.environ.get("REPRO_NO_COLUMNAR", "").strip() in ("", "0")
+
+
+def set_columnar_enabled(enabled: bool) -> None:
+    """Process-wide switch behind the CLI ``--no-columnar`` flag.
+
+    Mirrored into ``REPRO_NO_COLUMNAR`` so spawn workers (which re-import
+    a fresh interpreter) inherit the decision with their environment.
+    """
+    global _disabled
+    _disabled = not enabled
+    if enabled:
+        os.environ.pop("REPRO_NO_COLUMNAR", None)
+    else:
+        os.environ["REPRO_NO_COLUMNAR"] = "1"
+
+
+# -- string pool / nid segments (write side) ----------------------------------
+
+
+class _Pool:
+    """Interning string pool: code assignment in first-seen order."""
+
+    def __init__(self) -> None:
+        self._codes: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def code(self, text: str) -> int:
+        code = self._codes.get(text)
+        if code is None:
+            code = len(self.strings)
+            self._codes[text] = code
+            self.strings.append(text)
+        return code
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(utf-8 blob, cumulative *char* offsets, len n+1).
+
+        Char (not byte) offsets: the reader decodes the blob once and
+        slices the resulting str, which is far faster than decoding each
+        entry separately.
+        """
+        offsets = np.zeros(len(self.strings) + 1, dtype=np.uint64)
+        if self.strings:
+            offsets[1:] = np.cumsum([len(s) for s in self.strings])
+        blob = np.frombuffer("".join(self.strings).encode("utf-8"),
+                             dtype=np.uint8)
+        return blob.copy(), offsets
+
+
+class _Segments:
+    """Deduplicated nid tuples encoded as flat ``[lo, hi, ...]`` runs.
+
+    Runs follow *sequence* order (lenient text can yield unsorted
+    tuples), so encoding is lossless for any tuple of non-negative ints.
+    """
+
+    def __init__(self) -> None:
+        self._codes: dict[tuple[int, ...], int] = {}
+        self._pairs: list[int] = []
+        self._offsets: list[int] = [0]
+
+    def code(self, nids: tuple[int, ...]) -> int:
+        code = self._codes.get(nids)
+        if code is not None:
+            return code
+        code = len(self._offsets) - 1
+        self._codes[nids] = code
+        if nids:
+            lo = hi = nids[0]
+            for n in nids[1:]:
+                if n == hi + 1:
+                    hi = n
+                else:
+                    self._pairs.extend((lo, hi))
+                    lo = hi = n
+            self._pairs.extend((lo, hi))
+        self._offsets.append(len(self._pairs))
+        return code
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (np.asarray(self._pairs, dtype=np.int64),
+                np.asarray(self._offsets, dtype=np.uint64))
+
+
+def _materialize_segments(pairs: np.ndarray,
+                          offsets: np.ndarray) -> list[tuple[int, ...]]:
+    """All nid tuples, sharing one canonical int pool.
+
+    ``tuple(pool[lo:hi + 1])`` copies *pointers* out of one
+    ``list(range(...))``, so a million-nid reconstruction allocates no
+    new int objects -- the trick that makes warm loads ~free.
+    """
+    pairs_l = pairs.tolist()
+    offsets_l = offsets.tolist()
+    pool = list(range(int(pairs.max()) + 1)) if len(pairs_l) else []
+    out: list[tuple[int, ...]] = []
+    for k in range(len(offsets_l) - 1):
+        o0, o1 = offsets_l[k], offsets_l[k + 1]
+        if o1 - o0 == 2:
+            out.append(tuple(pool[pairs_l[o0]:pairs_l[o0 + 1] + 1]))
+        else:
+            buf: list[int] = []
+            for j in range(o0, o1, 2):
+                buf += pool[pairs_l[j]:pairs_l[j + 1] + 1]
+            out.append(tuple(buf))
+    return out
+
+
+# -- conversion (text -> sidecar) ---------------------------------------------
+
+
+def _file_signature(path: Path) -> dict:
+    stat = path.stat()
+    with open(path, "rb") as handle:
+        digest = hashlib.file_digest(handle, "sha256").hexdigest()
+    return {"size": stat.st_size, "mtime_ns": stat.st_mtime_ns,
+            "sha256": digest}
+
+
+def _build_line_index(path: Path, filename: str, epoch: Epoch,
+                      parsed_times: dict[int, float]
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-line (sniffed time, byte offset) index of one data file.
+
+    Times come from the parse for parsed lines (the sniffers read
+    exactly the timestamp field the parsers read, so the values agree)
+    and from an individual sniff for quarantined/blank lines -- byte-
+    for-byte what :func:`repro.logs.bundle._index_file` would compute.
+    """
+    times: list[float] = []
+    offsets: list[int] = [0]
+    offset = 0
+    lineno = 0
+    nan = math.nan
+    with open(path, "rb") as handle:
+        for raw in handle:
+            lineno += 1
+            t = parsed_times.get(lineno)
+            if t is None:
+                t = _sniff_time(
+                    filename, raw.decode("utf-8", errors="replace"), epoch)
+            times.append(nan if t is None else t)
+            offset += len(raw)
+            offsets.append(offset)
+    return (np.asarray(times, dtype=np.float64),
+            np.asarray(offsets, dtype=np.uint64))
+
+
+def invalidate_sidecar(directory: str | Path) -> None:
+    """Best-effort: make any existing sidecar unloadable (footer first)."""
+    footer = Path(directory) / SIDECAR_DIR / _FOOTER
+    try:
+        footer.unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
+def _write_footer(root: Path, footer: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(footer, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, root / _FOOTER)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _write_sidecar(directory: Path, epoch: Epoch, strict: bool,
+                   report: IngestReport, bundle: LogBundle,
+                   error_rows: dict[str, tuple[list[int], list]],
+                   torque_rows: tuple[list[int], list],
+                   alps_rows: tuple[list[int], list]) -> int:
+    pool = _Pool()
+    segments = _Segments()
+    arrays: dict[str, np.ndarray] = {}
+
+    # Error streams, concatenated in file order; a stable argsort by
+    # time reproduces the reader's global ``list.sort(key=time_s)``.
+    err_time: list[float] = []
+    err_lineno: list[int] = []
+    err_comp: list[int] = []
+    err_msg: list[int] = []
+    error_counts: dict[str, int] = {}
+    for filename, _source in _ERROR_FILES:
+        rows = error_rows.get(filename)
+        if rows is None:
+            continue
+        linenos, records = rows
+        error_counts[filename] = len(records)
+        err_lineno.extend(linenos)
+        for record in records:
+            err_time.append(record.time_s)
+            err_comp.append(pool.code(record.component))
+            err_msg.append(pool.code(record.message))
+    arrays["err_time"] = np.asarray(err_time, dtype=np.float64)
+    arrays["err_lineno"] = np.asarray(err_lineno, dtype=np.uint64)
+    arrays["err_comp"] = np.asarray(err_comp, dtype=np.uint32)
+    arrays["err_msg"] = np.asarray(err_msg, dtype=np.uint32)
+    arrays["err_sort"] = np.argsort(
+        arrays["err_time"], kind="stable").astype(np.uint64)
+
+    tq_linenos, tq_records = torque_rows
+    tq = {name: [] for name in ("time", "kind", "job", "user", "queue",
+                                "nodes", "nids", "start", "end", "has_end",
+                                "wall", "exit", "has_exit", "qtime",
+                                "has_qtime")}
+    for record in tq_records:
+        tq["time"].append(record.time_s)
+        tq["kind"].append(_TQ_KINDS.index(record.kind))
+        tq["job"].append(pool.code(record.job_id))
+        tq["user"].append(pool.code(record.user))
+        tq["queue"].append(pool.code(record.queue))
+        tq["nodes"].append(record.nodes)
+        tq["nids"].append(segments.code(record.exec_host_nids))
+        tq["start"].append(record.start_s)
+        tq["end"].append(0.0 if record.end_s is None else record.end_s)
+        tq["has_end"].append(record.end_s is not None)
+        tq["wall"].append(record.walltime_req_s)
+        tq["exit"].append(0 if record.exit_status is None
+                          else record.exit_status)
+        tq["has_exit"].append(record.exit_status is not None)
+        tq["qtime"].append(0.0 if record.qtime_s is None else record.qtime_s)
+        tq["has_qtime"].append(record.qtime_s is not None)
+    arrays["tq_lineno"] = np.asarray(tq_linenos, dtype=np.uint64)
+    for name, dtype in (("time", np.float64), ("kind", np.uint8),
+                        ("job", np.uint32), ("user", np.uint32),
+                        ("queue", np.uint32), ("nodes", np.int64),
+                        ("nids", np.uint32), ("start", np.float64),
+                        ("end", np.float64), ("has_end", np.uint8),
+                        ("wall", np.float64), ("exit", np.int64),
+                        ("has_exit", np.uint8), ("qtime", np.float64),
+                        ("has_qtime", np.uint8)):
+        arrays[f"tq_{name}"] = np.asarray(tq[name], dtype=dtype)
+
+    al_linenos, al_records = alps_rows
+    al = {name: [] for name in ("time", "kind", "apid", "batch", "user",
+                                "cmd", "nids", "exit", "has_exit", "sig",
+                                "has_sig", "msg")}
+    for record in al_records:
+        al["time"].append(record.time_s)
+        al["kind"].append(_AL_KINDS.index(record.kind))
+        al["apid"].append(record.apid)
+        al["batch"].append(pool.code(record.batch_id))
+        al["user"].append(pool.code(record.user))
+        al["cmd"].append(pool.code(record.cmd))
+        al["nids"].append(segments.code(record.nids))
+        al["exit"].append(0 if record.exit_code is None else record.exit_code)
+        al["has_exit"].append(record.exit_code is not None)
+        al["sig"].append(0 if record.exit_signal is None
+                         else record.exit_signal)
+        al["has_sig"].append(record.exit_signal is not None)
+        al["msg"].append(pool.code(record.message))
+    arrays["al_lineno"] = np.asarray(al_linenos, dtype=np.uint64)
+    for name, dtype in (("time", np.float64), ("kind", np.uint8),
+                        ("apid", np.int64), ("batch", np.uint32),
+                        ("user", np.uint32), ("cmd", np.uint32),
+                        ("nids", np.uint32), ("exit", np.int64),
+                        ("has_exit", np.uint8), ("sig", np.int64),
+                        ("has_sig", np.uint8), ("msg", np.uint32)):
+        arrays[f"al_{name}"] = np.asarray(al[name], dtype=dtype)
+
+    nm_nid, nm_cname, nm_type, nm_vertex = [], [], [], []
+    for nid, (cname, node_type, vertex) in bundle.nodemap.items():
+        nm_nid.append(nid)
+        nm_cname.append(pool.code(cname))
+        nm_type.append(pool.code(node_type))
+        nm_vertex.append(vertex)
+    arrays["nm_nid"] = np.asarray(nm_nid, dtype=np.int64)
+    arrays["nm_cname"] = np.asarray(nm_cname, dtype=np.uint32)
+    arrays["nm_type"] = np.asarray(nm_type, dtype=np.uint32)
+    arrays["nm_vertex"] = np.asarray(nm_vertex, dtype=np.int64)
+
+    arrays["seg_pairs"], arrays["seg_off"] = segments.arrays()
+    arrays["pool_blob"], arrays["pool_off"] = pool.arrays()
+
+    # Per-line shard index: parse-derived times where a record exists,
+    # an individual sniff elsewhere.
+    parsed_by_file: dict[str, dict[int, float]] = {}
+    for filename, rows in error_rows.items():
+        parsed_by_file[filename] = {
+            lineno: record.time_s
+            for lineno, record in zip(rows[0], rows[1])}
+    parsed_by_file["torque.log"] = {
+        lineno: record.time_s
+        for lineno, record in zip(tq_linenos, tq_records)}
+    parsed_by_file["apsys.log"] = {
+        lineno: record.time_s
+        for lineno, record in zip(al_linenos, al_records)}
+    time_lo, time_hi = math.inf, -math.inf
+    for filename in DATA_FILES:
+        path = directory / filename
+        if not path.exists():
+            continue
+        stem = filename.partition(".")[0]
+        times, offsets = _build_line_index(
+            path, filename, epoch, parsed_by_file.get(filename, {}))
+        arrays[f"idx_{stem}_time"] = times
+        arrays[f"idx_{stem}_off"] = offsets
+        if len(times):
+            lo = np.nanmin(times)
+            hi = np.nanmax(times)
+            if not math.isnan(lo):
+                time_lo = min(time_lo, float(lo))
+                time_hi = max(time_hi, float(hi))
+
+    root = directory / SIDECAR_DIR
+    root.mkdir(exist_ok=True)
+    invalidate_sidecar(directory)
+    for leftover in root.glob("*.npy"):
+        if leftover.stem not in arrays:
+            leftover.unlink(missing_ok=True)
+    n_bytes = 0
+    for name, array in arrays.items():
+        np.save(root / f"{name}.npy", array)
+        n_bytes += (root / f"{name}.npy").stat().st_size
+
+    sources = {}
+    for filename in BUNDLE_FILES:
+        path = directory / filename
+        if path.exists():
+            sources[filename] = _file_signature(path)
+    footer = {
+        "format": COLUMNAR_FORMAT,
+        "strict": strict,
+        "sources": sources,
+        "arrays": sorted(arrays),
+        "bytes": n_bytes,
+        "counts": {
+            "errors": error_counts,
+            "torque": len(tq_records),
+            "alps": len(al_records),
+            "nodemap": len(bundle.nodemap),
+            "pool": len(pool.strings),
+            "segments": len(arrays["seg_off"]) - 1,
+        },
+        "time_range": (None if time_lo > time_hi else [time_lo, time_hi]),
+        "ingest": {
+            "parsed": dict(report.parsed),
+            "quarantined": dict(report.quarantined),
+            "defects": dict(report.defects),
+            "samples": [{"source": s.source, "lineno": s.lineno,
+                         "defect": s.defect, "reason": s.reason,
+                         "line": s.line} for s in report.samples],
+            "unpaired_end_runs": report.unpaired_end_runs,
+            "censored_start_runs": report.censored_start_runs,
+        },
+    }
+    _write_footer(root, footer)
+    return n_bytes
+
+
+def convert_bundle(directory: str | Path, *, strict: bool = True,
+                   require_write: bool = True) -> LogBundle:
+    """Parse the text bundle once and write the columnar sidecar.
+
+    Returns the parsed :class:`LogBundle` (so the ``read_bundle`` stale-
+    refresh path pays for exactly one parse).  With
+    ``require_write=False`` a failed sidecar write is swallowed -- the
+    parse result is still good -- after making sure no torn sidecar is
+    left behind.
+    """
+    directory = Path(directory)
+    registry = get_registry()
+    with span("columnar_write", strict=strict) as sp:
+        manifest, epoch = read_manifest(directory)
+        report = IngestReport()
+        bundle = LogBundle(directory=directory, epoch=epoch,
+                           manifest=manifest, ingest_report=report)
+        error_rows: dict[str, tuple[list[int], list]] = {}
+        for filename, source in _ERROR_FILES:
+            path = directory / filename
+            if not path.exists():
+                continue
+            linenos: list[int] = []
+            records: list[ErrorLogRecord] = []
+            with open(path) as handle:
+                for lineno, record in parse_stream(
+                        source, handle, epoch, strict=strict,
+                        report=report, with_lineno=True):
+                    linenos.append(lineno)
+                    records.append(record)
+            error_rows[filename] = (linenos, records)
+            bundle.error_records.extend(records)
+        tq_linenos: list[int] = []
+        tq_records: list[TorqueRecord] = []
+        torque_path = directory / "torque.log"
+        if torque_path.exists():
+            with open(torque_path) as handle:
+                for lineno, record in parse_torque(
+                        handle, epoch, strict=strict, report=report,
+                        with_lineno=True):
+                    tq_linenos.append(lineno)
+                    tq_records.append(record)
+        bundle.torque_records.extend(tq_records)
+        al_linenos: list[int] = []
+        al_records: list[AlpsRecord] = []
+        alps_path = directory / "apsys.log"
+        if alps_path.exists():
+            with open(alps_path) as handle:
+                for lineno, record in parse_alps(
+                        handle, epoch, strict=strict, report=report,
+                        with_lineno=True):
+                    al_linenos.append(lineno)
+                    al_records.append(record)
+        bundle.alps_records.extend(al_records)
+        bundle.nodemap = parse_nodemap_file(directory, strict=strict,
+                                            report=report)
+        bundle.error_records.sort(key=lambda r: r.time_s)
+
+        try:
+            n_bytes = _write_sidecar(directory, epoch, strict, report,
+                                     bundle, error_rows,
+                                     (tq_linenos, tq_records),
+                                     (al_linenos, al_records))
+        except Exception:
+            invalidate_sidecar(directory)
+            if require_write:
+                raise
+            sp.set_attrs(**bundle.summary(), written=False)
+        else:
+            registry.counter("ingest_columnar_writes_total")
+            registry.counter("ingest_columnar_bytes_total", n_bytes)
+            sp.set_attrs(**bundle.summary(), written=True,
+                         sidecar_bytes=n_bytes)
+    return bundle
+
+
+# -- the reader ---------------------------------------------------------------
+
+
+class Sidecar:
+    """A structurally valid sidecar: lazy mmap'd columns + the footer.
+
+    Construction proves only that the footer parses and names this
+    format; call :meth:`fresh` / :meth:`compatible` before trusting the
+    data, and expect :meth:`array` to raise if column files are torn.
+    """
+
+    def __init__(self, directory: Path, footer: dict):
+        self.directory = directory
+        self.root = directory / SIDECAR_DIR
+        self.footer = footer
+        self._arrays: dict[str, np.ndarray] = {}
+        self._strings: list[str] | None = None
+        self._segments: list[tuple[int, ...]] | None = None
+        self._segment_cache: dict[int, tuple[int, ...]] = {}
+
+    # -- raw access ---------------------------------------------------------
+
+    def array(self, name: str) -> np.ndarray:
+        array = self._arrays.get(name)
+        if array is None:
+            array = np.load(self.root / f"{name}.npy", mmap_mode="r",
+                            allow_pickle=False)
+            self._arrays[name] = array
+        return array
+
+    def strings(self) -> list[str]:
+        if self._strings is None:
+            blob = self.array("pool_blob")
+            text = bytes(blob).decode("utf-8")
+            offsets = self.array("pool_off").tolist()
+            self._strings = [text[offsets[i]:offsets[i + 1]]
+                             for i in range(len(offsets) - 1)]
+        return self._strings
+
+    def segment(self, code: int) -> tuple[int, ...]:
+        """One nid tuple by segment id (cached; for partial loads)."""
+        if self._segments is not None:
+            return self._segments[code]
+        cached = self._segment_cache.get(code)
+        if cached is None:
+            offsets = self.array("seg_off")
+            pairs = self.array("seg_pairs")
+            o0, o1 = int(offsets[code]), int(offsets[code + 1])
+            nids: list[int] = []
+            for j in range(o0, o1, 2):
+                nids.extend(range(int(pairs[j]), int(pairs[j + 1]) + 1))
+            cached = tuple(nids)
+            self._segment_cache[code] = cached
+        return cached
+
+    def all_segments(self) -> list[tuple[int, ...]]:
+        if self._segments is None:
+            self._segments = _materialize_segments(
+                np.asarray(self.array("seg_pairs")),
+                np.asarray(self.array("seg_off")))
+        return self._segments
+
+    # -- validity -----------------------------------------------------------
+
+    def fresh(self) -> bool:
+        """True when every source file still matches the footer.
+
+        Cheap stat comparison first; a full digest only when size or
+        mtime moved.  Any file added or removed since conversion is
+        stale by definition.
+        """
+        sources = self.footer.get("sources", {})
+        for filename in BUNDLE_FILES:
+            path = self.directory / filename
+            recorded = sources.get(filename)
+            if recorded is None:
+                if path.exists():
+                    return False
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                return False
+            if stat.st_size != recorded["size"]:
+                return False
+            if stat.st_mtime_ns == recorded["mtime_ns"]:
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    digest = hashlib.file_digest(handle, "sha256").hexdigest()
+            except OSError:
+                return False
+            if digest != recorded["sha256"]:
+                return False
+        return True
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(self.footer["ingest"]["quarantined"].values())
+
+    def compatible(self, strict: bool) -> bool:
+        """Whether this sidecar may serve a load at this strictness.
+
+        A lenient conversion that quarantined nothing is as good as a
+        strict one; a conversion that *did* quarantine records must not
+        serve a strict load -- the text parser would raise, and so must
+        we (by falling back to it).
+        """
+        return not strict or self.total_quarantined == 0
+
+    # -- ingest report ------------------------------------------------------
+
+    def restore_report(self) -> IngestReport:
+        ing = self.footer["ingest"]
+        return IngestReport(
+            parsed=dict(ing["parsed"]),
+            quarantined=dict(ing["quarantined"]),
+            defects=dict(ing["defects"]),
+            samples=[QuarantinedLine(**sample) for sample in ing["samples"]],
+            unpaired_end_runs=ing["unpaired_end_runs"],
+            censored_start_runs=ing["censored_start_runs"])
+
+    def quarantine_report(self) -> IngestReport:
+        """The footer's quarantine side plus the nodemap parse tally.
+
+        The streamed path merges this: shard workers account for every
+        *stored* row themselves, but quarantined lines have no rows, and
+        the nodemap is parsed by the parent exactly once.
+        """
+        report = self.restore_report()
+        nodemap_parsed = report.parsed.get("nodemap", 0)
+        report.parsed = ({"nodemap": nodemap_parsed}
+                         if nodemap_parsed else {})
+        return report
+
+    # -- shard planning -----------------------------------------------------
+
+    def time_range(self) -> tuple[float, float] | None:
+        raw = self.footer.get("time_range")
+        if raw is None:
+            return None
+        return float(raw[0]), float(raw[1])
+
+    def plan_slices(self, boundaries: tuple[float, ...]
+                    ) -> dict[str, tuple[ShardSlice, ...]]:
+        """The stored shard index, cut at ``boundaries``.
+
+        Replicates :func:`repro.logs.bundle._index_file` byte-for-byte:
+        a running max over the sniffable times reproduces its linear
+        walk even on non-monotonic (corrupt) files, and unsniffable
+        lines stay with the shard being built.
+        """
+        out: dict[str, tuple[ShardSlice, ...]] = {}
+        n_shards = len(boundaries) - 1
+        with span("index_shards", shards=n_shards, columnar=True) as sp:
+            total_bytes = 0
+            for filename in DATA_FILES:
+                stem = filename.partition(".")[0]
+                if f"idx_{stem}_time" not in self.footer["arrays"]:
+                    continue
+                times = self.array(f"idx_{stem}_time")
+                offsets = self.array(f"idx_{stem}_off")
+                n_lines = len(times)
+                sniffable = np.flatnonzero(~np.isnan(times))
+                cummax = (np.maximum.accumulate(times[sniffable])
+                          if len(sniffable) else None)
+                cuts = [0]
+                for k in range(1, n_shards):
+                    if cummax is None:
+                        cuts.append(n_lines)
+                        continue
+                    pos = int(np.searchsorted(cummax, boundaries[k],
+                                              side="left"))
+                    cuts.append(int(sniffable[pos])
+                                if pos < len(sniffable) else n_lines)
+                cuts.append(n_lines)
+                out[filename] = tuple(
+                    ShardSlice(int(offsets[cuts[k]]),
+                               int(offsets[cuts[k + 1]]), cuts[k] + 1)
+                    for k in range(n_shards))
+                total_bytes += int(offsets[-1])
+            sp.set_attrs(files=len(out), indexed_bytes=total_bytes)
+        return out
+
+    def _row_cuts(self, linenos: np.ndarray, base: int,
+                  slices: tuple[ShardSlice, ...]) -> list[tuple[int, int]]:
+        """Per-shard global row ranges of one file (they partition)."""
+        cutlines = [sl.lineno_lo for sl in slices[1:]]
+        cuts = ([base] + (np.searchsorted(linenos, cutlines, side="left")
+                          + base).tolist() + [base + len(linenos)])
+        return list(zip(cuts[:-1], cuts[1:]))
+
+    def error_row_spans(self, slices: dict[str, tuple[ShardSlice, ...]],
+                        n_shards: int) -> list[dict[str, tuple[int, int]]]:
+        """Per-shard {error filename -> (row lo, row hi)} into err_*."""
+        spans: list[dict[str, tuple[int, int]]] = [
+            {} for _ in range(n_shards)]
+        counts = self.footer["counts"]["errors"]
+        linenos = self.array("err_lineno")
+        base = 0
+        for filename, _source in _ERROR_FILES:
+            n_rows = counts.get(filename)
+            if n_rows is None:
+                continue
+            file_slices = slices.get(filename)
+            if file_slices is not None:
+                cuts = self._row_cuts(linenos[base:base + n_rows], base,
+                                      file_slices)
+                for k in range(n_shards):
+                    spans[k][filename] = cuts[k]
+            base += n_rows
+        return spans
+
+    def run_row_spans(self, filename: str,
+                      slices: tuple[ShardSlice, ...]) -> list[tuple[int, int]]:
+        """Per-shard (row lo, row hi) into tq_* / al_* for one file."""
+        prefix = "tq" if filename == "torque.log" else "al"
+        return self._row_cuts(self.array(f"{prefix}_lineno"), 0, slices)
+
+    # -- record reconstruction ----------------------------------------------
+
+    def _error_rows(self, lo: int, hi: int, source: str,
+                    out: list[ErrorLogRecord]) -> None:
+        strings = self.strings()
+        times = self.array("err_time")[lo:hi].tolist()
+        comps = self.array("err_comp")[lo:hi].tolist()
+        msgs = self.array("err_msg")[lo:hi].tolist()
+        for time_s, comp, msg in zip(times, comps, msgs):
+            out.append(ErrorLogRecord(time_s=time_s, source=source,
+                                      component=strings[comp],
+                                      message=strings[msg]))
+
+    def error_slice(self, spans: dict[str, tuple[int, int]]
+                    ) -> tuple[list[ErrorLogRecord], dict[str, int]]:
+        """Error records for the given per-file row spans.
+
+        Returned in file-concatenation order (the caller sorts by time,
+        matching the text path); counts are per parser stream name, in
+        stream order, zero-count streams omitted -- exactly the keys a
+        text parse of the same lines would have recorded.
+        """
+        records: list[ErrorLogRecord] = []
+        counts: dict[str, int] = {}
+        for filename, source in _ERROR_FILES:
+            row_span = spans.get(filename)
+            if row_span is None:
+                continue
+            lo, hi = row_span
+            if hi > lo:
+                counts[source] = hi - lo
+                self._error_rows(lo, hi, source, records)
+        return records, counts
+
+    def error_records_sorted(self) -> list[ErrorLogRecord]:
+        """All error records, globally time-sorted like the text reader.
+
+        The stored permutation is a stable argsort over the same float
+        keys ``list.sort(key=time_s)`` uses, so the order is identical
+        even among ties.
+        """
+        counts = self.footer["counts"]["errors"]
+        records: list[ErrorLogRecord] = []
+        base = 0
+        for filename, source in _ERROR_FILES:
+            n_rows = counts.get(filename, 0)
+            self._error_rows(base, base + n_rows, source, records)
+            base += n_rows
+        order = self.array("err_sort").tolist()
+        return [records[i] for i in order]
+
+    def torque_slice(self, lo: int, hi: int) -> list[TorqueRecord]:
+        strings = self.strings()
+        segment = (self.all_segments().__getitem__
+                   if hi - lo >= self.footer["counts"]["segments"] // 2
+                   else self.segment)
+        cols = [self.array(f"tq_{name}")[lo:hi].tolist()
+                for name in ("time", "kind", "job", "user", "queue", "nodes",
+                             "nids", "start", "end", "has_end", "wall",
+                             "exit", "has_exit", "qtime", "has_qtime")]
+        out: list[TorqueRecord] = []
+        for (time_s, kind, job, user, queue, nodes, nids, start, end,
+             has_end, wall, exit_status, has_exit, qtime,
+             has_qtime) in zip(*cols):
+            out.append(TorqueRecord(
+                time_s=time_s, kind=_TQ_KINDS[kind], job_id=strings[job],
+                user=strings[user], queue=strings[queue], nodes=nodes,
+                exec_host_nids=segment(nids), start_s=start,
+                end_s=end if has_end else None, walltime_req_s=wall,
+                exit_status=exit_status if has_exit else None,
+                qtime_s=qtime if has_qtime else None))
+        return out
+
+    def alps_slice(self, lo: int, hi: int) -> list[AlpsRecord]:
+        strings = self.strings()
+        segment = (self.all_segments().__getitem__
+                   if hi - lo >= self.footer["counts"]["segments"] // 2
+                   else self.segment)
+        cols = [self.array(f"al_{name}")[lo:hi].tolist()
+                for name in ("time", "kind", "apid", "batch", "user", "cmd",
+                             "nids", "exit", "has_exit", "sig", "has_sig",
+                             "msg")]
+        out: list[AlpsRecord] = []
+        for (time_s, kind, apid, batch, user, cmd, nids, exit_code,
+             has_exit, sig, has_sig, msg) in zip(*cols):
+            out.append(AlpsRecord(
+                time_s=time_s, kind=_AL_KINDS[kind], apid=apid,
+                batch_id=strings[batch], user=strings[user],
+                cmd=strings[cmd], nids=segment(nids),
+                exit_code=exit_code if has_exit else None,
+                exit_signal=sig if has_sig else None,
+                message=strings[msg]))
+        return out
+
+    def nodemap_dict(self) -> dict[int, tuple[str, str, int]]:
+        strings = self.strings()
+        nids = self.array("nm_nid").tolist()
+        cnames = self.array("nm_cname").tolist()
+        types = self.array("nm_type").tolist()
+        vertices = self.array("nm_vertex").tolist()
+        return {nid: (strings[cname], strings[node_type], vertex)
+                for nid, cname, node_type, vertex
+                in zip(nids, cnames, types, vertices)}
+
+    def bundle(self) -> LogBundle:
+        """The full in-memory :class:`LogBundle`, text-parse-identical."""
+        manifest, epoch = read_manifest(self.directory)
+        bundle = LogBundle(directory=self.directory, epoch=epoch,
+                           manifest=manifest,
+                           ingest_report=self.restore_report())
+        bundle.error_records = self.error_records_sorted()
+        bundle.torque_records = self.torque_slice(
+            0, self.footer["counts"]["torque"])
+        bundle.alps_records = self.alps_slice(
+            0, self.footer["counts"]["alps"])
+        bundle.nodemap = self.nodemap_dict()
+        return bundle
+
+
+def load_sidecar(directory: str | Path) -> Sidecar | None:
+    """The bundle's sidecar if structurally valid, else None (silent).
+
+    "Structurally valid" means the footer exists, parses, and names this
+    format with every expected column file present -- the invariant the
+    footer-last write protocol guarantees survives any crash.
+    """
+    directory = Path(directory)
+    footer_path = directory / SIDECAR_DIR / _FOOTER
+    try:
+        with open(footer_path) as handle:
+            footer = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(footer, dict) or footer.get("format") != COLUMNAR_FORMAT:
+        return None
+    try:
+        names = footer["arrays"]
+        for name in names:
+            if not (directory / SIDECAR_DIR / f"{name}.npy").is_file():
+                return None
+    except (KeyError, TypeError):
+        return None
+    return Sidecar(directory, footer)
+
+
+def usable_sidecar(directory: str | Path, *,
+                   strict: bool = True) -> Sidecar | None:
+    """A sidecar that is valid, fresh, *and* strictness-compatible."""
+    sidecar = load_sidecar(directory)
+    if sidecar is None:
+        return None
+    if not sidecar.fresh() or not sidecar.compatible(strict):
+        return None
+    return sidecar
+
+
+def load_bundle(sidecar: Sidecar) -> LogBundle:
+    """Materialize a bundle from a sidecar, with load telemetry."""
+    registry = get_registry()
+    with span("columnar_load") as sp:
+        bundle = sidecar.bundle()
+        registry.counter("ingest_columnar_loads_total")
+        for stream, count in sorted(sidecar.footer["ingest"]["parsed"].items()):
+            registry.counter("ingest_columnar_records_total", count,
+                             stream=stream)
+        sp.set_attrs(**bundle.summary(),
+                     sidecar_bytes=sidecar.footer.get("bytes", 0))
+    return bundle

@@ -141,7 +141,8 @@ def write_stream(source: str, symptoms: Iterable[Symptom],
 def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
                  *, strict: bool = True,
                  report: IngestReport | None = None,
-                 first_lineno: int = 1) -> Iterator[ErrorLogRecord]:
+                 first_lineno: int = 1,
+                 with_lineno: bool = False) -> Iterator:
     """Parse one stream's lines.
 
     ``strict=False`` quarantines unparseable lines instead of raising --
@@ -150,6 +151,9 @@ def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
     kept and what was dropped (and why).  ``first_lineno`` is the file
     line number of the first element of ``lines`` -- shard workers parse
     a byte slice of the file but must report true line numbers.
+    ``with_lineno=True`` yields ``(lineno, record)`` pairs instead of
+    bare records (the columnar converter needs each record's source
+    line to build the shard index without a second parse).
     """
     try:
         parser = _PARSERS[source]
@@ -171,4 +175,4 @@ def parse_stream(source: str, lines: Iterable[str], epoch: Epoch,
             continue
         if report is not None:
             report.record_parsed(source)
-        yield record
+        yield (lineno, record) if with_lineno else record

@@ -126,7 +126,8 @@ def parse_torque_line(line: str, epoch: Epoch) -> TorqueRecord:
 def parse_torque(lines: Iterable[str], epoch: Epoch,
                  *, strict: bool = True,
                  report: IngestReport | None = None,
-                 first_lineno: int = 1) -> Iterator[TorqueRecord]:
+                 first_lineno: int = 1,
+                 with_lineno: bool = False) -> Iterator:
     for lineno, line in enumerate(lines, start=first_lineno):
         line = line.rstrip("\n")
         if not line.strip():
@@ -143,4 +144,4 @@ def parse_torque(lines: Iterable[str], epoch: Epoch,
             continue
         if report is not None:
             report.record_parsed("torque")
-        yield record
+        yield (lineno, record) if with_lineno else record

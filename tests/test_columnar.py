@@ -1,0 +1,443 @@
+"""Columnar sidecar (``repro-bundle/2``): exactness, staleness, atomicity.
+
+The sidecar is a pure accelerator, so the contract under test is
+*byte-identical products*: every record list, the nodemap (including
+insertion order), the lenient ingest report, the shard plan, and every
+analysis summary must be equal whether a bundle is read from text or
+from memory-mapped columns -- including on corruptor-damaged bundles.
+The failure modes under test are the three ways a sidecar can lie:
+going stale behind edited text, surviving a torn write, and masking
+quarantined lines from a strict reader.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.cache import configure_cache
+from repro.cli import main
+from repro.core import LogDiver
+from repro.core.sharding import analyze_streamed
+from repro.errors import LogFormatError
+from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
+from repro.logs.bundle import (
+    index_bundle_shards,
+    read_bundle,
+    read_manifest,
+    sniff_time_range,
+)
+from repro.logs.columnar import (
+    COLUMNAR_FORMAT,
+    SIDECAR_DIR,
+    convert_bundle,
+    invalidate_sidecar,
+    load_sidecar,
+    set_columnar_enabled,
+    usable_sidecar,
+)
+from repro.sim.scenario import small_scenario
+
+_FOOTER = "columnar.json"
+
+
+def dicts_equal(a: dict, b: dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        va, vb = a[key], b[key]
+        both_nan = (isinstance(va, float) and isinstance(vb, float)
+                    and math.isnan(va) and math.isnan(vb))
+        if not (both_nan or va == vb):
+            return False
+    return True
+
+
+def assert_bundles_equal(text, col) -> None:
+    """Full-product equality between a text parse and a columnar load."""
+    assert col.error_records == text.error_records
+    assert col.torque_records == text.torque_records
+    assert col.alps_records == text.alps_records
+    assert col.nodemap == text.nodemap
+    assert list(col.nodemap) == list(text.nodemap)  # insertion order too
+    assert col.manifest == text.manifest
+    assert col.ingest_report.as_dict() == text.ingest_report.as_dict()
+    assert ([(s.source, s.lineno, s.defect, s.line)
+             for s in col.ingest_report.samples]
+            == [(s.source, s.lineno, s.defect, s.line)
+                for s in text.ingest_report.samples])
+
+
+@pytest.fixture(scope="module")
+def text_dir(bundle_dir, tmp_path_factory):
+    """Pristine text copy of the session bundle -- never converted."""
+    root = tmp_path_factory.mktemp("columnar_text")
+    dest = root / "bundle"
+    shutil.copytree(bundle_dir, dest)
+    return dest
+
+
+@pytest.fixture(scope="module")
+def converted_dir(bundle_dir, tmp_path_factory):
+    """Converted copy of the session bundle."""
+    root = tmp_path_factory.mktemp("columnar_conv")
+    dest = root / "bundle"
+    shutil.copytree(bundle_dir, dest)
+    convert_bundle(str(dest))
+    return dest
+
+
+@pytest.fixture(scope="module")
+def corrupt_text_dir(text_dir, tmp_path_factory):
+    dest = tmp_path_factory.mktemp("columnar_corrupt") / "bundle"
+    corrupt_bundle(text_dir, dest, CorruptionConfig.uniform(0.01), seed=7)
+    return dest
+
+
+@pytest.fixture(scope="module")
+def corrupt_converted_dir(corrupt_text_dir, tmp_path_factory):
+    dest = tmp_path_factory.mktemp("columnar_corrupt_conv") / "bundle"
+    shutil.copytree(corrupt_text_dir, dest)
+    convert_bundle(str(dest), strict=False)
+    return dest
+
+
+@pytest.fixture(scope="module")
+def tiny_text_dir(tmp_path_factory):
+    """A small bundle the hypothesis sweep can corrupt+convert quickly."""
+    from repro.logs.bundle import write_bundle
+    result = small_scenario(days=8.0, machine_scale=0.05,
+                            workload_thinning=0.01, seed=77).run()
+    dest = tmp_path_factory.mktemp("columnar_tiny") / "bundle"
+    write_bundle(result, dest, seed=1)
+    return dest
+
+
+class TestRoundTrip:
+    def test_sidecar_is_usable_and_versioned(self, converted_dir):
+        sidecar = usable_sidecar(str(converted_dir))
+        assert sidecar is not None
+        assert sidecar.footer["format"] == COLUMNAR_FORMAT
+        assert sidecar.fresh()
+
+    def test_bundle_products_identical(self, text_dir, converted_dir):
+        text = read_bundle(text_dir, columnar=False)
+        col = read_bundle(converted_dir)
+        assert_bundles_equal(text, col)
+
+    def test_analysis_identical(self, text_dir, converted_dir):
+        mem = LogDiver().analyze(read_bundle(text_dir, columnar=False))
+        col = LogDiver().analyze(read_bundle(converted_dir))
+        assert dicts_equal(mem.summary(), col.summary())
+        assert mem.breakdown == col.breakdown
+        assert mem.causes == col.causes
+
+    def test_convert_returns_the_parsed_bundle(self, text_dir, tmp_path):
+        dest = tmp_path / "bundle"
+        shutil.copytree(text_dir, dest)
+        converted = convert_bundle(str(dest))
+        assert_bundles_equal(read_bundle(text_dir, columnar=False),
+                             converted)
+
+    def test_shard_plan_parity(self, text_dir, converted_dir):
+        sidecar = usable_sidecar(str(converted_dir))
+        _, epoch = read_manifest(text_dir)
+        lo, hi = sidecar.time_range()
+        assert (lo, hi) == sniff_time_range(text_dir, epoch=epoch)
+        for n_shards in (1, 2, 3, 8):
+            width = (hi - lo) / n_shards or 1.0
+            bounds = tuple(lo + i * width for i in range(n_shards)) + (hi,)
+            assert (sidecar.plan_slices(bounds)
+                    == index_bundle_shards(text_dir, bounds, epoch=epoch))
+
+
+class TestLenientParity:
+    def test_corrupt_products_identical(self, corrupt_text_dir,
+                                        corrupt_converted_dir):
+        text = read_bundle(corrupt_text_dir, strict=False, columnar=False)
+        assert text.ingest_report.quarantined  # the sweep actually bit
+        col = read_bundle(corrupt_converted_dir, strict=False)
+        assert_bundles_equal(text, col)
+
+    def test_strict_read_refuses_lenient_sidecar(self,
+                                                 corrupt_converted_dir):
+        # A sidecar carrying quarantined lines must never satisfy a
+        # strict read: the fast path steps aside and the text parser
+        # raises exactly as it would without a sidecar.
+        sidecar = load_sidecar(str(corrupt_converted_dir))
+        assert sidecar is not None and not sidecar.compatible(True)
+        with pytest.raises(LogFormatError):
+            read_bundle(corrupt_converted_dir, strict=True)
+
+    def test_corrupt_shard_plan_parity(self, corrupt_text_dir,
+                                       corrupt_converted_dir):
+        sidecar = usable_sidecar(str(corrupt_converted_dir), strict=False)
+        _, epoch = read_manifest(corrupt_text_dir)
+        lo, hi = sidecar.time_range()
+        for n_shards in (2, 5):
+            width = (hi - lo) / n_shards
+            bounds = tuple(lo + i * width for i in range(n_shards)) + (hi,)
+            assert (sidecar.plan_slices(bounds)
+                    == index_bundle_shards(corrupt_text_dir, bounds,
+                                           epoch=epoch))
+
+
+class TestStreamedParity:
+    def test_clean_streamed_matches_all_paths(self, text_dir,
+                                              converted_dir):
+        mem = LogDiver().analyze(read_bundle(text_dir, columnar=False))
+        st_text = analyze_streamed(text_dir, shards=5, jobs=1)
+        st_col = analyze_streamed(converted_dir, shards=5, jobs=1)
+        assert dicts_equal(st_col.summary(), st_text.summary())
+        assert dicts_equal(st_col.summary(), mem.summary())
+        assert st_col.ingest.as_dict() == st_text.ingest.as_dict()
+
+    def test_corrupt_streamed_matches(self, corrupt_text_dir,
+                                      corrupt_converted_dir):
+        st_text = analyze_streamed(corrupt_text_dir, shards=5, jobs=1,
+                                   strict=False, columnar=False)
+        st_col = analyze_streamed(corrupt_converted_dir, shards=5, jobs=1,
+                                  strict=False)
+        assert dicts_equal(st_col.summary(), st_text.summary())
+        assert st_col.ingest.as_dict() == st_text.ingest.as_dict()
+
+    def test_streamed_never_rereads_log_bodies(self, converted_dir,
+                                               monkeypatch):
+        # Satellite bugfix regression: with a sidecar, the second (and
+        # any) streamed analyze must plan shards and feed workers from
+        # stored columns alone -- no sniffing, no byte indexing, no
+        # line iteration over the text logs.
+        import repro.core.sharding as sharding
+        import repro.logs.bundle as bundle_mod
+
+        def boom(*a, **k):
+            raise AssertionError("text log bodies were re-read")
+
+        monkeypatch.setattr(sharding, "index_bundle_shards", boom)
+        monkeypatch.setattr(sharding, "sniff_time_range", boom)
+        monkeypatch.setattr(sharding, "iter_slice_lines", boom)
+        monkeypatch.setattr(bundle_mod, "_index_file", boom)
+        streamed = analyze_streamed(converted_dir, shards=4, jobs=1)
+        assert streamed.n_runs > 0
+
+    def test_streamed_requires_live_sidecar(self, converted_dir,
+                                            tmp_path):
+        # If the sidecar vanishes *mid-analysis* the worker must fail
+        # loudly, not silently fall back against a columnar plan.
+        from repro.core.sharding import _worker_sidecar
+        from repro.errors import AnalysisError
+        dest = tmp_path / "bundle"
+        shutil.copytree(converted_dir, dest)
+        invalidate_sidecar(str(dest))
+        with pytest.raises(AnalysisError):
+            _worker_sidecar(str(dest), True)
+
+
+class TestStaleness:
+    def _copy(self, src, tmp_path):
+        dest = tmp_path / "bundle"
+        shutil.copytree(src, dest)
+        return dest
+
+    def test_edited_text_invalidates_sidecar(self, converted_dir,
+                                             tmp_path):
+        dest = self._copy(converted_dir, tmp_path)
+        with open(dest / "console.log", "a") as handle:
+            handle.write("this is not a valid console line\n")
+        assert usable_sidecar(str(dest)) is None
+
+    def test_stale_read_falls_back_and_rewrites(self, converted_dir,
+                                                tmp_path):
+        dest = self._copy(converted_dir, tmp_path)
+        before = read_bundle(dest)
+        # Append a parseable line: the sidecar is now stale, so the read
+        # must reparse the text (seeing the new record) and refresh the
+        # sidecar in place.
+        last = before.error_records[-1]
+        _, epoch = read_manifest(dest)
+        stamp = epoch.format_iso(last.time_s + 1.0)
+        with open(dest / "hwerr.log", "a") as handle:
+            handle.write(f"{stamp}|{last.component}|appended hwerr line\n")
+        after = read_bundle(dest)
+        assert len(after.error_records) == len(before.error_records) + 1
+        refreshed = usable_sidecar(str(dest))
+        assert refreshed is not None and refreshed.fresh()
+        # and the refreshed sidecar serves the appended record
+        again = read_bundle(dest)
+        assert again.error_records == after.error_records
+
+    def test_removed_file_invalidates_sidecar(self, converted_dir,
+                                              tmp_path):
+        dest = self._copy(converted_dir, tmp_path)
+        (dest / "console.log").unlink()
+        assert usable_sidecar(str(dest)) is None
+
+
+class TestTornWrites:
+    def _copy(self, src, tmp_path):
+        dest = tmp_path / "bundle"
+        shutil.copytree(src, dest)
+        return dest
+
+    def test_missing_footer_is_invisible(self, text_dir, converted_dir,
+                                         tmp_path):
+        dest = self._copy(converted_dir, tmp_path)
+        (dest / SIDECAR_DIR / _FOOTER).unlink()
+        assert load_sidecar(str(dest)) is None
+        assert_bundles_equal(read_bundle(text_dir, columnar=False),
+                             read_bundle(dest))
+
+    def test_truncated_footer_is_invisible(self, text_dir, converted_dir,
+                                           tmp_path):
+        dest = self._copy(converted_dir, tmp_path)
+        footer = dest / SIDECAR_DIR / _FOOTER
+        footer.write_bytes(footer.read_bytes()[: 40])
+        assert load_sidecar(str(dest)) is None
+        assert_bundles_equal(read_bundle(text_dir, columnar=False),
+                             read_bundle(dest))
+
+    def test_missing_column_is_invisible(self, text_dir, converted_dir,
+                                         tmp_path):
+        dest = self._copy(converted_dir, tmp_path)
+        victim = sorted((dest / SIDECAR_DIR).glob("*.npy"))[0]
+        victim.unlink()
+        assert load_sidecar(str(dest)) is None
+        assert_bundles_equal(read_bundle(text_dir, columnar=False),
+                             read_bundle(dest))
+
+    def test_truncated_column_falls_back(self, text_dir, converted_dir,
+                                         tmp_path):
+        # Footer intact, one column torn: loading must fail safe into
+        # the text parser, never crash or return partial data.
+        dest = self._copy(converted_dir, tmp_path)
+        victim = sorted((dest / SIDECAR_DIR).glob("*.npy"))[0]
+        victim.write_bytes(victim.read_bytes()[: 16])
+        assert_bundles_equal(read_bundle(text_dir, columnar=False),
+                             read_bundle(dest))
+
+    def test_sigkill_mid_convert_leaves_loadable_bundle(self, tiny_text_dir,
+                                                        tmp_path):
+        dest = self._copy(tiny_text_dir, tmp_path)
+        src_root = os.path.join(os.path.dirname(__file__), "..", "src")
+        code = ("import sys; from repro.logs.columnar import convert_bundle;"
+                f" convert_bundle({str(dest)!r})")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONPATH": src_root})
+        # Kill as soon as the converter starts laying down column files.
+        deadline = time.time() + 60.0
+        sidecar_dir = dest / SIDECAR_DIR
+        while time.time() < deadline and proc.poll() is None:
+            if sidecar_dir.exists():
+                break
+            time.sleep(0.001)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        # Whatever instant the kill landed, the bundle stays readable
+        # and exact: either the footer never appeared (torn write is
+        # invisible) or the convert completed (sidecar is whole).
+        expected = read_bundle(tiny_text_dir, columnar=False)
+        assert_bundles_equal(expected, read_bundle(dest))
+
+
+class TestPropertySweep:
+    @given(rate=st.sampled_from([0.0, 0.005, 0.02, 0.05]),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_corrupt_convert_roundtrip(self, tiny_text_dir, tmp_path_factory,
+                                       rate, seed):
+        root = tmp_path_factory.mktemp("colprop")
+        damaged = root / "damaged"
+        corrupt_bundle(tiny_text_dir, damaged,
+                       CorruptionConfig.uniform(rate), seed=seed)
+        text = read_bundle(damaged, strict=False, columnar=False)
+        converted = root / "converted"
+        shutil.copytree(damaged, converted)
+        convert_bundle(str(converted), strict=False)
+        col = read_bundle(converted, strict=False)
+        assert_bundles_equal(text, col)
+        assert dicts_equal(LogDiver().analyze(col).summary(),
+                           LogDiver().analyze(text).summary())
+
+
+class TestCli:
+    def test_convert_then_up_to_date_then_force(self, tiny_text_dir,
+                                                tmp_path, capsys):
+        dest = tmp_path / "bundle"
+        shutil.copytree(tiny_text_dir, dest)
+        assert main(["convert", str(dest)]) == 0
+        assert "converted" in capsys.readouterr().out
+        assert main(["convert", str(dest)]) == 0
+        assert "up to date" in capsys.readouterr().out
+        assert main(["convert", str(dest), "--force"]) == 0
+        assert "converted" in capsys.readouterr().out
+
+    def test_convert_lenient_renders_report(self, corrupt_text_dir,
+                                            tmp_path, capsys):
+        dest = tmp_path / "bundle"
+        shutil.copytree(corrupt_text_dir, dest)
+        assert main(["convert", str(dest), "--lenient"]) == 0
+        out = capsys.readouterr().out
+        assert "converted" in out and "quarantined" in out
+
+    def test_analyze_no_columnar_forces_text(self, converted_dir,
+                                             capsys, monkeypatch):
+        try:
+            code = main(["analyze", str(converted_dir), "--tables",
+                         "outcomes", "--no-columnar"])
+        finally:
+            set_columnar_enabled(True)
+        assert code == 0
+        assert "system-failure share" in capsys.readouterr().out
+
+    def test_analyze_agrees_with_and_without_sidecar(self, text_dir,
+                                                     converted_dir, capsys):
+        assert main(["analyze", str(converted_dir), "--tables",
+                     "outcomes,causes"]) == 0
+        with_sidecar = capsys.readouterr().out
+        assert main(["analyze", str(text_dir), "--tables",
+                     "outcomes,causes"]) == 0
+        # identical bytes, paper tables included
+        assert capsys.readouterr().out == with_sidecar
+
+
+class TestAmbientBundlePreset:
+    def test_persists_sidecar_not_pickle(self, tmp_path):
+        from repro.campaign.cache import get_cache
+        from repro.experiments import presets
+
+        previous_dir = get_cache().directory
+        previous_enabled = get_cache().enabled
+        cache = configure_cache(directory=tmp_path, enabled=True)
+        presets.clear_memo()
+        try:
+            first = presets.ambient_bundle(days=4.0, thinning=0.002, seed=5)
+            assert cache.stats.hits == 0 and cache.stats.misses >= 1
+            bundles = list((tmp_path / "bundles").iterdir())
+            assert len(bundles) == 1
+            assert usable_sidecar(str(bundles[0])) is not None
+            # the only pickle on disk is the simulation result -- the
+            # bundle itself is never pickled again
+            pickles = list((tmp_path / "objects").glob("*.pkl"))
+            assert len(pickles) == 1
+
+            presets.clear_memo()
+            hits_before = cache.stats.hits
+            warm = presets.ambient_bundle(days=4.0, thinning=0.002, seed=5)
+            assert cache.stats.hits == hits_before + 1
+            assert warm.error_records == first.error_records
+            assert warm.torque_records == first.torque_records
+            assert warm.alps_records == first.alps_records
+            assert warm.nodemap == first.nodemap
+        finally:
+            presets.clear_memo()
+            configure_cache(directory=previous_dir,
+                            enabled=previous_enabled)
