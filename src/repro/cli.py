@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirror how the tool is used at a site::
+Nine subcommands mirror how the tool is used at a site::
 
     python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
     python -m repro convert out/bundle
@@ -8,6 +8,9 @@ Six subcommands mirror how the tool is used at a site::
     python -m repro baseline out/bundle
     python -m repro validate
     python -m repro trace small --days 5
+    python -m repro query analyze out/bundle --window 0:86400
+    python -m repro serve out/bundle --port 8350
+    python -m repro loadtest out/bundle --workers 1,8 --requests 25
 
 ``simulate`` runs a scenario and writes the log bundle; ``convert``
 builds (or refreshes) the ``repro-bundle/2`` columnar sidecar next to a
@@ -24,6 +27,13 @@ tracer and prints the span-tree report with per-stage time and memory.
 ``analyze``, ``validate``, and ``trace`` accept ``--telemetry DIR`` to
 persist the run's JSONL span events, Prometheus metric exposition, and
 canonical-JSON metric dump (see :mod:`repro.obs`).
+
+The serving trio (:mod:`repro.serve`): ``query`` prints one canonical
+analyze/validate document -- the exact bytes the daemon would serve, so
+parity is testable from the shell; ``serve`` runs the resident bundle
+daemon until SIGTERM/SIGINT, then drains (``/healthz`` flips to 503) and
+shuts down; ``loadtest`` drives a daemon with the deterministic
+closed-loop generator and writes the ``run_table.csv`` SLO artifact.
 """
 
 from __future__ import annotations
@@ -208,6 +218,78 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--telemetry", default=None, metavar="DIR",
                        help="write trace.jsonl / metrics.prom / "
                             "metrics.json for this run to DIR")
+
+    query = sub.add_parser(
+        "query", help="print one canonical analyze/validate document "
+                      "(the exact bytes the daemon serves)")
+    query.add_argument("action", choices=("analyze", "validate"),
+                       help="analyze: windowed/full summary document; "
+                            "validate: oracle-verdict document")
+    query.add_argument("bundle", help="bundle directory")
+    query.add_argument("--window", default=None, metavar="LO:HI",
+                       help="restrict to records with LO <= t <= HI "
+                            "(seconds since the bundle epoch); must lie "
+                            "within the collection window")
+    query.add_argument("--lenient", action="store_true",
+                       help="quarantine malformed records instead of "
+                            "refusing the bundle")
+    query.add_argument("--stream", action="store_true",
+                       help="out-of-core sharded analysis (whole bundle "
+                            "only; mutually exclusive with --window)")
+    query.add_argument("--shards", type=int, default=8, metavar="N",
+                       help="time shards for --stream (default 8)")
+    query.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes for --stream")
+
+    serve = sub.add_parser(
+        "serve", help="run the resident bundle daemon (HTTP API)")
+    serve.add_argument("bundles", nargs="+", metavar="BUNDLE",
+                       help="bundle directory, or NAME=PATH to pick the "
+                            "served name (default: directory basename)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="listen port (0 = ephemeral; default 8350)")
+    serve.add_argument("--max-loaded", type=int, default=4, metavar="N",
+                       help="warm bundle handles kept in the LRU "
+                            "(default 4)")
+    serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="cap on worker processes a streamed query "
+                            "may request (default: serial)")
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive a daemon with the deterministic load "
+                         "generator and write run_table.csv")
+    loadtest.add_argument("bundles", nargs="+", metavar="BUNDLE",
+                          help="bundle directory or NAME=PATH (must match "
+                               "the target daemon's names when --url is "
+                               "used)")
+    loadtest.add_argument("--workers", default="1,4,8", metavar="LIST",
+                          help="comma list of concurrent-client counts; "
+                               "one run_table row per count "
+                               "(default 1,4,8)")
+    loadtest.add_argument("--requests", type=int, default=25, metavar="M",
+                          help="requests per worker (default 25)")
+    loadtest.add_argument("--seed", type=int, default=2015,
+                          help="query-mix seed (same seed = same "
+                               "requests, byte for byte)")
+    loadtest.add_argument("--out", default="run_table.csv", metavar="CSV",
+                          help="run-table path (default run_table.csv)")
+    loadtest.add_argument("--url", default=None, metavar="HOST:PORT",
+                          help="target an already-running daemon instead "
+                               "of starting one in-process")
+    loadtest.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="save a final /metrics scrape to FILE")
+    loadtest.add_argument("--max-loaded", type=int, default=4, metavar="N",
+                          help="LRU capacity for the in-process daemon "
+                               "(default 4)")
+    loadtest.add_argument("--cold-baseline", action="store_true",
+                          help="append a cold-cli row timing fresh "
+                               "'repro query analyze' subprocesses for "
+                               "comparison against warm serving")
+    loadtest.add_argument("--p95-gate-ms", type=float, default=None,
+                          metavar="MS",
+                          help="exit 1 if any daemon config's p95 "
+                               "exceeds MS (the CI smoke gate)")
     return parser
 
 
@@ -495,6 +577,125 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    import sys
+
+    from repro.errors import ReproError
+    from repro.serve import queries
+
+    builder = (queries.analyze_document if args.action == "analyze"
+               else queries.validate_document)
+    try:
+        window = (queries.parse_window_spec(args.window)
+                  if args.window is not None else None)
+        document = builder(args.bundle, window=window,
+                           lenient=args.lenient, stream=args.stream,
+                           shards=args.shards, jobs=args.jobs)
+    except (queries.QueryError, ReproError) as bad:
+        # The same refusals the daemon maps to 4xx (bad window, strict
+        # read of a quarantined bundle, ...) exit 2 here.
+        print(f"query refused: {bad}", file=sys.stderr)
+        return 2
+    # The daemon's response body, verbatim (document_bytes includes the
+    # trailing newline print() would add) -- byte parity by construction.
+    sys.stdout.write(queries.document_bytes(document).decode("utf-8"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve.daemon import ServeApp, ServeDaemon, parse_bundle_specs
+
+    try:
+        bundles = parse_bundle_specs(args.bundles)
+        app = ServeApp(bundles, max_loaded=args.max_loaded, jobs=args.jobs)
+    except ValueError as bad:
+        print(f"bad serve configuration: {bad}")
+        return 2
+    daemon = ServeDaemon(app, host=args.host, port=args.port)
+
+    def _terminate(signum, frame):
+        # Route SIGTERM through the KeyboardInterrupt path so systemd
+        # stops and Ctrl-C drain identically.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    print(f"serving {len(bundles)} bundle(s) on "
+          f"http://{daemon.host}:{daemon.port} "
+          f"({args.max_loaded} warm handle(s) max)")
+    for name, path in sorted(bundles.items()):
+        print(f"  {name} -> {path}")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining (healthz -> 503) and shutting down...")
+    finally:
+        daemon.shutdown()
+        signal.signal(signal.SIGTERM, previous)
+    print("stopped")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serve import loadgen
+    from repro.serve.daemon import parse_bundle_specs
+
+    try:
+        bundles = parse_bundle_specs(args.bundles)
+        worker_counts = [int(text) for text in args.workers.split(",")
+                         if text.strip()]
+    except ValueError as bad:
+        print(f"bad loadtest configuration: {bad}")
+        return 2
+    if not worker_counts or any(count < 1 for count in worker_counts) \
+            or args.requests < 1:
+        print(f"bad loadtest configuration: workers {args.workers!r} / "
+              f"requests {args.requests} must be positive")
+        return 2
+    points = [loadgen.LoadPoint(count, args.requests)
+              for count in worker_counts]
+    rows = loadgen.run_loadtest(bundles, points, seed=args.seed,
+                                out=args.out, url=args.url,
+                                metrics_out=args.metrics_out,
+                                max_loaded=args.max_loaded)
+    if args.cold_baseline:
+        directory = bundles[sorted(bundles)[0]]
+        samples = sorted(loadgen.cold_cli_seconds(directory)
+                         for _ in range(2))
+        duration = sum(samples)
+        rows.append(loadgen.RunRow(
+            config="cold-cli", workers=1,
+            requests_per_worker=len(samples),
+            total_requests=len(samples), duration_s=duration,
+            throughput_rps=len(samples) / duration,
+            p50_ms=loadgen.percentile(samples, 0.50) * 1000,
+            p95_ms=loadgen.percentile(samples, 0.95) * 1000,
+            p99_ms=loadgen.percentile(samples, 0.99) * 1000,
+            failure_rate=0.0))
+        loadgen.write_run_table(rows, args.out)
+    print(f"run table -> {args.out}")
+    for row in rows:
+        record = row.as_record()
+        print(f"  {record['config']:>12}: {record['throughput_rps']:>9} "
+              f"req/s  p50 {record['p50_ms']} ms  "
+              f"p95 {record['p95_ms']} ms  p99 {record['p99_ms']} ms  "
+              f"failure_rate {record['failure_rate']}")
+    daemon_rows = [row for row in rows if row.config != "cold-cli"]
+    failed = False
+    bad_rows = [row.config for row in daemon_rows if row.failure_rate > 0]
+    if bad_rows:
+        print(f"FAIL: non-zero failure rate in {', '.join(bad_rows)}")
+        failed = True
+    if args.p95_gate_ms is not None and daemon_rows:
+        worst = max(row.p95_ms for row in daemon_rows)
+        ok = worst <= args.p95_gate_ms
+        print(f"p95 gate: worst {worst:.1f} ms vs {args.p95_gate_ms:g} ms "
+              f"-> {'ok' if ok else 'FAIL'}")
+        failed |= not ok
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "convert": _cmd_convert,
@@ -502,6 +703,9 @@ _COMMANDS = {
     "baseline": _cmd_baseline,
     "validate": _cmd_validate,
     "trace": _cmd_trace,
+    "query": _cmd_query,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

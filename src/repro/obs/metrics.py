@@ -17,11 +17,24 @@ serial run (the campaign tests pin this).
 Two expositions: :meth:`render_prometheus` (the ``text/plain; version=
 0.0.4`` format scrapers expect) and :meth:`snapshot` serialized as
 canonical JSON for the ``--telemetry`` dump.
+
+**Thread safety.**  Every mutation and read of a registry happens under
+one internal lock: the serving daemon (:mod:`repro.serve`) increments
+counters and observes latencies from many handler threads at once, and
+``dict.get`` + store is *not* atomic under the GIL (a thread switch
+between the read and the write loses increments -- the stress test in
+``tests/test_obs_threadsafety.py`` demonstrates exactly that without
+the lock).  Scoping (:func:`scoped_registry`) is **thread-local**: the
+process-wide base registry is shared by all threads, while a scope
+pushed in one thread never captures another thread's writes -- a
+campaign worker scoping its unit delta must not swallow the daemon's
+request counters.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -78,6 +91,11 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         #: series -> {"buckets": {label: count}, "sum": s, "count": n}
         self._histograms: dict[str, dict[str, Any]] = {}
+        #: One lock over all three families: read-modify-write updates
+        #: from concurrent daemon handler threads must never interleave,
+        #: and a snapshot taken mid-request must still be internally
+        #: consistent (histogram sum/count/buckets move together).
+        self._lock = threading.Lock()
 
     # -- instrumentation ----------------------------------------------------
 
@@ -87,50 +105,56 @@ class MetricsRegistry:
             raise ValueError(f"counter {name} increment must be >= 0, "
                              f"got {amount}")
         key = _series(name, labels)
-        self._counters[key] = self._counters.get(key, 0.0) + amount
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set a point-in-time value (merge takes the max across sources)."""
-        self._gauges[_series(name, labels)] = float(value)
+        with self._lock:
+            self._gauges[_series(name, labels)] = float(value)
 
     def observe(self, name: str, value: float, *,
                 buckets: tuple[float, ...] = DEFAULT_BUCKETS,
                 **labels: Any) -> None:
         """Record one observation into a histogram."""
         key = _series(name, labels)
-        hist = self._histograms.get(key)
-        if hist is None:
-            hist = {"buckets": {_bucket_label(b): 0
-                                for b in (*buckets, math.inf)},
-                    "sum": 0.0, "count": 0}
-            self._histograms[key] = hist
-        for bound in (*buckets, math.inf):
-            if value <= bound:
-                hist["buckets"][_bucket_label(bound)] += 1
-                break
-        hist["sum"] += float(value)
-        hist["count"] += 1
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = {"buckets": {_bucket_label(b): 0
+                                    for b in (*buckets, math.inf)},
+                        "sum": 0.0, "count": 0}
+                self._histograms[key] = hist
+            for bound in (*buckets, math.inf):
+                if value <= bound:
+                    hist["buckets"][_bucket_label(bound)] += 1
+                    break
+            hist["sum"] += float(value)
+            hist["count"] += 1
 
     # -- reads --------------------------------------------------------------
 
     def counter_value(self, name: str, **labels: Any) -> float:
-        return self._counters.get(_series(name, labels), 0.0)
+        with self._lock:
+            return self._counters.get(_series(name, labels), 0.0)
 
     def gauge_value(self, name: str, **labels: Any) -> float | None:
-        return self._gauges.get(_series(name, labels))
+        with self._lock:
+            return self._gauges.get(_series(name, labels))
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-able copy of everything, sorted for canonical dumps."""
-        return {
-            "schema": METRICS_SCHEMA,
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "histograms": {
-                key: {"buckets": _sorted_buckets(hist["buckets"]),
-                      "sum": hist["sum"], "count": hist["count"]}
-                for key, hist in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    key: {"buckets": _sorted_buckets(hist["buckets"]),
+                          "sum": hist["sum"], "count": hist["count"]}
+                    for key, hist in sorted(self._histograms.items())
+                },
+            }
 
     # -- aggregation --------------------------------------------------------
 
@@ -141,28 +165,35 @@ class MetricsRegistry:
         worker snapshots gives the same totals in any order -- the
         property that makes ``--jobs 8`` campaigns explainable.
         """
-        for key, value in snapshot.get("counters", {}).items():
-            self._counters[key] = self._counters.get(key, 0.0) + value
-        for key, value in snapshot.get("gauges", {}).items():
-            current = self._gauges.get(key)
-            self._gauges[key] = value if current is None \
-                else max(current, value)
-        for key, hist in snapshot.get("histograms", {}).items():
-            mine = self._histograms.get(key)
-            if mine is None:
-                self._histograms[key] = {
-                    "buckets": dict(hist["buckets"]),
-                    "sum": hist["sum"], "count": hist["count"]}
-                continue
-            for label, count in hist["buckets"].items():
-                mine["buckets"][label] = mine["buckets"].get(label, 0) + count
-            mine["sum"] += hist["sum"]
-            mine["count"] += hist["count"]
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for key, value in snapshot.get("gauges", {}).items():
+                current = self._gauges.get(key)
+                self._gauges[key] = value if current is None \
+                    else max(current, value)
+            for key, hist in snapshot.get("histograms", {}).items():
+                mine = self._histograms.get(key)
+                if mine is None:
+                    self._histograms[key] = {
+                        "buckets": dict(hist["buckets"]),
+                        "sum": hist["sum"], "count": hist["count"]}
+                    continue
+                for label, count in hist["buckets"].items():
+                    mine["buckets"][label] = (mine["buckets"].get(label, 0)
+                                              + count)
+                mine["sum"] += hist["sum"]
+                mine["count"] += hist["count"]
 
     # -- exposition ---------------------------------------------------------
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition (``# TYPE`` headers + samples)."""
+        """Prometheus text exposition (``# TYPE`` headers + samples).
+
+        Renders from a :meth:`snapshot` so a scrape racing concurrent
+        writes sees one consistent point in time.
+        """
+        snap = self.snapshot()
         lines: list[str] = []
         seen_types: set[str] = set()
 
@@ -172,13 +203,13 @@ class MetricsRegistry:
                 seen_types.add(base)
                 lines.append(f"# TYPE {base} {kind}")
 
-        for series, value in sorted(self._counters.items()):
+        for series, value in snap["counters"].items():
             type_header(series, "counter")
             lines.append(f"{series} {_format_value(value)}")
-        for series, value in sorted(self._gauges.items()):
+        for series, value in snap["gauges"].items():
             type_header(series, "gauge")
             lines.append(f"{series} {_format_value(value)}")
-        for series, hist in sorted(self._histograms.items()):
+        for series, hist in snap["histograms"].items():
             base = _base_name(series)
             labels = series[len(base):]  # "{...}" or ""
             inner = labels[1:-1] if labels else ""
@@ -194,29 +225,48 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
-#: Innermost-first registry stack.  The bottom entry is the process-wide
-#: always-on registry; campaign workers push a fresh one per unit so the
-#: parent receives exactly that unit's delta even when the executor
-#: reuses the worker process.
-_registry_stack: list[MetricsRegistry] = [MetricsRegistry()]
+#: The process-wide always-on registry, shared by every thread -- the
+#: daemon's handler threads all fold into this one (its internal lock
+#: keeps them exact).
+_base_registry = MetricsRegistry()
+
+
+class _ScopeStack(threading.local):
+    """Innermost-first *per-thread* overlay stack above the base.
+
+    Thread-local on purpose: a scope pushed by one thread (a campaign
+    worker isolating its unit delta, a test) must never capture metric
+    writes made concurrently by other threads, and daemon handler
+    threads must keep writing to the shared base registry regardless of
+    what the main thread has scoped.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[MetricsRegistry] = []
+
+
+_scopes = _ScopeStack()
 
 
 def get_registry() -> MetricsRegistry:
-    """The active registry (the process-wide one unless scoped)."""
-    return _registry_stack[-1]
+    """The active registry: this thread's innermost scope, else the
+    process-wide base."""
+    stack = _scopes.stack
+    return stack[-1] if stack else _base_registry
 
 
 @contextmanager
 def scoped_registry(registry: MetricsRegistry | None = None
                     ) -> Iterator[MetricsRegistry]:
-    """Route all metric writes to a fresh registry for the block.
+    """Route this thread's metric writes to a fresh registry.
 
     Used by campaign workers (per-unit deltas), the ``trace`` CLI (a
-    report covering exactly one invocation), and tests.
+    report covering exactly one invocation), and tests.  Other threads
+    are unaffected (see :class:`_ScopeStack`).
     """
     registry = registry or MetricsRegistry()
-    _registry_stack.append(registry)
+    _scopes.stack.append(registry)
     try:
         yield registry
     finally:
-        _registry_stack.pop()
+        _scopes.stack.pop()

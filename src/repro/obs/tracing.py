@@ -22,6 +22,7 @@ parallel trace numbers exactly like the serial one.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
@@ -229,26 +230,43 @@ def normalized_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
     return normalized
 
 
-#: Innermost-first stack of active tracers (plain stack, not a
-#: contextvar: the pipeline is single-threaded per process, and spawn
-#: workers build their own stack from scratch).
-_tracer_stack: list[Tracer] = []
+class _TracerStack(threading.local):
+    """Innermost-first *per-thread* stack of active tracers.
+
+    Thread-local rather than locked: a tracer's open-span stack encodes
+    "what this flow of control is inside of", which has no coherent
+    meaning across threads -- two daemon handler threads interleaving
+    spans into one tracer would braid unrelated requests into one
+    nonsense tree.  Per-thread activation keeps each request's spans
+    (when a handler opts in) on its own tracer, and a tracer activated
+    on the main thread stays invisible to handler threads, so their
+    concurrent ``span()`` calls are cheap no-ops instead of races.
+    Spawn workers build their own stack from scratch, as before.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[Tracer] = []
+
+
+_tracers = _TracerStack()
 
 
 def current_tracer() -> Tracer | None:
-    """The innermost active tracer, or None (instrumentation no-ops)."""
-    return _tracer_stack[-1] if _tracer_stack else None
+    """This thread's innermost active tracer, or None (no-ops)."""
+    stack = _tracers.stack
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
-    """Activate a tracer for the dynamic extent of the block."""
+    """Activate a tracer for the dynamic extent of the block (this
+    thread only -- see :class:`_TracerStack`)."""
     tracer = tracer or Tracer()
-    _tracer_stack.append(tracer)
+    _tracers.stack.append(tracer)
     try:
         yield tracer
     finally:
-        _tracer_stack.pop()
+        _tracers.stack.pop()
 
 
 @contextmanager

@@ -1,0 +1,45 @@
+"""Analysis-as-a-service: the resident bundle daemon and its harnesses.
+
+The "millions of users" goal needs a serving path, not just a CLI.  This
+package provides it in three layers:
+
+* :mod:`repro.serve.queries` -- the *shared* query layer: one set of
+  functions turns a bundle directory plus query parameters into a
+  canonical-JSON document.  Both the HTTP daemon and ``python -m repro
+  query`` call exactly this code, so a served response is byte-identical
+  to a serial CLI run by construction (the concurrency/parity test suite
+  pins it);
+* :mod:`repro.serve.daemon` -- a stdlib-only threaded HTTP daemon that
+  memory-maps columnar bundles into a bounded LRU of warm handles and
+  answers ``/healthz``, ``/bundles``, ``/analyze``, ``/validate``, and
+  ``/metrics`` (Prometheus exposition straight from :mod:`repro.obs`);
+* :mod:`repro.serve.loadgen` -- a deterministic closed-loop load
+  generator emitting a ``run_table.csv`` SLO artifact (throughput,
+  p50/p95/p99 latency, failure rate per config).
+"""
+
+from repro.serve.daemon import BundleCache, ServeApp, ServeDaemon
+from repro.serve.loadgen import LoadPoint, run_loadtest, write_run_table
+from repro.serve.queries import (
+    QUERY_SCHEMA,
+    QueryError,
+    analyze_document,
+    document_bytes,
+    validate_document,
+    window_bundle,
+)
+
+__all__ = [
+    "BundleCache",
+    "LoadPoint",
+    "QUERY_SCHEMA",
+    "QueryError",
+    "ServeApp",
+    "ServeDaemon",
+    "analyze_document",
+    "document_bytes",
+    "run_loadtest",
+    "validate_document",
+    "window_bundle",
+    "write_run_table",
+]

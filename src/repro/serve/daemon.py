@@ -1,0 +1,436 @@
+"""The resident bundle daemon: warm mmap'd bundles behind an HTTP API.
+
+Architecture: a transport-independent :class:`ServeApp` owns all state
+(bundle registry, warm-handle LRU, response cache, drain flag) and maps
+``(method, path, body)`` to ``(status, content_type, body_bytes)``; a
+thin :class:`ServeDaemon` binds it to a stdlib ``ThreadingHTTPServer``.
+Tests drive either layer -- negative paths against the app directly,
+concurrency/parity against a live socket.
+
+Endpoints::
+
+    GET  /healthz   liveness; 503 while draining for shutdown
+    GET  /bundles   registered bundles + warm-handle state
+    POST /analyze   {"bundle": name, "window": [lo,hi]?, "lenient"?,
+                     "stream"?, "shards"?, "jobs"?} -> analyze document
+    POST /validate  same body -> oracle-verdict document
+    GET  /metrics   Prometheus exposition of the process registry
+
+Concurrency model: handler threads share one :class:`BundleCache`
+(bounded LRU of warm ``LogBundle`` handles, single-flight loading so a
+cold or stale bundle is parsed exactly once no matter how many requests
+race) and one response-bytes LRU keyed by the normalized query.  Warm
+handles are never mutated -- windowed queries filter into fresh
+sub-bundles -- so concurrent readers need no lock beyond the caches'
+own.  Eviction only drops the cache's reference; an in-flight query
+holds its own, so answers stay correct while the LRU churns.
+
+Metric families (on top of everything the pipeline already counts)::
+
+    serve_requests_total{endpoint,status}   every request, by outcome
+    serve_latency_seconds{endpoint}         request-handling histogram
+    serve_bundle_loads_total                cold loads into the LRU
+    serve_bundle_evictions_total            LRU evictions
+    serve_result_cache_total{result}        response-cache hits/misses
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.logs.bundle import LogBundle, read_bundle
+from repro.obs.metrics import get_registry
+from repro.serve import queries
+from repro.serve.queries import QueryError
+
+__all__ = ["BundleCache", "ServeApp", "ServeDaemon", "parse_bundle_specs"]
+
+#: Maximum accepted request-body size; an /analyze body is a few dozen
+#: bytes, so anything huge is a mistake or abuse.
+_MAX_BODY_BYTES = 64 * 1024
+
+#: How many distinct query responses the byte cache keeps.
+_RESULT_CACHE_SIZE = 256
+
+
+class BundleCache:
+    """Bounded LRU of warm bundle handles with single-flight loading.
+
+    Keys are ``(name, lenient)``: a strict and a lenient load of the
+    same bundle are different objects (strict refuses quarantined
+    sidecars).  ``get`` serializes concurrent loads of the same key
+    through a per-key gate -- under load a stale sidecar is re-converted
+    by exactly one thread while the rest wait for the finished handle --
+    and never holds the main lock across a load, so hits on warm keys
+    proceed while a cold one parses.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._loaded: OrderedDict[tuple[str, bool], LogBundle] = OrderedDict()
+        self._gates: dict[tuple[str, bool], threading.Lock] = {}
+
+    def get(self, key: tuple[str, bool],
+            loader: Callable[[], LogBundle]) -> LogBundle:
+        registry = get_registry()
+        with self._lock:
+            bundle = self._loaded.get(key)
+            if bundle is not None:
+                self._loaded.move_to_end(key)
+                registry.counter("serve_bundle_cache_total", result="hit")
+                return bundle
+            gate = self._gates.get(key)
+            if gate is None:
+                gate = self._gates[key] = threading.Lock()
+        with gate:
+            with self._lock:
+                bundle = self._loaded.get(key)
+                if bundle is not None:
+                    self._loaded.move_to_end(key)
+                    registry.counter("serve_bundle_cache_total",
+                                     result="hit")
+                    return bundle
+            registry.counter("serve_bundle_cache_total", result="miss")
+            bundle = loader()
+            with self._lock:
+                self._loaded[key] = bundle
+                self._loaded.move_to_end(key)
+                registry.counter("serve_bundle_loads_total")
+                while len(self._loaded) > self.capacity:
+                    self._loaded.popitem(last=False)
+                    registry.counter("serve_bundle_evictions_total")
+                self._gates.pop(key, None)
+            return bundle
+
+    def loaded_keys(self) -> list[tuple[str, bool]]:
+        with self._lock:
+            return list(self._loaded)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._loaded)
+
+
+class _ResultCache:
+    """Bounded LRU of finished response bytes, keyed by normalized query.
+
+    Identical queries -- the common case for a dashboard polling the
+    same window -- are answered from here without touching the pipeline,
+    which is what makes the warm p50 an order of magnitude under the
+    cold CLI.  Entries are immutable bytes, so serving one concurrently
+    is trivially safe.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+
+    def get(self, key: str) -> bytes | None:
+        registry = get_registry()
+        with self._lock:
+            body = self._entries.get(key)
+            if body is not None:
+                self._entries.move_to_end(key)
+            registry.counter("serve_result_cache_total",
+                             result="hit" if body is not None else "miss")
+            return body
+
+    def put(self, key: str, body: bytes) -> None:
+        if self.capacity < 1:
+            return
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+
+def parse_bundle_specs(specs: list[str]) -> dict[str, Path]:
+    """CLI bundle arguments (``NAME=PATH`` or ``PATH``) -> registry.
+
+    A bare path registers under its basename -- the same display name
+    the ``query`` CLI derives, which is what keeps served and CLI
+    documents byte-identical without any coordination.
+    """
+    bundles: dict[str, Path] = {}
+    for spec in specs:
+        name, sep, path_text = spec.partition("=")
+        if not sep:
+            name, path_text = queries.bundle_display_name(spec), spec
+        if not name or not path_text:
+            raise ValueError(f"bad bundle spec {spec!r}: "
+                             f"expected NAME=PATH or PATH")
+        if name in bundles:
+            raise ValueError(f"duplicate bundle name {name!r}")
+        bundles[name] = Path(path_text)
+    return bundles
+
+
+class ServeApp:
+    """All daemon state and request handling, transport-independent."""
+
+    def __init__(self, bundles: dict[str, Path | str], *,
+                 max_loaded: int = 4,
+                 result_cache_size: int = _RESULT_CACHE_SIZE,
+                 jobs: int | None = None):
+        if not bundles:
+            raise ValueError("a daemon with no bundles serves nothing")
+        self.bundles = {name: Path(path) for name, path in bundles.items()}
+        for name, path in self.bundles.items():
+            if not (path / "manifest.json").exists():
+                raise ValueError(f"bundle {name!r}: no manifest.json "
+                                 f"in {path}")
+        self.cache = BundleCache(max_loaded)
+        self.results = _ResultCache(result_cache_size)
+        #: Default worker count for streamed queries (request may lower
+        #: it, never raise it past this cap).
+        self.jobs = jobs
+        self._draining = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Flip /healthz to 503 so load balancers stop routing here;
+        in-flight and already-queued requests still complete."""
+        self._draining.set()
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, method: str, path: str,
+               body: bytes) -> tuple[int, str, bytes]:
+        """(status, content type, response body) for one request."""
+        route = (method.upper(), path.rstrip("/") or "/")
+        if route == ("GET", "/healthz"):
+            return self._healthz()
+        if route == ("GET", "/bundles"):
+            return self._bundles()
+        if route == ("GET", "/metrics"):
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    get_registry().render_prometheus().encode("utf-8"))
+        if route == ("POST", "/analyze"):
+            return self._query(queries.analyze_document, body)
+        if route == ("POST", "/validate"):
+            return self._query(queries.validate_document, body)
+        return self._error(f"no such endpoint: {method.upper()} {path}",
+                           status=404)
+
+    def _healthz(self) -> tuple[int, str, bytes]:
+        if self.draining:
+            return self._json(503, {"status": "draining"})
+        return self._json(200, {"status": "ok",
+                                "bundles": len(self.bundles),
+                                "loaded": len(self.cache)})
+
+    def _bundles(self) -> tuple[int, str, bytes]:
+        loaded = set(self.cache.loaded_keys())
+        rows = [{
+            "name": name,
+            "path": str(path),
+            "loaded_strict": (name, False) in loaded,
+            "loaded_lenient": (name, True) in loaded,
+        } for name, path in sorted(self.bundles.items())]
+        return self._json(200, {"bundles": rows,
+                                "max_loaded": self.cache.capacity})
+
+    def _query(self, build_document, body: bytes) -> tuple[int, str, bytes]:
+        try:
+            params = self._parse_body(body)
+            name, directory = self._resolve_bundle(params)
+            window = params.get("window")
+            if window is not None:
+                window = queries.parse_window_spec(window)
+            lenient = self._flag(params, "lenient")
+            stream = self._flag(params, "stream")
+            shards = params.get("shards", 8)
+            jobs = self._clamped_jobs(params.get("jobs"))
+            kind = ("validate" if build_document
+                    is queries.validate_document else "analyze")
+            cache_key = json.dumps(
+                queries._normalize_query(kind, name, window=window,
+                                         lenient=lenient, stream=stream,
+                                         shards=shards),
+                sort_keys=True, separators=(",", ":"))
+            cached = self.results.get(cache_key)
+            if cached is not None:
+                return (200, "application/json", cached)
+            bundle = None
+            if not stream:
+                bundle = self.cache.get(
+                    (name, lenient),
+                    lambda: read_bundle(directory, strict=not lenient))
+            document = build_document(
+                directory, name=name, window=window, lenient=lenient,
+                stream=stream, shards=shards, jobs=jobs, bundle=bundle)
+            response = queries.document_bytes(document)
+            self.results.put(cache_key, response)
+            return (200, "application/json", response)
+        except QueryError as bad:
+            return self._error(str(bad), status=bad.status)
+        except ReproError as bad:
+            # A strict load of a corrupted bundle, a torn manifest: the
+            # request was well-formed but this bundle cannot answer it.
+            return self._error(str(bad), status=422)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _parse_body(self, body: bytes) -> dict[str, Any]:
+        if len(body) > _MAX_BODY_BYTES:
+            raise QueryError(f"request body exceeds {_MAX_BODY_BYTES} "
+                             f"bytes", status=400)
+        try:
+            params = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as bad:
+            raise QueryError(f"malformed JSON body: {bad}",
+                             status=400) from None
+        if not isinstance(params, dict):
+            raise QueryError(f"request body must be a JSON object, got "
+                             f"{type(params).__name__}", status=400)
+        return params
+
+    def _resolve_bundle(self, params: dict[str, Any]) -> tuple[str, Path]:
+        name = params.get("bundle")
+        if not isinstance(name, str) or not name:
+            raise QueryError('request body needs "bundle": "<name>"',
+                             status=400)
+        directory = self.bundles.get(name)
+        if directory is None:
+            raise QueryError(
+                f"unknown bundle {name!r}; serving "
+                f"{sorted(self.bundles)}", status=404)
+        return name, directory
+
+    @staticmethod
+    def _flag(params: dict[str, Any], key: str) -> bool:
+        value = params.get(key, False)
+        if not isinstance(value, bool):
+            raise QueryError(f"{key} must be a boolean, got {value!r}")
+        return value
+
+    def _clamped_jobs(self, requested: Any) -> int | None:
+        if requested is None:
+            return self.jobs
+        if not isinstance(requested, int) or isinstance(requested, bool) \
+                or requested < 1:
+            raise QueryError(f"jobs must be a positive integer, "
+                             f"got {requested!r}")
+        if self.jobs is None:
+            return requested
+        return min(requested, self.jobs)
+
+    @staticmethod
+    def _json(status: int, payload: dict[str, Any]) -> tuple[int, str, bytes]:
+        body = (json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
+        return (status, "application/json", body)
+
+    def _error(self, message: str, *, status: int) -> tuple[int, str, bytes]:
+        return (status, "application/json",
+                queries.document_bytes(queries.error_document(message,
+                                                              status)))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shim: framing, metrics, and nothing else."""
+
+    protocol_version = "HTTP/1.1"
+    app: ServeApp  # set on the subclass built by ServeDaemon
+
+    #: Endpoint label for metrics: known paths verbatim, the rest pooled
+    #: so a scanner cannot mint unbounded label values.
+    _ENDPOINTS = frozenset({"/healthz", "/bundles", "/metrics",
+                            "/analyze", "/validate"})
+
+    def _respond(self, method: str) -> None:
+        start = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        endpoint = path if path in self._ENDPOINTS else "other"
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, content_type, payload = self.app.handle(method, path,
+                                                            body)
+        except Exception as bad:  # never kill the handler thread
+            status, content_type, payload = self.app._error(
+                f"internal error: {bad}", status=500)
+        registry = get_registry()
+        registry.counter("serve_requests_total", endpoint=endpoint,
+                         status=str(status))
+        registry.observe("serve_latency_seconds",
+                         time.perf_counter() - start, endpoint=endpoint)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._respond("POST")
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        """Silence the per-request stderr chatter; /metrics is the
+        observable surface."""
+
+
+class ServeDaemon:
+    """A ServeApp bound to a threaded HTTP server."""
+
+    def __init__(self, app: ServeApp, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.app = app
+        handler = type("BoundHandler", (_Handler,), {"app": app})
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    def start_background(self) -> "ServeDaemon":
+        """Serve from a daemon thread (tests, the loadgen's in-process
+        target); returns self once the socket is accepting."""
+        self._thread = threading.Thread(target=self.server.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block and serve (the CLI path)."""
+        self.server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Drain, stop accepting, and close the socket.
+
+        ``begin_drain`` first so a health check racing the shutdown sees
+        503, then ``HTTPServer.shutdown`` which returns only after the
+        serve loop has exited; in-flight handlers finish their response
+        before their thread dies.
+        """
+        self.app.begin_drain()
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

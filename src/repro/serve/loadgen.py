@@ -1,0 +1,337 @@
+"""Deterministic closed-loop load generator for the serving daemon.
+
+The SLO artifact every serving PR must carry: ``run_table.csv`` with one
+row per load configuration -- throughput, p50/p95/p99 latency, failure
+rate -- in the mubench run-table shape.  Everything about the load is
+seeded: the query mix is pre-generated per ``(seed, config, worker)``
+before any request is sent, so two runs against the same daemon issue
+the *same* requests in the same per-worker order, and a regression in
+the numbers is a regression in the server, not in the dice.
+
+Closed loop means each worker thread waits for its response before
+sending the next request: measured latency is service latency, and
+offered load adapts to what the server sustains (throughput is the
+measurement, not a knob).
+
+The optional cold-CLI baseline row times ``python -m repro query
+analyze`` in a fresh subprocess -- interpreter start, imports, bundle
+parse and all -- which is exactly the cost a resident daemon exists to
+amortize; the warm-vs-cold ratio is the headline the bench gate checks.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.logs.bundle import manifest_window, read_manifest
+from repro.obs.metrics import get_registry
+from repro.serve.daemon import ServeApp, ServeDaemon
+
+__all__ = ["LoadPoint", "RequestResult", "RunRow", "build_mix",
+           "run_loadtest", "write_run_table", "percentile",
+           "RUN_TABLE_FIELDS", "cold_cli_seconds"]
+
+#: run_table.csv column order (stable: downstream tooling keys on it).
+RUN_TABLE_FIELDS = ("config", "workers", "requests_per_worker",
+                    "total_requests", "duration_s", "throughput_rps",
+                    "p50_ms", "p95_ms", "p99_ms", "failure_rate")
+
+#: Query-mix weights: mostly analyze (the hot endpoint), a windowed
+#: share to defeat the response cache, a validate share, and a trickle
+#: of the cheap read-only endpoints a fleet of dashboards would send.
+_MIX = (("analyze_full", 45), ("analyze_window", 30), ("validate", 15),
+        ("healthz", 5), ("bundles", 5))
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One load configuration: N closed-loop workers x M requests each."""
+
+    workers: int
+    requests: int
+
+    @property
+    def label(self) -> str:
+        return f"w{self.workers}xr{self.requests}"
+
+
+@dataclass(frozen=True)
+class _PlannedRequest:
+    method: str
+    path: str
+    body: bytes | None
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """One request's outcome as the client saw it."""
+
+    latency_s: float
+    status: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One run_table.csv row."""
+
+    config: str
+    workers: int
+    requests_per_worker: int
+    total_requests: int
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    failure_rate: float
+
+    def as_record(self) -> dict[str, str]:
+        return {
+            "config": self.config,
+            "workers": str(self.workers),
+            "requests_per_worker": str(self.requests_per_worker),
+            "total_requests": str(self.total_requests),
+            "duration_s": f"{self.duration_s:.4f}",
+            "throughput_rps": f"{self.throughput_rps:.2f}",
+            "p50_ms": f"{self.p50_ms:.3f}",
+            "p95_ms": f"{self.p95_ms:.3f}",
+            "p99_ms": f"{self.p99_ms:.3f}",
+            "failure_rate": f"{self.failure_rate:.4f}",
+        }
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _bundle_windows(bundle_dirs: dict[str, Path]) -> dict[str, tuple[float,
+                                                                     float]]:
+    """Each bundle's collection window, for generating sub-windows."""
+    windows = {}
+    for name, directory in bundle_dirs.items():
+        manifest, _ = read_manifest(directory)
+        window = manifest_window(manifest)
+        if window is not None:
+            windows[name] = (window.start, window.end)
+    return windows
+
+
+def build_mix(bundle_dirs: dict[str, Path], *, seed: int, label: str,
+              worker: int, requests: int) -> list[_PlannedRequest]:
+    """One worker's deterministic request plan.
+
+    Windowed queries draw a sub-window covering 40-90% of the collection
+    window -- big enough that a synthetic bundle always has runs inside
+    (an empty window is a 422, which would poison failure_rate with a
+    client-side artifact), small enough that distinct draws defeat the
+    response cache and actually exercise the windowing path.
+    """
+    rng = random.Random(f"{seed}:{label}:{worker}")
+    names = sorted(bundle_dirs)
+    windows = _bundle_windows(bundle_dirs)
+    weights = [w for _, w in _MIX]
+    kinds = [k for k, _ in _MIX]
+    plan: list[_PlannedRequest] = []
+    for _ in range(requests):
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "healthz":
+            plan.append(_PlannedRequest("GET", "/healthz", None))
+            continue
+        if kind == "bundles":
+            plan.append(_PlannedRequest("GET", "/bundles", None))
+            continue
+        name = rng.choice(names)
+        body: dict = {"bundle": name}
+        if kind == "analyze_window" and name in windows:
+            lo, hi = windows[name]
+            span = hi - lo
+            length = span * rng.uniform(0.4, 0.9)
+            start = lo + rng.uniform(0.0, span - length)
+            body["window"] = [round(start, 3), round(start + length, 3)]
+        path = "/validate" if kind == "validate" else "/analyze"
+        plan.append(_PlannedRequest(
+            "POST", path,
+            json.dumps(body, sort_keys=True).encode("utf-8")))
+    return plan
+
+
+def _client_worker(host: str, port: int, plan: list[_PlannedRequest],
+                   results: list[RequestResult],
+                   barrier: threading.Barrier) -> None:
+    """One closed-loop client over a persistent connection."""
+    connection = HTTPConnection(host, port, timeout=300.0)
+    try:
+        barrier.wait()
+        for request in plan:
+            headers = {}
+            if request.body is not None:
+                headers["Content-Type"] = "application/json"
+            start = time.perf_counter()
+            try:
+                connection.request(request.method, request.path,
+                                   body=request.body, headers=headers)
+                response = connection.getresponse()
+                response.read()
+                status = response.status
+            except OSError:
+                status = 599  # connection-level failure
+                connection.close()
+                connection = HTTPConnection(host, port, timeout=300.0)
+            results.append(RequestResult(time.perf_counter() - start,
+                                         status))
+    finally:
+        connection.close()
+
+
+def _run_point(host: str, port: int, bundle_dirs: dict[str, Path],
+               point: LoadPoint, *, seed: int) -> RunRow:
+    plans = [build_mix(bundle_dirs, seed=seed, label=point.label,
+                       worker=w, requests=point.requests)
+             for w in range(point.workers)]
+    results: list[list[RequestResult]] = [[] for _ in range(point.workers)]
+    barrier = threading.Barrier(point.workers + 1)
+    threads = [threading.Thread(
+        target=_client_worker, args=(host, port, plan, bucket, barrier),
+        name=f"loadgen-{point.label}-{w}", daemon=True)
+        for w, (plan, bucket) in enumerate(zip(plans, results))]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+    flat = [r for bucket in results for r in bucket]
+    latencies = sorted(r.latency_s for r in flat)
+    failures = sum(1 for r in flat if not r.ok)
+    return RunRow(
+        config=point.label,
+        workers=point.workers,
+        requests_per_worker=point.requests,
+        total_requests=len(flat),
+        duration_s=duration,
+        throughput_rps=len(flat) / duration if duration > 0 else 0.0,
+        p50_ms=percentile(latencies, 0.50) * 1000,
+        p95_ms=percentile(latencies, 0.95) * 1000,
+        p99_ms=percentile(latencies, 0.99) * 1000,
+        failure_rate=failures / len(flat) if flat else 0.0,
+    )
+
+
+def _warm(host: str, port: int, bundle_dirs: dict[str, Path]) -> None:
+    """One analyze + one validate per bundle before measuring.
+
+    The run table reports steady-state serving latency; the one-time
+    bundle load would otherwise land in whichever config ran first and
+    make configs incomparable.
+    """
+    connection = HTTPConnection(host, port, timeout=300.0)
+    try:
+        for name in sorted(bundle_dirs):
+            body = json.dumps({"bundle": name}).encode("utf-8")
+            for path in ("/analyze", "/validate"):
+                connection.request("POST", path, body=body,
+                                   headers={"Content-Type":
+                                            "application/json"})
+                connection.getresponse().read()
+    finally:
+        connection.close()
+
+
+def cold_cli_seconds(bundle_dir: Path) -> float:
+    """Wall-clock of one cold ``python -m repro query analyze`` run.
+
+    A fresh subprocess with a cold in-process state (the columnar
+    sidecar, if present, is still used -- this measures the *serving*
+    win, not a handicapped parser).
+    """
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p)
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "query", "analyze",
+         str(bundle_dir)],
+        check=True, capture_output=True, env=env)
+    return time.perf_counter() - start
+
+
+def write_run_table(rows: list[RunRow], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=RUN_TABLE_FIELDS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row.as_record())
+    return path
+
+
+def run_loadtest(bundle_dirs: dict[str, Path], points: list[LoadPoint], *,
+                 seed: int = 2015, out: str | Path = "run_table.csv",
+                 url: str | None = None, metrics_out: str | Path | None
+                 = None, max_loaded: int = 4,
+                 warmup: bool = True) -> list[RunRow]:
+    """Drive the daemon through every load point and write the run table.
+
+    Without ``url`` an in-process daemon is started on an ephemeral
+    loopback port, drained, and shut down afterwards; with one, an
+    already-running daemon is targeted (it must serve the same bundle
+    names the mix generator sees).  ``metrics_out`` saves a final
+    ``/metrics`` scrape next to the run table, so every load test leaves
+    both the client-side and the server-side view of the same run.
+    """
+    daemon: ServeDaemon | None = None
+    if url is None:
+        app = ServeApp({name: path for name, path in bundle_dirs.items()},
+                       max_loaded=max_loaded)
+        daemon = ServeDaemon(app).start_background()
+        host, port = daemon.host, daemon.port
+    else:
+        stripped = url.split("//", 1)[-1]
+        host, _, port_text = stripped.partition(":")
+        port = int(port_text.rstrip("/") or 80)
+    try:
+        if warmup:
+            _warm(host, port, bundle_dirs)
+        rows = [_run_point(host, port, bundle_dirs, point, seed=seed)
+                for point in points]
+        write_run_table(rows, out)
+        if metrics_out is not None:
+            connection = HTTPConnection(host, port, timeout=60.0)
+            try:
+                connection.request("GET", "/metrics")
+                scrape = connection.getresponse().read()
+            finally:
+                connection.close()
+            metrics_path = Path(metrics_out)
+            metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            metrics_path.write_bytes(scrape)
+        registry = get_registry()
+        for row in rows:
+            registry.counter("loadgen_requests_total", row.total_requests,
+                             config=row.config)
+        return rows
+    finally:
+        if daemon is not None:
+            daemon.shutdown()

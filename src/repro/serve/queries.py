@@ -1,0 +1,309 @@
+"""The query layer shared by the daemon and ``python -m repro query``.
+
+Byte parity is the contract here: a ``POST /analyze`` answered by the
+daemon and a ``python -m repro query analyze`` run serially in a fresh
+process must produce *identical bytes*.  Both therefore route through
+:func:`analyze_document` / :func:`validate_document` and serialize with
+:func:`document_bytes` (the validation subsystem's canonical JSON:
+sorted keys, floats rounded to 10 significant digits).  Nothing in a
+document may depend on who computed it -- no timings, no host paths, no
+cache state.
+
+Window semantics: a windowed analyze keeps exactly the records whose
+timestamp falls inside the closed interval ``[lo, hi]``, overrides the
+collection window to match (MTBF and shares are *of the window*), and
+re-runs the full pipeline on that sub-bundle.  A run whose start record
+lies outside the window is counted from its end record alone, exactly
+like a collection-truncated run -- the same rule on both paths, so
+parity holds for straddling runs too.
+
+:class:`QueryError` carries the HTTP status the daemon maps it to
+(400 malformed body, 404 unknown bundle, 422 invalid parameters); the
+CLI renders the message and exits 2.
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+from typing import Any
+
+from repro.core.pipeline import LogDiver
+from repro.errors import AnalysisError
+from repro.logs.bundle import LogBundle, manifest_window, read_bundle
+from repro.util.intervals import Interval
+from repro.validation.goldens import canonical_json
+from repro.validation.oracle import check_summary
+
+__all__ = ["QUERY_SCHEMA", "MAX_SHARDS", "QueryError", "parse_window_spec",
+           "validate_window", "fork_bundle", "window_bundle",
+           "collection_window", "analyze_document", "validate_document",
+           "document_bytes"]
+
+QUERY_SCHEMA = "repro-query/1"
+
+#: Upper bound on requestable shard counts: fanning one HTTP request out
+#: into hundreds of spawn processes is a self-inflicted denial of
+#: service, not a bigger answer.
+MAX_SHARDS = 64
+
+
+class QueryError(Exception):
+    """A query the service refuses, with the HTTP status explaining why."""
+
+    def __init__(self, message: str, *, status: int = 422):
+        super().__init__(message)
+        self.status = status
+
+
+def parse_window_spec(value: Any) -> tuple[float, float]:
+    """``[lo, hi]`` (JSON body) or ``"LO:HI"`` (CLI) -> float pair."""
+    if isinstance(value, str):
+        lo_text, sep, hi_text = value.partition(":")
+        if not sep:
+            raise QueryError(f"bad window {value!r}: expected LO:HI")
+        value = [lo_text, hi_text]
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise QueryError(f"bad window {value!r}: expected [lo, hi]")
+    try:
+        lo, hi = float(value[0]), float(value[1])
+    except (TypeError, ValueError):
+        raise QueryError(f"bad window {value!r}: bounds must be "
+                         f"numbers") from None
+    return lo, hi
+
+
+def collection_window(bundle: LogBundle) -> Interval:
+    """The window queries are validated against (manifest, else
+    observed record span -- the same fallback the pipeline uses)."""
+    return manifest_window(bundle.manifest) or bundle.observed_window()
+
+
+def validate_window(window: tuple[float, float],
+                    collection: Interval) -> Interval:
+    """Check a requested window against the bundle's collection window.
+
+    Rejects (422) non-finite or inverted bounds and windows reaching
+    outside the collection -- an "oversized" window silently clamped
+    would change what the shares mean, so it is refused instead.
+    """
+    lo, hi = window
+    if not (lo == lo and hi == hi and abs(lo) != float("inf")
+            and abs(hi) != float("inf")):
+        raise QueryError(f"bad window [{lo}, {hi}]: bounds must be finite")
+    if hi <= lo:
+        raise QueryError(f"bad window [{lo:g}, {hi:g}]: empty or inverted")
+    if lo < collection.start or hi > collection.end:
+        raise QueryError(
+            f"window [{lo:g}, {hi:g}] exceeds the bundle's collection "
+            f"window [{collection.start:g}, {collection.end:g}]")
+    return Interval(lo, hi)
+
+
+def fork_bundle(bundle: LogBundle) -> LogBundle:
+    """A replica safe to analyze while others read the original.
+
+    The pipeline's run assembler *accumulates* pairing casualties
+    (``unpaired_end_runs``/``censored_start_runs``) onto the bundle's
+    ingest report, so analyzing a shared warm handle twice would double
+    the tallies -- and concurrent analyses would race on them.  Record
+    lists and the nodemap are immutable under analysis and shared; the
+    ingest report is deep-copied so each analysis tallies onto its own,
+    exactly like the CLI's read-fresh-then-analyze path.
+    """
+    return LogBundle(
+        directory=bundle.directory,
+        epoch=bundle.epoch,
+        manifest=dict(bundle.manifest),
+        error_records=bundle.error_records,
+        torque_records=bundle.torque_records,
+        alps_records=bundle.alps_records,
+        nodemap=bundle.nodemap,
+        ingest_report=copy.deepcopy(bundle.ingest_report),
+    )
+
+
+def window_bundle(bundle: LogBundle, window: Interval) -> LogBundle:
+    """The sub-bundle holding the records inside ``[lo, hi]``.
+
+    Cheap (list filters over already-parsed records) and pure: the warm
+    daemon handle is never mutated, so concurrent windowed queries over
+    the same handle cannot interfere.  The manifest's ``window_s`` is
+    overridden so MTBF and rates are computed over the *requested* span,
+    and the ingest report is copied (see :func:`fork_bundle`) so the
+    windowed analysis tallies its own truncation casualties.
+    """
+    lo, hi = window.start, window.end
+    manifest = dict(bundle.manifest)
+    manifest["window_s"] = [lo, hi]
+    return LogBundle(
+        directory=bundle.directory,
+        epoch=bundle.epoch,
+        manifest=manifest,
+        error_records=[r for r in bundle.error_records
+                       if lo <= r.time_s <= hi],
+        torque_records=[r for r in bundle.torque_records
+                        if lo <= r.time_s <= hi],
+        alps_records=[r for r in bundle.alps_records
+                      if lo <= r.time_s <= hi],
+        nodemap=bundle.nodemap,
+        ingest_report=copy.deepcopy(bundle.ingest_report),
+    )
+
+
+def _normalize_query(kind: str, name: str, *, window, lenient: bool,
+                     stream: bool, shards: int | None) -> dict[str, Any]:
+    """The query echo embedded in every document (and the daemon's
+    result-cache key): fully normalized, so equal queries phrased
+    differently share one cache entry and one set of response bytes."""
+    return {
+        "kind": kind,
+        "bundle": name,
+        "window": None if window is None else [window[0], window[1]],
+        "lenient": bool(lenient),
+        "stream": bool(stream),
+        "shards": shards if stream else None,
+    }
+
+
+def _run_query(directory: str | Path, *, window=None, lenient: bool = False,
+               stream: bool = False, shards: int = 8,
+               jobs: int | None = None, bundle: LogBundle | None = None):
+    """One analysis pass, shared by analyze and validate documents.
+
+    ``bundle`` is the daemon's warm handle; without one the bundle is
+    read from disk (the serial CLI path).  ``stream`` fans the shards
+    out through the campaign spawn pool and never materializes the
+    bundle -- the right tool for windows too big to hold, which is why
+    it is mutually exclusive with ``window`` (the streamed path has no
+    record filter; ask for the whole bundle or don't stream).
+    """
+    if stream:
+        if window is not None:
+            raise QueryError("window and stream are mutually exclusive: "
+                             "the streamed path analyzes whole bundles")
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or not 1 <= shards <= MAX_SHARDS:
+            raise QueryError(f"shards must be an integer in "
+                             f"[1, {MAX_SHARDS}], got {shards!r}")
+        from repro.core.sharding import analyze_streamed
+        return analyze_streamed(directory, shards=shards, jobs=jobs,
+                                strict=not lenient)
+    if bundle is None:
+        bundle = read_bundle(directory, strict=not lenient)
+    if window is not None:
+        checked = validate_window(window, collection_window(bundle))
+        bundle = window_bundle(bundle, checked)
+        if not bundle.alps_records:
+            raise QueryError(
+                f"window [{checked.start:g}, {checked.end:g}] contains "
+                f"no application runs")
+    else:
+        # A warm daemon handle must never be analyzed in place: the run
+        # assembler tallies onto the ingest report (see fork_bundle).
+        bundle = fork_bundle(bundle)
+    try:
+        return LogDiver().analyze(bundle)
+    except AnalysisError as bad:
+        raise QueryError(str(bad)) from bad
+
+
+def _result_block(analysis) -> dict[str, Any]:
+    """The shared result body (Analysis and StreamedAnalysis both fit)."""
+    ingest = analysis.ingest
+    breakdown = analysis.breakdown
+    return {
+        "summary": dict(analysis.summary()),
+        "outcomes": {outcome.value: count
+                     for outcome, count in sorted(
+                         breakdown.counts.items(),
+                         key=lambda kv: kv[0].value)},
+        "causes": {category.value: count
+                   for category, count in sorted(
+                       analysis.causes.items(),
+                       key=lambda kv: kv[0].value)},
+        "clusters": len(analysis.clusters),
+        "unclassified_records": analysis.unclassified_records,
+        "ingest": ingest.as_dict(),
+    }
+
+
+def bundle_display_name(directory: str | Path) -> str:
+    """How a bundle is named in documents: its directory's basename.
+
+    The daemon's default registration name uses the same rule, so a
+    served document and a CLI document over the same directory agree
+    without coordination.
+    """
+    return Path(directory).name
+
+
+def analyze_document(directory: str | Path, *, name: str | None = None,
+                     window=None, lenient: bool = False,
+                     stream: bool = False, shards: int = 8,
+                     jobs: int | None = None,
+                     bundle: LogBundle | None = None) -> dict[str, Any]:
+    """Full or windowed summary of one bundle, as a canonical document."""
+    analysis = _run_query(directory, window=window, lenient=lenient,
+                          stream=stream, shards=shards, jobs=jobs,
+                          bundle=bundle)
+    return {
+        "schema": QUERY_SCHEMA,
+        "query": _normalize_query(
+            "analyze", name or bundle_display_name(directory),
+            window=window, lenient=lenient, stream=stream, shards=shards),
+        "result": _result_block(analysis),
+    }
+
+
+def validate_document(directory: str | Path, *, name: str | None = None,
+                      window=None, lenient: bool = False,
+                      stream: bool = False, shards: int = 8,
+                      jobs: int | None = None,
+                      bundle: LogBundle | None = None) -> dict[str, Any]:
+    """Oracle verdicts for one bundle's summary, as a canonical document.
+
+    A partial streamed execution gates every band to "n/a" exactly like
+    the CLI oracle path (:func:`repro.validation.oracle.check_summary`).
+    """
+    analysis = _run_query(directory, window=window, lenient=lenient,
+                          stream=stream, shards=shards, jobs=jobs,
+                          bundle=bundle)
+    complete = getattr(analysis, "complete", True)
+    report = check_summary(analysis.summary(), complete=complete)
+    return {
+        "schema": QUERY_SCHEMA,
+        "query": _normalize_query(
+            "validate", name or bundle_display_name(directory),
+            window=window, lenient=lenient, stream=stream, shards=shards),
+        "oracle": {
+            "passed": report.passed,
+            "checks": [
+                {
+                    "key": check.band.key,
+                    "measured": check.measured,
+                    "band": [check.band.lo, check.band.hi],
+                    "severity": ("required" if check.band.required
+                                 else "advisory"),
+                    "status": check.status,
+                }
+                for check in report.checks
+            ],
+        },
+        "summary": dict(analysis.summary()),
+    }
+
+
+def document_bytes(document: dict[str, Any]) -> bytes:
+    """Canonical serialization: what the daemon sends and the CLI prints.
+
+    A trailing newline is included so the HTTP body equals the CLI's
+    stdout byte for byte (``print`` appends one).
+    """
+    return (canonical_json(document) + "\n").encode("utf-8")
+
+
+def error_document(message: str, status: int) -> dict[str, Any]:
+    """The error body both surfaces render for a refused query."""
+    return {"schema": QUERY_SCHEMA, "error": {"message": message,
+                                              "status": status}}

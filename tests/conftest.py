@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro import LogDiver, read_bundle, write_bundle
+from repro import LogDiver, paper_scenario, read_bundle, write_bundle
+from repro.logs.columnar import convert_bundle
 from repro.machine import MachineBlueprint, build_machine
 from repro.sim import Scenario, small_scenario
 
@@ -50,3 +51,34 @@ def bundle(bundle_dir):
 @pytest.fixture(scope="session")
 def analysis(bundle):
     return LogDiver().analyze(bundle)
+
+
+@pytest.fixture(scope="session")
+def midsize_result():
+    """A 30-day slice of the full paper machine (thousands of runs).
+
+    The heavyweight sibling of ``sim_result``: big enough for
+    integration and serving/load tests to be meaningful, built exactly
+    once per test run.  Tests must not mutate it or its bundle.
+    """
+    return paper_scenario(days=30.0, workload_thinning=0.02,
+                          seed=101).run()
+
+
+@pytest.fixture(scope="session")
+def midsize_bundle_dir(midsize_result, tmp_path_factory):
+    """The mid-size bundle on disk, with its columnar sidecar built.
+
+    The sidecar makes re-reads memory-mapped column loads -- the shape
+    the serving daemon sees in production, and much cheaper for every
+    test that re-opens this bundle.
+    """
+    directory = tmp_path_factory.mktemp("midsize-bundle")
+    write_bundle(midsize_result, directory, seed=101)
+    convert_bundle(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def midsize_analysis(midsize_bundle_dir):
+    return LogDiver().analyze(read_bundle(midsize_bundle_dir))

@@ -1,55 +1,40 @@
 """Full-machine integration: a 30-day slice of the paper scenario,
-through logs, diagnosed, and scored against ground truth."""
+through logs, diagnosed, and scored against ground truth.
 
-import tempfile
+Runs on the session-scoped ``midsize_*`` fixtures (conftest), so the
+expensive simulate-write-analyze pass happens once per test run and is
+shared with the serving and load tests.
+"""
 
-import pytest
-
-from repro import LogDiver, paper_scenario, read_bundle, write_bundle
 from repro.experiments.accuracy import diagnosis_accuracy
 from repro.workload.jobs import Outcome
 
 
-@pytest.fixture(scope="module")
-def full_machine_run():
-    scenario = paper_scenario(days=30.0, workload_thinning=0.02, seed=101)
-    result = scenario.run()
-    with tempfile.TemporaryDirectory() as directory:
-        write_bundle(result, directory, seed=101)
-        analysis = LogDiver().analyze(read_bundle(directory))
-    return result, analysis
-
-
 class TestFullMachineIntegration:
-    def test_volume(self, full_machine_run):
-        result, analysis = full_machine_run
-        assert len(result.runs) > 3000
-        assert len(analysis.diagnosed) == len(result.runs)
+    def test_volume(self, midsize_result, midsize_analysis):
+        assert len(midsize_result.runs) > 3000
+        assert len(midsize_analysis.diagnosed) == len(midsize_result.runs)
 
-    def test_headline_in_band(self, full_machine_run):
-        _result, analysis = full_machine_run
-        share = analysis.breakdown.system_failure_share
+    def test_headline_in_band(self, midsize_analysis):
+        share = midsize_analysis.breakdown.system_failure_share
         assert 0.003 < share < 0.04, share
 
-    def test_accuracy_thresholds(self, full_machine_run):
-        result, analysis = full_machine_run
-        report = diagnosis_accuracy(result, analysis=analysis)
+    def test_accuracy_thresholds(self, midsize_result, midsize_analysis):
+        report = diagnosis_accuracy(midsize_result,
+                                    analysis=midsize_analysis)
         assert report.system_recall >= 0.95
         assert report.system_precision >= 0.7
         assert report.rate("completed", "success") > 0.999
 
-    def test_all_ground_truth_outcomes_present(self, full_machine_run):
-        result, _analysis = full_machine_run
-        outcomes = {r.outcome for r in result.runs}
+    def test_all_ground_truth_outcomes_present(self, midsize_result):
+        outcomes = {r.outcome for r in midsize_result.runs}
         assert {Outcome.COMPLETED, Outcome.USER_FAILURE,
                 Outcome.SYSTEM_FAILURE, Outcome.WALLTIME} <= outcomes
 
-    def test_mnbf_scale(self, full_machine_run):
-        _result, analysis = full_machine_run
-        assert 1e3 < analysis.mtbf_all.mnbf_node_hours < 1e7
+    def test_mnbf_scale(self, midsize_analysis):
+        assert 1e3 < midsize_analysis.mtbf_all.mnbf_node_hours < 1e7
 
-    def test_xe_curve_has_small_scale_data(self, full_machine_run):
-        _result, analysis = full_machine_run
-        points = analysis.xe_curve.nonempty()
+    def test_xe_curve_has_small_scale_data(self, midsize_analysis):
+        points = midsize_analysis.xe_curve.nonempty()
         assert points[0].scale_lo == 1
         assert sum(p.runs for p in points) > 2000

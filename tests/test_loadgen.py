@@ -1,0 +1,161 @@
+"""Load generator: determinism, the run-table artifact, and the
+warm-serving speedup the daemon exists for.
+
+The generator's promise is that the *load* is never the variable: the
+query mix is a pure function of ``(seed, config, worker)``, so two runs
+against the same daemon issue identical requests and any change in the
+run table is a change in the server.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from http.client import HTTPConnection
+
+from repro.cli import main
+from repro.serve.daemon import ServeApp, ServeDaemon
+from repro.serve.loadgen import (
+    RUN_TABLE_FIELDS,
+    LoadPoint,
+    build_mix,
+    cold_cli_seconds,
+    percentile,
+    run_loadtest,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.00) == 100.0
+
+    def test_small_samples(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([], 0.5) == 0.0
+        assert percentile([1.0, 9.0], 0.5) == 1.0
+
+
+class TestMixDeterminism:
+    def test_same_seed_same_plan(self, bundle_dir):
+        dirs = {"b": bundle_dir}
+        once = build_mix(dirs, seed=7, label="w4xr25", worker=2,
+                         requests=50)
+        again = build_mix(dirs, seed=7, label="w4xr25", worker=2,
+                          requests=50)
+        assert once == again
+
+    def test_workers_get_distinct_plans(self, bundle_dir):
+        dirs = {"b": bundle_dir}
+        plans = [build_mix(dirs, seed=7, label="w4xr25", worker=w,
+                           requests=50) for w in range(4)]
+        assert len({tuple(plan) for plan in plans}) == 4
+
+    def test_windows_stay_inside_the_collection(self, bundle_dir, bundle):
+        from repro.serve.queries import collection_window
+
+        collection = collection_window(bundle)
+        plan = build_mix({"b": bundle_dir}, seed=3, label="x", worker=0,
+                         requests=200)
+        windowed = 0
+        for request in plan:
+            if request.body is None:
+                continue
+            payload = json.loads(request.body)
+            window = payload.get("window")
+            if window is None:
+                continue
+            windowed += 1
+            lo, hi = window
+            assert collection.start <= lo < hi <= collection.end
+        assert windowed > 20  # the mix actually exercises windowing
+
+
+class TestRunTable:
+    def test_loadtest_emits_the_artifact(self, bundle_dir, tmp_path):
+        out = tmp_path / "run_table.csv"
+        metrics = tmp_path / "metrics.prom"
+        rows = run_loadtest(
+            {"b": bundle_dir},
+            [LoadPoint(workers=1, requests=4),
+             LoadPoint(workers=3, requests=4)],
+            seed=11, out=out, metrics_out=metrics)
+        with open(out, newline="") as handle:
+            records = list(csv.DictReader(handle))
+        assert [tuple(r.keys()) for r in records] \
+            == [RUN_TABLE_FIELDS] * 2
+        assert [r["config"] for r in records] == ["w1xr4", "w3xr4"]
+        assert records[0]["total_requests"] == "4"
+        assert records[1]["total_requests"] == "12"
+        for record, row in zip(records, rows):
+            assert record["failure_rate"] == "0.0000"
+            assert row.failure_rate == 0.0
+            assert float(record["p95_ms"]) >= float(record["p50_ms"])
+            assert float(record["throughput_rps"]) > 0
+        scrape = metrics.read_text()
+        assert "serve_requests_total" in scrape
+        assert "serve_latency_seconds_bucket" in scrape
+
+    def test_cli_loadtest_and_p95_gate(self, bundle_dir, tmp_path,
+                                       capsys):
+        out = tmp_path / "rt.csv"
+        code = main(["loadtest", str(bundle_dir), "--workers", "2",
+                     "--requests", "3", "--seed", "5",
+                     "--out", str(out)])
+        assert code == 0
+        shown = capsys.readouterr().out
+        assert f"run table -> {out}" in shown
+        assert out.exists()
+        # An absurd gate must flip the exit code (the CI smoke relies
+        # on the inverse: a generous gate passing).
+        code = main(["loadtest", str(bundle_dir), "--workers", "1",
+                     "--requests", "2", "--seed", "5",
+                     "--out", str(out), "--p95-gate-ms", "0.000001"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestWarmServingSpeedup:
+    def test_warm_p50_is_10x_faster_than_cold_cli(self,
+                                                  midsize_bundle_dir):
+        """The acceptance gate: answering a repeated /analyze from the
+        warm daemon must beat a cold-process CLI run of the same query
+        by at least 10x at the median.  (In practice the margin is
+        orders of magnitude -- the warm path is a cache lookup, the cold
+        path pays interpreter start, imports, and the bundle read.)"""
+        app = ServeApp({"mid": midsize_bundle_dir})
+        daemon = ServeDaemon(app).start_background()
+        payload = json.dumps({"bundle": "mid"}).encode("utf-8")
+        try:
+            connection = HTTPConnection(daemon.host, daemon.port,
+                                        timeout=600.0)
+            try:
+                warm_latencies = []
+                for attempt in range(13):
+                    start = time.perf_counter()
+                    connection.request(
+                        "POST", "/analyze", body=payload,
+                        headers={"Content-Type": "application/json"})
+                    response = connection.getresponse()
+                    body = response.read()
+                    elapsed = time.perf_counter() - start
+                    assert response.status == 200
+                    if attempt > 0:  # first request pays the load
+                        warm_latencies.append(elapsed)
+                first_body = body
+            finally:
+                connection.close()
+        finally:
+            daemon.shutdown()
+        warm_p50 = percentile(sorted(warm_latencies), 0.50)
+        cold = cold_cli_seconds(midsize_bundle_dir)
+        assert cold >= 10 * warm_p50, (
+            f"warm p50 {warm_p50 * 1000:.2f} ms vs cold CLI "
+            f"{cold * 1000:.0f} ms: speedup "
+            f"{cold / warm_p50:.1f}x < 10x")
+        assert json.loads(first_body)["query"]["bundle"] == "mid"

@@ -1,0 +1,185 @@
+"""Thread safety of the observability layer.
+
+The serving daemon writes metrics from many handler threads at once, so
+the registry's contract is *exactness under contention*: N threads each
+incrementing M times must land exactly N*M -- ``dict.get`` + store
+without the lock drops increments whenever the GIL switches threads
+between the read and the write.  Scoping and tracing are *thread-local*
+by design: a scope or tracer activated in one thread must never capture
+(or be corrupted by) concurrent work in another.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry, get_registry, scoped_registry
+from repro.obs.tracing import Tracer, current_tracer, span, tracing
+
+THREADS = 8
+INCREMENTS = 5_000
+
+
+def _hammer(target, barrier: threading.Barrier) -> list[threading.Thread]:
+    workers = [threading.Thread(target=target, name=f"hammer-{i}")
+               for i in range(THREADS)]
+    for worker in workers:
+        worker.start()
+    return workers
+
+
+class TestRegistryUnderContention:
+    def test_no_lost_counter_increments(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(THREADS)
+
+        def work():
+            barrier.wait()  # maximize overlap
+            for _ in range(INCREMENTS):
+                registry.counter("stress_total")
+                registry.counter("stress_labeled_total", endpoint="/x")
+
+        for worker in _hammer(work, barrier):
+            worker.join()
+        assert registry.counter_value("stress_total") \
+            == THREADS * INCREMENTS
+        assert registry.counter_value("stress_labeled_total",
+                                      endpoint="/x") \
+            == THREADS * INCREMENTS
+
+    def test_no_lost_histogram_observations(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(THREADS)
+
+        def work():
+            barrier.wait()
+            for i in range(INCREMENTS):
+                registry.observe("stress_seconds", (i % 7) / 100.0)
+
+        for worker in _hammer(work, barrier):
+            worker.join()
+        snap = registry.snapshot()["histograms"]["stress_seconds"]
+        assert snap["count"] == THREADS * INCREMENTS
+        assert sum(snap["buckets"].values()) == THREADS * INCREMENTS
+
+    def test_scrape_races_are_internally_consistent(self):
+        """A snapshot taken mid-storm must have count == sum(buckets):
+        sum/count/buckets move together or not at all."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        barrier = threading.Barrier(THREADS)
+
+        def work():
+            barrier.wait()
+            for i in range(INCREMENTS):
+                registry.observe("race_seconds", (i % 5) / 50.0)
+            stop.set()
+
+        workers = _hammer(work, barrier)
+        scrapes = 0
+        while not stop.is_set():
+            snap = registry.snapshot()
+            hist = snap["histograms"].get("race_seconds")
+            if hist is not None:
+                assert hist["count"] == sum(hist["buckets"].values())
+                scrapes += 1
+            registry.render_prometheus()  # must not raise mid-storm
+        for worker in workers:
+            worker.join()
+        assert registry.counter_value("absent") == 0.0  # reads stay exact
+
+
+class TestThreadLocalScoping:
+    def test_scope_does_not_capture_other_threads(self):
+        """A scope pushed on this thread must not swallow writes made by
+        a concurrent thread -- those belong to the shared base."""
+        base_before = get_registry().counter_value("cross_thread_total")
+        seen_in_worker = {}
+
+        def worker():
+            # No scope active on *this* thread: writes go to the base.
+            seen_in_worker["registry"] = get_registry()
+            get_registry().counter("cross_thread_total")
+
+        with scoped_registry() as scoped:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            scoped.counter("scoped_only_total")
+            assert scoped.counter_value("cross_thread_total") == 0.0
+        assert seen_in_worker["registry"] is not scoped
+        base = get_registry()
+        assert base.counter_value("cross_thread_total") == base_before + 1
+        assert base.counter_value("scoped_only_total") == 0.0
+
+    def test_concurrent_scopes_are_independent(self):
+        totals = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name: str, amount: int):
+            with scoped_registry() as registry:
+                barrier.wait()
+                for _ in range(amount):
+                    registry_now = get_registry()
+                    assert registry_now is registry
+                    registry_now.counter("per_thread_total")
+                totals[name] = registry.counter_value("per_thread_total")
+
+        threads = [threading.Thread(target=worker, args=("a", 1000)),
+                   threading.Thread(target=worker, args=("b", 2500))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert totals == {"a": 1000.0, "b": 2500.0}
+
+
+class TestThreadLocalTracing:
+    def test_tracer_is_invisible_to_other_threads(self):
+        """Handler threads must see no tracer while the main thread
+        traces: their span() calls no-op instead of braiding unrelated
+        request spans into one tree."""
+        observed = {}
+
+        def worker():
+            observed["tracer"] = current_tracer()
+            with span("worker-op") as sp:
+                observed["span"] = sp
+
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("main-op"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert observed["tracer"] is None
+        (root,) = tracer.roots
+        assert root.name == "main-op"
+        assert root.children == []  # the worker's span never landed here
+
+    def test_concurrent_tracers_build_disjoint_trees(self):
+        trees = {}
+        barrier = threading.Barrier(4)
+
+        def worker(name: str):
+            tracer = Tracer()
+            with tracing(tracer):
+                barrier.wait()
+                with span(f"{name}-outer"):
+                    for i in range(50):
+                        with span(f"{name}-inner", i=i):
+                            pass
+            trees[name] = tracer
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for name, tracer in trees.items():
+            (root,) = tracer.roots
+            assert root.name == f"{name}-outer"
+            assert len(root.children) == 50
+            assert all(child.name == f"{name}-inner"
+                       for child in root.children)

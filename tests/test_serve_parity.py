@@ -1,0 +1,244 @@
+"""Concurrency/parity suite: served bytes == serial CLI bytes.
+
+The serving contract is *byte identity*: any document answered by the
+daemon under concurrent mixed traffic must equal, byte for byte, what
+``python -m repro query`` prints for the same query in a serial
+process.  Both route through :mod:`repro.serve.queries` and canonical
+JSON, so any drift -- float formatting, key order, windowing semantics,
+lenient ingest -- shows up as a byte mismatch here.
+
+The suite hammers one live daemon with 8 threads of shuffled
+analyze/validate traffic across a clean bundle, a corruptor-damaged
+bundle served leniently, and a bundle whose columnar sidecar has gone
+stale behind edited text (the fallback-reparse path, raced).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.cli import main
+from repro.faults.corruptor import CorruptionConfig, corrupt_bundle
+from repro.logs.bundle import read_bundle, read_manifest
+from repro.logs.columnar import convert_bundle, usable_sidecar
+from repro.obs.metrics import get_registry
+from repro.serve.daemon import ServeApp, ServeDaemon
+from repro.serve.queries import collection_window
+
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def corrupted_dir(bundle_dir, tmp_path_factory):
+    """A line-damaged copy: strict reads refuse it, lenient reads
+    quarantine.  Named ``damaged`` so CLI and daemon agree on the
+    document's bundle name without coordination."""
+    dest = tmp_path_factory.mktemp("parity") / "damaged"
+    config = CorruptionConfig(truncate_rate=0.004, garble_rate=0.004,
+                              drop_rate=0.002)
+    corrupt_bundle(bundle_dir, dest, config, seed=42)
+    return dest
+
+
+def _make_stale(bundle_dir, dest) -> None:
+    """Copy the bundle, build its sidecar, then edit the text behind it:
+    the sidecar is now stale and the next read must fall back."""
+    shutil.copytree(bundle_dir, dest)
+    convert_bundle(dest)
+    before = read_bundle(dest, columnar=False)
+    last = before.error_records[-1]
+    _, epoch = read_manifest(dest)
+    stamp = epoch.format_iso(last.time_s + 1.0)
+    with open(dest / "hwerr.log", "a") as handle:
+        handle.write(f"{stamp}|{last.component}|appended hwerr line\n")
+    sidecar = usable_sidecar(str(dest))
+    assert sidecar is None or not sidecar.fresh()
+
+
+def _fetch(daemon, path: str, payload: dict) -> tuple[int, bytes]:
+    connection = HTTPConnection(daemon.host, daemon.port, timeout=300.0)
+    try:
+        connection.request(
+            "POST", path, body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _hammer(daemon, queries: list[tuple[str, str, dict]],
+            rounds: int = 1) -> dict[str, list[tuple[int, bytes]]]:
+    """THREADS workers, each issuing every query in its own shuffled
+    order; responses grouped by query id."""
+    results: dict[str, list[tuple[int, bytes]]] = {
+        qid: [] for qid, _, _ in queries}
+    lock = threading.Lock()
+    barrier = threading.Barrier(THREADS)
+    failures: list[BaseException] = []
+
+    def worker(index: int) -> None:
+        rng = random.Random(f"parity:{index}")
+        try:
+            barrier.wait()
+            for _ in range(rounds):
+                plan = list(queries)
+                rng.shuffle(plan)
+                for qid, path, payload in plan:
+                    got = _fetch(daemon, path, payload)
+                    with lock:
+                        results[qid].append(got)
+        except BaseException as bad:  # surfaced after join
+            failures.append(bad)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    return results
+
+
+def _cli_bytes(capsys, argv: list[str]) -> bytes:
+    capsys.readouterr()  # drop anything buffered
+    assert main(argv) == 0
+    return capsys.readouterr().out.encode("utf-8")
+
+
+class TestConcurrentParity:
+    def test_mixed_traffic_is_byte_identical_to_serial_cli(
+            self, bundle_dir, corrupted_dir, bundle, capsys):
+        collection = collection_window(bundle)
+        span = collection.end - collection.start
+        w1 = [collection.start, collection.start + round(span * 0.5, 3)]
+        w2 = [collection.start + round(span * 0.25, 3), collection.end]
+        queries = [
+            ("an-full", "/analyze", {"bundle": bundle_dir.name}),
+            ("an-w1", "/analyze", {"bundle": bundle_dir.name,
+                                   "window": w1}),
+            ("an-w2", "/analyze", {"bundle": bundle_dir.name,
+                                   "window": w2}),
+            ("va-full", "/validate", {"bundle": bundle_dir.name}),
+            ("va-w1", "/validate", {"bundle": bundle_dir.name,
+                                    "window": w1}),
+            ("an-damaged", "/analyze", {"bundle": "damaged",
+                                        "lenient": True}),
+            ("va-damaged", "/validate", {"bundle": "damaged",
+                                         "lenient": True}),
+        ]
+        app = ServeApp({bundle_dir.name: bundle_dir,
+                        "damaged": corrupted_dir}, max_loaded=2)
+        daemon = ServeDaemon(app).start_background()
+        try:
+            results = _hammer(daemon, queries)
+        finally:
+            daemon.shutdown()
+
+        cli = {
+            "an-full": ["query", "analyze", str(bundle_dir)],
+            "an-w1": ["query", "analyze", str(bundle_dir),
+                      "--window", f"{w1[0]}:{w1[1]}"],
+            "an-w2": ["query", "analyze", str(bundle_dir),
+                      "--window", f"{w2[0]}:{w2[1]}"],
+            "va-full": ["query", "validate", str(bundle_dir)],
+            "va-w1": ["query", "validate", str(bundle_dir),
+                      "--window", f"{w1[0]}:{w1[1]}"],
+            "an-damaged": ["query", "analyze", str(corrupted_dir),
+                           "--lenient"],
+            "va-damaged": ["query", "validate", str(corrupted_dir),
+                           "--lenient"],
+        }
+        for qid, _, _ in queries:
+            answers = results[qid]
+            assert len(answers) == THREADS
+            statuses = {status for status, _ in answers}
+            assert statuses == {200}, (qid, statuses)
+            bodies = {body for _, body in answers}
+            assert len(bodies) == 1, f"{qid}: concurrent answers diverged"
+            expected = _cli_bytes(capsys, cli[qid])
+            assert bodies == {expected}, f"{qid}: daemon != CLI"
+
+    def test_quarantined_bundle_needs_lenient(self, corrupted_dir, capsys):
+        """Strict reads of the damaged bundle are refused identically on
+        both paths (daemon 422, CLI exit 2); lenient documents report
+        the quarantine."""
+        app = ServeApp({"damaged": corrupted_dir})
+        daemon = ServeDaemon(app).start_background()
+        try:
+            status, _ = _fetch(daemon, "/analyze", {"bundle": "damaged"})
+            assert status == 422
+            status, body = _fetch(daemon, "/analyze",
+                                  {"bundle": "damaged", "lenient": True})
+        finally:
+            daemon.shutdown()
+        assert status == 200
+        document = json.loads(body)
+        assert document["result"]["ingest"]["total_quarantined"] > 0
+        capsys.readouterr()
+        assert main(["query", "analyze", str(corrupted_dir)]) == 2
+        assert "refused" in capsys.readouterr().err
+
+    def test_stale_sidecar_fallback_under_load(self, bundle_dir, tmp_path,
+                                               capsys):
+        """8 threads hit a bundle whose sidecar is stale: exactly one
+        load runs (single-flight), every answer is identical, the
+        sidecar comes out refreshed, and the bytes match the CLI."""
+        dest = tmp_path / "stale"
+        _make_stale(bundle_dir, dest)
+        registry = get_registry()
+        loads_before = registry.counter_value("serve_bundle_loads_total")
+        app = ServeApp({"stale": dest})
+        daemon = ServeDaemon(app).start_background()
+        try:
+            results = _hammer(daemon, [
+                ("an-stale", "/analyze", {"bundle": "stale"})])
+        finally:
+            daemon.shutdown()
+        answers = results["an-stale"]
+        assert {status for status, _ in answers} == {200}
+        assert len({body for _, body in answers}) == 1
+        assert registry.counter_value("serve_bundle_loads_total") \
+            == loads_before + 1
+        refreshed = usable_sidecar(str(dest))
+        assert refreshed is not None and refreshed.fresh()
+        expected = _cli_bytes(capsys, ["query", "analyze", str(dest)])
+        assert answers[0][1] == expected
+
+    def test_lru_churn_keeps_answers_correct(self, bundle_dir,
+                                             corrupted_dir):
+        """Capacity 1 with two bundles in play: every request evicts the
+        other's handle, yet answers never change."""
+        registry = get_registry()
+        evictions_before = registry.counter_value(
+            "serve_bundle_evictions_total")
+        app = ServeApp({bundle_dir.name: bundle_dir,
+                        "damaged": corrupted_dir},
+                       max_loaded=1, result_cache_size=0)
+        daemon = ServeDaemon(app).start_background()
+        try:
+            warm = {
+                qid: _fetch(daemon, "/analyze", payload)
+                for qid, payload in [
+                    ("clean", {"bundle": bundle_dir.name}),
+                    ("damaged", {"bundle": "damaged", "lenient": True})]
+            }
+            results = _hammer(daemon, [
+                ("clean", "/analyze", {"bundle": bundle_dir.name}),
+                ("damaged", "/analyze", {"bundle": "damaged",
+                                         "lenient": True}),
+            ])
+        finally:
+            daemon.shutdown()
+        for qid, answers in results.items():
+            assert {status for status, _ in answers} == {200}
+            assert {body for _, body in answers} == {warm[qid][1]}
+        assert registry.counter_value("serve_bundle_evictions_total") \
+            > evictions_before
