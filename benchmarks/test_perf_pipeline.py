@@ -259,5 +259,11 @@ def test_perf_pipeline(benchmark):
     (REPO_ROOT / "BENCH_pipeline.json").write_text(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_pipeline.json").write_text(text)
+    # Feed the perf-regression sentinel: every bench run extends the
+    # trajectory that `python -m repro bench --check` gates on.
+    from repro.bench.history import append_record, record_from_bench
+
+    append_record(REPO_ROOT / "benchmarks" / "history.jsonl",
+                  record_from_bench(payload))
     print()
     print(json.dumps(payload, indent=2))

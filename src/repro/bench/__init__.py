@@ -1,0 +1,30 @@
+"""repro.bench: the performance-history subsystem.
+
+:mod:`repro.bench.history` turns the one-shot ``BENCH_pipeline.json``
+snapshot into a trajectory: every bench run appends a canonical record
+to ``benchmarks/history.jsonl``, and the sentinel (``python -m repro
+bench --check``) compares the latest run against a rolling baseline
+with per-stage tolerance bands -- so the speedups each PR wins stay won.
+"""
+
+from repro.bench.history import (
+    HISTORY_SCHEMA,
+    SentinelReport,
+    StageVerdict,
+    append_record,
+    check_history,
+    default_history_path,
+    load_history,
+    record_from_bench,
+)
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "SentinelReport",
+    "StageVerdict",
+    "append_record",
+    "check_history",
+    "default_history_path",
+    "load_history",
+    "record_from_bench",
+]

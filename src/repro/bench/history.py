@@ -1,0 +1,226 @@
+"""The perf-regression sentinel: bench history + tolerance-band check.
+
+``BENCH_pipeline.json`` records *one* run; a regression that ships
+between two readings of it is invisible.  This module keeps the
+trajectory: each bench run appends one canonical ``bench-history/1``
+record (scenario, per-stage wall-clock, LogDiver stage breakdown) to
+``benchmarks/history.jsonl``, and :func:`check_history` compares the
+latest record against a rolling baseline -- the per-stage **median** of
+the preceding ``window`` comparable records -- with a tolerance band::
+
+    band = baseline * (1 + tolerance) + abs_floor_s
+
+A stage whose latest time exceeds its band is named as regressed and
+``python -m repro bench --check`` exits non-zero.  The median baseline
+makes one noisy CI run harmless (it shifts the median little and ages
+out), the relative tolerance absorbs machine jitter, and the absolute
+floor keeps millisecond stages from tripping on scheduler noise.
+
+Comparability: records carry their scenario (days/thinning/seed), and
+the check only baselines records whose scenario matches the latest
+one's -- a quick ``REPRO_PERF_DAYS=2`` local run appends harmlessly
+without poisoning the full-scale trajectory.
+
+The history file is append-only canonical JSONL with the same
+torn-tail-tolerant read as the campaign journal: a record killed
+mid-append truncates, never poisons.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Any, Sequence
+
+__all__ = ["HISTORY_SCHEMA", "DEFAULT_TOLERANCE", "DEFAULT_ABS_FLOOR_S",
+           "DEFAULT_WINDOW", "StageVerdict", "SentinelReport",
+           "append_record", "check_history", "default_history_path",
+           "load_history", "record_from_bench", "stage_times"]
+
+#: Bump when the history record layout changes incompatibly.
+HISTORY_SCHEMA = "bench-history/1"
+
+#: Relative slack per stage: CI runners genuinely vary this much.
+DEFAULT_TOLERANCE = 0.35
+
+#: Absolute slack per stage: sub-second stages live inside scheduler
+#: noise, so a pure ratio would cry wolf on them.
+DEFAULT_ABS_FLOOR_S = 0.25
+
+#: Rolling-baseline depth (records, latest excluded).
+DEFAULT_WINDOW = 5
+
+#: Per-stage tolerance overrides layered over ``tolerance``: the RSS
+#: probes fork fresh interpreters per reading, so their wall-clock is
+#: dominated by spawn/import cost that swings with machine load.
+STAGE_TOLERANCE_OVERRIDES = {
+    "rss_probe_memory": 0.60,
+    "rss_probe_columnar": 0.60,
+    "rss_probe_stream": 0.60,
+}
+
+
+def default_history_path(root: str | Path | None = None) -> Path:
+    """``benchmarks/history.jsonl`` under ``root`` (default: cwd)."""
+    base = Path(root) if root is not None else Path.cwd()
+    return base / "benchmarks" / "history.jsonl"
+
+
+def record_from_bench(payload: dict[str, Any], *,
+                      recorded_at: float | None = None) -> dict[str, Any]:
+    """One canonical history record from a ``bench-pipeline/*`` payload.
+
+    Only the comparison-relevant slice is kept: the scenario identity,
+    run/cluster counts (a silent workload change would masquerade as a
+    perf change), and the two stage-time families.  LogDiver's internal
+    stages are namespaced ``logdiver/<stage>`` so the two families share
+    one flat stage->seconds map.
+    """
+    stages = {str(name): float(seconds)
+              for name, seconds in payload.get("stages_s", {}).items()}
+    for name, seconds in payload.get("logdiver_stages_s", {}).items():
+        stages[f"logdiver/{name}"] = float(seconds)
+    return {
+        "schema": HISTORY_SCHEMA,
+        "recorded_at": round(recorded_at if recorded_at is not None
+                             else time.time(), 3),
+        "bench_schema": payload.get("schema"),
+        "scenario": dict(payload.get("scenario", {})),
+        "runs": payload.get("runs"),
+        "clusters": payload.get("clusters"),
+        "stages_s": dict(sorted(stages.items())),
+    }
+
+
+def append_record(path: str | Path, record: dict[str, Any]) -> Path:
+    """Append one record as a canonical-JSON line (creating the file)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+    return path
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """All intact records, oldest first; a torn tail truncates."""
+    records: list[dict[str, Any]] = []
+    try:
+        with open(path, "rb") as handle:
+            for raw in handle:
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    break
+                if not isinstance(record, dict) or "stages_s" not in record:
+                    break
+                records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def stage_times(record: dict[str, Any]) -> dict[str, float]:
+    return {name: float(seconds)
+            for name, seconds in record.get("stages_s", {}).items()}
+
+
+@dataclass(frozen=True)
+class StageVerdict:
+    """One stage's latest time against its rolling baseline."""
+
+    stage: str
+    latest_s: float
+    baseline_s: float | None  # None: no comparable history yet
+    band_s: float | None
+    regressed: bool
+
+    def render(self) -> str:
+        if self.baseline_s is None:
+            return (f"  {self.stage:<28} {self.latest_s:>9.3f}s  "
+                    f"(no baseline yet)")
+        flag = "REGRESSED" if self.regressed else "ok"
+        return (f"  {self.stage:<28} {self.latest_s:>9.3f}s  vs "
+                f"baseline {self.baseline_s:>9.3f}s  "
+                f"(band {self.band_s:.3f}s) {flag}")
+
+
+@dataclass(frozen=True)
+class SentinelReport:
+    """Every stage verdict for one latest-vs-baseline comparison."""
+
+    verdicts: tuple[StageVerdict, ...]
+    baseline_records: int
+    scenario: dict[str, Any]
+
+    @property
+    def regressed(self) -> tuple[StageVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.regressed)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressed
+
+    def render(self) -> str:
+        lines = [f"perf sentinel: latest run vs median of "
+                 f"{self.baseline_records} prior record(s) "
+                 f"[scenario {json.dumps(self.scenario, sort_keys=True)}]"]
+        lines.extend(v.render() for v in self.verdicts)
+        if self.regressed:
+            names = ", ".join(v.stage for v in self.regressed)
+            lines.append(f"REGRESSION: {names}")
+        else:
+            lines.append("all stages within tolerance")
+        return "\n".join(lines)
+
+
+def _comparable(record: dict[str, Any], scenario: dict[str, Any]) -> bool:
+    return record.get("scenario") == scenario
+
+
+def check_history(records: Sequence[dict[str, Any]], *,
+                  tolerance: float = DEFAULT_TOLERANCE,
+                  abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+                  window: int = DEFAULT_WINDOW,
+                  stage_tolerance: dict[str, float] | None = None
+                  ) -> SentinelReport:
+    """Compare the newest record against the rolling baseline.
+
+    Baseline per stage = median of that stage's times over the last
+    ``window`` *comparable* records preceding the latest (same scenario,
+    stage present).  A stage with no baseline passes (first reading of a
+    new stage or scenario cannot regress).  Raises ``ValueError`` on an
+    empty history -- the sentinel is meaningless unseeded.
+    """
+    if not records:
+        raise ValueError("empty bench history: seed it by running the "
+                         "pipeline bench or 'repro bench --record'")
+    latest = records[-1]
+    scenario = dict(latest.get("scenario", {}))
+    prior = [r for r in records[:-1] if _comparable(r, scenario)]
+    prior = prior[-window:]
+    overrides = dict(STAGE_TOLERANCE_OVERRIDES)
+    if stage_tolerance:
+        overrides.update(stage_tolerance)
+
+    verdicts = []
+    for stage, latest_s in sorted(stage_times(latest).items()):
+        series = [stage_times(r)[stage] for r in prior
+                  if stage in r.get("stages_s", {})]
+        if not series:
+            verdicts.append(StageVerdict(stage, latest_s, None, None,
+                                         regressed=False))
+            continue
+        baseline = float(median(series))
+        stage_tol = overrides.get(stage, tolerance)
+        band = baseline * (1.0 + stage_tol) + abs_floor_s
+        verdicts.append(StageVerdict(
+            stage, latest_s, baseline, round(band, 6),
+            regressed=latest_s > band))
+    return SentinelReport(verdicts=tuple(verdicts),
+                          baseline_records=len(prior),
+                          scenario=scenario)

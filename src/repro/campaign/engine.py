@@ -30,6 +30,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
+from repro.obs.events import current_trace_id, emit, event_context, new_trace_id
 from repro.obs.metrics import get_registry, scoped_registry
 from repro.obs.tracing import Tracer, current_tracer, span, tracing
 
@@ -143,11 +144,19 @@ def run_campaign(fn: Callable[..., Any],
     units = list(units)
     workers = min(resolve_jobs(jobs), len(units)) if units else 1
     registry = get_registry()
+    kind = getattr(fn, "__qualname__", str(fn))
+    # Join the ambient trace (CLI invocation, daemon request) when one
+    # is open; otherwise deterministic so two runs of the same campaign
+    # correlate to the same id (the supervised path does the same).
+    trace_id = current_trace_id() or new_trace_id(
+        material=f"campaign/{kind}/{len(units)}")
     # The worker count is an execution detail, not work structure, so it
     # lives in a gauge rather than a span attribute -- the span skeleton
     # of a --jobs 8 run must equal the serial run's.
-    with span("campaign", units=len(units),
-              fn=getattr(fn, "__qualname__", str(fn))):
+    with span("campaign", units=len(units), fn=kind), \
+            event_context("campaign", trace_id=trace_id):
+        emit("campaign_begin", kind=kind, units=len(units),
+             workers=workers, supervised=False)
         registry.counter("campaign_units_total", len(units))
         registry.gauge("campaign_workers", workers)
         if workers <= 1:
@@ -155,6 +164,8 @@ def run_campaign(fn: Callable[..., Any],
             for index, unit in enumerate(units):
                 with span("unit", index=index):
                     results.append(fn(**unit))
+                emit("unit_done", unit=index)
+            emit("campaign_end", units=len(units))
             return results
         context = multiprocessing.get_context("spawn")
         tracer = current_tracer()
@@ -163,10 +174,12 @@ def run_campaign(fn: Callable[..., Any],
             futures = [pool.submit(_traced_unit, fn, unit, index)
                        for index, unit in enumerate(units)]
             results = []
-            for future in futures:
+            for index, future in enumerate(futures):
                 result, telemetry = future.result()
                 results.append(result)
                 registry.merge(telemetry["metrics"])
                 if tracer is not None:
                     tracer.attach(telemetry["spans"])
+                emit("unit_done", unit=index)
+            emit("campaign_end", units=len(units))
             return results

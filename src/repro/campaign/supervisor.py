@@ -59,6 +59,7 @@ import tempfile
 import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
@@ -68,6 +69,13 @@ from repro.campaign.cache import canonical_params, code_salt, default_cache_dir
 from repro.campaign.engine import resolve_jobs
 from repro.errors import CampaignError, ConfigurationError
 from repro.faults import chaos as chaos_mod
+from repro.obs.events import (
+    TRACE_ENV,
+    current_trace_id,
+    emit,
+    event_context,
+    new_trace_id,
+)
 from repro.obs.metrics import get_registry, scoped_registry
 from repro.obs.tracing import Tracer, current_tracer, span, tracing
 from repro.util.rngs import substream
@@ -406,15 +414,26 @@ def _attempt_main(fn: Callable[..., Any], unit: dict[str, Any], index: int,
 
     tracer = Tracer()
     payload: dict[str, Any] = {"ok": True, "attempt": attempt}
-    with tracing(tracer), scoped_registry() as registry:
+    # Trace context is inherited from the environment the parent
+    # stamped ($REPRO_TRACE_ID / $REPRO_LOG_JSON): every event this
+    # worker emits lands in the campaign's event log under the
+    # campaign's trace id.  unit_start goes out (flushed) *before* the
+    # chaos injection point, so a SIGKILL'd attempt still leaves its
+    # trail -- the flush-on-failure tests kill workers to check this.
+    with tracing(tracer), scoped_registry() as registry, \
+            event_context("unit", unit=index, attempt=attempt):
+        emit("unit_start")
         try:
             with tracer.span("unit", index=index):
                 chaos_mod.inject(chaos_spec, unit=index, attempt=attempt)
                 payload["result"] = fn(**unit)
+            emit("unit_result", status="ok")
         except BaseException as exc:  # ship *any* unit failure upward
             payload = {"ok": False, "attempt": attempt,
                        "error": f"{type(exc).__name__}: {exc}",
                        "traceback": traceback.format_exc()}
+            emit("unit_result", level="error", status="raised",
+                 error=payload["error"])
         snapshot = registry.snapshot()
     stop.set()
 
@@ -426,6 +445,27 @@ def _attempt_main(fn: Callable[..., Any], unit: dict[str, Any], index: int,
 
 
 # -- parent side -------------------------------------------------------------
+
+
+@contextmanager
+def _stamped_trace_env(trace_id: str):
+    """Stamp ``$REPRO_TRACE_ID`` for the dispatch window.
+
+    Spawn attempts copy ``os.environ`` at process start, so every worker
+    inherits the campaign trace id (and the event-log path, if one is
+    configured) without any plumbing through pickled arguments; the
+    previous value is restored on the way out so nested or sequential
+    campaigns never leak context into each other.
+    """
+    previous = os.environ.get(TRACE_ENV)
+    os.environ[TRACE_ENV] = trace_id
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = previous
 
 
 @dataclass
@@ -488,6 +528,15 @@ def run_supervised(fn: Callable[..., Any],
     units = list(units)
     kind = kind or getattr(fn, "__qualname__", str(fn))
     key = campaign_key(kind, units)
+    # An ambient trace (a CLI invocation, a daemon request) adopts the
+    # campaign into its own flow -- a streamed analyze runs two phase
+    # campaigns and they must correlate to one grep.  With no ambient
+    # trace the id is a *content hash* of the campaign identity plus
+    # the policy seed: two runs of the same seeded campaign carry the
+    # same id, which is what makes the correlated event log byte-stable
+    # under seed (the continuity tests pin this).
+    trace_id = current_trace_id() or new_trace_id(
+        material=f"campaign/{key}/{policy.seed}")
     root = (Path(policy.journal_dir) if policy.journal_dir is not None
             else default_journal_root())
     scratch = root / key
@@ -531,7 +580,11 @@ def run_supervised(fn: Callable[..., Any],
         i: [] for i in range(len(units))}
     counts = {"attempts": 0, "retries": 0, "timeouts": 0, "failures": 0}
 
-    with span("campaign", units=len(units), fn=kind):
+    with span("campaign", units=len(units), fn=kind), \
+            event_context("campaign", trace_id=trace_id), \
+            _stamped_trace_env(trace_id):
+        emit("campaign_begin", key=key, kind=kind, units=len(units),
+             workers=workers, resumed=sorted(resumed))
         registry.counter("campaign_units_total", len(units))
         registry.gauge("campaign_workers", workers)
         if resumed:
@@ -557,6 +610,7 @@ def run_supervised(fn: Callable[..., Any],
             heartbeat_path.unlink(missing_ok=True)
             journal.append({"event": "dispatch", "unit": index,
                             "attempt": attempt, "ts": time.time()})
+            emit("dispatch", unit=index, attempt=attempt)
             process = context.Process(
                 target=_attempt_main,
                 args=(fn, units[index], index, attempt, str(result_path),
@@ -583,6 +637,9 @@ def run_supervised(fn: Callable[..., Any],
             attempt_log[entry.index].append(record)
             journal.append({"event": "attempt", "unit": entry.index,
                             **record.as_dict(), "ts": time.time()})
+            emit("attempt", level="info" if status == "ok" else "warning",
+                 unit=entry.index, attempt=entry.attempt, status=status,
+                 exit_code=entry.process.exitcode, error=error)
             entry.process.close()
             entry.heartbeat_path.unlink(missing_ok=True)
             del live[entry.index]
@@ -598,6 +655,8 @@ def run_supervised(fn: Callable[..., Any],
                 journal.append({"event": "done", "unit": entry.index,
                                 "attempts": entry.attempt + 1,
                                 "ts": time.time()})
+                emit("unit_done", unit=entry.index,
+                     attempts=entry.attempt + 1)
                 return
 
             counts["failures"] += 1
@@ -628,6 +687,8 @@ def run_supervised(fn: Callable[..., Any],
                     "attempts": [r.as_dict()
                                  for r in attempt_log[entry.index]],
                     "ts": time.time()})
+                emit("unit_quarantined", level="error", unit=entry.index,
+                     attempts=len(attempt_log[entry.index]))
 
         try:
             while pending or live:
@@ -720,6 +781,7 @@ def run_supervised(fn: Callable[..., Any],
         journal.append({"event": "end", "ts": time.time(),
                         **accounting.as_dict()})
         journal.close()
+        emit("campaign_end", **accounting.as_dict())
 
     report = CampaignReport(
         key=key, journal_path=journal_path if policy.journal else None,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands mirror how the tool is used at a site::
+Ten subcommands mirror how the tool is used at a site::
 
     python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
     python -m repro convert out/bundle
@@ -11,6 +11,7 @@ Nine subcommands mirror how the tool is used at a site::
     python -m repro query analyze out/bundle --window 0:86400
     python -m repro serve out/bundle --port 8350
     python -m repro loadtest out/bundle --workers 1,8 --requests 25
+    python -m repro bench --check
 
 ``simulate`` runs a scenario and writes the log bundle; ``convert``
 builds (or refreshes) the ``repro-bundle/2`` columnar sidecar next to a
@@ -26,7 +27,11 @@ tracer and prints the span-tree report with per-stage time and memory.
 
 ``analyze``, ``validate``, and ``trace`` accept ``--telemetry DIR`` to
 persist the run's JSONL span events, Prometheus metric exposition, and
-canonical-JSON metric dump (see :mod:`repro.obs`).
+canonical-JSON metric dump (see :mod:`repro.obs`).  The long-running
+subcommands also take ``--log-json PATH`` (correlated ``repro-events/1``
+JSON lines; ``-`` = stderr), ``analyze``/``trace`` take ``--profile
+DIR`` (sampling profiler output), and ``bench`` runs the perf-regression
+sentinel over ``benchmarks/history.jsonl``.
 
 The serving trio (:mod:`repro.serve`): ``query`` prints one canonical
 analyze/validate document -- the exact bytes the daemon would serve, so
@@ -53,9 +58,18 @@ from repro.core.report import (
     render_waste,
     render_workload,
 )
+from repro.bench.history import (
+    DEFAULT_ABS_FLOOR_S,
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+)
 from repro.logs.bundle import read_bundle, write_bundle
 from repro.obs import (
+    SamplingProfiler,
     Tracer,
+    configure_event_log,
+    event_context,
+    new_trace_id,
     render_report,
     scoped_registry,
     tracing,
@@ -93,6 +107,20 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
                        help="arm the deterministic fault injector in "
                             "workers, e.g. 'crash@0,hang@1:30' "
                             "(see repro.faults.chaos)")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser, *,
+                   profile: bool = False) -> None:
+    """Observability flags shared by the long-running subcommands."""
+    parser.add_argument("--log-json", default=None, metavar="PATH",
+                        help="append repro-events/1 JSON lines to PATH "
+                             "('-' = stderr); spawn workers inherit the "
+                             "target and the ambient trace id")
+    if profile:
+        parser.add_argument("--profile", default=None, metavar="DIR",
+                            help="sample this command with the wall-clock "
+                                 "profiler and write profile.collapsed / "
+                                 "profile.txt to DIR")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -164,6 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--telemetry", default=None, metavar="DIR",
                          help="write trace.jsonl / metrics.prom / "
                               "metrics.json for this run to DIR")
+    _add_obs_flags(analyze, profile=True)
     _add_supervision_flags(analyze)
 
     baseline = sub.add_parser(
@@ -199,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--telemetry", default=None, metavar="DIR",
                           help="write trace.jsonl / metrics.prom / "
                                "metrics.json for this run to DIR")
+    _add_obs_flags(validate)
     _add_supervision_flags(validate)
 
     trace = sub.add_parser(
@@ -218,6 +248,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--telemetry", default=None, metavar="DIR",
                        help="write trace.jsonl / metrics.prom / "
                             "metrics.json for this run to DIR")
+    _add_obs_flags(trace, profile=True)
 
     query = sub.add_parser(
         "query", help="print one canonical analyze/validate document "
@@ -255,6 +286,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                        help="cap on worker processes a streamed query "
                             "may request (default: serial)")
+    _add_obs_flags(serve)
 
     loadtest = sub.add_parser(
         "loadtest", help="drive a daemon with the deterministic load "
@@ -290,6 +322,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="MS",
                           help="exit 1 if any daemon config's p95 "
                                "exceeds MS (the CI smoke gate)")
+    _add_obs_flags(loadtest)
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression sentinel over the bench history "
+                      "(benchmarks/history.jsonl)")
+    bench.add_argument("--history", default="benchmarks/history.jsonl",
+                       metavar="JSONL",
+                       help="history file (default "
+                            "benchmarks/history.jsonl)")
+    bench.add_argument("--record", default=None, metavar="FILE",
+                       help="append FILE (a bench-pipeline JSON payload, "
+                            "e.g. BENCH_pipeline.json) as one history "
+                            "record before any check")
+    bench.add_argument("--check", action="store_true",
+                       help="compare the latest record against the "
+                            "rolling median baseline; exit 1 naming any "
+                            "regressed stage")
+    bench.add_argument("--tolerance", type=float,
+                       default=DEFAULT_TOLERANCE, metavar="FRAC",
+                       help="relative slack per stage "
+                            f"(default {DEFAULT_TOLERANCE:g})")
+    bench.add_argument("--abs-floor-s", type=float,
+                       default=DEFAULT_ABS_FLOOR_S, metavar="S",
+                       help="absolute slack added to every band "
+                            f"(default {DEFAULT_ABS_FLOOR_S:g}s)")
+    bench.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                       metavar="N",
+                       help="rolling-baseline depth in records "
+                            f"(default {DEFAULT_WINDOW})")
     return parser
 
 
@@ -696,6 +757,50 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.history import (
+        append_record,
+        check_history,
+        load_history,
+        record_from_bench,
+    )
+
+    history_path = Path(args.history)
+    if args.record:
+        try:
+            payload = json.loads(Path(args.record).read_text())
+        except (OSError, ValueError) as bad:
+            print(f"bad bench payload {args.record!r}: {bad}")
+            return 2
+        if not isinstance(payload, dict) or "stages_s" not in payload:
+            print(f"bad bench payload {args.record!r}: no stages_s")
+            return 2
+        record = record_from_bench(payload)
+        append_record(history_path, record)
+        print(f"recorded {len(record['stages_s'])} stage(s) -> "
+              f"{history_path}")
+    records = load_history(history_path)
+    if not records:
+        print(f"no bench history at {history_path}; seed it with the "
+              f"pipeline bench or 'repro bench --record "
+              f"BENCH_pipeline.json'")
+        return 2
+    if not args.check:
+        latest = records[-1]
+        print(f"{len(records)} record(s) in {history_path}; latest: "
+              f"{len(latest['stages_s'])} stage(s), scenario "
+              f"{json.dumps(latest.get('scenario', {}), sort_keys=True)}")
+        return 0
+    report = check_history(records, tolerance=args.tolerance,
+                           abs_floor_s=args.abs_floor_s,
+                           window=args.window)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "convert": _cmd_convert,
@@ -706,6 +811,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "bench": _cmd_bench,
 }
 
 
@@ -759,20 +865,53 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     if policy is not None:
         configure_engine(policy=policy)
+    log_json = getattr(args, "log_json", None)
     try:
-        telemetry = getattr(args, "telemetry", None)
+        if log_json is not None:
+            configure_event_log(log_json)
+            # One invocation = one trace: every campaign this command
+            # runs (a streamed analyze runs two) joins the command's
+            # trace id instead of minting its own, so a single grep
+            # reconstructs the whole CLI flow.
+            with event_context(args.command, trace_id=new_trace_id()):
+                return _dispatch_with_obs(handler, args)
+        return _dispatch_with_obs(handler, args)
+    finally:
+        if log_json is not None:
+            configure_event_log(None)
+        if policy is not None:
+            configure_engine(policy=None)
+
+
+def _dispatch_with_obs(handler, args: argparse.Namespace) -> int:
+    """Run one subcommand under the requested observability wrappers.
+
+    Telemetry and the profiler both persist from ``finally`` blocks, so
+    a run that dies mid-campaign (chaos, Ctrl-C, a quarantine abort)
+    still leaves its span tree, metric dump, and profile on disk --
+    flush-on-failure is the whole point of post-mortem telemetry.
+    """
+    profile_dir = getattr(args, "profile", None)
+    telemetry = getattr(args, "telemetry", None)
+    profiler = SamplingProfiler().start() if profile_dir else None
+    try:
         if telemetry is None or args.command == "trace":
             # trace manages its own tracer (it renders the report itself).
             return _run_handler(handler, args)
         tracer = Tracer()
-        with tracing(tracer), scoped_registry() as registry:
-            code = _run_handler(handler, args)
-        for path in write_telemetry(telemetry, tracer, registry):
-            print(f"telemetry: wrote {path}")
-        return code
+        registry = None
+        try:
+            with tracing(tracer), scoped_registry() as registry:
+                return _run_handler(handler, args)
+        finally:
+            if registry is not None:
+                for path in write_telemetry(telemetry, tracer, registry):
+                    print(f"telemetry: wrote {path}")
     finally:
-        if policy is not None:
-            configure_engine(policy=None)
+        if profiler is not None:
+            profiler.stop()
+            for path in profiler.write(profile_dir):
+                print(f"profile: wrote {path}")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,15 @@ from repro.campaign.engine import configure_engine
 from repro.campaign.supervisor import CampaignAborted, build_policy
 from repro.errors import ConfigurationError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
-from repro.obs import Tracer, get_registry, tracing, write_telemetry
+from repro.obs import (
+    Tracer,
+    configure_event_log,
+    event_context,
+    get_registry,
+    new_trace_id,
+    tracing,
+    write_telemetry,
+)
 
 
 def main(argv: list[str]) -> int:
@@ -42,6 +50,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--telemetry", default=None, metavar="DIR",
                         help="write trace.jsonl / metrics.prom / "
                              "metrics.json for this run to DIR")
+    parser.add_argument("--log-json", default=None, metavar="PATH",
+                        help="append repro-events/1 JSON lines to PATH "
+                             "('-' = stderr); campaign workers inherit "
+                             "the target and trace id")
     parser.add_argument("--timeout-s", type=float, default=None, metavar="S",
                         help="kill and retry a campaign unit exceeding "
                              "S seconds of wall clock")
@@ -80,9 +92,16 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment(s): {unknown}; "
               f"have {sorted(EXPERIMENTS)}")
         return 2
+    if args.log_json is not None:
+        configure_event_log(args.log_json)
     tracer = Tracer() if args.telemetry else None
     try:
         with contextlib.ExitStack() as stack:
+            if args.log_json is not None:
+                # One invocation = one trace: every experiment campaign
+                # joins it instead of minting per-campaign ids.
+                stack.enter_context(
+                    event_context("experiments", trace_id=new_trace_id()))
             if tracer is not None:
                 stack.enter_context(tracing(tracer))
             for experiment_id in ids:
@@ -98,6 +117,8 @@ def main(argv: list[str]) -> int:
         return 4
     finally:
         configure_engine(policy=None)
+        if args.log_json is not None:
+            configure_event_log(None)
     cache = get_cache()
     if cache.enabled:
         # Read the registry, not the local CacheStats: campaign workers'

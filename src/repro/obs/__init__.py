@@ -24,10 +24,24 @@ both into the parent -- so a ``--jobs 8`` campaign produces exactly one
 trace whose totals equal the serial run's.
 """
 
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventLogger,
+    configure_event_log,
+    current_trace_id,
+    emit,
+    event_context,
+    new_trace_id,
+    read_events,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     scoped_registry,
+)
+from repro.obs.profiler import (
+    SamplingProfiler,
+    profiling,
 )
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
@@ -44,13 +58,23 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "EVENTS_SCHEMA",
+    "EventLogger",
     "MetricsRegistry",
+    "SamplingProfiler",
     "Span",
     "TELEMETRY_SCHEMA",
     "Tracer",
+    "configure_event_log",
     "current_tracer",
+    "current_trace_id",
+    "emit",
+    "event_context",
     "get_registry",
+    "new_trace_id",
     "normalized_events",
+    "profiling",
+    "read_events",
     "render_report",
     "scoped_registry",
     "span",

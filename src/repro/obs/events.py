@@ -1,0 +1,285 @@
+"""Correlated structured logging: one JSON-lines event stream per fleet.
+
+The paper's methodology is cross-layer log correlation -- joining
+millions of heterogeneous records by identifiers to explain *why* a run
+failed.  This module gives the pipeline the same power over itself: a
+dependency-free JSON-lines event logger (schema ``repro-events/1``)
+whose every line carries a ``trace_id``, so one grep reconstructs a
+campaign unit or a served request end-to-end across processes.
+
+Schema (one JSON object per line, sorted keys)::
+
+    ts        float   seconds since the epoch (the only wall-clock field)
+    level     str     "debug" | "info" | "warning" | "error"
+    event     str     what happened ("dispatch", "request", "bundle_load")
+    trace_id  str     correlation id shared by every event of one flow
+    span_id   str     deterministic id of the enclosing logical span
+    pid       int     emitting process (cross-process proof in tests)
+    ...attrs          event-specific keys (unit, attempt, status, ...)
+
+Trace-context propagation:
+
+* The **supervisor** mints one deterministic campaign ``trace_id`` from
+  the campaign key and stamps it (plus the log path) into each attempt
+  process's environment, so spawn workers emit into the *same* file
+  under the *same* trace id -- appends are one flushed ``write()`` per
+  line, so concurrent workers interleave whole lines, never fragments.
+* The **serve daemon** mints a fresh ``trace_id`` per request, returns
+  it as the ``X-Repro-Trace-Id`` response header, and threads it (via
+  the thread-local context stack) through query, bundle-load, and
+  eviction events.
+
+Flush-on-failure is structural, not best-effort: every emit is one
+flushed append, so a SIGKILL'd worker loses at most the line it was
+mid-writing, and an ``atexit`` hook closes the handle on clean exits.
+With no logger configured, :func:`emit` is a cheap no-op -- the
+instrumentation stays in production code paths.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+__all__ = ["EVENTS_SCHEMA", "LOG_ENV", "TRACE_ENV", "EventLogger",
+           "configure_event_log", "current_trace_id", "emit",
+           "event_context", "get_event_logger", "new_trace_id",
+           "normalized_event", "read_events"]
+
+EVENTS_SCHEMA = "repro-events/1"
+
+#: Environment variable carrying the event-log target into spawn
+#: workers ("-" = stderr, else a file path appended to).
+LOG_ENV = "REPRO_LOG_JSON"
+
+#: Environment variable carrying the ambient trace id into spawn
+#: workers (the supervisor stamps the campaign trace id here).
+TRACE_ENV = "REPRO_TRACE_ID"
+
+#: Event keys that vary run to run; stripped by :func:`normalized_event`
+#: so two seeded runs compare equal event-for-event.
+MEASUREMENT_EVENT_KEYS = ("ts", "pid", "duration_s")
+
+
+def new_trace_id(material: str | None = None) -> str:
+    """A 16-hex-char trace id.
+
+    With ``material`` the id is a content hash -- deterministic, which
+    is what makes campaign traces byte-stable under a fixed seed.
+    Without, it is random (per-request ids must be unique, not
+    reproducible).
+    """
+    if material is not None:
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+    return os.urandom(8).hex()
+
+
+def _span_id(trace_id: str | None, name: str, attrs: dict[str, Any]) -> str:
+    """Deterministic span id: a hash of (trace, name, attrs)."""
+    blob = json.dumps([trace_id, name, attrs], sort_keys=True,
+                      separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+class EventLogger:
+    """Appends ``repro-events/1`` lines to one stream.
+
+    Every emit is a single ``write`` of one newline-terminated line
+    followed by a flush: on a POSIX append-mode handle concurrent
+    processes interleave whole lines, and a crash after the flush loses
+    nothing -- this is what the flush-on-failure tests kill workers to
+    prove.
+    """
+
+    def __init__(self, target: str | Path):
+        self.target = str(target)
+        self._lock = threading.Lock()
+        self._stream: TextIO | None
+        if self.target == "-":
+            self._stream = sys.stderr
+            self._owns_stream = False
+        else:
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                          default=str)
+        with self._lock:
+            if self._stream is None:
+                return
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None and self._owns_stream:
+                self._stream.close()
+            self._stream = None
+
+
+#: The process-wide logger.  ``_env_checked`` makes the no-logger fast
+#: path one attribute read after the first emit in a process that has
+#: no $REPRO_LOG_JSON either.
+_logger: EventLogger | None = None
+_env_checked = False
+_config_lock = threading.Lock()
+
+
+def configure_event_log(target: str | Path | None, *,
+                        export_env: bool = True) -> EventLogger | None:
+    """Install (or clear) the process-wide event logger.
+
+    ``target`` is a path (appended to), ``"-"`` (stderr), or ``None``
+    (disable).  With ``export_env`` the target is also stamped into
+    ``$REPRO_LOG_JSON`` so spawn workers inherit it -- the cross-process
+    half of the correlation story.
+    """
+    global _logger, _env_checked
+    with _config_lock:
+        if _logger is not None:
+            _logger.close()
+        _env_checked = True
+        if target is None:
+            _logger = None
+            if export_env:
+                os.environ.pop(LOG_ENV, None)
+            return None
+        _logger = EventLogger(target)
+        if export_env:
+            os.environ[LOG_ENV] = _logger.target
+        return _logger
+
+
+def get_event_logger() -> EventLogger | None:
+    """The active logger, auto-configured from ``$REPRO_LOG_JSON``.
+
+    The env fallback is what lights up spawn workers: the parent stamps
+    the environment, the worker's first :func:`emit` finds it here.
+    """
+    global _logger, _env_checked
+    if _logger is not None:
+        return _logger
+    if _env_checked:
+        return None
+    with _config_lock:
+        if _logger is None and not _env_checked:
+            _env_checked = True
+            target = os.environ.get(LOG_ENV, "").strip()
+            if target:
+                _logger = EventLogger(target)
+    return _logger
+
+
+@atexit.register
+def _close_at_exit() -> None:
+    if _logger is not None:
+        _logger.close()
+
+
+class _ContextStack(threading.local):
+    """Per-thread stack of ``(trace_id, span_id, attrs)`` frames.
+
+    Thread-local for the same reason the tracer stack is: the daemon's
+    handler threads each carry their own request context, and a context
+    pushed on the main thread must not bleed into them.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[tuple[str | None, str | None,
+                               dict[str, Any]]] = []
+
+
+_contexts = _ContextStack()
+
+
+def current_trace_id() -> str | None:
+    """The innermost context's trace id, else ``$REPRO_TRACE_ID``."""
+    stack = _contexts.stack
+    if stack and stack[-1][0] is not None:
+        return stack[-1][0]
+    ambient = os.environ.get(TRACE_ENV, "").strip()
+    return ambient or None
+
+
+@contextmanager
+def event_context(name: str, *, trace_id: str | None = None,
+                  **attrs: Any) -> Iterator[str | None]:
+    """Bind a trace id + attributes to every emit in this thread's block.
+
+    ``trace_id=None`` inherits the enclosing context (or the ambient
+    ``$REPRO_TRACE_ID`` a parent process stamped).  The span id is a
+    deterministic hash of (trace, name, attrs), so two seeded runs mint
+    identical span ids.  Yields the effective trace id.
+    """
+    effective = trace_id if trace_id is not None else current_trace_id()
+    stack = _contexts.stack
+    merged = dict(stack[-1][2]) if stack else {}
+    merged.update(attrs)
+    sid = _span_id(effective, name, attrs)
+    stack.append((effective, sid, merged))
+    try:
+        yield effective
+    finally:
+        stack.pop()
+
+
+def emit(event: str, *, level: str = "info", **attrs: Any) -> None:
+    """Append one event line (no-op without a configured logger)."""
+    logger = get_event_logger()
+    if logger is None:
+        return
+    stack = _contexts.stack
+    trace_id, span_id, context_attrs = (
+        stack[-1] if stack else (current_trace_id(), None, {}))
+    record: dict[str, Any] = {
+        "ts": round(time.time(), 6),
+        "level": level,
+        "event": event,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "pid": os.getpid(),
+    }
+    record.update(context_attrs)
+    record.update(attrs)
+    logger.write(record)
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """All intact event records in ``path``; a torn tail truncates,
+    never raises (the same stance as the campaign journal)."""
+    records: list[dict[str, Any]] = []
+    try:
+        with open(path, "rb") as handle:
+            for raw in handle:
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    break
+                if not isinstance(record, dict):
+                    break
+                records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def normalized_event(record: dict[str, Any]) -> dict[str, Any]:
+    """An event with its measurement fields stripped.
+
+    What remains (event, level, trace/span ids, attributes) is the
+    deterministic skeleton two seeded runs must share; the continuity
+    tests compare exactly this.
+    """
+    return {k: v for k, v in record.items()
+            if k not in MEASUREMENT_EVENT_KEYS}

@@ -49,11 +49,28 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
                    30.0, 60.0, 300.0)
 
 
+def _escape_label_value(value: Any) -> str:
+    """Label-value escaping per the Prometheus text format: backslash,
+    double quote, and line feed must be escaped or the exposition line
+    tears (a defect string containing a quote would otherwise corrupt
+    every scrape of that family)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP-text escaping: backslash and line feed only (quotes are
+    legal in help strings)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _series(name: str, labels: dict[str, Any]) -> str:
-    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted,
+    values escaped per the exposition spec)."""
     if not labels:
         return name
-    rendered = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    rendered = ",".join(f'{k}="{_escape_label_value(labels[k])}"'
+                        for k in sorted(labels))
     return f"{name}{{{rendered}}}"
 
 
@@ -81,6 +98,42 @@ def _format_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+#: ``# HELP`` text for the well-known metric families; families not
+#: listed fall back to a generated line (every family always gets both
+#: HELP and TYPE headers -- scrapers and linters expect the pair).
+_FAMILY_HELP = {
+    "campaign_cache_hits_total": "Persistent result-cache hits.",
+    "campaign_cache_misses_total": "Persistent result-cache misses.",
+    "campaign_cache_stores_total": "Persistent result-cache stores.",
+    "campaign_supervisor_attempts_total":
+        "Supervised unit attempts dispatched.",
+    "campaign_supervisor_failures_total":
+        "Supervised attempts that failed (any classification).",
+    "campaign_supervisor_quarantined_total":
+        "Units quarantined after exhausting retries.",
+    "campaign_supervisor_resumed_total":
+        "Units restored from the campaign journal.",
+    "campaign_supervisor_retries_total": "Supervised attempt retries.",
+    "campaign_supervisor_timeouts_total":
+        "Attempts killed as hung or stalled.",
+    "campaign_units_total": "Campaign units submitted.",
+    "campaign_workers": "Concurrent campaign worker processes.",
+    "ingest_records_total": "Log records ingested, by stream.",
+    "loadgen_requests_total": "Load-generator requests issued, by config.",
+    "logdiver_analyses_total": "Complete LogDiver analyses.",
+    "serve_bundle_cache_total": "Warm-handle LRU lookups, by result.",
+    "serve_bundle_evictions_total": "Warm bundle handles evicted.",
+    "serve_bundle_loads_total": "Cold bundle loads into the LRU.",
+    "serve_latency_seconds": "Request-handling latency, by endpoint.",
+    "serve_requests_total": "HTTP requests served, by endpoint and status.",
+    "serve_result_cache_total": "Response-byte cache lookups, by result.",
+}
+
+
+def _family_help(base: str) -> str:
+    return _FAMILY_HELP.get(base, f"repro metric {base}.")
 
 
 class MetricsRegistry:
@@ -188,10 +241,14 @@ class MetricsRegistry:
     # -- exposition ---------------------------------------------------------
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition (``# TYPE`` headers + samples).
+        """Prometheus text exposition (``# HELP``/``# TYPE`` headers +
+        samples).
 
         Renders from a :meth:`snapshot` so a scrape racing concurrent
-        writes sees one consistent point in time.
+        writes sees one consistent point in time.  Every family gets a
+        HELP and a TYPE line exactly once, and label values are escaped
+        at write time (:func:`_series`), so arbitrary defect strings or
+        bundle names cannot tear the exposition.
         """
         snap = self.snapshot()
         lines: list[str] = []
@@ -201,6 +258,8 @@ class MetricsRegistry:
             base = _base_name(series)
             if base not in seen_types:
                 seen_types.add(base)
+                lines.append(f"# HELP {base} "
+                             f"{_escape_help(_family_help(base))}")
                 lines.append(f"# TYPE {base} {kind}")
 
         for series, value in snap["counters"].items():

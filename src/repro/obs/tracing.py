@@ -33,7 +33,8 @@ except ImportError:  # non-POSIX: spans still trace, memory reads as 0
     resource = None  # type: ignore[assignment]
 
 __all__ = ["Span", "Tracer", "span", "tracing", "current_tracer",
-           "normalized_events", "MEASUREMENT_KEYS", "MEASUREMENT_ATTRS"]
+           "normalized_events", "active_span_name", "MEASUREMENT_KEYS",
+           "MEASUREMENT_ATTRS"]
 
 #: Event fields that carry measurements (vary run to run); everything
 #: else -- names, nesting, order, attributes -- must be deterministic.
@@ -43,6 +44,18 @@ MEASUREMENT_KEYS = ("t_start_s", "duration_s", "rss_peak_kb")
 #: spans attach per-worker peak RSS); stripped alongside the event
 #: fields so the determinism contract covers them too.
 MEASUREMENT_ATTRS = ("peak_rss_kb",)
+
+#: Open-span names per thread ident, maintained by :meth:`Tracer.span`
+#: so the sampling profiler (:mod:`repro.obs.profiler`) can attribute a
+#: stack sample to the span the sampled thread is inside.  Each thread
+#: mutates only its own list; the sampler reads under the GIL.
+_active_spans: dict[int, list[str]] = {}
+
+
+def active_span_name(ident: int) -> str | None:
+    """The innermost open span name on thread ``ident`` (profiler use)."""
+    stack = _active_spans.get(ident)
+    return stack[-1] if stack else None
 
 
 def _rss_peak_kb() -> int:
@@ -139,12 +152,19 @@ class Tracer:
         parent = self._stack[-1] if self._stack else None
         (parent.children if parent else self.roots).append(sp)
         self._stack.append(sp)
+        ident = threading.get_ident()
+        _active_spans.setdefault(ident, []).append(name)
         sp._begin()
         try:
             yield sp
         finally:
             sp._end()
             self._stack.pop()
+            names = _active_spans.get(ident)
+            if names:
+                names.pop()
+                if not names:
+                    _active_spans.pop(ident, None)
 
     @property
     def current(self) -> Span | None:

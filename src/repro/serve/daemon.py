@@ -9,12 +9,22 @@ concurrency/parity against a live socket.
 
 Endpoints::
 
-    GET  /healthz   liveness; 503 while draining for shutdown
-    GET  /bundles   registered bundles + warm-handle state
-    POST /analyze   {"bundle": name, "window": [lo,hi]?, "lenient"?,
-                     "stream"?, "shards"?, "jobs"?} -> analyze document
-    POST /validate  same body -> oracle-verdict document
-    GET  /metrics   Prometheus exposition of the process registry
+    GET  /healthz        liveness; 503 while draining for shutdown
+    GET  /bundles        registered bundles + warm-handle state
+    POST /analyze        {"bundle": name, "window": [lo,hi]?, "lenient"?,
+                         "stream"?, "shards"?, "jobs"?} -> analyze document
+    POST /validate       same body -> oracle-verdict document
+    GET  /metrics        Prometheus exposition of the process registry
+    GET  /debug/status   uptime, warm LRU contents, in-flight count,
+                         rolling latency quantiles
+    GET  /debug/profile  ?seconds=N -- sample the live process and
+                         return collapsed stacks + hot-function table
+
+Correlation: every response carries an ``X-Repro-Trace-Id`` header
+(minted per request, or echoed from the same request header if the
+client sent one); with ``--log-json`` active, request, bundle-load, and
+eviction events all carry that id, so one grep reconstructs a slow
+request end-to-end.
 
 Concurrency model: handler threads share one :class:`BundleCache`
 (bounded LRU of warm ``LogBundle`` handles, single-flight loading so a
@@ -39,14 +49,17 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
 from repro.errors import ReproError
 from repro.logs.bundle import LogBundle, read_bundle
+from repro.obs.events import emit, event_context, new_trace_id
 from repro.obs.metrics import get_registry
+from repro.obs.profiler import SamplingProfiler
 from repro.serve import queries
 from repro.serve.queries import QueryError
 
@@ -58,6 +71,14 @@ _MAX_BODY_BYTES = 64 * 1024
 
 #: How many distinct query responses the byte cache keeps.
 _RESULT_CACHE_SIZE = 256
+
+#: Rolling latency window behind /debug/status quantiles.
+_LATENCY_RING_SIZE = 512
+
+#: /debug/profile sample-window clamp (seconds).
+_PROFILE_MIN_S = 0.05
+_PROFILE_MAX_S = 30.0
+_PROFILE_DEFAULT_S = 5.0
 
 
 class BundleCache:
@@ -101,15 +122,22 @@ class BundleCache:
                                      result="hit")
                     return bundle
             registry.counter("serve_bundle_cache_total", result="miss")
+            started = time.perf_counter()
             bundle = loader()
+            emit("bundle_load", bundle=key[0], lenient=key[1],
+                 duration_s=round(time.perf_counter() - started, 6))
+            evicted: list[tuple[str, bool]] = []
             with self._lock:
                 self._loaded[key] = bundle
                 self._loaded.move_to_end(key)
                 registry.counter("serve_bundle_loads_total")
                 while len(self._loaded) > self.capacity:
-                    self._loaded.popitem(last=False)
+                    old_key, _ = self._loaded.popitem(last=False)
+                    evicted.append(old_key)
                     registry.counter("serve_bundle_evictions_total")
                 self._gates.pop(key, None)
+            for old_key in evicted:
+                emit("bundle_evict", bundle=old_key[0], lenient=old_key[1])
             return bundle
 
     def loaded_keys(self) -> list[tuple[str, bool]]:
@@ -197,6 +225,10 @@ class ServeApp:
         #: it, never raise it past this cap).
         self.jobs = jobs
         self._draining = threading.Event()
+        self.started_at = time.time()
+        self._stats_lock = threading.Lock()
+        self._inflight = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_RING_SIZE)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -211,10 +243,35 @@ class ServeApp:
 
     # -- request handling ----------------------------------------------------
 
-    def handle(self, method: str, path: str,
-               body: bytes) -> tuple[int, str, bytes]:
-        """(status, content type, response body) for one request."""
+    def handle(self, method: str, path: str, body: bytes, *,
+               query: str = "", trace_id: str | None = None
+               ) -> tuple[int, str, bytes]:
+        """(status, content type, response body) for one request.
+
+        ``trace_id`` (minted per request by the HTTP shim) is bound as
+        the event context for everything this request does -- the query,
+        any cold bundle load, any eviction it triggers -- so the event
+        log joins against the ``X-Repro-Trace-Id`` the client saw.
+        """
         route = (method.upper(), path.rstrip("/") or "/")
+        start = time.perf_counter()
+        with self._stats_lock:
+            self._inflight += 1
+        try:
+            with event_context("request", trace_id=trace_id,
+                               method=route[0], path=route[1]):
+                status, content_type, payload = self._dispatch(route, body,
+                                                               query)
+                emit("request", status=status, bytes=len(payload),
+                     duration_s=round(time.perf_counter() - start, 6))
+                return (status, content_type, payload)
+        finally:
+            with self._stats_lock:
+                self._inflight -= 1
+                self._latencies.append(time.perf_counter() - start)
+
+    def _dispatch(self, route: tuple[str, str], body: bytes,
+                  query: str) -> tuple[int, str, bytes]:
         if route == ("GET", "/healthz"):
             return self._healthz()
         if route == ("GET", "/bundles"):
@@ -222,11 +279,15 @@ class ServeApp:
         if route == ("GET", "/metrics"):
             return (200, "text/plain; version=0.0.4; charset=utf-8",
                     get_registry().render_prometheus().encode("utf-8"))
+        if route == ("GET", "/debug/status"):
+            return self._debug_status()
+        if route == ("GET", "/debug/profile"):
+            return self._debug_profile(query)
         if route == ("POST", "/analyze"):
             return self._query(queries.analyze_document, body)
         if route == ("POST", "/validate"):
             return self._query(queries.validate_document, body)
-        return self._error(f"no such endpoint: {method.upper()} {path}",
+        return self._error(f"no such endpoint: {route[0]} {route[1]}",
                            status=404)
 
     def _healthz(self) -> tuple[int, str, bytes]:
@@ -247,6 +308,55 @@ class ServeApp:
         return self._json(200, {"bundles": rows,
                                 "max_loaded": self.cache.capacity})
 
+    def _debug_status(self) -> tuple[int, str, bytes]:
+        """Operator snapshot: uptime, warm LRU, in-flight, latency tail.
+
+        ``in_flight`` counts this request too -- a quiet daemon answers 1.
+        Quantiles are nearest-rank over the rolling latency ring, so the
+        p95 reflects recent traffic, not the whole process lifetime.
+        """
+        with self._stats_lock:
+            inflight = self._inflight
+            window = sorted(self._latencies)
+        def quantile(q: float) -> float | None:
+            if not window:
+                return None
+            return round(window[int(q * (len(window) - 1))], 6)
+        loaded = [{"bundle": name, "lenient": lenient}
+                  for name, lenient in sorted(self.cache.loaded_keys())]
+        return self._json(200, {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "bundles": sorted(self.bundles),
+            "loaded": loaded,
+            "max_loaded": self.cache.capacity,
+            "in_flight": inflight,
+            "latency": {"window": len(window),
+                        "p50_s": quantile(0.50),
+                        "p95_s": quantile(0.95)},
+        })
+
+    def _debug_profile(self, query: str) -> tuple[int, str, bytes]:
+        """Sample the live process for ``?seconds=N`` and return the
+        hot-function table plus collapsed stacks as text.
+
+        The sleep happens on this handler's thread; the threading server
+        keeps answering other requests, which is exactly what the sampler
+        then observes.
+        """
+        raw = parse_qs(query).get("seconds", [str(_PROFILE_DEFAULT_S)])[-1]
+        try:
+            seconds = float(raw)
+        except ValueError:
+            return self._error(f"seconds must be a number, got {raw!r}",
+                               status=400)
+        seconds = min(max(seconds, _PROFILE_MIN_S), _PROFILE_MAX_S)
+        profiler = SamplingProfiler().start()
+        time.sleep(seconds)
+        profiler.stop()
+        text = profiler.render_table() + "\n\n" + profiler.collapsed()
+        return (200, "text/plain; charset=utf-8", text.encode("utf-8"))
+
     def _query(self, build_document, body: bytes) -> tuple[int, str, bytes]:
         try:
             params = self._parse_body(body)
@@ -266,6 +376,8 @@ class ServeApp:
                                          shards=shards),
                 sort_keys=True, separators=(",", ":"))
             cached = self.results.get(cache_key)
+            emit("query", kind=kind, bundle=name, stream=stream,
+                 cached=cached is not None)
             if cached is not None:
                 return (200, "application/json", cached)
             bundle = None
@@ -353,17 +465,23 @@ class _Handler(BaseHTTPRequestHandler):
     #: Endpoint label for metrics: known paths verbatim, the rest pooled
     #: so a scanner cannot mint unbounded label values.
     _ENDPOINTS = frozenset({"/healthz", "/bundles", "/metrics",
-                            "/analyze", "/validate"})
+                            "/analyze", "/validate",
+                            "/debug/status", "/debug/profile"})
 
     def _respond(self, method: str) -> None:
         start = time.perf_counter()
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         endpoint = path if path in self._ENDPOINTS else "other"
+        # Echo the client's trace id if it sent one (lets a caller tie
+        # our events into its own trace), else mint a fresh one.
+        trace_id = (self.headers.get("X-Repro-Trace-Id") or "").strip() \
+            or new_trace_id()
         try:
             length = int(self.headers.get("Content-Length") or 0)
             body = self.rfile.read(length) if length else b""
-            status, content_type, payload = self.app.handle(method, path,
-                                                            body)
+            status, content_type, payload = self.app.handle(
+                method, path, body, query=query, trace_id=trace_id)
         except Exception as bad:  # never kill the handler thread
             status, content_type, payload = self.app._error(
                 f"internal error: {bad}", status=500)
@@ -375,6 +493,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        self.send_header("X-Repro-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(payload)
 

@@ -43,9 +43,13 @@ __all__ = ["LoadPoint", "RequestResult", "RunRow", "build_mix",
            "RUN_TABLE_FIELDS", "cold_cli_seconds"]
 
 #: run_table.csv column order (stable: downstream tooling keys on it).
+#: ``trace_id`` is the slowest request's ``X-Repro-Trace-Id`` -- the
+#: grep handle joining each config's worst latency to the daemon's
+#: event log.
 RUN_TABLE_FIELDS = ("config", "workers", "requests_per_worker",
                     "total_requests", "duration_s", "throughput_rps",
-                    "p50_ms", "p95_ms", "p99_ms", "failure_rate")
+                    "p50_ms", "p95_ms", "p99_ms", "failure_rate",
+                    "trace_id")
 
 #: Query-mix weights: mostly analyze (the hot endpoint), a windowed
 #: share to defeat the response cache, a validate share, and a trickle
@@ -79,6 +83,7 @@ class RequestResult:
 
     latency_s: float
     status: int
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -99,6 +104,7 @@ class RunRow:
     p95_ms: float
     p99_ms: float
     failure_rate: float
+    trace_id: str = ""
 
     def as_record(self) -> dict[str, str]:
         return {
@@ -112,6 +118,7 @@ class RunRow:
             "p95_ms": f"{self.p95_ms:.3f}",
             "p99_ms": f"{self.p99_ms:.3f}",
             "failure_rate": f"{self.failure_rate:.4f}",
+            "trace_id": self.trace_id,
         }
 
 
@@ -186,18 +193,20 @@ def _client_worker(host: str, port: int, plan: list[_PlannedRequest],
             if request.body is not None:
                 headers["Content-Type"] = "application/json"
             start = time.perf_counter()
+            trace_id = ""
             try:
                 connection.request(request.method, request.path,
                                    body=request.body, headers=headers)
                 response = connection.getresponse()
                 response.read()
                 status = response.status
+                trace_id = response.getheader("X-Repro-Trace-Id") or ""
             except OSError:
                 status = 599  # connection-level failure
                 connection.close()
                 connection = HTTPConnection(host, port, timeout=300.0)
             results.append(RequestResult(time.perf_counter() - start,
-                                         status))
+                                         status, trace_id))
     finally:
         connection.close()
 
@@ -223,6 +232,7 @@ def _run_point(host: str, port: int, bundle_dirs: dict[str, Path],
     flat = [r for bucket in results for r in bucket]
     latencies = sorted(r.latency_s for r in flat)
     failures = sum(1 for r in flat if not r.ok)
+    slowest = max(flat, key=lambda r: r.latency_s, default=None)
     return RunRow(
         config=point.label,
         workers=point.workers,
@@ -234,6 +244,7 @@ def _run_point(host: str, port: int, bundle_dirs: dict[str, Path],
         p95_ms=percentile(latencies, 0.95) * 1000,
         p99_ms=percentile(latencies, 0.99) * 1000,
         failure_rate=failures / len(flat) if flat else 0.0,
+        trace_id=slowest.trace_id if slowest is not None else "",
     )
 
 

@@ -1,0 +1,209 @@
+"""Perf-regression sentinel: history records, tolerance bands, CLI gate.
+
+Acceptance from the observability-v2 PR: ``bench --check`` exits 0 on
+the committed seeded baseline and exits non-zero *naming the stage*
+when the latest record is doctored upward.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.history import (
+    DEFAULT_ABS_FLOOR_S,
+    HISTORY_SCHEMA,
+    append_record,
+    check_history,
+    load_history,
+    record_from_bench,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_SCENARIO = {"days": 2.0, "thinning": 0.02, "seed": 1}
+
+
+def _record(stages: dict[str, float], scenario: dict | None = None) -> dict:
+    return {"schema": HISTORY_SCHEMA, "recorded_at": 1.0,
+            "scenario": dict(_SCENARIO if scenario is None else scenario),
+            "stages_s": dict(stages)}
+
+
+def _history(*stage_maps: dict[str, float]) -> list[dict]:
+    return [_record(stages) for stages in stage_maps]
+
+
+class TestRecordFromBench:
+    def test_keeps_the_comparison_slice(self):
+        payload = {"schema": "bench-pipeline/4",
+                   "scenario": {"days": 2.0, "seed": 1},
+                   "runs": 100, "clusters": 7,
+                   "stages_s": {"analyze": 1.5, "simulate": 0.5},
+                   "logdiver_stages_s": {"assemble": 1.0},
+                   "trace": {"span_events": 9}}
+        record = record_from_bench(payload, recorded_at=5.0)
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["bench_schema"] == "bench-pipeline/4"
+        assert record["recorded_at"] == 5.0
+        assert record["runs"] == 100 and record["clusters"] == 7
+        assert record["stages_s"] == {"analyze": 1.5,
+                                      "logdiver/assemble": 1.0,
+                                      "simulate": 0.5}
+        assert "trace" not in record
+
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        first = _record({"analyze": 1.0})
+        second = _record({"analyze": 1.1})
+        append_record(path, first)
+        append_record(path, second)
+        assert load_history(path) == [first, second]
+
+    def test_torn_tail_truncates(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, _record({"analyze": 1.0}))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "bench-history/1", "stages')
+        assert len(load_history(path)) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestCheckHistory:
+    def test_empty_history_refused(self):
+        with pytest.raises(ValueError):
+            check_history([])
+
+    def test_single_record_passes_with_no_baseline(self):
+        report = check_history(_history({"analyze": 10.0}))
+        assert report.passed
+        assert report.baseline_records == 0
+        (verdict,) = report.verdicts
+        assert verdict.baseline_s is None
+
+    def test_doctored_inflation_names_the_stage(self):
+        report = check_history(_history(
+            {"analyze": 10.0, "simulate": 5.0},
+            {"analyze": 10.5, "simulate": 5.1},
+            {"analyze": 9.8, "simulate": 4.9},
+            {"analyze": 25.0, "simulate": 5.0}))
+        assert not report.passed
+        assert [v.stage for v in report.regressed] == ["analyze"]
+        assert "REGRESSION: analyze" in report.render()
+
+    def test_within_band_passes(self):
+        report = check_history(_history({"analyze": 10.0},
+                                        {"analyze": 10.2},
+                                        {"analyze": 11.0}))
+        assert report.passed
+
+    def test_abs_floor_shields_millisecond_stages(self):
+        # 8x relative blowup, but far under the absolute floor.
+        latest = DEFAULT_ABS_FLOOR_S * 0.8
+        report = check_history(_history({"classify": 0.02},
+                                        {"classify": latest}))
+        assert report.passed
+
+    def test_median_baseline_absorbs_one_outlier(self):
+        report = check_history(_history({"analyze": 10.0},
+                                        {"analyze": 60.0},  # one noisy run
+                                        {"analyze": 10.2},
+                                        {"analyze": 11.0}))
+        assert report.passed
+
+    def test_other_scenarios_do_not_poison_the_baseline(self):
+        quick = _record({"analyze": 0.1}, scenario={"days": 0.1})
+        report = check_history(
+            [quick, quick, _record({"analyze": 10.0})])
+        assert report.passed
+        assert report.baseline_records == 0
+
+    def test_window_bounds_the_baseline(self):
+        ancient = [_record({"analyze": 1.0})] * 10
+        recent = [_record({"analyze": 10.0})] * 3
+        report = check_history(ancient + recent + [_record(
+            {"analyze": 11.0})], window=3)
+        assert report.baseline_records == 3
+        assert report.passed
+
+    def test_stage_tolerance_override(self):
+        records = _history({"rss_probe_memory": 10.0},
+                           {"rss_probe_memory": 15.0})
+        # 50% over baseline: outside the default 35% band, inside the
+        # 60% override the RSS probes get.
+        assert check_history(records).passed
+        assert not check_history(
+            records, stage_tolerance={"rss_probe_memory": 0.35}).passed
+
+    def test_new_stage_has_no_baseline(self):
+        report = check_history(_history(
+            {"analyze": 10.0},
+            {"analyze": 10.1, "brand_new": 3.0}))
+        by_stage = {v.stage: v for v in report.verdicts}
+        assert by_stage["brand_new"].baseline_s is None
+        assert report.passed
+
+
+class TestBenchCli:
+    def _seed(self, path: Path, *stage_maps: dict[str, float]) -> None:
+        for stages in stage_maps:
+            append_record(path, _record(stages))
+
+    def test_check_passes_on_healthy_history(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        self._seed(path, {"analyze": 10.0}, {"analyze": 10.4})
+        assert main(["bench", "--check", "--history", str(path)]) == 0
+        assert "all stages within tolerance" in capsys.readouterr().out
+
+    def test_check_fails_naming_the_stage(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        self._seed(path, {"analyze": 10.0}, {"analyze": 30.0})
+        assert main(["bench", "--check", "--history", str(path)]) == 1
+        assert "REGRESSION: analyze" in capsys.readouterr().out
+
+    def test_check_refuses_an_unseeded_history(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        assert main(["bench", "--check", "--history", str(path)]) == 2
+        assert "no bench history" in capsys.readouterr().out
+
+    def test_record_appends_then_check_gates(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        baseline = {"schema": "bench-pipeline/4", "scenario": _SCENARIO,
+                    "runs": 10, "clusters": 2,
+                    "stages_s": {"analyze": 10.0},
+                    "logdiver_stages_s": {"assemble": 2.0}}
+        payload_path = tmp_path / "BENCH_pipeline.json"
+        payload_path.write_text(json.dumps(baseline))
+        assert main(["bench", "--record", str(payload_path),
+                     "--history", str(history)]) == 0
+        doctored = dict(baseline, stages_s={"analyze": 40.0})
+        payload_path.write_text(json.dumps(doctored))
+        assert main(["bench", "--record", str(payload_path),
+                     "--history", str(history), "--check"]) == 1
+
+    def test_record_refuses_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench", "--record", str(bad),
+                     "--history", str(tmp_path / "h.jsonl")]) == 2
+        bad.write_text('{"no_stages": true}')
+        assert main(["bench", "--record", str(bad),
+                     "--history", str(tmp_path / "h.jsonl")]) == 2
+
+    def test_summary_without_flags(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        self._seed(path, {"analyze": 10.0})
+        assert main(["bench", "--history", str(path)]) == 0
+        assert "1 record(s)" in capsys.readouterr().out
+
+    def test_committed_seed_history_passes_the_gate(self, capsys):
+        """The acceptance check CI runs: the repo ships a seeded history
+        and the sentinel must exit 0 on it."""
+        seeded = REPO_ROOT / "benchmarks" / "history.jsonl"
+        assert load_history(seeded), "benchmarks/history.jsonl not seeded"
+        assert main(["bench", "--check", "--history", str(seeded)]) == 0

@@ -273,6 +273,37 @@ class TestMetrics:
         assert "stage_s_count 2" in text
         assert text.endswith("\n")
 
+    def test_every_family_carries_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_requests_total", endpoint="/healthz")
+        registry.counter("made_up_total", 2)
+        text = registry.render_prometheus()
+        # A known family gets its curated help; an unknown one still
+        # gets the HELP/TYPE pair scrapers and linters expect.
+        for line in ("# HELP serve_requests_total",
+                     "# TYPE serve_requests_total counter",
+                     "# HELP made_up_total repro metric made_up_total.",
+                     "# TYPE made_up_total counter"):
+            assert any(row.startswith(line)
+                       for row in text.splitlines()), line
+        # Exactly one HELP per family, no matter how many series.
+        registry.counter("serve_requests_total", endpoint="/metrics")
+        text = registry.render_prometheus()
+        assert text.count("# HELP serve_requests_total") == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("quarantined_total", 1,
+                         defect='say "hi"\nback\\slash')
+        text = registry.render_prometheus()
+        assert ('quarantined_total{defect="say \\"hi\\"\\n'
+                'back\\\\slash"} 1') in text
+        # The exposition still parses line by line: no raw newline
+        # splits a sample.
+        sample_lines = [line for line in text.splitlines()
+                        if line.startswith("quarantined_total{")]
+        assert len(sample_lines) == 1
+
     def test_scoped_registry_isolates_and_restores(self):
         ambient = get_registry()
         with scoped_registry() as inner:

@@ -1,0 +1,204 @@
+"""Correlated event logging: schema, contexts, propagation plumbing.
+
+The in-process half of the observability-v2 contract: every line is
+schema-complete, contexts nest and inherit trace ids, the env round-trip
+that lights up spawn workers works, and the reader survives torn tails.
+The cross-process half (real spawn workers, the serve daemon) lives in
+``test_trace_continuity.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import events as events_mod
+from repro.obs.events import (
+    LOG_ENV,
+    MEASUREMENT_EVENT_KEYS,
+    TRACE_ENV,
+    configure_event_log,
+    current_trace_id,
+    emit,
+    event_context,
+    get_event_logger,
+    new_trace_id,
+    normalized_event,
+    read_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logger():
+    """Every test starts and ends with no logger and no ambient trace."""
+    configure_event_log(None)
+    events_mod._env_checked = False
+    os.environ.pop(TRACE_ENV, None)
+    yield
+    configure_event_log(None)
+    events_mod._env_checked = False
+    os.environ.pop(TRACE_ENV, None)
+
+
+class TestTraceIds:
+    def test_material_is_deterministic(self):
+        assert new_trace_id(material="campaign/x/0") \
+            == new_trace_id(material="campaign/x/0")
+        assert new_trace_id(material="campaign/x/0") \
+            != new_trace_id(material="campaign/x/1")
+
+    def test_random_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_shape(self):
+        for trace_id in (new_trace_id(), new_trace_id(material="m")):
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # hex
+
+
+class TestEmit:
+    def test_record_carries_the_schema_fields(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        with event_context("unit", trace_id="feedfacefeedface", unit=3):
+            emit("unit_start", level="debug", extra="x")
+        (record,) = read_events(log)
+        assert record["event"] == "unit_start"
+        assert record["level"] == "debug"
+        assert record["trace_id"] == "feedfacefeedface"
+        assert record["pid"] == os.getpid()
+        assert record["unit"] == 3
+        assert record["extra"] == "x"
+        assert isinstance(record["ts"], float)
+        assert len(record["span_id"]) == 12
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        emit("solo")
+        line = log.read_text().strip()
+        record = json.loads(line)
+        assert line == json.dumps(record, sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_emit_without_logger_is_a_noop(self, tmp_path):
+        emit("nothing", unit=1)  # must not raise
+        assert get_event_logger() is None
+
+    def test_emit_outside_context_uses_ambient_trace(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        os.environ[TRACE_ENV] = "aaaabbbbccccdddd"
+        emit("ambient")
+        (record,) = read_events(log)
+        assert record["trace_id"] == "aaaabbbbccccdddd"
+        assert record["span_id"] is None
+
+
+class TestContexts:
+    def test_nested_context_inherits_trace_and_merges_attrs(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        with event_context("campaign", trace_id="1111222233334444"):
+            with event_context("unit", unit=0, attempt=1) as effective:
+                assert effective == "1111222233334444"
+                emit("unit_start")
+        (record,) = read_events(log)
+        assert record["trace_id"] == "1111222233334444"
+        assert record["unit"] == 0
+        assert record["attempt"] == 1
+
+    def test_span_ids_are_deterministic(self):
+        with event_context("unit", trace_id="ab" * 8, unit=2):
+            first = events_mod._contexts.stack[-1][1]
+        with event_context("unit", trace_id="ab" * 8, unit=2):
+            second = events_mod._contexts.stack[-1][1]
+        with event_context("unit", trace_id="ab" * 8, unit=3):
+            third = events_mod._contexts.stack[-1][1]
+        assert first == second
+        assert first != third
+
+    def test_context_pops_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with event_context("unit", trace_id="cd" * 8):
+                raise RuntimeError("boom")
+        assert events_mod._contexts.stack == []
+        assert current_trace_id() is None
+
+    def test_threads_carry_independent_contexts(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        barrier = threading.Barrier(2)
+
+        def work(trace_id: str) -> None:
+            with event_context("request", trace_id=trace_id):
+                barrier.wait()  # both contexts open at once
+                emit("request")
+
+        threads = [threading.Thread(target=work, args=(f"{i:016x}",))
+                   for i in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        traces = sorted(r["trace_id"] for r in read_events(log))
+        assert traces == [f"{1:016x}", f"{2:016x}"]
+
+
+class TestPropagationPlumbing:
+    def test_configure_exports_and_clears_env(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        assert os.environ[LOG_ENV] == str(log)
+        configure_event_log(None)
+        assert LOG_ENV not in os.environ
+
+    def test_worker_autoconfigures_from_env(self, tmp_path):
+        """What a spawn worker does: no explicit configure, just the
+        inherited environment."""
+        log = tmp_path / "worker.jsonl"
+        os.environ[LOG_ENV] = str(log)
+        os.environ[TRACE_ENV] = "feedbeeffeedbeef"
+        try:
+            emit("worker_event", unit=7)
+        finally:
+            os.environ.pop(LOG_ENV, None)
+        (record,) = read_events(log)
+        assert record["trace_id"] == "feedbeeffeedbeef"
+        assert record["unit"] == 7
+
+    def test_stderr_target(self, capsys):
+        configure_event_log("-")
+        emit("to_stderr")
+        configure_event_log(None)
+        err = capsys.readouterr().err
+        assert '"event":"to_stderr"' in err
+
+
+class TestReader:
+    def test_torn_tail_truncates(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        configure_event_log(log)
+        emit("one")
+        emit("two")
+        configure_event_log(None)
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 1.0, "event": "torn"')  # no newline, torn
+        records = read_events(log)
+        assert [r["event"] for r in records] == ["one", "two"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_normalized_event_strips_measurements(self):
+        record = {"ts": 1.0, "pid": 42, "duration_s": 0.5,
+                  "event": "attempt", "trace_id": "ab" * 8, "unit": 1}
+        normalized = normalized_event(record)
+        assert normalized == {"event": "attempt", "trace_id": "ab" * 8,
+                              "unit": 1}
+        for key in MEASUREMENT_EVENT_KEYS:
+            assert key not in normalized

@@ -331,3 +331,73 @@ class TestLiveDaemon:
             daemon.shutdown()
         with pytest.raises(OSError):
             _http(daemon, "GET", "/healthz")
+
+
+class TestDebugEndpoints:
+    def test_status_reports_uptime_and_cache(self, app, bundle_dir):
+        status, content_type, body = app.handle("GET", "/debug/status", b"")
+        assert status == 200
+        assert content_type == "application/json"
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["bundles"] == ["b"]
+        assert doc["uptime_s"] >= 0
+        assert doc["max_loaded"] == app.cache.capacity
+        # The status request itself is in flight while it answers.
+        assert doc["in_flight"] == 1
+        # Nothing has finished yet on this fresh app, so the ring is empty.
+        assert doc["latency"]["window"] == 0
+        assert doc["latency"]["p50_s"] is None
+
+    def test_status_sees_warm_handles_and_latencies(self, app):
+        post(app, "/analyze", {"bundle": "b"})
+        _, _, body = app.handle("GET", "/debug/status", b"")
+        doc = json.loads(body)
+        assert {"bundle": "b", "lenient": False} in doc["loaded"]
+        assert doc["latency"]["window"] >= 1
+        assert doc["latency"]["p50_s"] is not None
+        assert doc["latency"]["p95_s"] >= doc["latency"]["p50_s"]
+
+    def test_status_reflects_drain(self, app):
+        app.begin_drain()
+        _, _, body = app.handle("GET", "/debug/status", b"")
+        assert json.loads(body)["status"] == "draining"
+
+    def test_profile_returns_collapsed_text(self, app):
+        status, content_type, body = app.handle(
+            "GET", "/debug/profile", b"", query="seconds=0.001")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "sampling profile:" in body.decode("utf-8")
+
+    def test_profile_rejects_garbage_seconds(self, app):
+        status, _, body = app.handle("GET", "/debug/profile", b"",
+                                     query="seconds=soon")
+        assert status == 400
+        assert "seconds" in json.loads(body)["error"]["message"]
+
+    def test_debug_status_over_the_wire(self, live):
+        status, body = _http(live, "GET", "/debug/status")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_profile_over_the_wire_names_a_busy_function(self, live):
+        """The sampler runs inside the daemon process (in-process here),
+        so a busy thread with a distinctive function name must show up
+        in the collapsed stacks."""
+        stop = threading.Event()
+
+        def _profile_burn():
+            while not stop.is_set():
+                sum(i * i for i in range(500))
+
+        thread = threading.Thread(target=_profile_burn, daemon=True)
+        thread.start()
+        try:
+            status, body = _http(live, "GET",
+                                 "/debug/profile?seconds=0.5")
+        finally:
+            stop.set()
+            thread.join()
+        assert status == 200
+        assert "_profile_burn" in body.decode("utf-8")

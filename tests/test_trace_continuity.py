@@ -1,0 +1,255 @@
+"""Cross-process trace continuity: one grep reconstructs any flow.
+
+The end-to-end acceptance of the observability-v2 PR, in three parts:
+
+* a supervised ``--jobs 2`` campaign writes one *connected* event log:
+  every parent and spawn-worker line carries the same campaign trace
+  id, each unit has its dispatch -> unit_start -> unit_done chain, and
+  the normalized log is byte-stable across two same-seed runs;
+* a SIGKILL'd chaos worker still leaves its ``unit_start`` trail --
+  flush-on-failure is structural (one flushed append per event);
+* every daemon response carries a unique ``X-Repro-Trace-Id`` that
+  appears in the event log, and the load generator records the slowest
+  request's id per config row in ``run_table.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.campaign.supervisor import (
+    SupervisorPolicy,
+    campaign_key,
+    run_supervised,
+)
+from repro.obs import events as events_mod
+from repro.obs.events import (
+    TRACE_ENV,
+    configure_event_log,
+    event_context,
+    new_trace_id,
+    normalized_event,
+    read_events,
+)
+from repro.serve.daemon import ServeApp, ServeDaemon
+from repro.serve.loadgen import (
+    RUN_TABLE_FIELDS,
+    LoadPoint,
+    run_loadtest,
+)
+from repro.util.rngs import RngFactory
+
+
+def _traced_unit(value: int, seed: int) -> tuple[int, int]:
+    """Module-level so spawn attempt processes can pickle it."""
+    rng = RngFactory(seed + value).get("test/trace-continuity")
+    return value, int(rng.integers(0, 1_000_000))
+
+
+def _units(n: int, seed: int = 9) -> list[dict]:
+    return [dict(value=i, seed=seed) for i in range(n)]
+
+
+def _policy(journal_dir, **overrides) -> SupervisorPolicy:
+    overrides.setdefault("journal_dir", str(journal_dir))
+    overrides.setdefault("retries", 1)
+    overrides.setdefault("heartbeat_s", 0.2)
+    overrides.setdefault("backoff_base_s", 0.01)
+    overrides.setdefault("backoff_cap_s", 0.05)
+    return SupervisorPolicy(**overrides)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logger():
+    configure_event_log(None)
+    events_mod._env_checked = False
+    os.environ.pop(TRACE_ENV, None)
+    yield
+    configure_event_log(None)
+    events_mod._env_checked = False
+    os.environ.pop(TRACE_ENV, None)
+
+
+def _run_logged_campaign(tmp_path, tag: str, *, jobs: int = 2,
+                         n_units: int = 3, **policy_overrides):
+    log = tmp_path / f"{tag}.jsonl"
+    configure_event_log(log)
+    try:
+        policy = _policy(tmp_path / f"journal-{tag}", **policy_overrides)
+        report = run_supervised(_traced_unit, _units(n_units),
+                                policy=policy, jobs=jobs)
+    finally:
+        configure_event_log(None)
+    return report, read_events(log)
+
+
+class TestCampaignContinuity:
+    def test_one_connected_trace_across_processes(self, tmp_path):
+        report, events = _run_logged_campaign(tmp_path, "jobs2", jobs=2)
+        assert report.accounting.complete
+
+        # Every line -- parent and workers -- carries the campaign id.
+        traces = {e["trace_id"] for e in events}
+        assert len(traces) == 1
+        expected = new_trace_id(
+            material=f"campaign/{campaign_key('_traced_unit', _units(3))}/0")
+        assert traces == {expected}
+
+        # Cross-process proof: at least the parent plus one spawn worker.
+        assert len({e["pid"] for e in events}) >= 2
+
+        names = [e["event"] for e in events]
+        assert names[0] == "campaign_begin"
+        assert names[-1] == "campaign_end"
+        for unit in range(3):
+            chain = [e["event"] for e in events if e.get("unit") == unit]
+            for expected_event in ("dispatch", "unit_start", "unit_result",
+                                   "attempt", "unit_done"):
+                assert expected_event in chain, (unit, chain)
+            # The worker observed the dispatch before reporting back.
+            assert chain.index("dispatch") < chain.index("unit_start") \
+                < chain.index("unit_done")
+
+    def test_normalized_log_is_byte_stable_under_seed(self, tmp_path):
+        """Two same-seed serial runs must emit identical normalized
+        events -- measurement fields (ts, pid, durations) stripped,
+        everything else byte-for-byte."""
+        _, first = _run_logged_campaign(tmp_path, "stable-a", jobs=1)
+        _, second = _run_logged_campaign(tmp_path, "stable-b", jobs=1)
+        normalize = [json.dumps(normalized_event(e), sort_keys=True)
+                     for e in first]
+        repeat = [json.dumps(normalized_event(e), sort_keys=True)
+                  for e in second]
+        assert normalize == repeat
+
+    def test_sigkilled_worker_leaves_its_trail(self, tmp_path):
+        """chaos crash@0 SIGKILLs unit 0's first attempt mid-unit; the
+        flushed unit_start must survive, and the retry completes the
+        chain under the same trace id."""
+        report, events = _run_logged_campaign(tmp_path, "chaos",
+                                              jobs=2, chaos="crash@0",
+                                              retries=2)
+        assert report.accounting.complete
+        starts = [e for e in events
+                  if e["event"] == "unit_start" and e.get("unit") == 0]
+        assert len(starts) >= 2  # the killed attempt and its retry
+        assert starts[0]["attempt"] == 0
+        crashed = [e for e in events if e["event"] == "attempt"
+                   and e.get("unit") == 0 and e["status"] == "crashed"]
+        assert crashed, "the crashed attempt was not classified"
+        assert len({e["trace_id"] for e in events}) == 1
+
+    def test_ambient_trace_env_is_restored(self, tmp_path):
+        os.environ[TRACE_ENV] = "0123456789abcdef"
+        _run_logged_campaign(tmp_path, "restore", jobs=1, n_units=1)
+        assert os.environ[TRACE_ENV] == "0123456789abcdef"
+
+    def test_campaign_joins_an_ambient_trace(self, tmp_path):
+        """A campaign opened inside an existing flow (a CLI invocation,
+        a daemon request) adopts that trace instead of minting its own
+        -- a streamed analyze runs two phase campaigns and both must
+        answer to one grep."""
+        log = tmp_path / "ambient.jsonl"
+        configure_event_log(log)
+        try:
+            with event_context("cli", trace_id="feedfacecafebeef"):
+                for tag in ("phase1", "phase2"):
+                    policy = _policy(tmp_path / f"journal-{tag}")
+                    run_supervised(_traced_unit, _units(2, seed=3),
+                                   policy=policy, jobs=2)
+        finally:
+            configure_event_log(None)
+        events = read_events(log)
+        assert {e["trace_id"] for e in events} == {"feedfacecafebeef"}
+        assert [e["event"] for e in events].count("campaign_begin") == 2
+        assert len({e["pid"] for e in events}) >= 2
+
+
+def _request(daemon: ServeDaemon, method: str, path: str, payload=None,
+             headers=None):
+    connection = HTTPConnection(daemon.host, daemon.port, timeout=120.0)
+    try:
+        body = None if payload is None \
+            else json.dumps(payload).encode("utf-8")
+        sent = dict(headers or {})
+        if body is not None:
+            sent["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=sent)
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, response.getheader("X-Repro-Trace-Id"), data
+    finally:
+        connection.close()
+
+
+class TestServeContinuity:
+    def test_every_response_joins_the_event_log(self, bundle_dir, tmp_path):
+        log = tmp_path / "serve-events.jsonl"
+        configure_event_log(log)
+        app = ServeApp({"b": bundle_dir})
+        daemon = ServeDaemon(app).start_background()
+        try:
+            seen = []
+            for _ in range(2):
+                status, trace_id, _ = _request(
+                    daemon, "POST", "/analyze", {"bundle": "b"})
+                assert status == 200
+                seen.append(trace_id)
+            status, trace_id, _ = _request(daemon, "GET", "/healthz")
+            assert status == 200
+            seen.append(trace_id)
+        finally:
+            daemon.shutdown()
+            configure_event_log(None)
+
+        # Unique, well-formed ids on every response.
+        assert len(set(seen)) == 3
+        for trace_id in seen:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+        events = read_events(log)
+        requests = {e["trace_id"]: e for e in events
+                    if e["event"] == "request"}
+        for trace_id in seen:
+            assert trace_id in requests
+        # The cold bundle load happened inside the first request's
+        # context -- same trace id, so the slow first hit is explicable
+        # from the log alone.
+        (load,) = [e for e in events if e["event"] == "bundle_load"]
+        assert load["trace_id"] == seen[0]
+        # The second identical query was answered from the result cache.
+        queries = [e for e in events if e["event"] == "query"]
+        assert [q["cached"] for q in queries] == [False, True]
+
+    def test_client_supplied_trace_id_is_echoed(self, bundle_dir):
+        app = ServeApp({"b": bundle_dir})
+        daemon = ServeDaemon(app).start_background()
+        try:
+            _, trace_id, _ = _request(
+                daemon, "GET", "/healthz",
+                headers={"X-Repro-Trace-Id": "cafecafecafecafe"})
+        finally:
+            daemon.shutdown()
+        assert trace_id == "cafecafecafecafe"
+
+
+class TestLoadgenTraceColumn:
+    def test_run_table_records_the_slowest_request_id(self, bundle_dir,
+                                                      tmp_path):
+        assert RUN_TABLE_FIELDS[-1] == "trace_id"
+        out = tmp_path / "run_table.csv"
+        rows = run_loadtest({"b": bundle_dir}, [LoadPoint(2, 4)],
+                            seed=11, out=out)
+        assert all(len(row.trace_id) == 16 for row in rows)
+        with open(out, newline="") as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == list(RUN_TABLE_FIELDS)
+            table = list(reader)
+        assert len(table) == 1
+        int(table[0]["trace_id"], 16)
