@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Ten subcommands mirror how the tool is used at a site::
+The subcommands mirror how the tool is used at a site::
 
     python -m repro simulate --days 30 --thinning 0.02 --seed 7 out/bundle
+    python -m repro simulate --realtime --rate 86400 out/live-bundle
     python -m repro convert out/bundle
     python -m repro analyze out/bundle
+    python -m repro follow out/live-bundle --interval 0.5 --lateness 3600
     python -m repro baseline out/bundle
     python -m repro validate
     python -m repro trace small --days 5
@@ -32,6 +34,13 @@ subcommands also take ``--log-json PATH`` (correlated ``repro-events/1``
 JSON lines; ``-`` = stderr), ``analyze``/``trace`` take ``--profile
 DIR`` (sampling profiler output), and ``bench`` runs the perf-regression
 sentinel over ``benchmarks/history.jsonl``.
+
+``follow`` tails a *growing* bundle (e.g. one being written by
+``simulate --realtime``) through :mod:`repro.live`: complete-line
+micro-batches flow through the normal classifiers into incrementally
+merged partial products, printing one summary line per tick under
+event-time watermark semantics; once the feed quiesces the final
+summary is byte-identical to a one-shot ``analyze`` of the same bundle.
 
 The serving trio (:mod:`repro.serve`): ``query`` prints one canonical
 analyze/validate document -- the exact bytes the daemon would serve, so
@@ -144,6 +153,52 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-benign", action="store_true",
                           help="skip never-fatal noise events (faster, "
                                "but filtering stats become trivial)")
+    simulate.add_argument("--realtime", action="store_true",
+                          help="write the bundle incrementally as a live "
+                               "feed (manifest/nodemap first, then log "
+                               "lines appended at --rate event-seconds "
+                               "per second) so 'repro follow' can tail it")
+    simulate.add_argument("--rate", type=float, default=86400.0, metavar="N",
+                          help="with --realtime: event-seconds fed per "
+                               "wall second (default 86400 = one "
+                               "simulated day per second)")
+    simulate.add_argument("--feed-interval", type=float, default=0.25,
+                          metavar="S",
+                          help="with --realtime: wall seconds between "
+                               "appends (default 0.25)")
+    simulate.add_argument("--max-wall-s", type=float, default=None,
+                          metavar="S",
+                          help="with --realtime: drain whatever remains "
+                               "after S wall seconds (the bundle always "
+                               "ends complete)")
+
+    follow = sub.add_parser(
+        "follow", help="tail a growing bundle and print the incremental "
+                       "analysis summary per tick (watermark semantics)")
+    follow.add_argument("bundle", help="bundle directory (may still be "
+                                       "empty; waits for manifest.json)")
+    follow.add_argument("--interval", type=float, default=0.5, metavar="S",
+                        help="poll interval in wall seconds (default 0.5)")
+    follow.add_argument("--lateness", type=float, default=3600.0,
+                        metavar="S",
+                        help="event-time lateness bound: records may "
+                             "arrive up to S event-seconds behind the "
+                             "maximum seen timestamp and still be "
+                             "incorporated exactly (default 3600)")
+    follow.add_argument("--lenient", action="store_true",
+                        help="quarantine malformed records (reported) "
+                             "instead of aborting on the first one")
+    follow.add_argument("--idle-ticks", type=int, default=6, metavar="N",
+                        help="stop after N consecutive polls with no new "
+                             "data once something was seen (default 6; "
+                             "0 = follow forever)")
+    follow.add_argument("--wait-s", type=float, default=30.0, metavar="S",
+                        help="how long to wait for manifest.json to "
+                             "appear before giving up (default 30)")
+    follow.add_argument("--out", default=None, metavar="FILE",
+                        help="write the final live document (canonical "
+                             "JSON, repro-live/1) to FILE on exit")
+    _add_obs_flags(follow)
 
     convert = sub.add_parser(
         "convert", help="build the columnar sidecar (repro-bundle/2) "
@@ -286,6 +341,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                        help="cap on worker processes a streamed query "
                             "may request (default: serial)")
+    serve.add_argument("--live", action="store_true",
+                       help="enable GET /live: tail each requested bundle "
+                            "in the background and serve the incremental "
+                            "summary + watermark")
+    serve.add_argument("--live-interval", type=float, default=0.5,
+                       metavar="S",
+                       help="live follower poll interval (default 0.5)")
+    serve.add_argument("--live-lateness", type=float, default=3600.0,
+                       metavar="S",
+                       help="live event-time lateness bound (default 3600)")
     _add_obs_flags(serve)
 
     loadtest = sub.add_parser(
@@ -368,8 +433,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     start = time.time()
     result = scenario.run()
     print(f"ground truth: {result.summary()} [{time.time() - start:.1f}s]")
-    write_bundle(result, args.output, seed=args.seed)
-    print(f"bundle written to {args.output}")
+    if args.realtime:
+        from repro.sim.feed import BundleFeed
+
+        feed = BundleFeed(result, args.output, seed=args.seed)
+        feed.write_static()
+        total = feed.total_lines
+        print(f"feeding {total} lines to {args.output} at "
+              f"{args.rate:g} event-s/s (manifest written; "
+              f"follow it with: python -m repro follow {args.output})",
+              flush=True)
+
+        def _progress(event_t: float, delivered: int) -> None:
+            if delivered:
+                print(f"  fed {feed.delivered_lines}/{total} lines "
+                      f"(event t={event_t:.0f}s)", flush=True)
+
+        feed.run_realtime(rate=args.rate, interval_s=args.feed_interval,
+                          max_wall_s=args.max_wall_s, on_tick=_progress)
+        print(f"feed drained; bundle complete at {args.output}")
+    else:
+        write_bundle(result, args.output, seed=args.seed)
+        print(f"bundle written to {args.output}")
     return 0
 
 
@@ -510,6 +595,72 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     summary = analysis.summary()
     print(f"\nsystem-failure share: {summary['system_failure_share']:.4f}")
     print(f"failed node-hour share: {summary['failed_node_hour_share']:.4f}")
+    return 0
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    import os
+    import sys
+
+    from repro.live.engine import LiveAnalyzer
+    from repro.logs.follow import TailFollower
+
+    deadline = time.monotonic() + args.wait_s
+    manifest_path = f"{args.bundle}/manifest.json"
+    while not os.path.exists(manifest_path):
+        if time.monotonic() >= deadline:
+            print(f"no manifest.json in {args.bundle} after "
+                  f"{args.wait_s:g}s; is the feed running?",
+                  file=sys.stderr)
+            return 2
+        time.sleep(min(0.1, args.interval))
+
+    engine = LiveAnalyzer(args.bundle, lateness_s=args.lateness,
+                          strict=not args.lenient)
+    follower = TailFollower(args.bundle)
+    idle = 0
+    try:
+        while True:
+            batches = follower.poll()
+            if batches:
+                idle = 0
+                engine.ingest(batches)
+            elif engine.records_in:
+                idle += 1
+                if args.idle_ticks and idle >= args.idle_ticks:
+                    break
+            stats = engine.advance()
+            if batches or stats.released or stats.sealed:
+                released = engine.released_s
+                mark = (f"{released:.0f}s"
+                        if released > float("-inf") else "-")
+                summary = engine.products().summary()
+                print(f"[tick {engine.ticks}] watermark={mark} "
+                      f"runs={engine.acc.n_runs} "
+                      f"share={summary['system_failure_share']:.4f} "
+                      f"clusters={engine.n_clusters} "
+                      f"sealed=+{stats.sealed} "
+                      f"buffered={len(engine._heap)} "
+                      f"late={engine.late_total}", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("\ninterrupted; finalizing...", flush=True)
+    document = engine.finalize()
+    result = document["result"]
+    print(f"final: {engine.acc.n_runs} runs, "
+          f"{engine.n_clusters} clusters, "
+          f"system-failure share "
+          f"{result['summary']['system_failure_share']:.4f}, "
+          f"{engine.late_total} late record(s), "
+          f"{engine.resyncs} resync(s)")
+    if args.lenient:
+        print(engine.report.render())
+    if args.out:
+        from repro.serve.queries import document_bytes
+
+        with open(args.out, "wb") as handle:
+            handle.write(document_bytes(document))
+        print(f"live document -> {args.out}")
     return 0
 
 
@@ -670,7 +821,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         bundles = parse_bundle_specs(args.bundles)
-        app = ServeApp(bundles, max_loaded=args.max_loaded, jobs=args.jobs)
+        app = ServeApp(bundles, max_loaded=args.max_loaded, jobs=args.jobs,
+                       live=args.live, live_interval_s=args.live_interval,
+                       live_lateness_s=args.live_lateness)
     except ValueError as bad:
         print(f"bad serve configuration: {bad}")
         return 2
@@ -805,6 +958,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "convert": _cmd_convert,
     "analyze": _cmd_analyze,
+    "follow": _cmd_follow,
     "baseline": _cmd_baseline,
     "validate": _cmd_validate,
     "trace": _cmd_trace,

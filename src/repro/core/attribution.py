@@ -200,14 +200,19 @@ def _spatially_related(cluster: ErrorCluster, run: RunView,
 
 def attribute_clusters(runs: list[RunView], clusters: list[ErrorCluster],
                        bundle: LogBundle, config: LogDiverConfig,
-                       *, failed_only: bool = True
+                       *, failed_only: bool = True,
+                       index: SpatialIndex | None = None
                        ) -> dict[int, list[Attribution]]:
     """All causal hypotheses, keyed by apid.
 
     ``failed_only`` restricts the join to runs that did not exit 0 --
     attribution exists to explain failures (and it keeps the join small).
+    ``index`` lets a caller that attributes repeatedly against the same
+    bundle (the live engine seals runs every tick) reuse one
+    :class:`SpatialIndex` instead of rebuilding it per call.
     """
-    index = SpatialIndex(bundle)
+    if index is None:
+        index = SpatialIndex(bundle)
     candidates = [r for r in runs
                   if not failed_only or r.exit_code != 0
                   or r.exit_signal != 0 or r.launch_error]

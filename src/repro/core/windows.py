@@ -9,6 +9,7 @@ rates -- the F9 "stability over time" figure of our reconstruction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.categorize import DiagnosedOutcome, DiagnosedRun
@@ -54,14 +55,17 @@ def sliced_stats(diagnosed: list[DiagnosedRun],
         raise AnalysisError("slice_days must be positive")
     if window.duration <= 0:
         raise AnalysisError("analysis window must have positive duration")
-    n_slices = max(1, int(window.duration / (slice_days * DAY) + 0.999))
+    n_slices = max(1, math.ceil(window.duration / (slice_days * DAY)))
     slices = [Interval(window.start + i * slice_days * DAY,
                        min(window.end,
                            window.start + (i + 1) * slice_days * DAY))
               for i in range(n_slices)]
 
     def slice_of(t: float) -> int | None:
-        if t < window.start or t >= window.end:
+        # The analysis window is closed-interval ([lo, hi], matching the
+        # serve query semantics): a run ending exactly on ``window.end``
+        # belongs to the final slice, not to no slice at all.
+        if t < window.start or t > window.end:
             return None
         return min(int((t - window.start) / (slice_days * DAY)),
                    n_slices - 1)

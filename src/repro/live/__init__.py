@@ -1,0 +1,12 @@
+"""Incremental, never-recompute-from-scratch analysis (live LogDiver).
+
+``repro.live`` turns the post-mortem pipeline into a fleet monitor:
+micro-batches from a tail-follower flow through the existing
+classifiers into :class:`repro.core.merge.RunAccumulator` partials that
+are merged -- never recomputed -- into a continuously-updated summary,
+under event-time watermark semantics.  See :mod:`repro.live.engine`.
+"""
+
+from repro.live.engine import LiveAnalyzer, TickStats
+
+__all__ = ["LiveAnalyzer", "TickStats"]

@@ -1,0 +1,556 @@
+"""The live analysis engine: watermarks, finality, exact merges.
+
+The one-shot pipeline reads a finished bundle and recomputes everything
+from scratch.  This engine consumes the same records as an unbounded
+stream of micro-batches and maintains the same products incrementally,
+so that when the stream quiesces, :meth:`LiveAnalyzer.finalize` yields
+a result block *byte-identical* (canonical JSON) to a one-shot
+``analyze`` of the final bundle.  Every piece of state is bounded by
+the attribution look-back halo, mirroring ``core.sharding``.
+
+Event-time machinery
+--------------------
+Records carry event timestamps but arrive in file-append order, which a
+real collector only loosely correlates with event time.  The engine
+keeps two frontiers:
+
+* the **watermark** ``W = max_event_seen - lateness``: the engine's
+  promise about how disordered the stream may be;
+* the **released frontier** ``R``: the highest ``W`` acted upon so far
+  (monotone).  Error records sit in a bounded reorder buffer until
+  their time drops at or below ``R``; then they are released as one
+  time-slice segment.
+
+A record *arriving* with ``t <= R`` is **beyond the watermark**: its
+time slice has already been sealed into tuples, so it cannot be
+incorporated exactly.  It is counted (per stream, with the maximum
+observed lag) and excluded -- never silently dropped: it still appears
+in the ingest ``parsed`` accounting and in ``late_records``.  When the
+reorder buffer would exceed its bound, the oldest records are force
+released (advancing ``R`` beyond ``W``) and the event is counted.
+
+Why the increments are exact
+----------------------------
+* **Tupling.**  Successive release segments are disjoint, time-ordered
+  slices each containing *every* record in its range -- precisely the
+  contract of :func:`repro.core.filtering.merge_error_tuples`, which is
+  associative, so folding segment tuples into the running tuple list
+  equals one global tupling pass.
+
+* **Cluster finality.**  Spatial coalescing chains same-category tuples
+  whose *starts* are within ``spatial_window`` of the chain's frontier.
+  A future record has ``t > R``; it can extend an existing tuple's end
+  only when that end is above ``R - tupling_window``, and any new tuple
+  starts above ``R``.  Hence a chain group whose members all end below
+  ``R - (tupling_window + spatial_window + 1)`` can never gain a
+  member, lose a member, or grow -- it is *final* and is coalesced into
+  clusters exactly once.  Live (non-final) groups are left pending.
+
+* **Attribution order.**  The one-shot path numbers clusters by content
+  order ``(start, end, category, components)`` and breaks attribution
+  ties by ``(scope priority, cluster_id)``.  Finalization order need
+  not match global content order, so at seal time the halo-filtered
+  final clusters are re-numbered by the same content key: a subset of a
+  totally ordered set keeps its relative order, so the winning
+  hypothesis -- and therefore the diagnosis -- is the same.
+
+* **Run sealing.**  A failed run is diagnosed only when nothing that
+  could still explain it is in motion: every cluster overlapping its
+  influence interval is final, i.e. ``run.end + 1`` is below both ``R``
+  and the earliest live tuple start.  Runs that never consult clusters
+  (success, walltime, launch errors) are diagnosed on arrival.
+  Diagnoses feed :class:`repro.core.merge.RunAccumulator`, whose
+  exact-float merges are order-independent.
+
+* **Retention.**  A final cluster is kept only while some pending or
+  future run could still join with it -- the same look-back-halo bound
+  ``core.sharding`` uses, applied against the earliest pending start
+  (open starts, unsealed runs, or ``R`` for runs yet to arrive, which
+  always end above ``R``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.core.attribution import SpatialIndex, attribute_clusters
+from repro.core.categorize import categorize_runs
+from repro.core.config import LogDiverConfig
+from repro.core.filtering import (
+    ErrorCluster,
+    ErrorTuple,
+    merge_error_tuples,
+    spatial_coalescing,
+    temporal_tupling,
+)
+from repro.core.ingest import (
+    NodeAnnotator,
+    RunView,
+    build_run_view,
+    classify_error_records,
+)
+from repro.core.merge import RunAccumulator, summary_dict
+from repro.logs.alps import parse_alps
+from repro.logs.bundle import LogBundle, parse_nodemap_file, read_manifest
+from repro.logs.errorlogs import parse_stream
+from repro.logs.follow import FileBatch
+from repro.logs.quarantine import IngestReport
+from repro.logs.records import AlpsRecord, ErrorLogRecord, TorqueRecord
+from repro.logs.torque import parse_torque
+from repro.obs.events import emit
+from repro.obs.metrics import get_registry
+
+__all__ = ["LiveAnalyzer", "TickStats", "result_block"]
+
+_INF = float("inf")
+
+#: bundle file -> error-stream source name (as the parsers know it).
+_ERROR_SOURCES = {"syslog.log": "syslog", "hwerr.log": "hwerrlog",
+                  "console.log": "console"}
+
+#: metrics/accounting stream label per bundle file.
+_STREAM_LABELS = {"syslog.log": "syslog", "hwerr.log": "hwerrlog",
+                  "console.log": "console", "torque.log": "torque",
+                  "apsys.log": "alps"}
+
+
+def _cluster_key(c: ErrorCluster) -> tuple:
+    """The content order ``spatial_coalescing`` numbers clusters by."""
+    return (c.start_s, c.end_s, c.category.value, c.components)
+
+
+@dataclass
+class TickStats:
+    """What one :meth:`LiveAnalyzer.advance` tick did."""
+
+    released: int = 0
+    sealed: int = 0
+    new_clusters: int = 0
+    forced: int = 0
+
+
+@dataclass
+class LiveProducts:
+    """Duck-typed for the query layer's result block (like
+    ``StreamedAnalysis``): the incremental analysis products."""
+
+    n_runs: int
+    breakdown: Any
+    causes: dict
+    clusters: range
+    unclassified_records: int
+    ingest: IngestReport
+    mtbf_all: Any
+    xe_curve: Any
+    xk_curve: Any
+
+    def summary(self) -> dict[str, float]:
+        return summary_dict(self.n_runs, self.breakdown, self.mtbf_all,
+                            self.xe_curve, self.xk_curve)
+
+
+def result_block(products: LiveProducts) -> dict[str, Any]:
+    """The query layer's result body over live products.
+
+    Mirrors ``repro.serve.queries._result_block`` (the live package must
+    not import ``repro.serve`` -- the daemon imports *us*); the test
+    suite pins the two shapes equal, and the parity acceptance pins the
+    bytes equal to a one-shot analyze.
+    """
+    return {
+        "summary": dict(products.summary()),
+        "outcomes": {outcome.value: count
+                     for outcome, count in sorted(
+                         products.breakdown.counts.items(),
+                         key=lambda kv: kv[0].value)},
+        "causes": {category.value: count
+                   for category, count in sorted(
+                       products.causes.items(),
+                       key=lambda kv: kv[0].value)},
+        "clusters": len(products.clusters),
+        "unclassified_records": products.unclassified_records,
+        "ingest": products.ingest.as_dict(),
+    }
+
+
+class LiveAnalyzer:
+    """Incremental LogDiver over a growing bundle directory.
+
+    Feed it follower micro-batches with :meth:`ingest`, then call
+    :meth:`advance` to move the watermark, release buffered records,
+    finalize clusters, and seal runs.  :meth:`document` snapshots the
+    current incremental summary at any time; :meth:`finalize` drains
+    everything once the stream has quiesced.
+    """
+
+    def __init__(self, directory: str | Path, *,
+                 config: LogDiverConfig | None = None,
+                 lateness_s: float = 60.0,
+                 strict: bool = True,
+                 max_buffer_records: int = 1_000_000) -> None:
+        self.directory = Path(directory)
+        self.config = config or LogDiverConfig()
+        self.lateness_s = float(lateness_s)
+        self.strict = strict
+        self.max_buffer_records = max_buffer_records
+
+        self.manifest, self.epoch = read_manifest(self.directory)
+        self.report = IngestReport()
+        nodemap = parse_nodemap_file(self.directory, strict=strict,
+                                     report=self.report)
+        self._annotator = NodeAnnotator(nodemap)
+        # A record-free bundle shell: attribution needs the manifest
+        # (torus geometry) and nodemap, never the record bodies.
+        self._shell = LogBundle(directory=self.directory, epoch=self.epoch,
+                                manifest=self.manifest, nodemap=nodemap)
+        self._index: SpatialIndex | None = None
+
+        self.acc = RunAccumulator.for_config(self.config)
+        self._seq = 0
+        #: reorder buffer: (time_s, seq, ErrorLogRecord) min-heap.
+        self._heap: list[tuple[float, int, ErrorLogRecord]] = []
+        self.max_event_s = -_INF
+        self.released_s = -_INF
+        self._live_tuples: list[ErrorTuple] = []
+        self._final_clusters: list[ErrorCluster] = []
+        self.n_clusters = 0
+        self._open_starts: dict[int, AlpsRecord] = {}
+        self._user_by_job: dict[str, str] = {}
+        self._pending_runs: list[RunView] = []
+        self.n_runs = 0
+        self.unclassified = 0
+        self.late_records: dict[str, int] = {}
+        self.late_total = 0
+        self.max_late_lag_s = 0.0
+        self.forced_releases = 0
+        self.resyncs = 0
+        self.ticks = 0
+        self.batches = 0
+        self.records_in = 0
+        self._finalized = False
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest(self, batches: list[FileBatch]) -> int:
+        """Parse follower batches and admit their records.
+
+        alps/torque records are acted on immediately in arrival order
+        (exactly the order a one-shot parse of the final file pairs
+        them in); error records enter the reorder buffer.  Returns the
+        number of records admitted.
+        """
+        if self._finalized:
+            raise RuntimeError("LiveAnalyzer is finalized")
+        admitted = 0
+        registry = get_registry()
+        for batch in batches:
+            if batch.resynced:
+                self.resyncs += 1
+                emit("live_resync", file=batch.filename,
+                     level="warning")
+            stream = _STREAM_LABELS.get(batch.filename)
+            if stream is None:
+                continue
+            self.batches += 1
+            registry.counter("live_batches_total", stream=stream)
+            emit("batch_begin", stream=stream, lines=len(batch.lines),
+                 first_lineno=batch.first_lineno)
+            for record in self._parse(batch):
+                self.records_in += 1
+                t = record.time_s
+                if t <= self.released_s:
+                    self._record_late(stream, t)
+                    continue
+                admitted += 1
+                if t > self.max_event_s:
+                    self.max_event_s = t
+                if isinstance(record, ErrorLogRecord):
+                    self._seq += 1
+                    heapq.heappush(self._heap, (t, self._seq, record))
+                elif isinstance(record, TorqueRecord):
+                    self._user_by_job[record.job_id] = record.user
+                else:
+                    self._admit_alps(record)
+            registry.counter("live_records_total", len(batch.lines),
+                             stream=stream)
+        return admitted
+
+    def _parse(self, batch: FileBatch):
+        source = _ERROR_SOURCES.get(batch.filename)
+        if source is not None:
+            return parse_stream(source, batch.lines, self.epoch,
+                                strict=self.strict, report=self.report,
+                                first_lineno=batch.first_lineno)
+        if batch.filename == "torque.log":
+            return parse_torque(batch.lines, self.epoch,
+                                strict=self.strict, report=self.report,
+                                first_lineno=batch.first_lineno)
+        return parse_alps(batch.lines, self.epoch,
+                          strict=self.strict, report=self.report,
+                          first_lineno=batch.first_lineno)
+
+    def _record_late(self, stream: str, t: float) -> None:
+        self.late_records[stream] = self.late_records.get(stream, 0) + 1
+        self.late_total += 1
+        lag = self.released_s - t
+        if lag > self.max_late_lag_s:
+            self.max_late_lag_s = lag
+        get_registry().counter("live_late_records_total", stream=stream)
+        emit("live_late_record", level="warning", stream=stream,
+             time_s=t, lag_s=lag)
+
+    def _admit_alps(self, record: AlpsRecord) -> None:
+        """Pair apsys records in arrival order, as ``assemble_runs`` does
+        over the final file."""
+        if record.kind == "start":
+            self._open_starts[record.apid] = record
+            return
+        start = None
+        if record.kind == "end":
+            start = self._open_starts.pop(record.apid, None)
+            if start is None:
+                self.report.record_unpaired_end()
+        run = build_run_view(record, start, self._user_by_job,
+                             self._annotator)
+        self.n_runs += 1
+        if self._needs_clusters(run):
+            self._pending_runs.append(run)
+        else:
+            # Success / walltime / launch-error diagnoses never consult
+            # clusters: categorize immediately with no hypotheses.
+            for diagnosed in categorize_runs([run], {}, self.config):
+                self.acc.add(diagnosed)
+
+    def _needs_clusters(self, run: RunView) -> bool:
+        if run.launch_error:
+            return False
+        if run.exit_code == 0 and run.exit_signal == 0:
+            return False
+        if run.exit_code in self.config.walltime_exit_codes:
+            return False
+        return True
+
+    # -- advance ------------------------------------------------------------
+
+    def advance(self) -> TickStats:
+        """One tick: move the watermark, release, finalize, seal, retire."""
+        if self._finalized:
+            raise RuntimeError("LiveAnalyzer is finalized")
+        stats = self._advance(self.max_event_s - self.lateness_s)
+        self.ticks += 1
+        registry = get_registry()
+        if self.released_s > -_INF:
+            registry.gauge("live_watermark_seconds", self.released_s)
+        registry.gauge("live_buffered_records", len(self._heap))
+        emit("batch_merge", released=stats.released, sealed=stats.sealed,
+             new_clusters=stats.new_clusters,
+             watermark_s=(self.released_s
+                          if self.released_s > -_INF else None),
+             buffered=len(self._heap), runs=self.n_runs)
+        return stats
+
+    def _advance(self, watermark_s: float) -> TickStats:
+        stats = TickStats()
+        if watermark_s > self.released_s:
+            self.released_s = watermark_s
+
+        # Release the buffer up to the frontier, as one time slice.
+        segment: list[ErrorLogRecord] = []
+        while self._heap and self._heap[0][0] <= self.released_s:
+            segment.append(heapq.heappop(self._heap)[2])
+        # Bounded buffer: force-release the oldest past the watermark
+        # (advancing the frontier; later arrivals below it count late).
+        while len(self._heap) > self.max_buffer_records:
+            t, _, record = heapq.heappop(self._heap)
+            segment.append(record)
+            self.released_s = t
+            stats.forced += 1
+            self.forced_releases += 1
+            while self._heap and self._heap[0][0] <= self.released_s:
+                segment.append(heapq.heappop(self._heap)[2])
+        if stats.forced:
+            get_registry().counter("live_forced_releases_total",
+                                   stats.forced)
+        stats.released = len(segment)
+
+        if segment:
+            classified, unmatched = classify_error_records(segment)
+            self.unclassified += unmatched
+            seg_tuples = temporal_tupling(
+                classified, self.config.tupling_window_s)
+            if self._live_tuples:
+                self._live_tuples = merge_error_tuples(
+                    [self._live_tuples, seg_tuples],
+                    self.config.tupling_window_s)
+            else:
+                self._live_tuples = seg_tuples
+
+        stats.new_clusters = self._finalize_groups(
+            self.released_s
+            - (self.config.tupling_window_s
+               + self.config.spatial_window_s + 1.0))
+        stats.sealed = self._seal_runs()
+        self._retire_clusters()
+        return stats
+
+    def _chain_groups(self) -> list[list[ErrorTuple]]:
+        """Partition live tuples exactly as ``spatial_coalescing`` chains
+        them: per category, sorted by start, break when a start exceeds
+        the chain frontier (latest member start) by more than the
+        spatial window."""
+        by_category: dict[Any, list[ErrorTuple]] = {}
+        for t in self._live_tuples:
+            by_category.setdefault(t.category, []).append(t)
+        groups: list[list[ErrorTuple]] = []
+        window = self.config.spatial_window_s
+        for members in by_category.values():
+            members.sort(key=lambda t: t.start_s)
+            current: list[ErrorTuple] = []
+            frontier = -_INF
+            for t in members:
+                if current and t.start_s - frontier > window:
+                    groups.append(current)
+                    current = []
+                current.append(t)
+                frontier = t.start_s
+            if current:
+                groups.append(current)
+        return groups
+
+    def _finalize_groups(self, threshold_s: float) -> int:
+        """Coalesce every chain group that can no longer change."""
+        if not self._live_tuples:
+            return 0
+        final_tuples: list[ErrorTuple] = []
+        live: list[ErrorTuple] = []
+        for group in self._chain_groups():
+            if max(t.end_s for t in group) < threshold_s:
+                final_tuples.extend(group)
+            else:
+                live.extend(group)
+        if not final_tuples:
+            return 0
+        clusters = spatial_coalescing(final_tuples,
+                                      self.config.spatial_window_s)
+        for cluster in clusters:
+            self._final_clusters.append(
+                replace(cluster, cluster_id=self.n_clusters))
+            self.n_clusters += 1
+        self._live_tuples = live
+        get_registry().counter("live_clusters_final_total", len(clusters))
+        return len(clusters)
+
+    def _seal_runs(self) -> int:
+        """Diagnose every pending run no live state can still explain."""
+        if not self._pending_runs:
+            return 0
+        live_floor = min((t.start_s for t in self._live_tuples),
+                         default=_INF)
+        frontier = min(self.released_s, live_floor) - 1.0
+        batch = [r for r in self._pending_runs if r.end_s < frontier]
+        if not batch:
+            return 0
+        self._pending_runs = [r for r in self._pending_runs
+                              if r.end_s >= frontier]
+        batch.sort(key=lambda r: (r.start_s, r.apid))
+        lo = min(r.start_s for r in batch)
+        hi = max(r.end_s for r in batch)
+        reach = (self.config.influence_before_start_s
+                 + self.config.influence_before_end_s + 1.0)
+        halo = [c for c in self._final_clusters
+                if c.start_s <= hi + 1.0 and c.end_s >= lo - reach]
+        # Re-number by content key: the one-shot path numbers *all*
+        # clusters in this order, and attribution breaks ties by id.  A
+        # content-sorted subset preserves the relative order of the
+        # global ids, so the winning hypothesis is identical.
+        halo.sort(key=_cluster_key)
+        halo = [replace(c, cluster_id=i) for i, c in enumerate(halo)]
+        if self._index is None:
+            self._index = SpatialIndex(self._shell)
+        hypotheses = attribute_clusters(batch, halo, self._shell,
+                                        self.config, index=self._index)
+        for diagnosed in categorize_runs(batch, hypotheses, self.config):
+            self.acc.add(diagnosed)
+        get_registry().counter("live_sealed_runs_total", len(batch))
+        return len(batch)
+
+    def _retire_clusters(self) -> None:
+        """Drop final clusters no pending or future run can reach."""
+        if not self._final_clusters:
+            return
+        floor = min(self.released_s,
+                    min((s.time_s for s in self._open_starts.values()),
+                        default=_INF),
+                    min((r.start_s for r in self._pending_runs),
+                        default=_INF))
+        if floor == -_INF:
+            return
+        reach = (self.config.influence_before_start_s
+                 + self.config.influence_before_end_s + 1.0)
+        self._final_clusters = [c for c in self._final_clusters
+                                if c.end_s >= floor - reach]
+
+    # -- snapshots ----------------------------------------------------------
+
+    def products(self) -> LiveProducts:
+        return LiveProducts(
+            n_runs=self.acc.n_runs,
+            breakdown=self.acc.outcomes.finalize(),
+            causes=self.acc.causes.finalize(),
+            clusters=range(self.n_clusters),
+            unclassified_records=self.unclassified,
+            ingest=self.report,
+            mtbf_all=self.acc.mtbf_all.finalize(),
+            xe_curve=self.acc.xe_curve.finalize(),
+            xk_curve=self.acc.xk_curve.finalize(),
+        )
+
+    def document(self) -> dict[str, Any]:
+        """The live summary document (``repro-live/1``)."""
+        finite = self.max_event_s > -_INF
+        return {
+            "schema": "repro-live/1",
+            "bundle": self.directory.name,
+            "lateness_s": self.lateness_s,
+            "finalized": self._finalized,
+            "ticks": self.ticks,
+            "batches": self.batches,
+            "watermark": {
+                "max_event_s": self.max_event_s if finite else None,
+                "released_s": (self.released_s
+                               if self.released_s > -_INF else None),
+                "late_records": dict(sorted(self.late_records.items())),
+                "late_records_total": self.late_total,
+                "max_late_lag_s": self.max_late_lag_s,
+                "forced_releases": self.forced_releases,
+                "resyncs": self.resyncs,
+            },
+            "pending": {
+                "buffered_records": len(self._heap),
+                "open_starts": len(self._open_starts),
+                "unsealed_runs": len(self._pending_runs),
+                "live_tuples": len(self._live_tuples),
+            },
+            "result": result_block(self.products()),
+        }
+
+    def finalize(self) -> dict[str, Any]:
+        """Drain everything; afterwards the document is immutable.
+
+        Releases the whole reorder buffer, finalizes every group, seals
+        every run, and counts still-open starts as censored -- exactly
+        the accounting a one-shot analyze applies at end of file.
+        Idempotent.
+        """
+        if not self._finalized:
+            self._advance(_INF)
+            # _advance left released_s at +inf; pin it to the last
+            # event so the document stays JSON-finite.
+            self.released_s = self.max_event_s
+            if self._open_starts:
+                self.report.record_censored_start(len(self._open_starts))
+            self._finalized = True
+        return self.document()

@@ -41,7 +41,8 @@ from repro.util.timeutil import Epoch
 __all__ = ["LogBundle", "write_bundle", "read_bundle", "read_manifest",
            "manifest_window", "parse_nodemap_file", "BUNDLE_FILES",
            "DATA_FILES", "ShardSlice", "index_bundle_shards",
-           "iter_slice_lines", "sniff_time_range"]
+           "iter_slice_lines", "sniff_time_range", "expand_symptoms",
+           "bundle_data_lines", "write_static_files"]
 
 BUNDLE_FILES = ("syslog.log", "hwerr.log", "console.log",
                 "torque.log", "apsys.log", "nodemap.txt", "manifest.json")
@@ -123,24 +124,39 @@ def write_bundle(result: SimulationResult, directory: str | Path, *,
     epoch = epoch or Epoch()
 
     with span("write_bundle") as sp:
-        propagation = PropagationModel(
-            result.machine, rng_factory=RngFactory(seed).child("logs"))
-        symptoms = propagation.expand_all(result.faults.events)
+        symptoms = expand_symptoms(result, seed)
         sp.set_attrs(symptoms=len(symptoms), jobs=len(result.jobs),
                      runs=len(result.runs))
         _write_bundle_files(result, directory, epoch, symptoms)
     return directory
 
 
-def _write_bundle_files(result: SimulationResult, directory: Path,
-                        epoch: Epoch, symptoms: list[Symptom]) -> None:
+def expand_symptoms(result: SimulationResult, seed: int) -> list[Symptom]:
+    """The deterministic symptom expansion behind ``write_bundle``."""
+    propagation = PropagationModel(
+        result.machine, rng_factory=RngFactory(seed).child("logs"))
+    return propagation.expand_all(result.faults.events)
+
+
+def bundle_data_lines(result: SimulationResult, epoch: Epoch,
+                      symptoms: list[Symptom]
+                      ) -> dict[str, list[tuple[float, str]]]:
+    """Per-file ``(time_s, line)`` streams for every bundle data file.
+
+    The single source of truth for rendering a simulation into log
+    lines: ``write_bundle`` concatenates these streams in one shot,
+    while the real-time feed (``repro.sim.feed``) replays them
+    incrementally -- so a fed bundle converges, byte for byte, on the
+    one-shot bundle.  Each stream is in file order (the order the lines
+    land on disk), which for the default feed is also time order.
+    """
+    data: dict[str, list[tuple[float, str]]] = {}
     for filename, routed in _route_symptoms(symptoms).items():
         source = filename.split(".")[0]
         source = {"syslog": "syslog", "hwerr": "hwerrlog",
                   "console": "console"}[source]
-        with open(directory / filename, "w") as handle:
-            for line in write_stream(source, routed, epoch):
-                handle.write(line + "\n")
+        data[filename] = list(zip((s.time for s in routed),
+                                  write_stream(source, routed, epoch)))
 
     torque_lines: list[tuple[float, str]] = []
     for job in result.jobs:
@@ -148,9 +164,7 @@ def _write_bundle_files(result: SimulationResult, directory: Path,
         torque_lines.append((job.start_time, start_line))
         torque_lines.append((job.end_time, end_line))
     torque_lines.sort(key=lambda pair: pair[0])
-    with open(directory / "torque.log", "w") as handle:
-        for _, line in torque_lines:
-            handle.write(line + "\n")
+    data["torque.log"] = torque_lines
 
     alps_lines: list[tuple[float, str]] = []
     for run in result.runs:
@@ -159,10 +173,13 @@ def _write_bundle_files(result: SimulationResult, directory: Path,
         if len(lines) > 1:
             alps_lines.append((run.end, lines[1]))
     alps_lines.sort(key=lambda pair: pair[0])
-    with open(directory / "apsys.log", "w") as handle:
-        for _, line in alps_lines:
-            handle.write(line + "\n")
+    data["apsys.log"] = alps_lines
+    return data
 
+
+def write_static_files(result: SimulationResult, directory: Path,
+                       epoch: Epoch, n_symptoms: int) -> None:
+    """The non-growing side of a bundle: nodemap and manifest."""
     # The site configuration dump analysts get alongside the logs:
     # nid, cname, node type, and the Gemini torus vertex of each node.
     with open(directory / "nodemap.txt", "w") as handle:
@@ -179,10 +196,19 @@ def _write_bundle_files(result: SimulationResult, directory: Path,
         "machine": {k: list(v) if isinstance(v, tuple) else v
                     for k, v in result.machine.summary().items()},
         "counts": {"jobs": len(result.jobs), "runs": len(result.runs),
-                   "symptoms": len(symptoms)},
+                   "symptoms": n_symptoms},
     }
     with open(directory / "manifest.json", "w") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
+
+
+def _write_bundle_files(result: SimulationResult, directory: Path,
+                        epoch: Epoch, symptoms: list[Symptom]) -> None:
+    for filename, lines in bundle_data_lines(result, epoch, symptoms).items():
+        with open(directory / filename, "w") as handle:
+            for _, line in lines:
+                handle.write(line + "\n")
+    write_static_files(result, directory, epoch, len(symptoms))
 
 
 def _parse_nodemap_line(line: str) -> tuple[int, tuple[str, str, int]]:

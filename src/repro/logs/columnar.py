@@ -74,7 +74,8 @@ from repro.util.timeutil import Epoch
 
 __all__ = ["COLUMNAR_FORMAT", "SIDECAR_DIR", "Sidecar", "convert_bundle",
            "load_sidecar", "usable_sidecar", "load_bundle",
-           "columnar_enabled", "set_columnar_enabled", "invalidate_sidecar"]
+           "columnar_enabled", "set_columnar_enabled", "invalidate_sidecar",
+           "verify_sidecar"]
 
 COLUMNAR_FORMAT = "repro-bundle/2"
 SIDECAR_DIR = ".columnar"
@@ -592,12 +593,20 @@ class Sidecar:
 
     # -- validity -----------------------------------------------------------
 
-    def fresh(self) -> bool:
+    def fresh(self, *, verify: bool = False) -> bool:
         """True when every source file still matches the footer.
 
         Cheap stat comparison first; a full digest only when size or
         mtime moved.  Any file added or removed since conversion is
         stale by definition.
+
+        The stat shortcut has a blind spot: a same-size rewrite that
+        preserves ``mtime_ns`` (copy-back restores, clock skew, or a
+        writer re-filling a rotated file) passes the stat check while
+        the bytes changed underneath.  ``verify=True`` closes it by
+        digesting every recorded source regardless of the stat result --
+        the follower forces this whenever it observes a generation
+        change on a live bundle.
         """
         sources = self.footer.get("sources", {})
         for filename in BUNDLE_FILES:
@@ -613,7 +622,7 @@ class Sidecar:
                 return False
             if stat.st_size != recorded["size"]:
                 return False
-            if stat.st_mtime_ns == recorded["mtime_ns"]:
+            if not verify and stat.st_mtime_ns == recorded["mtime_ns"]:
                 continue
             try:
                 with open(path, "rb") as handle:
@@ -893,14 +902,41 @@ def load_sidecar(directory: str | Path) -> Sidecar | None:
 
 
 def usable_sidecar(directory: str | Path, *,
-                   strict: bool = True) -> Sidecar | None:
-    """A sidecar that is valid, fresh, *and* strictness-compatible."""
+                   strict: bool = True,
+                   verify: bool = False) -> Sidecar | None:
+    """A sidecar that is valid, fresh, *and* strictness-compatible.
+
+    ``verify=True`` forces a full content digest of every recorded
+    source file instead of trusting an unchanged ``(size, mtime_ns)``
+    stat -- see :meth:`Sidecar.fresh`.
+    """
     sidecar = load_sidecar(directory)
     if sidecar is None:
         return None
-    if not sidecar.fresh() or not sidecar.compatible(strict):
+    if not sidecar.fresh(verify=verify) or not sidecar.compatible(strict):
         return None
     return sidecar
+
+
+def verify_sidecar(directory: str | Path) -> bool:
+    """Digest-verify a bundle's sidecar; invalidate it when stale.
+
+    Used by the live tail-follower when it observes a suspicious
+    generation change (same-size file with a moved mtime, truncation,
+    rotation): the stat-based freshness shortcut cannot be trusted at
+    that point, so every recorded source is re-digested.  Returns True
+    when the sidecar was absent or matched; False when it was stale and
+    has been invalidated (the next ``read_bundle`` reconverts).
+    """
+    sidecar = load_sidecar(directory)
+    if sidecar is None:
+        return True
+    if sidecar.fresh(verify=True):
+        return True
+    invalidate_sidecar(directory)
+    get_registry().counter("ingest_columnar_fallbacks_total",
+                           reason="generation-change")
+    return False
 
 
 def load_bundle(sidecar: Sidecar) -> LogBundle:

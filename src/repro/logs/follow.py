@@ -1,0 +1,186 @@
+"""Tail-follow a growing log bundle: complete-line micro-batches.
+
+``TailFollower`` watches the data files of a bundle directory the way
+``tail -F`` watches a log: it remembers a byte offset per file and, on
+every :meth:`TailFollower.poll`, emits whatever *complete* lines were
+appended since the previous poll.  Three invariants make it safe to run
+against a live writer:
+
+* **Never a torn record.**  The follower only ever consumes bytes up to
+  and including the last newline present at poll time.  A partial
+  trailing line -- a writer buffering mid-record, or one SIGKILL'd mid
+  ``write()`` -- stays on disk unread until its newline lands, at which
+  point the whole line is emitted once.
+
+* **Generation tracking.**  Each file carries a ``(size, mtime_ns)``
+  generation.  ``size < offset`` means the file was truncated or
+  rotated-and-recreated underneath us: the follower re-syncs from byte
+  0 (counting a resync, flagging the batch) rather than reading garbage
+  from a stale offset.  ``size == offset`` with a *moved* mtime is the
+  suspicious case -- a same-size in-place rewrite -- which tail
+  semantics cannot replay, but which must not let a columnar sidecar
+  keep serving stale columns: the follower fires its generation hook,
+  which digest-verifies (and if needed invalidates) the sidecar.
+
+* **Line numbers survive.**  Batches carry ``first_lineno`` so lenient
+  parsing and quarantine accounting report the same line numbers a
+  one-shot parse of the final file would.
+
+The follower is deliberately parser-agnostic: it deals in bytes and
+lines, and ``repro.live.engine`` feeds the batches through the normal
+lenient parsers with the normal :class:`IngestReport` accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.logs.bundle import DATA_FILES
+from repro.logs.columnar import verify_sidecar
+from repro.obs.events import emit
+from repro.obs.metrics import get_registry
+
+__all__ = ["FileBatch", "TailFollower"]
+
+
+@dataclass
+class FileBatch:
+    """Complete lines appended to one file since the previous poll."""
+
+    filename: str
+    lines: list[str]
+    #: 1-based line number of ``lines[0]`` within the file.
+    first_lineno: int
+    #: True when the follower re-synced from byte 0 (truncation or
+    #: rotation) before reading this batch.
+    resynced: bool = False
+
+
+@dataclass
+class _FileState:
+    #: Bytes consumed so far -- always ends on a newline boundary.
+    offset: int = 0
+    #: 1-based number of the next unread line.
+    lineno: int = 1
+    #: Last observed generation.
+    size: int = 0
+    mtime_ns: int = 0
+    seen: bool = False
+
+
+def _default_generation_hook(directory: Path, filename: str,
+                             kind: str) -> None:
+    """Digest-verify the columnar sidecar; invalidate it when stale."""
+    verify_sidecar(directory)
+
+
+class TailFollower:
+    """Incrementally read complete lines from a bundle's data files.
+
+    Parameters
+    ----------
+    directory:
+        The bundle directory (``manifest.json`` need not exist yet; data
+        files may appear at any time).
+    files:
+        Which files to follow; defaults to the bundle data files.
+    on_generation_change:
+        Called as ``hook(directory, filename, kind)`` whenever a file's
+        generation changes in a way plain tailing cannot replay --
+        ``kind`` is ``"truncated"`` (size shrank under the offset) or
+        ``"rewritten"`` (same size, moved mtime).  The default hook
+        digest-verifies the columnar sidecar so a live bundle never
+        serves stale columns.
+    """
+
+    def __init__(self, directory: str | Path,
+                 files: tuple[str, ...] = DATA_FILES, *,
+                 on_generation_change: Callable[[Path, str, str], None]
+                 | None = None) -> None:
+        self.directory = Path(directory)
+        self.files = tuple(files)
+        self._states: dict[str, _FileState] = {
+            name: _FileState() for name in self.files}
+        self._hook = (on_generation_change
+                      if on_generation_change is not None
+                      else _default_generation_hook)
+        self.resyncs = 0
+        self.bytes_read = 0
+
+    def poll(self) -> list[FileBatch]:
+        """One sweep over every followed file; empty batches are omitted."""
+        batches = []
+        for filename in self.files:
+            batch = self._poll_file(filename)
+            if batch is not None and batch.lines:
+                batches.append(batch)
+        return batches
+
+    # -- internals ----------------------------------------------------------
+
+    def _poll_file(self, filename: str) -> FileBatch | None:
+        state = self._states[filename]
+        path = self.directory / filename
+        try:
+            stat = path.stat()
+        except OSError:
+            if state.seen and state.offset:
+                # Deleted (or rotated away) underneath us; next
+                # appearance starts a new generation from byte 0.
+                self._generation_change(filename, "truncated")
+                self._states[filename] = _FileState()
+            return None
+
+        resynced = False
+        if stat.st_size < state.offset:
+            # Truncated or rotated-and-recreated: the bytes we consumed
+            # no longer exist.  Re-sync from the top of the new file.
+            self._generation_change(filename, "truncated")
+            state.offset = 0
+            state.lineno = 1
+            resynced = True
+        elif (stat.st_size == state.size and state.seen
+              and stat.st_mtime_ns != state.mtime_ns
+              and state.offset == stat.st_size):
+            # Same size, moved mtime, nothing new to read: an in-place
+            # rewrite we cannot replay by tailing.  Flag it so stale
+            # derived state (the columnar sidecar) gets verified.
+            self._generation_change(filename, "rewritten")
+
+        state.seen = True
+        state.size = stat.st_size
+        state.mtime_ns = stat.st_mtime_ns
+        if stat.st_size <= state.offset:
+            return None
+
+        with open(path, "rb") as handle:
+            handle.seek(state.offset)
+            data = handle.read(stat.st_size - state.offset)
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            # Only a partial trailing line so far: hold it back whole.
+            return None
+        complete = data[:cut + 1]
+        lines = complete.decode("utf-8", errors="replace").splitlines()
+        batch = FileBatch(filename=filename, lines=lines,
+                          first_lineno=state.lineno, resynced=resynced)
+        state.offset += len(complete)
+        state.lineno += len(lines)
+        self.bytes_read += len(complete)
+        get_registry().counter("follow_bytes_total", len(complete),
+                               file=filename)
+        return batch
+
+    def _generation_change(self, filename: str, kind: str) -> None:
+        self.resyncs += 1
+        get_registry().counter("follow_resyncs_total", file=filename,
+                               kind=kind)
+        emit("follow_generation_change", file=filename, kind=kind,
+             directory=str(self.directory))
+        try:
+            self._hook(self.directory, filename, kind)
+        except Exception:  # noqa: BLE001 -- hook failure must not stop tailing
+            emit("follow_generation_hook_error", level="warning",
+                 file=filename, kind=kind)

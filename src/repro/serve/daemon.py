@@ -15,6 +15,9 @@ Endpoints::
                          "stream"?, "shards"?, "jobs"?} -> analyze document
     POST /validate       same body -> oracle-verdict document
     GET  /metrics        Prometheus exposition of the process registry
+    GET  /live           ?bundle=NAME -- current incremental live summary
+                         + watermark (requires live mode; the follower
+                         starts lazily on first request per bundle)
     GET  /debug/status   uptime, warm LRU contents, in-flight count,
                          rolling latency quantiles
     GET  /debug/profile  ?seconds=N -- sample the live process and
@@ -56,7 +59,9 @@ from typing import Any, Callable
 from urllib.parse import parse_qs
 
 from repro.errors import ReproError
+from repro.live.engine import LiveAnalyzer
 from repro.logs.bundle import LogBundle, read_bundle
+from repro.logs.follow import TailFollower
 from repro.obs.events import emit, event_context, new_trace_id
 from repro.obs.metrics import get_registry
 from repro.obs.profiler import SamplingProfiler
@@ -205,13 +210,73 @@ def parse_bundle_specs(specs: list[str]) -> dict[str, Path]:
     return bundles
 
 
+class _LiveRunner:
+    """One background tail-follow loop per live-served bundle.
+
+    The engine is single-threaded by design; the runner owns it
+    entirely and publishes an immutable snapshot document under a lock
+    after every tick, so any number of ``GET /live`` handler threads
+    read without touching engine state.
+    """
+
+    def __init__(self, name: str, directory: Path, *,
+                 interval_s: float, lateness_s: float):
+        self.name = name
+        self.directory = directory
+        self.interval_s = interval_s
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._snapshot: dict[str, Any] | None = None
+        self._error: str | None = None
+        self._engine = LiveAnalyzer(directory, lateness_s=lateness_s,
+                                    strict=False)
+        self._follower = TailFollower(directory)
+        self._thread = threading.Thread(target=self._run,
+                                        name=f"repro-live-{name}",
+                                        daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        with event_context("live", trace_id=new_trace_id(),
+                           bundle=self.name):
+            while not self._stop.is_set():
+                try:
+                    batches = self._follower.poll()
+                    if batches:
+                        self._engine.ingest(batches)
+                    self._engine.advance()
+                    snapshot = self._engine.document()
+                    snapshot["bundle"] = self.name
+                except Exception as bad:  # surface, never kill the loop
+                    emit("live_runner_error", level="error",
+                         bundle=self.name, error=str(bad))
+                    with self._lock:
+                        self._error = str(bad)
+                else:
+                    with self._lock:
+                        self._snapshot = snapshot
+                        self._error = None
+                self._stop.wait(self.interval_s)
+
+    def snapshot(self) -> tuple[dict[str, Any] | None, str | None]:
+        with self._lock:
+            return self._snapshot, self._error
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
 class ServeApp:
     """All daemon state and request handling, transport-independent."""
 
     def __init__(self, bundles: dict[str, Path | str], *,
                  max_loaded: int = 4,
                  result_cache_size: int = _RESULT_CACHE_SIZE,
-                 jobs: int | None = None):
+                 jobs: int | None = None,
+                 live: bool = False,
+                 live_interval_s: float = 0.5,
+                 live_lateness_s: float = 3600.0):
         if not bundles:
             raise ValueError("a daemon with no bundles serves nothing")
         self.bundles = {name: Path(path) for name, path in bundles.items()}
@@ -229,6 +294,11 @@ class ServeApp:
         self._stats_lock = threading.Lock()
         self._inflight = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_RING_SIZE)
+        self.live = live
+        self.live_interval_s = live_interval_s
+        self.live_lateness_s = live_lateness_s
+        self._live_lock = threading.Lock()
+        self._live_runners: dict[str, _LiveRunner] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -238,8 +308,14 @@ class ServeApp:
 
     def begin_drain(self) -> None:
         """Flip /healthz to 503 so load balancers stop routing here;
-        in-flight and already-queued requests still complete."""
+        in-flight and already-queued requests still complete.  Live
+        follower loops are stopped -- their last snapshot stays
+        servable while the drain completes."""
         self._draining.set()
+        with self._live_lock:
+            runners = list(self._live_runners.values())
+        for runner in runners:
+            runner.stop()
 
     # -- request handling ----------------------------------------------------
 
@@ -279,6 +355,8 @@ class ServeApp:
         if route == ("GET", "/metrics"):
             return (200, "text/plain; version=0.0.4; charset=utf-8",
                     get_registry().render_prometheus().encode("utf-8"))
+        if route == ("GET", "/live"):
+            return self._live(query)
         if route == ("GET", "/debug/status"):
             return self._debug_status()
         if route == ("GET", "/debug/profile"):
@@ -307,6 +385,46 @@ class ServeApp:
         } for name, path in sorted(self.bundles.items())]
         return self._json(200, {"bundles": rows,
                                 "max_loaded": self.cache.capacity})
+
+    def _live(self, query: str) -> tuple[int, str, bytes]:
+        """The current incremental summary + watermark for one bundle.
+
+        The follower/engine loop starts lazily on the first request for
+        each bundle (single-flight under the live lock) and keeps
+        running until drain; until its first tick completes, the
+        endpoint answers 202 so pollers know to retry.
+        """
+        if not self.live:
+            return self._error("live mode not enabled "
+                               "(start the daemon with --live)",
+                               status=404)
+        names = parse_qs(query).get("bundle", [])
+        if names:
+            name = names[-1]
+        elif len(self.bundles) == 1:
+            name = next(iter(self.bundles))
+        else:
+            return self._error(
+                f"?bundle=NAME required (serving {sorted(self.bundles)})",
+                status=400)
+        directory = self.bundles.get(name)
+        if directory is None:
+            return self._error(f"unknown bundle {name!r}; serving "
+                               f"{sorted(self.bundles)}", status=404)
+        with self._live_lock:
+            runner = self._live_runners.get(name)
+            if runner is None:
+                runner = _LiveRunner(
+                    name, directory, interval_s=self.live_interval_s,
+                    lateness_s=self.live_lateness_s)
+                self._live_runners[name] = runner
+        snapshot, error = runner.snapshot()
+        if snapshot is None:
+            if error is not None:
+                return self._error(f"live follower failing: {error}",
+                                   status=503)
+            return self._json(202, {"status": "starting", "bundle": name})
+        return self._json(200, snapshot)
 
     def _debug_status(self) -> tuple[int, str, bytes]:
         """Operator snapshot: uptime, warm LRU, in-flight, latency tail.
@@ -465,7 +583,7 @@ class _Handler(BaseHTTPRequestHandler):
     #: Endpoint label for metrics: known paths verbatim, the rest pooled
     #: so a scanner cannot mint unbounded label values.
     _ENDPOINTS = frozenset({"/healthz", "/bundles", "/metrics",
-                            "/analyze", "/validate",
+                            "/analyze", "/validate", "/live",
                             "/debug/status", "/debug/profile"})
 
     def _respond(self, method: str) -> None:

@@ -10,7 +10,18 @@ from repro.sim.outcomes import (
 )
 from repro.sim.scenario import Scenario, paper_scenario, small_scenario
 
+
+def __getattr__(name: str):
+    # Imported lazily: feed depends on repro.logs.bundle, which imports
+    # repro.workload, which imports back into repro.sim.
+    if name == "BundleFeed":
+        from repro.sim.feed import BundleFeed
+        return BundleFeed
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BundleFeed",
     "ClusterSimulator",
     "EventQueue",
     "LAUNCH_FAILURE_EXIT",

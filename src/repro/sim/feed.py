@@ -1,0 +1,171 @@
+"""Real-time bundle feed: replay a simulation's logs incrementally.
+
+``write_bundle`` renders a finished simulation into a bundle in one
+shot.  ``BundleFeed`` renders the *same* lines (via the shared
+``bundle_data_lines`` streams) but appends them over time, so the live
+tail-follow path can be exercised end to end: simulator -> growing
+bundle -> ``repro.logs.follow`` -> ``repro.live.engine``.
+
+Two guarantees matter:
+
+* **Convergence.**  Once the feed has drained, every data file is byte
+  identical to what ``write_bundle`` would have written (with the
+  default in-order delivery), so a one-shot ``analyze`` of the fed
+  bundle is the ground truth the live engine must match.
+
+* **Deterministic disorder.**  ``delay_for`` lets tests and the
+  ``--realtime`` CLI skew individual lines' *arrival* while leaving
+  their event timestamps alone -- producing genuinely out-of-order
+  files that exercise the watermark/lateness machinery.  With any
+  delays, the final file holds the same line multiset in arrival order,
+  which is exactly what a live syslog collector would have persisted.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from pathlib import Path
+from typing import Callable
+
+from repro.logs.bundle import (
+    DATA_FILES,
+    bundle_data_lines,
+    expand_symptoms,
+    write_static_files,
+)
+from repro.sim.cluster import SimulationResult
+from repro.util.timeutil import Epoch
+
+__all__ = ["BundleFeed"]
+
+#: delay_for(filename, event_time_s, index) -> arrival skew in event-seconds.
+DelayFn = Callable[[str, float, int], float]
+
+
+class BundleFeed:
+    """Append a simulation's log lines to a bundle directory over time.
+
+    The feed is driven by an *event-time clock*: :meth:`step` delivers
+    every line whose arrival time is <= the given instant, in arrival
+    order.  ``run_realtime`` maps wall-clock onto event time at a given
+    rate.  Arrival time is ``event_time + delay_for(...)`` (default: no
+    delay, so arrival order == file order == time order and the drained
+    bundle is byte-identical to ``write_bundle``'s).
+    """
+
+    def __init__(self, result: SimulationResult, directory: str | Path, *,
+                 epoch: Epoch | None = None, seed: int = 0,
+                 delay_for: DelayFn | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.result = result
+        self.epoch = epoch or Epoch()
+        self.window = result.window
+        symptoms = expand_symptoms(result, seed)
+        self.n_symptoms = len(symptoms)
+        data = bundle_data_lines(result, self.epoch, symptoms)
+        # Per file: (arrival_s, line) in delivery order.  Stable sort by
+        # arrival keeps equal-arrival lines in original file order, so
+        # the zero-delay feed reproduces write_bundle exactly.
+        self._queues: dict[str, list[tuple[float, str]]] = {}
+        self._cursors: dict[str, int] = {}
+        for filename, lines in data.items():
+            if delay_for is None:
+                arrivals = lines
+            else:
+                arrivals = sorted(
+                    ((t + max(0.0, delay_for(filename, t, i)), line)
+                     for i, (t, line) in enumerate(lines)),
+                    key=lambda pair: pair[0])
+            self._queues[filename] = arrivals
+            self._cursors[filename] = 0
+
+    @property
+    def total_lines(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def delivered_lines(self) -> int:
+        return sum(self._cursors.values())
+
+    def done(self) -> bool:
+        return self.delivered_lines >= self.total_lines
+
+    def first_arrival(self) -> float:
+        """Earliest queued arrival time (event seconds); 0.0 if empty."""
+        return min((q[0][0] for q in self._queues.values() if q),
+                   default=0.0)
+
+    def last_arrival(self) -> float:
+        """Latest queued arrival time (event seconds); 0.0 if empty."""
+        return max((q[-1][0] for q in self._queues.values() if q),
+                   default=0.0)
+
+    def write_static(self) -> None:
+        """Write the manifest and nodemap so followers can attach."""
+        write_static_files(self.result, self.directory, self.epoch,
+                           self.n_symptoms)
+
+    def step(self, until_s: float) -> int:
+        """Append every line arriving at or before ``until_s`` (event time).
+
+        Returns the number of lines delivered.  Appends are whole lines
+        (newline included per ``write``), so a follower polling
+        concurrently sees at worst a torn *tail* it will hold back --
+        never a torn record spliced into the batch.
+        """
+        delivered = 0
+        for filename in DATA_FILES:
+            queue = self._queues.get(filename, [])
+            cursor = self._cursors[filename]
+            if cursor >= len(queue):
+                continue
+            chunk = []
+            while cursor < len(queue) and queue[cursor][0] <= until_s:
+                chunk.append(queue[cursor][1])
+                cursor += 1
+            if chunk:
+                with open(self.directory / filename, "a") as handle:
+                    handle.write("\n".join(chunk) + "\n")
+                self._cursors[filename] = cursor
+                delivered += len(chunk)
+        return delivered
+
+    def drain(self) -> int:
+        """Deliver everything still queued."""
+        return self.step(float("inf"))
+
+    def run_realtime(self, *, rate: float, interval_s: float = 0.25,
+                     max_wall_s: float | None = None,
+                     on_tick: Callable[[float, int], None] | None = None,
+                     ) -> int:
+        """Feed in wall-clock time: ``rate`` event-seconds per second.
+
+        Steps the event clock forward every ``interval_s`` of wall time
+        until the queues drain (or ``max_wall_s`` elapses, after which
+        the remainder is drained in one final step so the bundle always
+        ends complete).  ``on_tick(event_t, delivered)`` is invoked
+        after each step.  Returns the total number of lines delivered.
+        """
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        start_wall = _time.monotonic()
+        # Arrival clocks start at the earliest queued arrival, not at 0:
+        # simulations can begin anywhere on the epoch axis.
+        first = self.first_arrival()
+        total = 0
+        while not self.done():
+            _time.sleep(interval_s)
+            wall = _time.monotonic() - start_wall
+            if max_wall_s is not None and wall >= max_wall_s:
+                delivered = self.drain()
+                total += delivered
+                if on_tick is not None:
+                    on_tick(float("inf"), delivered)
+                break
+            event_t = first + wall * rate
+            delivered = self.step(event_t)
+            total += delivered
+            if on_tick is not None:
+                on_tick(event_t, delivered)
+        return total

@@ -43,6 +43,7 @@ from repro.logs.columnar import (
     load_sidecar,
     set_columnar_enabled,
     usable_sidecar,
+    verify_sidecar,
 )
 from repro.sim.scenario import small_scenario
 
@@ -279,6 +280,30 @@ class TestStaleness:
         dest = self._copy(converted_dir, tmp_path)
         (dest / "console.log").unlink()
         assert usable_sidecar(str(dest)) is None
+
+    def test_same_size_mtime_preserving_rewrite(self, converted_dir,
+                                                tmp_path):
+        # Regression: the stat shortcut treats an unchanged
+        # (size, mtime_ns) pair as fresh without digesting, so a
+        # same-size rewrite that restores the mtime (copy-back restore,
+        # writer re-filling a rotated file) served stale columns.  The
+        # verify path must catch it, and verify_sidecar must invalidate.
+        dest = self._copy(converted_dir, tmp_path)
+        path = dest / "console.log"
+        stat = path.stat()
+        data = path.read_bytes()
+        mutated = data.replace(b"0", b"1", 1)
+        assert mutated != data and len(mutated) == len(data)
+        path.write_bytes(mutated)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        blind = usable_sidecar(str(dest))
+        assert blind is not None        # the stat shortcut is fooled
+        assert not blind.fresh(verify=True)
+        assert usable_sidecar(str(dest), verify=True) is None
+        assert verify_sidecar(str(dest)) is False
+        assert load_sidecar(str(dest)) is None  # invalidated on disk
+        # idempotent once the sidecar is gone
+        assert verify_sidecar(str(dest)) is True
 
 
 class TestTornWrites:

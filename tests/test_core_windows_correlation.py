@@ -67,6 +67,28 @@ class TestSlicedStats:
         stats = sliced_stats([], [], window, slice_days=30.0)
         assert stats[-1].window.end == 45 * DAY
 
+    def test_run_ending_on_window_end_lands_in_final_slice(self):
+        # Regression: the window is closed ([lo, hi], matching the serve
+        # query contract), so a run whose end falls exactly on
+        # ``window.end`` counts in the final slice -- it used to be
+        # dropped entirely by an exclusive upper-bound check.
+        window = Interval(0, 90 * DAY)
+        diagnosed = [diag(1, 90 * DAY, DiagnosedOutcome.SYSTEM)]
+        clusters = [cluster(0, ErrorCategory.MCE, 90 * DAY)]
+        stats = sliced_stats(diagnosed, clusters, window, slice_days=30.0)
+        assert sum(s.runs for s in stats) == 1
+        assert stats[-1].runs == 1
+        assert stats[-1].system_failures == 1
+        assert stats[-1].failure_clusters == 1
+
+    def test_slice_count_is_true_ceiling(self):
+        # Regression: int(x + 0.999) under-counted when the fractional
+        # part of duration/slice fell below 0.001 but above zero.
+        barely_over = Interval(0, 30 * DAY + 1.0)
+        assert len(sliced_stats([], [], barely_over, slice_days=30.0)) == 2
+        exact = Interval(0, 60 * DAY)
+        assert len(sliced_stats([], [], exact, slice_days=30.0)) == 2
+
 
 class TestCooccurrence:
     def test_correlated_pair_high_lift(self):

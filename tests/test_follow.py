@@ -1,0 +1,231 @@
+"""Tail-follower crash and rotation cases (``repro.logs.follow``).
+
+The contract under test is the three invariants from the module
+docstring: never emit a torn record, re-sync (never read garbage) after
+truncation/rotation, and keep line numbers identical to a one-shot
+parse of the final file.  The writer failures exercised here are the
+realistic ones: a logger truncated and re-grown, a partial trailing
+line from a buffering writer, and a writer SIGKILL'd mid-record.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+
+from repro.logs.columnar import convert_bundle, load_sidecar
+from repro.logs.follow import TailFollower
+
+
+def follower_for(tmp_path, filename="syslog.log", **kwargs):
+    return TailFollower(tmp_path, files=(filename,), **kwargs)
+
+
+def append(path, text):
+    with open(path, "a") as handle:
+        handle.write(text)
+
+
+class TestBasicTailing:
+    def test_absent_file_is_quietly_empty(self, tmp_path):
+        follower = follower_for(tmp_path)
+        assert follower.poll() == []
+        assert follower.resyncs == 0
+
+    def test_complete_lines_emitted_once(self, tmp_path):
+        path = tmp_path / "syslog.log"
+        append(path, "one\ntwo\n")
+        follower = follower_for(tmp_path)
+        [batch] = follower.poll()
+        assert batch.lines == ["one", "two"]
+        assert batch.first_lineno == 1
+        assert not batch.resynced
+        assert follower.poll() == []  # nothing new -> no batch
+
+    def test_line_numbers_continue_across_batches(self, tmp_path):
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path)
+        append(path, "a\nb\n")
+        [first] = follower.poll()
+        append(path, "c\n")
+        [second] = follower.poll()
+        assert first.first_lineno == 1
+        assert second.first_lineno == 3
+        assert second.lines == ["c"]
+
+
+class TestTornRecords:
+    def test_partial_trailing_line_held_back(self, tmp_path):
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path)
+        append(path, "complete\npartial-without-newl")
+        [batch] = follower.poll()
+        assert batch.lines == ["complete"]
+        # The partial tail is invisible until its newline lands, then
+        # the whole line is emitted exactly once.
+        assert follower.poll() == []
+        append(path, "ine\n")
+        [batch] = follower.poll()
+        assert batch.lines == ["partial-without-newline"]
+        assert batch.first_lineno == 2
+
+    def test_only_partial_data_yields_no_batch(self, tmp_path):
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path)
+        append(path, "no newline at all")
+        assert follower.poll() == []
+        assert follower.bytes_read == 0
+
+    def test_sigkilled_writer_never_tears_a_record(self, tmp_path):
+        """A real writer process SIGKILL'd mid-record.
+
+        The child writes two complete lines, then a partial record
+        (flushed, no newline) and blocks; we SIGKILL it there.  The
+        follower must emit exactly the complete lines, never the torn
+        tail -- and when a restarted writer completes the record, it
+        arrives whole with the right line number.
+        """
+        path = tmp_path / "syslog.log"
+        script = (
+            "import sys, time\n"
+            f"handle = open({str(path)!r}, 'w')\n"
+            "handle.write('line-1\\nline-2\\n')\n"
+            "handle.write('torn-rec')\n"
+            "handle.flush()\n"
+            "print('ready', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script],
+                                stdout=subprocess.PIPE, text=True)
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            follower = follower_for(tmp_path)
+            [batch] = follower.poll()
+            assert batch.lines == ["line-1", "line-2"]
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait()
+            proc.stdout.close()
+        # Post-mortem polls stay clean: the torn tail is still held.
+        assert follower.poll() == []
+        # A restarted writer completes the record in place.
+        append(path, "ord-finished\n")
+        [batch] = follower.poll()
+        assert batch.lines == ["torn-record-finished"]
+        assert batch.first_lineno == 3
+        assert follower.resyncs == 0
+
+
+class TestGenerations:
+    def test_truncate_and_regrow_resyncs(self, tmp_path):
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path)
+        append(path, "old-1\nold-2\nold-3\n")
+        follower.poll()
+        # Writer truncates and starts over (logrotate copytruncate).
+        path.write_text("new-1\n")
+        [batch] = follower.poll()
+        assert batch.resynced
+        assert batch.lines == ["new-1"]
+        assert batch.first_lineno == 1
+        assert follower.resyncs == 1
+        # Tailing continues normally on the new generation.
+        append(path, "new-2\n")
+        [batch] = follower.poll()
+        assert not batch.resynced
+        assert batch.lines == ["new-2"]
+        assert batch.first_lineno == 2
+
+    def test_delete_and_recreate_resyncs(self, tmp_path):
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path)
+        append(path, "gen-a\n")
+        follower.poll()
+        path.unlink()
+        assert follower.poll() == []  # the deletion itself counts a resync
+        assert follower.resyncs == 1
+        append(path, "gen-b-1\ngen-b-2\n")
+        [batch] = follower.poll()
+        assert batch.lines == ["gen-b-1", "gen-b-2"]
+        assert batch.first_lineno == 1
+
+    def test_generation_hook_fires_with_kind(self, tmp_path):
+        calls = []
+        path = tmp_path / "syslog.log"
+        follower = follower_for(
+            tmp_path,
+            on_generation_change=lambda d, f, k: calls.append((f, k)))
+        append(path, "aaaa\n")
+        follower.poll()
+        path.write_text("b\n")  # shorter -> truncated
+        follower.poll()
+        assert calls == [("syslog.log", "truncated")]
+        # Same-size in-place rewrite with a moved mtime, fully consumed:
+        # tailing cannot replay it, so the hook must fire as "rewritten".
+        follower.poll()
+        stat = path.stat()
+        path.write_text("c\n")
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        follower.poll()
+        assert calls[-1] == ("syslog.log", "rewritten")
+
+    def test_hook_failure_does_not_stop_tailing(self, tmp_path):
+        def bad_hook(directory, filename, kind):
+            raise RuntimeError("boom")
+
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path, on_generation_change=bad_hook)
+        append(path, "one\n")
+        follower.poll()
+        path.write_text("two-longer-than-before... no wait, shorter")
+        path.write_text("x\n")
+        [batch] = follower.poll()
+        assert batch.resynced and batch.lines == ["x"]
+
+
+class TestColumnarIntegration:
+    def test_rewrite_invalidates_stale_sidecar(self, bundle_dir, tmp_path):
+        """The default hook closes the columnar staleness blind spot.
+
+        A same-size mtime-preserving rewrite passes the sidecar's stat
+        shortcut; when the follower observes the generation change it
+        digest-verifies, which must invalidate the lying sidecar.
+        """
+        dest = tmp_path / "bundle"
+        shutil.copytree(bundle_dir, dest)
+        convert_bundle(str(dest))
+        follower = TailFollower(dest)
+        follower.poll()  # consume everything: offsets == sizes
+        path = dest / "console.log"
+        stat = path.stat()
+        data = path.read_bytes()
+        mutated = data.replace(b"0", b"1", 1)
+        assert mutated != data and len(mutated) == len(data)
+        path.write_bytes(mutated)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        assert load_sidecar(str(dest)) is not None
+        follower.poll()
+        assert follower.resyncs == 1
+        assert load_sidecar(str(dest)) is None
+
+
+class TestAgainstLiveAppends:
+    def test_interleaved_appends_reassemble_the_file(self, tmp_path):
+        """Arbitrary append chunking: emitted lines == final file lines."""
+        path = tmp_path / "syslog.log"
+        follower = follower_for(tmp_path)
+        content = "".join(f"line-{i}\n" for i in range(50))
+        emitted = []
+        pos = 0
+        for chunk in (3, 17, 1, 40, 0, 95, 11):
+            append(path, content[pos:pos + chunk])
+            pos += chunk
+            for batch in follower.poll():
+                emitted.extend(batch.lines)
+        append(path, content[pos:])
+        for batch in follower.poll():
+            emitted.extend(batch.lines)
+        assert emitted == content.splitlines()

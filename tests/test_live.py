@@ -1,0 +1,249 @@
+"""Live incremental analysis (``repro.live``): parity and watermarks.
+
+The headline contract is *incremental parity*: once the feed quiesces,
+the live engine's finalized result is byte-identical (canonical JSON)
+to a one-shot ``analyze`` of the same bundle -- for an in-order feed,
+for an out-of-order feed whose disorder stays within the lateness
+bound, and regardless of how the arrivals were chopped into
+micro-batches.  Beyond the bound, late records must be *counted*,
+never silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.live.engine import LiveAnalyzer, result_block
+from repro.logs.follow import TailFollower
+from repro.serve.daemon import ServeApp
+from repro.serve.queries import _result_block, analyze_document, document_bytes
+from repro.sim.feed import BundleFeed
+from repro.sim.scenario import small_scenario
+
+_ERROR_FILES = ("syslog.log", "hwerr.log", "console.log")
+
+
+@pytest.fixture(scope="module")
+def live_result():
+    """A small simulation for feed-driven parity cases."""
+    return small_scenario(days=20.0, machine_scale=0.05,
+                          workload_thinning=0.03, seed=11).run()
+
+
+def run_feed(result, directory, *, delay_for=None, lateness_s=60.0,
+             n_steps=24, watermarks=None):
+    """Feed ``result`` into ``directory`` in steps; return the final doc.
+
+    Steps are sized against the simulation *window* (a handful of
+    censored runs straggle far beyond it), so each tick delivers a
+    meaningful micro-batch; whatever remains after the window is
+    drained in one final step.
+    """
+    feed = BundleFeed(result, directory, seed=1, delay_for=delay_for)
+    feed.write_static()
+    engine = LiveAnalyzer(directory, lateness_s=lateness_s)
+    follower = TailFollower(directory)
+
+    def tick():
+        engine.ingest(follower.poll())
+        engine.advance()
+        if watermarks is not None:
+            watermarks.append(engine.released_s)
+
+    t = feed.first_arrival()
+    step = (result.window.end - t) / n_steps + 1.0
+    while t < result.window.end and not feed.done():
+        t += step
+        feed.step(t)
+        tick()
+    feed.drain()
+    tick()
+    return engine.finalize()
+
+
+def assert_result_parity(live_doc, directory):
+    reference = analyze_document(directory)["result"]
+    assert (document_bytes(live_doc["result"])
+            == document_bytes(reference))
+
+
+class TestParity:
+    def test_static_catchup_matches_oneshot(self, bundle_dir):
+        """Tail-following a finished bundle == analyzing it."""
+        engine = LiveAnalyzer(bundle_dir)
+        follower = TailFollower(bundle_dir)
+        engine.ingest(follower.poll())
+        engine.advance()
+        doc = engine.finalize()
+        assert doc["schema"] == "repro-live/1"
+        assert doc["finalized"] is True
+        assert doc["watermark"]["late_records_total"] == 0
+        assert doc["pending"]["buffered_records"] == 0
+        assert doc["pending"]["unsealed_runs"] == 0
+        assert_result_parity(doc, bundle_dir)
+
+    def test_incremental_in_order(self, live_result, tmp_path):
+        doc = run_feed(live_result, tmp_path / "b")
+        assert doc["watermark"]["late_records_total"] == 0
+        assert_result_parity(doc, tmp_path / "b")
+
+    def test_disordered_within_lateness_bound(self, live_result, tmp_path):
+        """Seeded out-of-order arrivals inside the bound change nothing."""
+        rng = random.Random(99)
+
+        def skew(filename, t, i):
+            return rng.uniform(0.0, 120.0) if filename in _ERROR_FILES else 0.0
+
+        doc = run_feed(live_result, tmp_path / "b", delay_for=skew,
+                       lateness_s=300.0)
+        assert doc["watermark"]["late_records_total"] == 0
+        assert_result_parity(doc, tmp_path / "b")
+
+    def test_batch_chopping_is_irrelevant(self, live_result, tmp_path):
+        """Coarse and fine micro-batching produce identical documents."""
+        coarse = run_feed(live_result, tmp_path / "coarse", n_steps=4)
+        fine = run_feed(live_result, tmp_path / "fine", n_steps=60)
+        assert (document_bytes(coarse["result"])
+                == document_bytes(fine["result"]))
+
+    def test_finalize_is_idempotent(self, live_result, tmp_path):
+        feed = BundleFeed(live_result, tmp_path / "b", seed=1)
+        feed.write_static()
+        feed.drain()
+        engine = LiveAnalyzer(tmp_path / "b")
+        follower = TailFollower(tmp_path / "b")
+        engine.ingest(follower.poll())
+        first = engine.finalize()
+        second = engine.finalize()
+        assert document_bytes(first) == document_bytes(second)
+        with pytest.raises(RuntimeError):
+            engine.ingest(follower.poll())
+
+
+class TestWatermark:
+    def test_watermark_is_monotone(self, live_result, tmp_path):
+        marks = []
+        run_feed(live_result, tmp_path / "b", watermarks=marks)
+        finite = [m for m in marks if m > float("-inf")]
+        assert finite, "watermark never advanced"
+        assert all(b >= a for a, b in zip(finite, finite[1:]))
+
+    def test_beyond_watermark_late_counted_never_dropped(self, live_result,
+                                                         tmp_path):
+        """With a tiny lateness bound, wildly-late records are accounted.
+
+        They are excluded from the analysis (which may therefore differ
+        from the one-shot ground truth) but stay visible twice over: in
+        the per-stream late counters and in the parse accounting, which
+        must still equal a one-shot parse of the final file.
+        """
+        rng = random.Random(5)
+
+        # Skews must dwarf the feed's step size (~0.8 days here) so
+        # that late arrivals actually land behind the watermark.
+        def skew(filename, t, i):
+            return (rng.uniform(0.0, 3 * 86400.0)
+                    if filename in _ERROR_FILES else 0.0)
+
+        doc = run_feed(live_result, tmp_path / "b", delay_for=skew,
+                       lateness_s=1.0)
+        mark = doc["watermark"]
+        assert mark["late_records_total"] > 0
+        assert mark["late_records"]
+        assert sum(mark["late_records"].values()) == \
+            mark["late_records_total"]
+        assert mark["max_late_lag_s"] > 0
+        reference = analyze_document(tmp_path / "b")["result"]
+        assert (doc["result"]["ingest"]["parsed"]
+                == reference["ingest"]["parsed"])
+
+
+class TestLayering:
+    def test_result_block_mirror_stays_in_sync(self, bundle_dir):
+        """``repro.live.engine.result_block`` mirrors the serve one.
+
+        The engine cannot import ``repro.serve`` (the daemon imports the
+        engine), so it carries a copy; this pins the two together.
+        """
+        engine = LiveAnalyzer(bundle_dir)
+        engine.ingest(TailFollower(bundle_dir).poll())
+        engine.finalize()
+        products = engine.products()
+        # byte comparison: the summary legitimately contains NaNs,
+        # which never compare equal as plain floats
+        assert (document_bytes(result_block(products))
+                == document_bytes(_result_block(products)))
+
+
+class TestServeLive:
+    def _poll_until_snapshot(self, app, query="", deadline_s=30.0):
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            code, _, body = app.handle("GET", "/live", b"", query=query)
+            doc = json.loads(body)
+            if code == 200 and doc.get("result", {}).get("summary", {}) \
+                    .get("runs"):
+                return doc
+            assert code in (200, 202)
+            time.sleep(0.1)
+        pytest.fail("live snapshot never became available")
+
+    def test_live_disabled_is_404(self, bundle_dir):
+        app = ServeApp({"b": bundle_dir})
+        code, _, body = app.handle("GET", "/live", b"")
+        assert code == 404
+        assert "--live" in json.loads(body)["error"]["message"]
+
+    def test_live_snapshot_and_drain(self, bundle_dir):
+        app = ServeApp({"b": bundle_dir}, live=True, live_interval_s=0.05)
+        try:
+            doc = self._poll_until_snapshot(app)
+            assert doc["schema"] == "repro-live/1"
+            assert doc["bundle"] == "b"
+            assert doc["finalized"] is False
+            assert doc["watermark"]["released_s"] is not None
+            assert doc["result"]["summary"]["runs"] > 0
+            code, _, _ = app.handle("GET", "/live", b"",
+                                    query="bundle=nope")
+            assert code == 404
+        finally:
+            app.begin_drain()
+        # The last snapshot stays servable while draining.
+        code, _, body = app.handle("GET", "/live", b"")
+        assert code == 200
+        assert json.loads(body)["bundle"] == "b"
+
+    def test_two_bundles_require_explicit_name(self, bundle_dir):
+        app = ServeApp({"x": bundle_dir, "y": bundle_dir}, live=True,
+                       live_interval_s=0.05)
+        try:
+            code, _, body = app.handle("GET", "/live", b"")
+            assert code == 400
+            doc = self._poll_until_snapshot(app, query="bundle=y")
+            assert doc["bundle"] == "y"
+        finally:
+            app.begin_drain()
+
+
+class TestFollowCli:
+    def test_follow_missing_bundle_times_out(self, tmp_path, capsys):
+        code = main(["follow", str(tmp_path / "nope"), "--wait-s", "0.1"])
+        assert code == 2
+        assert "manifest.json" in capsys.readouterr().err
+
+    def test_follow_catches_up_and_matches_analyze(self, bundle_dir,
+                                                   tmp_path, capsys):
+        out = tmp_path / "live.json"
+        code = main(["follow", str(bundle_dir), "--interval", "0.01",
+                     "--idle-ticks", "2", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "final:" in stdout
+        live = json.loads(out.read_text())
+        assert live["finalized"] is True
+        assert_result_parity(live, bundle_dir)
