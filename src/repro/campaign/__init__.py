@@ -15,9 +15,20 @@ substreams.  This package exploits that twice:
 * :mod:`repro.campaign.supervisor` is the fault-tolerant executor both
   layers above opt into: per-unit timeouts with heartbeat liveness,
   bounded retries, poison-unit quarantine, and a write-ahead journal
-  enabling resume after a crash.
+  enabling resume after a crash;
+* :mod:`repro.campaign.backends` pluggably swaps *where* supervised
+  attempts execute: the default local spawn pool, a multi-host work
+  queue (:mod:`repro.campaign.worker` agents over TCP), or a job-array
+  export for offline batch execution.  :mod:`repro.campaign.status`
+  inspects any campaign journal from the shell.
 """
 
+from repro.campaign.backends import (
+    BACKEND_KINDS,
+    ExecutorBackend,
+    create_backend,
+    parse_backend_spec,
+)
 from repro.campaign.cache import (
     ResultCache,
     cache_key,
@@ -41,9 +52,10 @@ from repro.campaign.supervisor import (
 )
 
 __all__ = [
-    "ResultCache", "cache_key", "canonical_params", "configure_cache",
-    "get_cache", "configure_engine", "current_policy", "resolve_jobs",
-    "run_campaign", "CampaignAborted", "CampaignReport",
+    "BACKEND_KINDS", "ExecutorBackend", "create_backend",
+    "parse_backend_spec", "ResultCache", "cache_key", "canonical_params",
+    "configure_cache", "get_cache", "configure_engine", "current_policy",
+    "resolve_jobs", "run_campaign", "CampaignAborted", "CampaignReport",
     "ExecutionAccounting", "SupervisorPolicy", "build_policy",
     "run_supervised",
 ]

@@ -1,0 +1,79 @@
+"""Pluggable campaign executor backends.
+
+The supervisor state machine (:mod:`repro.campaign.supervisor`) is
+backend-agnostic: it journals, retries, and quarantines work units
+while a backend answers only "run this attempt, tell me how it ended".
+Backends are selected by spec string, the same grammar the CLI's
+``--backend`` flag takes:
+
+``local``
+    Spawn pool on this host (default; byte-identical to the original
+    in-supervisor executor loop).
+``queue:HOST:PORT``
+    Coordinator serving leased units over TCP to ``python -m repro
+    worker --connect HOST:PORT`` agents on any number of hosts.
+``job-array:DIR``
+    Render units to ``DIR`` as a submission script + task files for
+    offline execution (SLURM/PBS array), collected with ``--resume``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.campaign.backends.base import (
+    AttemptDone,
+    AttemptTask,
+    ExecutorBackend,
+    classify_attempt,
+    fsync_dir,
+    load_payload,
+    stop_heartbeat,
+    write_payload,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["AttemptDone", "AttemptTask", "BACKEND_KINDS", "ExecutorBackend",
+           "classify_attempt", "create_backend", "fsync_dir", "load_payload",
+           "parse_backend_spec", "stop_heartbeat", "write_payload"]
+
+BACKEND_KINDS = ("local", "queue", "job-array")
+
+
+def parse_backend_spec(spec: str | None) -> tuple[str, dict[str, Any]]:
+    """``(kind, options)`` for a ``--backend`` spec string.
+
+    >>> parse_backend_spec("queue:127.0.0.1:8471")
+    ('queue', {'host': '127.0.0.1', 'port': 8471})
+    """
+    if spec is None or spec == "" or spec == "local":
+        return "local", {}
+    if spec.startswith("queue:"):
+        rest = spec[len("queue:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ConfigurationError(
+                f"queue backend spec must be queue:HOST:PORT, got {spec!r}")
+        return "queue", {"host": host, "port": int(port)}
+    if spec.startswith("job-array:"):
+        directory = spec[len("job-array:"):]
+        if not directory:
+            raise ConfigurationError(
+                f"job-array backend spec must be job-array:DIR, got {spec!r}")
+        return "job-array", {"directory": directory}
+    raise ConfigurationError(
+        f"unknown backend {spec!r} "
+        f"(expected local | queue:HOST:PORT | job-array:DIR)")
+
+
+def create_backend(spec: str | None) -> ExecutorBackend:
+    """Instantiate the backend a spec names (imports lazily)."""
+    kind, options = parse_backend_spec(spec)
+    if kind == "local":
+        from repro.campaign.backends.local import LocalBackend
+        return LocalBackend()
+    if kind == "queue":
+        from repro.campaign.backends.queue import QueueBackend
+        return QueueBackend(options["host"], options["port"])
+    from repro.campaign.backends.jobarray import JobArrayBackend
+    return JobArrayBackend(options["directory"])

@@ -1,0 +1,314 @@
+"""Executor-backend protocol shared by every campaign backend.
+
+The supervisor (:mod:`repro.campaign.supervisor`) owns the campaign
+*state machine* -- retries, backoff, quarantine, the write-ahead
+journal, resume, telemetry grafting.  A *backend* owns only the
+physical question "how does one attempt run, and how do I know it
+finished?":
+
+* :class:`LocalBackend` (:mod:`repro.campaign.backends.local`) spawns
+  one process per attempt on this host and watches its heartbeat file
+  -- the original supervisor executor, byte-identical behavior.
+* :class:`QueueBackend` (:mod:`repro.campaign.backends.queue`) serves
+  leased units over a TCP socket to ``python -m repro worker`` agents
+  on any number of hosts, with per-lease heartbeats relayed over the
+  wire and lease expiry driving reassignment.
+* :class:`JobArrayBackend` (:mod:`repro.campaign.backends.jobarray`)
+  renders units to a submission script for offline execution
+  (SLURM/PBS array jobs), to be collected later with ``--resume``.
+
+The contract every backend honors:
+
+``submit(task)``
+    Start (or enqueue) one attempt.  Never blocks on the attempt.
+``poll() -> list[AttemptDone]``
+    Non-blocking: applies liveness rules and returns every attempt
+    that finished since the last call, classified with the same status
+    vocabulary the supervisor journals (``ok``/``raised``/``crashed``/
+    ``hung``/``stalled``/``vanished``).
+``cancel(index)``
+    Kill one in-flight attempt (best effort).
+``teardown()``
+    Reap/release everything; after this no attempt of this campaign
+    is running anywhere this backend controls.
+
+**Clock discipline.**  Liveness decisions (heartbeat staleness, wall
+timeouts) MUST compare times observed on the supervising side --
+``time.monotonic()`` stamps taken when a heartbeat is *seen* -- and
+never timestamps produced by the worker (file mtimes compared against
+the parent wall clock, worker-stamped message fields).  A worker on a
+skew-stepped host must not be declared dead while it is demonstrably
+beating; the skewed-clock regression tests pin this for both the local
+and the queue backend.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import tempfile
+import threading
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.faults import chaos as chaos_mod
+from repro.obs.events import emit, event_context
+from repro.obs.metrics import scoped_registry
+from repro.obs.tracing import Tracer, tracing
+
+__all__ = ["AttemptDone", "AttemptTask", "ExecutorBackend",
+           "classify_attempt", "fsync_dir", "load_payload",
+           "stop_heartbeat", "write_payload"]
+
+
+# -- durability helpers -------------------------------------------------------
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush the *directory entry* metadata of ``path`` to disk.
+
+    ``os.replace`` makes a committed payload atomic, but until the
+    containing directory is fsync'd the new dirent itself can vanish on
+    power loss -- the classic rename-without-dir-fsync hole.  Best
+    effort: platforms that cannot open a directory simply skip it.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(os.fspath(path), flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_payload(payload: dict[str, Any], result_path: str) -> None:
+    """Commit an attempt payload atomically *and durably*.
+
+    Same-directory temp file, fsync, rename -- then fsync the directory
+    so the committed unit cannot vanish between the rename and the
+    dirent flush (the durability regression test inspects exactly this
+    call pattern).
+    """
+    directory = os.path.dirname(result_path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, result_path)
+        fsync_dir(directory)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_payload(path: str | Path, attempt: int | None = None) -> dict | None:
+    """The attempt payload at ``path`` if intact (and attempt matches)."""
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:
+        # Missing, truncated, or version skew: treat as "no payload"
+        # and let the exit status classify the attempt.
+        return None
+    if not isinstance(payload, dict) or "ok" not in payload:
+        return None
+    if attempt is not None and payload.get("attempt") != attempt:
+        return None
+    return payload
+
+
+# -- records ------------------------------------------------------------------
+
+
+@dataclass
+class AttemptTask:
+    """One attempt the supervisor wants executed somewhere."""
+
+    index: int
+    attempt: int
+    fn: Callable[..., Any]
+    unit: dict[str, Any]
+    #: Where the backend (or its worker) may stage the raw payload; the
+    #: supervisor commits ok payloads to their final path itself.
+    result_path: Path
+    heartbeat_path: Path
+    heartbeat_s: float
+    chaos_spec: str | None = None
+
+
+@dataclass
+class AttemptDone:
+    """A finished attempt, classified with the supervisor vocabulary."""
+
+    index: int
+    attempt: int
+    status: str  # ok | raised | crashed | hung | stalled | vanished
+    exit_code: int | None
+    duration_s: float
+    error: str | None = None
+    payload: dict[str, Any] | None = None
+    #: Set when the payload already sits on disk at the task's staging
+    #: path (local backend): the supervisor commits it with a rename
+    #: instead of re-pickling.
+    result_path: Path | None = None
+    #: Which worker agent ran the attempt (queue backend), if any.
+    worker: str | None = None
+
+
+def classify_attempt(payload: dict | None, kill_reason: str | None,
+                     exit_code: int | None) -> tuple[str, str | None]:
+    """``(status, error)`` for a finished attempt.
+
+    Shared by every backend so a crash looks the same whether the
+    process died under the local pool, inside a worker agent on another
+    host, or in an offline array task.
+    """
+    if payload is not None:
+        if payload["ok"]:
+            return "ok", None
+        return "raised", payload.get("error")
+    if kill_reason is not None:
+        return kill_reason, None
+    if exit_code == 0:
+        return "vanished", "exited 0 without shipping a result"
+    return "crashed", f"exit code {exit_code}"
+
+
+# -- the protocol -------------------------------------------------------------
+
+
+class ExecutorBackend:
+    """Base class (and de-facto protocol) for campaign executors."""
+
+    #: Registry name; also what ``CampaignReport``/journal records carry.
+    kind = "abstract"
+
+    def attach(self, *, policy: Any, scratch: Path, journal: Any,
+               registry: Any, trace_id: str, key: str) -> None:
+        """Bind per-campaign context before the first ``submit``.
+
+        Called once by :func:`~repro.campaign.supervisor.run_supervised`
+        after the journal is open; backends keep what they need.
+        """
+        self._policy = policy
+        self._scratch = scratch
+        self._journal = journal
+        self._registry = registry
+        self._trace_id = trace_id
+        self._key = key
+
+    def slots(self, workers: int) -> int:
+        """Concurrent-dispatch cap given the supervisor's worker count.
+
+        The local pool is bounded by ``workers``; distributed backends
+        accept every unit immediately and let their own scheduling
+        decide (a queue hands units out as agents ask).
+        """
+        return workers
+
+    @property
+    def in_flight(self) -> int:
+        raise NotImplementedError
+
+    def submit(self, task: AttemptTask) -> None:
+        raise NotImplementedError
+
+    def poll(self) -> list[AttemptDone]:
+        raise NotImplementedError
+
+    def cancel(self, index: int) -> None:
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.kind
+
+
+# -- worker-side attempt shim -------------------------------------------------
+#
+# Runs inside the spawn process of one attempt -- under the local
+# backend directly, and inside the children of `python -m repro worker`
+# agents under the queue backend.  Module-level so spawn can pickle it.
+
+#: Set while an attempt runs; lets chaos ``stall`` mode silence the
+#: heartbeat from inside the unit.
+_heartbeat_stop: threading.Event | None = None
+
+
+def stop_heartbeat() -> None:
+    """Stop this worker's heartbeat thread (chaos ``stall`` mode)."""
+    if _heartbeat_stop is not None:
+        _heartbeat_stop.set()
+
+
+def _heartbeat_loop(path: str, interval: float,
+                    stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+
+def attempt_main(fn: Callable[..., Any], unit: dict[str, Any], index: int,
+                 attempt: int, result_path: str, heartbeat_path: str,
+                 heartbeat_s: float, chaos_spec: str | None) -> None:
+    """Entry point of one attempt process (module-level for spawn).
+
+    Runs the unit under its own tracer + scoped registry, beating the
+    heartbeat file from a daemon thread the whole time, and ships a
+    single atomic payload: ``{ok, attempt, result|error, spans,
+    metrics}``.  Any failure mode that prevents the payload from
+    landing -- SIGKILL, wedge, payload pickling crash -- is what the
+    supervising side classifies from the outside.
+    """
+    global _heartbeat_stop
+    stop = threading.Event()
+    _heartbeat_stop = stop
+    Path(heartbeat_path).touch()
+    beat = threading.Thread(target=_heartbeat_loop,
+                            args=(heartbeat_path, heartbeat_s, stop),
+                            daemon=True)
+    beat.start()
+
+    tracer = Tracer()
+    payload: dict[str, Any] = {"ok": True, "attempt": attempt}
+    # Trace context is inherited from the environment the parent
+    # stamped ($REPRO_TRACE_ID / $REPRO_LOG_JSON): every event this
+    # worker emits lands in the campaign's event log under the
+    # campaign's trace id.  unit_start goes out (flushed) *before* the
+    # chaos injection point, so a SIGKILL'd attempt still leaves its
+    # trail -- the flush-on-failure tests kill workers to check this.
+    with tracing(tracer), scoped_registry() as registry, \
+            event_context("unit", unit=index, attempt=attempt):
+        emit("unit_start")
+        try:
+            with tracer.span("unit", index=index):
+                chaos_mod.inject(chaos_spec, unit=index, attempt=attempt)
+                payload["result"] = fn(**unit)
+            emit("unit_result", status="ok")
+        except BaseException as exc:  # ship *any* unit failure upward
+            payload = {"ok": False, "attempt": attempt,
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "traceback": traceback.format_exc()}
+            emit("unit_result", level="error", status="raised",
+                 error=payload["error"])
+        snapshot = registry.snapshot()
+    stop.set()
+
+    trees = tracer.tree()
+    payload["spans"] = trees[0] if trees else None
+    payload["metrics"] = snapshot
+    write_payload(payload, result_path)
+    sys.exit(0 if payload["ok"] else 1)

@@ -1,0 +1,197 @@
+"""Job-array stub backend: render a campaign for offline execution.
+
+``--backend job-array:DIR`` does not run anything.  It lets the
+supervisor journal every dispatch as usual, then renders each pending
+attempt to a pickled task file plus one POSIX submission script, and
+stops by raising :class:`~repro.errors.CampaignExported` (which the
+CLI reports as a clean exit).  The intended life cycle::
+
+    repro analyze bundle --stream --backend job-array:campaign-x ...
+      -> campaign-x/tasks/task-00000.pkl ... + campaign-x/job-array.sh
+    sbatch --array=0-N campaign-x/job-array.sh     # or qsub / a loop
+      -> each array task runs `repro worker --job-array DIR --task K`,
+         commits its unit payload durably into the campaign scratch,
+         and appends attempt/done records to the shared journal
+    repro analyze bundle --stream --backend job-array:campaign-x \
+        --resume ...
+      -> every journaled unit is resumed; nothing re-executes.  (A
+         streamed analyze has two phase campaigns, so it takes two
+         export/submit/resume rounds -- the second export only renders
+         phase-2 units.)
+
+The journal (and the scratch directory next to it) is the only channel
+between the submitting host and the array tasks, so both must live on
+a filesystem all hosts share.  Task files are self-contained: the
+offline runner needs no coordinator, and re-running a task whose unit
+is already committed is a no-op (at-most-once via the committed
+payload, same rule the queue coordinator enforces).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.campaign.backends.base import (
+    AttemptDone,
+    AttemptTask,
+    ExecutorBackend,
+    attempt_main,
+    classify_attempt,
+    fsync_dir,
+    load_payload,
+)
+from repro.errors import CampaignExported, ConfigurationError
+
+__all__ = ["JobArrayBackend", "run_job_array_task"]
+
+_TASK_SCHEMA = "repro-jobarray/1"
+
+
+class JobArrayBackend(ExecutorBackend):
+    """Render-only backend; see the module docstring."""
+
+    kind = "job-array"
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self._pending: list[AttemptTask] = []
+
+    def slots(self, workers: int) -> int:
+        return 1 << 30  # accept the whole campaign before rendering
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def submit(self, task: AttemptTask) -> None:
+        self._pending.append(task)
+
+    def poll(self) -> list[AttemptDone]:
+        if not self._pending:
+            return []
+        script = self._render()
+        raise CampaignExported(directory=self.directory, script=script,
+                               tasks=len(self._pending), key=self._key)
+
+    def _render(self) -> Path:
+        tasks_dir = self.directory / "tasks"
+        tasks_dir.mkdir(parents=True, exist_ok=True)
+        journal = self._journal
+        if not self._policy.journal:
+            raise ConfigurationError(
+                "job-array backend requires journaling (policy.journal)")
+        for task_id, task in enumerate(self._pending):
+            record = {
+                "schema": _TASK_SCHEMA,
+                "key": self._key,
+                "task_id": task_id,
+                "index": task.index,
+                "attempt": task.attempt,
+                "fn": task.fn,
+                "unit": task.unit,
+                "heartbeat_s": task.heartbeat_s,
+                "chaos": task.chaos_spec,
+                "journal_path": str(journal.path),
+                "scratch": str(self._scratch),
+                "trace_id": self._trace_id,
+            }
+            path = tasks_dir / f"task-{task_id:05d}.pkl"
+            with open(path, "wb") as handle:
+                pickle.dump(record, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        fsync_dir(tasks_dir)
+        script = self.directory / "job-array.sh"
+        last = len(self._pending) - 1
+        script.write_text(
+            "#!/bin/sh\n"
+            f"# Campaign {self._key}: {len(self._pending)} exported "
+            "task(s).\n"
+            f"# SLURM:  sbatch --array=0-{last} {script.name}\n"
+            f"# PBS:    qsub -J 0-{last} {script.name}\n"
+            f"# Serial: for t in $(seq 0 {last}); do sh {script.name} "
+            "$t; done\n"
+            'TASK="${SLURM_ARRAY_TASK_ID:-${PBS_ARRAY_INDEX:-$1}}"\n'
+            f'exec {os.environ.get("REPRO_PYTHON", "python")} -m repro '
+            f'worker --job-array "{self.directory}" --task "$TASK"\n')
+        script.chmod(0o755)
+        fsync_dir(self.directory)
+        return script
+
+    def cancel(self, index: int) -> None:
+        self._pending = [t for t in self._pending if t.index != index]
+
+    def teardown(self) -> None:
+        self._pending.clear()
+
+
+def run_job_array_task(directory: str | Path, task_id: int) -> int:
+    """Execute one exported task offline; the array job's entry point.
+
+    Runs the attempt in a spawn child under the standard attempt shim,
+    commits an ok payload durably to the campaign scratch, and appends
+    ``attempt``/``done`` records to the shared journal (O_APPEND +
+    fsync: concurrent array tasks interleave whole lines).  Exit code:
+    0 when the unit payload is committed (including the already-done
+    no-op), 1 when the attempt failed.
+    """
+    task_path = Path(directory) / "tasks" / f"task-{task_id:05d}.pkl"
+    with open(task_path, "rb") as handle:
+        record = pickle.load(handle)
+    if record.get("schema") != _TASK_SCHEMA:
+        raise ConfigurationError(
+            f"unrecognized task schema in {task_path}")
+    index = record["index"]
+    attempt = record["attempt"]
+    scratch = Path(record["scratch"])
+    final = scratch / f"unit-{index}.pkl"
+    if load_payload(final) is not None:
+        return 0  # committed by an earlier run of this task: no-op
+    scratch.mkdir(parents=True, exist_ok=True)
+    result_path = scratch / f"unit-{index}.a{attempt}.res"
+    heartbeat_path = scratch / f"unit-{index}.a{attempt}.hb"
+    if record.get("trace_id"):
+        from repro.obs.events import TRACE_ENV
+        os.environ[TRACE_ENV] = str(record["trace_id"])
+    started = time.monotonic()
+    process = get_context("spawn").Process(
+        target=attempt_main,
+        args=(record["fn"], record["unit"], index, attempt,
+              str(result_path), str(heartbeat_path),
+              float(record.get("heartbeat_s", 1.0)), record.get("chaos")),
+        daemon=True)
+    process.start()
+    process.join()
+    payload = load_payload(result_path, attempt)
+    status, error = classify_attempt(payload, None, process.exitcode)
+    duration = time.monotonic() - started
+    heartbeat_path.unlink(missing_ok=True)
+    _append_journal(Path(record["journal_path"]), {
+        "event": "attempt", "unit": index, "attempt": attempt,
+        "status": status, "exit_code": process.exitcode,
+        "duration_s": round(duration, 3), "error": error,
+        "worker": f"job-array/{task_id}", "ts": time.time()})
+    if status == "ok":
+        os.replace(result_path, final)
+        fsync_dir(final.parent)
+        _append_journal(Path(record["journal_path"]), {
+            "event": "done", "unit": index, "attempts": attempt + 1,
+            "ts": time.time()})
+        return 0
+    result_path.unlink(missing_ok=True)
+    return 1
+
+
+def _append_journal(path: Path, record: dict) -> None:
+    import json
+    line = json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line)
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,173 @@
+"""Local spawn-pool backend: one process per attempt on this host.
+
+This is the supervisor's original executor loop, extracted behind the
+:class:`~repro.campaign.backends.base.ExecutorBackend` protocol with
+byte-identical behavior -- same scratch file naming, same liveness
+rules, same classification -- plus the clock-skew fix: heartbeat
+staleness is decided from *parent-monotonic observation times* of
+heartbeat-file changes, never by comparing a worker-written mtime
+against the parent's wall clock.  A heartbeat file stamped in 1970 by
+a skew-stepped clock still counts as a beat the moment its mtime is
+seen to change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.backends.base import (
+    AttemptDone,
+    AttemptTask,
+    ExecutorBackend,
+    attempt_main,
+    classify_attempt,
+    load_payload,
+)
+
+__all__ = ["LocalBackend"]
+
+
+@dataclass
+class _LiveAttempt:
+    process: Any
+    index: int
+    attempt: int
+    started_mono: float
+    result_path: Path
+    heartbeat_path: Path
+    #: When the worker's first heartbeat was observed -- the unit's
+    #: wall clock starts here, so spawn/import overhead never counts
+    #: against ``timeout_s``.
+    unit_started_mono: float | None = None
+    #: mtime_ns of the heartbeat file when last observed; only a
+    #: *change* counts as a beat, so the worker's clock never matters.
+    last_beat_mtime_ns: int | None = None
+    #: Parent ``time.monotonic()`` when that change was observed.
+    last_beat_mono: float | None = None
+    kill_reason: str | None = None
+
+
+class LocalBackend(ExecutorBackend):
+    """Spawn pool on this host (the default backend)."""
+
+    kind = "local"
+
+    def __init__(self) -> None:
+        self._context = get_context("spawn")
+        self._live: dict[int, _LiveAttempt] = {}
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._live)
+
+    def submit(self, task: AttemptTask) -> None:
+        task.result_path.unlink(missing_ok=True)
+        # The *worker* creates the heartbeat file: its appearance marks
+        # "interpreter up, imports done", which is when the unit's
+        # timeout clock starts.
+        task.heartbeat_path.unlink(missing_ok=True)
+        process = self._context.Process(
+            target=attempt_main,
+            args=(task.fn, task.unit, task.index, task.attempt,
+                  str(task.result_path), str(task.heartbeat_path),
+                  task.heartbeat_s, task.chaos_spec),
+            daemon=True)
+        process.start()
+        self._live[task.index] = _LiveAttempt(
+            process=process, index=task.index, attempt=task.attempt,
+            started_mono=time.monotonic(), result_path=task.result_path,
+            heartbeat_path=task.heartbeat_path)
+
+    def poll(self) -> list[AttemptDone]:
+        policy = self._policy
+        stale_after = policy.effective_stale_after_s
+        finished: list[AttemptDone] = []
+        for entry in list(self._live.values()):
+            if not entry.process.is_alive():
+                finished.append(self._settle(entry))
+                continue
+            self._check_liveness(entry, time.monotonic(),
+                                 timeout_s=policy.timeout_s,
+                                 stale_after=stale_after)
+            if entry.kill_reason is not None:
+                entry.process.kill()
+                finished.append(self._settle(entry))
+        return finished
+
+    def _check_liveness(self, entry: _LiveAttempt, now: float, *,
+                        timeout_s: float | None,
+                        stale_after: float) -> None:
+        """Set ``entry.kill_reason`` when the attempt must die.
+
+        All comparisons are between parent-monotonic timestamps: the
+        worker's own clock (and therefore the heartbeat file's mtime
+        *value*) never enters a liveness decision, only the fact that
+        the mtime changed since the last look.  The skewed-clock
+        regression tests drive this method directly.
+        """
+        if entry.unit_started_mono is None:
+            # Worker still booting: its first heartbeat starts the unit
+            # clock.  A worker that never comes up is caught here.
+            try:
+                stat = entry.heartbeat_path.stat()
+            except OSError:
+                stat = None
+            if stat is not None:
+                entry.unit_started_mono = now
+                entry.last_beat_mtime_ns = stat.st_mtime_ns
+                entry.last_beat_mono = now
+            elif now - entry.started_mono > stale_after:
+                entry.kill_reason = "stalled"
+            return
+        if (timeout_s is not None
+                and now - entry.unit_started_mono > timeout_s):
+            entry.kill_reason = "hung"
+            return
+        try:
+            mtime_ns = entry.heartbeat_path.stat().st_mtime_ns
+        except OSError:
+            mtime_ns = entry.last_beat_mtime_ns
+        if mtime_ns != entry.last_beat_mtime_ns:
+            entry.last_beat_mtime_ns = mtime_ns
+            entry.last_beat_mono = now
+        if now - entry.last_beat_mono > stale_after:
+            entry.kill_reason = "stalled"
+
+    def _settle(self, entry: _LiveAttempt) -> AttemptDone:
+        entry.process.join()
+        payload = load_payload(entry.result_path, entry.attempt)
+        status, error = classify_attempt(payload, entry.kill_reason,
+                                         entry.process.exitcode)
+        duration = time.monotonic() - entry.started_mono
+        exit_code = entry.process.exitcode
+        entry.process.close()
+        entry.heartbeat_path.unlink(missing_ok=True)
+        del self._live[entry.index]
+        return AttemptDone(
+            index=entry.index, attempt=entry.attempt, status=status,
+            exit_code=exit_code, duration_s=duration, error=error,
+            payload=payload, result_path=entry.result_path)
+
+    def cancel(self, index: int) -> None:
+        entry = self._live.get(index)
+        if entry is not None:
+            try:
+                entry.process.kill()
+            except (OSError, ValueError):
+                pass
+
+    def teardown(self) -> None:
+        # Reap every live attempt -- Ctrl-C or an engine bug must never
+        # leave orphan spawn workers behind.
+        for entry in self._live.values():
+            try:
+                entry.process.kill()
+                entry.process.join()
+                entry.process.close()
+            except (OSError, ValueError):
+                pass
+        self._live.clear()

@@ -1,0 +1,434 @@
+"""Multi-host work-queue backend: a lease-based TCP coordinator.
+
+The coordinator binds ``HOST:PORT`` and serves campaign units to any
+number of ``python -m repro worker --connect HOST:PORT`` agents, on
+this host or others.  Everything rides a newline-delimited JSON wire
+protocol (tasks and payloads travel as base64-pickled blobs inside
+JSON fields, since units carry rich non-JSON objects):
+
+=============  ===========  =============================================
+message        direction    meaning
+=============  ===========  =============================================
+``hello``      W -> C       agent registration (worker name, pid, host)
+``welcome``    C -> W       campaign key + trace id (agents stamp the
+                            trace id into their environment so child
+                            attempt processes emit into the campaign's
+                            correlated event log)
+``lease?``     W -> C       give me work
+``lease``      C -> W       one attempt: unit index, attempt, delivery
+                            counter, pickled ``(fn, unit)``, chaos spec,
+                            heartbeat/timeout/staleness parameters
+``idle``       C -> W       no work right now; ask again in ``poll_s``
+``heartbeat``  W -> C       relayed liveness for one held lease
+``kill``       C -> W       stop one attempt (expired lease, cancel)
+``result``     W -> C       finished attempt: exit code, kill reason,
+                            base64-pickled payload (spans + metrics
+                            included -- per-worker trace grafting works
+                            over the socket exactly as it does locally)
+``drain``      C -> W       campaign over; agent says goodbye and
+                            returns to its reconnect loop
+``goodbye``    W -> C       agent leaving
+=============  ===========  =============================================
+
+Lease state machine::
+
+    ready --grant--> leased --result--> closed (committed)
+      ^                |
+      |                +--no heartbeat for stale_after_s, or agent
+      |                   disconnect--> expired
+      +--expired, deliveries < 3: reassign (campaign_reassigned_total)
+                   deliveries = 3: closed (classified ``stalled``)
+
+**Clock discipline**: a lease's liveness clock is the coordinator-local
+``time.monotonic()`` stamped *when each heartbeat message is received*.
+Worker-side timestamps are never read -- an agent whose wall clock is
+days off is exactly as alive as its heartbeats are recent.
+
+**At-most-once commit**: results are keyed by ``(unit, attempt)``.  The
+first result to arrive closes the key -- the supervisor then commits
+the payload durably before journaling ``done`` -- and every later
+result for the same key (a partitioned agent's late answer, a race
+between the original and the reassigned delivery) is counted in
+``campaign_duplicate_results_total``, journaled, and dropped.
+
+Threading: an accept thread plus one reader thread per connection do
+nothing but push ``(conn_id, message, receive-monotonic)`` triples
+into an inbox queue.  All protocol state lives on the supervisor
+thread, mutated only inside :meth:`QueueBackend.poll` -- there are no
+locks around leases, tasks, or the journal.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import queue as queue_mod
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.campaign.backends.base import (
+    AttemptDone,
+    AttemptTask,
+    ExecutorBackend,
+    classify_attempt,
+)
+from repro.obs.events import emit
+
+__all__ = ["MAX_DELIVERIES", "QueueBackend", "decode_blob", "encode_blob"]
+
+#: How many times one (unit, attempt) is handed out before the
+#: coordinator stops chasing it and classifies the attempt ``stalled``
+#: (the supervisor's retry/quarantine machinery takes over from there).
+MAX_DELIVERIES = 3
+
+
+def encode_blob(obj: Any) -> str:
+    """Pickle ``obj`` into a base64 string (JSON-safe wire blob)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_blob(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+@dataclass
+class _Conn:
+    sock: socket.socket
+    worker: str | None = None  # set by hello
+
+    def __post_init__(self) -> None:
+        self.wlock = threading.Lock()
+
+
+@dataclass
+class _TaskState:
+    task: AttemptTask
+    deliveries: int = 0
+    closed: bool = False
+
+
+@dataclass
+class _Lease:
+    key: tuple[int, int]
+    conn_id: int
+    worker: str
+    delivery: int
+    granted_mono: float
+    #: Coordinator-local monotonic stamp of the last *received*
+    #: heartbeat (starts at grant time).  The only liveness clock.
+    last_beat_mono: float
+
+
+class QueueBackend(ExecutorBackend):
+    """Coordinator end of the distributed work queue."""
+
+    kind = "queue"
+
+    def __init__(self, host: str, port: int):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        # A streamed analyze runs two sequential campaigns on the same
+        # HOST:PORT; the second bind must not trip over TIME_WAIT.
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        #: The actual bound address -- tests bind port 0 and read the
+        #: ephemeral port from here before starting agents.
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._inbox: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+        self._conns: dict[int, _Conn] = {}
+        self._conn_seq = 0
+        self._conn_lock = threading.Lock()
+        self._ready: deque[tuple[int, int]] = deque()
+        self._tasks: dict[tuple[int, int], _TaskState] = {}
+        self._leases: dict[tuple[int, int], _Lease] = {}
+        self._closing = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-queue-accept", daemon=True)
+        self._accept_thread.start()
+
+    # -- socket plumbing (worker threads end here) ---------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: teardown
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                self._conn_seq += 1
+                conn_id = self._conn_seq
+                self._conns[conn_id] = _Conn(sock=sock)
+            threading.Thread(target=self._read_loop, args=(conn_id, sock),
+                             name=f"repro-queue-read-{conn_id}",
+                             daemon=True).start()
+
+    def _read_loop(self, conn_id: int, sock: socket.socket) -> None:
+        buffer = b""
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                # EOF / error: a None message is the disconnect marker.
+                self._inbox.put((conn_id, None, time.monotonic()))
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                try:
+                    message = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue  # torn/garbled line: drop it, keep reading
+                if isinstance(message, dict):
+                    self._inbox.put((conn_id, message, time.monotonic()))
+
+    def _send(self, conn_id: int, message: dict[str, Any]) -> None:
+        conn = self._conns.get(conn_id)
+        if conn is None:
+            return
+        data = json.dumps(message, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8") + b"\n"
+        try:
+            with conn.wlock:
+                conn.sock.sendall(data)
+        except OSError:
+            pass  # reader thread will surface the disconnect
+
+    # -- backend protocol ----------------------------------------------------
+
+    def slots(self, workers: int) -> int:
+        # The queue accepts every unit immediately; agents pulling
+        # leases are the real concurrency limit.
+        return 1 << 30
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for state in self._tasks.values() if not state.closed)
+
+    @property
+    def workers_connected(self) -> int:
+        return sum(1 for conn in self._conns.values()
+                   if conn.worker is not None)
+
+    def submit(self, task: AttemptTask) -> None:
+        key = (task.index, task.attempt)
+        self._tasks[key] = _TaskState(task=task)
+        self._ready.append(key)
+
+    def poll(self) -> list[AttemptDone]:
+        finished: list[AttemptDone] = []
+        while True:
+            try:
+                conn_id, message, recv_mono = self._inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+            self._handle(conn_id, message, recv_mono, finished)
+        now = time.monotonic()
+        stale_after = self._policy.effective_stale_after_s
+        for key, lease in list(self._leases.items()):
+            if now - lease.last_beat_mono > stale_after:
+                self._expire(key, lease, reason="stale", out=finished)
+        return finished
+
+    def cancel(self, index: int) -> None:
+        for key, lease in list(self._leases.items()):
+            if key[0] == index:
+                self._send(lease.conn_id, {"op": "kill", "index": key[0],
+                                           "attempt": key[1],
+                                           "reason": "cancelled"})
+
+    def teardown(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn_id, conn in list(self._conns.items()):
+            self._send(conn_id, {"op": "drain"})
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self._conns.clear()
+        self._accept_thread.join(timeout=2.0)
+
+    # -- protocol handling (supervisor thread only) --------------------------
+
+    def _handle(self, conn_id: int, message: dict[str, Any] | None,
+                recv_mono: float, out: list[AttemptDone]) -> None:
+        """Process one inbox entry.  Directly driven by the wire tests."""
+        if message is None:
+            self._disconnect(conn_id, out)
+            return
+        op = message.get("op")
+        if op == "hello":
+            conn = self._conns.get(conn_id)
+            if conn is not None:
+                conn.worker = str(message.get("worker") or f"conn-{conn_id}")
+                self._journal.append({"event": "worker_hello",
+                               "worker": conn.worker,
+                               "host": message.get("host"),
+                               "worker_pid": message.get("pid"),
+                               "ts": time.time()})
+                emit("worker_hello", worker=conn.worker,
+                     host=message.get("host"))
+                self._registry.gauge("campaign_workers_connected",
+                                     self.workers_connected)
+            self._send(conn_id, {"op": "welcome", "campaign": self._key,
+                                 "trace_id": self._trace_id})
+        elif op == "lease?":
+            if self._ready and not self._closing:
+                self._grant(conn_id, self._ready.popleft(), recv_mono)
+            elif self._closing:
+                self._send(conn_id, {"op": "drain"})
+            else:
+                self._send(conn_id, {"op": "idle",
+                                     "poll_s": self._policy.poll_s})
+        elif op == "heartbeat":
+            key = (message.get("index"), message.get("attempt"))
+            lease = self._leases.get(key)
+            # Worker-stamped time fields in the message, if any, are
+            # deliberately ignored: recv_mono is the liveness clock.
+            if lease is not None and lease.conn_id == conn_id:
+                lease.last_beat_mono = recv_mono
+        elif op == "result":
+            self._result(conn_id, message, recv_mono, out)
+        elif op == "goodbye":
+            self._disconnect(conn_id, out, goodbye=True)
+
+    def _grant(self, conn_id: int, key: tuple[int, int],
+               now_mono: float) -> None:
+        state = self._tasks[key]
+        conn = self._conns.get(conn_id)
+        worker = (conn.worker if conn is not None and conn.worker
+                  else f"conn-{conn_id}")
+        delivery = state.deliveries
+        state.deliveries += 1
+        task = state.task
+        self._leases[key] = _Lease(
+            key=key, conn_id=conn_id, worker=worker, delivery=delivery,
+            granted_mono=now_mono, last_beat_mono=now_mono)
+        self._journal.append({"event": "lease", "unit": key[0], "attempt": key[1],
+                       "delivery": delivery, "worker": worker,
+                       "ts": time.time()})
+        emit("lease", unit=key[0], attempt=key[1], delivery=delivery,
+             worker=worker)
+        self._send(conn_id, {
+            "op": "lease", "index": key[0], "attempt": key[1],
+            "delivery": delivery,
+            "task": encode_blob((task.fn, task.unit)),
+            "chaos": task.chaos_spec,
+            "heartbeat_s": task.heartbeat_s,
+            "timeout_s": self._policy.timeout_s,
+            "stale_after_s": self._policy.effective_stale_after_s})
+
+    def _result(self, conn_id: int, message: dict[str, Any],
+                recv_mono: float, out: list[AttemptDone]) -> None:
+        key = (message.get("index"), message.get("attempt"))
+        state = self._tasks.get(key)
+        worker = str(message.get("worker") or f"conn-{conn_id}")
+        if state is None or state.closed:
+            # A second answer for an already-closed key: the at-most-once
+            # guarantee is enforced here, not at the worker.
+            self._registry.counter("campaign_duplicate_results_total")
+            self._journal.append({"event": "duplicate_result", "unit": key[0],
+                           "attempt": key[1], "worker": worker,
+                           "ts": time.time()})
+            emit("duplicate_result", level="warning", unit=key[0],
+                 attempt=key[1], worker=worker)
+            return
+        state.closed = True
+        lease = self._leases.pop(key, None)
+        if key in self._ready:
+            # The key had expired and was queued for redelivery, but the
+            # original worker's answer arrived first: accept it, stop
+            # the redelivery.
+            self._ready.remove(key)
+        if lease is not None and lease.conn_id != conn_id:
+            # A reassigned delivery is still running elsewhere; its
+            # eventual answer will be dropped as a duplicate, but stop
+            # it now rather than waste the worker.
+            self._send(lease.conn_id, {"op": "kill", "index": key[0],
+                                       "attempt": key[1],
+                                       "reason": "superseded"})
+        payload = None
+        blob = message.get("payload")
+        if blob:
+            try:
+                payload = decode_blob(blob)
+            except Exception:
+                payload = None
+            if (not isinstance(payload, dict) or "ok" not in payload
+                    or payload.get("attempt") != key[1]):
+                payload = None
+        status, error = classify_attempt(
+            payload, message.get("kill_reason"), message.get("exit_code"))
+        duration = message.get("duration_s")
+        if not isinstance(duration, (int, float)):
+            granted = lease.granted_mono if lease is not None else recv_mono
+            duration = recv_mono - granted
+        out.append(AttemptDone(
+            index=key[0], attempt=key[1], status=status,
+            exit_code=message.get("exit_code"), duration_s=float(duration),
+            error=error, payload=payload, result_path=None, worker=worker))
+
+    def _expire(self, key: tuple[int, int], lease: _Lease, *, reason: str,
+                out: list[AttemptDone]) -> None:
+        self._leases.pop(key, None)
+        state = self._tasks[key]
+        self._registry.counter("campaign_lease_expired_total")
+        self._journal.append({"event": "lease_expired", "unit": key[0],
+                       "attempt": key[1], "delivery": lease.delivery,
+                       "worker": lease.worker, "reason": reason,
+                       "ts": time.time()})
+        emit("lease_expired", level="warning", unit=key[0], attempt=key[1],
+             delivery=lease.delivery, worker=lease.worker, reason=reason)
+        # Best effort: a live-but-silent agent should stop burning CPU.
+        self._send(lease.conn_id, {"op": "kill", "index": key[0],
+                                   "attempt": key[1], "reason": "expired"})
+        if state.deliveries < MAX_DELIVERIES:
+            self._registry.counter("campaign_reassigned_total")
+            self._journal.append({"event": "reassign", "unit": key[0],
+                           "attempt": key[1], "delivery": state.deliveries,
+                           "ts": time.time()})
+            emit("reassign", unit=key[0], attempt=key[1],
+                 delivery=state.deliveries)
+            self._ready.append(key)
+        else:
+            state.closed = True
+            out.append(AttemptDone(
+                index=key[0], attempt=key[1], status="stalled",
+                exit_code=None,
+                duration_s=time.monotonic() - lease.granted_mono,
+                error=(f"lease expired ({reason}) after "
+                       f"{state.deliveries} deliveries"),
+                payload=None, result_path=None, worker=lease.worker))
+
+    def _disconnect(self, conn_id: int, out: list[AttemptDone],
+                    goodbye: bool = False) -> None:
+        conn = self._conns.pop(conn_id, None)
+        if conn is None:
+            return
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if conn.worker is not None:
+            self._journal.append({"event": "worker_goodbye", "worker": conn.worker,
+                           "clean": goodbye, "ts": time.time()})
+            emit("worker_goodbye", worker=conn.worker, clean=goodbye)
+            self._registry.gauge("campaign_workers_connected",
+                                 self.workers_connected)
+        # Leases held by a vanished agent expire immediately: a killed
+        # worker must cost one reassignment, not a staleness window.
+        for key, lease in list(self._leases.items()):
+            if lease.conn_id == conn_id:
+                self._expire(key, lease, reason="disconnect", out=out)

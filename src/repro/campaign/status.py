@@ -1,0 +1,237 @@
+"""Campaign journal inspection: ``python -m repro campaign-status``.
+
+Reconstructs the per-unit state of a supervised campaign *from the
+write-ahead journal alone* -- the same fold ``--resume`` performs,
+extended with everything an operator wants to know before deciding
+whether to resume: attempts and their classifications, quarantines,
+lease/reassignment history (distributed campaigns), and a resumability
+verdict that cross-checks each journaled ``done`` against the intact
+committed payload the resume path would actually load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.backends.base import load_payload
+from repro.campaign.supervisor import Journal
+from repro.errors import ConfigurationError
+
+__all__ = ["CampaignStatus", "UnitStatus", "inspect_journal",
+           "render_status", "scan_journals"]
+
+
+@dataclass
+class UnitStatus:
+    """One unit's journaled history, folded."""
+
+    index: int
+    state: str = "pending"  # pending | dispatched | done | quarantined
+    attempts: list[dict[str, Any]] = field(default_factory=list)
+    dispatches: int = 0
+    leases: int = 0
+    reassignments: int = 0
+    payload_intact: bool | None = None  # done units only
+    workers: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CampaignStatus:
+    """Everything :func:`inspect_journal` reconstructs for one campaign."""
+
+    journal_path: Path
+    key: str | None
+    kind: str | None
+    backend: str | None
+    units: int | None
+    ended: bool
+    end_accounting: dict[str, Any] | None
+    unit_states: dict[int, UnitStatus]
+    duplicate_results: int = 0
+    lease_expirations: int = 0
+    workers_seen: list[str] = field(default_factory=list)
+
+    @property
+    def done(self) -> list[int]:
+        return sorted(i for i, u in self.unit_states.items()
+                      if u.state == "done")
+
+    @property
+    def quarantined(self) -> list[int]:
+        return sorted(i for i, u in self.unit_states.items()
+                      if u.state == "quarantined")
+
+    @property
+    def unfinished(self) -> list[int]:
+        finished = {i for i, u in self.unit_states.items()
+                    if u.state in ("done", "quarantined")}
+        if self.units is None:
+            return sorted(set(self.unit_states) - finished)
+        return [i for i in range(self.units) if i not in finished]
+
+    @property
+    def resumable_units(self) -> list[int]:
+        """Done units whose committed payload is still intact on disk --
+        exactly what ``--resume`` will skip."""
+        return [i for i in self.done
+                if self.unit_states[i].payload_intact]
+
+    @property
+    def verdict(self) -> str:
+        if self.units is None:
+            return "unreadable (no begin record)"
+        if self.ended and not self.quarantined and not self.unfinished:
+            return "complete"
+        resumable = len(self.resumable_units)
+        broken = [i for i in self.done
+                  if not self.unit_states[i].payload_intact]
+        parts = [f"resumable: {resumable}/{self.units} unit(s) "
+                 f"skip re-execution"]
+        if broken:
+            parts.append(f"{len(broken)} done unit(s) lost their "
+                         f"payload and will re-run: {broken}")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined unit(s) "
+                         f"will retry: {self.quarantined}")
+        return "; ".join(parts)
+
+
+def inspect_journal(path: str | Path) -> CampaignStatus:
+    """Fold one campaign journal into a :class:`CampaignStatus`."""
+    path = Path(path)
+    records = Journal.read(path)
+    scratch = path.parent / path.stem
+    status = CampaignStatus(
+        journal_path=path, key=None, kind=None, backend=None, units=None,
+        ended=False, end_accounting=None, unit_states={})
+
+    def unit(index: int) -> UnitStatus:
+        return status.unit_states.setdefault(index, UnitStatus(index=index))
+
+    workers: set[str] = set()
+    for record in records:
+        event = record.get("event")
+        if event == "begin":
+            status.key = record.get("key")
+            status.kind = record.get("kind")
+            status.backend = record.get("backend", "local")
+            status.units = record.get("units")
+            for index in record.get("resumed") or []:
+                if isinstance(index, int):
+                    unit(index).state = "done"
+        elif event == "dispatch":
+            entry = unit(record["unit"])
+            entry.dispatches += 1
+            if entry.state == "pending":
+                entry.state = "dispatched"
+        elif event == "lease":
+            entry = unit(record["unit"])
+            entry.leases += 1
+            if record.get("worker"):
+                entry.workers.append(record["worker"])
+                workers.add(record["worker"])
+        elif event == "reassign":
+            unit(record["unit"]).reassignments += 1
+        elif event == "lease_expired":
+            status.lease_expirations += 1
+        elif event == "duplicate_result":
+            status.duplicate_results += 1
+        elif event == "attempt":
+            entry = unit(record["unit"])
+            entry.attempts.append(
+                {k: record.get(k) for k in
+                 ("attempt", "status", "exit_code", "duration_s",
+                  "error", "worker")})
+            if record.get("worker"):
+                workers.add(record["worker"])
+        elif event == "done":
+            unit(record["unit"]).state = "done"
+        elif event == "quarantine":
+            unit(record["unit"]).state = "quarantined"
+        elif event == "worker_hello" and record.get("worker"):
+            workers.add(record["worker"])
+        elif event == "end":
+            status.ended = True
+            status.end_accounting = {
+                k: record.get(k) for k in
+                ("units", "done", "resumed", "retried", "quarantined",
+                 "attempts", "complete")}
+    status.workers_seen = sorted(workers)
+    complete = bool(status.ended
+                    and (status.end_accounting or {}).get("complete"))
+    for index, entry in status.unit_states.items():
+        if entry.state != "done":
+            continue
+        if complete and not scratch.is_dir():
+            # A complete campaign reaps its scratch payloads; nothing
+            # is lost, there is just nothing left to resume from.
+            entry.payload_intact = None
+            continue
+        payload = load_payload(scratch / f"unit-{index}.pkl")
+        entry.payload_intact = payload is not None and payload["ok"]
+    return status
+
+
+def scan_journals(root: str | Path) -> list[Path]:
+    """Campaign journals under ``root`` (or ``root`` itself if a file)."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    if not root.is_dir():
+        raise ConfigurationError(f"no journal directory at {root}")
+    return sorted(p for p in root.glob("*.jsonl") if p.is_file())
+
+
+def render_status(status: CampaignStatus, *, verbose: bool = False) -> str:
+    """Human-readable status block for one campaign."""
+    lines: list[str] = []
+    key = (status.key or status.journal_path.stem)[:16]
+    header = f"campaign {key}  [{status.backend or 'local'}]"
+    if status.kind:
+        header += f"  {status.kind}"
+    lines.append(header)
+    if status.units is None:
+        lines.append("  journal has no begin record (torn or foreign file)")
+        return "\n".join(lines)
+    lines.append(f"  journal: {status.journal_path}")
+    counts = {"pending": 0, "dispatched": 0, "done": 0, "quarantined": 0}
+    for index in range(status.units):
+        entry = status.unit_states.get(index)
+        counts[entry.state if entry else "pending"] += 1
+    lines.append(
+        f"  units: {status.units}  done: {counts['done']}  "
+        f"quarantined: {counts['quarantined']}  "
+        f"in-flight/pending: {counts['dispatched'] + counts['pending']}  "
+        f"ended: {'yes' if status.ended else 'no'}")
+    if status.workers_seen:
+        lines.append(f"  workers: {', '.join(status.workers_seen)}")
+    if status.lease_expirations or status.duplicate_results:
+        lines.append(
+            f"  leases expired: {status.lease_expirations}  "
+            f"duplicate results dropped: {status.duplicate_results}")
+    for index in range(status.units):
+        entry = status.unit_states.get(index)
+        if entry is None:
+            if verbose:
+                lines.append(f"  unit {index}: pending (never dispatched)")
+            continue
+        show = verbose or entry.state not in ("done",) \
+            or entry.payload_intact is False or len(entry.attempts) > 1
+        if not show:
+            continue
+        detail = f"  unit {index}: {entry.state}"
+        if entry.attempts:
+            trail = ",".join(a["status"] or "?" for a in entry.attempts)
+            detail += f"  attempts[{len(entry.attempts)}]: {trail}"
+        if entry.reassignments:
+            detail += f"  reassigned x{entry.reassignments}"
+        if entry.state == "done" and entry.payload_intact is False:
+            detail += "  (payload missing: will re-run on resume)"
+        errors = [a["error"] for a in entry.attempts if a.get("error")]
+        if errors and entry.state == "quarantined":
+            detail += f"  last error: {errors[-1]}"
+        lines.append(detail)
+    lines.append(f"  resume verdict: {status.verdict}")
+    return "\n".join(lines)

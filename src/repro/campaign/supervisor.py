@@ -54,17 +54,23 @@ import json
 import os
 import pickle
 import shutil
-import sys
-import tempfile
-import threading
 import time
-import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.campaign.backends import (
+    AttemptDone,
+    AttemptTask,
+    ExecutorBackend,
+    create_backend,
+    fsync_dir,
+    load_payload,
+    parse_backend_spec,
+    stop_heartbeat,
+    write_payload,
+)
 from repro.campaign.cache import canonical_params, code_salt, default_cache_dir
 from repro.campaign.engine import resolve_jobs
 from repro.errors import CampaignError, ConfigurationError
@@ -76,8 +82,8 @@ from repro.obs.events import (
     event_context,
     new_trace_id,
 )
-from repro.obs.metrics import get_registry, scoped_registry
-from repro.obs.tracing import Tracer, current_tracer, span, tracing
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import current_tracer, span
 from repro.util.rngs import substream
 
 __all__ = ["JOURNAL_SCHEMA", "AttemptRecord", "CampaignAborted",
@@ -147,8 +153,12 @@ class SupervisorPolicy:
     chaos: str | None = None
     #: Parent poll interval while attempts run.
     poll_s: float = 0.02
+    #: Executor backend spec: ``local`` | ``queue:HOST:PORT`` |
+    #: ``job-array:DIR`` (see :mod:`repro.campaign.backends`).
+    backend: str = "local"
 
     def __post_init__(self) -> None:
+        parse_backend_spec(self.backend)  # fail fast on bad specs
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ConfigurationError(
                 f"timeout_s must be > 0, got {self.timeout_s}")
@@ -176,19 +186,23 @@ class SupervisorPolicy:
 def build_policy(*, timeout_s: float | None = None,
                  retries: int | None = None, resume: bool = False,
                  allow_partial: bool = False, chaos: str | None = None,
-                 seed: int = 0) -> SupervisorPolicy | None:
+                 seed: int = 0,
+                 backend: str | None = None) -> SupervisorPolicy | None:
     """Policy from CLI flags; ``None`` when no supervision flag was set.
 
     This is what keeps supervision opt-in: a plain ``analyze --stream``
-    keeps the exact pre-supervisor execution path.
+    keeps the exact pre-supervisor execution path.  Any ``--backend``
+    flag (even an explicit ``local``) opts in, since non-local backends
+    only exist under supervision.
     """
     if (timeout_s is None and retries is None and not resume
-            and not allow_partial and chaos is None):
+            and not allow_partial and chaos is None and backend is None):
         return None
     return SupervisorPolicy(
         timeout_s=timeout_s,
         retries=retries if retries is not None else 2,
-        resume=resume, allow_partial=allow_partial, chaos=chaos, seed=seed)
+        resume=resume, allow_partial=allow_partial, chaos=chaos, seed=seed,
+        backend=backend if backend is not None else "local")
 
 
 # -- records ----------------------------------------------------------------
@@ -319,7 +333,13 @@ class Journal:
 
     def open(self) -> "Journal":
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
         self._handle = open(self.path, "ab")
+        if created:
+            # The journal file's own dirent must survive power loss too,
+            # or a resumable campaign could lose its whole record while
+            # every fsync'd line inside it was "durable".
+            fsync_dir(self.path.parent)
         return self
 
     def append(self, record: dict[str, Any]) -> None:
@@ -354,97 +374,12 @@ class Journal:
         return records
 
 
-# -- worker side -------------------------------------------------------------
-
-#: Set while an attempt runs; lets chaos ``stall`` mode silence the
-#: heartbeat from inside the unit.
-_heartbeat_stop: threading.Event | None = None
-
-
-def stop_heartbeat() -> None:
-    """Stop this worker's heartbeat thread (chaos ``stall`` mode)."""
-    if _heartbeat_stop is not None:
-        _heartbeat_stop.set()
-
-
-def _heartbeat_loop(path: str, interval: float,
-                    stop: threading.Event) -> None:
-    while not stop.wait(interval):
-        try:
-            os.utime(path)
-        except OSError:
-            pass
-
-
-def _write_payload(payload: dict[str, Any], result_path: str) -> None:
-    """Commit the attempt payload atomically (same-dir temp + rename)."""
-    directory = os.path.dirname(result_path)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, result_path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-
-
-def _attempt_main(fn: Callable[..., Any], unit: dict[str, Any], index: int,
-                  attempt: int, result_path: str, heartbeat_path: str,
-                  heartbeat_s: float, chaos_spec: str | None) -> None:
-    """Entry point of one attempt process (module-level for spawn).
-
-    Runs the unit under its own tracer + scoped registry (same shape as
-    the plain pool's ``_traced_unit``), beating the heartbeat file from
-    a daemon thread the whole time, and ships a single atomic payload:
-    ``{ok, attempt, result|error, spans, metrics}``.  Any failure mode
-    that prevents the payload from landing -- SIGKILL, wedge, payload
-    pickling crash -- is what the parent classifies from the outside.
-    """
-    global _heartbeat_stop
-    stop = threading.Event()
-    _heartbeat_stop = stop
-    Path(heartbeat_path).touch()
-    beat = threading.Thread(target=_heartbeat_loop,
-                            args=(heartbeat_path, heartbeat_s, stop),
-                            daemon=True)
-    beat.start()
-
-    tracer = Tracer()
-    payload: dict[str, Any] = {"ok": True, "attempt": attempt}
-    # Trace context is inherited from the environment the parent
-    # stamped ($REPRO_TRACE_ID / $REPRO_LOG_JSON): every event this
-    # worker emits lands in the campaign's event log under the
-    # campaign's trace id.  unit_start goes out (flushed) *before* the
-    # chaos injection point, so a SIGKILL'd attempt still leaves its
-    # trail -- the flush-on-failure tests kill workers to check this.
-    with tracing(tracer), scoped_registry() as registry, \
-            event_context("unit", unit=index, attempt=attempt):
-        emit("unit_start")
-        try:
-            with tracer.span("unit", index=index):
-                chaos_mod.inject(chaos_spec, unit=index, attempt=attempt)
-                payload["result"] = fn(**unit)
-            emit("unit_result", status="ok")
-        except BaseException as exc:  # ship *any* unit failure upward
-            payload = {"ok": False, "attempt": attempt,
-                       "error": f"{type(exc).__name__}: {exc}",
-                       "traceback": traceback.format_exc()}
-            emit("unit_result", level="error", status="raised",
-                 error=payload["error"])
-        snapshot = registry.snapshot()
-    stop.set()
-
-    trees = tracer.tree()
-    payload["spans"] = trees[0] if trees else None
-    payload["metrics"] = snapshot
-    _write_payload(payload, result_path)
-    sys.exit(0 if payload["ok"] else 1)
-
-
 # -- parent side -------------------------------------------------------------
+#
+# The worker-side attempt shim (heartbeat thread, payload commit,
+# chaos injection point) lives in :mod:`repro.campaign.backends.base`
+# now that more than one executor runs it; ``stop_heartbeat`` is
+# re-exported above for chaos ``stall`` mode and API compatibility.
 
 
 @contextmanager
@@ -468,62 +403,21 @@ def _stamped_trace_env(trace_id: str):
             os.environ[TRACE_ENV] = previous
 
 
-@dataclass
-class _LiveAttempt:
-    process: Any
-    index: int
-    attempt: int
-    started_mono: float
-    result_path: Path
-    heartbeat_path: Path
-    #: When the worker's first heartbeat was observed -- the unit's
-    #: wall clock starts here, so spawn/import overhead never counts
-    #: against ``timeout_s``.
-    unit_started_mono: float | None = None
-    kill_reason: str | None = None
-
-
-def _load_payload(path: Path, attempt: int | None = None) -> dict | None:
-    """The attempt payload at ``path`` if intact (and attempt matches)."""
-    try:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except Exception:
-        # Missing, truncated (worker killed mid-write of the temp file
-        # never lands here, but a torn filesystem might), or version
-        # skew: treat as "no payload" and let exit status classify.
-        return None
-    if not isinstance(payload, dict) or "ok" not in payload:
-        return None
-    if attempt is not None and payload.get("attempt") != attempt:
-        return None
-    return payload
-
-
-def _classify(live: _LiveAttempt, payload: dict | None) -> tuple[str, str | None]:
-    """``(status, error)`` for a finished attempt."""
-    if payload is not None:
-        if payload["ok"]:
-            return "ok", None
-        return "raised", payload.get("error")
-    if live.kill_reason is not None:
-        return live.kill_reason, None
-    code = live.process.exitcode
-    if code == 0:
-        return "vanished", "exited 0 without shipping a result"
-    return "crashed", f"exit code {code}"
-
-
 def run_supervised(fn: Callable[..., Any],
                    units: Sequence[dict[str, Any]], *,
                    policy: SupervisorPolicy,
                    jobs: int | None = None,
-                   kind: str | None = None) -> CampaignReport:
+                   kind: str | None = None,
+                   backend: ExecutorBackend | None = None) -> CampaignReport:
     """Run every unit under supervision; see the module docstring.
 
     Returns the full :class:`CampaignReport`.  Raises
     :class:`CampaignAborted` (after finishing all other units) when a
     unit is quarantined and ``policy.allow_partial`` is off.
+
+    ``backend`` overrides ``policy.backend`` with an already-constructed
+    executor -- tests pass a bound :class:`QueueBackend` so they can
+    learn its ephemeral port before starting worker agents.
     """
     units = list(units)
     kind = kind or getattr(fn, "__qualname__", str(fn))
@@ -549,7 +443,8 @@ def run_supervised(fn: Callable[..., Any],
         chaos_spec = env_spec or None
     if chaos_spec is not None:
         chaos_mod.parse_chaos(chaos_spec)  # fail fast, before any dispatch
-    stale_after = policy.effective_stale_after_s
+    if backend is None:
+        backend = create_backend(policy.backend)
 
     # -- resume: trust only journal'd done-units whose payload is intact
     resumed: dict[int, dict[str, Any]] = {}
@@ -560,7 +455,7 @@ def run_supervised(fn: Callable[..., Any],
             index = record.get("unit")
             if not isinstance(index, int) or not (0 <= index < len(units)):
                 continue
-            payload = _load_payload(scratch / f"unit-{index}.pkl")
+            payload = load_payload(scratch / f"unit-{index}.pkl")
             if payload is not None and payload["ok"]:
                 resumed[index] = payload
 
@@ -568,6 +463,8 @@ def run_supervised(fn: Callable[..., Any],
     journal = Journal(journal_path)
     if policy.journal:
         journal.open()
+    backend.attach(policy=policy, scratch=scratch, journal=journal,
+                   registry=registry, trace_id=trace_id, key=key)
 
     outcomes: dict[int, UnitOutcome] = {
         index: UnitOutcome(index=index, status="resumed",
@@ -584,7 +481,8 @@ def run_supervised(fn: Callable[..., Any],
             event_context("campaign", trace_id=trace_id), \
             _stamped_trace_env(trace_id):
         emit("campaign_begin", key=key, kind=kind, units=len(units),
-             workers=workers, resumed=sorted(resumed))
+             workers=workers, resumed=sorted(resumed),
+             backend=backend.kind)
         registry.counter("campaign_units_total", len(units))
         registry.gauge("campaign_workers", workers)
         if resumed:
@@ -592,156 +490,118 @@ def run_supervised(fn: Callable[..., Any],
                              len(resumed))
         journal.append({"schema": JOURNAL_SCHEMA, "event": "begin",
                         "key": key, "kind": kind, "units": len(units),
+                        "backend": backend.kind,
                         "resumed": sorted(resumed), "ts": time.time()})
 
-        context = get_context("spawn")
         pending: list[tuple[int, int, float]] = [
             (index, 0, 0.0) for index in range(len(units))
             if index not in resumed]
-        live: dict[int, _LiveAttempt] = {}
+        slots = backend.slots(workers)
 
         def dispatch(index: int, attempt: int) -> None:
-            result_path = scratch / f"unit-{index}.a{attempt}.res"
-            heartbeat_path = scratch / f"unit-{index}.a{attempt}.hb"
-            result_path.unlink(missing_ok=True)
-            # The *worker* creates the heartbeat file: its appearance
-            # marks "interpreter up, imports done", which is when the
-            # unit's timeout clock starts.
-            heartbeat_path.unlink(missing_ok=True)
             journal.append({"event": "dispatch", "unit": index,
                             "attempt": attempt, "ts": time.time()})
             emit("dispatch", unit=index, attempt=attempt)
-            process = context.Process(
-                target=_attempt_main,
-                args=(fn, units[index], index, attempt, str(result_path),
-                      str(heartbeat_path), policy.heartbeat_s, chaos_spec),
-                daemon=True)
-            process.start()
+            backend.submit(AttemptTask(
+                index=index, attempt=attempt, fn=fn, unit=units[index],
+                result_path=scratch / f"unit-{index}.a{attempt}.res",
+                heartbeat_path=scratch / f"unit-{index}.a{attempt}.hb",
+                heartbeat_s=policy.heartbeat_s, chaos_spec=chaos_spec))
             counts["attempts"] += 1
             registry.counter("campaign_supervisor_attempts_total")
-            live[index] = _LiveAttempt(
-                process=process, index=index, attempt=attempt,
-                started_mono=time.monotonic(), result_path=result_path,
-                heartbeat_path=heartbeat_path)
 
-        def settle(entry: _LiveAttempt) -> None:
-            """Classify a finished attempt; retry or conclude the unit."""
-            entry.process.join()
-            payload = _load_payload(entry.result_path, entry.attempt)
-            status, error = _classify(entry, payload)
-            duration = time.monotonic() - entry.started_mono
+        def settle(done: AttemptDone) -> None:
+            """Record a finished attempt; retry or conclude the unit."""
             record = AttemptRecord(
-                attempt=entry.attempt, status=status,
-                exit_code=entry.process.exitcode, duration_s=duration,
-                error=error)
-            attempt_log[entry.index].append(record)
-            journal.append({"event": "attempt", "unit": entry.index,
-                            **record.as_dict(), "ts": time.time()})
-            emit("attempt", level="info" if status == "ok" else "warning",
-                 unit=entry.index, attempt=entry.attempt, status=status,
-                 exit_code=entry.process.exitcode, error=error)
-            entry.process.close()
-            entry.heartbeat_path.unlink(missing_ok=True)
-            del live[entry.index]
+                attempt=done.attempt, status=done.status,
+                exit_code=done.exit_code, duration_s=done.duration_s,
+                error=done.error)
+            attempt_log[done.index].append(record)
+            attempt_extra = ({"worker": done.worker}
+                             if done.worker is not None else {})
+            journal.append({"event": "attempt", "unit": done.index,
+                            **record.as_dict(), **attempt_extra,
+                            "ts": time.time()})
+            emit("attempt",
+                 level="info" if done.status == "ok" else "warning",
+                 unit=done.index, attempt=done.attempt, status=done.status,
+                 exit_code=done.exit_code, error=done.error,
+                 **attempt_extra)
 
-            if status == "ok":
-                final = scratch / f"unit-{entry.index}.pkl"
-                os.replace(entry.result_path, final)
-                outcomes[entry.index] = UnitOutcome(
-                    index=entry.index, status="done",
-                    attempts=attempt_log[entry.index],
-                    result=payload["result"])
-                telemetry[entry.index] = payload
-                journal.append({"event": "done", "unit": entry.index,
-                                "attempts": entry.attempt + 1,
+            if done.status == "ok":
+                # At-most-once commit: the unit's final payload lands
+                # durably (rename + dir fsync) before the journal's
+                # "done" line, so a "done" record always has an intact
+                # payload behind it for resume.
+                final = scratch / f"unit-{done.index}.pkl"
+                if done.result_path is not None and done.result_path.exists():
+                    os.replace(done.result_path, final)
+                    fsync_dir(final.parent)
+                else:
+                    write_payload(done.payload, str(final))
+                outcomes[done.index] = UnitOutcome(
+                    index=done.index, status="done",
+                    attempts=attempt_log[done.index],
+                    result=done.payload["result"])
+                telemetry[done.index] = done.payload
+                journal.append({"event": "done", "unit": done.index,
+                                "attempts": done.attempt + 1,
                                 "ts": time.time()})
-                emit("unit_done", unit=entry.index,
-                     attempts=entry.attempt + 1)
+                emit("unit_done", unit=done.index,
+                     attempts=done.attempt + 1)
                 return
 
             counts["failures"] += 1
             registry.counter("campaign_supervisor_failures_total")
-            if status in ("hung", "stalled"):
+            if done.status in ("hung", "stalled"):
                 counts["timeouts"] += 1
                 registry.counter("campaign_supervisor_timeouts_total")
-            failed_payloads[entry.index].append((entry.attempt, payload))
-            entry.result_path.unlink(missing_ok=True)
-            if entry.attempt < policy.retries:
+            failed_payloads[done.index].append((done.attempt, done.payload))
+            if done.result_path is not None:
+                done.result_path.unlink(missing_ok=True)
+            if done.attempt < policy.retries:
                 counts["retries"] += 1
                 registry.counter("campaign_supervisor_retries_total")
                 rng = substream(policy.seed,
-                                f"supervisor/backoff/{entry.index}/"
-                                f"{entry.attempt}")
+                                f"supervisor/backoff/{done.index}/"
+                                f"{done.attempt}")
                 delay = min(policy.backoff_cap_s,
-                            policy.backoff_base_s * 2 ** entry.attempt)
+                            policy.backoff_base_s * 2 ** done.attempt)
                 delay *= 0.5 + float(rng.random())
-                pending.append((entry.index, entry.attempt + 1,
+                pending.append((done.index, done.attempt + 1,
                                 time.monotonic() + delay))
             else:
-                outcomes[entry.index] = UnitOutcome(
-                    index=entry.index, status="quarantined",
-                    attempts=attempt_log[entry.index])
+                outcomes[done.index] = UnitOutcome(
+                    index=done.index, status="quarantined",
+                    attempts=attempt_log[done.index])
                 registry.counter("campaign_supervisor_quarantined_total")
                 journal.append({
-                    "event": "quarantine", "unit": entry.index,
+                    "event": "quarantine", "unit": done.index,
                     "attempts": [r.as_dict()
-                                 for r in attempt_log[entry.index]],
+                                 for r in attempt_log[done.index]],
                     "ts": time.time()})
-                emit("unit_quarantined", level="error", unit=entry.index,
-                     attempts=len(attempt_log[entry.index]))
+                emit("unit_quarantined", level="error", unit=done.index,
+                     attempts=len(attempt_log[done.index]))
 
         try:
-            while pending or live:
+            while pending or backend.in_flight:
                 now = time.monotonic()
                 ready = sorted(entry for entry in pending
                                if entry[2] <= now)
                 for entry in ready:
-                    if len(live) >= workers:
+                    if backend.in_flight >= slots:
                         break
                     pending.remove(entry)
                     dispatch(entry[0], entry[1])
-                for entry in list(live.values()):
-                    if not entry.process.is_alive():
-                        settle(entry)
-                        continue
-                    now = time.monotonic()
-                    if entry.unit_started_mono is None:
-                        # Worker still booting: its first heartbeat
-                        # starts the unit clock.  A worker that never
-                        # comes up at all is caught by staleness.
-                        if entry.heartbeat_path.exists():
-                            entry.unit_started_mono = now
-                        elif now - entry.started_mono > stale_after:
-                            entry.kill_reason = "stalled"
-                    else:
-                        age = now - entry.unit_started_mono
-                        if (policy.timeout_s is not None
-                                and age > policy.timeout_s):
-                            entry.kill_reason = "hung"
-                        elif age > stale_after:
-                            try:
-                                hb_age = time.time() - \
-                                    entry.heartbeat_path.stat().st_mtime
-                            except OSError:
-                                hb_age = age
-                            if hb_age > stale_after:
-                                entry.kill_reason = "stalled"
-                    if entry.kill_reason is not None:
-                        entry.process.kill()
-                        settle(entry)
-                if pending or live:
+                for done in backend.poll():
+                    settle(done)
+                if pending or backend.in_flight:
                     time.sleep(policy.poll_s)
         finally:
             # Teardown reaps every live attempt -- Ctrl-C or an engine
-            # bug must never leave orphan spawn workers behind.
-            for entry in live.values():
-                try:
-                    entry.process.kill()
-                    entry.process.join()
-                    entry.process.close()
-                except (OSError, ValueError):
-                    pass
-            live.clear()
+            # bug must never leave orphan workers behind, on this host
+            # or any other.
+            backend.teardown()
 
         # -- deterministic telemetry graft + metric merge, index order
         tracer = current_tracer()
@@ -786,9 +646,12 @@ def run_supervised(fn: Callable[..., Any],
     report = CampaignReport(
         key=key, journal_path=journal_path if policy.journal else None,
         outcomes=ordered, accounting=accounting)
-    if accounting.complete:
+    if accounting.complete and backend.kind != "job-array":
         # Nothing left to resume: drop the scratch payloads (the journal
-        # itself is kept as the durable record of what happened).
+        # itself is kept as the durable record of what happened).  Job-
+        # array campaigns keep theirs: a multi-phase run re-folds every
+        # earlier campaign on each --resume invocation, and reaping
+        # would force a re-export of work that already completed.
         shutil.rmtree(scratch, ignore_errors=True)
     if accounting.quarantined and not policy.allow_partial:
         raise CampaignAborted(report)

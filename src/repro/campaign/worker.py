@@ -1,0 +1,276 @@
+"""Worker agent for the distributed queue backend.
+
+``python -m repro worker --connect HOST:PORT`` runs this agent: a
+reconnect loop that registers with whatever coordinator is listening,
+pulls leases, runs each attempt in a fresh spawn child (the same
+:func:`~repro.campaign.backends.base.attempt_main` shim the local
+backend uses), relays the child's heartbeat-file beats over the wire,
+and ships the finished payload back base64-pickled.
+
+One agent serves *campaigns*, plural: a streamed analyze runs two
+sequential phase campaigns, each with its own coordinator lifetime on
+the same address, so the agent returns to its connect loop whenever a
+session ends (drain or disconnect) and only exits after ``max_idle_s``
+without reaching any coordinator.
+
+Failure duties:
+
+* The agent enforces the lease's ``timeout_s`` (kill child, report
+  ``hung``) and heartbeat staleness (report ``stalled``) locally --
+  the same classifications the local backend produces -- so the
+  coordinator's lease expiry only has to catch *agent* loss.
+* If the coordinator vanishes mid-unit, the agent kills its child
+  before reconnecting: a dead campaign must not leave orphan unit
+  processes running on worker hosts.
+* Agent-level chaos (``kill-worker`` / ``partition`` / ``slow-worker``)
+  triggers here, on lease receipt, keyed by the lease's delivery
+  counter -- see :func:`repro.faults.chaos.agent_action`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import time
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.backends.base import attempt_main, load_payload
+from repro.campaign.backends.queue import decode_blob, encode_blob
+from repro.faults import chaos as chaos_mod
+from repro.obs.events import TRACE_ENV, emit
+
+__all__ = ["run_worker"]
+
+#: How long a single blocking receive waits before the agent re-asks.
+_RECV_TIMEOUT_S = 10.0
+
+
+class _Channel:
+    """Single-threaded line-oriented JSON channel over one socket.
+
+    ``mute_until`` implements partition chaos: while muted, outgoing
+    messages are silently dropped and incoming bytes are left unread in
+    the kernel buffer -- the coordinator experiences a network-silent
+    agent, while the agent's child keeps computing.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+        self.mute_until = 0.0
+
+    def muted(self) -> bool:
+        return time.monotonic() < self.mute_until
+
+    def send(self, message: dict[str, Any]) -> None:
+        if self.muted():
+            return
+        data = json.dumps(message, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8") + b"\n"
+        try:
+            self.sock.sendall(data)
+        except OSError as exc:
+            raise ConnectionError(str(exc)) from exc
+
+    def recv(self, timeout: float) -> dict[str, Any] | None:
+        """Next message, or ``None`` on timeout; raises on disconnect."""
+        deadline = time.monotonic() + timeout
+        while b"\n" not in self._buffer:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            if self.muted():
+                time.sleep(min(0.05, remaining))
+                continue
+            self.sock.settimeout(remaining)
+            try:
+                chunk = self.sock.recv(65536)
+            except (TimeoutError, socket.timeout):
+                return None
+            except OSError as exc:
+                raise ConnectionError(str(exc)) from exc
+            if not chunk:
+                raise ConnectionError("coordinator closed the connection")
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return message if isinstance(message, dict) else None
+
+
+def run_worker(host: str, port: int, *, name: str | None = None,
+               max_idle_s: float = 60.0, poll_s: float = 0.25) -> int:
+    """Serve campaigns from ``host:port`` until idle for ``max_idle_s``.
+
+    Returns 0; intended as the exit code of ``python -m repro worker``.
+    """
+    name = name or f"{socket.gethostname()}-{os.getpid()}"
+    idle_deadline = time.monotonic() + max_idle_s
+    while time.monotonic() < idle_deadline:
+        try:
+            sock = socket.create_connection((host, port), timeout=1.0)
+        except OSError:
+            time.sleep(min(poll_s, 0.2))
+            continue
+        try:
+            _session(sock, name=name, poll_s=poll_s)
+        except ConnectionError:
+            pass  # coordinator went away; reconnect (next campaign/phase)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        # Any reachable coordinator resets the idle clock -- the agent
+        # outlives gaps between a campaign's phases, but not the end of
+        # the whole run.
+        idle_deadline = time.monotonic() + max_idle_s
+    emit("worker_exit", worker=name, reason="idle")
+    return 0
+
+
+def _session(sock: socket.socket, *, name: str, poll_s: float) -> None:
+    """One coordinator connection: hello -> lease loop -> drain."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    channel = _Channel(sock)
+    channel.send({"op": "hello", "worker": name, "pid": os.getpid(),
+                  "host": socket.gethostname()})
+    welcome = channel.recv(_RECV_TIMEOUT_S)
+    if welcome is None or welcome.get("op") != "welcome":
+        raise ConnectionError("no welcome from coordinator")
+    trace_id = welcome.get("trace_id")
+    if trace_id:
+        # Children spawned for this campaign inherit the campaign trace
+        # id from the environment, exactly as local attempts do.
+        os.environ[TRACE_ENV] = str(trace_id)
+    emit("worker_session", worker=name, campaign=welcome.get("campaign"))
+    while True:
+        channel.send({"op": "lease?"})
+        message = channel.recv(_RECV_TIMEOUT_S)
+        if message is None:
+            continue
+        op = message.get("op")
+        if op == "lease":
+            _run_lease(channel, message, name=name)
+        elif op == "idle":
+            time.sleep(float(message.get("poll_s", poll_s)))
+        elif op == "drain":
+            channel.send({"op": "goodbye"})
+            return
+
+
+def _apply_agent_chaos(channel: _Channel, lease: dict[str, Any]) -> None:
+    action = chaos_mod.agent_action(lease.get("chaos"),
+                                    unit=lease["index"],
+                                    delivery=lease.get("delivery", 0))
+    if action is None:
+        return
+    if action.mode == "kill-worker":
+        # A host/agent loss, from the coordinator's point of view: the
+        # connection drops with the lease held, forcing reassignment.
+        emit("chaos_kill_worker", level="warning", unit=lease["index"],
+             delivery=lease.get("delivery", 0))
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action.mode == "partition":
+        seconds = (action.param if action.param is not None
+                   else chaos_mod.DEFAULT_PARTITION_S)
+        channel.mute_until = time.monotonic() + seconds
+    elif action.mode == "slow-worker":
+        seconds = (action.param if action.param is not None
+                   else chaos_mod.DEFAULT_SLOW_S)
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            # A straggler, not a corpse: keep the lease visibly alive.
+            channel.send({"op": "heartbeat", "index": lease["index"],
+                          "attempt": lease["attempt"]})
+            time.sleep(min(float(lease.get("heartbeat_s", 1.0)), 0.2))
+
+
+def _run_lease(channel: _Channel, lease: dict[str, Any], *,
+               name: str) -> None:
+    index = lease["index"]
+    attempt = lease["attempt"]
+    _apply_agent_chaos(channel, lease)
+    fn, unit = decode_blob(lease["task"])
+    heartbeat_s = float(lease.get("heartbeat_s", 1.0))
+    timeout_s = lease.get("timeout_s")
+    stale_after = float(lease.get("stale_after_s", 10.0))
+    workdir = Path(tempfile.mkdtemp(prefix="repro-worker-"))
+    result_path = workdir / f"unit-{index}.a{attempt}.res"
+    heartbeat_path = workdir / f"unit-{index}.a{attempt}.hb"
+    process = get_context("spawn").Process(
+        target=attempt_main,
+        args=(fn, unit, index, attempt, str(result_path),
+              str(heartbeat_path), heartbeat_s, lease.get("chaos")),
+        daemon=True)
+    started_mono = time.monotonic()
+    process.start()
+    kill_reason: str | None = None
+    unit_started_mono: float | None = None
+    last_beat_mtime_ns: int | None = None
+    last_beat_mono: float | None = None
+    try:
+        while process.is_alive():
+            incoming = channel.recv(0.05)
+            now = time.monotonic()
+            if (incoming is not None and incoming.get("op") == "kill"
+                    and incoming.get("index") == index):
+                kill_reason = None  # coordinator already classified it
+                process.kill()
+                break
+            try:
+                mtime_ns = heartbeat_path.stat().st_mtime_ns
+            except OSError:
+                mtime_ns = None
+            if mtime_ns is not None and mtime_ns != last_beat_mtime_ns:
+                last_beat_mtime_ns = mtime_ns
+                last_beat_mono = now
+                if unit_started_mono is None:
+                    unit_started_mono = now
+                # Relay only *observed* beats: an in-unit stall (chaos
+                # ``stall``) goes silent on the wire too, so the
+                # coordinator sees exactly what a local parent would.
+                channel.send({"op": "heartbeat", "index": index,
+                              "attempt": attempt})
+            if unit_started_mono is None:
+                if now - started_mono > stale_after:
+                    kill_reason = "stalled"
+            elif (timeout_s is not None
+                    and now - unit_started_mono > timeout_s):
+                kill_reason = "hung"
+            elif now - last_beat_mono > stale_after:
+                kill_reason = "stalled"
+            if kill_reason is not None:
+                process.kill()
+                break
+        process.join()
+        payload = load_payload(result_path, attempt)
+        channel.send({
+            "op": "result", "index": index, "attempt": attempt,
+            "delivery": lease.get("delivery", 0),
+            "exit_code": process.exitcode,
+            "kill_reason": kill_reason,
+            "duration_s": round(time.monotonic() - started_mono, 3),
+            "payload": encode_blob(payload) if payload is not None else None,
+            "worker": name})
+        process.close()
+    except ConnectionError:
+        # Coordinator vanished mid-unit: never leave an orphan child
+        # computing for a campaign that no longer exists.
+        try:
+            process.kill()
+            process.join()
+            process.close()
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

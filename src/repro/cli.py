@@ -114,8 +114,15 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
                             "verdicts gate to n/a")
     group.add_argument("--chaos", default=None, metavar="SPEC",
                        help="arm the deterministic fault injector in "
-                            "workers, e.g. 'crash@0,hang@1:30' "
+                            "workers, e.g. 'crash@0,hang@1:30' or "
+                            "'kill-worker@1' with --backend queue "
                             "(see repro.faults.chaos)")
+    group.add_argument("--backend", default=None, metavar="SPEC",
+                       help="campaign executor: 'local' (spawn pool, "
+                            "default), 'queue:HOST:PORT' (serve units to "
+                            "'repro worker --connect' agents), or "
+                            "'job-array:DIR' (export tasks + submission "
+                            "script, collect later with --resume)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser, *,
@@ -247,6 +254,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--telemetry", default=None, metavar="DIR",
                          help="write trace.jsonl / metrics.prom / "
                               "metrics.json for this run to DIR")
+    analyze.add_argument("--summary-out", default=None, metavar="FILE",
+                         help="with --stream: write the merged summary as "
+                              "canonical JSON to FILE (byte-comparable "
+                              "across backends/workers)")
     _add_obs_flags(analyze, profile=True)
     _add_supervision_flags(analyze)
 
@@ -416,6 +427,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="rolling-baseline depth in records "
                             f"(default {DEFAULT_WINDOW})")
+
+    worker = sub.add_parser(
+        "worker", help="run a campaign worker agent (serves a "
+                       "'--backend queue' coordinator) or one exported "
+                       "job-array task")
+    worker.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="coordinator address to serve; the agent "
+                             "reconnects across campaigns/phases and "
+                             "exits after --max-idle-s without one")
+    worker.add_argument("--job-array", default=None, metavar="DIR",
+                        help="run one task exported by "
+                             "'--backend job-array:DIR' (with --task)")
+    worker.add_argument("--task", type=int, default=None, metavar="K",
+                        help="task id within the job-array export")
+    worker.add_argument("--name", default=None, metavar="NAME",
+                        help="worker name reported to the coordinator "
+                             "(default: hostname-pid)")
+    worker.add_argument("--max-idle-s", type=float, default=60.0,
+                        metavar="S",
+                        help="exit after S seconds without reaching any "
+                             "coordinator (default 60)")
+    worker.add_argument("--poll-s", type=float, default=0.25, metavar="S",
+                        help="reconnect/idle poll interval (default 0.25)")
+    _add_obs_flags(worker)
+
+    status = sub.add_parser(
+        "campaign-status",
+        help="inspect campaign journal(s): per-unit state, attempts, "
+             "quarantines, and a resumability verdict")
+    status.add_argument("journal", metavar="JOURNAL",
+                        help="a campaign journal file, or a directory "
+                             "holding *.jsonl journals")
+    status.add_argument("--verbose", "-v", action="store_true",
+                        help="list every unit, including clean "
+                             "single-attempt completions")
     return parser
 
 
@@ -541,6 +587,12 @@ def _cmd_analyze_stream(args: argparse.Namespace) -> int:
         print(f"\n=== {name} ===")
         print(_TABLES[name](analysis))
     summary = analysis.summary()
+    if args.summary_out:
+        from repro.validation.goldens import canonical_json
+
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(summary) + "\n")
+        print(f"summary: wrote {args.summary_out}")
     print(f"\nsystem-failure share: {summary['system_failure_share']:.4f}")
     print(f"failed node-hour share: {summary['failed_node_hour_share']:.4f}")
     if analysis.execution is not None:
@@ -954,6 +1006,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    if args.job_array is not None:
+        if args.connect is not None:
+            print("--connect and --job-array are mutually exclusive")
+            return 2
+        if args.task is None:
+            print("--job-array requires --task K")
+            return 2
+        from repro.campaign.backends.jobarray import run_job_array_task
+
+        return run_job_array_task(args.job_array, args.task)
+    if args.connect is None:
+        print("need --connect HOST:PORT or --job-array DIR --task K")
+        return 2
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"bad --connect address {args.connect!r}; "
+              f"expected HOST:PORT")
+        return 2
+    from repro.campaign.worker import run_worker
+
+    return run_worker(host, int(port), name=args.name,
+                      max_idle_s=args.max_idle_s, poll_s=args.poll_s)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign.status import (
+        inspect_journal,
+        render_status,
+        scan_journals,
+    )
+    from repro.errors import ConfigurationError
+
+    try:
+        journals = scan_journals(args.journal)
+    except ConfigurationError as exc:
+        print(str(exc))
+        return 2
+    if not journals:
+        print(f"no campaign journals (*.jsonl) under {args.journal}")
+        return 2
+    for index, path in enumerate(journals):
+        if index:
+            print()
+        print(render_status(inspect_journal(path), verbose=args.verbose))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "convert": _cmd_convert,
@@ -966,6 +1066,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "bench": _cmd_bench,
+    "worker": _cmd_worker,
+    "campaign-status": _cmd_campaign_status,
 }
 
 
@@ -975,11 +1077,18 @@ def _run_handler(handler, args: argparse.Namespace) -> int:
     A quarantined unit without ``--allow-partial`` is an *execution*
     failure, reported with its attempt log and journal path so the
     operator can rerun with ``--resume`` (completed units are kept).
+    A job-array export (``--backend job-array:DIR``) is a clean stop:
+    the submission instructions are printed and the exit code is 0.
     """
     from repro.campaign.supervisor import CampaignAborted
+    from repro.errors import CampaignExported
 
     try:
         return handler(args)
+    except CampaignExported as exc:
+        print(f"\n{exc}")
+        print(f"submission script: {exc.script}")
+        return 0
     except CampaignAborted as exc:
         report = exc.report
         print(f"\ncampaign aborted: {len(report.quarantined_indices)} "
@@ -1013,7 +1122,7 @@ def main(argv: list[str] | None = None) -> int:
             policy = build_policy(
                 timeout_s=args.timeout_s, retries=args.retries,
                 resume=args.resume, allow_partial=args.allow_partial,
-                chaos=args.chaos)
+                chaos=args.chaos, backend=args.backend)
         except ConfigurationError as exc:
             print(f"bad supervision flags: {exc}")
             return 2

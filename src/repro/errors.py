@@ -86,3 +86,24 @@ class CampaignError(ReproError):
     supervision policies.  The concrete abort carrying the partial
     report is :class:`repro.campaign.supervisor.CampaignAborted`.
     """
+
+
+class CampaignExported(CampaignError):
+    """A job-array backend rendered the campaign instead of running it.
+
+    Not a failure: the ``job-array:DIR`` backend's contract is to stop
+    after writing the task files and submission script, leaving the
+    journal primed for a later ``--resume`` to collect offline results.
+    The CLI catches this, prints the submission instructions, and exits
+    zero.
+    """
+
+    def __init__(self, *, directory, script, tasks: int, key: str):
+        super().__init__(
+            f"campaign {key[:12]} exported: {tasks} task(s) under "
+            f"{directory} (submit with {script}, then re-run with "
+            f"--resume to collect)")
+        self.directory = directory
+        self.script = script
+        self.tasks = tasks
+        self.key = key

@@ -20,7 +20,7 @@ import time
 from repro.campaign.cache import configure_cache, get_cache
 from repro.campaign.engine import configure_engine
 from repro.campaign.supervisor import CampaignAborted, build_policy
-from repro.errors import ConfigurationError
+from repro.errors import CampaignExported, ConfigurationError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.obs import (
     Tracer,
@@ -69,6 +69,11 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--chaos", default=None, metavar="SPEC",
                         help="arm the deterministic in-worker fault "
                              "injector (see repro.faults.chaos)")
+    parser.add_argument("--backend", default=None, metavar="SPEC",
+                        help="campaign executor: 'local' (default), "
+                             "'queue:HOST:PORT' (distributed worker "
+                             "agents), or 'job-array:DIR' (offline "
+                             "export; collect with --resume)")
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 0:
@@ -77,7 +82,7 @@ def main(argv: list[str]) -> int:
         policy = build_policy(
             timeout_s=args.timeout_s, retries=args.retries,
             resume=args.resume, allow_partial=args.allow_partial,
-            chaos=args.chaos)
+            chaos=args.chaos, backend=args.backend)
     except ConfigurationError as exc:
         parser.error(str(exc))
     configure_engine(jobs=args.jobs, policy=policy)
@@ -111,6 +116,9 @@ def main(argv: list[str]) -> int:
                 print(result.render())
                 print(f"[{experiment_id} completed in {elapsed:.1f}s]")
                 print()
+    except CampaignExported as exc:
+        print(str(exc))
+        return 0
     except CampaignAborted as exc:
         print(f"campaign aborted: {exc}")
         print("rerun with --resume to keep the completed units")

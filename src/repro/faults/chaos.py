@@ -44,6 +44,28 @@ Mode semantics:
   path (worker ships the error and exits nonzero).
 * ``bloat`` -- the worker commits ~``PARAM`` MB (default 64) of ballast
   before running the unit, inflating the peak-RSS telemetry.
+
+Agent modes (distributed campaigns only) sabotage the *worker agent*
+(``python -m repro worker``) that holds a unit's lease, not the unit
+process itself, so the queue backend's detection/reassignment machinery
+is what gets tested.  They are keyed by ``(unit, delivery)`` -- how
+many times the coordinator has handed that unit out -- so
+``kill-worker@1`` kills whichever agent first receives unit 1 and the
+*reassigned* delivery runs clean:
+
+* ``kill-worker`` -- the agent SIGKILLs itself on receipt of the lease:
+  a host/agent loss.  The coordinator sees the connection drop (or the
+  heartbeat go silent) and reassigns.
+* ``partition``   -- the agent goes network-silent for ``PARAM``
+  seconds (default 20) while the unit keeps running: no heartbeats
+  reach the coordinator, the lease expires and is reassigned, and the
+  partitioned agent's late result exercises duplicate-commit dropping.
+* ``slow-worker`` -- the agent sleeps ``PARAM`` seconds (default 2)
+  before starting the unit, while heartbeating normally: a straggler
+  that must *not* be declared dead.
+
+Under the local backend the agent modes are inert (there is no agent to
+sabotage); :func:`inject` only executes the in-unit modes.
 """
 
 from __future__ import annotations
@@ -55,13 +77,18 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ReproError
 
-__all__ = ["CHAOS_ENV", "CHAOS_MODES", "ChaosAction", "ChaosError",
-           "ChaosSchedule", "inject", "parse_chaos", "schedule_from_env"]
+__all__ = ["AGENT_MODES", "CHAOS_ENV", "CHAOS_MODES", "UNIT_MODES",
+           "ChaosAction", "ChaosError", "ChaosSchedule", "agent_action",
+           "inject", "parse_chaos", "schedule_from_env"]
 
 #: Environment variable carrying a chaos spec into spawn workers.
 CHAOS_ENV = "REPRO_CHAOS"
 
-CHAOS_MODES = ("crash", "hang", "raise", "bloat", "stall")
+#: Modes executed inside the unit process by :func:`inject`.
+UNIT_MODES = ("crash", "hang", "raise", "bloat", "stall")
+#: Modes executed by a distributed worker *agent* on lease receipt.
+AGENT_MODES = ("kill-worker", "partition", "slow-worker")
+CHAOS_MODES = UNIT_MODES + AGENT_MODES
 
 #: Default sleep for ``hang`` -- long enough that any practical
 #: ``timeout_s`` fires first, short enough that an *unsupervised* run
@@ -69,6 +96,10 @@ CHAOS_MODES = ("crash", "hang", "raise", "bloat", "stall")
 DEFAULT_HANG_S = 15.0
 DEFAULT_STALL_S = 60.0
 DEFAULT_BLOAT_MB = 64.0
+#: Agent-mode defaults: a partition must outlive a realistic staleness
+#: window; a slow worker must merely straggle, not expire.
+DEFAULT_PARTITION_S = 20.0
+DEFAULT_SLOW_S = 2.0
 
 #: Ballast kept alive for the worker's lifetime (bloat mode).
 _ballast: bytearray | None = None
@@ -100,8 +131,11 @@ class ChaosSchedule:
     actions: tuple[ChaosAction, ...]
     spec: str
 
-    def action_for(self, unit: int, attempt: int) -> ChaosAction | None:
+    def action_for(self, unit: int, attempt: int,
+                   modes: tuple[str, ...] | None = None) -> ChaosAction | None:
         for action in self.actions:
+            if modes is not None and action.mode not in modes:
+                continue
             if action.applies(unit, attempt):
                 return action
         return None
@@ -168,7 +202,7 @@ def inject(schedule: ChaosSchedule | str | None, *, unit: int,
         return None
     if isinstance(schedule, str):
         schedule = parse_chaos(schedule)
-    action = schedule.action_for(unit, attempt)
+    action = schedule.action_for(unit, attempt, modes=UNIT_MODES)
     if action is None:
         return None
     if action.mode == "crash":
@@ -177,7 +211,7 @@ def inject(schedule: ChaosSchedule | str | None, *, unit: int,
         time.sleep(action.param if action.param is not None
                    else DEFAULT_HANG_S)
     elif action.mode == "stall":
-        from repro.campaign.supervisor import stop_heartbeat
+        from repro.campaign.backends.base import stop_heartbeat
         stop_heartbeat()
         time.sleep(action.param if action.param is not None
                    else DEFAULT_STALL_S)
@@ -188,3 +222,21 @@ def inject(schedule: ChaosSchedule | str | None, *, unit: int,
         _bloat(action.param if action.param is not None
                else DEFAULT_BLOAT_MB)
     return action
+
+
+def agent_action(schedule: ChaosSchedule | str | None, *, unit: int,
+                 delivery: int) -> ChaosAction | None:
+    """The agent-mode sabotage scheduled for ``(unit, delivery)``, if any.
+
+    Consulted by a worker agent when it receives a lease, with
+    ``delivery`` counting how many times the coordinator has handed
+    this unit out (across attempts *and* reassignments).  Keying on the
+    delivery rather than the attempt is what makes ``kill-worker@1``
+    kill exactly one agent: the reassigned delivery of the same attempt
+    sees ``delivery=1`` and runs clean.
+    """
+    if schedule is None:
+        return None
+    if isinstance(schedule, str):
+        schedule = parse_chaos(schedule)
+    return schedule.action_for(unit, delivery, modes=AGENT_MODES)

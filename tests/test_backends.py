@@ -1,0 +1,777 @@
+"""Pluggable campaign executor backends: queue, job-array, durability.
+
+The contracts under test are this PR's acceptance criteria:
+
+* backend specs parse (and fail) eagerly, and the supervisor reaches
+  the same results through any backend -- a two-agent distributed
+  campaign is byte-identical to the serial local pool;
+* SIGKILLing a live worker agent mid-unit costs one lease
+  reassignment, never an answer (``campaign_reassigned_total`` > 0,
+  results unchanged);
+* a coordinator killed mid-campaign resumes from its journal on a
+  different "host" (directory) with zero re-executions of done units;
+* liveness is decided from coordinator/parent-local monotonic
+  *observation* times -- a worker with a wildly skewed wall clock is
+  exactly as alive as its beats are recent;
+* payload commits and journal creation fsync the containing directory
+  (crash-durable renames, not just crash-durable bytes);
+* the job-array backend renders a self-contained offline campaign that
+  ``--resume`` collects without re-running anything;
+* ``repro campaign-status`` reconstructs per-unit state and a
+  resumability verdict from the journal alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.backends import (
+    BACKEND_KINDS,
+    AttemptTask,
+    create_backend,
+    parse_backend_spec,
+    write_payload,
+)
+from repro.campaign.backends.jobarray import (
+    JobArrayBackend,
+    run_job_array_task,
+)
+from repro.campaign.backends.local import LocalBackend, _LiveAttempt
+from repro.campaign.backends.queue import QueueBackend, encode_blob
+from repro.campaign.status import (
+    inspect_journal,
+    render_status,
+    scan_journals,
+)
+from repro.campaign.supervisor import (
+    Journal,
+    SupervisorPolicy,
+    build_policy,
+    run_supervised,
+)
+from repro.core.sharding import analyze_streamed
+from repro.errors import CampaignExported, ConfigurationError
+from repro.obs import scoped_registry
+from repro.util.rngs import RngFactory
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+_ROOT = str(Path(__file__).resolve().parents[1])
+
+
+def _queue_unit(value: int, seed: int) -> tuple[int, int]:
+    """Module-level so worker agents can unpickle it by reference."""
+    rng = RngFactory(seed + value).get("test/backend-unit")
+    return value, int(rng.integers(0, 1_000_000))
+
+
+def _queue_slow_unit(value: int, delay: float) -> int:
+    time.sleep(delay)
+    return value
+
+
+def _units(n: int, seed: int = 7) -> list[dict]:
+    return [dict(value=i, seed=seed) for i in range(n)]
+
+
+def _clean(units: list[dict]) -> list:
+    return [_queue_unit(**u) for u in units]
+
+
+def _policy(journal_dir, **overrides) -> SupervisorPolicy:
+    overrides.setdefault("journal_dir", str(journal_dir))
+    overrides.setdefault("heartbeat_s", 0.2)
+    overrides.setdefault("backoff_base_s", 0.01)
+    overrides.setdefault("backoff_cap_s", 0.05)
+    return SupervisorPolicy(**overrides)
+
+
+def _worker_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC, _ROOT] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                         else []))
+    return env
+
+
+def _spawn_worker(port: int, name: str,
+                  max_idle_s: float = 20.0) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect",
+         f"127.0.0.1:{port}", "--max-idle-s", str(max_idle_s),
+         "--name", name],
+        env=_worker_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+
+
+def _reap(workers: list[subprocess.Popen]) -> None:
+    for worker in workers:
+        if worker.poll() is None:
+            worker.kill()
+        worker.wait(timeout=30)
+
+
+def _journal_events(journal_dir: Path, event: str) -> list[dict]:
+    records = []
+    for path in Path(journal_dir).glob("*.jsonl"):
+        records += [r for r in Journal.read(path) if r.get("event") == event]
+    return records
+
+
+def _wait_for(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+class TestBackendSpec:
+    def test_kinds(self):
+        assert BACKEND_KINDS == ("local", "queue", "job-array")
+
+    @pytest.mark.parametrize("spec,expected", [
+        (None, ("local", {})),
+        ("", ("local", {})),
+        ("local", ("local", {})),
+        ("queue:127.0.0.1:8471",
+         ("queue", {"host": "127.0.0.1", "port": 8471})),
+        ("queue:node-17.cluster:9000",
+         ("queue", {"host": "node-17.cluster", "port": 9000})),
+        ("job-array:/scratch/camp",
+         ("job-array", {"directory": "/scratch/camp"})),
+    ])
+    def test_good_specs(self, spec, expected):
+        assert parse_backend_spec(spec) == expected
+
+    @pytest.mark.parametrize("bad", [
+        "queue", "queue:", "queue:hostonly", "queue:host:",
+        "queue:host:notaport", "queue::8471", "job-array", "job-array:",
+        "local:extra", "slurm:whatever",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_backend_spec(bad)
+
+    def test_policy_validates_backend_eagerly(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            _policy(tmp_path, backend="queue:broken")
+
+    def test_backend_flag_alone_activates_supervision(self):
+        assert build_policy() is None
+        policy = build_policy(backend="local")
+        assert policy is not None and policy.backend == "local"
+        assert build_policy(backend="job-array:x").backend == "job-array:x"
+
+    def test_create_backend_local_default(self):
+        backend = create_backend(None)
+        assert isinstance(backend, LocalBackend)
+        assert backend.kind == "local"
+
+
+class TestDurability:
+    """Satellite: committed renames must fsync the containing directory."""
+
+    def test_write_payload_fsyncs_file_then_directory(self, tmp_path,
+                                                      monkeypatch):
+        calls: list[tuple[str, str]] = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spying_fsync(fd):
+            target = os.readlink(f"/proc/self/fd/{fd}")
+            calls.append(("fsync", target))
+            return real_fsync(fd)
+
+        def spying_replace(src, dst):
+            calls.append(("replace", str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spying_fsync)
+        monkeypatch.setattr(os, "replace", spying_replace)
+        target = tmp_path / "unit-0.pkl"
+        write_payload({"ok": True, "attempt": 0, "result": 1}, str(target))
+
+        kinds = [kind for kind, _ in calls]
+        assert kinds == ["fsync", "replace", "fsync"]
+        # First fsync: the temp file's bytes; then the atomic rename;
+        # then the *directory*, so the new dirent survives power loss.
+        assert calls[1][1] == str(target)
+        assert calls[2][1].rstrip("/") == str(tmp_path)
+
+    def test_journal_creation_fsyncs_parent_dir(self, tmp_path,
+                                                monkeypatch):
+        import repro.campaign.supervisor as supervisor_mod
+
+        synced: list[str] = []
+        monkeypatch.setattr(supervisor_mod, "fsync_dir",
+                            lambda p: synced.append(str(p)))
+        journal = Journal(tmp_path / "deep" / "campaign.jsonl")
+        journal.open()
+        journal.close()
+        assert synced == [str(tmp_path / "deep")]
+        # Re-opening an existing journal must not re-sync.
+        synced.clear()
+        journal.open()
+        journal.close()
+        assert synced == []
+
+
+class _FakeProcess:
+    def is_alive(self) -> bool:
+        return True
+
+
+class TestClockSkew:
+    """Satellite: liveness from observation times, never worker clocks."""
+
+    def _entry(self, tmp_path: Path) -> _LiveAttempt:
+        hb = tmp_path / "unit-0.a0.hb"
+        hb.touch()
+        # A worker clock stuck in 1970: mtime is ~56 years behind the
+        # parent's wall clock and must not matter at all.
+        os.utime(hb, ns=(1_000, 1_000))
+        return _LiveAttempt(process=_FakeProcess(), index=0, attempt=0,
+                            started_mono=0.0, result_path=tmp_path / "r",
+                            heartbeat_path=hb)
+
+    def test_local_epoch_mtime_beats_count(self, tmp_path):
+        backend = LocalBackend()
+        entry = self._entry(tmp_path)
+        backend._check_liveness(entry, 100.0, timeout_s=None,
+                                stale_after=5.0)
+        assert entry.kill_reason is None
+        assert entry.unit_started_mono == 100.0
+        # The mtime *changes* (to another ancient value); observed at
+        # parent-monotonic 104: still fresh, clock skew irrelevant.
+        os.utime(entry.heartbeat_path, ns=(2_000, 2_000))
+        backend._check_liveness(entry, 104.0, timeout_s=None,
+                                stale_after=5.0)
+        assert entry.kill_reason is None
+        assert entry.last_beat_mono == 104.0
+
+    def test_local_unchanged_mtime_goes_stale(self, tmp_path):
+        backend = LocalBackend()
+        entry = self._entry(tmp_path)
+        backend._check_liveness(entry, 100.0, timeout_s=None,
+                                stale_after=5.0)
+        # No new beat observed for > stale_after of *parent* time.
+        backend._check_liveness(entry, 106.0, timeout_s=None,
+                                stale_after=5.0)
+        assert entry.kill_reason == "stalled"
+
+    def test_local_future_mtime_cannot_fake_liveness(self, tmp_path):
+        """A clock jumped far ahead buys no extra staleness budget."""
+        backend = LocalBackend()
+        entry = self._entry(tmp_path)
+        backend._check_liveness(entry, 100.0, timeout_s=None,
+                                stale_after=5.0)
+        future_ns = int((time.time() + 10 * 365 * 86400) * 1e9)
+        os.utime(entry.heartbeat_path, ns=(future_ns, future_ns))
+        backend._check_liveness(entry, 101.0, timeout_s=None,
+                                stale_after=5.0)
+        assert entry.kill_reason is None  # one observed change, fine
+        backend._check_liveness(entry, 107.0, timeout_s=None,
+                                stale_after=5.0)
+        assert entry.kill_reason == "stalled"  # no further change
+
+    def _attached_queue(self, tmp_path) -> QueueBackend:
+        backend = QueueBackend("127.0.0.1", 0)
+        journal = Journal(tmp_path / "wire.jsonl").open()
+        registry_ctx = scoped_registry()
+        registry = registry_ctx.__enter__()
+        self._registry_ctx = registry_ctx
+        backend.attach(policy=_policy(tmp_path, stale_after_s=5.0),
+                       scratch=tmp_path, journal=journal,
+                       registry=registry, trace_id="t-skew", key="k" * 64)
+        return backend
+
+    def test_queue_heartbeat_uses_receive_time_not_message_time(
+            self, tmp_path):
+        backend = self._attached_queue(tmp_path)
+        try:
+            backend.submit(AttemptTask(
+                index=0, attempt=0, fn=_queue_unit, unit=dict(value=0),
+                result_path=tmp_path / "r", heartbeat_path=tmp_path / "h",
+                heartbeat_s=0.2))
+            out: list = []
+            backend._handle(1, {"op": "lease?"}, 50.0, out)
+            lease = backend._leases[(0, 0)]
+            assert lease.last_beat_mono == 50.0
+            # The worker stamps an absurd wall-clock ts; the coordinator
+            # must key liveness off its own receive-monotonic instead.
+            backend._handle(1, {"op": "heartbeat", "index": 0,
+                                "attempt": 0, "ts": 0.0}, 53.0, out)
+            assert lease.last_beat_mono == 53.0
+            # A heartbeat from a connection that does not hold the
+            # lease never refreshes it.
+            backend._handle(99, {"op": "heartbeat", "index": 0,
+                                 "attempt": 0}, 60.0, out)
+            assert lease.last_beat_mono == 53.0
+        finally:
+            backend.teardown()
+            self._registry_ctx.__exit__(None, None, None)
+
+
+class TestQueueWire:
+    """White-box coordinator tests driven straight through ``_handle``."""
+
+    @pytest.fixture
+    def backend(self, tmp_path):
+        backend = QueueBackend("127.0.0.1", 0)
+        journal = Journal(tmp_path / "wire.jsonl").open()
+        with scoped_registry() as registry:
+            backend.attach(policy=_policy(tmp_path, stale_after_s=5.0),
+                           scratch=tmp_path, journal=journal,
+                           registry=registry, trace_id="t-wire",
+                           key="k" * 64)
+            self.registry = registry
+            yield backend
+        backend.teardown()
+        journal.close()
+
+    def _submit(self, backend, tmp_path, index=0):
+        backend.submit(AttemptTask(
+            index=index, attempt=0, fn=_queue_unit,
+            unit=dict(value=index, seed=7),
+            result_path=tmp_path / f"r{index}",
+            heartbeat_path=tmp_path / f"h{index}", heartbeat_s=0.2))
+
+    def _result_msg(self, index=0, attempt=0, worker="w1", result=42):
+        return {"op": "result", "index": index, "attempt": attempt,
+                "delivery": 0, "exit_code": 0, "kill_reason": None,
+                "duration_s": 0.1, "worker": worker,
+                "payload": encode_blob({"ok": True, "attempt": attempt,
+                                        "result": result, "spans": [],
+                                        "metrics": {}})}
+
+    def test_duplicate_result_dropped_and_counted(self, backend, tmp_path):
+        self._submit(backend, tmp_path)
+        out: list = []
+        backend._handle(1, {"op": "lease?"}, 1.0, out)
+        backend._handle(1, self._result_msg(), 2.0, out)
+        assert len(out) == 1 and out[0].status == "ok"
+        assert out[0].payload["result"] == 42
+        backend._handle(2, self._result_msg(worker="w2", result=99), 3.0,
+                        out)
+        assert len(out) == 1  # second answer dropped
+        assert self.registry.counter_value(
+            "campaign_duplicate_results_total") == 1
+        assert len(_journal_events(tmp_path, "duplicate_result")) == 1
+
+    def test_expired_lease_reassigns_then_stalls(self, backend, tmp_path):
+        from repro.campaign.backends.queue import MAX_DELIVERIES
+
+        self._submit(backend, tmp_path)
+        out: list = []
+        for delivery in range(MAX_DELIVERIES):
+            backend._handle(1, {"op": "lease?"}, float(delivery), out)
+            lease = backend._leases[(0, 0)]
+            assert lease.delivery == delivery
+            lease.last_beat_mono = time.monotonic() - 999.0
+            out += backend.poll()  # expiry scan
+        assert self.registry.counter_value(
+            "campaign_lease_expired_total") == MAX_DELIVERIES
+        assert self.registry.counter_value(
+            "campaign_reassigned_total") == MAX_DELIVERIES - 1
+        assert len(out) == 1
+        assert out[0].status == "stalled"
+        assert "lease expired" in out[0].error
+        assert backend.in_flight == 0
+
+    def test_late_original_supersedes_queued_redelivery(self, backend,
+                                                        tmp_path):
+        self._submit(backend, tmp_path)
+        out: list = []
+        backend._handle(1, {"op": "lease?"}, 1.0, out)
+        backend._leases[(0, 0)].last_beat_mono = time.monotonic() - 999.0
+        out += backend.poll()  # expire -> key back on the ready queue
+        assert (0, 0) in backend._ready
+        backend._handle(1, self._result_msg(), 2.0, out)
+        assert len(out) == 1 and out[0].status == "ok"
+        assert (0, 0) not in backend._ready  # redelivery cancelled
+
+    def test_disconnect_expires_held_leases_immediately(self, backend,
+                                                        tmp_path):
+        from repro.campaign.backends.queue import _Conn
+
+        left, right = socket.socketpair()
+        backend._conns[1] = _Conn(sock=left)
+        self._submit(backend, tmp_path)
+        out: list = []
+        backend._handle(1, {"op": "hello", "worker": "w1"}, 0.5, out)
+        backend._handle(1, {"op": "lease?"}, 1.0, out)
+        assert (0, 0) in backend._leases
+        backend._handle(1, None, 2.0, out)  # EOF marker from the reader
+        right.close()
+        assert (0, 0) not in backend._leases
+        assert (0, 0) in backend._ready  # reassigned, not stalled
+        events = _journal_events(tmp_path, "lease_expired")
+        assert events and events[0]["reason"] == "disconnect"
+
+
+class TestQueueEndToEnd:
+    def test_two_workers_match_serial(self, tmp_path):
+        units = _units(6)
+        serial = run_supervised(_queue_unit, units,
+                                policy=_policy(tmp_path / "serial"))
+        backend = QueueBackend("127.0.0.1", 0)
+        _host, port = backend.address
+        workers = [_spawn_worker(port, f"w{i}", max_idle_s=60.0)
+                   for i in range(2)]
+        try:
+            policy = _policy(tmp_path / "queue",
+                             backend=f"queue:127.0.0.1:{port}")
+            report = run_supervised(_queue_unit, units, policy=policy,
+                                    backend=backend)
+        finally:
+            _reap(workers)
+        assert report.results == serial.results
+        assert report.accounting.complete
+        # Attempt records carry the worker identity in the journal.
+        attempts = _journal_events(tmp_path / "queue", "attempt")
+        assert attempts and all(a.get("worker", "").startswith("w")
+                                for a in attempts)
+
+    def test_sigkill_live_worker_mid_unit_reassigns(self, tmp_path):
+        units = [dict(value=i, delay=1.5) for i in range(3)]
+        backend = QueueBackend("127.0.0.1", 0)
+        _host, port = backend.address
+        journal_dir = tmp_path / "queue"
+        victim = _spawn_worker(port, "victim", max_idle_s=60.0)
+        survivor = _spawn_worker(port, "survivor", max_idle_s=60.0)
+        killed = {"done": False}
+
+        import threading
+
+        def assassin():
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                leases = _journal_events(journal_dir, "lease")
+                if any(lease["worker"] == "victim" for lease in leases):
+                    time.sleep(0.3)  # let the unit actually start
+                    os.kill(victim.pid, signal.SIGKILL)
+                    killed["done"] = True
+                    return
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=assassin, daemon=True)
+        try:
+            policy = _policy(journal_dir, stale_after_s=3.0,
+                             backend=f"queue:127.0.0.1:{port}")
+            with scoped_registry() as registry:
+                thread.start()
+                report = run_supervised(_queue_slow_unit, units,
+                                        policy=policy, backend=backend)
+                reassigned = registry.counter_value(
+                    "campaign_reassigned_total")
+        finally:
+            thread.join(timeout=30)
+            _reap([victim, survivor])
+        assert killed["done"], "victim never took a lease"
+        assert report.results == [0, 1, 2]
+        assert report.accounting.complete
+        assert reassigned > 0
+        goodbyes = _journal_events(journal_dir, "worker_goodbye")
+        assert any(not g["clean"] for g in goodbyes)
+
+    def test_kill_worker_chaos_round_trip(self, tmp_path):
+        units = _units(5)
+        serial = run_supervised(_queue_unit, units,
+                                policy=_policy(tmp_path / "serial"))
+        backend = QueueBackend("127.0.0.1", 0)
+        _host, port = backend.address
+        workers = [_spawn_worker(port, f"c{i}", max_idle_s=60.0)
+                   for i in range(2)]
+        try:
+            policy = _policy(tmp_path / "queue", stale_after_s=2.0,
+                             chaos="kill-worker@1",
+                             backend=f"queue:127.0.0.1:{port}")
+            with scoped_registry() as registry:
+                report = run_supervised(_queue_unit, units, policy=policy,
+                                        backend=backend)
+                reassigned = registry.counter_value(
+                    "campaign_reassigned_total")
+        finally:
+            _reap(workers)
+        assert report.results == serial.results
+        assert reassigned > 0
+
+    def test_partition_chaos_expires_and_recovers(self, tmp_path):
+        units = _units(4)
+        serial = run_supervised(_queue_unit, units,
+                                policy=_policy(tmp_path / "serial"))
+        backend = QueueBackend("127.0.0.1", 0)
+        _host, port = backend.address
+        workers = [_spawn_worker(port, f"p{i}", max_idle_s=60.0)
+                   for i in range(2)]
+        try:
+            # stale_after must clear the ~1s spawn-child boot, while the
+            # partition must outlast stale_after so the lease expires.
+            policy = _policy(tmp_path / "queue", stale_after_s=2.5,
+                             chaos="partition@1:8",
+                             backend=f"queue:127.0.0.1:{port}")
+            with scoped_registry() as registry:
+                report = run_supervised(_queue_unit, units, policy=policy,
+                                        backend=backend)
+                expired = registry.counter_value(
+                    "campaign_lease_expired_total")
+        finally:
+            _reap(workers)
+        assert report.results == serial.results
+        assert expired > 0
+
+    def test_chaos_agent_modes_inert_under_local_backend(self, tmp_path):
+        """kill-worker/partition target agents; the local pool has none."""
+        units = _units(3)
+        policy = _policy(tmp_path, chaos="kill-worker@*,partition@*")
+        report = run_supervised(_queue_unit, units, policy=policy)
+        assert report.results == _clean(units)
+        assert report.accounting.retried == 0
+
+
+_COORDINATOR_DRIVER = textwrap.dedent("""\
+    def main():
+        from repro.campaign.backends.queue import QueueBackend
+        from repro.campaign.supervisor import (
+            SupervisorPolicy, run_supervised)
+        from tests.test_backends import _queue_slow_unit
+        backend = QueueBackend("127.0.0.1", {port})
+        policy = SupervisorPolicy(
+            heartbeat_s=0.2, backoff_base_s=0.01, backoff_cap_s=0.05,
+            stale_after_s=4.0, journal_dir={journal_dir!r},
+            backend="queue:127.0.0.1:{port}")
+        run_supervised(_queue_slow_unit,
+                       [dict(value=i, delay=1.0) for i in range(5)],
+                       policy=policy, backend=backend)
+
+    if __name__ == "__main__":
+        main()
+""")
+
+
+class TestCoordinatorCrashResume:
+    def test_resume_on_new_host_skips_done_units(self, tmp_path):
+        """Host A's coordinator dies; host B resumes from the journal.
+
+        "Host B" is a different journal directory, a fresh coordinator
+        on a fresh port, and fresh agents -- nothing shared with host A
+        but the journal and its committed payloads.
+        """
+        journal_a = tmp_path / "host-a"
+        with socket.socket() as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", 0))
+            port_a = probe.getsockname()[1]
+        script = tmp_path / "coordinator.py"
+        script.write_text(_COORDINATOR_DRIVER.format(
+            port=port_a, journal_dir=str(journal_a)))
+        coordinator = subprocess.Popen(
+            [sys.executable, str(script)], env=_worker_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        workers_a = [_spawn_worker(port_a, f"a{i}", max_idle_s=60.0)
+                     for i in range(2)]
+        try:
+            _wait_for(
+                lambda: len(_journal_events(journal_a, "done")) >= 2,
+                timeout=60, what="two committed units on host A")
+            os.kill(coordinator.pid, signal.SIGKILL)
+            coordinator.wait(timeout=30)
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+                coordinator.wait(timeout=30)
+            _reap(workers_a)
+
+        done_a = {r["unit"] for r in _journal_events(journal_a, "done")}
+        assert len(done_a) >= 2
+        journal_b = tmp_path / "host-b"
+        shutil.copytree(journal_a, journal_b)
+
+        status = inspect_journal(scan_journals(journal_b)[0])
+        assert not status.ended
+        assert set(status.resumable_units) >= done_a
+        assert "resumable" in status.verdict
+
+        backend_b = QueueBackend("127.0.0.1", 0)
+        _host, port_b = backend_b.address
+        workers_b = [_spawn_worker(port_b, f"b{i}", max_idle_s=60.0)
+                     for i in range(2)]
+        try:
+            policy = _policy(journal_b, stale_after_s=4.0, resume=True,
+                             backend=f"queue:127.0.0.1:{port_b}")
+            report = run_supervised(
+                _queue_slow_unit,
+                [dict(value=i, delay=1.0) for i in range(5)],
+                policy=policy, backend=backend_b)
+        finally:
+            _reap(workers_b)
+        assert report.results == [0, 1, 2, 3, 4]
+        assert report.accounting.resumed == len(done_a)
+        # Zero re-executions: host B's journal (host A's records plus
+        # the resume run's appends) never dispatches a done unit again.
+        dispatches_a = [r["unit"]
+                        for r in _journal_events(journal_a, "dispatch")]
+        dispatches_b = [r["unit"]
+                        for r in _journal_events(journal_b, "dispatch")]
+        new_dispatches = dispatches_b[len(dispatches_a):]
+        assert not set(new_dispatches) & done_a
+
+
+class TestStreamedQueueParity:
+    def test_streamed_analyze_matches_local(self, bundle_dir, tmp_path):
+        plain = analyze_streamed(bundle_dir, shards=2)
+        backend_port = None
+        with socket.socket() as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", 0))
+            backend_port = probe.getsockname()[1]
+        # One agent pair serves both phase campaigns: each phase binds
+        # the same port, the agents reconnect in between.
+        workers = [_spawn_worker(backend_port, f"s{i}", max_idle_s=60.0)
+                   for i in range(2)]
+        try:
+            policy = _policy(tmp_path, stale_after_s=15.0,
+                             backend=f"queue:127.0.0.1:{backend_port}")
+            distributed = analyze_streamed(bundle_dir, shards=2,
+                                           policy=policy)
+        finally:
+            _reap(workers)
+        assert distributed.complete
+        assert json.dumps(distributed.summary(), sort_keys=True) == \
+            json.dumps(plain.summary(), sort_keys=True)
+
+
+class TestJobArray:
+    def test_export_run_resume_roundtrip(self, tmp_path):
+        units = _units(4)
+        export_dir = tmp_path / "export"
+        policy = _policy(tmp_path / "journal",
+                         backend=f"job-array:{export_dir}")
+        with pytest.raises(CampaignExported) as excinfo:
+            run_supervised(_queue_unit, units, policy=policy,
+                           backend=JobArrayBackend(export_dir))
+        assert excinfo.value.tasks == len(units)
+        script = export_dir / "job-array.sh"
+        assert script.exists() and os.access(script, os.X_OK)
+        assert "SLURM_ARRAY_TASK_ID" in script.read_text()
+        assert sorted(p.name for p in (export_dir / "tasks").iterdir()) \
+            == [f"task-{i:05d}.pkl" for i in range(len(units))]
+
+        for task_id in range(len(units)):
+            assert run_job_array_task(export_dir, task_id) == 0
+        # At-most-once: re-running a committed task is a no-op exit 0.
+        assert run_job_array_task(export_dir, 0) == 0
+        attempts = _journal_events(tmp_path / "journal", "attempt")
+        assert len([a for a in attempts if a["unit"] == 0]) == 1
+
+        resume = _policy(tmp_path / "journal", resume=True,
+                         backend=f"job-array:{export_dir}")
+        report = run_supervised(_queue_unit, units, policy=resume,
+                                backend=JobArrayBackend(export_dir))
+        assert report.results == _clean(units)
+        assert report.accounting.resumed == len(units)
+        assert report.accounting.attempts == 0
+
+        # A complete job-array campaign keeps its payloads: multi-phase
+        # runs re-fold every earlier campaign on each --resume
+        # invocation, so reaping would force a re-export of finished
+        # work.  A second resume must therefore be a pure no-op again.
+        scratch = report.journal_path.parent / report.journal_path.stem
+        assert scratch.is_dir()
+        again = run_supervised(_queue_unit, units, policy=resume,
+                               backend=JobArrayBackend(export_dir))
+        assert again.results == _clean(units)
+        assert again.accounting.attempts == 0
+
+    def test_offline_attempts_record_worker_identity(self, tmp_path):
+        units = _units(2)
+        export_dir = tmp_path / "export"
+        policy = _policy(tmp_path / "journal",
+                         backend=f"job-array:{export_dir}")
+        with pytest.raises(CampaignExported):
+            run_supervised(_queue_unit, units, policy=policy,
+                           backend=JobArrayBackend(export_dir))
+        run_job_array_task(export_dir, 1)
+        attempts = _journal_events(tmp_path / "journal", "attempt")
+        assert attempts[-1]["worker"] == "job-array/1"
+
+
+class TestCampaignStatus:
+    def test_complete_campaign_verdict(self, tmp_path):
+        run_supervised(_queue_unit, _units(3), policy=_policy(tmp_path))
+        path = scan_journals(tmp_path)[0]
+        status = inspect_journal(path)
+        assert status.ended and status.verdict == "complete"
+        assert status.done == [0, 1, 2]
+        text = render_status(status)
+        assert "resume verdict: complete" in text
+
+    def test_partial_campaign_is_resumable(self, tmp_path):
+        policy = _policy(tmp_path, retries=0, chaos="crash@1x9",
+                         allow_partial=True)
+        run_supervised(_queue_unit, _units(3), policy=policy)
+        status = inspect_journal(scan_journals(tmp_path)[0])
+        assert status.quarantined == [1]
+        assert set(status.resumable_units) == {0, 2}
+        assert "resumable: 2/3" in status.verdict
+        assert "quarantined" in status.verdict
+        text = render_status(status, verbose=True)
+        assert "unit 1: quarantined" in text
+
+    def test_foreign_file_is_unreadable(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"event": "noise"}\n')
+        status = inspect_journal(bogus)
+        assert status.verdict == "unreadable (no begin record)"
+
+    def test_scan_journals(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            scan_journals(tmp_path / "missing")
+        (tmp_path / "a.jsonl").write_text("")
+        (tmp_path / "b.jsonl").write_text("")
+        assert [p.name for p in scan_journals(tmp_path)] == \
+            ["a.jsonl", "b.jsonl"]
+        assert scan_journals(tmp_path / "a.jsonl") == [tmp_path / "a.jsonl"]
+
+    def test_cli_campaign_status(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_supervised(_queue_unit, _units(2), policy=_policy(tmp_path))
+        assert main(["campaign-status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "resume verdict: complete" in out
+        assert main(["campaign-status", str(tmp_path / "nope")]) == 2
+
+
+class TestWorkerCli:
+    def test_bad_connect_address_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["worker", "--connect", "nocolon"]) == 2
+        assert main(["worker", "--connect", "host:notaport"]) == 2
+        assert main(["worker"]) == 2
+        assert main(["worker", "--job-array", "/tmp/x",
+                     "--connect", "h:1"]) == 2
+        assert main(["worker", "--job-array", "/tmp/x"]) == 2
+        capsys.readouterr()
+
+    def test_idle_worker_exits_zero(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "worker", "--connect",
+             f"127.0.0.1:{dead_port}", "--max-idle-s", "1.0"],
+            env=_worker_env(), capture_output=True, timeout=60)
+        assert proc.returncode == 0
